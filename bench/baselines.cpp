@@ -1,0 +1,124 @@
+// Experiment BASE: SmartSouth vs the controller-driven status quo.
+// The paper's motivation is reducing control-plane load; these series
+// quantify it against the baselines the paper references:
+//   snapshot  vs LLDP TopologyService discovery ([1])
+//   anycast   vs controller-computed routing (per-hop flow-mods)
+//   blackhole vs controller per-link echo probing
+//   critical  vs discovery + controller-side Tarjan
+
+#include "baseline/controller_anycast.hpp"
+#include "baseline/controller_critical.hpp"
+#include "baseline/lldp_discovery.hpp"
+#include "baseline/probe_blackhole.hpp"
+#include "bench/bench_util.hpp"
+#include "core/services.hpp"
+#include "util/strings.hpp"
+
+using namespace ss;
+
+int main() {
+  std::printf("Controller load: out-of-band messages per operation\n");
+  bench::hr();
+  bench::row({"topology", "n", "|E|", "snap SS", "snap LLDP", "any SS",
+              "any CTRL", "bh SS", "bh PROBE", "crit SS", "crit CTRL"},
+             {12, 4, 5, 8, 9, 7, 8, 6, 8, 8, 9});
+  bench::hr();
+
+  util::Rng rng(5);
+  for (const auto& sg : bench::standard_sweep()) {
+    const graph::Graph& g = sg.g;
+    const auto n = g.node_count();
+
+    // Snapshot vs LLDP discovery.
+    core::SnapshotService snap(g);
+    sim::Network net1(g);
+    snap.install(net1);
+    const auto ss_snap = snap.run(net1, 0).stats.outband_total();
+    baseline::LldpDiscovery lldp(g);
+    sim::Network net2(g);
+    lldp.install(net2);
+    const auto ld = lldp.run(net2).stats.outband_total();
+
+    // Anycast vs controller routing (same member set, same request).
+    core::AnycastGroupSpec gs;
+    gs.gid = 1;
+    gs.members[static_cast<graph::NodeId>(n - 1)] = 1;
+    core::AnycastService any(g, {gs});
+    sim::Network net3(g);
+    any.install(net3);
+    // Out-of-band beyond the request injection itself.
+    const auto ss_any = any.run(net3, 0, 1).stats.outband_total() - 1;
+    baseline::ControllerAnycast cany(g, {{1, {static_cast<graph::NodeId>(n - 1)}}});
+    sim::Network net4(g);
+    const auto ca = cany.run(net4, 0, 1);
+    const auto ctrl_any = ca.control_messages() - 1;
+
+    // Blackhole: smart counters vs per-link echo probing.
+    const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, g.edge_count() - 1));
+    core::BlackholeCountersService bh(g);
+    sim::Network net5(g);
+    bh.install(net5);
+    net5.set_blackhole_from(victim, g.edge(victim).a.node, true);
+    const auto ss_bh = bh.run(net5, 0).stats.outband_total();
+    baseline::ProbeBlackhole probe(g);
+    sim::Network net6(g);
+    probe.install(net6);
+    net6.set_blackhole_from(victim, g.edge(victim).a.node, true);
+    const auto pb = probe.run(net6).stats.outband_total();
+
+    // Critical node.
+    core::CriticalNodeService crit(g);
+    sim::Network net7(g);
+    crit.install(net7);
+    const auto ss_crit = crit.run(net7, 0).stats.outband_total();
+    baseline::ControllerCritical cc(g);
+    sim::Network net8(g);
+    cc.install(net8);
+    const auto ctrl_crit = cc.run(net8, 0).stats.outband_total();
+
+    bench::row({sg.family, util::cat(n), util::cat(g.edge_count()),
+                util::cat(ss_snap), util::cat(ld), util::cat(ss_any),
+                util::cat(ctrl_any), util::cat(ss_bh), util::cat(pb),
+                util::cat(ss_crit), util::cat(ctrl_crit)},
+               {12, 4, 5, 8, 9, 7, 8, 6, 8, 8, 9});
+  }
+  bench::hr();
+
+  // --- Latency: the other side of the coin.  In-band anycast follows the
+  // DFS order (possibly much longer than the shortest path) but starts
+  // immediately; controller routing takes the shortest path but pays the
+  // control-plane round trip first (the latency concern the paper cites).
+  std::printf("\nAnycast delivery latency (link delay = 1; controller RTT "
+              "modeled as 50 link delays)\n");
+  bench::hr();
+  bench::row({"topology", "n", "in-band t", "ctrl t (path+RTT)", "winner"},
+             {12, 4, 10, 17, 7});
+  bench::hr();
+  for (const auto& sg : bench::standard_sweep()) {
+    if (sg.n > 40) continue;
+    const graph::Graph& g = sg.g;
+    const auto target = static_cast<graph::NodeId>(g.node_count() - 1);
+    core::AnycastGroupSpec gs;
+    gs.gid = 1;
+    gs.members[target] = 1;
+    core::AnycastService any(g, {gs});
+    sim::Network net(g);
+    any.install(net);
+    const auto t0 = net.now();
+    auto res = any.run(net, 0, 1);
+    const auto inband_t = net.now() - t0;
+    const auto dist = graph::bfs_distance(g, 0)[target];
+    const std::uint64_t ctrl_t = 50 + dist;  // RTT + shortest-path delivery
+    bench::row({sg.family, util::cat(sg.n), util::cat(inband_t),
+                util::cat(ctrl_t), inband_t <= ctrl_t ? "inband" : "ctrl"},
+               {12, 4, 10, 17, 7});
+    (void)res;
+  }
+  bench::hr();
+  std::printf(
+      "SmartSouth's controller load is O(1) per operation across every\n"
+      "service; all controller-driven baselines grow with |E| (discovery,\n"
+      "probing) or path length (flow-mod routing).  This is the paper's\n"
+      "core quantitative claim.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#pragma once
+// Shared bench plumbing: aligned table printing and the topology sweep used
+// across the Table-2 experiments.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ss::bench {
+
+/// Print one row of right-aligned columns (first column left-aligned).
+inline void row(const std::vector<std::string>& cols,
+                const std::vector<int>& widths) {
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    const int w = k < widths.size() ? widths[k] : 12;
+    if (k == 0)
+      std::printf("%-*s", w, cols[k].c_str());
+    else
+      std::printf("  %*s", w, cols[k].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void hr(int total = 100) {
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+struct SweepGraph {
+  std::string family;
+  std::size_t n;
+  graph::Graph g;
+};
+
+/// The standard sweep: several families at several sizes, deterministic.
+inline std::vector<SweepGraph> standard_sweep() {
+  util::Rng rng(2014);  // HotNets-XIII vintage
+  std::vector<SweepGraph> out;
+  for (std::size_t n : {10, 20, 40, 80}) {
+    out.push_back({"ring", n, graph::make_ring(n)});
+    out.push_back({"tree", n, graph::make_dary_tree(n, 2)});
+    out.push_back({"grid", n, graph::make_grid(n / 5, 5)});
+    out.push_back({"reg4", n, graph::make_random_regular(n, 4, rng)});
+    out.push_back({"gnp", n, graph::make_gnp_connected(n, 0.15, rng)});
+  }
+  out.push_back({"fattree", 20, graph::make_fat_tree(4)});
+  out.push_back({"fattree", 45, graph::make_fat_tree(6)});
+  return out;
+}
+
+}  // namespace ss::bench

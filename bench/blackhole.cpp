@@ -1,0 +1,92 @@
+// Experiments BH-1 and BH-2 (§3.3): the two blackhole-detection solutions.
+//
+//  BH-1  TTL binary search: probes used vs the paper's 2 log|E| bound,
+//        plus localization accuracy.
+//  BH-2  smart counters: exactly 2 injected packets + 1 report ("two
+//        out-band packets"), localization accuracy, and in-band cost ~4|E|.
+
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "core/services.hpp"
+#include "util/strings.hpp"
+
+using namespace ss;
+
+int main() {
+  util::Rng rng(99);
+
+  std::printf("BH-1: TTL binary search (averaged over 10 planted blackholes)\n");
+  bench::hr();
+  bench::row({"topology", "n", "|E|", "avg probes", "2log(4E)", "avg outband",
+              "localized"},
+             {12, 5, 6, 10, 9, 11, 9});
+  bench::hr();
+  for (const auto& sg : bench::standard_sweep()) {
+    const graph::Graph& g = sg.g;
+    const auto E = g.edge_count();
+    if (4 * E + 4 > 255) continue;  // 8-bit TTL limit, see EXPERIMENTS.md
+    core::BlackholeTtlService svc(g);
+    double probes = 0, outband = 0;
+    int localized = 0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, E - 1));
+      sim::Network net(g);
+      svc.install(net);
+      net.set_blackhole_from(victim, g.edge(victim).a.node, true);
+      auto res = svc.run(net, 0, static_cast<std::uint32_t>(4 * E + 4));
+      probes += res.probes;
+      outband += static_cast<double>(res.stats.outband_total());
+      if (res.blackhole_found && g.edge_at(res.at_switch, res.out_port) == victim)
+        ++localized;
+    }
+    char buf[32], buf2[32];
+    std::snprintf(buf, sizeof buf, "%.1f", probes / trials);
+    std::snprintf(buf2, sizeof buf2, "%.1f", outband / trials);
+    bench::row({sg.family, util::cat(g.node_count()), util::cat(E), buf,
+                util::cat(static_cast<int>(2 * std::log2(4.0 * E + 4))), buf2,
+                util::cat(localized, "/", trials)},
+               {12, 5, 6, 10, 9, 11, 9});
+  }
+  bench::hr();
+
+  std::printf("\nBH-2: smart counters (10 planted blackholes per row)\n");
+  bench::hr();
+  bench::row({"topology", "n", "|E|", "outband", "(3)", "inband", "4E",
+              "localized"},
+             {12, 5, 6, 8, 4, 8, 7, 9});
+  bench::hr();
+  for (const auto& sg : bench::standard_sweep()) {
+    const graph::Graph& g = sg.g;
+    const auto E = g.edge_count();
+    core::BlackholeCountersService svc(g);
+    std::uint64_t outband = 0, inband = 0;
+    int localized = 0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, E - 1));
+      const bool dir = rng.chance(0.5);
+      sim::Network net(g);
+      svc.install(net);
+      const auto& ed = g.edge(victim);
+      net.set_blackhole_from(victim, dir ? ed.a.node : ed.b.node, true);
+      auto res = svc.run(net, 0);
+      outband += res.stats.outband_total();
+      inband += res.stats.inband_msgs;
+      if (res.reports.size() == 1 &&
+          g.edge_at(res.reports[0].at_switch, res.reports[0].out_port) == victim)
+        ++localized;
+    }
+    bench::row({sg.family, util::cat(g.node_count()), util::cat(E),
+                util::cat(outband / trials), "3", util::cat(inband / trials),
+                util::cat(4 * E), util::cat(localized, "/", trials)},
+               {12, 5, 6, 8, 4, 8, 7, 9});
+  }
+  bench::hr();
+  std::printf(
+      "BH-2 uses a constant 3 out-of-band messages regardless of size —\n"
+      "the paper's headline — while BH-1 grows with log|E| and BH-2's\n"
+      "in-band cost stays linear (dance overhead lands between 4E and ~6E).\n");
+  return 0;
+}

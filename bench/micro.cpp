@@ -1,0 +1,118 @@
+// Experiment MICRO: engineering micro-benchmarks (google-benchmark) for the
+// substrate itself — pipeline lookup cost, smart-counter execution, rule
+// compilation, and end-to-end traversals per second.
+
+#include <benchmark/benchmark.h>
+
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+#include "ofp/switch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ss;
+
+void BM_BitVecFieldAccess(benchmark::State& state) {
+  util::BitVec v(512);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    v.set(130, 11, x & 0x7ff);
+    benchmark::DoNotOptimize(v.get(130, 11));
+    ++x;
+  }
+}
+BENCHMARK(BM_BitVecFieldAccess);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::uint32_t>(state.range(0));
+  ofp::Switch sw(1, 8);
+  for (std::uint32_t k = 0; k < entries; ++k) {
+    ofp::FlowEntry e;
+    e.priority = k;
+    e.match.on_tag(0, 16, k);
+    e.actions = {ofp::ActOutput{1}};
+    sw.table(0).add(std::move(e));
+  }
+  ofp::Packet pkt;
+  pkt.tag.ensure(64);
+  pkt.tag.set(0, 16, entries / 2);
+  for (auto _ : state) {
+    auto res = sw.receive(pkt, 2);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SmartCounterFetchInc(benchmark::State& state) {
+  ofp::Switch sw(1, 2);
+  ofp::Group g;
+  g.id = 1;
+  g.type = ofp::GroupType::kSelect;
+  for (int j = 0; j < 16; ++j)
+    g.buckets.push_back(
+        {{ofp::ActSetTag{0, 4, static_cast<std::uint64_t>(j)}}, std::nullopt});
+  sw.groups().add(std::move(g));
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.actions = {ofp::ActGroup{1}};
+  sw.table(0).add(std::move(e));
+  ofp::Packet pkt;
+  pkt.tag.ensure(64);
+  for (auto _ : state) {
+    auto res = sw.receive(pkt, 1);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_SmartCounterFetchInc);
+
+void BM_CompileSnapshotSwitch(benchmark::State& state) {
+  const auto deg = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  graph::Graph g = graph::make_random_regular(std::max<std::size_t>(deg * 4, 8),
+                                              deg, rng);
+  core::TagLayout layout(g);
+  core::CompilerOptions opts;
+  opts.kind = core::ServiceKind::kSnapshot;
+  core::TemplateCompiler compiler(g, layout, opts);
+  for (auto _ : state) {
+    ofp::Switch sw(0, g.degree(0));
+    compiler.install_switch(sw, 0);
+    benchmark::DoNotOptimize(sw.total_flow_entries());
+  }
+}
+BENCHMARK(BM_CompileSnapshotSwitch)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FullTraversal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  graph::Graph g = graph::make_random_regular(n, 4, rng);
+  core::PlainTraversal svc(g, /*finish_report=*/false);
+  for (auto _ : state) {
+    sim::Network net(g);
+    svc.install(net);
+    svc.run(net, 0);
+    benchmark::DoNotOptimize(net.stats().sent);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (4 * g.edge_count() - 2 * g.node_count() + 2));
+}
+BENCHMARK(BM_FullTraversal)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_SnapshotEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  graph::Graph g = graph::make_random_regular(n, 4, rng);
+  core::SnapshotService svc(g);
+  for (auto _ : state) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, 0);
+    benchmark::DoNotOptimize(res.edges.size());
+  }
+}
+BENCHMARK(BM_SnapshotEndToEnd)->Arg(20)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

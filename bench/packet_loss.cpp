@@ -1,0 +1,81 @@
+// Experiment BH-loss (§3.3, "Detecting Packet-Loss with Smart Counters"):
+//  (a) detection rate vs loss rate for a monitored link;
+//  (b) the overflow false-negative the paper warns about, and the fix of
+//      comparing several counters "with unique and prime sizes".
+
+#include "bench/bench_util.hpp"
+#include "core/services.hpp"
+#include "util/strings.hpp"
+
+using namespace ss;
+
+namespace {
+
+// One monitored link inside a small fabric; returns detection outcome.
+bool run_trial(const std::vector<std::uint32_t>& moduli, double loss_rate,
+               std::uint32_t traffic, std::uint64_t seed) {
+  graph::Graph g = graph::make_path(3);
+  core::PacketLossMonitor mon(g, moduli);
+  sim::Network net(g, 1, seed);
+  mon.install(net);
+  const graph::EdgeId link = g.edge_at(1, 2);
+  net.set_loss_from(link, 1, loss_rate);
+  mon.send_data(net, 1, 2, traffic);
+  net.set_loss_from(link, 1, 0.0);  // heal before the detection traversal
+  auto res = mon.detect(net, 0);
+  return !res.reports.empty();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("(a) Detection rate vs loss rate (20 data packets, 50 trials)\n");
+  bench::hr();
+  bench::row({"loss rate", "mod {8}", "mod {7,11}", "mod {7,11,13}"},
+             {10, 9, 11, 13});
+  bench::hr();
+  for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    std::vector<std::string> cols{util::cat(rate)};
+    for (auto moduli : std::vector<std::vector<std::uint32_t>>{
+             {8}, {7, 11}, {7, 11, 13}}) {
+      int hits = 0;
+      const int trials = 50;
+      for (int t = 0; t < trials; ++t)
+        if (run_trial(moduli, rate, 20, 1000 + t)) ++hits;
+      cols.push_back(util::cat(hits * 2, "%"));
+    }
+    bench::row(cols, {10, 9, 11, 13});
+  }
+  bench::hr();
+
+  std::printf(
+      "\n(b) Overflow false negatives: exactly L lost packets vs modulus\n");
+  bench::hr();
+  bench::row({"lost L", "mod {8}", "mod {13}", "mod {7,11}", "mod {13,15,16}"},
+             {7, 8, 9, 10, 14});
+  bench::hr();
+  for (std::uint32_t lost : {1u, 7u, 8u, 13u, 16u, 77u, 104u}) {
+    std::vector<std::string> cols{util::cat(lost)};
+    for (auto moduli : std::vector<std::vector<std::uint32_t>>{
+             {8}, {13}, {7, 11}, {13, 15, 16}}) {
+      // Deterministic: drop exactly `lost` packets.
+      graph::Graph g = graph::make_path(2);
+      core::PacketLossMonitor mon(g, moduli);
+      sim::Network net(g);
+      mon.install(net);
+      net.set_loss_from(0, 0, 1.0);
+      mon.send_data(net, 0, 1, lost);
+      net.set_loss_from(0, 0, 0.0);
+      auto res = mon.detect(net, 0);
+      cols.push_back(res.reports.empty() ? "MISSED" : "detected");
+    }
+    bench::row(cols, {7, 8, 9, 10, 14});
+  }
+  bench::hr();
+  std::printf(
+      "A single mod-k counter is blind to losses that are multiples of k\n"
+      "(L=8 vs {8}, L=13 vs {13}, L=77 vs {7,11}); coprime multi-counter\n"
+      "comparison pushes the blind spot to the product of the moduli\n"
+      "(3120 for {13,15,16}) — the paper's prime-sizes remedy.\n");
+  return 0;
+}

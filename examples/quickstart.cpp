@@ -1,0 +1,47 @@
+// Quickstart: build a small OpenFlow network, install the SmartSouth
+// snapshot service, and collect the topology fully in-band.
+//
+//   $ ./examples/quickstart
+//
+// What happens under the hood:
+//   1. the compiler installs match-action tables + fast-failover groups on
+//      every switch (the OFFLINE stage);
+//   2. one trigger packet is injected at switch 0 and performs a DFS of the
+//      whole network, recording every node and link into its label stack
+//      (the RUNTIME stage — no controller involvement);
+//   3. the packet returns to the controller, which decodes the topology.
+
+#include <cstdio>
+
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+
+int main() {
+  using namespace ss;
+
+  // A 4x4 grid fabric: 16 switches, 24 links.
+  graph::Graph topo = graph::make_grid(4, 4);
+  sim::Network net(topo);
+
+  // Offline stage: compile & install the snapshot rules.
+  core::SnapshotService snapshot(topo);
+  snapshot.install(net);
+
+  // Take a link down to show that the snapshot sees the LIVE topology.
+  net.set_link_up(topo.edge_at(5, 1), false);
+
+  // Runtime stage: one trigger packet from switch 0.
+  core::SnapshotResult res = snapshot.run(net, /*root=*/0);
+
+  std::printf("snapshot complete: %s\n", res.complete ? "yes" : "no");
+  std::printf("switches seen:     %zu / %zu\n", res.nodes.size(), topo.node_count());
+  std::printf("links seen:        %zu / %zu (one taken down)\n", res.edges.size(),
+              topo.edge_count());
+  std::printf("in-band messages:  %llu (paper: 4|E| - 2n)\n",
+              static_cast<unsigned long long>(res.stats.inband_msgs));
+  std::printf("controller msgs:   %llu (1 request + 1 result)\n",
+              static_cast<unsigned long long>(res.stats.outband_total()));
+  std::printf("\ndiscovered links (u:port-v:port):\n%s\n", res.canonical().c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "baseline/controller_anycast.hpp"
+
+#include <deque>
+
+#include "core/eth_types.hpp"
+#include "util/strings.hpp"
+
+namespace ss::baseline {
+
+using graph::NodeId;
+using graph::PortNo;
+
+ControllerAnycast::ControllerAnycast(const graph::Graph& g,
+                                     std::map<std::uint32_t, std::set<NodeId>> groups)
+    : graph_(&g), layout_(g), groups_(std::move(groups)) {}
+
+ControllerAnycastResult ControllerAnycast::run(sim::Network& net, NodeId from,
+                                               std::uint32_t gid) {
+  ControllerAnycastResult res;
+  core::StatsScope scope(net);
+  const std::size_t mark = net.local_deliveries().size();
+
+  auto it = groups_.find(gid);
+  if (it == groups_.end()) {
+    res.stats = scope.delta();
+    return res;
+  }
+  const std::set<NodeId>& members = it->second;
+
+  // BFS over live links from `from` to the nearest member.
+  const auto alive = net.alive_fn();
+  std::vector<std::pair<NodeId, PortNo>> via(graph_->node_count(), {from, 0});
+  std::vector<bool> seen(graph_->node_count(), false);
+  std::deque<NodeId> q{from};
+  seen[from] = true;
+  std::optional<NodeId> target;
+  if (members.count(from)) target = from;
+  while (!q.empty() && !target) {
+    NodeId u = q.front();
+    q.pop_front();
+    for (PortNo p = 1; p <= graph_->degree(u) && !target; ++p) {
+      if (!alive(graph_->edge_at(u, p))) continue;
+      NodeId v = graph_->neighbor(u, p)->node;
+      if (seen[v]) continue;
+      seen[v] = true;
+      via[v] = {u, p};
+      if (members.count(v)) target = v;
+      q.push_back(v);
+    }
+  }
+  if (!target) {
+    res.stats = scope.delta();
+    return res;
+  }
+
+  // Install per-hop forwarding rules (each a flow-mod = 1 control message),
+  // keyed on a per-request cookie carried in the gid field.
+  const std::uint32_t cookie = next_cookie_++;
+  std::vector<std::pair<NodeId, PortNo>> path;  // (switch, out-port)
+  for (NodeId v = *target; v != from; v = via[v].first)
+    path.push_back(via[v]);
+  for (auto& [sw_id, out_port] : path) {
+    ofp::FlowEntry e;
+    e.priority = 2000 + cookie;  // later requests shadow earlier ones
+    e.match.on_eth(core::kEthData);
+    e.match.on_tag(layout_.gid().offset, layout_.gid().width, cookie);
+    e.actions = {ofp::ActOutput{out_port}};
+    e.name = util::cat("ctrl_anycast.c", cookie);
+    net.sw(sw_id).table(0).add(std::move(e));
+    ++res.flow_mods;
+  }
+  // Delivery rule at the member switch.
+  {
+    ofp::FlowEntry e;
+    e.priority = 2500 + cookie;
+    e.match.on_eth(core::kEthData);
+    e.match.on_tag(layout_.gid().offset, layout_.gid().width, cookie);
+    e.actions = {ofp::ActOutput{ofp::kPortLocal}};
+    e.name = util::cat("ctrl_anycast.deliver.c", cookie);
+    net.sw(*target).table(0).add(std::move(e));
+    ++res.flow_mods;
+  }
+
+  ofp::Packet pkt = layout_.make_packet(core::kEthData);
+  layout_.set(pkt, layout_.gid(), cookie);
+  pkt.payload_bytes = 64;
+  net.packet_out(from, std::move(pkt));
+  net.run();
+
+  if (net.local_deliveries().size() > mark)
+    res.delivered_at = net.local_deliveries().back().at;
+  res.stats = scope.delta();
+  return res;
+}
+
+}  // namespace ss::baseline

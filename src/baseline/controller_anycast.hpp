@@ -1,0 +1,46 @@
+#pragma once
+// Baseline: controller-computed anycast.  The controller (assumed to know
+// the topology, e.g. from LLDP discovery) computes the shortest path to the
+// nearest group member and installs one flow rule per hop, then packet-outs
+// the message.  Cost: O(path length) flow-mods + 1 packet-out per request —
+// versus SmartSouth's zero out-of-band messages.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/fields.hpp"
+#include "core/services.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace ss::baseline {
+
+struct ControllerAnycastResult {
+  std::optional<graph::NodeId> delivered_at;
+  std::uint64_t flow_mods = 0;  // controller -> switch rule installations
+  core::RunStats stats;
+  std::uint64_t control_messages() const {
+    return flow_mods + stats.outband_from_ctrl + stats.outband_to_ctrl;
+  }
+};
+
+class ControllerAnycast {
+ public:
+  ControllerAnycast(const graph::Graph& g, std::map<std::uint32_t,
+                    std::set<graph::NodeId>> groups);
+
+  /// Route one request: compute path on the controller's view (the true
+  /// topology restricted to live links), install per-hop rules, inject.
+  ControllerAnycastResult run(sim::Network& net, graph::NodeId from, std::uint32_t gid);
+
+ private:
+  const graph::Graph* graph_;
+  core::TagLayout layout_;
+  std::map<std::uint32_t, std::set<graph::NodeId>> groups_;
+  std::uint32_t next_cookie_ = 1;  // distinguishes successive requests
+};
+
+}  // namespace ss::baseline

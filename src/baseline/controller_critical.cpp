@@ -1,0 +1,47 @@
+#include "baseline/controller_critical.hpp"
+
+#include <map>
+
+#include "graph/algorithms.hpp"
+
+namespace ss::baseline {
+
+using graph::NodeId;
+
+ControllerCriticalResult ControllerCritical::run(sim::Network& net, NodeId v) const {
+  ControllerCriticalResult res;
+  core::StatsScope scope(net);
+
+  DiscoveryResult disc = lldp_.run(net);
+
+  // Rebuild the discovered topology as a graph (ids remapped densely).
+  std::map<NodeId, NodeId> remap;
+  graph::Graph g;
+  auto id_of = [&](NodeId orig) {
+    auto it = remap.find(orig);
+    if (it != remap.end()) return it->second;
+    NodeId nid = g.add_node();
+    remap[orig] = nid;
+    return nid;
+  };
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const core::SnapshotEdge& e : disc.edges) {
+    auto key = std::minmax(e.a.node, e.b.node);
+    if (seen.count(key)) continue;
+    seen.insert(key);
+    g.add_edge(id_of(e.a.node), id_of(e.b.node));
+  }
+
+  if (remap.count(v)) {
+    auto art = graph::articulation_points(g);
+    res.critical = art[remap[v]];
+  } else if (disc.nodes.empty()) {
+    res.critical = std::nullopt;  // nothing discovered
+  } else {
+    res.critical = false;  // isolated / unknown node cannot cut the graph
+  }
+  res.stats = scope.delta();
+  return res;
+}
+
+}  // namespace ss::baseline

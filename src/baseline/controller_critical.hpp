@@ -1,0 +1,30 @@
+#pragma once
+// Baseline: controller-side criticality check.  The controller first
+// collects the topology (LLDP discovery), then runs Tarjan's articulation-
+// point algorithm on its view.  Answering ONE criticality question costs a
+// full O(|E|) discovery — the paper's point that "computing the entire
+// snapshot is costly and not needed".
+
+#include <optional>
+
+#include "baseline/lldp_discovery.hpp"
+
+namespace ss::baseline {
+
+struct ControllerCriticalResult {
+  std::optional<bool> critical;
+  core::RunStats stats;  // includes the discovery traffic
+};
+
+class ControllerCritical {
+ public:
+  explicit ControllerCritical(const graph::Graph& g) : graph_(&g), lldp_(g) {}
+  void install(sim::Network& net) const { lldp_.install(net); }
+  ControllerCriticalResult run(sim::Network& net, graph::NodeId v) const;
+
+ private:
+  const graph::Graph* graph_;
+  LldpDiscovery lldp_;
+};
+
+}  // namespace ss::baseline

@@ -1,0 +1,84 @@
+#include "baseline/lldp_discovery.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace ss::baseline {
+
+using graph::NodeId;
+using graph::PortNo;
+
+LldpDiscovery::LldpDiscovery(const graph::Graph& g) : graph_(&g), layout_(g) {}
+
+void LldpDiscovery::install(sim::Network& net) const {
+  const core::TagLayout& L = layout_;
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    ofp::Switch& sw = net.sw(v);
+    for (PortNo p = 1; p <= graph_->degree(v); ++p) {
+      // Controller-originated probe: send out the named port.
+      ofp::FlowEntry out;
+      out.priority = 100;
+      out.match.on_eth(kEthLldp).on_port(ofp::kPortController);
+      out.match.on_tag(L.out_port().offset, L.out_port().width, p);
+      out.actions = {ofp::ActOutput{p}};
+      out.name = util::cat("lldp.out.p", p);
+      sw.table(0).add(std::move(out));
+
+      // Probe arriving from a neighbor: stamp the ingress port, punt to the
+      // controller (the packet already carries the sender's id and port).
+      ofp::FlowEntry in;
+      in.priority = 100;
+      in.match.on_eth(kEthLldp).on_port(p);
+      in.actions = {ofp::ActSetTag{L.first_port().offset, L.first_port().width, p},
+                    ofp::ActOutput{ofp::kPortController, kReasonLldp}};
+      in.name = util::cat("lldp.in.p", p);
+      sw.table(0).add(std::move(in));
+    }
+  }
+}
+
+DiscoveryResult LldpDiscovery::run(sim::Network& net) const {
+  const core::TagLayout& L = layout_;
+  core::StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    for (PortNo p = 1; p <= graph_->degree(v); ++p) {
+      ofp::Packet pkt = L.make_packet(kEthLldp);
+      L.set(pkt, L.opt_id(), v + 1);   // sender switch id
+      L.set(pkt, L.out_port(), p);     // sender port
+      net.packet_out(v, std::move(pkt));
+    }
+  }
+  net.run();
+
+  DiscoveryResult res;
+  for (std::size_t k = mark; k < net.controller_msgs().size(); ++k) {
+    const sim::ControllerMsg& m = net.controller_msgs()[k];
+    if (m.reason != kReasonLldp) continue;
+    const auto src = static_cast<NodeId>(L.get(m.packet, L.opt_id()));
+    if (src == 0) continue;
+    const auto src_port = static_cast<PortNo>(L.get(m.packet, L.out_port()));
+    const auto dst_port = static_cast<PortNo>(L.get(m.packet, L.first_port()));
+    res.nodes.insert(src - 1);
+    res.nodes.insert(m.from);
+    res.edges.push_back({{src - 1, src_port}, {m.from, dst_port}});
+  }
+  res.stats = scope.delta();
+  return res;
+}
+
+std::string DiscoveryResult::canonical() const {
+  std::vector<std::string> lines;
+  for (const core::SnapshotEdge& e : edges) {
+    graph::Endpoint lo = e.a, hi = e.b;
+    if (hi.node < lo.node) std::swap(lo, hi);
+    lines.push_back(util::cat(lo.node, ":", lo.port, "-", hi.node, ":", hi.port));
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  return util::join(lines, "\n");
+}
+
+}  // namespace ss::baseline

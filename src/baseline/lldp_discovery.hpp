@@ -1,0 +1,46 @@
+#pragma once
+// Baseline: controller-driven topology discovery, modeled on the
+// LLDP-based TopologyService the paper cites as the status quo ([1],
+// Floodlight).  The controller emits one LLDP probe per switch port
+// (packet-out) and learns each link from the packet-in raised by the far
+// end.  Unlike SmartSouth's snapshot this requires the controller to reach
+// every switch out-of-band and costs O(|E|) controller messages.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fields.hpp"
+#include "core/services.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace ss::baseline {
+
+inline constexpr std::uint16_t kEthLldp = 0x88cc;
+inline constexpr std::uint32_t kReasonLldp = 100;
+
+struct DiscoveryResult {
+  std::set<graph::NodeId> nodes;
+  std::vector<core::SnapshotEdge> edges;
+  core::RunStats stats;
+  std::string canonical() const;
+};
+
+class LldpDiscovery {
+ public:
+  explicit LldpDiscovery(const graph::Graph& g);
+
+  /// Install the LLDP send/receive rules on every switch.
+  void install(sim::Network& net) const;
+
+  /// Probe every port of every switch; decode packet-ins into a topology.
+  DiscoveryResult run(sim::Network& net) const;
+
+  const core::TagLayout& layout() const { return layout_; }
+
+ private:
+  const graph::Graph* graph_;
+  core::TagLayout layout_;
+};
+
+}  // namespace ss::baseline

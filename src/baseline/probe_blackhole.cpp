@@ -1,0 +1,85 @@
+#include "baseline/probe_blackhole.hpp"
+
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace ss::baseline {
+
+using graph::NodeId;
+using graph::PortNo;
+
+ProbeBlackhole::ProbeBlackhole(const graph::Graph& g) : graph_(&g), layout_(g) {}
+
+void ProbeBlackhole::install(sim::Network& net) const {
+  const core::TagLayout& L = layout_;
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    ofp::Switch& sw = net.sw(v);
+    for (PortNo p = 1; p <= graph_->degree(v); ++p) {
+      // Outbound probe from the controller.
+      ofp::FlowEntry out;
+      out.priority = 100;
+      out.match.on_eth(kEthEcho).on_port(ofp::kPortController);
+      out.match.on_tag(L.out_port().offset, L.out_port().width, p);
+      out.match.on_tag(L.repeat().offset, L.repeat().width, 0);
+      out.actions = {ofp::ActSetTag{L.repeat().offset, L.repeat().width, 1},
+                     ofp::ActOutput{p}};
+      out.name = util::cat("echo.out.p", p);
+      sw.table(0).add(std::move(out));
+
+      // First reception at the far end: bounce back.
+      ofp::FlowEntry bounce;
+      bounce.priority = 100;
+      bounce.match.on_eth(kEthEcho).on_port(p);
+      bounce.match.on_tag(L.repeat().offset, L.repeat().width, 1);
+      bounce.actions = {ofp::ActSetTag{L.repeat().offset, L.repeat().width, 2},
+                        ofp::ActOutput{ofp::kPortInPort}};
+      bounce.name = util::cat("echo.bounce.p", p);
+      sw.table(0).add(std::move(bounce));
+
+      // Echo returned: report to the controller.
+      ofp::FlowEntry back;
+      back.priority = 100;
+      back.match.on_eth(kEthEcho).on_port(p);
+      back.match.on_tag(L.repeat().offset, L.repeat().width, 2);
+      back.actions = {ofp::ActOutput{ofp::kPortController, kReasonEcho}};
+      back.name = util::cat("echo.back.p", p);
+      sw.table(0).add(std::move(back));
+    }
+  }
+}
+
+ProbeBlackholeResult ProbeBlackhole::run(sim::Network& net) const {
+  const core::TagLayout& L = layout_;
+  core::StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+
+  std::vector<std::pair<NodeId, PortNo>> probed;
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    for (PortNo p = 1; p <= graph_->degree(v); ++p) {
+      if (!net.sw(v).port_live(p)) continue;
+      ofp::Packet pkt = L.make_packet(kEthEcho);
+      L.set(pkt, L.opt_id(), v + 1);
+      L.set(pkt, L.out_port(), p);
+      net.packet_out(v, std::move(pkt));
+      probed.emplace_back(v, p);
+    }
+  }
+  net.run();
+
+  std::set<std::pair<NodeId, PortNo>> echoed;
+  for (std::size_t k = mark; k < net.controller_msgs().size(); ++k) {
+    const sim::ControllerMsg& m = net.controller_msgs()[k];
+    if (m.reason != kReasonEcho) continue;
+    echoed.insert({static_cast<NodeId>(L.get(m.packet, L.opt_id())) - 1,
+                   static_cast<PortNo>(L.get(m.packet, L.out_port()))});
+  }
+
+  ProbeBlackholeResult res;
+  for (auto& pr : probed)
+    if (!echoed.count(pr)) res.suspect_ports.push_back(pr);
+  res.stats = scope.delta();
+  return res;
+}
+
+}  // namespace ss::baseline

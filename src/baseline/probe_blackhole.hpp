@@ -1,0 +1,39 @@
+#pragma once
+// Baseline: controller-driven blackhole detection.  The controller echoes a
+// probe across every link and flags links whose echo never returns.  Cost:
+// one packet-out plus (for healthy links) one packet-in per link, i.e.
+// O(|E|) out-of-band messages — versus 3 for SmartSouth's smart-counter
+// variant and 2·log|E| for the TTL variant.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fields.hpp"
+#include "core/services.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace ss::baseline {
+
+inline constexpr std::uint16_t kEthEcho = 0x88b7;
+inline constexpr std::uint32_t kReasonEcho = 101;
+
+struct ProbeBlackholeResult {
+  /// Links whose echo did not return, as (switch, out-port) of the probe.
+  std::vector<std::pair<graph::NodeId, graph::PortNo>> suspect_ports;
+  core::RunStats stats;
+};
+
+class ProbeBlackhole {
+ public:
+  explicit ProbeBlackhole(const graph::Graph& g);
+  void install(sim::Network& net) const;
+  /// Probe every live link in both directions.
+  ProbeBlackholeResult run(sim::Network& net) const;
+
+ private:
+  const graph::Graph* graph_;
+  core::TagLayout layout_;
+};
+
+}  // namespace ss::baseline

@@ -1,0 +1,23 @@
+#include "baseline/stats_polling.hpp"
+
+namespace ss::baseline {
+
+StatsPollResult StatsPolling::poll(sim::Network& net) const {
+  StatsPollResult res;
+  for (graph::NodeId v = 0; v < graph_.node_count(); ++v) {
+    if (graph_.degree(v) == 0) continue;
+    // One OFPMP_PORT_STATS request and one reply per switch.
+    ++res.request_msgs;
+    ++net.stats().packet_outs;
+    ++res.reply_msgs;
+    ++net.stats().controller_msgs;
+    for (graph::PortNo p = 1; p <= graph_.degree(v); ++p) {
+      const auto& port = net.sw(v).port(p);
+      res.loads[{v, p, false}] = port.tx_packets;
+      res.loads[{v, p, true}] = port.rx_packets;
+    }
+  }
+  return res;
+}
+
+}  // namespace ss::baseline

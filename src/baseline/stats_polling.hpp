@@ -1,0 +1,35 @@
+#pragma once
+// Baseline: controller-driven load collection via port-stats polling
+// (OFPMP_PORT_STATS in real OpenFlow).  The controller sends one stats
+// request per switch and receives one reply — O(n) out-of-band messages
+// per polling round, versus 2 for the in-band load-inference traversal.
+
+#include <cstdint>
+#include <map>
+
+#include "core/services.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace ss::baseline {
+
+struct StatsPollResult {
+  /// (node, port, ingress) -> packet count, exactly as the switch counters
+  /// report them.
+  std::map<core::PortLoadKey, std::uint64_t> loads;
+  std::uint64_t request_msgs = 0;  // controller -> switch
+  std::uint64_t reply_msgs = 0;    // switch -> controller
+};
+
+class StatsPolling {
+ public:
+  explicit StatsPolling(const graph::Graph& g) : graph_(g) {}
+
+  /// One polling round over every switch.
+  StatsPollResult poll(sim::Network& net) const;
+
+ private:
+  graph::Graph graph_;
+};
+
+}  // namespace ss::baseline

@@ -1,0 +1,968 @@
+#include "core/compiler.hpp"
+
+#include <stdexcept>
+
+#include "core/eth_types.hpp"
+#include "core/labels.hpp"
+#include "core/load_labels.hpp"
+#include "util/strings.hpp"
+
+namespace ss::core {
+
+using graph::NodeId;
+using graph::PortNo;
+using ofp::ActClearLabels;
+using ofp::ActClearTagRange;
+using ofp::ActDecTtl;
+using ofp::ActDrop;
+using ofp::ActGroup;
+using ofp::ActionList;
+using ofp::ActOutput;
+using ofp::ActPopLabel;
+using ofp::ActPushLabel;
+using ofp::ActSetTag;
+using ofp::Bucket;
+using ofp::FlowEntry;
+using ofp::Group;
+using ofp::GroupType;
+using ofp::Match;
+using ofp::TableId;
+
+ofp::GroupId scan_group_id(PortNo first, PortNo parent, bool phase2_root) {
+  return 0x100000u | (phase2_root ? 0x80000u : 0u) | (first << 10) | parent;
+}
+
+ofp::GroupId counter_group_id(std::uint32_t family, PortNo port) {
+  return 0x200000u | (family << 12) | port;
+}
+
+ofp::GroupId link_scan_group_id(PortNo first, PortNo tested) {
+  return 0x400000u | (first << 10) | tested;
+}
+
+namespace {
+
+// Rule priorities inside the classify table, high to low.  The template's
+// case analysis (Algorithm 1 lines 5-10) becomes priority layers over
+// enumerated (in, cur, par) values — OpenFlow cannot compare two fields, so
+// equality/inequality tests are unrolled, following ref [2].
+constexpr std::uint32_t kPrioRestart = 8000;     // priocast phase-2 phase switch
+constexpr std::uint32_t kPrioFirstVisit = 7000;  // cur = 0
+constexpr std::uint32_t kPrioFromCur = 6000;     // in = cur
+constexpr std::uint32_t kPrioPopParent = 5100;   // cur = par bounce (snapshot pop)
+constexpr std::uint32_t kPrioPopLess = 5000;     // in < cur bounce (snapshot pop)
+constexpr std::uint32_t kPrioBounce = 4000;      // default Visit_not_from_cur
+
+}  // namespace
+
+struct TemplateCompiler::Ctx {
+  ofp::Switch& sw;
+  NodeId i;
+  PortNo deg;
+  TableId tid_cmp0 = 0;      // packet-loss compare chain start
+  TableId tid_classify = 0;
+  TableId tid_chain = 0;     // blackhole phase-2 chain start
+};
+
+TemplateCompiler::TemplateCompiler(const graph::Graph& g, const TagLayout& layout,
+                                   CompilerOptions opts)
+    : graph_(&g), layout_(&layout), opts_(std::move(opts)) {
+  if (opts_.counter_modulus < 2 || opts_.counter_modulus > 16)
+    throw std::invalid_argument("counter_modulus must be in [2,16]");
+  if (opts_.loss_moduli.empty() || opts_.loss_moduli.size() > kScratchRegs)
+    throw std::invalid_argument("loss_moduli: need 1..kScratchRegs entries");
+  for (auto m : opts_.loss_moduli)
+    if (m < 2 || m > 16) throw std::invalid_argument("loss modulus must be in [2,16]");
+  if (opts_.kind == ServiceKind::kSnapshot && opts_.fragment_limit == 1)
+    throw std::invalid_argument("fragment_limit must be 0 or >= 2");
+  for (const auto& gs : opts_.groups)
+    if (gs.gid == 0) throw std::invalid_argument("anycast gid must be nonzero");
+
+  if (opts_.inband_collector) {
+    const NodeId c = *opts_.inband_collector;
+    if (c >= g.node_count())
+      throw std::invalid_argument("inband_collector: unknown node");
+    // BFS from the collector; each node's report route is the port of its
+    // BFS parent (toward the collector).  Computed in the offline stage —
+    // the same stage that installs all other rules.
+    report_route_.assign(g.node_count(), graph::kNoPort);
+    std::vector<bool> seen(g.node_count(), false);
+    std::vector<NodeId> queue{c};
+    seen[c] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (PortNo p = 1; p <= g.degree(u); ++p) {
+        const NodeId v = g.neighbor(u, p)->node;
+        if (seen[v]) continue;
+        seen[v] = true;
+        report_route_[v] = g.neighbor(u, p)->port;  // v's port back toward u
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+void TemplateCompiler::install(sim::Network& net) const {
+  for (NodeId v = 0; v < graph_->node_count(); ++v)
+    install_switch(net.sw(v), v);
+}
+
+void TemplateCompiler::install_switch(ofp::Switch& sw, NodeId i) const {
+  Ctx c{sw, i, graph_->degree(i)};
+  const auto k_loss =
+      opts_.kind == ServiceKind::kPacketLoss
+          ? static_cast<TableId>(opts_.loss_moduli.size())
+          : TableId{0};
+  // Packet-loss compare tables (if any) sit between aux and classify.
+  c.tid_cmp0 = kTableClassify;
+  c.tid_classify = static_cast<TableId>(kTableClassify + k_loss);
+  c.tid_chain = static_cast<TableId>(c.tid_classify + 1);
+
+  emit_pre_table(c);
+  emit_start_table(c);
+  emit_aux_table(c);
+  emit_classify_table(c);
+  emit_scan_groups(c);
+  emit_counters(c);
+  if (opts_.kind == ServiceKind::kBlackholeCounters) emit_phase2_chain(c);
+  if (opts_.kind == ServiceKind::kPacketLoss) emit_loss_chain(c);
+  if (opts_.kind == ServiceKind::kLoadInference) emit_load_chain(c);
+}
+
+namespace {
+
+void add_rule(ofp::Switch& sw, TableId tid, std::uint32_t prio, Match m, ActionList a,
+              std::optional<TableId> goto_t, std::string name) {
+  FlowEntry e;
+  e.priority = prio;
+  e.match = std::move(m);
+  e.actions = std::move(a);
+  e.goto_table = goto_t;
+  e.name = std::move(name);
+  sw.table(tid).add(std::move(e));
+}
+
+ActSetTag set_field(FieldRef f, std::uint64_t v) { return {f.offset, f.width, v}; }
+
+Match match_tag(const Match& base, FieldRef f, std::uint64_t v) {
+  Match m = base;
+  m.on_tag(f.offset, f.width, v);
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Reports: out-of-band packet-in, or — with inband_collector — a re-typed
+// copy forwarded hop by hop to the collector.  The eth_type is restored
+// right after the output so the original packet continues its traversal.
+// ---------------------------------------------------------------------------
+ActionList TemplateCompiler::report_actions(NodeId i, std::uint32_t reason,
+                                            PortNo via_port) const {
+  if (!opts_.inband_collector)
+    return {ActOutput{ofp::kPortController, reason}};
+  const TagLayout& L = *layout_;
+  const PortNo route = report_route_[i];
+  PortNo out = route == graph::kNoPort ? ofp::kPortLocal : route;
+  if (via_port != 0 && route != graph::kNoPort) out = via_port;
+  return {ActSetTag{L.reason().offset, L.reason().width, reason},
+          ActSetTag{L.reporter().offset, L.reporter().width, i + 1},
+          ofp::ActSetEthType{kEthReport},
+          ActOutput{out},
+          ofp::ActSetEthType{kEthTraversal}};
+}
+
+// ---------------------------------------------------------------------------
+// Table 0: service pre-checks (first rows of Table 1 — "the beginning of the
+// SmartSouth template").
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_pre_table(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  Match trav;
+  trav.on_eth(kEthTraversal);
+
+  switch (opts_.kind) {
+    case ServiceKind::kAnycast: {
+      for (const AnycastGroupSpec& gs : opts_.groups) {
+        if (!gs.members.count(c.i)) continue;
+        // "a successful match triggers the forwarding of the packet to a
+        // predefined (self) port"
+        add_rule(c.sw, kTablePre, 500, match_tag(trav, L.gid(), gs.gid),
+                 {ActOutput{ofp::kPortLocal}}, std::nullopt,
+                 util::cat("anycast.deliver.g", gs.gid));
+      }
+      break;
+    }
+    case ServiceKind::kChainedAnycast: {
+      for (std::uint32_t k = 0; k < kChainSlots; ++k) {
+        for (const AnycastGroupSpec& gs : opts_.groups) {
+          if (!gs.members.count(c.i)) continue;
+          Match m = match_tag(match_tag(trav, L.chain_idx(), k), L.chain_slot(k), gs.gid);
+          if (k + 1 < kChainSlots) {
+            // Final hop iff the next chain slot is empty.
+            add_rule(c.sw, kTablePre, 600, match_tag(m, L.chain_slot(k + 1), 0),
+                     {ActOutput{ofp::kPortLocal}}, std::nullopt,
+                     util::cat("chain.final.k", k, ".g", gs.gid));
+            // Otherwise: hand to the local middlebox, wipe the traversal
+            // state (start + all par/cur) and restart as the new DFS root.
+            const FieldRef region = L.traversal_state_region();
+            add_rule(c.sw, kTablePre, 500, m,
+                     {ActOutput{ofp::kPortLocal}, set_field(L.chain_idx(), k + 1),
+                      ActClearTagRange{region.offset, region.width}},
+                     kTableStart, util::cat("chain.consume.k", k, ".g", gs.gid));
+          } else {
+            add_rule(c.sw, kTablePre, 600, m, {ActOutput{ofp::kPortLocal}}, std::nullopt,
+                     util::cat("chain.final.k", k, ".g", gs.gid));
+          }
+        }
+      }
+      break;
+    }
+    case ServiceKind::kPriocast: {
+      for (const AnycastGroupSpec& gs : opts_.groups) {
+        auto it = gs.members.find(c.i);
+        if (it == gs.members.end()) continue;
+        const std::uint32_t prio_val = it->second;
+        // Phase 2: the elected receiver takes the packet.
+        Match m2 = match_tag(match_tag(trav, L.start(), 2), L.opt_id(), c.i + 1);
+        add_rule(c.sw, kTablePre, 600, m2, {ActOutput{ofp::kPortLocal}}, std::nullopt,
+                 util::cat("priocast.deliver.g", gs.gid));
+        // Phase 1 (start in {0,1}): update (opt_id, opt_val) when this
+        // node's priority beats the best so far.  `opt_val < p_i` unrolls
+        // into prefix rules (OpenFlow cannot compare fields).
+        Match m1 = match_tag(trav, L.gid(), gs.gid);
+        m1.on_tag_masked(L.start().offset, L.start().width, 0, 0b10);
+        const auto lt = ofp::less_than_decomposition(L.opt_val().offset,
+                                                     L.opt_val().width, prio_val);
+        for (std::size_t t = 0; t < lt.size(); ++t) {
+          Match m = m1;
+          m.tag_matches.push_back(lt[t]);
+          add_rule(c.sw, kTablePre, 500, m,
+                   {set_field(L.opt_val(), prio_val), set_field(L.opt_id(), c.i + 1)},
+                   kTableStart, util::cat("priocast.update.g", gs.gid, ".", t));
+        }
+      }
+      break;
+    }
+    case ServiceKind::kLoadInference:
+    case ServiceKind::kPacketLoss: {
+      // Background data traffic and probes both feed the per-port in/out
+      // smart counters; for kPacketLoss the traversal packet's own counting
+      // happens in the aux table and in the scan-group buckets.
+      for (PortNo t = 1; t <= c.deg; ++t) {
+        ActionList data_out, data_in;
+        for (std::size_t k = 0; k < opts_.loss_moduli.size(); ++k) {
+          data_out.push_back(ActGroup{counter_group_id(kFamLossOut0 + k, t)});
+          data_in.push_back(ActGroup{counter_group_id(kFamLossIn0 + k, t)});
+        }
+        Match mo;
+        mo.on_eth(kEthData).on_port(ofp::kPortController);
+        mo.on_tag(L.out_port().offset, L.out_port().width, t);
+        ActionList out_acts = data_out;
+        out_acts.push_back(ActOutput{t});
+        add_rule(c.sw, kTablePre, 700, mo, out_acts, std::nullopt,
+                 util::cat("loss.data.out.p", t));
+
+        Match mi;
+        mi.on_eth(kEthData).on_port(t);
+        ActionList in_acts = data_in;
+        in_acts.push_back(ActOutput{ofp::kPortLocal});
+        add_rule(c.sw, kTablePre, 700, mi, in_acts, std::nullopt,
+                 util::cat("loss.data.in.p", t));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  if (opts_.inband_collector) {
+    // Route in-band report copies toward the collector; deliver locally
+    // there (the paper's "server connected to the first node").
+    Match rep;
+    rep.on_eth(kEthReport);
+    const PortNo route = report_route_[c.i];
+    add_rule(c.sw, kTablePre, 10000, rep,
+             {ActOutput{route == graph::kNoPort ? ofp::kPortLocal : route}},
+             std::nullopt, "report.route");
+  }
+
+  // Catch-all: continue to the start table.
+  add_rule(c.sw, kTablePre, 0, Match{}, {}, kTableStart, "pre.continue");
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: pkt.start = 0 — this node becomes the DFS root (Algorithm 1
+// lines 1-3).
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_start_table(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  Match m0;
+  m0.on_eth(kEthTraversal);
+  m0.on_tag(L.start().offset, L.start().width, 0);
+
+  if (opts_.kind == ServiceKind::kBlackholeCounters) {
+    // Second traversal (phase2 = 1) walks the counter-check chain instead
+    // of the fast-failover scan.
+    Match m2 = match_tag(m0, L.phase2(), 1);
+    add_rule(c.sw, kTableStart, 110, m2, {set_field(L.start(), 1)},
+             c.deg > 0 ? std::optional<TableId>(c.tid_chain) : std::nullopt,
+             "start.root.phase2");
+    m0 = match_tag(m0, L.phase2(), 0);
+  }
+
+  if (opts_.kind == ServiceKind::kLoadInference) {
+    // Read this node's counters (the chain ends by starting the port scan).
+    add_rule(c.sw, kTableStart, 100, m0, {set_field(L.start(), 1)}, c.tid_chain,
+             "start.root.load");
+    add_rule(c.sw, kTableStart, 0, Match{}, {}, kTableAux, "start.continue");
+    return;
+  }
+
+  if (opts_.kind == ServiceKind::kCriticalLink) {
+    // The tested port rides in pkt.out_port; the root's scan must skip it
+    // (and Finish() with a "critical" verdict if it is never confirmed).
+    for (PortNo t = 1; t <= c.deg; ++t) {
+      Match m = match_tag(m0, L.out_port(), t);
+      add_rule(c.sw, kTableStart, 105, m,
+               {set_field(L.start(), 1), ActGroup{link_scan_group_id(1, t)}},
+               std::nullopt, util::cat("start.root.linktest.p", t));
+    }
+  }
+
+  ActionList acts{set_field(L.start(), 1)};
+  if (opts_.kind == ServiceKind::kSnapshot) {
+    acts.push_back(ActPushLabel{encode_visit(c.i, 0)});
+    if (opts_.fragment_limit > 0) acts.push_back(set_field(L.rec_count(), 1));
+  }
+  acts.push_back(ActGroup{scan_group_id(1, 0, false)});
+  add_rule(c.sw, kTableStart, 100, m0, acts, std::nullopt, "start.root");
+
+  add_rule(c.sw, kTableStart, 0, Match{}, {}, kTableAux, "start.continue");
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: auxiliary per-service receive processing that must happen before
+// classification: the blackhole "repeat" dance, the critical-node root
+// checks, and the packet-loss in-counter reads.
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_aux_table(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  Match trav;
+  trav.on_eth(kEthTraversal);
+
+  switch (opts_.kind) {
+    case ServiceKind::kBlackholeCounters: {
+      Match t1 = match_tag(trav, L.phase2(), 0);
+      // repeat = 3: first crossing of a new link; bounce it back marked 2.
+      add_rule(c.sw, kTableAux, 300, match_tag(t1, L.repeat(), 3),
+               {set_field(L.repeat(), 2), ActOutput{ofp::kPortInPort}}, std::nullopt,
+               "dance.r3.bounce");
+      // Receive events bump the counter TWICE: parity disambiguates "lone
+      // failed send" (exactly 1) from "received a dance but never initiated
+      // one" (even), which happens on links beyond the first blackhole.
+      for (PortNo t = 1; t <= c.deg; ++t) {
+        const ActGroup ctr{counter_group_id(kFamBlackhole, t)};
+        // repeat = 2: our own probe came back; count the receive, resend.
+        Match r2 = match_tag(t1, L.repeat(), 2);
+        r2.on_port(t);
+        add_rule(c.sw, kTableAux, 290, r2,
+                 {ctr, ctr, set_field(L.repeat(), 1), ActOutput{ofp::kPortInPort}},
+                 std::nullopt, util::cat("dance.r2.p", t));
+        // repeat = 1: dance complete; count, restore repeat, process.
+        Match r1 = match_tag(t1, L.repeat(), 1);
+        r1.on_port(t);
+        add_rule(c.sw, kTableAux, 280, r1, {ctr, ctr, set_field(L.repeat(), 3)},
+                 c.tid_classify, util::cat("dance.r1.p", t));
+      }
+      break;
+    }
+    case ServiceKind::kCritical: {
+      // Root-only (par_i = 0) checks on pkt.toParent (Table 1, critical
+      // column): an arrival flagged toParent while cur != firstPort means a
+      // second node chose the root as its parent => the root is critical.
+      Match base = match_tag(match_tag(trav, L.to_parent(), 1), L.par(c.i), 0);
+      for (PortNo cv = 1; cv <= c.deg; ++cv) {
+        for (PortNo f = 1; f <= c.deg; ++f) {
+          Match m = match_tag(match_tag(base, L.cur(c.i), cv), L.first_port(), f);
+          if (cv == f) {
+            add_rule(c.sw, kTableAux, 290, m, {set_field(L.to_parent(), 0)},
+                     c.tid_classify, util::cat("crit.firstret.c", cv));
+          } else {
+            ActionList acts = report_actions(c.i, kReasonCritTrue);
+            acts.push_back(ActDrop{});
+            add_rule(c.sw, kTableAux, 300, m, acts, std::nullopt,
+                     util::cat("crit.true.c", cv, ".f", f));
+          }
+        }
+      }
+      break;
+    }
+    case ServiceKind::kCriticalLink: {
+      // Root only (par = 0 but cur != 0 — a started root, never a fresh
+      // node): any arrival on the tested port proves the far end is
+      // reachable without the tested link.
+      for (PortNo p = 1; p <= c.deg; ++p) {
+        for (PortNo cv = 1; cv <= c.deg; ++cv) {
+          Match m = match_tag(match_tag(match_tag(trav, L.out_port(), p),
+                                        L.par(c.i), 0),
+                              L.cur(c.i), cv);
+          m.on_port(p);
+          ActionList acts = report_actions(c.i, kReasonLinkNotCritical);
+          acts.push_back(ActDrop{});
+          add_rule(c.sw, kTableAux, 300, m, acts, std::nullopt,
+                   util::cat("linktest.confirm.p", p, ".c", cv));
+        }
+      }
+      break;
+    }
+    case ServiceKind::kPacketLoss: {
+      // Read this side's in-counter into scratch_b, remember the in-port in
+      // out_port (for the report), then compare against the sender's
+      // scratch_a in the compare chain.
+      for (PortNo t = 1; t <= c.deg; ++t) {
+        Match m = trav;
+        m.on_port(t);
+        ActionList acts{set_field(L.out_port(), t)};
+        for (std::size_t k = 0; k < opts_.loss_moduli.size(); ++k)
+          acts.push_back(ActGroup{counter_group_id(kFamLossIn0 + k, t)});
+        add_rule(c.sw, kTableAux, 300, m, acts, c.tid_cmp0,
+                 util::cat("loss.trav.in.p", t));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  add_rule(c.sw, kTableAux, 0, Match{}, {}, c.tid_classify, "aux.continue");
+}
+
+// ---------------------------------------------------------------------------
+// Classify table: Algorithm 1 lines 5-10 as enumerated match-action rules.
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_classify_table(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  const NodeId i = c.i;
+  const bool bh = opts_.kind == ServiceKind::kBlackholeCounters;
+  const bool snap = opts_.kind == ServiceKind::kSnapshot;
+  const bool prio_svc = opts_.kind == ServiceKind::kPriocast;
+  const TableId tid = c.tid_classify;
+
+  Match trav;
+  trav.on_eth(kEthTraversal);
+
+  auto chain_next = [&](PortNo q) -> TableId {
+    return q <= c.deg ? static_cast<TableId>(c.tid_chain + 2 * (q - 1))
+                      : static_cast<TableId>(c.tid_chain + 2 * c.deg);
+  };
+
+  // --- First_visit: cur_i = 0, arrival port becomes the parent. ---
+  for (PortNo p = 1; p <= c.deg; ++p) {
+    Match base = match_tag(trav, L.cur(i), 0);
+    base.on_port(p);
+
+    if (bh) {
+      // Phase 1 (dance already counted the receive).
+      Match m1 = match_tag(base, L.phase2(), 0);
+      add_rule(c.sw, tid, kPrioFirstVisit, m1,
+               {set_field(L.par(i), p), ActGroup{scan_group_id(1, p, false)}},
+               std::nullopt, util::cat("first.p", p));
+      // Phase 2: record parent, walk the counter-check chain from port 1.
+      Match m2 = match_tag(base, L.phase2(), 1);
+      add_rule(c.sw, tid, kPrioFirstVisit, m2, {set_field(L.par(i), p)}, chain_next(1),
+               util::cat("first.ph2.p", p));
+      continue;
+    }
+
+    if (opts_.kind == ServiceKind::kLoadInference) {
+      add_rule(c.sw, tid, kPrioFirstVisit, base, {set_field(L.par(i), p)}, c.tid_chain,
+               util::cat("first.load.p", p));
+      continue;
+    }
+
+    if (snap && opts_.fragment_limit > 0) {
+      const std::uint32_t lim = opts_.fragment_limit;
+      for (std::uint32_t j = 1; j < lim; ++j) {
+        Match m = match_tag(base, L.rec_count(), j);
+        add_rule(c.sw, tid, kPrioFirstVisit, m,
+                 {set_field(L.par(i), p), ActPushLabel{encode_visit(i, p)},
+                  set_field(L.rec_count(), j + 1), ActGroup{scan_group_id(1, p, false)}},
+                 std::nullopt, util::cat("first.p", p, ".rec", j));
+      }
+      // Fragment full: flush the record stack to the collector first.
+      Match m = match_tag(base, L.rec_count(), lim);
+      ActionList flush = report_actions(i, kReasonSnapshotFragment);
+      for (auto& a : ActionList{ActClearLabels{}, set_field(L.par(i), p),
+                                ActPushLabel{encode_visit(i, p)},
+                                set_field(L.rec_count(), 1),
+                                ActGroup{scan_group_id(1, p, false)}})
+        flush.push_back(a);
+      add_rule(c.sw, tid, kPrioFirstVisit, m, flush, std::nullopt,
+               util::cat("first.p", p, ".flush"));
+      continue;
+    }
+
+    ActionList acts{set_field(L.par(i), p)};
+    if (snap) acts.push_back(ActPushLabel{encode_visit(i, p)});
+    acts.push_back(ActGroup{scan_group_id(1, p, false)});
+    add_rule(c.sw, tid, kPrioFirstVisit, base, acts, std::nullopt,
+             util::cat("first.p", p));
+  }
+
+  // --- Priocast phase switch: non-root nodes detect the second traversal
+  // when a packet arrives from their parent while cur = par. ---
+  if (prio_svc) {
+    for (PortNo p = 1; p <= c.deg; ++p) {
+      Match m = match_tag(match_tag(match_tag(trav, L.start(), 2), L.par(i), p),
+                          L.cur(i), p);
+      m.on_port(p);
+      add_rule(c.sw, tid, kPrioRestart, m, {ActGroup{scan_group_id(1, p, false)}},
+               std::nullopt, util::cat("prio.restart.p", p));
+    }
+  }
+
+  // --- Visit_from_cur: in = cur — advance to the next port. ---
+  for (PortNo p = 1; p <= c.deg; ++p) {
+    if (bh) {
+      // Phase 2 needs no parent enumeration: the chain tables skip the
+      // parent themselves.
+      Match m2 = match_tag(match_tag(trav, L.phase2(), 1), L.cur(i), p);
+      m2.on_port(p);
+      add_rule(c.sw, tid, kPrioFromCur, m2, {}, chain_next(p + 1),
+               util::cat("fromcur.ph2.p", p));
+    }
+    for (PortNo q = 0; q <= c.deg; ++q) {
+      Match m = match_tag(match_tag(trav, L.cur(i), p), L.par(i), q);
+      m.on_port(p);
+      ActionList acts;
+      if (bh) {
+        m = match_tag(m, L.phase2(), 0);
+        // Receive count (twice — see the parity note in emit_aux_table).
+        acts.push_back(ActGroup{counter_group_id(kFamBlackhole, p)});
+        acts.push_back(ActGroup{counter_group_id(kFamBlackhole, p)});
+      }
+      if (opts_.kind == ServiceKind::kCritical)
+        acts.push_back(set_field(L.to_parent(), 0));
+      if (opts_.kind == ServiceKind::kCriticalLink && q == 0) {
+        // Root advance: keep excluding the tested port.
+        for (PortNo t = 1; t <= c.deg; ++t) {
+          Match mt = match_tag(m, L.out_port(), t);
+          add_rule(c.sw, tid, kPrioFromCur + 10, mt,
+                   {ActGroup{link_scan_group_id(p + 1, t)}}, std::nullopt,
+                   util::cat("fromcur.p", p, ".linktest.t", t));
+        }
+        // Fall through to the generic rule as a backstop (out_port = 0
+        // cannot occur in a well-formed query).
+      }
+      if (prio_svc && q == 0) {
+        // Root: phase decides which finish variant the scan falls back to.
+        Match m1 = match_tag(m, L.start(), 1);
+        ActionList a1 = acts;
+        a1.push_back(ActGroup{scan_group_id(p + 1, 0, false)});
+        add_rule(c.sw, tid, kPrioFromCur, m1, a1, std::nullopt,
+                 util::cat("fromcur.p", p, ".root.ph1"));
+        Match m2 = match_tag(m, L.start(), 2);
+        ActionList a2 = acts;
+        a2.push_back(ActGroup{scan_group_id(p + 1, 0, true)});
+        add_rule(c.sw, tid, kPrioFromCur, m2, a2, std::nullopt,
+                 util::cat("fromcur.p", p, ".root.ph2"));
+        continue;
+      }
+      acts.push_back(ActGroup{scan_group_id(p + 1, q, false)});
+      add_rule(c.sw, tid, kPrioFromCur, m, acts, std::nullopt,
+               util::cat("fromcur.p", p, ".q", q));
+    }
+  }
+
+  // --- Snapshot dedup: second crossing of a non-tree edge pops the
+  // sender's OUT record (in < cur, or cur = par). ---
+  if (snap && opts_.snapshot_dedup) {
+    for (PortNo p = 1; p <= c.deg; ++p) {
+      for (PortNo cv = 1; cv <= c.deg; ++cv) {
+        if (p < cv) {
+          Match m = match_tag(trav, L.cur(i), cv);
+          m.on_port(p);
+          add_rule(c.sw, tid, kPrioPopLess, m, {ActPopLabel{}, ActOutput{ofp::kPortInPort}},
+                   std::nullopt, util::cat("pop.lt.p", p, ".c", cv));
+        }
+        if (p != cv) {
+          Match m = match_tag(match_tag(trav, L.cur(i), cv), L.par(i), cv);
+          m.on_port(p);
+          add_rule(c.sw, tid, kPrioPopParent, m,
+                   {ActPopLabel{}, ActOutput{ofp::kPortInPort}}, std::nullopt,
+                   util::cat("pop.par.p", p, ".c", cv));
+        }
+      }
+    }
+  }
+
+  // --- Visit_not_from_cur (default): bounce back where it came from. ---
+  for (PortNo p = 1; p <= c.deg; ++p) {
+    Match base = trav;
+    base.on_port(p);
+    if (bh) {
+      // Post-dance first crossing (repeat = 3): clear repeat, no count.
+      Match m3 = match_tag(match_tag(base, L.phase2(), 0), L.repeat(), 3);
+      add_rule(c.sw, tid, kPrioBounce, m3,
+               {set_field(L.repeat(), 0), ActOutput{ofp::kPortInPort}}, std::nullopt,
+               util::cat("bounce.r3.p", p));
+      // Old-link arrival (repeat = 0): count the receive (twice, parity).
+      Match m0 = match_tag(match_tag(base, L.phase2(), 0), L.repeat(), 0);
+      const ActGroup ctr{counter_group_id(kFamBlackhole, p)};
+      add_rule(c.sw, tid, kPrioBounce, m0, {ctr, ctr, ActOutput{ofp::kPortInPort}},
+               std::nullopt, util::cat("bounce.r0.p", p));
+      Match m2 = match_tag(base, L.phase2(), 1);
+      add_rule(c.sw, tid, kPrioBounce, m2, {ActOutput{ofp::kPortInPort}}, std::nullopt,
+               util::cat("bounce.ph2.p", p));
+      continue;
+    }
+    ActionList acts;
+    if (snap) acts.push_back(ActPushLabel{encode_bounce(i, p)});
+    if (opts_.kind == ServiceKind::kBlackholeTtl) {
+      acts.push_back(set_field(L.out_port(), p));
+      acts.push_back(ActDecTtl{});
+    }
+    if (opts_.kind == ServiceKind::kPacketLoss)
+      for (std::size_t k = 0; k < opts_.loss_moduli.size(); ++k)
+        acts.push_back(ActGroup{counter_group_id(kFamLossOut0 + k, p)});
+    acts.push_back(ActOutput{ofp::kPortInPort});
+    add_rule(c.sw, tid, kPrioBounce, base, acts, std::nullopt, util::cat("bounce.p", p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scan groups: the port-scan loop (Algorithm 1 lines 12-23) as
+// FAST-FAILOVER groups Scan(s, q) = "first live port >= s, skipping parent
+// q; fall back to the parent, or Finish() at the root".
+// ---------------------------------------------------------------------------
+ActionList TemplateCompiler::hooks_send_new(Ctx& c, PortNo out, bool root_first) const {
+  const TagLayout& L = *layout_;
+  ActionList a;
+  switch (opts_.kind) {
+    case ServiceKind::kSnapshot:
+      a.push_back(ActPushLabel{encode_out(out)});
+      break;
+    case ServiceKind::kBlackholeCounters:
+      a.push_back(ActGroup{counter_group_id(kFamBlackhole, out)});  // send count
+      a.push_back(set_field(L.repeat(), 3));
+      break;
+    case ServiceKind::kBlackholeTtl:
+      a.push_back(set_field(L.out_port(), out));
+      break;
+    case ServiceKind::kPacketLoss:
+      for (std::size_t k = 0; k < opts_.loss_moduli.size(); ++k)
+        a.push_back(ActGroup{counter_group_id(kFamLossOut0 + k, out)});
+      break;
+    default:
+      break;
+  }
+  if (root_first &&
+      (opts_.kind == ServiceKind::kCritical || opts_.kind == ServiceKind::kPriocast))
+    a.push_back(set_field(L.first_port(), out));
+  (void)c;
+  return a;
+}
+
+ActionList TemplateCompiler::hooks_send_parent(Ctx& c, PortNo parent) const {
+  const TagLayout& L = *layout_;
+  ActionList a;
+  switch (opts_.kind) {
+    case ServiceKind::kSnapshot:
+      a.push_back(ActPushLabel{encode_ret()});
+      break;
+    case ServiceKind::kCritical:
+      a.push_back(set_field(L.to_parent(), 1));
+      break;
+    case ServiceKind::kBlackholeCounters:
+      a.push_back(set_field(L.repeat(), 0));
+      break;
+    case ServiceKind::kBlackholeTtl:
+      a.push_back(set_field(L.out_port(), parent));
+      break;
+    case ServiceKind::kPacketLoss:
+      for (std::size_t k = 0; k < opts_.loss_moduli.size(); ++k)
+        a.push_back(ActGroup{counter_group_id(kFamLossOut0 + k, parent)});
+      break;
+    default:
+      break;
+  }
+  (void)c;
+  return a;
+}
+
+ActionList TemplateCompiler::finish_actions(Ctx& c, bool phase2_root) const {
+  const TagLayout& L = *layout_;
+  switch (opts_.kind) {
+    case ServiceKind::kSnapshot:
+      return report_actions(c.i, kReasonFinish);
+    case ServiceKind::kPriocast:
+      if (!phase2_root) {
+        // Phase-1 Finish(): "set start to 2 and begin a new traversal by
+        // setting the next out port to the first one used" — the restart
+        // group re-runs the same live-port scan, which (absent mid-run
+        // failures, the paper's model) picks pkt.firstPort again.
+        return {set_field(L.start(), 2), ActGroup{kRestartGroupId}};
+      }
+      // Phase-2 Finish(): no receiver took the packet.
+      return {ActDrop{}};
+    case ServiceKind::kCritical:
+      return report_actions(c.i, kReasonCritFalse);
+    case ServiceKind::kBlackholeTtl:
+      return report_actions(c.i, kReasonFinish);
+    case ServiceKind::kBlackholeCounters:
+      return {ActDrop{}};  // traversal 1 ends silently; controller uses timing
+    case ServiceKind::kAnycast:
+    case ServiceKind::kChainedAnycast:
+      return {ActDrop{}};  // no receiver reachable
+    default:
+      return opts_.finish_report ? report_actions(c.i, kReasonFinish)
+                                 : ActionList{ActDrop{}};
+  }
+}
+
+void TemplateCompiler::emit_scan_groups(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  const bool ttl = opts_.kind == ServiceKind::kBlackholeTtl;
+  const bool prio_svc = opts_.kind == ServiceKind::kPriocast;
+
+  if (opts_.kind == ServiceKind::kCriticalLink) {
+    // Root scan variants that skip the tested port; exhausting them without
+    // a confirmation means the link is a bridge.
+    for (PortNo s = 1; s <= c.deg + 1; ++s) {
+      for (PortNo t = 1; t <= c.deg; ++t) {
+        Group g;
+        g.id = link_scan_group_id(s, t);
+        g.type = GroupType::kFastFailover;
+        g.name = util::cat("linkscan.s", s, ".t", t);
+        for (PortNo q = s; q <= c.deg; ++q) {
+          if (q == t) continue;
+          Bucket b;
+          b.watch_port = q;
+          b.actions = {set_field(L.cur(c.i), q), ActOutput{q}};
+          g.buckets.push_back(std::move(b));
+        }
+        Bucket fin;
+        fin.watch_port = std::nullopt;
+        fin.actions = report_actions(c.i, kReasonLinkCritical);
+        g.buckets.push_back(std::move(fin));
+        c.sw.groups().add(std::move(g));
+      }
+    }
+  }
+
+  auto build = [&](PortNo s, PortNo q, bool phase2_root) {
+    Group g;
+    g.id = scan_group_id(s, q, phase2_root);
+    g.type = GroupType::kFastFailover;
+    g.name = util::cat("scan.s", s, ".q", q, phase2_root ? ".ph2" : "");
+    for (PortNo t = s; t <= c.deg; ++t) {
+      if (t == q) continue;
+      Bucket b;
+      b.watch_port = opts_.use_fast_failover ? std::optional<PortNo>(t) : std::nullopt;
+      const bool root_first = (s == 1 && q == 0 && !phase2_root);
+      // Phase-2 priocast sends are plain (priorities were settled in
+      // phase 1), so suppress service hooks there.
+      if (!phase2_root) {
+        for (auto& a : hooks_send_new(c, t, root_first)) b.actions.push_back(a);
+      }
+      b.actions.push_back(set_field(L.cur(c.i), t));
+      if (ttl && !phase2_root) b.actions.push_back(ActDecTtl{});
+      b.actions.push_back(ActOutput{t});
+      g.buckets.push_back(std::move(b));
+    }
+    Bucket fb;  // fallback: parent, or Finish() at the root
+    if (q > 0) {
+      fb.watch_port = q;
+      if (!phase2_root) {
+        for (auto& a : hooks_send_parent(c, q)) fb.actions.push_back(a);
+      }
+      fb.actions.push_back(set_field(L.cur(c.i), q));
+      if (ttl && !phase2_root) fb.actions.push_back(ActDecTtl{});
+      fb.actions.push_back(ActOutput{q});
+    } else {
+      fb.watch_port = std::nullopt;  // always live: Finish()
+      fb.actions = finish_actions(c, phase2_root);
+    }
+    g.buckets.push_back(std::move(fb));
+    c.sw.groups().add(std::move(g));
+  };
+
+  for (PortNo s = 1; s <= c.deg + 1; ++s) {
+    for (PortNo q = 0; q <= c.deg; ++q) build(s, q, false);
+    if (prio_svc) build(s, 0, true);
+  }
+
+  if (prio_svc) {
+    // Restart group: launch phase 2 from the root over the same live-port
+    // scan that chose pkt.firstPort in phase 1.
+    Group g;
+    g.id = kRestartGroupId;
+    g.type = GroupType::kFastFailover;
+    g.name = "priocast.restart";
+    for (PortNo t = 1; t <= c.deg; ++t) {
+      Bucket b;
+      b.watch_port = t;
+      b.actions = {set_field(L.cur(c.i), t), ActOutput{t}};
+      g.buckets.push_back(std::move(b));
+    }
+    c.sw.groups().add(std::move(g));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Smart counters: SELECT groups with round-robin bucket selection; bucket j
+// writes j into the designated scratch field (fetch-and-increment mod k).
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_counters(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  auto make_counter = [&](std::uint32_t family, PortNo port, std::uint32_t modulus,
+                          FieldRef target) {
+    Group g;
+    g.id = counter_group_id(family, port);
+    g.type = GroupType::kSelect;
+    g.name = util::cat("ctr.f", family, ".p", port);
+    for (std::uint32_t j = 0; j < modulus; ++j)
+      g.buckets.push_back(Bucket{{set_field(target, j)}, std::nullopt});
+    c.sw.groups().add(std::move(g));
+  };
+
+  if (opts_.kind == ServiceKind::kBlackholeCounters) {
+    for (PortNo t = 1; t <= c.deg; ++t)
+      make_counter(kFamBlackhole, t, opts_.counter_modulus, L.scratch_a(0));
+  }
+  if (opts_.kind == ServiceKind::kPacketLoss ||
+      opts_.kind == ServiceKind::kLoadInference) {
+    for (PortNo t = 1; t <= c.deg; ++t) {
+      for (std::size_t k = 0; k < opts_.loss_moduli.size(); ++k) {
+        make_counter(kFamLossOut0 + k, t, opts_.loss_moduli[k], L.scratch_a(k));
+        make_counter(kFamLossIn0 + k, t, opts_.loss_moduli[k], L.scratch_b(k));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blackhole phase 2: unrolled "check counter before crossing" chain.
+// try(q):  skip if q is the parent; else fetch-and-increment C_q.
+// chk(q):  1 => report blackhole at (this switch, q) and skip;
+//          0 => unreached in traversal 1, skip;
+//          else => healthy, cross.
+// exhaust: all ports done; return to the parent (or stop at the root).
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_phase2_chain(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  auto tid_try = [&](PortNo q) { return static_cast<TableId>(c.tid_chain + 2 * (q - 1)); };
+  auto tid_chk = [&](PortNo q) { return static_cast<TableId>(c.tid_chain + 2 * (q - 1) + 1); };
+  const TableId tid_exhaust = static_cast<TableId>(c.tid_chain + 2 * c.deg);
+  auto next_of = [&](PortNo q) {
+    return q + 1 <= c.deg ? tid_try(q + 1) : tid_exhaust;
+  };
+
+  for (PortNo q = 1; q <= c.deg; ++q) {
+    add_rule(c.sw, tid_try(q), 10, match_tag(Match{}, L.par(c.i), q), {}, next_of(q),
+             util::cat("try.p", q, ".skip_parent"));
+    add_rule(c.sw, tid_try(q), 0, Match{},
+             {ActGroup{counter_group_id(kFamBlackhole, q)}}, tid_chk(q),
+             util::cat("try.p", q, ".fetch"));
+
+    if (opts_.inband_collector) {
+      // The static report route may coincide with the dead port being
+      // reported (the reporter is adjacent to it by construction).  Send
+      // the report back through the arrival port instead — the phase-2
+      // packet just crossed it, so it is live — and let the next switch's
+      // distance-monotone route rules take over (they can never point
+      // back through this node).
+      for (PortNo in_p = 1; in_p <= c.deg; ++in_p) {
+        Match m = match_tag(Match{}, L.scratch_a(0), 1);
+        m.on_port(in_p);
+        ActionList acts{set_field(L.out_port(), q)};
+        for (auto& a : report_actions(c.i, kReasonBlackholePort, in_p))
+          acts.push_back(a);
+        add_rule(c.sw, tid_chk(q), 11, m, acts, next_of(q),
+                 util::cat("chk.p", q, ".blackhole.in", in_p));
+      }
+    }
+    ActionList bh_report{set_field(L.out_port(), q)};
+    for (auto& a : report_actions(c.i, kReasonBlackholePort)) bh_report.push_back(a);
+    add_rule(c.sw, tid_chk(q), 10, match_tag(Match{}, L.scratch_a(0), 1), bh_report,
+             next_of(q), util::cat("chk.p", q, ".blackhole"));
+    add_rule(c.sw, tid_chk(q), 9, match_tag(Match{}, L.scratch_a(0), 0), {}, next_of(q),
+             util::cat("chk.p", q, ".unreached"));
+    add_rule(c.sw, tid_chk(q), 0, Match{},
+             {set_field(L.cur(c.i), q), ActOutput{q}}, std::nullopt,
+             util::cat("chk.p", q, ".cross"));
+  }
+
+  for (PortNo t = 1; t <= c.deg; ++t)
+    add_rule(c.sw, tid_exhaust, 10, match_tag(Match{}, L.par(c.i), t),
+             {set_field(L.cur(c.i), t), ActOutput{t}}, std::nullopt,
+             util::cat("exhaust.to_parent.p", t));
+  add_rule(c.sw, tid_exhaust, 0, match_tag(Match{}, L.par(c.i), 0), {ActDrop{}},
+           std::nullopt, "exhaust.root_done");
+}
+
+// ---------------------------------------------------------------------------
+// Packet-loss compare chain: the traversal packet carries the sender's
+// out-counter read-outs (scratch_a*); this side just read its in-counters
+// (scratch_b*).  All-equal => continue silently; any mismatch => report.
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_loss_chain(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  const auto K = opts_.loss_moduli.size();
+  for (std::size_t k = 0; k < K; ++k) {
+    const TableId tid = static_cast<TableId>(c.tid_cmp0 + k);
+    const TableId next = static_cast<TableId>(k + 1 < K ? tid + 1 : c.tid_classify);
+    for (std::uint32_t j = 0; j < opts_.loss_moduli[k]; ++j) {
+      Match m = match_tag(match_tag(Match{}, L.scratch_a(k), j), L.scratch_b(k), j);
+      add_rule(c.sw, tid, 10, m, {}, next, util::cat("cmp.m", k, ".eq", j));
+    }
+    add_rule(c.sw, tid, 0, Match{}, report_actions(c.i, kReasonLossDetected),
+             c.tid_classify, util::cat("cmp.m", k, ".mismatch"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Load inference (§4 extension): at every first visit, walk a read chain
+// that fetches each port's per-direction traffic counters and records the
+// residues as labels.  The chain's exhaust table resumes the traversal.
+// Reads return the PRE-increment value, so the recorded residues are exact;
+// each counter is read exactly once per traversal.
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_load_chain(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  const auto K = static_cast<std::uint32_t>(opts_.loss_moduli.size());
+  // Unit u = (q-1)*2K + dir*K + k; tables: read = tid_chain + 2u, push = +1.
+  const std::uint32_t units = c.deg * 2 * K;
+  auto tid_read = [&](std::uint32_t u) {
+    return static_cast<TableId>(c.tid_chain + 2 * u);
+  };
+  const TableId tid_exhaust = static_cast<TableId>(c.tid_chain + 2 * units);
+
+  for (std::uint32_t u = 0; u < units; ++u) {
+    const PortNo q = 1 + u / (2 * K);
+    const bool ingress = ((u / K) % 2) != 0;
+    const std::uint32_t k = u % K;
+    const std::uint32_t fam = (ingress ? kFamLossIn0 : kFamLossOut0) + k;
+    const FieldRef scratch = ingress ? L.scratch_b(k) : L.scratch_a(k);
+    const TableId next = u + 1 < units ? tid_read(u + 1) : tid_exhaust;
+
+    add_rule(c.sw, tid_read(u), 0, Match{}, {ActGroup{counter_group_id(fam, q)}},
+             static_cast<TableId>(tid_read(u) + 1),
+             util::cat("load.read.p", q, ingress ? ".in" : ".out", ".m", k));
+    for (std::uint32_t j = 0; j < opts_.loss_moduli[k]; ++j) {
+      add_rule(c.sw, static_cast<TableId>(tid_read(u) + 1), 10,
+               match_tag(Match{}, scratch, j),
+               {ActPushLabel{encode_load(ingress, k, c.i, q, j)}}, next,
+               util::cat("load.push.p", q, ".m", k, ".v", j));
+    }
+  }
+
+  // Exhaust: resume the traversal with the standard out <- 1 scan.
+  for (PortNo t = 0; t <= c.deg; ++t)
+    add_rule(c.sw, tid_exhaust, 10, match_tag(Match{}, L.par(c.i), t),
+             {ActGroup{scan_group_id(1, t, false)}}, std::nullopt,
+             util::cat("load.resume.par", t));
+}
+
+}  // namespace ss::core

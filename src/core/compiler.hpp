@@ -1,0 +1,192 @@
+#pragma once
+// SmartSouth rule compiler.
+//
+// Compiles Algorithm 1 (the DFS traversal template) plus the per-service
+// hooks of Table 1 into OpenFlow 1.3 flow tables and groups, one switch at a
+// time.  The services contain no runtime C++ logic: after installation, the
+// packets are driven purely by the match-action pipeline — which is the
+// paper's central claim ("SmartSouth only relies on the standard OpenFlow
+// match-action paradigm; thus, the data plane functions remain formally
+// verifiable").
+//
+// Pipeline layout per switch (forward-only gotos; see DESIGN.md §4):
+//
+//   table 0  kTablePre      service pre-checks: anycast/priocast receiver
+//                           tests, chained-anycast consumption, packet-loss
+//                           counting, data forwarding
+//   table 1  kTableStart    pkt.start = 0 handling (this node becomes root)
+//   table 2  kTableAux      blackhole "repeat" dance / critical-node root
+//                           checks (pass-through otherwise)
+//   table 3  kTableClassify first-visit / from-cur / bounce classification;
+//                           all field-to-field comparisons (in = cur,
+//                           in < cur, cur = par) are enumerated here, the
+//                           "dedicated flow tables" technique of ref [2]
+//   table 4+ kTableExtra    blackhole phase-2 counter-check chain, or the
+//                           packet-loss comparison chain
+//
+// Port scanning ("while out failed or out = par: out++") compiles to
+// FAST-FAILOVER groups Scan(s, q): buckets for ports s..deg skipping q in
+// order, each gated on its watch port, falling back to the parent q (or to
+// the root's Finish() when q = 0).  Port liveness is therefore evaluated in
+// the data plane at execution time — the robustness mechanism of the paper.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/fields.hpp"
+#include "graph/graph.hpp"
+#include "ofp/switch.hpp"
+#include "sim/network.hpp"
+
+namespace ss::core {
+
+enum class ServiceKind : std::uint8_t {
+  kPlain,              // bare traversal (used for Table-2 message counting)
+  kSnapshot,           // §3.1
+  kAnycast,            // §3.2
+  kChainedAnycast,     // §3.2 remark: service chains
+  kPriocast,           // §3.2 priorities
+  kBlackholeTtl,       // §3.3 first solution
+  kBlackholeCounters,  // §3.3 smart counters
+  kPacketLoss,         // §3.3 packet-loss monitoring
+  kCritical,           // §3.4
+  kLoadInference,      // §4 extension: infer link loads from smart counters
+  kCriticalLink,       // extension: is a LINK a bridge?  (§4: "our
+                       // techniques can be extended to implement many
+                       // other functions")
+};
+
+/// Out-of-band message reason codes (controller channel).
+enum Reason : std::uint32_t {
+  kReasonFinish = 1,            // root Finish(): traversal done (carries packet)
+  kReasonSnapshotFragment = 2,  // snapshot split: one fragment of the record
+  kReasonBlackholePort = 3,     // blackhole phase 2: counter-1 port found
+  kReasonCritTrue = 4,
+  kReasonCritFalse = 5,
+  kReasonLossDetected = 6,      // packet-loss probe counter mismatch
+  kReasonLinkNotCritical = 7,   // critical-link: far end reached without it
+  kReasonLinkCritical = 8,      // critical-link: traversal never saw the far end
+};
+
+struct AnycastGroupSpec {
+  std::uint32_t gid = 1;  // nonzero
+  // member -> priority (priorities matter only to priocast; must be > 0).
+  std::map<graph::NodeId, std::uint32_t> members;
+};
+
+struct CompilerOptions {
+  ServiceKind kind = ServiceKind::kPlain;
+
+  // No "root" parameter: a node recognizes itself as root in-band via
+  // pkt.v_i.par = 0, exactly as Algorithm 1 does, so every service can be
+  // triggered from any node without reinstalling rules.
+
+  /// Anycast groups (kAnycast / kChainedAnycast / kPriocast).
+  std::vector<AnycastGroupSpec> groups;
+
+  /// Snapshot: flush the record stack to the controller every
+  /// `fragment_limit` first-visits (0 = never split).
+  std::uint32_t fragment_limit = 0;
+
+  /// Root Finish() emits the packet to the controller.  On for snapshot
+  /// (the result IS the packet) and blackhole-TTL ("the request returns");
+  /// off where Table 2 counts no such message.
+  bool finish_report = true;
+
+  /// Fully in-band monitoring (§3.4 remark: "all out-of-band messages can
+  /// be sent in-band to any server connected to the first node of the
+  /// traversal").  When set, every report is re-typed to kEthReport,
+  /// stamped with (reason, reporter) tag fields, and forwarded hop by hop
+  /// along pre-installed routes to the collector switch's LOCAL port —
+  /// zero switch-to-controller messages.
+  std::optional<graph::NodeId> inband_collector;
+
+  /// Blackhole smart-counter modulus (bucket count per port counter).
+  std::uint32_t counter_modulus = 16;
+
+  /// Packet-loss / load-inference counter moduli (1..kScratchRegs entries;
+  /// pairwise coprime values enable CRT reconstruction for load inference).
+  std::vector<std::uint32_t> loss_moduli = {8};
+
+  // --- ablation switches (benchmarks only; defaults reproduce the paper) ---
+
+  /// When false, scan-group buckets ignore port liveness (a data plane
+  /// without OpenFlow fast failover): the first candidate port is taken
+  /// blindly and traversals die on failed links.  Ablates the paper's
+  /// robustness mechanism.
+  bool use_fast_failover = true;
+
+  /// When false, the snapshot service skips the in<cur / cur=par pop rules
+  /// ("To save packet header space we distinguish between the two visits"):
+  /// every non-tree edge is recorded twice and its second OUT record is
+  /// never popped.  Ablates the paper's header-space optimization.
+  bool snapshot_dedup = true;
+};
+
+/// Well-known table ids.
+inline constexpr ofp::TableId kTablePre = 0;
+inline constexpr ofp::TableId kTableStart = 1;
+inline constexpr ofp::TableId kTableAux = 2;
+inline constexpr ofp::TableId kTableClassify = 3;
+inline constexpr ofp::TableId kTableExtra = 4;
+
+class TemplateCompiler {
+ public:
+  TemplateCompiler(const graph::Graph& g, const TagLayout& layout, CompilerOptions opts);
+
+  /// Compile and install rules + groups for node `i` into switch `sw`.
+  void install_switch(ofp::Switch& sw, graph::NodeId i) const;
+
+  /// Install on every switch of the network.
+  void install(sim::Network& net) const;
+
+  const CompilerOptions& options() const { return opts_; }
+  const TagLayout& layout() const { return *layout_; }
+
+ private:
+  struct Ctx;  // per-switch compilation state
+
+  void emit_pre_table(Ctx& c) const;
+  void emit_start_table(Ctx& c) const;
+  void emit_aux_table(Ctx& c) const;
+  void emit_classify_table(Ctx& c) const;
+  void emit_scan_groups(Ctx& c) const;
+  void emit_counters(Ctx& c) const;
+  void emit_phase2_chain(Ctx& c) const;
+  void emit_loss_chain(Ctx& c) const;
+  void emit_load_chain(Ctx& c) const;
+
+  // Service hook action lists (Table 1 columns).
+  ofp::ActionList hooks_send_new(Ctx& c, graph::PortNo out, bool root_first) const;
+  ofp::ActionList hooks_send_parent(Ctx& c, graph::PortNo parent) const;
+  ofp::ActionList finish_actions(Ctx& c, bool phase2_root) const;
+
+  // `via_port`: in in-band mode, send the report copy through this port
+  // instead of the static route (used where the static route may coincide
+  // with the fault being reported); 0 = use the static route.
+  ofp::ActionList report_actions(graph::NodeId i, std::uint32_t reason,
+                                 graph::PortNo via_port = 0) const;
+
+  const graph::Graph* graph_;
+  const TagLayout* layout_;
+  CompilerOptions opts_;
+  // inband_collector mode: port of each node toward the collector
+  // (kNoPort at the collector itself), computed offline by BFS.
+  std::vector<graph::PortNo> report_route_;
+};
+
+/// Group-id namespaces (stable across switches for debuggability).
+ofp::GroupId scan_group_id(graph::PortNo first, graph::PortNo parent, bool phase2_root);
+/// Critical-link root scan: skip the tested port, Finish() when exhausted.
+ofp::GroupId link_scan_group_id(graph::PortNo first, graph::PortNo tested);
+ofp::GroupId counter_group_id(std::uint32_t family, graph::PortNo port);
+inline constexpr ofp::GroupId kRestartGroupId = 0x300000;
+
+/// Counter families for counter_group_id().
+inline constexpr std::uint32_t kFamBlackhole = 0;
+inline constexpr std::uint32_t kFamLossOut0 = 1;  // +k for modulus k
+inline constexpr std::uint32_t kFamLossIn0 = 1 + kScratchRegs;
+
+}  // namespace ss::core

@@ -1,0 +1,15 @@
+#pragma once
+// EtherTypes distinguishing SmartSouth service packets from regular traffic.
+// Real deployments would use an OUI-specific experimental EtherType; the
+// values only need to be distinct and matchable.
+
+#include <cstdint>
+
+namespace ss::core {
+
+inline constexpr std::uint16_t kEthTraversal = 0x88b5;  // SmartSouth trigger packet
+inline constexpr std::uint16_t kEthData = 0x0800;       // background data traffic
+inline constexpr std::uint16_t kEthProbe = 0x88b6;      // packet-loss probe
+inline constexpr std::uint16_t kEthReport = 0x88b8;     // in-band report copy
+
+}  // namespace ss::core

@@ -1,0 +1,75 @@
+#include "core/fields.hpp"
+
+#include <stdexcept>
+
+namespace ss::core {
+
+std::uint32_t bits_for(std::uint64_t max_value) {
+  std::uint32_t b = 1;
+  while ((std::uint64_t{1} << b) <= max_value) ++b;
+  return b;
+}
+
+FieldRef TagLayout::alloc(std::uint32_t width) {
+  FieldRef f{next_, width};
+  next_ += width;
+  return f;
+}
+
+TagLayout::TagLayout(const graph::Graph& g) {
+  const auto n = g.node_count();
+
+  phase2_ = alloc(1);
+  repeat_ = alloc(2);
+  to_parent_ = alloc(1);
+  first_port_ = alloc(16);
+  gid_ = alloc(12);
+  chain_idx_ = alloc(bits_for(kChainSlots));
+  for (std::uint32_t k = 0; k < kChainSlots; ++k) chain_.push_back(alloc(12));
+  opt_id_ = alloc(bits_for(n));  // stores node id + 1
+  opt_val_ = alloc(12);
+  rec_count_ = alloc(10);
+  out_port_ = alloc(16);
+  reason_ = alloc(8);
+  reporter_ = alloc(bits_for(n));
+  for (std::uint32_t k = 0; k < kScratchRegs; ++k) scratch_a_.push_back(alloc(4));
+  for (std::uint32_t k = 0; k < kScratchRegs; ++k) scratch_b_.push_back(alloc(4));
+
+  // Traversal state: `start` plus all per-node fields, kept contiguous so a
+  // chained-anycast restart can zero them with one set-field action.
+  const std::uint32_t region_begin = next_;
+  start_ = alloc(2);
+  par_.reserve(n);
+  cur_.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::uint32_t w = bits_for(g.degree(v));
+    par_.push_back(alloc(w));
+    cur_.push_back(alloc(w));
+  }
+  traversal_region_ = {region_begin, next_ - region_begin};
+  total_bits_ = next_;
+}
+
+FieldRef TagLayout::chain_slot(std::uint32_t k) const {
+  if (k >= kChainSlots) throw std::out_of_range("TagLayout::chain_slot");
+  return chain_[k];
+}
+
+FieldRef TagLayout::scratch_a(std::uint32_t k) const {
+  if (k >= kScratchRegs) throw std::out_of_range("TagLayout::scratch_a");
+  return scratch_a_[k];
+}
+
+FieldRef TagLayout::scratch_b(std::uint32_t k) const {
+  if (k >= kScratchRegs) throw std::out_of_range("TagLayout::scratch_b");
+  return scratch_b_[k];
+}
+
+ofp::Packet TagLayout::make_packet(std::uint16_t eth_type) const {
+  ofp::Packet pkt;
+  pkt.eth_type = eth_type;
+  pkt.tag.ensure(total_bits_);
+  return pkt;
+}
+
+}  // namespace ss::core

@@ -1,0 +1,99 @@
+#pragma once
+// Tag layout: where every SmartSouth field lives inside the packet's
+// reserved tag region.
+//
+// The paper: "For each node i, we reserve a certain number of bits in the
+// packet header, the tag, where the node can store the port of its parent
+// (pkt.v_i.par), as well as the port of the neighbor it is currently
+// visiting (pkt.v_i.cur). Additionally, the packet header includes a global
+// tag field pkt.start ... more tag fields will be introduced by the specific
+// service."
+//
+// The layout is shared by three parties that must agree bit-for-bit: the
+// rule compiler (matches/set-fields), the drivers (trigger-packet setup) and
+// the decoders (reports coming back).  The global section is
+// service-independent so a single layout serves every experiment; per-node
+// par/cur fields are sized ceil(log2(deg_i+1)) bits, which is what makes the
+// total tag O(n log n) bits as Table 2 notes.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ofp/packet.hpp"
+
+namespace ss::core {
+
+struct FieldRef {
+  std::uint32_t offset = 0;
+  std::uint32_t width = 0;
+};
+
+/// Number of service-chain slots supported by the chained-anycast extension.
+inline constexpr std::uint32_t kChainSlots = 4;
+/// Smart-counter scratch registers (one per prime modulus, in/out pairs).
+inline constexpr std::uint32_t kScratchRegs = 3;
+
+class TagLayout {
+ public:
+  explicit TagLayout(const graph::Graph& g);
+
+  // --- global fields (Algorithm 1 + all four services) ---
+  FieldRef start() const { return start_; }          // 0 = uninitialized, 1, 2 = priocast phase
+  FieldRef phase2() const { return phase2_; }        // blackhole second-traversal marker
+  FieldRef repeat() const { return repeat_; }        // blackhole back-and-forth state
+  FieldRef to_parent() const { return to_parent_; }  // critical-node flag
+  FieldRef first_port() const { return first_port_; }
+  FieldRef gid() const { return gid_; }              // anycast group id
+  FieldRef chain_idx() const { return chain_idx_; }
+  FieldRef chain_slot(std::uint32_t k) const;        // k < kChainSlots
+  FieldRef opt_id() const { return opt_id_; }        // priocast: best receiver + 1 (0 = none)
+  FieldRef opt_val() const { return opt_val_; }      // priocast: best priority
+  FieldRef rec_count() const { return rec_count_; }  // snapshot fragment counter
+  FieldRef scratch_a(std::uint32_t k = 0) const;     // counter read-out (out side)
+  FieldRef scratch_b(std::uint32_t k = 0) const;     // counter read-out (in side)
+  FieldRef out_port() const { return out_port_; }    // data/probe steering field
+  FieldRef reason() const { return reason_; }        // in-band report reason code
+  FieldRef reporter() const { return reporter_; }    // in-band report origin + 1
+
+  // --- per-node traversal state ---
+  FieldRef par(graph::NodeId v) const { return par_[v]; }
+  FieldRef cur(graph::NodeId v) const { return cur_[v]; }
+
+  /// The contiguous region holding every per-node field plus `start` —
+  /// everything a chained-anycast restart must wipe to become a fresh root.
+  FieldRef traversal_state_region() const { return traversal_region_; }
+
+  std::uint32_t total_bits() const { return total_bits_; }
+  std::uint32_t total_bytes() const { return (total_bits_ + 7) / 8; }
+
+  // --- packet helpers for drivers and decoders ---
+  std::uint64_t get(const ofp::Packet& pkt, FieldRef f) const {
+    return pkt.tag.get(f.offset, f.width);
+  }
+  void set(ofp::Packet& pkt, FieldRef f, std::uint64_t v) const {
+    pkt.tag.ensure(total_bits_);
+    pkt.tag.set(f.offset, f.width, v);
+  }
+  /// A packet with the tag region allocated and zeroed.
+  ofp::Packet make_packet(std::uint16_t eth_type) const;
+
+ private:
+  FieldRef alloc(std::uint32_t width);
+
+  std::uint32_t next_ = 0;
+  FieldRef start_, phase2_, repeat_, to_parent_, first_port_, gid_;
+  FieldRef chain_idx_;
+  std::vector<FieldRef> chain_;
+  FieldRef opt_id_, opt_val_, rec_count_, out_port_;
+  FieldRef reason_, reporter_;
+  std::vector<FieldRef> scratch_a_, scratch_b_;
+  std::vector<FieldRef> par_, cur_;
+  FieldRef traversal_region_;
+  std::uint32_t total_bits_ = 0;
+};
+
+/// Bits needed to store values 0..max_value.
+std::uint32_t bits_for(std::uint64_t max_value);
+
+}  // namespace ss::core

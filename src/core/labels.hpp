@@ -1,0 +1,63 @@
+#pragma once
+// Snapshot record encoding.
+//
+// The snapshot service records the traversal into the packet's label stack
+// (the paper: "writing to the reserved space in the packet header ... or by
+// pushing labels").  Each record is one 32-bit label:
+//
+//   [31:30] type   0=VISIT  1=OUT  2=BOUNCE  3=RET
+//   [29:15] node   (VISIT/BOUNCE)
+//   [14:0]  port   (VISIT: in-port; OUT: out-port; BOUNCE: in-port)
+//
+//  * VISIT{v,p}  — pushed on First_visit (and by the root with p = 0);
+//  * OUT{p}      — pushed before sending to the next new neighbor;
+//  * BOUNCE{v,p} — pushed by Visit_not_from_cur on the FIRST crossing of a
+//                  non-tree edge (in > cur);
+//  * RET         — pushed on Send_parent so the decoder can pop its stack;
+//  * the second crossing of a non-tree edge (in < cur, or cur = par) POPS
+//    the sender's OUT instead of recording — the paper's dedup trick.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace ss::core {
+
+enum class RecType : std::uint8_t { kVisit = 0, kOut = 1, kBounce = 2, kRet = 3 };
+
+struct Record {
+  RecType type = RecType::kRet;
+  graph::NodeId node = 0;
+  graph::PortNo port = 0;
+};
+
+inline constexpr std::uint32_t kLabelNodeMax = (1u << 15) - 1;
+inline constexpr std::uint32_t kLabelPortMax = (1u << 15) - 1;
+
+inline std::uint32_t encode_record(RecType t, graph::NodeId node, graph::PortNo port) {
+  if (node > kLabelNodeMax || port > kLabelPortMax)
+    throw std::out_of_range("encode_record: node/port exceeds 15 bits");
+  return (static_cast<std::uint32_t>(t) << 30) | (node << 15) | port;
+}
+
+inline std::uint32_t encode_visit(graph::NodeId v, graph::PortNo in) {
+  return encode_record(RecType::kVisit, v, in);
+}
+inline std::uint32_t encode_out(graph::PortNo out) {
+  return encode_record(RecType::kOut, 0, out);
+}
+inline std::uint32_t encode_bounce(graph::NodeId v, graph::PortNo in) {
+  return encode_record(RecType::kBounce, v, in);
+}
+inline std::uint32_t encode_ret() { return encode_record(RecType::kRet, 0, 0); }
+
+inline Record decode_record(std::uint32_t label) {
+  Record r;
+  r.type = static_cast<RecType>(label >> 30);
+  r.node = (label >> 15) & kLabelNodeMax;
+  r.port = label & kLabelPortMax;
+  return r;
+}
+
+}  // namespace ss::core

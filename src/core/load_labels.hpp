@@ -1,0 +1,53 @@
+#pragma once
+// Load-inference record encoding (§4: "the smart counter concept introduced
+// in this paper may also be used to infer network loads").
+//
+// The load-inference traversal reads, at every first visit, each port's
+// per-direction traffic counters (smart counters fed by the data-plane
+// rules) and pushes one 32-bit label per (port, direction, modulus):
+//
+//   [31]    direction   0 = egress counter, 1 = ingress counter
+//   [30:29] modulus idx (which of the configured prime moduli)
+//   [28:17] node        (12 bits)
+//   [16:8]  port        (9 bits)
+//   [7:0]   value       (counter residue, < modulus <= 16)
+//
+// With k coprime moduli the controller reconstructs the true count modulo
+// their product by CRT — e.g. {13, 15, 16} recovers loads up to 3120 from
+// three 4-bit counters.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace ss::core {
+
+struct LoadRecord {
+  bool ingress = false;
+  std::uint32_t modulus_idx = 0;
+  graph::NodeId node = 0;
+  graph::PortNo port = 0;
+  std::uint32_t value = 0;
+};
+
+inline std::uint32_t encode_load(bool ingress, std::uint32_t mod_idx,
+                                 graph::NodeId node, graph::PortNo port,
+                                 std::uint32_t value) {
+  if (mod_idx >= 4 || node >= (1u << 12) || port >= (1u << 9) || value >= (1u << 8))
+    throw std::out_of_range("encode_load: field overflow");
+  return (static_cast<std::uint32_t>(ingress) << 31) | (mod_idx << 29) |
+         (node << 17) | (port << 8) | value;
+}
+
+inline LoadRecord decode_load(std::uint32_t label) {
+  LoadRecord r;
+  r.ingress = (label >> 31) != 0;
+  r.modulus_idx = (label >> 29) & 0x3;
+  r.node = (label >> 17) & 0xfff;
+  r.port = (label >> 8) & 0x1ff;
+  r.value = label & 0xff;
+  return r;
+}
+
+}  // namespace ss::core

@@ -1,0 +1,49 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ss::core {
+
+namespace {
+
+std::set<std::string> line_set(const std::string& canonical) {
+  std::set<std::string> out;
+  std::istringstream is(canonical);
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty()) out.insert(line);
+  return out;
+}
+
+}  // namespace
+
+TopologyMonitor::TopologyMonitor(const graph::Graph& intended,
+                                 std::optional<graph::NodeId> inband_collector)
+    : intended_(intended),
+      snapshot_(intended, /*fragment_limit=*/0, /*dedup=*/true, inband_collector) {}
+
+TopologyDiff TopologyMonitor::poll(sim::Network& net, graph::NodeId root) const {
+  TopologyDiff diff;
+  SnapshotResult snap = snapshot_.run(net, root);
+  diff.stats = snap.stats;
+  diff.snapshot_ok = snap.complete;
+  if (!snap.complete) return diff;
+
+  const auto want = line_set(intended_.canonical());
+  const auto have = line_set(snap.canonical());
+  std::set_difference(want.begin(), want.end(), have.begin(), have.end(),
+                      std::back_inserter(diff.missing_links));
+  std::set_difference(have.begin(), have.end(), want.begin(), want.end(),
+                      std::back_inserter(diff.unexpected_links));
+  for (graph::NodeId v = 0; v < intended_.node_count(); ++v)
+    if (!snap.nodes.count(v)) diff.missing_nodes.push_back(v);
+  diff.healthy = diff.missing_links.empty() && diff.unexpected_links.empty() &&
+                 diff.missing_nodes.empty();
+  return diff;
+}
+
+}  // namespace ss::core

@@ -1,0 +1,42 @@
+#pragma once
+// Topology monitoring on top of the snapshot service — the troubleshooting
+// application §3.1 motivates ("a snapshot can be useful for network
+// troubleshooting applications"): poll the live topology in-band and diff
+// it against the intended one, raising precise alarms for missing nodes
+// and links.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/services.hpp"
+
+namespace ss::core {
+
+struct TopologyDiff {
+  bool snapshot_ok = false;                 // the poll itself completed
+  bool healthy = false;                     // live == expected
+  std::vector<std::string> missing_links;   // "u:pu-v:pv" present in the
+                                            // intended topology, absent live
+  std::vector<std::string> unexpected_links;
+  std::vector<graph::NodeId> missing_nodes;
+  RunStats stats;
+};
+
+class TopologyMonitor {
+ public:
+  /// `intended` is the topology the operator believes is deployed.
+  explicit TopologyMonitor(const graph::Graph& intended,
+                           std::optional<graph::NodeId> inband_collector = {});
+
+  void install(sim::Network& net) const { snapshot_.install(net); }
+
+  /// One monitoring round: snapshot from `root`, diff against intent.
+  TopologyDiff poll(sim::Network& net, graph::NodeId root) const;
+
+ private:
+  graph::Graph intended_;
+  SnapshotService snapshot_;
+};
+
+}  // namespace ss::core

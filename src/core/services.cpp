@@ -1,0 +1,592 @@
+#include "core/services.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/eth_types.hpp"
+#include "core/labels.hpp"
+#include "core/load_labels.hpp"
+#include "util/strings.hpp"
+
+namespace ss::core {
+
+using graph::NodeId;
+using graph::PortNo;
+
+namespace {
+
+CompilerOptions make_opts(ServiceKind kind) {
+  CompilerOptions o;
+  o.kind = kind;
+  return o;
+}
+
+/// Controller messages appended since index `from`.
+std::vector<const sim::ControllerMsg*> new_msgs(sim::Network& net, std::size_t from) {
+  std::vector<const sim::ControllerMsg*> out;
+  for (std::size_t k = from; k < net.controller_msgs().size(); ++k)
+    out.push_back(&net.controller_msgs()[k]);
+  return out;
+}
+
+/// A service report, whichever channel carried it.
+struct Report {
+  NodeId from = 0;
+  std::uint32_t reason = 0;
+  const ofp::Packet* packet = nullptr;
+};
+
+/// Collect reports since the given marks: controller packet-ins, plus —
+/// in in-band mode — kEthReport deliveries at the collector's LOCAL port.
+std::vector<Report> collect_reports(sim::Network& net, const TagLayout& L,
+                                    std::size_t ctrl_mark, std::size_t local_mark,
+                                    std::optional<NodeId> collector) {
+  std::vector<Report> out;
+  for (std::size_t k = ctrl_mark; k < net.controller_msgs().size(); ++k) {
+    const auto& m = net.controller_msgs()[k];
+    out.push_back({m.from, m.reason, &m.packet});
+  }
+  if (collector) {
+    for (std::size_t k = local_mark; k < net.local_deliveries().size(); ++k) {
+      const auto& d = net.local_deliveries()[k];
+      if (d.at != *collector || d.packet.eth_type != kEthReport) continue;
+      const auto reporter = static_cast<NodeId>(L.get(d.packet, L.reporter()));
+      if (reporter == 0) continue;
+      out.push_back({reporter - 1,
+                     static_cast<std::uint32_t>(L.get(d.packet, L.reason())),
+                     &d.packet});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PlainTraversal
+// ---------------------------------------------------------------------------
+PlainTraversal::PlainTraversal(const graph::Graph& g, bool finish_report,
+                               bool use_fast_failover)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kPlain);
+        o.finish_report = finish_report;
+        o.use_fast_failover = use_fast_failover;
+        return o;
+      }()) {}
+
+bool PlainTraversal::run(sim::Network& net, NodeId root, RunStats* stats) const {
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  net.packet_out(root, layout_.make_packet(kEthTraversal));
+  net.run();
+  if (stats) *stats = scope.delta();
+  for (const auto* m : new_msgs(net, mark))
+    if (m->reason == kReasonFinish) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+SnapshotService::SnapshotService(const graph::Graph& g, std::uint32_t fragment_limit,
+                                 bool dedup, std::optional<NodeId> inband_collector)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kSnapshot);
+        o.fragment_limit = fragment_limit;
+        o.snapshot_dedup = dedup;
+        o.inband_collector = inband_collector;
+        return o;
+      }()) {}
+
+SnapshotResult SnapshotService::run_with_retries(sim::Network& net, NodeId root,
+                                                 std::uint32_t max_attempts,
+                                                 std::uint32_t* attempts) const {
+  SnapshotResult last;
+  for (std::uint32_t a = 1; a <= max_attempts; ++a) {
+    last = run(net, root);
+    if (attempts) *attempts = a;
+    if (last.complete) return last;
+  }
+  return last;
+}
+
+SnapshotResult SnapshotService::decode(const std::vector<std::uint32_t>& labels) {
+  SnapshotResult res;
+  std::vector<NodeId> stack;
+  PortNo pending = graph::kNoPort;  // port 0 never appears in OUT records
+  for (std::uint32_t lbl : labels) {
+    const Record r = decode_record(lbl);
+    switch (r.type) {
+      case RecType::kVisit:
+        res.nodes.insert(r.node);
+        if (!stack.empty()) {
+          if (pending == graph::kNoPort)
+            throw std::runtime_error("snapshot decode: VISIT without OUT");
+          res.edges.push_back({{stack.back(), pending}, {r.node, r.port}});
+          pending = graph::kNoPort;
+        }
+        stack.push_back(r.node);
+        break;
+      case RecType::kOut:
+        pending = r.port;
+        break;
+      case RecType::kBounce:
+        res.nodes.insert(r.node);
+        if (stack.empty() || pending == graph::kNoPort)
+          throw std::runtime_error("snapshot decode: BOUNCE without OUT");
+        res.edges.push_back({{stack.back(), pending}, {r.node, r.port}});
+        pending = graph::kNoPort;
+        break;
+      case RecType::kRet:
+        if (stack.empty()) throw std::runtime_error("snapshot decode: RET underflow");
+        stack.pop_back();
+        pending = graph::kNoPort;
+        break;
+    }
+  }
+  return res;
+}
+
+SnapshotResult SnapshotService::run(sim::Network& net, NodeId root) const {
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  const std::size_t lmark = net.local_deliveries().size();
+  net.packet_out(root, layout_.make_packet(kEthTraversal));
+  net.run();
+
+  // Concatenate fragments in arrival order, then the final packet's records.
+  std::vector<std::uint32_t> labels;
+  bool complete = false;
+  std::size_t fragments = 0;
+  for (const Report& m : collect_reports(net, layout_, mark, lmark,
+                                         compiler_.options().inband_collector)) {
+    if (m.reason == kReasonSnapshotFragment || m.reason == kReasonFinish) {
+      labels.insert(labels.end(), m.packet->labels.begin(), m.packet->labels.end());
+      ++fragments;
+      if (m.reason == kReasonFinish) complete = true;
+    }
+  }
+  SnapshotResult res = decode(labels);
+  res.complete = complete;
+  res.fragments = fragments;
+  res.stats = scope.delta();
+  return res;
+}
+
+std::string SnapshotResult::canonical() const {
+  std::vector<std::string> lines;
+  lines.reserve(edges.size());
+  for (const SnapshotEdge& e : edges) {
+    graph::Endpoint lo = e.a, hi = e.b;
+    if (hi.node < lo.node) std::swap(lo, hi);
+    lines.push_back(util::cat(lo.node, ":", lo.port, "-", hi.node, ":", hi.port));
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  return util::join(lines, "\n");
+}
+
+// ---------------------------------------------------------------------------
+// Anycast
+// ---------------------------------------------------------------------------
+AnycastService::AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kAnycast);
+        o.groups = std::move(groups);
+        return o;
+      }()) {}
+
+AnycastResult AnycastService::run(sim::Network& net, NodeId from, std::uint32_t gid) const {
+  StatsScope scope(net);
+  const std::size_t mark = net.local_deliveries().size();
+  ofp::Packet pkt = layout_.make_packet(kEthTraversal);
+  layout_.set(pkt, layout_.gid(), gid);
+  pkt.payload_bytes = 64;  // the anycast message's own data
+  net.packet_out(from, std::move(pkt));
+  net.run();
+  AnycastResult res;
+  if (net.local_deliveries().size() > mark)
+    res.delivered_at = net.local_deliveries()[mark].at;
+  res.stats = scope.delta();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Chained anycast
+// ---------------------------------------------------------------------------
+ChainedAnycastService::ChainedAnycastService(const graph::Graph& g,
+                                             std::vector<AnycastGroupSpec> groups)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kChainedAnycast);
+        o.groups = std::move(groups);
+        return o;
+      }()) {}
+
+ChainResult ChainedAnycastService::run(sim::Network& net, NodeId from,
+                                       const std::vector<std::uint32_t>& chain) const {
+  if (chain.empty() || chain.size() > kChainSlots)
+    throw std::invalid_argument("chain length must be 1..kChainSlots");
+  StatsScope scope(net);
+  const std::size_t mark = net.local_deliveries().size();
+  ofp::Packet pkt = layout_.make_packet(kEthTraversal);
+  for (std::size_t k = 0; k < chain.size(); ++k)
+    layout_.set(pkt, layout_.chain_slot(static_cast<std::uint32_t>(k)), chain[k]);
+  pkt.payload_bytes = 64;
+  net.packet_out(from, std::move(pkt));
+  net.run();
+  ChainResult res;
+  for (std::size_t k = mark; k < net.local_deliveries().size(); ++k)
+    res.hops.push_back(net.local_deliveries()[k].at);
+  res.completed = res.hops.size() == chain.size();
+  res.stats = scope.delta();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Priocast
+// ---------------------------------------------------------------------------
+PriocastService::PriocastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kPriocast);
+        o.groups = std::move(groups);
+        return o;
+      }()) {}
+
+AnycastResult PriocastService::run(sim::Network& net, NodeId from, std::uint32_t gid) const {
+  StatsScope scope(net);
+  const std::size_t mark = net.local_deliveries().size();
+  ofp::Packet pkt = layout_.make_packet(kEthTraversal);
+  layout_.set(pkt, layout_.gid(), gid);
+  pkt.payload_bytes = 64;
+  net.packet_out(from, std::move(pkt));
+  net.run();
+  AnycastResult res;
+  if (net.local_deliveries().size() > mark)
+    res.delivered_at = net.local_deliveries()[mark].at;
+  res.stats = scope.delta();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Blackhole via TTL binary search
+// ---------------------------------------------------------------------------
+BlackholeTtlService::BlackholeTtlService(const graph::Graph& g)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, make_opts(ServiceKind::kBlackholeTtl)) {}
+
+namespace {
+
+enum class ProbeOutcome { kFinish, kExpired, kSilent };
+
+struct ProbeResult {
+  ProbeOutcome outcome = ProbeOutcome::kSilent;
+  NodeId at_switch = 0;
+  PortNo out_port = 0;
+};
+
+}  // namespace
+
+BlackholeTtlResult BlackholeTtlService::run(sim::Network& net, NodeId root,
+                                            std::uint32_t max_ttl) const {
+  StatsScope scope(net);
+  BlackholeTtlResult res;
+
+  auto probe = [&](std::uint32_t ttl) -> ProbeResult {
+    const std::size_t mark = net.controller_msgs().size();
+    ofp::Packet pkt = layout_.make_packet(kEthTraversal);
+    pkt.ttl = static_cast<std::uint8_t>(ttl);
+    net.packet_out(root, std::move(pkt));
+    net.run();
+    ++res.probes;
+    ProbeResult pr;
+    for (const auto* m : new_msgs(net, mark)) {
+      if (m->reason == kReasonFinish) {
+        pr.outcome = ProbeOutcome::kFinish;
+        return pr;
+      }
+      if (m->reason == ofp::kReasonInvalidTtl) {
+        pr.outcome = ProbeOutcome::kExpired;
+        pr.at_switch = m->from;
+        pr.out_port = static_cast<PortNo>(layout_.get(m->packet, layout_.out_port()));
+        return pr;
+      }
+    }
+    pr.outcome = ProbeOutcome::kSilent;
+    return pr;
+  };
+
+  // First probe with the largest TTL: completes (no blackhole), expires
+  // (network bigger than max_ttl — inconclusive), or vanishes (blackhole).
+  ProbeResult first = probe(max_ttl);
+  if (first.outcome != ProbeOutcome::kSilent) {
+    res.blackhole_found = false;
+    res.stats = scope.delta();
+    return res;
+  }
+
+  // probe(T) expires for T < j and is silent for T >= j, where hop j dies.
+  // Bisect for j; the expiry report at T = j-1 names the edge of hop j.
+  std::uint32_t lo = 0, hi = max_ttl;  // probe(0) always expires at the root
+  std::optional<ProbeResult> last_expired;
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    ProbeResult pr = probe(mid);
+    if (pr.outcome == ProbeOutcome::kExpired) {
+      lo = mid;
+      last_expired = pr;
+    } else {
+      hi = mid;
+    }
+  }
+  if (!last_expired || lo != 0) {
+    // Ensure we hold the report for exactly T = lo.
+    if (!last_expired) last_expired = probe(lo);
+  }
+  if (last_expired->outcome == ProbeOutcome::kExpired) {
+    res.blackhole_found = true;
+    res.at_switch = last_expired->at_switch;
+    res.out_port = last_expired->out_port;
+  }
+  res.stats = scope.delta();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Blackhole via smart counters
+// ---------------------------------------------------------------------------
+BlackholeCountersService::BlackholeCountersService(const graph::Graph& g,
+                                                   std::uint32_t modulus,
+                                                   std::optional<NodeId> inband_collector)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kBlackholeCounters);
+        o.counter_modulus = modulus;
+        o.inband_collector = inband_collector;
+        return o;
+      }()) {}
+
+BlackholeCountersResult BlackholeCountersService::run(sim::Network& net,
+                                                      NodeId root) const {
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  const std::size_t lmark = net.local_deliveries().size();
+
+  // Traversal 1: dance over every new link, feeding the port counters.
+  net.packet_out(root, layout_.make_packet(kEthTraversal));
+  net.run();
+
+  // Traversal 2 ("sent with a time difference of twice the maximum delay"):
+  // walk the counters and report 1-valued ports.
+  ofp::Packet second = layout_.make_packet(kEthTraversal);
+  layout_.set(second, layout_.phase2(), 1);
+  net.packet_out(root, std::move(second));
+  net.run();
+
+  BlackholeCountersResult res;
+  for (const Report& m : collect_reports(net, layout_, mark, lmark,
+                                         compiler_.options().inband_collector)) {
+    if (m.reason == kReasonBlackholePort) {
+      res.reports.push_back(
+          {m.from, static_cast<PortNo>(layout_.get(*m.packet, layout_.out_port()))});
+    }
+  }
+  res.stats = scope.delta();
+  return res;
+}
+
+void BlackholeCountersService::reset_counters(sim::Network& net) const {
+  for (graph::NodeId v = 0; v < graph_.node_count(); ++v) {
+    net.sw(v).groups().reset_select_cursors();
+    // Account the re-arm as one control message per switch with ports.
+    if (graph_.degree(v) > 0) ++net.stats().packet_outs;
+  }
+}
+
+BlackholeCountersService::SweepResult BlackholeCountersService::find_all(
+    sim::Network& net, NodeId root, std::uint32_t max_rounds) const {
+  StatsScope scope(net);
+  SweepResult sweep;
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    ++sweep.rounds;
+    BlackholeCountersResult res = run(net, root);
+    if (res.reports.empty()) break;
+    for (const auto& r : res.reports) {
+      sweep.found.push_back(r);
+      // Operator action: take the faulty link down; FAST-FAILOVER routes
+      // the next round around it.
+      net.set_link_up(graph_.edge_at(r.at_switch, r.out_port), false);
+    }
+    reset_counters(net);
+  }
+  sweep.stats = scope.delta();
+  return sweep;
+}
+
+// ---------------------------------------------------------------------------
+// Packet-loss monitoring
+// ---------------------------------------------------------------------------
+PacketLossMonitor::PacketLossMonitor(const graph::Graph& g,
+                                     std::vector<std::uint32_t> moduli)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kPacketLoss);
+        o.loss_moduli = std::move(moduli);
+        return o;
+      }()) {}
+
+void PacketLossMonitor::send_data(sim::Network& net, NodeId u, PortNo port,
+                                  std::uint32_t count) const {
+  for (std::uint32_t k = 0; k < count; ++k) {
+    ofp::Packet pkt = layout_.make_packet(kEthData);
+    layout_.set(pkt, layout_.out_port(), port);
+    pkt.payload_bytes = 512;
+    net.packet_out(u, std::move(pkt));
+    net.run();
+  }
+}
+
+PacketLossResult PacketLossMonitor::detect(sim::Network& net, NodeId root) const {
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  net.packet_out(root, layout_.make_packet(kEthTraversal));
+  net.run();
+  PacketLossResult res;
+  for (const auto* m : new_msgs(net, mark)) {
+    if (m->reason == kReasonLossDetected) {
+      res.reports.push_back(
+          {m->from, static_cast<PortNo>(layout_.get(m->packet, layout_.out_port()))});
+    }
+  }
+  res.stats = scope.delta();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Load inference
+// ---------------------------------------------------------------------------
+LoadInferenceService::LoadInferenceService(const graph::Graph& g,
+                                           std::vector<std::uint32_t> moduli)
+    : graph_(g), layout_(graph_), moduli_(moduli),
+      compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kLoadInference);
+        o.loss_moduli = std::move(moduli);
+        return o;
+      }()) {
+  for (std::size_t a = 0; a < moduli_.size(); ++a)
+    for (std::size_t b = a + 1; b < moduli_.size(); ++b)
+      if (std::gcd(moduli_[a], moduli_[b]) != 1)
+        throw std::invalid_argument("LoadInferenceService: moduli must be coprime");
+}
+
+std::uint64_t LoadInferenceService::modulus_product() const {
+  std::uint64_t m = 1;
+  for (auto v : moduli_) m *= v;
+  return m;
+}
+
+void LoadInferenceService::send_data(sim::Network& net, NodeId u, PortNo port,
+                                     std::uint32_t count) const {
+  for (std::uint32_t k = 0; k < count; ++k) {
+    ofp::Packet pkt = layout_.make_packet(kEthData);
+    layout_.set(pkt, layout_.out_port(), port);
+    pkt.payload_bytes = 512;
+    net.packet_out(u, std::move(pkt));
+    net.run();
+  }
+}
+
+LoadInferenceResult LoadInferenceService::infer(sim::Network& net, NodeId root) const {
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  net.packet_out(root, layout_.make_packet(kEthTraversal));
+  net.run();
+
+  LoadInferenceResult res;
+  std::map<PortLoadKey, std::vector<std::optional<std::uint32_t>>> residues;
+  for (const auto* m : new_msgs(net, mark)) {
+    if (m->reason != kReasonFinish) continue;
+    res.complete = true;
+    for (std::uint32_t lbl : m->packet.labels) {
+      const LoadRecord r = decode_load(lbl);
+      PortLoadKey key{r.node, r.port, r.ingress};
+      auto& vec = residues[key];
+      vec.resize(moduli_.size());
+      if (r.modulus_idx < moduli_.size()) vec[r.modulus_idx] = r.value;
+    }
+  }
+  // CRT by direct search (products are small).
+  const std::uint64_t M = modulus_product();
+  for (auto& [key, vec] : residues) {
+    for (std::uint64_t x = 0; x < M; ++x) {
+      bool ok = true;
+      for (std::size_t k = 0; k < moduli_.size(); ++k)
+        ok = ok && vec[k].has_value() && (x % moduli_[k]) == *vec[k];
+      if (ok) {
+        res.loads[key] = x;
+        break;
+      }
+    }
+  }
+  res.stats = scope.delta();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Critical-node detection
+// ---------------------------------------------------------------------------
+CriticalNodeService::CriticalNodeService(const graph::Graph& g,
+                                         std::optional<NodeId> inband_collector)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kCritical);
+        o.inband_collector = inband_collector;
+        return o;
+      }()) {}
+
+CriticalResult CriticalNodeService::run(sim::Network& net, NodeId v) const {
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  const std::size_t lmark = net.local_deliveries().size();
+  net.packet_out(v, layout_.make_packet(kEthTraversal));
+  net.run();
+  CriticalResult res;
+  for (const Report& m : collect_reports(net, layout_, mark, lmark,
+                                         compiler_.options().inband_collector)) {
+    if (m.reason == kReasonCritTrue) res.critical = true;
+    if (m.reason == kReasonCritFalse && !res.critical.has_value()) res.critical = false;
+  }
+  res.stats = scope.delta();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Critical-link detection
+// ---------------------------------------------------------------------------
+CriticalLinkService::CriticalLinkService(const graph::Graph& g,
+                                         std::optional<NodeId> inband_collector)
+    : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
+        CompilerOptions o = make_opts(ServiceKind::kCriticalLink);
+        o.inband_collector = inband_collector;
+        return o;
+      }()) {}
+
+CriticalLinkResult CriticalLinkService::run(sim::Network& net, NodeId u,
+                                            PortNo port) const {
+  if (port == graph::kNoPort || port > graph_.degree(u))
+    throw std::invalid_argument("CriticalLinkService: no such port");
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  const std::size_t lmark = net.local_deliveries().size();
+  ofp::Packet pkt = layout_.make_packet(kEthTraversal);
+  layout_.set(pkt, layout_.out_port(), port);
+  net.packet_out(u, std::move(pkt));
+  net.run();
+  CriticalLinkResult res;
+  for (const Report& m : collect_reports(net, layout_, mark, lmark,
+                                         compiler_.options().inband_collector)) {
+    if (m.reason == kReasonLinkNotCritical) res.critical = false;
+    if (m.reason == kReasonLinkCritical && !res.critical.has_value())
+      res.critical = true;
+  }
+  res.stats = scope.delta();
+  return res;
+}
+
+}  // namespace ss::core

@@ -1,0 +1,367 @@
+#pragma once
+// Service drivers: the thin controller-side code of each SmartSouth service.
+//
+// The paper's split: the OFFLINE stage installs tables (TemplateCompiler);
+// the RUNTIME stage injects a trigger packet and — for some services —
+// consumes a constant number of out-of-band messages.  Drivers do exactly
+// that and decode the results; all distributed logic lives in the rules.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/fields.hpp"
+#include "sim/network.hpp"
+
+namespace ss::core {
+
+/// Per-run accounting common to every service (feeds the Table-2 benches).
+struct RunStats {
+  std::uint64_t inband_msgs = 0;        // packets put on a wire
+  std::uint64_t outband_to_ctrl = 0;    // switch -> controller messages
+  std::uint64_t outband_from_ctrl = 0;  // controller -> switch packet-outs
+  std::uint64_t max_wire_bytes = 0;
+  std::uint64_t outband_total() const { return outband_to_ctrl + outband_from_ctrl; }
+};
+
+/// Snapshot delta of the network's counters across one service run.
+class StatsScope {
+ public:
+  explicit StatsScope(sim::Network& net) : net_(&net), before_(net.stats()) {}
+  RunStats delta() const {
+    const sim::Stats& a = before_;
+    const sim::Stats& b = net_->stats();
+    RunStats r;
+    r.inband_msgs = b.sent - a.sent;
+    r.outband_to_ctrl = b.controller_msgs - a.controller_msgs;
+    r.outband_from_ctrl = b.packet_outs - a.packet_outs;
+    r.max_wire_bytes = b.max_wire_bytes;
+    return r;
+  }
+
+ private:
+  sim::Network* net_;
+  sim::Stats before_;
+};
+
+// ---------------------------------------------------------------------------
+// Plain traversal (the bare SmartSouth template) — used to measure the
+// template's own message complexity.
+// ---------------------------------------------------------------------------
+class PlainTraversal {
+ public:
+  explicit PlainTraversal(const graph::Graph& g, bool finish_report = true,
+                          bool use_fast_failover = true);
+  void install(sim::Network& net) const { compiler_.install(net); }
+  /// Inject at `root`; returns true iff the root's Finish() fired.
+  bool run(sim::Network& net, graph::NodeId root, RunStats* stats = nullptr) const;
+  const TagLayout& layout() const { return layout_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot (§3.1)
+// ---------------------------------------------------------------------------
+struct SnapshotEdge {
+  graph::Endpoint a, b;
+};
+
+struct SnapshotResult {
+  bool complete = false;              // final fragment arrived (root Finish())
+  std::set<graph::NodeId> nodes;      // visited nodes
+  std::vector<SnapshotEdge> edges;    // discovered links with port numbers
+  std::size_t fragments = 0;          // controller messages carrying records
+  RunStats stats;
+
+  /// Canonical "u:pu-v:pv" line set for ground-truth comparison.
+  std::string canonical() const;
+};
+
+class SnapshotService {
+ public:
+  /// `fragment_limit` = first-visit records per fragment (0: single packet).
+  /// `dedup` = false disables the paper's non-tree-edge dedup (ablation).
+  /// `inband_collector` routes all results in-band to that switch's LOCAL
+  /// port instead of the controller channel (fully in-band monitoring).
+  explicit SnapshotService(const graph::Graph& g, std::uint32_t fragment_limit = 0,
+                           bool dedup = true,
+                           std::optional<graph::NodeId> inband_collector = {});
+  void install(sim::Network& net) const { compiler_.install(net); }
+  SnapshotResult run(sim::Network& net, graph::NodeId root) const;
+
+  /// Retry wrapper for failures DURING a traversal (outside the paper's
+  /// model): re-trigger with a fresh packet until a run completes.  Each
+  /// fresh packet re-reads port liveness, so the retry adapts to whatever
+  /// failed mid-flight.  Returns the first complete snapshot; `attempts`
+  /// reports how many triggers were spent.
+  SnapshotResult run_with_retries(sim::Network& net, graph::NodeId root,
+                                  std::uint32_t max_attempts,
+                                  std::uint32_t* attempts = nullptr) const;
+  const TagLayout& layout() const { return layout_; }
+
+  /// Decode a concatenated record stream (exposed for tests).
+  static SnapshotResult decode(const std::vector<std::uint32_t>& labels);
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Anycast / chained anycast / priocast (§3.2)
+// ---------------------------------------------------------------------------
+struct AnycastResult {
+  std::optional<graph::NodeId> delivered_at;
+  RunStats stats;
+};
+
+class AnycastService {
+ public:
+  AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups);
+  void install(sim::Network& net) const { compiler_.install(net); }
+  AnycastResult run(sim::Network& net, graph::NodeId from, std::uint32_t gid) const;
+  const TagLayout& layout() const { return layout_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+struct ChainResult {
+  std::vector<graph::NodeId> hops;  // middleboxes traversed, in order
+  bool completed = false;           // the final chain element was reached
+  RunStats stats;
+};
+
+class ChainedAnycastService {
+ public:
+  ChainedAnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups);
+  void install(sim::Network& net) const { compiler_.install(net); }
+  ChainResult run(sim::Network& net, graph::NodeId from,
+                  const std::vector<std::uint32_t>& chain) const;
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+class PriocastService {
+ public:
+  PriocastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups);
+  void install(sim::Network& net) const { compiler_.install(net); }
+  AnycastResult run(sim::Network& net, graph::NodeId from, std::uint32_t gid) const;
+  const TagLayout& layout() const { return layout_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Blackhole detection, first solution: TTL binary search (§3.3)
+// ---------------------------------------------------------------------------
+struct BlackholeTtlResult {
+  bool blackhole_found = false;
+  graph::NodeId at_switch = 0;   // sender-side endpoint of the dead edge
+  graph::PortNo out_port = 0;
+  std::uint32_t probes = 0;      // trigger packets sent
+  RunStats stats;
+};
+
+class BlackholeTtlService {
+ public:
+  explicit BlackholeTtlService(const graph::Graph& g);
+  void install(sim::Network& net) const { compiler_.install(net); }
+  /// Binary-search TTL probing from `root`.  `max_ttl` bounds the search
+  /// (OpenFlow TTLs are 8-bit; see EXPERIMENTS.md).
+  BlackholeTtlResult run(sim::Network& net, graph::NodeId root,
+                         std::uint32_t max_ttl = 255) const;
+  const TagLayout& layout() const { return layout_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Blackhole detection, second solution: smart counters (§3.3)
+// ---------------------------------------------------------------------------
+struct BlackholeCounterReport {
+  graph::NodeId at_switch = 0;
+  graph::PortNo out_port = 0;
+};
+
+struct BlackholeCountersResult {
+  std::vector<BlackholeCounterReport> reports;
+  RunStats stats;
+};
+
+class BlackholeCountersService {
+ public:
+  explicit BlackholeCountersService(const graph::Graph& g, std::uint32_t modulus = 16,
+                                    std::optional<graph::NodeId> inband_collector = {});
+  void install(sim::Network& net) const { compiler_.install(net); }
+  /// One detection round: two trigger packets, then collect reports.
+  /// Counters are consumed by a round — use a freshly installed network
+  /// per round, or re-arm with reset_counters().
+  BlackholeCountersResult run(sim::Network& net, graph::NodeId root) const;
+
+  /// Re-arm the per-port smart counters (one group-mod per port in a real
+  /// deployment; costs |ports| control messages, counted as packet-outs).
+  void reset_counters(sim::Network& net) const;
+
+  /// Iterative sweep for MULTIPLE blackholes: detect, let the operator
+  /// take the faulty link administratively down (fast failover then routes
+  /// around it), re-arm, repeat until a clean round.  Returns every
+  /// blackhole found, in detection order.
+  struct SweepResult {
+    std::vector<BlackholeCounterReport> found;
+    std::uint32_t rounds = 0;
+    RunStats stats;
+  };
+  SweepResult find_all(sim::Network& net, graph::NodeId root,
+                       std::uint32_t max_rounds = 8) const;
+  const TagLayout& layout() const { return layout_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Packet-loss monitoring with per-port in/out counters (§3.3)
+// ---------------------------------------------------------------------------
+struct PacketLossReport {
+  graph::NodeId at_switch = 0;  // receiving side of the lossy link
+  graph::PortNo in_port = 0;
+};
+
+struct PacketLossResult {
+  std::vector<PacketLossReport> reports;
+  RunStats stats;
+};
+
+class PacketLossMonitor {
+ public:
+  PacketLossMonitor(const graph::Graph& g, std::vector<std::uint32_t> moduli = {8});
+  void install(sim::Network& net) const { compiler_.install(net); }
+  /// Push `count` background data packets from `u` out of `port`.
+  void send_data(sim::Network& net, graph::NodeId u, graph::PortNo port,
+                 std::uint32_t count) const;
+  /// Trigger the comparison traversal from `root`; mismatching links report.
+  PacketLossResult detect(sim::Network& net, graph::NodeId root) const;
+  const TagLayout& layout() const { return layout_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Load inference (§4 extension): reconstruct per-port traffic counts from
+// smart-counter residues collected by one traversal.
+// ---------------------------------------------------------------------------
+struct PortLoadKey {
+  graph::NodeId node = 0;
+  graph::PortNo port = 0;
+  bool ingress = false;
+  auto operator<=>(const PortLoadKey&) const = default;
+};
+
+struct LoadInferenceResult {
+  /// CRT-reconstructed counts modulo the product of the moduli.
+  std::map<PortLoadKey, std::uint64_t> loads;
+  bool complete = false;
+  RunStats stats;
+};
+
+class LoadInferenceService {
+ public:
+  /// `moduli` must be pairwise coprime (CRT); counts are exact below their
+  /// product (default {13, 15, 16}: exact up to 3120 packets).
+  explicit LoadInferenceService(const graph::Graph& g,
+                                std::vector<std::uint32_t> moduli = {13, 15, 16});
+  void install(sim::Network& net) const { compiler_.install(net); }
+  /// Push `count` background data packets from `u` out of `port`.
+  void send_data(sim::Network& net, graph::NodeId u, graph::PortNo port,
+                 std::uint32_t count) const;
+  /// One traversal from `root`; decodes every reached port's counters.
+  LoadInferenceResult infer(sim::Network& net, graph::NodeId root) const;
+  const TagLayout& layout() const { return layout_; }
+  std::uint64_t modulus_product() const;
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  std::vector<std::uint32_t> moduli_;
+  TemplateCompiler compiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Critical-node detection (§3.4)
+// ---------------------------------------------------------------------------
+struct CriticalResult {
+  std::optional<bool> critical;  // nullopt: no verdict (e.g. isolated node)
+  RunStats stats;
+};
+
+class CriticalNodeService {
+ public:
+  explicit CriticalNodeService(const graph::Graph& g,
+                               std::optional<graph::NodeId> inband_collector = {});
+  void install(sim::Network& net) const { compiler_.install(net); }
+  /// Ask node `v` to test its own criticality.
+  CriticalResult run(sim::Network& net, graph::NodeId v) const;
+  const TagLayout& layout() const { return layout_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Critical-LINK detection (extension): is a given link a bridge?
+//
+// Same trick as §3.4 but for links: the switch at one end starts a
+// traversal that excludes the tested port.  If the far end is reachable
+// without the link it eventually tries its own side of the link and the
+// root sees an arrival on the tested port ("not critical"); if the
+// traversal exhausts without such an arrival, the link is a bridge.
+// ---------------------------------------------------------------------------
+struct CriticalLinkResult {
+  std::optional<bool> critical;  // true: the link is a bridge
+  RunStats stats;
+};
+
+class CriticalLinkService {
+ public:
+  explicit CriticalLinkService(const graph::Graph& g,
+                               std::optional<graph::NodeId> inband_collector = {});
+  void install(sim::Network& net) const { compiler_.install(net); }
+  /// Test the link on port `port` of switch `u`.
+  CriticalLinkResult run(sim::Network& net, graph::NodeId u, graph::PortNo port) const;
+  const TagLayout& layout() const { return layout_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TagLayout layout_;
+  TemplateCompiler compiler_;
+};
+
+}  // namespace ss::core

@@ -1,0 +1,24 @@
+#pragma once
+// Umbrella header: the full public API of the SmartSouth library.
+//
+//   #include "core/smartsouth.hpp"
+//
+// brings in the topology substrate, the OpenFlow 1.3 data-plane model, the
+// discrete-event simulator, the rule compiler, and every service driver.
+
+#include "core/compiler.hpp"    // IWYU pragma: export
+#include "core/eth_types.hpp"   // IWYU pragma: export
+#include "core/fields.hpp"      // IWYU pragma: export
+#include "core/labels.hpp"      // IWYU pragma: export
+#include "core/load_labels.hpp" // IWYU pragma: export
+#include "core/monitor.hpp"     // IWYU pragma: export
+#include "core/services.hpp"    // IWYU pragma: export
+#include "graph/algorithms.hpp" // IWYU pragma: export
+#include "graph/generators.hpp" // IWYU pragma: export
+#include "graph/graph.hpp"      // IWYU pragma: export
+#include "ofp/dump.hpp"         // IWYU pragma: export
+#include "ofp/space.hpp"        // IWYU pragma: export
+#include "ofp/switch.hpp"       // IWYU pragma: export
+#include "ofp/verify.hpp"       // IWYU pragma: export
+#include "ofp/wire.hpp"         // IWYU pragma: export
+#include "sim/network.hpp"      // IWYU pragma: export

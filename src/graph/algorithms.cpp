@@ -1,0 +1,230 @@
+#include "graph/algorithms.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace ss::graph {
+
+DfsTrace smartsouth_dfs(const Graph& g, NodeId root, const EdgeAlive& alive) {
+  const std::size_t n = g.node_count();
+  if (root >= n) throw std::out_of_range("smartsouth_dfs: bad root");
+
+  DfsTrace tr;
+  tr.parent_port.assign(n, kNoPort);
+  tr.visited.assign(n, false);
+
+  std::vector<PortNo> cur(n, kNoPort);
+  std::vector<PortNo> par(n, kNoPort);
+
+  auto port_alive = [&](NodeId v, PortNo p) {
+    return alive(g.edge_at(v, p));
+  };
+
+  NodeId node = root;
+  PortNo in = kNoPort;
+  bool start = false;
+
+  // Guard against template bugs: the traversal visits each directed edge a
+  // bounded number of times; 8E + 4n is a safe ceiling.
+  const std::size_t hop_budget = 8 * g.edge_count() + 4 * n + 16;
+
+  while (true) {
+    if (tr.hops.size() > hop_budget)
+      throw std::runtime_error("smartsouth_dfs: traversal did not terminate");
+
+    PortNo out;
+    bool bounced = false;
+    if (!start) {
+      start = true;
+      tr.visited[node] = true;
+      tr.visit_order.push_back(node);
+      out = 1;
+      tr.events.push_back({VisitKind::kRootStart, node, kNoPort, kNoPort});
+    } else if (cur[node] == kNoPort) {
+      par[node] = in;
+      tr.parent_port[node] = in;
+      tr.visited[node] = true;
+      tr.visit_order.push_back(node);
+      out = 1;
+      tr.events.push_back({VisitKind::kFirstVisit, node, in, kNoPort});
+    } else if (in == cur[node]) {
+      out = cur[node] + 1;
+      tr.events.push_back({VisitKind::kFromCur, node, in, kNoPort});
+    } else {
+      out = in;  // bounce, cur untouched
+      bounced = true;
+      tr.events.push_back({VisitKind::kNotFromCur, node, in, in});
+    }
+
+    if (!bounced) {
+      const PortNo deg = g.degree(node);
+      bool to_parent = false;
+      if (out == deg + 1) {
+        out = par[node];
+        to_parent = true;
+      } else {
+        while (!port_alive(node, out) || out == par[node]) {
+          ++out;
+          if (out == deg + 1) {
+            out = par[node];
+            to_parent = true;
+            break;
+          }
+        }
+      }
+      cur[node] = out;
+      if (to_parent) {
+        if (out == kNoPort) {
+          tr.events.push_back({VisitKind::kFinish, node, in, kNoPort});
+          tr.finished = true;
+          return tr;
+        }
+        tr.events.push_back({VisitKind::kSendParent, node, in, out});
+      } else {
+        tr.events.back().out_port = out;
+      }
+    }
+
+    const auto nb = g.neighbor(node, out);
+    if (!nb) throw std::logic_error("smartsouth_dfs: send on nonexistent port");
+    tr.hops.push_back({node, out, nb->node, nb->port});
+    node = nb->node;
+    in = nb->port;
+  }
+}
+
+namespace {
+
+std::vector<std::uint32_t> comp_impl(const Graph& g, const EdgeAlive& alive) {
+  const auto n = g.node_count();
+  std::vector<std::uint32_t> comp(n, std::numeric_limits<std::uint32_t>::max());
+  std::uint32_t c = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != std::numeric_limits<std::uint32_t>::max()) continue;
+    std::deque<NodeId> q{s};
+    comp[s] = c;
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop_front();
+      for (PortNo p = 1; p <= g.degree(u); ++p) {
+        if (!alive(g.edge_at(u, p))) continue;
+        NodeId v = g.neighbor(u, p)->node;
+        if (comp[v] == std::numeric_limits<std::uint32_t>::max()) {
+          comp[v] = c;
+          q.push_back(v);
+        }
+      }
+    }
+    ++c;
+  }
+  return comp;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> components(const Graph& g, const EdgeAlive& alive) {
+  return comp_impl(g, alive);
+}
+
+bool is_connected(const Graph& g, const EdgeAlive& alive) {
+  auto comp = comp_impl(g, alive);
+  for (auto c : comp)
+    if (c != 0) return false;
+  return true;
+}
+
+std::vector<bool> reachable_from(const Graph& g, NodeId src, const EdgeAlive& alive) {
+  auto comp = comp_impl(g, alive);
+  std::vector<bool> out(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) out[v] = comp[v] == comp[src];
+  return out;
+}
+
+namespace {
+
+// Iterative Tarjan computing both articulation points and bridges.
+struct LowLink {
+  std::vector<bool> art;
+  std::vector<bool> bridge;
+};
+
+LowLink lowlink(const Graph& g, const EdgeAlive& alive) {
+  const auto n = g.node_count();
+  LowLink out;
+  out.art.assign(n, false);
+  out.bridge.assign(g.edge_count(), false);
+
+  std::vector<std::uint32_t> disc(n, 0), low(n, 0);
+  std::vector<PortNo> iter(n, 1);
+  std::vector<NodeId> parent(n, n);  // n = none
+  std::vector<EdgeId> parent_edge(n, 0);
+  std::uint32_t timer = 1;
+
+  for (NodeId s = 0; s < n; ++s) {
+    if (disc[s] != 0) continue;
+    std::vector<NodeId> stack{s};
+    disc[s] = low[s] = timer++;
+    std::uint32_t root_children = 0;
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      if (iter[u] <= g.degree(u)) {
+        const PortNo p = iter[u]++;
+        const EdgeId e = g.edge_at(u, p);
+        if (!alive(e)) continue;
+        const NodeId v = g.neighbor(u, p)->node;
+        if (disc[v] == 0) {
+          disc[v] = low[v] = timer++;
+          parent[v] = u;
+          parent_edge[v] = e;
+          if (u == s) ++root_children;
+          stack.push_back(v);
+        } else if (v != parent[u] || e != parent_edge[u]) {
+          low[u] = std::min(low[u], disc[v]);
+        }
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          NodeId pu = parent[u];
+          low[pu] = std::min(low[pu], low[u]);
+          if (pu != s && low[u] >= disc[pu]) out.art[pu] = true;
+          if (low[u] > disc[pu]) out.bridge[parent_edge[u]] = true;
+        }
+      }
+    }
+    if (root_children >= 2) out.art[s] = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<bool> articulation_points(const Graph& g, const EdgeAlive& alive) {
+  return lowlink(g, alive).art;
+}
+
+std::vector<bool> bridges(const Graph& g, const EdgeAlive& alive) {
+  return lowlink(g, alive).bridge;
+}
+
+std::vector<std::uint32_t> bfs_distance(const Graph& g, NodeId src, const EdgeAlive& alive) {
+  const auto inf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.node_count(), inf);
+  std::deque<NodeId> q{src};
+  dist[src] = 0;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop_front();
+    for (PortNo p = 1; p <= g.degree(u); ++p) {
+      if (!alive(g.edge_at(u, p))) continue;
+      NodeId v = g.neighbor(u, p)->node;
+      if (dist[v] == inf) {
+        dist[v] = dist[u] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace ss::graph

@@ -1,0 +1,90 @@
+#pragma once
+// Reference graph algorithms.
+//
+// Two roles:
+//  * ground truth for tests (articulation points vs. the critical-node
+//    service, connectivity vs. anycast reachability, ...);
+//  * a host-level emulation of Algorithm 1 (the SmartSouth DFS template)
+//    that predicts the exact hop sequence of the compiled data-plane rules.
+//    The integration tests require the rule-driven execution to match this
+//    emulation hop for hop.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ss::graph {
+
+/// Predicate: is this edge usable?  (Failed links return false; blackhole
+/// links return true — they are live but lossy, which is the whole point.)
+using EdgeAlive = std::function<bool(EdgeId)>;
+
+inline EdgeAlive all_alive() {
+  return [](EdgeId) { return true; };
+}
+
+/// One packet transmission in the traversal.
+struct Hop {
+  NodeId from = 0;
+  PortNo out_port = kNoPort;
+  NodeId to = 0;
+  PortNo in_port = kNoPort;
+};
+
+/// Node-level events, in order, as named in the paper's template.
+enum class VisitKind : std::uint8_t {
+  kRootStart,        // start = 0 branch
+  kFirstVisit,       // First_visit()
+  kFromCur,          // Visit_from_cur()
+  kNotFromCur,       // Visit_not_from_cur() (bounce)
+  kSendParent,       // Send_parent()
+  kFinish,           // Finish() at the root
+};
+
+struct VisitEvent {
+  VisitKind kind;
+  NodeId node;
+  PortNo in_port;   // port the packet arrived on (kNoPort at root start)
+  PortNo out_port;  // port the packet leaves on (kNoPort on finish)
+};
+
+/// Full result of emulating Algorithm 1 from `root`.
+struct DfsTrace {
+  std::vector<Hop> hops;            // every in-band transmission
+  std::vector<VisitEvent> events;   // node-level event log
+  std::vector<NodeId> visit_order;  // nodes in first-visit order (root first)
+  std::vector<PortNo> parent_port;  // parent_port[v] (kNoPort for root/unvisited)
+  std::vector<bool> visited;
+  bool finished = false;            // root executed Finish()
+  std::size_t message_count() const { return hops.size(); }
+};
+
+/// Emulate the SmartSouth template (Algorithm 1) exactly: ports tried in
+/// increasing order, skipping dead ports and the parent; unexpected arrivals
+/// bounced; packet returned to parent when ports are exhausted.
+DfsTrace smartsouth_dfs(const Graph& g, NodeId root, const EdgeAlive& alive = all_alive());
+
+/// Connected components under `alive`; comp[v] in [0, #components).
+std::vector<std::uint32_t> components(const Graph& g, const EdgeAlive& alive = all_alive());
+
+bool is_connected(const Graph& g, const EdgeAlive& alive = all_alive());
+
+/// Nodes reachable from `src` under `alive`.
+std::vector<bool> reachable_from(const Graph& g, NodeId src,
+                                 const EdgeAlive& alive = all_alive());
+
+/// Articulation points (cut vertices) of the alive subgraph, restricted to
+/// the component containing `root`'s ids; classic Tarjan low-link.
+std::vector<bool> articulation_points(const Graph& g, const EdgeAlive& alive = all_alive());
+
+/// Bridges (cut edges) of the alive subgraph.
+std::vector<bool> bridges(const Graph& g, const EdgeAlive& alive = all_alive());
+
+/// BFS hop distance from src (UINT32_MAX if unreachable).
+std::vector<std::uint32_t> bfs_distance(const Graph& g, NodeId src,
+                                        const EdgeAlive& alive = all_alive());
+
+}  // namespace ss::graph

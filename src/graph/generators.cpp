@@ -1,0 +1,233 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace ss::graph {
+
+namespace {
+
+Graph empty_graph(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("generator: n must be positive");
+  return Graph(n);
+}
+
+}  // namespace
+
+Graph make_path(std::size_t n) {
+  Graph g = empty_graph(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(i - 1, i);
+  return g;
+}
+
+Graph make_ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("make_ring: n >= 3");
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) g.add_edge(i, static_cast<NodeId>((i + 1) % n));
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("make_star: n >= 2");
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  Graph g = empty_graph(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j);
+  return g;
+}
+
+Graph make_random_tree(std::size_t n, util::Rng& rng) {
+  Graph g = empty_graph(n);
+  for (NodeId i = 1; i < n; ++i)
+    g.add_edge(static_cast<NodeId>(rng.uniform(0, i - 1)), i);
+  return g;
+}
+
+Graph make_dary_tree(std::size_t n, std::size_t d) {
+  if (d == 0) throw std::invalid_argument("make_dary_tree: d >= 1");
+  Graph g = empty_graph(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(static_cast<NodeId>((i - 1) / d), i);
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  Graph g = empty_graph(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  return g;
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("make_torus: rows, cols >= 3");
+  Graph g = empty_graph(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  return g;
+}
+
+Graph make_gnp_connected(std::size_t n, double p, util::Rng& rng) {
+  Graph g = empty_graph(n);
+  std::set<std::pair<NodeId, NodeId>> present;
+  // Random spanning tree for connectivity.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  for (std::size_t i = 1; i < n; ++i) {
+    NodeId u = order[i];
+    NodeId v = order[rng.uniform(0, i - 1)];
+    g.add_edge(u, v);
+    present.insert(std::minmax(u, v));
+  }
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j)
+      if (!present.count({i, j}) && rng.chance(p)) g.add_edge(i, j);
+  return g;
+}
+
+Graph make_random_regular(std::size_t n, std::size_t d, util::Rng& rng) {
+  if (n < 4 || d < 2) throw std::invalid_argument("make_random_regular: n>=4, d>=2");
+  Graph g = make_ring(n);  // base ring: degree 2, connected
+  std::set<std::pair<NodeId, NodeId>> present;
+  for (const Edge& e : g.edges()) present.insert(std::minmax(e.a.node, e.b.node));
+  // The base ring gives every node degree 2; each random perfect matching
+  // adds one more, so d-2 matchings approach d-regularity (some nodes fall
+  // short when a matching pair is already adjacent).
+  const std::size_t rounds = d - 2;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<NodeId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      NodeId u = perm[i], v = perm[i + 1];
+      auto key = std::minmax(u, v);
+      if (u != v && !present.count(key)) {
+        g.add_edge(u, v);
+        present.insert(key);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
+  if (m == 0 || n <= m) throw std::invalid_argument("make_barabasi_albert: n > m >= 1");
+  Graph g = empty_graph(n);
+  // Seed: star over the first m+1 nodes.
+  std::vector<NodeId> endpoint_pool;  // each node appears once per incident edge
+  for (NodeId i = 1; i <= m; ++i) {
+    g.add_edge(0, i);
+    endpoint_pool.push_back(0);
+    endpoint_pool.push_back(i);
+  }
+  for (NodeId i = static_cast<NodeId>(m) + 1; i < n; ++i) {
+    std::set<NodeId> targets;
+    while (targets.size() < m) {
+      NodeId t = endpoint_pool[rng.uniform(0, endpoint_pool.size() - 1)];
+      if (t != i) targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      g.add_edge(i, t);
+      endpoint_pool.push_back(i);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph make_waxman(std::size_t n, double alpha, double beta, util::Rng& rng) {
+  Graph g = empty_graph(n);
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.uniform01(), rng.uniform01()};
+  const double L = std::sqrt(2.0);
+  std::set<std::pair<NodeId, NodeId>> present;
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      if (rng.chance(alpha * std::exp(-d / (beta * L)))) {
+        g.add_edge(i, j);
+        present.insert({i, j});
+      }
+    }
+  // Condition on connectivity: chain any stranded nodes to their nearest
+  // already-connected neighbor (geometrically sensible patch-up).
+  std::vector<NodeId> comp(n);
+  // Simple union-find.
+  std::iota(comp.begin(), comp.end(), 0);
+  std::vector<NodeId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](NodeId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const Edge& e : g.edges()) parent[find(e.a.node)] = find(e.b.node);
+  for (NodeId i = 1; i < n; ++i) {
+    if (find(i) == find(0)) continue;
+    // Attach to the geometrically closest node in node 0's component.
+    NodeId best = 0;
+    double best_d = 1e9;
+    for (NodeId j = 0; j < n; ++j) {
+      if (find(j) != find(0)) continue;
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      const double d = dx * dx + dy * dy;
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    g.add_edge(i, best);
+    parent[find(i)] = find(best);
+  }
+  return g;
+}
+
+Graph make_fat_tree(std::size_t k) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("make_fat_tree: k even, >= 2");
+  const std::size_t core = (k / 2) * (k / 2);
+  const std::size_t agg_per_pod = k / 2;
+  const std::size_t edge_per_pod = k / 2;
+  const std::size_t n = core + k * (agg_per_pod + edge_per_pod);
+  Graph g(n);
+  auto core_id = [&](std::size_t i) { return static_cast<NodeId>(i); };
+  auto agg_id = [&](std::size_t pod, std::size_t i) {
+    return static_cast<NodeId>(core + pod * agg_per_pod + i);
+  };
+  auto edge_id = [&](std::size_t pod, std::size_t i) {
+    return static_cast<NodeId>(core + k * agg_per_pod + pod * edge_per_pod + i);
+  };
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    for (std::size_t a = 0; a < agg_per_pod; ++a) {
+      // Each aggregation switch a connects to core switches a*(k/2)..a*(k/2)+k/2-1.
+      for (std::size_t c = 0; c < k / 2; ++c)
+        g.add_edge(agg_id(pod, a), core_id(a * (k / 2) + c));
+      for (std::size_t e = 0; e < edge_per_pod; ++e)
+        g.add_edge(agg_id(pod, a), edge_id(pod, e));
+    }
+  }
+  return g;
+}
+
+}  // namespace ss::graph

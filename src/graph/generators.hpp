@@ -1,0 +1,47 @@
+#pragma once
+// Topology generators.
+//
+// The paper's evaluation is analytic over arbitrary topologies; our benches
+// sweep the standard families used in data-plane papers: paths, rings, trees,
+// grids/tori, complete graphs, Erdős–Rényi, random-regular, Barabási–Albert,
+// Waxman, and k-ary fat-trees.  All generators return connected graphs.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ss::graph {
+
+Graph make_path(std::size_t n);
+Graph make_ring(std::size_t n);
+Graph make_star(std::size_t n);  // node 0 = hub
+Graph make_complete(std::size_t n);
+
+/// Random tree: each node i>0 attaches to a uniform random earlier node.
+Graph make_random_tree(std::size_t n, util::Rng& rng);
+
+/// Balanced d-ary tree with n nodes.
+Graph make_dary_tree(std::size_t n, std::size_t d);
+
+/// rows x cols grid; torus additionally wraps both dimensions.
+Graph make_grid(std::size_t rows, std::size_t cols);
+Graph make_torus(std::size_t rows, std::size_t cols);
+
+/// Erdős–Rényi G(n, p), conditioned on connectivity by adding a random
+/// spanning tree first (standard trick to keep experiments comparable).
+Graph make_gnp_connected(std::size_t n, double p, util::Rng& rng);
+
+/// Random d-regular-ish graph: d/2 random perfect matchings over a ring
+/// base (guaranteed connected, degree in [2, d]).
+Graph make_random_regular(std::size_t n, std::size_t d, util::Rng& rng);
+
+/// Barabási–Albert preferential attachment with m edges per new node.
+Graph make_barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng);
+
+/// Waxman random geometric graph on the unit square, conditioned connected.
+Graph make_waxman(std::size_t n, double alpha, double beta, util::Rng& rng);
+
+/// k-ary fat-tree (k even): k^2/4 core, k pods of k/2+k/2 switches.
+/// Hosts are omitted — SmartSouth runs on the switch fabric.
+Graph make_fat_tree(std::size_t k);
+
+}  // namespace ss::graph

@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ss::graph {
+
+NodeId Graph::add_node() {
+  ports_.emplace_back();
+  return static_cast<NodeId>(ports_.size() - 1);
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  if (u >= ports_.size() || v >= ports_.size())
+    throw std::out_of_range("Graph::add_edge: unknown node");
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  const auto eid = static_cast<EdgeId>(edges_.size());
+  ports_[u].push_back(eid);
+  ports_[v].push_back(eid);
+  Edge e;
+  e.a = {u, static_cast<PortNo>(ports_[u].size())};
+  e.b = {v, static_cast<PortNo>(ports_[v].size())};
+  edges_.push_back(e);
+  return eid;
+}
+
+PortNo Graph::max_degree() const {
+  PortNo best = 0;
+  for (const auto& p : ports_) best = std::max<PortNo>(best, static_cast<PortNo>(p.size()));
+  return best;
+}
+
+std::optional<Endpoint> Graph::neighbor(NodeId u, PortNo port) const {
+  if (u >= ports_.size() || port == kNoPort || port > ports_[u].size()) return std::nullopt;
+  return other_end(ports_[u][port - 1], u);
+}
+
+EdgeId Graph::edge_at(NodeId u, PortNo port) const {
+  if (u >= ports_.size() || port == kNoPort || port > ports_[u].size())
+    throw std::out_of_range("Graph::edge_at");
+  return ports_[u][port - 1];
+}
+
+Endpoint Graph::other_end(EdgeId e, NodeId u) const {
+  const Edge& ed = edges_.at(e);
+  if (ed.a.node == u) return ed.b;
+  if (ed.b.node == u) return ed.a;
+  throw std::invalid_argument("Graph::other_end: node not on edge");
+}
+
+std::vector<std::pair<PortNo, Endpoint>> Graph::neighbors(NodeId u) const {
+  std::vector<std::pair<PortNo, Endpoint>> out;
+  out.reserve(ports_[u].size());
+  for (PortNo p = 1; p <= degree(u); ++p) out.emplace_back(p, *neighbor(u, p));
+  return out;
+}
+
+std::string Graph::canonical() const {
+  std::vector<std::string> lines;
+  lines.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    Endpoint lo = e.a, hi = e.b;
+    if (hi.node < lo.node) std::swap(lo, hi);
+    lines.push_back(util::cat(lo.node, ":", lo.port, "-", hi.node, ":", hi.port));
+  }
+  std::sort(lines.begin(), lines.end());
+  return util::join(lines, "\n");
+}
+
+}  // namespace ss::graph

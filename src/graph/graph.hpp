@@ -1,0 +1,85 @@
+#pragma once
+// Port-labelled undirected multigraph.
+//
+// SmartSouth's traversal is defined in terms of switch ports: every node has
+// ports numbered 1..degree, and the DFS tries ports in increasing order.
+// Port 0 is reserved — it denotes "no parent" (the DFS root) in the packet
+// tag, exactly as in Algorithm 1 of the paper.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ss::graph {
+
+using NodeId = std::uint32_t;
+using PortNo = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr PortNo kNoPort = 0;
+
+/// One endpoint of an edge: a (node, port) pair.
+struct Endpoint {
+  NodeId node = 0;
+  PortNo port = kNoPort;
+  bool operator==(const Endpoint&) const = default;
+};
+
+/// Undirected edge between two endpoints.
+struct Edge {
+  Endpoint a;
+  Endpoint b;
+  bool operator==(const Edge&) const = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : ports_(n) {}
+
+  std::size_t node_count() const { return ports_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Add a node; returns its id.
+  NodeId add_node();
+
+  /// Connect the next free port of `u` to the next free port of `v`.
+  /// Returns the edge id.  Self-loops and parallel edges are allowed by the
+  /// data structure but generators never produce them.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  /// Number of ports (== degree) of `u`.
+  PortNo degree(NodeId u) const { return static_cast<PortNo>(ports_[u].size()); }
+
+  /// Maximum degree over all nodes.
+  PortNo max_degree() const;
+
+  /// Neighbor endpoint reached through `port` (1-based) of `u`, if any.
+  std::optional<Endpoint> neighbor(NodeId u, PortNo port) const;
+
+  /// Edge id on `port` of `u`; throws if the port does not exist.
+  EdgeId edge_at(NodeId u, PortNo port) const;
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The endpoint of `e` that is NOT on node `u`.
+  Endpoint other_end(EdgeId e, NodeId u) const;
+
+  /// All (port, neighbor endpoint) pairs of `u`, in port order.
+  std::vector<std::pair<PortNo, Endpoint>> neighbors(NodeId u) const;
+
+  bool operator==(const Graph&) const = default;
+
+  /// Canonical textual form used by snapshot-vs-ground-truth tests:
+  /// sorted "u:pu-v:pv" lines.
+  std::string canonical() const;
+
+ private:
+  // ports_[u][p-1] = edge id attached to port p of node u.
+  std::vector<std::vector<EdgeId>> ports_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ss::graph

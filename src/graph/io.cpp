@@ -1,0 +1,58 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace ss::graph {
+
+Graph parse_edge_list(const std::string& text) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId max_id = 0;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    long long u = -1, v = -1;
+    if (!(ls >> u)) continue;  // blank / comment-only line
+    if (!(ls >> v) || u < 0 || v < 0)
+      throw std::invalid_argument(
+          util::cat("edge list line ", lineno, ": expected 'u v'"));
+    std::string trailing;
+    if (ls >> trailing)
+      throw std::invalid_argument(
+          util::cat("edge list line ", lineno, ": trailing tokens"));
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    max_id = std::max({max_id, static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  if (edges.empty()) throw std::invalid_argument("edge list: no edges");
+  Graph g(max_id + 1);
+  for (auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << "# " << g.node_count() << " nodes, " << g.edge_count() << " edges\n";
+  for (const Edge& e : g.edges()) os << e.a.node << " " << e.b.node << "\n";
+  return os.str();
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n  node [shape=circle];\n";
+  for (const Edge& e : g.edges())
+    os << "  " << e.a.node << " -- " << e.b.node << " [taillabel=\"" << e.a.port
+       << "\", headlabel=\"" << e.b.port << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ss::graph

@@ -1,0 +1,23 @@
+#pragma once
+// Graph serialization: a plain edge-list text format (one "u v" pair per
+// line, '#' comments) and Graphviz DOT output for visualization.  Used by
+// the CLI tools so operators can run SmartSouth services on their own
+// topologies.
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ss::graph {
+
+/// Parse an edge list.  Node ids must be dense 0..n-1 (n inferred from the
+/// largest id); throws std::invalid_argument on malformed input.
+Graph parse_edge_list(const std::string& text);
+
+/// Inverse of parse_edge_list (ports are implied by edge order).
+std::string to_edge_list(const Graph& g);
+
+/// Graphviz DOT with port labels.
+std::string to_dot(const Graph& g, const std::string& name = "topology");
+
+}  // namespace ss::graph

@@ -1,0 +1,68 @@
+#include "ofp/action.hpp"
+
+#include "util/strings.hpp"
+
+namespace ss::ofp {
+
+std::string describe(const Action& a) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, ActOutput>) {
+          if (v.port == kPortController) return util::cat("output(CONTROLLER,r=", v.controller_reason, ")");
+          if (v.port == kPortLocal) return "output(LOCAL)";
+          if (v.port == kPortInPort) return "output(IN_PORT)";
+          return util::cat("output(", v.port, ")");
+        } else if constexpr (std::is_same_v<T, ActSetTag>) {
+          return util::cat("set_tag[", v.offset, "+", v.width, "]=", v.value);
+        } else if constexpr (std::is_same_v<T, ActClearTagRange>) {
+          return util::cat("clear_tag[", v.offset, "+", v.width, "]");
+        } else if constexpr (std::is_same_v<T, ActPushLabel>) {
+          return util::cat("push(", v.label, ")");
+        } else if constexpr (std::is_same_v<T, ActPopLabel>) {
+          return "pop";
+        } else if constexpr (std::is_same_v<T, ActClearLabels>) {
+          return "clear_labels";
+        } else if constexpr (std::is_same_v<T, ActGroup>) {
+          return util::cat("group(", v.group, ")");
+        } else if constexpr (std::is_same_v<T, ActDecTtl>) {
+          return "dec_ttl";
+        } else if constexpr (std::is_same_v<T, ActSetTtl>) {
+          return util::cat("set_ttl(", unsigned{v.ttl}, ")");
+        } else if constexpr (std::is_same_v<T, ActSetEthType>) {
+          return util::cat("set_eth(0x", std::hex, v.eth_type, ")");
+        } else {
+          return "drop";
+        }
+      },
+      a);
+}
+
+std::string describe(const ActionList& list) {
+  std::vector<std::string> parts;
+  parts.reserve(list.size());
+  for (const auto& a : list) parts.push_back(describe(a));
+  return util::join(parts, ";");
+}
+
+std::uint32_t action_bits(const Action& a) {
+  return std::visit(
+      [](const auto& v) -> std::uint32_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, ActOutput>) return 48;
+        else if constexpr (std::is_same_v<T, ActSetTag>) return 32 + v.width;
+        else if constexpr (std::is_same_v<T, ActClearTagRange>) return 32;
+        else if constexpr (std::is_same_v<T, ActPushLabel>) return 32 + 32;
+        else if constexpr (std::is_same_v<T, ActGroup>) return 32;
+        else return 16;
+      },
+      a);
+}
+
+std::uint32_t action_bits(const ActionList& list) {
+  std::uint32_t bits = 0;
+  for (const auto& a : list) bits += action_bits(a);
+  return bits;
+}
+
+}  // namespace ss::ofp

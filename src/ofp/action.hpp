@@ -1,0 +1,78 @@
+#pragma once
+// Actions.  The set mirrors what the paper's mechanisms need from a stock
+// OpenFlow 1.3 switch: output (incl. IN_PORT / CONTROLLER / LOCAL), tag
+// rewriting (set-field on the extended-match tag region), label push/pop,
+// TTL manipulation, and group invocation.
+//
+// ClearLabels is a shorthand for a bounded sequence of pops (the snapshot
+// service empties its record stack after emitting a fragment); it exists so
+// space accounting can price it as one action rather than depth-many.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ofp/types.hpp"
+
+namespace ss::ofp {
+
+struct ActOutput {
+  bool operator==(const ActOutput&) const = default;
+  PortNo port = 0;
+  std::uint32_t controller_reason = 0;  // meaningful when port == kPortController
+};
+struct ActSetTag {
+  bool operator==(const ActSetTag&) const = default;
+  std::uint32_t offset = 0;
+  std::uint32_t width = 0;
+  std::uint64_t value = 0;
+};
+struct ActClearTagRange {
+  bool operator==(const ActClearTagRange&) const = default;
+  std::uint32_t offset = 0;
+  std::uint32_t width = 0;
+};
+struct ActPushLabel {
+  bool operator==(const ActPushLabel&) const = default;
+  std::uint32_t label = 0;
+};
+struct ActPopLabel {
+  bool operator==(const ActPopLabel&) const = default;
+};
+struct ActClearLabels {
+  bool operator==(const ActClearLabels&) const = default;
+};
+struct ActGroup {
+  bool operator==(const ActGroup&) const = default;
+  GroupId group = 0;
+};
+struct ActDecTtl {
+  bool operator==(const ActDecTtl&) const = default;
+};
+struct ActSetTtl {
+  bool operator==(const ActSetTtl&) const = default;
+  std::uint8_t ttl = 0;
+};
+struct ActSetEthType {
+  bool operator==(const ActSetEthType&) const = default;
+  std::uint16_t eth_type = 0;
+};
+struct ActDrop {
+  bool operator==(const ActDrop&) const = default;
+};
+
+using Action = std::variant<ActOutput, ActSetTag, ActClearTagRange, ActPushLabel,
+                            ActPopLabel, ActClearLabels, ActGroup, ActDecTtl,
+                            ActSetTtl, ActSetEthType, ActDrop>;
+
+using ActionList = std::vector<Action>;
+
+std::string describe(const Action& a);
+std::string describe(const ActionList& list);
+
+/// TCAM/action-memory cost model in bits (for the 32 MB budget experiment).
+std::uint32_t action_bits(const Action& a);
+std::uint32_t action_bits(const ActionList& list);
+
+}  // namespace ss::ofp

@@ -1,0 +1,47 @@
+#include "ofp/dump.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ss::ofp {
+
+std::string group_type_name(GroupType t) {
+  switch (t) {
+    case GroupType::kAll: return "ALL";
+    case GroupType::kIndirect: return "INDIRECT";
+    case GroupType::kSelect: return "SELECT(rr)";
+    case GroupType::kFastFailover: return "FAST-FAILOVER";
+  }
+  return "?";
+}
+
+std::string dump_switch(const Switch& sw) {
+  std::ostringstream os;
+  os << "switch " << sw.id() << " (" << sw.num_ports() << " ports)\n";
+  const auto& tables = sw.tables();
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    if (tables[t].entries().empty()) continue;
+    os << "  table " << t << " (" << tables[t].size() << " entries)\n";
+    for (const FlowEntry& e : tables[t].entries()) {
+      os << "    [" << e.priority << "] " << e.match.describe() << " -> "
+         << describe(e.actions);
+      if (e.goto_table) os << " goto:" << *e.goto_table;
+      if (!e.name.empty()) os << "   # " << e.name;
+      os << "\n";
+    }
+  }
+  sw.groups().for_each([&](const Group& g) {
+    os << "  group " << g.id << " " << group_type_name(g.type);
+    if (!g.name.empty()) os << " # " << g.name;
+    os << "\n";
+    for (const Bucket& b : g.buckets) {
+      os << "    bucket";
+      if (b.watch_port) os << " watch:" << *b.watch_port;
+      os << " -> " << describe(b.actions) << "\n";
+    }
+  });
+  return os.str();
+}
+
+}  // namespace ss::ofp

@@ -1,0 +1,18 @@
+#pragma once
+// Human-readable dump of a switch's installed state — the artifact a
+// network operator (or a verification tool) would inspect.  Used by the
+// CLI tools and handy when debugging compiled pipelines.
+
+#include <string>
+
+#include "ofp/switch.hpp"
+
+namespace ss::ofp {
+
+/// Multi-line listing of every flow table (entries in match order) and
+/// every group (type, buckets, watch ports).
+std::string dump_switch(const Switch& sw);
+
+std::string group_type_name(GroupType t);
+
+}  // namespace ss::ofp

@@ -1,0 +1,25 @@
+#include "ofp/flow_table.hpp"
+
+#include <algorithm>
+
+namespace ss::ofp {
+
+void FlowTable::add(FlowEntry entry) {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), entry.priority,
+      [](std::uint32_t p, const FlowEntry& e) { return p > e.priority; });
+  entries_.insert(it, std::move(entry));
+}
+
+const FlowEntry* FlowTable::lookup(const Packet& pkt, PortNo in_port) const {
+  ++lookups_;
+  for (const FlowEntry& e : entries_) {
+    if (e.match.matches(pkt, in_port)) {
+      ++e.hit_count;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ss::ofp

@@ -1,0 +1,52 @@
+#pragma once
+// Flow tables: priority-ordered entries of (match, apply-actions, goto).
+//
+// Instructions are restricted to the pair the paper's constructions use:
+// Apply-Actions followed by an optional Goto-Table (strictly increasing, as
+// OpenFlow requires — the compiler enforces forward-only gotos so every
+// compiled pipeline is loop-free and hence formally analyzable, which is the
+// property the paper insists SmartSouth preserves).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ofp/action.hpp"
+#include "ofp/match.hpp"
+
+namespace ss::ofp {
+
+struct FlowEntry {
+  std::uint32_t priority = 0;
+  Match match;
+  ActionList actions;
+  std::optional<TableId> goto_table;
+  std::string name;  // compiler-assigned, for diagnostics only
+
+  mutable std::uint64_t hit_count = 0;
+};
+
+class FlowTable {
+ public:
+  /// Insert keeping entries sorted by descending priority (stable within
+  /// equal priority: earlier insertion wins, like OpenFlow's overlap rules).
+  void add(FlowEntry entry);
+
+  /// Highest-priority matching entry, or nullptr (table miss => drop).
+  const FlowEntry* lookup(const Packet& pkt, PortNo in_port) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+
+  /// Mutable access for optimizer passes (order must be preserved).
+  std::vector<FlowEntry>& entries_mut() { return entries_; }
+
+  std::uint64_t lookups() const { return lookups_; }
+
+ private:
+  std::vector<FlowEntry> entries_;
+  mutable std::uint64_t lookups_ = 0;
+};
+
+}  // namespace ss::ofp

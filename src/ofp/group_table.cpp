@@ -1,0 +1,29 @@
+#include "ofp/group_table.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ss::ofp {
+
+void GroupTable::add(Group g) {
+  if (groups_.count(g.id))
+    throw std::invalid_argument(util::cat("GroupTable: duplicate group ", g.id));
+  groups_.emplace(g.id, std::move(g));
+}
+
+Group& GroupTable::at(GroupId id) {
+  auto it = groups_.find(id);
+  if (it == groups_.end())
+    throw std::out_of_range(util::cat("GroupTable: unknown group ", id));
+  return it->second;
+}
+
+const Group& GroupTable::at(GroupId id) const {
+  auto it = groups_.find(id);
+  if (it == groups_.end())
+    throw std::out_of_range(util::cat("GroupTable: unknown group ", id));
+  return it->second;
+}
+
+}  // namespace ss::ofp

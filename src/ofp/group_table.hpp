@@ -1,0 +1,81 @@
+#pragma once
+// Group table with the four OpenFlow 1.3 group types the paper leans on:
+//
+//  * ALL           — clone through every bucket (not used by SmartSouth but
+//                    provided for completeness and tested);
+//  * INDIRECT      — single bucket;
+//  * SELECT        — bucket chosen by a round-robin policy.  This is the
+//                    paper's "smart counter": with k buckets, where bucket j
+//                    writes j into a scratch header field, one application is
+//                    a fetch-and-increment modulo k whose result later tables
+//                    can match on.  The round-robin cursor is switch state;
+//  * FAST-FAILOVER — first bucket whose watch port is live.  This provides
+//                    the template's "next live port" scan and makes the whole
+//                    traversal robust to pre-run link failures.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ofp/action.hpp"
+
+namespace ss::ofp {
+
+enum class GroupType : std::uint8_t { kAll, kIndirect, kSelect, kFastFailover };
+
+struct Bucket {
+  ActionList actions;
+  /// FAST-FAILOVER liveness gate.  Empty optional = unconditionally live
+  /// (used for terminal buckets such as the root's Finish()).
+  std::optional<PortNo> watch_port;
+};
+
+struct Group {
+  GroupId id = 0;
+  GroupType type = GroupType::kIndirect;
+  std::vector<Bucket> buckets;
+  std::string name;
+
+  // SELECT round-robin cursor — per-switch state surviving across packets;
+  // exactly what makes smart counters possible.
+  std::uint64_t rr_cursor = 0;
+  std::uint64_t exec_count = 0;
+};
+
+class GroupTable {
+ public:
+  void add(Group g);
+  bool contains(GroupId id) const { return groups_.count(id) != 0; }
+  Group& at(GroupId id);
+  const Group& at(GroupId id) const;
+  std::size_t size() const { return groups_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, g] : groups_) fn(g);
+  }
+
+  /// Remove a group (OFPGC_DELETE).  No-op if absent.
+  void erase(GroupId id) { groups_.erase(id); }
+
+  /// Mutable iteration (optimizer passes).
+  template <typename Fn>
+  void for_each_mut(Fn&& fn) {
+    for (auto& [id, g] : groups_) fn(g);
+  }
+
+  /// Re-arm every SELECT group's round-robin cursor (a controller would
+  /// delete + re-add the groups; one OFPGC_MODIFY per group in practice).
+  void reset_select_cursors() {
+    for (auto& [id, g] : groups_)
+      if (g.type == GroupType::kSelect) g.rr_cursor = 0;
+  }
+
+ private:
+  std::unordered_map<GroupId, Group> groups_;
+};
+
+}  // namespace ss::ofp

@@ -1,0 +1,54 @@
+#include "ofp/match.hpp"
+
+#include "util/strings.hpp"
+
+namespace ss::ofp {
+
+bool Match::matches(const Packet& pkt, PortNo pkt_in_port) const {
+  if (in_port && *in_port != pkt_in_port) return false;
+  if (eth_type && *eth_type != pkt.eth_type) return false;
+  if (ttl && *ttl != pkt.ttl) return false;
+  for (const TagMatch& tm : tag_matches)
+    if (!tm.matches(pkt.tag)) return false;
+  return true;
+}
+
+std::uint32_t Match::match_bits() const {
+  std::uint32_t bits = 0;
+  if (in_port) bits += 32;
+  if (eth_type) bits += 16;
+  if (ttl) bits += 8;
+  for (const TagMatch& tm : tag_matches) bits += tm.width;
+  return bits;
+}
+
+std::string Match::describe() const {
+  std::vector<std::string> parts;
+  if (in_port) parts.push_back(util::cat("in=", *in_port));
+  if (eth_type) parts.push_back(util::cat("eth=0x", std::hex, *eth_type));
+  if (ttl) parts.push_back(util::cat("ttl=", unsigned{*ttl}));
+  for (const TagMatch& tm : tag_matches)
+    parts.push_back(util::cat("tag[", tm.offset, "+", tm.width, "]=", tm.value,
+                              tm.mask == ~std::uint64_t{0} ? "" : "/masked"));
+  return parts.empty() ? "any" : util::join(parts, ",");
+}
+
+std::vector<TagMatch> less_than_decomposition(std::uint32_t offset, std::uint32_t width,
+                                              std::uint64_t bound) {
+  // field < bound  <=>  field shares a prefix with bound down to some bit b
+  // where bound has a 1 and field has a 0.  One ternary rule per 1-bit of
+  // bound: match (prefix above b equal to bound's, bit b = 0).
+  std::vector<TagMatch> rules;
+  for (std::uint32_t b = 0; b < width; ++b) {
+    if (((bound >> b) & 1) == 0) continue;
+    // Pin bits [b, width): bits above b equal bound's, bit b = 0.
+    std::uint64_t mask = 0, value = 0;
+    for (std::uint32_t k = b; k < width; ++k) mask |= std::uint64_t{1} << k;
+    for (std::uint32_t k = b + 1; k < width; ++k)
+      value |= bound & (std::uint64_t{1} << k);
+    rules.push_back({offset, width, value, mask});
+  }
+  return rules;
+}
+
+}  // namespace ss::ofp

@@ -1,0 +1,74 @@
+#pragma once
+// Match expressions: a conjunction of field criteria.
+//
+// Field-to-field comparison is NOT provided — OpenFlow cannot express it,
+// and the paper (citing Afek et al.) implements comparisons with dedicated
+// enumeration flow tables.  Our compiler generates those tables; the match
+// layer only supports value(+mask) tests, as real hardware does.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ofp/packet.hpp"
+#include "ofp/types.hpp"
+
+namespace ss::ofp {
+
+/// Masked value test over a tag-region bit range.  A mask of all ones is an
+/// exact test; prefix masks implement the standard "less than constant"
+/// ternary decomposition.
+struct TagMatch {
+  std::uint32_t offset = 0;
+  std::uint32_t width = 0;
+  std::uint64_t value = 0;
+  std::uint64_t mask = ~std::uint64_t{0};  // applied to both value and field
+
+  bool operator==(const TagMatch&) const = default;
+
+  bool matches(const util::BitVec& tag) const {
+    const std::uint64_t wmask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    const std::uint64_t m = mask & wmask;
+    return (tag.get(offset, width) & m) == (value & m);
+  }
+};
+
+struct Match {
+  std::optional<PortNo> in_port;
+  std::optional<std::uint16_t> eth_type;
+  std::optional<std::uint8_t> ttl;
+  std::vector<TagMatch> tag_matches;
+
+  bool operator==(const Match&) const = default;
+
+  bool matches(const Packet& pkt, PortNo pkt_in_port) const;
+
+  /// TCAM cost model: number of bits this match pins (for space accounting).
+  std::uint32_t match_bits() const;
+
+  std::string describe() const;
+
+  // Builder-style helpers so compiler code reads declaratively.
+  Match& on_port(PortNo p) { in_port = p; return *this; }
+  Match& on_eth(std::uint16_t t) { eth_type = t; return *this; }
+  Match& on_ttl(std::uint8_t t) { ttl = t; return *this; }
+  Match& on_tag(std::uint32_t off, std::uint32_t width, std::uint64_t value) {
+    tag_matches.push_back({off, width, value, ~std::uint64_t{0}});
+    return *this;
+  }
+  Match& on_tag_masked(std::uint32_t off, std::uint32_t width, std::uint64_t value,
+                       std::uint64_t mask) {
+    tag_matches.push_back({off, width, value, mask});
+    return *this;
+  }
+};
+
+/// Decompose `field < bound` (unsigned, width-bit) into O(width) prefix
+/// TagMatches, any of which matching implies the inequality.  Used by the
+/// compiler for priocast's priority comparison (opt_val < p_i).
+std::vector<TagMatch> less_than_decomposition(std::uint32_t offset, std::uint32_t width,
+                                              std::uint64_t bound);
+
+}  // namespace ss::ofp

@@ -1,0 +1,87 @@
+#include "ofp/optimize.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace ss::ofp {
+
+namespace {
+
+// Canonical content key for a group under the CURRENT id assignment —
+// references to other groups appear by id, so deduplication iterates to a
+// fixpoint (merging leaves first exposes identical parents).
+std::string group_key(const Group& g) {
+  std::string key = util::cat("t", static_cast<int>(g.type));
+  for (const Bucket& b : g.buckets) {
+    key += util::cat("|w", b.watch_port ? static_cast<long long>(*b.watch_port) : -1,
+                     ":", describe(b.actions));
+  }
+  return key;
+}
+
+void rewrite_actions(ActionList& actions, const std::map<GroupId, GroupId>& remap,
+                     std::uint64_t& rewrites) {
+  for (Action& a : actions) {
+    if (auto* grp = std::get_if<ActGroup>(&a)) {
+      auto it = remap.find(grp->group);
+      if (it != remap.end() && it->second != grp->group) {
+        grp->group = it->second;
+        ++rewrites;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+OptimizeStats dedup_groups(Switch& sw) {
+  OptimizeStats stats;
+  sw.groups().for_each([&](const Group&) { ++stats.groups_before; });
+
+  // Iterate to a fixpoint: each round merges groups whose content is
+  // identical under the current ids, then rewrites references.
+  for (;;) {
+    std::map<std::string, GroupId> canon;  // key -> smallest id (the survivor)
+    std::map<GroupId, GroupId> remap;
+    std::vector<GroupId> to_erase;
+    // Stateful SELECT groups (smart counters) are never merged: their
+    // round-robin cursor IS the service state.
+    sw.groups().for_each([&](const Group& g) {
+      if (g.type == GroupType::kSelect) return;
+      const std::string key = group_key(g);
+      auto it = canon.find(key);
+      if (it == canon.end()) {
+        canon.emplace(key, g.id);
+      } else if (g.id < it->second) {
+        it->second = g.id;
+      }
+    });
+    sw.groups().for_each([&](const Group& g) {
+      if (g.type == GroupType::kSelect) return;
+      const GroupId keep = canon.at(group_key(g));
+      if (keep != g.id) {
+        remap[g.id] = keep;
+        to_erase.push_back(g.id);
+      }
+    });
+    if (to_erase.empty()) break;
+
+    for (GroupId id : to_erase) sw.groups().erase(id);
+    for (FlowTable& t : sw.tables_mut())
+      for (FlowEntry& e : t.entries_mut())
+        rewrite_actions(e.actions, remap, stats.references_rewritten);
+    sw.groups().for_each_mut([&](Group& g) {
+      for (Bucket& b : g.buckets)
+        rewrite_actions(b.actions, remap, stats.references_rewritten);
+    });
+  }
+
+  stats.groups_after = 0;
+  sw.groups().for_each([&](const Group&) { ++stats.groups_after; });
+  return stats;
+}
+
+}  // namespace ss::ofp

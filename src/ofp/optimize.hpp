@@ -1,0 +1,29 @@
+#pragma once
+// Post-compilation optimization passes.
+//
+// The scan-group family Scan(s, q) is generated uniformly for every
+// (first-port, parent) pair, so on low-degree switches many groups have
+// byte-identical bucket lists (e.g. Scan(2, 1) == Scan(3, 1) when port 2
+// is the last port).  `dedup_groups` canonicalizes them: one surviving
+// group per distinct bucket list, with every flow-entry and bucket
+// reference rewritten.  Behavior is provably unchanged (group execution
+// depends only on type + buckets), and the space bench quantifies the
+// TCAM/group-memory savings.
+
+#include <cstdint>
+
+#include "ofp/switch.hpp"
+
+namespace ss::ofp {
+
+struct OptimizeStats {
+  std::uint64_t groups_before = 0;
+  std::uint64_t groups_after = 0;
+  std::uint64_t references_rewritten = 0;
+  std::uint64_t groups_removed() const { return groups_before - groups_after; }
+};
+
+/// Merge groups with identical (type, buckets); rewrite all references.
+OptimizeStats dedup_groups(Switch& sw);
+
+}  // namespace ss::ofp

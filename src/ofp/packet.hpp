@@ -1,0 +1,41 @@
+#pragma once
+// Packet model.
+//
+// SmartSouth packets carry three mutable header areas the data plane can
+// match on and rewrite:
+//   * eth_type      — distinguishes service packets from regular traffic;
+//   * a tag region  — the paper's "reserved bits" (per-node par/cur fields
+//                     plus global service fields); modeled as a bit vector
+//                     addressed by (offset, width), matching the extended
+//                     match-field support the paper assumes (NoviKit 250);
+//   * a label stack — used by the snapshot service to record the topology
+//                     (push/pop, as with MPLS labels).
+// `payload_bytes` sizes the opaque data section for message-size accounting.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace ss::ofp {
+
+inline constexpr std::uint16_t kEthTypeData = 0x0800;  // plain traffic
+
+struct Packet {
+  std::uint16_t eth_type = kEthTypeData;
+  std::uint8_t ttl = 64;
+  util::BitVec tag;                   // reserved tag region
+  std::vector<std::uint32_t> labels;  // label stack; back() is top-of-stack
+  std::uint32_t payload_bytes = 0;    // opaque data section
+
+  /// Wire-size estimate used for Table-2 message-size experiments:
+  /// 14B Ethernet header + tag region + 4B per label + payload.
+  std::uint32_t wire_bytes() const {
+    return 14 + static_cast<std::uint32_t>(tag.size_bytes()) +
+           4 * static_cast<std::uint32_t>(labels.size()) + payload_bytes;
+  }
+
+  bool operator==(const Packet&) const = default;
+};
+
+}  // namespace ss::ofp

@@ -1,0 +1,130 @@
+#include "ofp/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace ss::ofp {
+
+namespace {
+constexpr std::uint32_t kMaxTables = 4096;  // forward-only gotos cannot loop,
+                                            // but guard against bad installs
+constexpr std::uint32_t kMaxGroupDepth = 4;  // OF forbids group cycles; allow
+                                             // short chains (priocast restart)
+}
+
+PipelineResult Pipeline::run(Packet pkt, PortNo in_port) const {
+  PipelineResult out;
+  std::size_t table = 0;
+  bool stop = false;
+  while (table < tables_->size()) {
+    if (++out.tables_visited > kMaxTables)
+      throw std::runtime_error("Pipeline: table walk exceeded bound");
+    const FlowEntry* entry = (*tables_)[table].lookup(pkt, in_port);
+    if (entry == nullptr) break;  // table miss => drop
+    util::log_trace("pipeline t", table, " hit '", entry->name, "' match{",
+                    entry->match.describe(), "} actions{", describe(entry->actions), "}");
+    apply_actions(entry->actions, pkt, in_port, out, stop, 0);
+    if (stop) break;
+    if (!entry->goto_table) break;
+    if (*entry->goto_table <= table)
+      throw std::logic_error("Pipeline: goto must point forward");
+    table = *entry->goto_table;
+  }
+  out.final_packet = std::move(pkt);
+  return out;
+}
+
+void Pipeline::apply_actions(const ActionList& actions, Packet& pkt, PortNo in_port,
+                             PipelineResult& out, bool& stop, std::uint32_t depth) const {
+  for (const Action& a : actions) {
+    if (stop) return;
+    std::visit(
+        [&](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, ActOutput>) {
+            Emission em;
+            em.port = v.port == kPortInPort ? in_port : v.port;
+            em.packet = pkt;  // output copies the packet as of this action
+            em.controller_reason = v.controller_reason;
+            out.emissions.push_back(std::move(em));
+          } else if constexpr (std::is_same_v<T, ActSetTag>) {
+            pkt.tag.ensure(v.offset + v.width);
+            pkt.tag.set(v.offset, v.width, v.value);
+          } else if constexpr (std::is_same_v<T, ActClearTagRange>) {
+            pkt.tag.ensure(v.offset + v.width);
+            pkt.tag.clear_range(v.offset, v.width);
+          } else if constexpr (std::is_same_v<T, ActPushLabel>) {
+            pkt.labels.push_back(v.label);
+          } else if constexpr (std::is_same_v<T, ActPopLabel>) {
+            if (pkt.labels.empty())
+              throw std::runtime_error("Pipeline: pop on empty label stack");
+            pkt.labels.pop_back();
+          } else if constexpr (std::is_same_v<T, ActClearLabels>) {
+            pkt.labels.clear();
+          } else if constexpr (std::is_same_v<T, ActGroup>) {
+            exec_group(v.group, pkt, in_port, out, stop, depth);
+          } else if constexpr (std::is_same_v<T, ActDecTtl>) {
+            if (pkt.ttl == 0) {
+              // OFPR_INVALID_TTL: the switch punts the packet to the
+              // controller instead of underflowing.
+              out.dropped_by_ttl = true;
+              out.emissions.push_back({kPortController, pkt, kReasonInvalidTtl});
+              stop = true;
+            } else {
+              --pkt.ttl;
+            }
+          } else if constexpr (std::is_same_v<T, ActSetTtl>) {
+            pkt.ttl = v.ttl;
+          } else if constexpr (std::is_same_v<T, ActSetEthType>) {
+            pkt.eth_type = v.eth_type;
+          } else {  // ActDrop
+            stop = true;
+          }
+        },
+        a);
+  }
+}
+
+void Pipeline::exec_group(GroupId gid, Packet& pkt, PortNo in_port,
+                          PipelineResult& out, bool& stop, std::uint32_t depth) const {
+  if (depth >= kMaxGroupDepth)
+    throw std::logic_error("Pipeline: group chain too deep (cycle?)");
+  Group& g = groups_->at(gid);
+  ++g.exec_count;
+  switch (g.type) {
+    case GroupType::kAll: {
+      for (const Bucket& b : g.buckets) {
+        Packet clone = pkt;
+        bool clone_stop = false;
+        apply_actions(b.actions, clone, in_port, out, clone_stop, depth + 1);
+      }
+      break;
+    }
+    case GroupType::kIndirect: {
+      if (!g.buckets.empty())
+        apply_actions(g.buckets.front().actions, pkt, in_port, out, stop, depth + 1);
+      break;
+    }
+    case GroupType::kSelect: {
+      // Round-robin bucket selection — the paper's smart-counter substrate.
+      if (g.buckets.empty()) break;
+      const std::size_t idx = g.rr_cursor % g.buckets.size();
+      ++g.rr_cursor;
+      apply_actions(g.buckets[idx].actions, pkt, in_port, out, stop, depth + 1);
+      break;
+    }
+    case GroupType::kFastFailover: {
+      for (const Bucket& b : g.buckets) {
+        if (!b.watch_port || live_(*b.watch_port)) {
+          apply_actions(b.actions, pkt, in_port, out, stop, depth + 1);
+          return;
+        }
+      }
+      // No live bucket: packet has nowhere to go (spec: drop).
+      break;
+    }
+  }
+}
+
+}  // namespace ss::ofp

@@ -1,0 +1,60 @@
+#pragma once
+// Multi-table pipeline execution.
+//
+// Semantics follow OpenFlow 1.3 restricted to the features the compiler
+// emits: processing starts at table 0; a hit applies the entry's action list
+// immediately (Apply-Actions) and then follows the optional Goto-Table,
+// which must point forward; a miss drops the packet.
+//
+// Group execution: ALL clones the packet per bucket; INDIRECT / SELECT /
+// FAST-FAILOVER execute the chosen bucket's actions on the live packet, so a
+// bucket's set-field results are visible to later tables.  The paper's smart
+// counters ("writes its sequence to some packet header field, allowing it to
+// be matched and used by the flow tables") require exactly this behaviour.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ofp/flow_table.hpp"
+#include "ofp/group_table.hpp"
+
+namespace ss::ofp {
+
+/// A packet leaving the pipeline through a port (physical or reserved).
+struct Emission {
+  PortNo port = 0;
+  Packet packet;
+  std::uint32_t controller_reason = 0;  // set when port == kPortController
+};
+
+struct PipelineResult {
+  std::vector<Emission> emissions;
+  Packet final_packet;       // header state when processing ended
+  std::uint32_t tables_visited = 0;
+  bool dropped_by_ttl = false;
+};
+
+/// Liveness oracle for FAST-FAILOVER watch ports.
+using PortLiveFn = std::function<bool(PortNo)>;
+
+class Pipeline {
+ public:
+  Pipeline(const std::vector<FlowTable>* tables, GroupTable* groups, PortLiveFn live)
+      : tables_(tables), groups_(groups), live_(std::move(live)) {}
+
+  PipelineResult run(Packet pkt, PortNo in_port) const;
+
+ private:
+  void apply_actions(const ActionList& actions, Packet& pkt, PortNo in_port,
+                     PipelineResult& out, bool& stop, std::uint32_t depth) const;
+  void exec_group(GroupId gid, Packet& pkt, PortNo in_port, PipelineResult& out,
+                  bool& stop, std::uint32_t depth) const;
+
+  const std::vector<FlowTable>* tables_;
+  GroupTable* groups_;
+  PortLiveFn live_;
+};
+
+}  // namespace ss::ofp

@@ -1,0 +1,34 @@
+#include "ofp/space.hpp"
+
+namespace ss::ofp {
+
+namespace {
+constexpr std::uint64_t kEntryOverheadBytes = 48;   // OF flow-stats descriptor
+constexpr std::uint64_t kGroupOverheadBytes = 32;
+constexpr std::uint64_t kBucketOverheadBytes = 16;
+
+std::uint64_t bits_to_bytes(std::uint64_t bits) { return (bits + 7) / 8; }
+}  // namespace
+
+SpaceReport measure_space(const Switch& sw) {
+  SpaceReport r;
+  for (const FlowTable& t : sw.tables()) {
+    for (const FlowEntry& e : t.entries()) {
+      ++r.flow_entries;
+      // TCAM stores value and mask: match bits count twice.
+      r.flow_bytes += kEntryOverheadBytes + bits_to_bytes(2ull * e.match.match_bits()) +
+                      bits_to_bytes(action_bits(e.actions));
+    }
+  }
+  sw.groups().for_each([&](const Group& g) {
+    ++r.groups;
+    r.group_bytes += kGroupOverheadBytes;
+    for (const Bucket& b : g.buckets) {
+      ++r.buckets;
+      r.group_bytes += kBucketOverheadBytes + bits_to_bytes(action_bits(b.actions));
+    }
+  });
+  return r;
+}
+
+}  // namespace ss::ofp

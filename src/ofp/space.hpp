@@ -1,0 +1,32 @@
+#pragma once
+// Flow-table space accounting.
+//
+// The paper's feasibility remark: "using switches like our NoviKit 250
+// switch (32MB flow table space and full support for extended match fields)
+// ... we believe that our algorithms scale up to a few hundred nodes."
+// This model prices every compiled flow entry and group bucket in bytes so
+// the scaling bench (`bench_scaling`) can test that claim empirically.
+
+#include <cstdint>
+
+#include "ofp/switch.hpp"
+
+namespace ss::ofp {
+
+inline constexpr std::uint64_t kNoviKitTableBytes = 32ull * 1024 * 1024;
+
+struct SpaceReport {
+  std::uint64_t flow_entries = 0;
+  std::uint64_t flow_bytes = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t buckets = 0;
+  std::uint64_t group_bytes = 0;
+  std::uint64_t total_bytes() const { return flow_bytes + group_bytes; }
+  bool fits_novikit() const { return total_bytes() <= kNoviKitTableBytes; }
+};
+
+/// Price a switch's installed state.  Per entry: fixed descriptor overhead
+/// plus match bits (TCAM stores value+mask => x2) plus action memory.
+SpaceReport measure_space(const Switch& sw);
+
+}  // namespace ss::ofp

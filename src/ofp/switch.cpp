@@ -1,0 +1,60 @@
+#include "ofp/switch.hpp"
+
+#include <stdexcept>
+
+namespace ss::ofp {
+
+Switch::Switch(SwitchId id, PortNo num_ports) : id_(id) {
+  ports_.resize(1);  // slot 0 unused
+  for (PortNo p = 1; p <= num_ports; ++p) add_port(p);
+}
+
+void Switch::add_port(PortNo p) {
+  if (p == 0 || is_reserved_port(p))
+    throw std::invalid_argument("Switch::add_port: invalid port number");
+  if (p >= ports_.size()) ports_.resize(p + 1);
+  ports_[p].exists = true;
+  ports_[p].live = true;
+}
+
+void Switch::set_port_live(PortNo p, bool live) {
+  if (!port_exists(p)) throw std::out_of_range("Switch::set_port_live: no such port");
+  ports_[p].live = live;
+}
+
+FlowTable& Switch::table(TableId id) {
+  if (id >= tables_.size()) tables_.resize(id + 1);
+  return tables_[id];
+}
+
+PipelineResult Switch::receive(Packet pkt, PortNo in_port) {
+  if (!is_reserved_port(in_port)) {
+    if (!port_exists(in_port))
+      throw std::out_of_range("Switch::receive: no such port");
+    ++ports_[in_port].rx_packets;
+  }
+  Pipeline pl(&tables_, &groups_, [this](PortNo p) { return port_live(p); });
+  auto res = pl.run(std::move(pkt), in_port);
+  for (const Emission& em : res.emissions)
+    if (!is_reserved_port(em.port) && port_exists(em.port))
+      ++ports_[em.port].tx_packets;
+  return res;
+}
+
+PipelineResult Switch::packet_out(Packet pkt) {
+  return receive(std::move(pkt), kPortController);
+}
+
+std::uint64_t Switch::total_flow_entries() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tables_) n += t.size();
+  return n;
+}
+
+std::uint64_t Switch::total_group_buckets() const {
+  std::uint64_t n = 0;
+  groups_.for_each([&](const Group& g) { n += g.buckets.size(); });
+  return n;
+}
+
+}  // namespace ss::ofp

@@ -1,0 +1,62 @@
+#pragma once
+// A switch: ports with liveness, a stack of flow tables, a group table, and
+// the pipeline tying them together.  The simulator owns the wiring between
+// switch ports and links; from the switch's perspective a port is just live
+// or not (exactly the visibility OpenFlow fast-failover gets).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ofp/pipeline.hpp"
+
+namespace ss::ofp {
+
+struct PortState {
+  bool exists = false;
+  bool live = false;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+};
+
+class Switch {
+ public:
+  explicit Switch(SwitchId id, PortNo num_ports = 0);
+
+  SwitchId id() const { return id_; }
+
+  // --- ports ---
+  void add_port(PortNo p);
+  PortNo num_ports() const { return static_cast<PortNo>(ports_.size() ? ports_.size() - 1 : 0); }
+  bool port_exists(PortNo p) const { return p < ports_.size() && ports_[p].exists; }
+  bool port_live(PortNo p) const { return port_exists(p) && ports_[p].live; }
+  void set_port_live(PortNo p, bool live);
+  const PortState& port(PortNo p) const { return ports_.at(p); }
+
+  // --- tables ---
+  /// Access table `id`, growing the pipeline as needed.
+  FlowTable& table(TableId id);
+  const std::vector<FlowTable>& tables() const { return tables_; }
+  std::vector<FlowTable>& tables_mut() { return tables_; }
+  GroupTable& groups() { return groups_; }
+  const GroupTable& groups() const { return groups_; }
+
+  /// Run the pipeline on a received packet.  Updates port counters for the
+  /// ingress; the caller (simulator) accounts egress.
+  PipelineResult receive(Packet pkt, PortNo in_port);
+
+  /// Inject a packet as if from the controller (packet-out), entering the
+  /// pipeline with a reserved in_port (kPortController).
+  PipelineResult packet_out(Packet pkt);
+
+  std::uint64_t total_flow_entries() const;
+  std::uint64_t total_group_buckets() const;
+
+ private:
+  SwitchId id_;
+  std::vector<PortState> ports_;  // index 0 unused (ports are 1-based)
+  std::vector<FlowTable> tables_;
+  GroupTable groups_;
+};
+
+}  // namespace ss::ofp

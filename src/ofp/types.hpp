@@ -1,0 +1,26 @@
+#pragma once
+// Basic identifiers and reserved port numbers for the OpenFlow 1.3 model.
+
+#include <cstdint>
+
+namespace ss::ofp {
+
+using SwitchId = std::uint32_t;
+using PortNo = std::uint32_t;   // physical ports are 1..degree; 0 is unused
+using TableId = std::uint16_t;
+using GroupId = std::uint32_t;
+
+/// Reserved ports, mirroring OFPP_* semantics.
+inline constexpr PortNo kPortInPort = 0xfffffff8;      // OFPP_IN_PORT
+inline constexpr PortNo kPortController = 0xfffffffd;  // OFPP_CONTROLLER
+inline constexpr PortNo kPortLocal = 0xfffffffe;       // OFPP_LOCAL — the paper's "self" port
+
+inline constexpr bool is_reserved_port(PortNo p) { return p >= 0xfffffff0; }
+
+/// Packet-in reason for TTL expiry (OFPR_INVALID_TTL).  OpenFlow 1.3
+/// switches send packets whose TTL a dec-TTL action would underflow to the
+/// controller; the blackhole-TTL service (§3.3, first solution) relies on
+/// exactly this behaviour.
+inline constexpr std::uint32_t kReasonInvalidTtl = 0xfff0;
+
+}  // namespace ss::ofp

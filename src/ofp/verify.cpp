@@ -1,0 +1,161 @@
+#include "ofp/verify.hpp"
+
+#include <functional>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace ss::ofp {
+
+namespace {
+
+constexpr std::uint32_t kMaxGroupDepth = 4;  // must match pipeline.cpp
+
+/// True iff every packet satisfying tag-match `s` also satisfies `g`.
+/// Decidable exactly when the bit ranges overlap cleanly; we compare only
+/// aligned (same offset/width) criteria and bit-by-bit overlaps otherwise.
+bool tag_subsumes(const TagMatch& g, const std::vector<TagMatch>& specifics) {
+  // Collect the bits pinned by the specific entry across all its criteria.
+  // For each bit g pins (mask bit within width), some specific criterion
+  // must pin the same absolute bit to the same value.
+  const std::uint64_t gw =
+      g.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << g.width) - 1);
+  for (std::uint32_t b = 0; b < g.width; ++b) {
+    if (((g.mask & gw) >> b & 1) == 0) continue;
+    const std::uint32_t abs_bit = g.offset + b;
+    const bool g_val = (g.value >> b) & 1;
+    bool covered = false;
+    for (const TagMatch& s : specifics) {
+      if (abs_bit < s.offset || abs_bit >= s.offset + s.width) continue;
+      const std::uint32_t sb = abs_bit - s.offset;
+      const std::uint64_t sw =
+          s.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << s.width) - 1);
+      if (((s.mask & sw) >> sb & 1) == 0) continue;  // bit not pinned by s
+      if ((((s.value >> sb) & 1) != 0) == g_val) {
+        covered = true;
+        break;
+      }
+      return false;  // pinned to the opposite value: disjoint, not subsumed
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool match_subsumes(const Match& general, const Match& specific) {
+  if (general.in_port && (!specific.in_port || *specific.in_port != *general.in_port))
+    return false;
+  if (general.eth_type &&
+      (!specific.eth_type || *specific.eth_type != *general.eth_type))
+    return false;
+  if (general.ttl && (!specific.ttl || *specific.ttl != *general.ttl)) return false;
+  for (const TagMatch& g : general.tag_matches)
+    if (!tag_subsumes(g, specific.tag_matches)) return false;
+  return true;
+}
+
+VerifyReport verify_switch(const Switch& sw, std::uint32_t tag_bits) {
+  VerifyReport rep;
+  const auto& tables = sw.tables();
+
+  auto err = [&](auto&&... parts) { rep.errors.push_back(util::cat(parts...)); };
+  auto warn = [&](auto&&... parts) { rep.warnings.push_back(util::cat(parts...)); };
+
+  // --- group graph: existence, chain depth, cycles ---
+  std::set<GroupId> group_ids;
+  sw.groups().for_each([&](const Group& g) { group_ids.insert(g.id); });
+
+  std::function<void(GroupId, std::vector<GroupId>&, const char*)> walk_group =
+      [&](GroupId gid, std::vector<GroupId>& path, const char* origin) {
+        if (!group_ids.count(gid)) {
+          err(origin, ": reference to unknown group ", gid);
+          return;
+        }
+        for (GroupId seen : path)
+          if (seen == gid) {
+            err(origin, ": group reference cycle through ", gid);
+            return;
+          }
+        if (path.size() + 1 > kMaxGroupDepth) {
+          err(origin, ": group chain deeper than ", kMaxGroupDepth);
+          return;
+        }
+        path.push_back(gid);
+        const Group& g = sw.groups().at(gid);
+        for (const Bucket& b : g.buckets) {
+          if (b.watch_port && !sw.port_exists(*b.watch_port))
+            err("group ", gid, " ('", g.name, "'): watch port ", *b.watch_port,
+                " does not exist");
+          for (const Action& a : b.actions) {
+            if (const auto* grp = std::get_if<ActGroup>(&a))
+              walk_group(grp->group, path, origin);
+          }
+        }
+        path.pop_back();
+      };
+
+  auto check_actions = [&](const ActionList& actions, const std::string& where) {
+    for (const Action& a : actions) {
+      if (const auto* out = std::get_if<ActOutput>(&a)) {
+        if (!is_reserved_port(out->port) && !sw.port_exists(out->port))
+          err(where, ": output to nonexistent port ", out->port);
+      } else if (const auto* grp = std::get_if<ActGroup>(&a)) {
+        std::vector<GroupId> path;
+        walk_group(grp->group, path, where.c_str());
+      } else if (const auto* st = std::get_if<ActSetTag>(&a)) {
+        if (tag_bits && st->offset + st->width > tag_bits)
+          err(where, ": set_tag beyond tag region (", st->offset, "+", st->width,
+              " > ", tag_bits, ")");
+      } else if (const auto* cl = std::get_if<ActClearTagRange>(&a)) {
+        if (tag_bits && cl->offset + cl->width > tag_bits)
+          err(where, ": clear_tag beyond tag region");
+      }
+    }
+  };
+
+  // --- flow tables ---
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const auto& entries = tables[t].entries();
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      const FlowEntry& e = entries[k];
+      const std::string where = util::cat("table ", t, " entry '", e.name, "'");
+      if (e.goto_table) {
+        if (*e.goto_table <= t)
+          err(where, ": goto ", *e.goto_table, " does not move forward");
+        else if (*e.goto_table >= tables.size())
+          err(where, ": goto ", *e.goto_table, " beyond pipeline (",
+              tables.size(), " tables)");
+        else if (tables[*e.goto_table].entries().empty())
+          warn(where, ": goto empty table ", *e.goto_table, " (always drops)");
+      }
+      if (tag_bits) {
+        for (const TagMatch& tm : e.match.tag_matches)
+          if (tm.offset + tm.width > tag_bits)
+            err(where, ": match beyond tag region");
+      }
+      check_actions(e.actions, where);
+
+      // Dead-rule analysis: shadowed by an earlier (>= priority) entry.
+      // Entries are stored sorted by descending priority.
+      for (std::size_t j = 0; j < k; ++j) {
+        if (match_subsumes(entries[j].match, e.match)) {
+          warn(where, ": dead — shadowed by '", entries[j].name, "'");
+          break;
+        }
+      }
+    }
+  }
+
+  // --- groups reachable or not, bucket sanity ---
+  sw.groups().for_each([&](const Group& g) {
+    const std::string where = util::cat("group ", g.id, " ('", g.name, "')");
+    if (g.buckets.empty()) warn(where, ": no buckets");
+    for (const Bucket& b : g.buckets) check_actions(b.actions, where);
+  });
+
+  return rep;
+}
+
+}  // namespace ss::ofp

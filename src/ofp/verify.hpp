@@ -1,0 +1,46 @@
+#pragma once
+// Static verification of installed pipelines.
+//
+// The paper's selling point: "while rendering the data plane smarter,
+// SmartSouth only relies on the standard OpenFlow match-action paradigm;
+// thus, the data plane functions remain formally verifiable — a key benefit
+// of SDN."  This module makes that concrete: it checks a switch's installed
+// state without executing a single packet.
+//
+// Errors (structural soundness — must never occur in a compiled pipeline):
+//   * goto targets that do not move strictly forward, or beyond the pipeline;
+//   * actions referencing unknown groups; group-to-group reference cycles
+//     or chains deeper than the pipeline's limit;
+//   * outputs to ports the switch does not have (non-reserved);
+//   * FAST-FAILOVER watch ports that do not exist;
+//   * tag matches / set-fields outside the declared tag region;
+//   * pops on tables reachable with a provably empty label stack are NOT
+//     checked (needs symbolic execution) — see warnings instead.
+//
+// Warnings (lint-grade):
+//   * dead rules: an entry fully shadowed by an earlier entry of greater or
+//     equal priority whose match is strictly more general;
+//   * empty tables that are goto targets (legal: table-miss drops).
+
+#include <string>
+#include <vector>
+
+#include "ofp/switch.hpp"
+
+namespace ss::ofp {
+
+struct VerifyReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Verify one switch's tables and groups.  `tag_bits` is the declared tag
+/// region size (0 = skip tag-range checks).
+VerifyReport verify_switch(const Switch& sw, std::uint32_t tag_bits = 0);
+
+/// True iff `general` matches every packet that `specific` matches
+/// (conservative: may return false for incomparable encodings).
+bool match_subsumes(const Match& general, const Match& specific);
+
+}  // namespace ss::ofp

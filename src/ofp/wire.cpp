@@ -1,0 +1,529 @@
+#include "ofp/wire.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ss::ofp::wire {
+
+namespace {
+
+// ---- primitive big-endian writer / reader ---------------------------------
+
+void put8(Bytes& b, std::uint8_t v) { b.push_back(v); }
+void put16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+void put32(Bytes& b, std::uint32_t v) {
+  put16(b, static_cast<std::uint16_t>(v >> 16));
+  put16(b, static_cast<std::uint16_t>(v));
+}
+void put64(Bytes& b, std::uint64_t v) {
+  put32(b, static_cast<std::uint32_t>(v >> 32));
+  put32(b, static_cast<std::uint32_t>(v));
+}
+void pad_to(Bytes& b, std::size_t align) {
+  while (b.size() % align != 0) b.push_back(0);
+}
+
+struct Reader {
+  const Bytes& b;
+  std::size_t pos = 0;
+  std::uint8_t u8() {
+    if (pos + 1 > b.size()) throw std::runtime_error("wire: truncated");
+    return b[pos++];
+  }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(u8() << 8 | u8()); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(u16()) << 16 | u16(); }
+  std::uint64_t u64() { return static_cast<std::uint64_t>(u32()) << 32 | u32(); }
+  void skip(std::size_t n) {
+    if (pos + n > b.size()) throw std::runtime_error("wire: truncated");
+    pos += n;
+  }
+};
+
+// ---- OpenFlow 1.3 constants ------------------------------------------------
+
+constexpr std::uint16_t kOxmClassBasic = 0x8000;  // OFPXMC_OPENFLOW_BASIC
+constexpr std::uint16_t kOxmClassExp = 0xffff;    // OFPXMC_EXPERIMENTER
+constexpr std::uint8_t kOxmInPort = 0;            // OFPXMT_OFB_IN_PORT
+constexpr std::uint8_t kOxmEthType = 5;           // OFPXMT_OFB_ETH_TYPE
+
+constexpr std::uint16_t kActOutput = 0;        // OFPAT_OUTPUT
+constexpr std::uint16_t kActGroupT = 22;       // OFPAT_GROUP
+constexpr std::uint16_t kActSetNwTtl = 23;     // OFPAT_SET_NW_TTL
+constexpr std::uint16_t kActDecNwTtl = 24;     // OFPAT_DEC_NW_TTL
+constexpr std::uint16_t kActSetField = 25;     // OFPAT_SET_FIELD
+constexpr std::uint16_t kActExperimenter = 0xffff;
+
+// Experimenter action subtypes (SmartSouth tag-region & record extensions —
+// the vendor-extension channel the paper's "extended match fields" switch
+// would expose).
+constexpr std::uint16_t kSubSetTag = 1;
+constexpr std::uint16_t kSubClearTagRange = 2;
+constexpr std::uint16_t kSubClearLabels = 3;
+constexpr std::uint16_t kSubPushRecord = 4;
+constexpr std::uint16_t kSubPopRecord = 5;
+constexpr std::uint16_t kSubCtrlReason = 6;
+constexpr std::uint16_t kSubDrop = 7;
+
+constexpr std::uint16_t kInstrGotoTable = 1;     // OFPIT_GOTO_TABLE
+constexpr std::uint16_t kInstrApplyActions = 4;  // OFPIT_APPLY_ACTIONS
+
+constexpr std::uint32_t kPortAny = 0xffffffff;   // OFPP_ANY
+constexpr std::uint32_t kNoBuffer = 0xffffffff;  // OFP_NO_BUFFER
+constexpr std::uint16_t kCtrlMaxLen = 0xffff;    // OFPCML_NO_BUFFER
+
+// ---- match -----------------------------------------------------------------
+
+void encode_match(Bytes& b, const Match& m) {
+  const std::size_t match_start = b.size();
+  put16(b, 1);  // OFPMT_OXM
+  put16(b, 0);  // length placeholder
+  if (m.in_port) {
+    put16(b, kOxmClassBasic);
+    put8(b, static_cast<std::uint8_t>(kOxmInPort << 1));
+    put8(b, 4);
+    put32(b, *m.in_port);
+  }
+  if (m.eth_type) {
+    put16(b, kOxmClassBasic);
+    put8(b, static_cast<std::uint8_t>(kOxmEthType << 1));
+    put8(b, 2);
+    put16(b, *m.eth_type);
+  }
+  for (const TagMatch& t : m.tag_matches) {
+    put16(b, kOxmClassExp);
+    put8(b, 0 << 1 | 1);  // field 0, has-mask
+    put8(b, 28);          // experimenter(4) + offset(4) + width(4) + value(8) + mask(8)
+    put32(b, kExperimenterId);
+    put32(b, t.offset);
+    put32(b, t.width);
+    put64(b, t.value);
+    put64(b, t.mask);
+  }
+  const std::size_t match_len = b.size() - match_start;
+  b[match_start + 2] = static_cast<std::uint8_t>(match_len >> 8);
+  b[match_start + 3] = static_cast<std::uint8_t>(match_len);
+  pad_to(b, 8);
+}
+
+Match decode_match(Reader& r) {
+  Match m;
+  const std::size_t start = r.pos;
+  const std::uint16_t type = r.u16();
+  if (type != 1) throw std::runtime_error("wire: not an OXM match");
+  const std::uint16_t len = r.u16();
+  const std::size_t end = start + len;
+  while (r.pos < end) {
+    const std::uint16_t oxm_class = r.u16();
+    const std::uint8_t field_hm = r.u8();
+    const std::uint8_t oxm_len = r.u8();
+    if (oxm_class == kOxmClassBasic) {
+      const std::uint8_t field = field_hm >> 1;
+      if (field == kOxmInPort) {
+        m.in_port = r.u32();
+      } else if (field == kOxmEthType) {
+        m.eth_type = r.u16();
+      } else {
+        r.skip(oxm_len);
+      }
+    } else if (oxm_class == kOxmClassExp) {
+      const std::uint32_t exp = r.u32();
+      if (exp != kExperimenterId) throw std::runtime_error("wire: foreign OXM");
+      TagMatch t;
+      t.offset = r.u32();
+      t.width = r.u32();
+      t.value = r.u64();
+      t.mask = r.u64();
+      m.tag_matches.push_back(t);
+    } else {
+      r.skip(oxm_len);
+    }
+  }
+  // Consume padding to 8.
+  while (r.pos % 8 != 0) r.skip(1);
+  return m;
+}
+
+// ---- actions ---------------------------------------------------------------
+
+void encode_exp_action(Bytes& b, std::uint16_t subtype,
+                       const std::vector<std::uint64_t>& words,
+                       const std::vector<std::uint32_t>& dwords = {}) {
+  const std::size_t start = b.size();
+  put16(b, kActExperimenter);
+  put16(b, 0);  // length placeholder
+  put32(b, kExperimenterId);
+  put16(b, subtype);
+  for (auto d : dwords) put32(b, d);
+  for (auto w : words) put64(b, w);
+  pad_to(b, 8);
+  const std::size_t len = b.size() - start;
+  b[start + 2] = static_cast<std::uint8_t>(len >> 8);
+  b[start + 3] = static_cast<std::uint8_t>(len);
+}
+
+void encode_action(Bytes& b, const Action& a) {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, ActOutput>) {
+          if (v.port == kPortController && v.controller_reason != 0)
+            encode_exp_action(b, kSubCtrlReason, {}, {v.controller_reason});
+          put16(b, kActOutput);
+          put16(b, 16);
+          put32(b, v.port);
+          put16(b, kCtrlMaxLen);
+          for (int i = 0; i < 6; ++i) put8(b, 0);
+        } else if constexpr (std::is_same_v<T, ActSetTag>) {
+          encode_exp_action(b, kSubSetTag, {v.value}, {v.offset, v.width});
+        } else if constexpr (std::is_same_v<T, ActClearTagRange>) {
+          encode_exp_action(b, kSubClearTagRange, {}, {v.offset, v.width});
+        } else if constexpr (std::is_same_v<T, ActPushLabel>) {
+          // Our 32-bit records exceed the 20-bit MPLS label space, so the
+          // push rides the experimenter channel rather than OFPAT_PUSH_MPLS.
+          encode_exp_action(b, kSubPushRecord, {}, {v.label});
+        } else if constexpr (std::is_same_v<T, ActPopLabel>) {
+          encode_exp_action(b, kSubPopRecord, {});
+        } else if constexpr (std::is_same_v<T, ActClearLabels>) {
+          encode_exp_action(b, kSubClearLabels, {});
+        } else if constexpr (std::is_same_v<T, ActGroup>) {
+          put16(b, kActGroupT);
+          put16(b, 8);
+          put32(b, v.group);
+        } else if constexpr (std::is_same_v<T, ActDecTtl>) {
+          put16(b, kActDecNwTtl);
+          put16(b, 8);
+          put32(b, 0);
+        } else if constexpr (std::is_same_v<T, ActSetTtl>) {
+          put16(b, kActSetNwTtl);
+          put16(b, 8);
+          put8(b, v.ttl);
+          put8(b, 0);
+          put16(b, 0);
+        } else if constexpr (std::is_same_v<T, ActSetEthType>) {
+          const std::size_t start = b.size();
+          put16(b, kActSetField);
+          put16(b, 0);  // placeholder
+          put16(b, kOxmClassBasic);
+          put8(b, static_cast<std::uint8_t>(kOxmEthType << 1));
+          put8(b, 2);
+          put16(b, v.eth_type);
+          pad_to(b, 8);
+          const std::size_t len = b.size() - start;
+          b[start + 2] = static_cast<std::uint8_t>(len >> 8);
+          b[start + 3] = static_cast<std::uint8_t>(len);
+        } else {  // ActDrop
+          encode_exp_action(b, kSubDrop, {});
+        }
+      },
+      a);
+}
+
+ActionList decode_actions(Reader& r, std::size_t end) {
+  ActionList out;
+  std::uint32_t pending_reason = 0;
+  while (r.pos < end) {
+    const std::size_t start = r.pos;
+    const std::uint16_t type = r.u16();
+    const std::uint16_t len = r.u16();
+    if (type == kActOutput) {
+      ActOutput a;
+      a.port = r.u32();
+      r.u16();  // max_len
+      r.skip(6);
+      if (a.port == kPortController) a.controller_reason = pending_reason;
+      pending_reason = 0;
+      out.push_back(a);
+    } else if (type == kActGroupT) {
+      out.push_back(ActGroup{r.u32()});
+    } else if (type == kActDecNwTtl) {
+      r.skip(4);
+      out.push_back(ActDecTtl{});
+    } else if (type == kActSetNwTtl) {
+      ActSetTtl a;
+      a.ttl = r.u8();
+      r.skip(3);
+      out.push_back(a);
+    } else if (type == kActSetField) {
+      r.u16();  // class
+      const std::uint8_t field = static_cast<std::uint8_t>(r.u8() >> 1);
+      const std::uint8_t flen = r.u8();
+      if (field == kOxmEthType) {
+        out.push_back(ActSetEthType{r.u16()});
+      } else {
+        r.skip(flen);
+      }
+      r.skip(start + len - r.pos);  // padding
+    } else if (type == kActExperimenter) {
+      const std::uint32_t exp = r.u32();
+      if (exp != kExperimenterId) throw std::runtime_error("wire: foreign action");
+      const std::uint16_t sub = r.u16();
+      switch (sub) {
+        case kSubSetTag: {
+          ActSetTag a;
+          a.offset = r.u32();
+          a.width = r.u32();
+          a.value = r.u64();
+          out.push_back(a);
+          break;
+        }
+        case kSubClearTagRange: {
+          ActClearTagRange a;
+          a.offset = r.u32();
+          a.width = r.u32();
+          out.push_back(a);
+          break;
+        }
+        case kSubClearLabels:
+          out.push_back(ActClearLabels{});
+          break;
+        case kSubPushRecord:
+          out.push_back(ActPushLabel{r.u32()});
+          break;
+        case kSubPopRecord:
+          out.push_back(ActPopLabel{});
+          break;
+        case kSubCtrlReason:
+          pending_reason = r.u32();
+          break;
+        case kSubDrop:
+          out.push_back(ActDrop{});
+          break;
+        default:
+          throw std::runtime_error("wire: unknown experimenter subtype");
+      }
+      r.skip(start + len - r.pos);  // padding
+    } else {
+      throw std::runtime_error(util::cat("wire: unknown action type ", type));
+    }
+  }
+  return out;
+}
+
+void encode_header(Bytes& b, std::uint8_t type, std::uint32_t xid) {
+  put8(b, kVersion);
+  put8(b, type);
+  put16(b, 0);  // length placeholder
+  put32(b, xid);
+}
+
+void finish_message(Bytes& b) {
+  b[2] = static_cast<std::uint8_t>(b.size() >> 8);
+  b[3] = static_cast<std::uint8_t>(b.size());
+}
+
+}  // namespace
+
+// ---- flow mods ---------------------------------------------------------
+
+Bytes encode_flow_mod(const FlowEntry& entry, std::uint8_t table_id, std::uint32_t xid) {
+  Bytes b;
+  encode_header(b, kTypeFlowMod, xid);
+  put64(b, 0);  // cookie
+  put64(b, 0);  // cookie_mask
+  put8(b, table_id);
+  put8(b, 0);  // OFPFC_ADD
+  put16(b, 0);  // idle_timeout
+  put16(b, 0);  // hard_timeout
+  put16(b, static_cast<std::uint16_t>(entry.priority));
+  put32(b, kNoBuffer);
+  put32(b, kPortAny);  // out_port
+  put32(b, kPortAny);  // out_group
+  put16(b, 0);         // flags
+  put16(b, 0);         // pad
+  encode_match(b, entry.match);
+
+  // Instructions: apply-actions (if any), then goto-table (if any).
+  if (!entry.actions.empty()) {
+    const std::size_t start = b.size();
+    put16(b, kInstrApplyActions);
+    put16(b, 0);  // placeholder
+    put32(b, 0);  // pad
+    for (const Action& a : entry.actions) encode_action(b, a);
+    const std::size_t len = b.size() - start;
+    b[start + 2] = static_cast<std::uint8_t>(len >> 8);
+    b[start + 3] = static_cast<std::uint8_t>(len);
+  }
+  if (entry.goto_table) {
+    put16(b, kInstrGotoTable);
+    put16(b, 8);
+    put8(b, static_cast<std::uint8_t>(*entry.goto_table));
+    put8(b, 0);
+    put16(b, 0);
+  }
+  finish_message(b);
+  return b;
+}
+
+DecodedFlowMod decode_flow_mod(const Bytes& msg) {
+  Reader r{msg};
+  if (r.u8() != kVersion) throw std::runtime_error("wire: bad version");
+  if (r.u8() != kTypeFlowMod) throw std::runtime_error("wire: not a flow mod");
+  const std::uint16_t total = r.u16();
+  if (total != msg.size()) throw std::runtime_error("wire: bad length");
+  r.u32();  // xid
+  r.u64();  // cookie
+  r.u64();  // cookie_mask
+  DecodedFlowMod out;
+  out.table_id = r.u8();
+  if (r.u8() != 0) throw std::runtime_error("wire: not OFPFC_ADD");
+  r.u16();  // idle
+  r.u16();  // hard
+  out.entry.priority = r.u16();
+  r.u32();  // buffer
+  r.u32();  // out_port
+  r.u32();  // out_group
+  r.u16();  // flags
+  r.u16();  // pad
+  out.entry.match = decode_match(r);
+  while (r.pos < msg.size()) {
+    const std::size_t start = r.pos;
+    const std::uint16_t itype = r.u16();
+    const std::uint16_t ilen = r.u16();
+    if (itype == kInstrApplyActions) {
+      r.u32();  // pad
+      out.entry.actions = decode_actions(r, start + ilen);
+    } else if (itype == kInstrGotoTable) {
+      out.entry.goto_table = r.u8();
+      r.skip(3);
+    } else {
+      throw std::runtime_error("wire: unknown instruction");
+    }
+  }
+  return out;
+}
+
+// ---- group mods ----------------------------------------------------------
+
+namespace {
+std::uint8_t group_type_code(GroupType t) {
+  switch (t) {
+    case GroupType::kAll: return 0;
+    case GroupType::kSelect: return 1;
+    case GroupType::kIndirect: return 2;
+    case GroupType::kFastFailover: return 3;
+  }
+  return 0;
+}
+GroupType group_type_from(std::uint8_t c) {
+  switch (c) {
+    case 0: return GroupType::kAll;
+    case 1: return GroupType::kSelect;
+    case 2: return GroupType::kIndirect;
+    case 3: return GroupType::kFastFailover;
+  }
+  throw std::runtime_error("wire: unknown group type");
+}
+}  // namespace
+
+Bytes encode_group_mod(const Group& group, std::uint32_t xid) {
+  Bytes b;
+  encode_header(b, kTypeGroupMod, xid);
+  put16(b, 0);  // OFPGC_ADD
+  put8(b, group_type_code(group.type));
+  put8(b, 0);  // pad
+  put32(b, group.id);
+  for (const Bucket& bu : group.buckets) {
+    const std::size_t start = b.size();
+    put16(b, 0);  // length placeholder
+    put16(b, 1);  // weight (round-robin select: equal weights)
+    put32(b, bu.watch_port.value_or(kPortAny));
+    put32(b, kPortAny);  // watch_group
+    put32(b, 0);         // pad
+    for (const Action& a : bu.actions) encode_action(b, a);
+    const std::size_t len = b.size() - start;
+    b[start] = static_cast<std::uint8_t>(len >> 8);
+    b[start + 1] = static_cast<std::uint8_t>(len);
+  }
+  finish_message(b);
+  return b;
+}
+
+DecodedGroupMod decode_group_mod(const Bytes& msg) {
+  Reader r{msg};
+  if (r.u8() != kVersion) throw std::runtime_error("wire: bad version");
+  if (r.u8() != kTypeGroupMod) throw std::runtime_error("wire: not a group mod");
+  const std::uint16_t total = r.u16();
+  if (total != msg.size()) throw std::runtime_error("wire: bad length");
+  r.u32();  // xid
+  if (r.u16() != 0) throw std::runtime_error("wire: not OFPGC_ADD");
+  DecodedGroupMod out;
+  out.group.type = group_type_from(r.u8());
+  r.u8();  // pad
+  out.group.id = r.u32();
+  while (r.pos < msg.size()) {
+    const std::size_t start = r.pos;
+    const std::uint16_t blen = r.u16();
+    r.u16();  // weight
+    Bucket bu;
+    const std::uint32_t watch = r.u32();
+    if (watch != kPortAny) bu.watch_port = watch;
+    r.u32();  // watch_group
+    r.u32();  // pad
+    bu.actions = decode_actions(r, start + blen);
+    out.group.buckets.push_back(std::move(bu));
+  }
+  return out;
+}
+
+std::uint8_t message_type(const Bytes& msg) {
+  if (msg.size() < 8) throw std::runtime_error("wire: short message");
+  return msg[1];
+}
+
+std::vector<Bytes> encode_switch_config(const Switch& sw) {
+  std::vector<Bytes> out;
+  std::uint32_t xid = 1;
+  // Groups first: flow entries reference them (OpenFlow install order).
+  std::vector<const Group*> groups;
+  sw.groups().for_each([&](const Group& g) { groups.push_back(&g); });
+  for (const Group* g : groups) out.push_back(encode_group_mod(*g, xid++));
+  const auto& tables = sw.tables();
+  for (std::size_t t = 0; t < tables.size(); ++t)
+    for (const FlowEntry& e : tables[t].entries())
+      out.push_back(encode_flow_mod(e, static_cast<std::uint8_t>(t), xid++));
+  return out;
+}
+
+std::string ovs_ofctl_script(const Switch& sw, const std::string& bridge) {
+  std::ostringstream os;
+  os << "# SmartSouth configuration for switch " << sw.id() << "\n";
+  sw.groups().for_each([&](const Group& g) {
+    os << "ovs-ofctl -O OpenFlow13 add-group " << bridge << " 'group_id=" << g.id
+       << ",type=";
+    switch (g.type) {
+      case GroupType::kAll: os << "all"; break;
+      case GroupType::kSelect: os << "select"; break;
+      case GroupType::kIndirect: os << "indirect"; break;
+      case GroupType::kFastFailover: os << "ff"; break;
+    }
+    for (const Bucket& b : g.buckets) {
+      os << ",bucket=";
+      if (b.watch_port) os << "watch_port:" << *b.watch_port << ",";
+      os << "actions:" << describe(b.actions);
+    }
+    os << "'";
+    if (!g.name.empty()) os << "  # " << g.name;
+    os << "\n";
+  });
+  const auto& tables = sw.tables();
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    for (const FlowEntry& e : tables[t].entries()) {
+      os << "ovs-ofctl -O OpenFlow13 add-flow " << bridge << " 'table=" << t
+         << ",priority=" << e.priority << "," << e.match.describe()
+         << ",actions=" << describe(e.actions);
+      if (e.goto_table) os << ",goto_table:" << *e.goto_table;
+      os << "'";
+      if (!e.name.empty()) os << "  # " << e.name;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ss::ofp::wire

@@ -1,0 +1,4 @@
+#include "sim/link.hpp"
+
+// Link is header-only today; this TU anchors the library and keeps room for
+// richer models (queueing, bandwidth) without touching users.

@@ -1,0 +1,74 @@
+#pragma once
+// Link failure model.
+//
+// Three distinct failure modes, because the paper distinguishes them:
+//  * down       — the port reports not-live; FAST-FAILOVER groups see this
+//                 and route around it (the paper's robustness mechanism);
+//  * blackhole  — the port stays LIVE but silently drops every packet in
+//                 one or both directions ("silent failures", §3.3);
+//  * lossy      — Bernoulli per-packet loss (the packet-loss monitoring
+//                 extension of §3.3).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "ofp/types.hpp"
+#include "util/rng.hpp"
+
+namespace ss::sim {
+
+using Time = std::uint64_t;  // microseconds
+
+struct LinkEnd {
+  ofp::SwitchId sw = 0;
+  ofp::PortNo port = 0;
+};
+
+class Link {
+ public:
+  Link(graph::EdgeId id, LinkEnd a, LinkEnd b, Time delay)
+      : id_(id), a_(a), b_(b), delay_(delay) {}
+
+  graph::EdgeId id() const { return id_; }
+  const LinkEnd& end_a() const { return a_; }
+  const LinkEnd& end_b() const { return b_; }
+  Time delay() const { return delay_; }
+
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  /// Silent one-directional drop; `from_a` selects the a->b direction.
+  void set_blackhole(bool a_to_b, bool enabled) {
+    (a_to_b ? bh_ab_ : bh_ba_) = enabled;
+  }
+  bool blackhole(bool a_to_b) const { return a_to_b ? bh_ab_ : bh_ba_; }
+  bool any_blackhole() const { return bh_ab_ || bh_ba_; }
+
+  void set_loss(bool a_to_b, double p) { (a_to_b ? loss_ab_ : loss_ba_) = p; }
+  double loss(bool a_to_b) const { return a_to_b ? loss_ab_ : loss_ba_; }
+
+  /// The far end as seen from switch `sw`.
+  const LinkEnd& peer_of(ofp::SwitchId sw) const { return sw == a_.sw ? b_ : a_; }
+  bool from_a(ofp::SwitchId sw) const { return sw == a_.sw; }
+
+  /// Does a packet entering from `sw` survive the crossing?
+  enum class Crossing { kDelivered, kDroppedDown, kDroppedBlackhole, kDroppedLoss };
+  Crossing try_cross(ofp::SwitchId from_sw, util::Rng& rng) const {
+    if (!up_) return Crossing::kDroppedDown;
+    const bool ab = from_a(from_sw);
+    if (blackhole(ab)) return Crossing::kDroppedBlackhole;
+    const double p = loss(ab);
+    if (p > 0.0 && rng.chance(p)) return Crossing::kDroppedLoss;
+    return Crossing::kDelivered;
+  }
+
+ private:
+  graph::EdgeId id_;
+  LinkEnd a_, b_;
+  Time delay_;
+  bool up_ = true;
+  bool bh_ab_ = false, bh_ba_ = false;
+  double loss_ab_ = 0.0, loss_ba_ = 0.0;
+};
+
+}  // namespace ss::sim

@@ -1,0 +1,126 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace ss::sim {
+
+Network::Network(const graph::Graph& g, Time link_delay, std::uint64_t seed)
+    : graph_(g), rng_(seed) {
+  switches_.reserve(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v)
+    switches_.emplace_back(static_cast<ofp::SwitchId>(v), g.degree(v));
+  links_.reserve(g.edge_count());
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const graph::Edge& ed = g.edge(e);
+    links_.emplace_back(e, LinkEnd{ed.a.node, ed.a.port}, LinkEnd{ed.b.node, ed.b.port},
+                        link_delay);
+  }
+}
+
+void Network::set_link_up(graph::EdgeId id, bool up) {
+  Link& l = links_.at(id);
+  l.set_up(up);
+  switches_[l.end_a().sw].set_port_live(l.end_a().port, up);
+  switches_[l.end_b().sw].set_port_live(l.end_b().port, up);
+}
+
+void Network::set_blackhole_from(graph::EdgeId id, ofp::SwitchId from, bool enabled) {
+  Link& l = links_.at(id);
+  l.set_blackhole(l.from_a(from), enabled);
+}
+
+void Network::set_blackhole(graph::EdgeId id, bool enabled) {
+  links_.at(id).set_blackhole(true, enabled);
+  links_.at(id).set_blackhole(false, enabled);
+}
+
+void Network::set_loss_from(graph::EdgeId id, ofp::SwitchId from, double p) {
+  Link& l = links_.at(id);
+  l.set_loss(l.from_a(from), p);
+}
+
+void Network::packet_out(ofp::SwitchId at, ofp::Packet pkt) {
+  ++stats_.packet_outs;
+  auto res = sw(at).packet_out(std::move(pkt));
+  process_emissions(at, res.emissions);
+}
+
+void Network::host_inject(ofp::SwitchId at, ofp::PortNo port, ofp::Packet pkt) {
+  queue_.push({now_, seq_++, at, port, std::move(pkt)});
+}
+
+void Network::process_emissions(ofp::SwitchId at,
+                                const std::vector<ofp::Emission>& emissions) {
+  for (const ofp::Emission& em : emissions) {
+    if (em.port == ofp::kPortController) {
+      ++stats_.controller_msgs;
+      controller_msgs_.push_back({now_, at, em.controller_reason, em.packet});
+    } else if (em.port == ofp::kPortLocal) {
+      local_deliveries_.push_back({now_, at, em.packet});
+    } else {
+      transmit(at, em.port, em.packet);
+    }
+  }
+}
+
+void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt) {
+  if (!sw(from).port_exists(port)) {
+    util::log_warn("transmit: switch ", from, " has no port ", port, "; dropping");
+    return;
+  }
+  const graph::EdgeId eid = graph_.edge_at(from, port);
+  Link& l = links_[eid];
+  ++stats_.sent;
+  stats_.max_wire_bytes = std::max<std::uint64_t>(stats_.max_wire_bytes, pkt.wire_bytes());
+  const LinkEnd& dst = l.peer_of(from);
+  if (trace_enabled_)
+    trace_.push_back({now_, from, port, dst.sw, dst.port, false});
+  switch (l.try_cross(from, rng_)) {
+    case Link::Crossing::kDroppedDown:
+      ++stats_.dropped_down;
+      return;
+    case Link::Crossing::kDroppedBlackhole:
+      ++stats_.dropped_blackhole;
+      return;
+    case Link::Crossing::kDroppedLoss:
+      ++stats_.dropped_loss;
+      return;
+    case Link::Crossing::kDelivered:
+      break;
+  }
+  ++stats_.delivered;
+  if (trace_enabled_) trace_.back().delivered = true;
+  const LinkEnd& peer = l.peer_of(from);
+  queue_.push({now_ + l.delay(), seq_++, peer.sw, peer.port, std::move(pkt)});
+}
+
+void Network::schedule_link_state(graph::EdgeId id, bool up, Time when) {
+  if (id >= links_.size()) throw std::out_of_range("schedule_link_state: bad edge");
+  link_changes_.emplace(when, std::make_pair(id, up));
+}
+
+void Network::run(std::uint64_t max_events) {
+  while (!queue_.empty() || !link_changes_.empty()) {
+    if (++stats_.events > max_events)
+      throw std::runtime_error("Network::run: event budget exceeded (rule loop?)");
+    const Time next_pkt =
+        queue_.empty() ? ~Time{0} : queue_.top().time;
+    if (!link_changes_.empty() && link_changes_.begin()->first <= next_pkt) {
+      auto it = link_changes_.begin();
+      now_ = std::max(now_, it->first);
+      set_link_up(it->second.first, it->second.second);
+      link_changes_.erase(it);
+      continue;
+    }
+    if (queue_.empty()) break;
+    Arrival a = queue_.top();
+    queue_.pop();
+    now_ = a.time;
+    auto res = sw(a.sw).receive(std::move(a.packet), a.port);
+    process_emissions(a.sw, res.emissions);
+  }
+}
+
+}  // namespace ss::sim

@@ -1,0 +1,163 @@
+#pragma once
+// The simulated network: one ofp::Switch per graph node, one Link per graph
+// edge, a discrete-event loop, and the out-of-band controller channel.
+//
+// Everything a SmartSouth experiment measures flows through here:
+//  * in-band message counts   -> Stats::sent (Table 2, in-band column)
+//  * out-of-band messages     -> controller_msgs() (Table 2, out-band column)
+//  * message sizes            -> Stats::max_wire_bytes and per-msg sizes
+//  * anycast deliveries       -> local_deliveries() (OFPP_LOCAL = "self")
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "ofp/switch.hpp"
+#include "sim/link.hpp"
+#include "util/rng.hpp"
+
+namespace ss::sim {
+
+struct ControllerMsg {
+  Time time = 0;
+  ofp::SwitchId from = 0;
+  std::uint32_t reason = 0;
+  ofp::Packet packet;
+};
+
+struct LocalDelivery {
+  Time time = 0;
+  ofp::SwitchId at = 0;
+  ofp::Packet packet;
+};
+
+/// One wire transmission (recorded when tracing is enabled).
+struct TraceEntry {
+  Time time = 0;
+  ofp::SwitchId from = 0;
+  ofp::PortNo out_port = 0;
+  ofp::SwitchId to = 0;
+  ofp::PortNo in_port = 0;
+  bool delivered = false;
+};
+
+struct Stats {
+  std::uint64_t sent = 0;       // packets put on a wire (in-band messages)
+  std::uint64_t delivered = 0;  // packets that survived the crossing
+  std::uint64_t dropped_down = 0;
+  std::uint64_t dropped_blackhole = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t controller_msgs = 0;  // out-of-band, switch -> controller
+  std::uint64_t packet_outs = 0;      // out-of-band, controller -> switch
+  std::uint64_t max_wire_bytes = 0;   // largest in-band packet observed
+  std::uint64_t events = 0;
+
+  void reset() { *this = Stats{}; }
+};
+
+class Network {
+ public:
+  /// Build switches and links mirroring `g`; graph port numbers become
+  /// switch port numbers, so compiled rules and ground-truth DFS agree.
+  explicit Network(const graph::Graph& g, Time link_delay = 1,
+                   std::uint64_t seed = 0x5eed);
+
+  const graph::Graph& topology() const { return graph_; }
+  std::size_t switch_count() const { return switches_.size(); }
+
+  ofp::Switch& sw(ofp::SwitchId id) { return switches_.at(id); }
+  const ofp::Switch& sw(ofp::SwitchId id) const { return switches_.at(id); }
+
+  Link& link(graph::EdgeId id) { return links_.at(id); }
+  const Link& link(graph::EdgeId id) const { return links_.at(id); }
+  std::size_t link_count() const { return links_.size(); }
+
+  /// Take a link administratively down/up; updates port liveness at both
+  /// ends (this is what FAST-FAILOVER watch ports observe).
+  void set_link_up(graph::EdgeId id, bool up);
+
+  /// Plant a silent blackhole on the direction `from` -> other end.
+  void set_blackhole_from(graph::EdgeId id, ofp::SwitchId from, bool enabled);
+  /// Blackhole both directions.
+  void set_blackhole(graph::EdgeId id, bool enabled);
+  void set_loss_from(graph::EdgeId id, ofp::SwitchId from, double p);
+
+  /// Schedule a link state flip at simulated time `when` (>= now).  This is
+  /// how the mid-run-failure experiments inject failures WHILE a traversal
+  /// is executing — the regime the paper explicitly excludes ("we will
+  /// assume that during the execution of SmartSouth, no more failures will
+  /// occur") and that the retrying drivers recover from.
+  void schedule_link_state(graph::EdgeId id, bool up, Time when);
+
+  /// Controller packet-out: run `pkt` through `at`'s pipeline (counted as
+  /// one out-of-band message), scheduling any resulting transmissions.
+  void packet_out(ofp::SwitchId at, ofp::Packet pkt);
+
+  /// Deliver a packet to a switch port directly (e.g. from an attached host).
+  void host_inject(ofp::SwitchId at, ofp::PortNo port, ofp::Packet pkt);
+
+  /// Drain the event queue.  Throws if `max_events` is exceeded (guards
+  /// against miscompiled rule sets looping packets forever).
+  void run(std::uint64_t max_events = 10'000'000);
+
+  Time now() const { return now_; }
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+  util::Rng& rng() { return rng_; }
+
+  std::vector<ControllerMsg>& controller_msgs() { return controller_msgs_; }
+  std::vector<LocalDelivery>& local_deliveries() { return local_deliveries_; }
+  void clear_logs() {
+    controller_msgs_.clear();
+    local_deliveries_.clear();
+    trace_.clear();
+  }
+
+  /// Record every wire transmission (off by default; tests compare the
+  /// recorded hop sequence against the host-level reference DFS).
+  void set_trace(bool on) { trace_enabled_ = on; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+  /// Edge-alive predicate for ground-truth algorithms: true unless the link
+  /// is administratively down.  (Blackholes count as alive — that is the
+  /// point of §3.3.)
+  graph::EdgeAlive alive_fn() const {
+    return [this](graph::EdgeId e) { return links_[e].up(); };
+  }
+
+ private:
+  struct Arrival {
+    Time time = 0;
+    std::uint64_t seq = 0;  // tie-break for determinism
+    ofp::SwitchId sw = 0;
+    ofp::PortNo port = 0;
+    ofp::Packet packet;
+  };
+  struct ArrivalLater {
+    bool operator()(const Arrival& a, const Arrival& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void process_emissions(ofp::SwitchId at, const std::vector<ofp::Emission>& emissions);
+  void transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt);
+
+  graph::Graph graph_;
+  std::vector<ofp::Switch> switches_;
+  std::vector<Link> links_;
+  std::priority_queue<Arrival, std::vector<Arrival>, ArrivalLater> queue_;
+  std::multimap<Time, std::pair<graph::EdgeId, bool>> link_changes_;
+  std::uint64_t seq_ = 0;
+  Time now_ = 0;
+  Stats stats_;
+  util::Rng rng_;
+  std::vector<ControllerMsg> controller_msgs_;
+  std::vector<LocalDelivery> local_deliveries_;
+  bool trace_enabled_ = false;
+  std::vector<TraceEntry> trace_;
+};
+
+}  // namespace ss::sim

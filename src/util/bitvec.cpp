@@ -1,0 +1,72 @@
+#include "util/bitvec.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ss::util {
+
+void BitVec::ensure(std::size_t bits) {
+  if (bits <= bits_) return;
+  bits_ = bits;
+  words_.resize((bits + 63) / 64, 0);
+}
+
+std::uint64_t BitVec::get(std::size_t offset, std::size_t width) const {
+  if (width == 0 || width > 64) throw std::invalid_argument("BitVec::get width");
+  if (offset + width > bits_) throw std::out_of_range("BitVec::get range");
+  const std::size_t w = offset / 64;
+  const std::size_t b = offset % 64;
+  std::uint64_t lo = words_[w] >> b;
+  if (b != 0 && w + 1 < words_.size()) lo |= words_[w + 1] << (64 - b);
+  if (width == 64) return lo;
+  return lo & ((std::uint64_t{1} << width) - 1);
+}
+
+void BitVec::set(std::size_t offset, std::size_t width, std::uint64_t value) {
+  if (width == 0 || width > 64) throw std::invalid_argument("BitVec::set width");
+  if (offset + width > bits_) throw std::out_of_range("BitVec::set range");
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  value &= mask;
+  const std::size_t w = offset / 64;
+  const std::size_t b = offset % 64;
+  words_[w] = (words_[w] & ~(mask << b)) | (value << b);
+  if (b + width > 64) {
+    const std::size_t hi_bits = b + width - 64;
+    const std::uint64_t hi_mask = (std::uint64_t{1} << hi_bits) - 1;
+    words_[w + 1] = (words_[w + 1] & ~hi_mask) | (value >> (64 - b));
+  }
+}
+
+void BitVec::clear_range(std::size_t offset, std::size_t width) {
+  std::size_t done = 0;
+  while (done < width) {
+    const std::size_t chunk = std::min<std::size_t>(64, width - done);
+    set(offset + done, chunk, 0);
+    done += chunk;
+  }
+}
+
+void BitVec::clear_all() {
+  for (auto& w : words_) w = 0;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return bits_ == o.bits_ && words_ == o.words_;
+}
+
+std::string BitVec::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(size_bytes() * 2);
+  for (std::size_t i = 0; i < size_bytes(); ++i) {
+    const std::size_t off = i * 8;
+    const std::size_t width = std::min<std::size_t>(8, bits_ - off);
+    const auto byte = static_cast<unsigned>(get(off, width));
+    out.push_back(digits[byte >> 4]);
+    out.push_back(digits[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace ss::util

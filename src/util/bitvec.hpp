@@ -1,0 +1,51 @@
+#pragma once
+// Dynamically sized bit vector with arbitrary-offset field access.
+//
+// SmartSouth stores traversal state in a reserved "tag region" of the packet
+// header (the paper assumes switches with extended match-field support, such
+// as the NoviKit 250).  BitVec models that region: match fields and set-field
+// actions address sub-ranges of it as (offset, width) pairs.
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ss::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size_bits() const { return bits_; }
+  std::size_t size_bytes() const { return (bits_ + 7) / 8; }
+
+  /// Grow (never shrink) to at least `bits`, zero-filling new space.
+  void ensure(std::size_t bits);
+
+  /// Read `width` bits (1..64) starting at bit `offset`, little-endian
+  /// within the vector (bit 0 of the field is vector bit `offset`).
+  std::uint64_t get(std::size_t offset, std::size_t width) const;
+
+  /// Write the low `width` bits of `value` at bit `offset`.
+  void set(std::size_t offset, std::size_t width, std::uint64_t value);
+
+  /// Zero a range of arbitrary length.
+  void clear_range(std::size_t offset, std::size_t width);
+
+  /// Zero everything.
+  void clear_all();
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  /// Hex dump (diagnostics).
+  std::string to_hex() const;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ss::util

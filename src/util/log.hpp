@@ -1,0 +1,45 @@
+#pragma once
+// Minimal leveled logger.  Off by default; tests and examples can raise the
+// level for debugging.  Not thread-safe by design: the simulator is
+// single-threaded and deterministic.
+
+#include <sstream>
+#include <string>
+
+namespace ss::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_write(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void log_cat(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void log_cat(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  log_cat(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::log_cat(os, args...);
+  log_write(level, os.str());
+}
+
+template <typename... Args>
+void log_trace(const Args&... a) { log(LogLevel::kTrace, a...); }
+template <typename... Args>
+void log_debug(const Args&... a) { log(LogLevel::kDebug, a...); }
+template <typename... Args>
+void log_info(const Args&... a) { log(LogLevel::kInfo, a...); }
+template <typename... Args>
+void log_warn(const Args&... a) { log(LogLevel::kWarn, a...); }
+template <typename... Args>
+void log_error(const Args&... a) { log(LogLevel::kError, a...); }
+
+}  // namespace ss::util

@@ -1,0 +1,33 @@
+#pragma once
+// Deterministic, seedable RNG used throughout the simulator so that every
+// experiment and test is reproducible bit-for-bit.
+
+#include <cstdint>
+#include <random>
+
+namespace ss::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed) : eng_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(eng_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(eng_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace ss::util

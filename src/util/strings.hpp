@@ -1,0 +1,25 @@
+#pragma once
+// Small string helpers shared by diagnostics, benches and decoders.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ss::util {
+
+/// Concatenate stream-formattable arguments into one string.
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+/// Join a container of strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Human-readable byte count ("12.3 KiB").
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace ss::util

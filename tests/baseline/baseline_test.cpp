@@ -1,0 +1,137 @@
+// Baselines must be *correct* (they are the comparison points for the
+// benches) and their controller-message costs must scale as claimed.
+
+#include <gtest/gtest.h>
+
+#include "baseline/controller_anycast.hpp"
+#include "baseline/controller_critical.hpp"
+#include "baseline/lldp_discovery.hpp"
+#include "baseline/probe_blackhole.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+using test::NamedGraph;
+
+class LldpCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(LldpCorpusTest, DiscoversTheFullTopology) {
+  const graph::Graph& g = GetParam().g;
+  baseline::LldpDiscovery disc(g);
+  sim::Network net(g);
+  disc.install(net);
+  auto res = disc.run(net);
+  EXPECT_EQ(res.canonical(), g.canonical());
+  EXPECT_EQ(res.nodes.size(), g.node_count());
+}
+
+TEST_P(LldpCorpusTest, CostsLinearInPorts) {
+  const graph::Graph& g = GetParam().g;
+  baseline::LldpDiscovery disc(g);
+  sim::Network net(g);
+  disc.install(net);
+  auto res = disc.run(net);
+  // One packet-out per port (2|E|), one packet-in per delivered probe.
+  EXPECT_EQ(res.stats.outband_from_ctrl, 2 * g.edge_count());
+  EXPECT_EQ(res.stats.outband_to_ctrl, 2 * g.edge_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, LldpCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Lldp, MissesFailedLinks) {
+  graph::Graph g = graph::make_ring(5);
+  baseline::LldpDiscovery disc(g);
+  sim::Network net(g);
+  disc.install(net);
+  net.set_link_up(1, false);
+  auto res = disc.run(net);
+  EXPECT_EQ(res.edges.size() / 2 + res.edges.size() % 2, g.edge_count() - 1);
+}
+
+TEST(ControllerAnycast, DeliversAlongInstalledPath) {
+  graph::Graph g = graph::make_grid(3, 3);
+  baseline::ControllerAnycast svc(g, {{7, {8u}}});
+  sim::Network net(g);
+  auto res = svc.run(net, 0, 7);
+  ASSERT_TRUE(res.delivered_at.has_value());
+  EXPECT_EQ(*res.delivered_at, 8u);
+  // Path length 4 hops + delivery rule = 5 flow-mods; >= 5 control msgs.
+  EXPECT_GE(res.flow_mods, 5u);
+  EXPECT_GE(res.control_messages(), res.flow_mods + 1);
+}
+
+TEST(ControllerAnycast, RoutesAroundFailures) {
+  graph::Graph g = graph::make_ring(6);
+  baseline::ControllerAnycast svc(g, {{1, {3u}}});
+  sim::Network net(g);
+  net.set_link_up(g.edge_at(1, 2), false);  // cut 1-2, forcing the long way
+  auto res = svc.run(net, 0, 1);
+  ASSERT_TRUE(res.delivered_at.has_value());
+  EXPECT_EQ(*res.delivered_at, 3u);
+}
+
+TEST(ControllerAnycast, UnreachableMember) {
+  graph::Graph g = graph::make_path(4);
+  baseline::ControllerAnycast svc(g, {{1, {3u}}});
+  sim::Network net(g);
+  net.set_link_up(2, false);
+  auto res = svc.run(net, 0, 1);
+  EXPECT_FALSE(res.delivered_at.has_value());
+}
+
+TEST(ProbeBlackhole, FlagsExactlyThePlantedDirection) {
+  graph::Graph g = graph::make_ring(6);
+  baseline::ProbeBlackhole svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_blackhole_from(2, g.edge(2).a.node, true);
+  auto res = svc.run(net);
+  // The forward direction dies outright; the reverse probe's ECHO also dies
+  // crossing back, so both endpoints of the link are flagged.
+  ASSERT_FALSE(res.suspect_ports.empty());
+  for (auto& [sw, port] : res.suspect_ports)
+    EXPECT_EQ(g.edge_at(sw, port), 2u);
+}
+
+TEST(ProbeBlackhole, CleanNetworkNoSuspects) {
+  graph::Graph g = graph::make_grid(3, 3);
+  baseline::ProbeBlackhole svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net);
+  EXPECT_TRUE(res.suspect_ports.empty());
+  // Cost: one packet-out and one echo packet-in per direction per link.
+  EXPECT_EQ(res.stats.outband_from_ctrl, 2 * g.edge_count());
+  EXPECT_EQ(res.stats.outband_to_ctrl, 2 * g.edge_count());
+}
+
+TEST(ControllerCritical, AgreesWithGroundTruth) {
+  graph::Graph g = graph::make_path(5);
+  baseline::ControllerCritical svc(g);
+  const auto truth = graph::articulation_points(g);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, v);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_EQ(*res.critical, truth[v]) << "node " << v;
+  }
+}
+
+TEST(ControllerCritical, PaysFullDiscoveryPerQuestion) {
+  graph::Graph g = graph::make_torus(4, 4);
+  baseline::ControllerCritical svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 5);
+  ASSERT_TRUE(res.critical.has_value());
+  EXPECT_FALSE(*res.critical);  // torus has no articulation points
+  EXPECT_GE(res.stats.outband_total(), 4 * g.edge_count());
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,53 @@
+#include "baseline/stats_polling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+
+namespace ss {
+namespace {
+
+TEST(StatsPolling, ReadsExactCountersAtLinearCost) {
+  graph::Graph g = graph::make_ring(8);
+  core::LoadInferenceService load(g, {13, 16});
+  sim::Network net(g);
+  load.install(net);
+  load.send_data(net, 2, 1, 9);
+  load.send_data(net, 5, 2, 4);
+
+  baseline::StatsPolling polling(g);
+  auto res = polling.poll(net);
+  EXPECT_EQ(res.loads.at({2, 1, false}), 9u);
+  EXPECT_EQ(res.loads.at({5, 2, false}), 4u);
+  // O(n) control messages: one request + one reply per switch.
+  EXPECT_EQ(res.request_msgs, g.node_count());
+  EXPECT_EQ(res.reply_msgs, g.node_count());
+}
+
+TEST(StatsPolling, AgreesWithInbandLoadInference) {
+  util::Rng rng(8);
+  graph::Graph g = graph::make_random_regular(10, 4, rng);
+  core::LoadInferenceService load(g);
+  sim::Network net(g);
+  load.install(net);
+  for (int f = 0; f < 10; ++f) {
+    const auto u = static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1));
+    const auto p = static_cast<graph::PortNo>(rng.uniform(1, g.degree(u)));
+    load.send_data(net, u, p, static_cast<std::uint32_t>(rng.uniform(1, 60)));
+  }
+  baseline::StatsPolling polling(g);
+  auto truth = polling.poll(net);
+  auto inferred = load.infer(net, 0);
+  ASSERT_TRUE(inferred.complete);
+  for (auto& [key, count] : truth.loads) {
+    if (!key.ingress) {
+      ASSERT_TRUE(inferred.loads.count(key));
+      EXPECT_EQ(inferred.loads.at(key), count)
+          << "node " << key.node << " port " << key.port;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,249 @@
+// Anycast family (§3.2): plain anycast, chained anycast (service chains),
+// and priocast (priority-ordered receivers).
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+using test::NamedGraph;
+
+core::AnycastGroupSpec make_group(std::uint32_t gid,
+                                  std::initializer_list<graph::NodeId> members) {
+  core::AnycastGroupSpec gs;
+  gs.gid = gid;
+  std::uint32_t prio = 1;
+  for (auto m : members) gs.members[m] = prio++;
+  return gs;
+}
+
+class AnycastCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(AnycastCorpusTest, DeliversToSomeMemberFromEveryRoot) {
+  const graph::Graph& g = GetParam().g;
+  const auto n = g.node_count();
+  core::AnycastGroupSpec gs = make_group(
+      7, {static_cast<graph::NodeId>(n - 1), static_cast<graph::NodeId>(n / 2)});
+  core::AnycastService svc(g, {gs});
+  for (graph::NodeId root = 0; root < n; ++root) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, root, 7);
+    ASSERT_TRUE(res.delivered_at.has_value()) << "root " << root;
+    EXPECT_TRUE(gs.members.count(*res.delivered_at));
+    // Table 2: anycast requires zero out-of-band messages beyond the request.
+    EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+  }
+}
+
+TEST_P(AnycastCorpusTest, UnknownGroupIsNotDelivered) {
+  const graph::Graph& g = GetParam().g;
+  core::AnycastService svc(g, {make_group(7, {0})});
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0, /*gid=*/9);
+  EXPECT_FALSE(res.delivered_at.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, AnycastCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Anycast, RootItselfIsMember) {
+  graph::Graph g = graph::make_ring(5);
+  core::AnycastService svc(g, {make_group(3, {2})});
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 2, 3);
+  ASSERT_TRUE(res.delivered_at.has_value());
+  EXPECT_EQ(*res.delivered_at, 2u);
+  EXPECT_EQ(res.stats.inband_msgs, 0u);  // no traversal needed
+}
+
+TEST(Anycast, FindsMemberDespiteFailures) {
+  // Ring of 8, member at node 4; cut one side of the ring — the traversal
+  // must route around via fast failover.
+  graph::Graph g = graph::make_ring(8);
+  core::AnycastService svc(g, {make_group(5, {4})});
+  for (graph::EdgeId cut = 0; cut < g.edge_count(); ++cut) {
+    sim::Network net(g);
+    svc.install(net);
+    net.set_link_up(cut, false);
+    auto res = svc.run(net, 0, 5);
+    ASSERT_TRUE(res.delivered_at.has_value()) << "cut " << cut;
+    EXPECT_EQ(*res.delivered_at, 4u);
+  }
+}
+
+TEST(Anycast, UnreachableMemberIsNotDelivered) {
+  // Path 0-1-2-3, member at 3; cut 2-3: nothing to deliver to.
+  graph::Graph g = graph::make_path(4);
+  core::AnycastService svc(g, {make_group(5, {3})});
+  sim::Network net(g);
+  svc.install(net);
+  net.set_link_up(2, false);
+  auto res = svc.run(net, 0, 5);
+  EXPECT_FALSE(res.delivered_at.has_value());
+}
+
+TEST(Anycast, MultipleGroupsCoexist) {
+  graph::Graph g = graph::make_grid(3, 3);
+  auto g1 = make_group(1, {8});
+  auto g2 = make_group(2, {4, 6});
+  core::AnycastService svc(g, {g1, g2});
+  sim::Network net(g);
+  svc.install(net);
+  auto r1 = svc.run(net, 0, 1);
+  ASSERT_TRUE(r1.delivered_at.has_value());
+  EXPECT_EQ(*r1.delivered_at, 8u);
+  auto r2 = svc.run(net, 0, 2);
+  ASSERT_TRUE(r2.delivered_at.has_value());
+  EXPECT_TRUE(g2.members.count(*r2.delivered_at));
+}
+
+// --- Chained anycast (service chains, §3.2 / [14]) ---
+
+TEST(ChainedAnycast, TraversesChainInOrder) {
+  graph::Graph g = graph::make_grid(3, 3);
+  auto fw = make_group(1, {2});    // "firewall"
+  auto dpi = make_group(2, {6});   // "DPI"
+  auto dst = make_group(3, {8});   // destination
+  core::ChainedAnycastService svc(g, {fw, dpi, dst});
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0, {1, 2, 3});
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.hops.size(), 3u);
+  EXPECT_EQ(res.hops[0], 2u);
+  EXPECT_EQ(res.hops[1], 6u);
+  EXPECT_EQ(res.hops[2], 8u);
+  EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+}
+
+TEST(ChainedAnycast, SingleElementChainActsLikeAnycast) {
+  graph::Graph g = graph::make_ring(6);
+  core::ChainedAnycastService svc(g, {make_group(4, {3})});
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0, {4});
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.hops.size(), 1u);
+  EXPECT_EQ(res.hops[0], 3u);
+}
+
+TEST(ChainedAnycast, ChainStopsWhenSegmentUnreachable) {
+  graph::Graph g = graph::make_path(5);
+  auto a = make_group(1, {2});
+  auto b = make_group(2, {4});
+  core::ChainedAnycastService svc(g, {a, b});
+  sim::Network net(g);
+  svc.install(net);
+  net.set_link_up(3, false);  // 3-4 cut: second segment unreachable
+  auto res = svc.run(net, 0, {1, 2});
+  EXPECT_FALSE(res.completed);
+  ASSERT_EQ(res.hops.size(), 1u);
+  EXPECT_EQ(res.hops[0], 2u);
+}
+
+TEST(ChainedAnycast, SameNodeServesConsecutiveSegments) {
+  graph::Graph g = graph::make_ring(6);
+  auto a = make_group(1, {3});
+  auto b = make_group(2, {3});
+  core::ChainedAnycastService svc(g, {a, b});
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0, {1, 2});
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.hops[0], 3u);
+  EXPECT_EQ(res.hops[1], 3u);
+}
+
+// --- Priocast ---
+
+class PriocastCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(PriocastCorpusTest, ElectsHighestPriorityReachableMember) {
+  const graph::Graph& g = GetParam().g;
+  const auto n = g.node_count();
+  core::AnycastGroupSpec gs;
+  gs.gid = 9;
+  // Three members with distinct priorities spread over the graph.
+  gs.members[static_cast<graph::NodeId>(0)] = 10;
+  gs.members[static_cast<graph::NodeId>(n / 2)] = 30;
+  gs.members[static_cast<graph::NodeId>(n - 1)] = 20;
+  core::PriocastService svc(g, {gs});
+  for (graph::NodeId root = 0; root < n; ++root) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, root, 9);
+    ASSERT_TRUE(res.delivered_at.has_value()) << "root " << root;
+    EXPECT_EQ(*res.delivered_at, static_cast<graph::NodeId>(n / 2)) << "root " << root;
+    EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, PriocastCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Priocast, FallsBackWhenBestIsUnreachable) {
+  // Controller fail-over scenario from the paper: path 0-1-2-3-4 with the
+  // primary controller (prio 50) at node 4 and a backup (prio 10) at 1.
+  graph::Graph g = graph::make_path(5);
+  core::AnycastGroupSpec gs;
+  gs.gid = 2;
+  gs.members[4] = 50;
+  gs.members[1] = 10;
+  core::PriocastService svc(g, {gs});
+
+  {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, 2, 2);
+    ASSERT_TRUE(res.delivered_at.has_value());
+    EXPECT_EQ(*res.delivered_at, 4u);
+  }
+  {
+    sim::Network net(g);
+    svc.install(net);
+    net.set_link_up(3, false);  // 3-4 cut
+    auto res = svc.run(net, 2, 2);
+    ASSERT_TRUE(res.delivered_at.has_value());
+    EXPECT_EQ(*res.delivered_at, 1u);
+  }
+}
+
+TEST(Priocast, MessageComplexityIsTwoTraversals) {
+  // Table 2: priocast costs (8|E| - 4n) in-band messages (exact: +4; the
+  // second traversal stops early at the receiver, so <= is asserted).
+  graph::Graph g = graph::make_ring(10);
+  core::AnycastGroupSpec gs;
+  gs.gid = 1;
+  gs.members[5] = 3;
+  core::PriocastService svc(g, {gs});
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0, 1);
+  ASSERT_TRUE(res.delivered_at.has_value());
+  EXPECT_LE(res.stats.inband_msgs, 8 * g.edge_count() - 4 * g.node_count() + 4);
+  EXPECT_GT(res.stats.inband_msgs, 4 * g.edge_count() - 2 * g.node_count() + 2);
+}
+
+TEST(Priocast, NoMemberMeansNoDelivery) {
+  graph::Graph g = graph::make_ring(5);
+  core::AnycastGroupSpec gs;
+  gs.gid = 1;
+  gs.members[3] = 5;
+  core::PriocastService svc(g, {gs});
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0, /*different gid=*/2);
+  EXPECT_FALSE(res.delivered_at.has_value());
+}
+
+}  // namespace
+}  // namespace ss

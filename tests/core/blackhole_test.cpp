@@ -1,0 +1,266 @@
+// Blackhole detection (§3.3): both variants against planted silent failures.
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/eth_types.hpp"
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+using test::NamedGraph;
+
+std::uint32_t ttl_budget(const graph::Graph& g) {
+  const auto bound = 4 * g.edge_count() + 4;
+  return static_cast<std::uint32_t>(std::min<std::size_t>(bound, 255));
+}
+
+// --- Variant 1: TTL binary search ---
+
+class BlackholeTtlCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(BlackholeTtlCorpusTest, NoBlackholeTerminatesInOneProbe) {
+  const graph::Graph& g = GetParam().g;
+  core::BlackholeTtlService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0, ttl_budget(g));
+  EXPECT_FALSE(res.blackhole_found);
+  EXPECT_EQ(res.probes, 1u);
+}
+
+TEST_P(BlackholeTtlCorpusTest, LocatesPlantedBlackhole) {
+  const graph::Graph& g = GetParam().g;
+  core::BlackholeTtlService svc(g);
+  util::Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, g.edge_count() - 1));
+    const bool from_a = rng.chance(0.5);
+    sim::Network net(g);
+    svc.install(net);
+    const auto& ed = g.edge(victim);
+    net.set_blackhole_from(victim, from_a ? ed.a.node : ed.b.node, true);
+
+    auto res = svc.run(net, 0, ttl_budget(g));
+    ASSERT_TRUE(res.blackhole_found) << GetParam().name << " trial " << trial;
+    // The reported (switch, out-port) must identify the planted edge.
+    EXPECT_EQ(g.edge_at(res.at_switch, res.out_port), victim);
+    // Probe budget: first probe + bisection over [0, maxT].
+    const std::uint32_t bound =
+        2 + static_cast<std::uint32_t>(std::ceil(std::log2(ttl_budget(g)))) + 1;
+    EXPECT_LE(res.probes, bound);
+    // Table 2: each probe costs one packet-out and at most one report.
+    EXPECT_LE(res.stats.outband_to_ctrl, res.probes);
+    EXPECT_EQ(res.stats.outband_from_ctrl, res.probes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BlackholeTtlCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(BlackholeTtl, FirstHopBlackhole) {
+  graph::Graph g = graph::make_path(4);
+  core::BlackholeTtlService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_blackhole_from(0, 0, true);  // 0 -> 1 drops
+  auto res = svc.run(net, 0, ttl_budget(g));
+  ASSERT_TRUE(res.blackhole_found);
+  EXPECT_EQ(res.at_switch, 0u);
+  EXPECT_EQ(g.edge_at(res.at_switch, res.out_port), 0u);
+}
+
+TEST(BlackholeTtl, ReverseDirectionBlackhole) {
+  // The DFS return path dies: blackhole on 1 -> 0 of edge 0.
+  graph::Graph g = graph::make_path(3);
+  core::BlackholeTtlService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_blackhole_from(0, 1, true);
+  auto res = svc.run(net, 0, ttl_budget(g));
+  ASSERT_TRUE(res.blackhole_found);
+  EXPECT_EQ(g.edge_at(res.at_switch, res.out_port), 0u);
+}
+
+// --- Variant 2: smart counters ---
+
+class BlackholeCountersCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(BlackholeCountersCorpusTest, CleanNetworkReportsNothing) {
+  const graph::Graph& g = GetParam().g;
+  core::BlackholeCountersService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0);
+  EXPECT_TRUE(res.reports.empty());
+  // 2 packet-outs, no reports.
+  EXPECT_EQ(res.stats.outband_from_ctrl, 2u);
+  EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+}
+
+TEST_P(BlackholeCountersCorpusTest, ThreeMessagesLocatePlantedBlackhole) {
+  const graph::Graph& g = GetParam().g;
+  core::BlackholeCountersService svc(g);
+  util::Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, g.edge_count() - 1));
+    const bool from_a = rng.chance(0.5);
+    sim::Network net(g);
+    svc.install(net);
+    const auto& ed = g.edge(victim);
+    net.set_blackhole_from(victim, from_a ? ed.a.node : ed.b.node, true);
+
+    auto res = svc.run(net, 0);
+    ASSERT_EQ(res.reports.size(), 1u) << GetParam().name << " trial " << trial;
+    EXPECT_EQ(g.edge_at(res.reports[0].at_switch, res.reports[0].out_port), victim);
+    // Table 2, Blackhole-2 row: 3 out-of-band messages total.
+    EXPECT_EQ(res.stats.outband_from_ctrl + res.stats.outband_to_ctrl, 3u);
+  }
+}
+
+TEST_P(BlackholeCountersCorpusTest, InbandBudgetIsLinear) {
+  // Table 2: ~4|E| in-band messages (back-and-forth on every link).
+  const graph::Graph& g = GetParam().g;
+  core::BlackholeCountersService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0);
+  EXPECT_GE(res.stats.inband_msgs, 4 * g.edge_count());
+  EXPECT_LE(res.stats.inband_msgs, 12 * g.edge_count() + 4 * g.node_count() + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BlackholeCountersCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(BlackholeCounters, CounterStateAudit) {
+  // After traversal 1, the victim sender-side port counter must be exactly
+  // 1; healthy danced ports >= 2 (the invariant the detection relies on).
+  graph::Graph g = graph::make_ring(6);
+  core::BlackholeCountersService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_blackhole_from(3, 3, true);  // edge 3 = (3,4), direction 3 -> 4
+
+  // Traversal 1 only.
+  net.packet_out(0, svc.layout().make_packet(core::kEthTraversal));
+  net.run();
+
+  const auto& ed = g.edge(3);
+  const graph::PortNo victim_port = ed.a.node == 3 ? ed.a.port : ed.b.port;
+  const auto& grp =
+      net.sw(3).groups().at(core::counter_group_id(core::kFamBlackhole, victim_port));
+  EXPECT_EQ(grp.rr_cursor, 1u);
+}
+
+TEST(BlackholeCounters, BothDirectionsDetectedAtSenderSide) {
+  graph::Graph g = graph::make_path(4);
+  for (bool reverse : {false, true}) {
+    core::BlackholeCountersService svc(g);
+    sim::Network net(g);
+    svc.install(net);
+    net.set_blackhole_from(1, reverse ? 2u : 1u, true);  // edge 1 = (1,2)
+    auto res = svc.run(net, 0);
+    ASSERT_EQ(res.reports.size(), 1u) << "reverse=" << reverse;
+    EXPECT_EQ(res.reports[0].at_switch, 1u);  // detection is sender-side
+    EXPECT_EQ(g.edge_at(res.reports[0].at_switch, res.reports[0].out_port), 1u);
+  }
+}
+
+TEST(BlackholeCounters, RootFirstPortBlackhole) {
+  graph::Graph g = graph::make_ring(5);
+  core::BlackholeCountersService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  // Kill the root's port-1 link in the outgoing direction.
+  const graph::EdgeId e = g.edge_at(0, 1);
+  net.set_blackhole_from(e, 0, true);
+  auto res = svc.run(net, 0);
+  ASSERT_EQ(res.reports.size(), 1u);
+  EXPECT_EQ(res.reports[0].at_switch, 0u);
+  EXPECT_EQ(res.reports[0].out_port, 1u);
+}
+
+// --- Packet-loss monitoring (§3.3, extension) ---
+
+TEST(PacketLoss, DetectsPastLossOnALink) {
+  graph::Graph g = graph::make_path(3);
+  core::PacketLossMonitor mon(g, {8});
+  sim::Network net(g);
+  mon.install(net);
+
+  // Lose 3 of 10 data packets on 0 -> 1, then heal before detection.
+  const graph::EdgeId e01 = g.edge_at(0, 1);
+  mon.send_data(net, 0, 1, 4);
+  net.set_loss_from(e01, 0, 1.0);
+  mon.send_data(net, 0, 1, 3);
+  net.set_loss_from(e01, 0, 0.0);
+  mon.send_data(net, 0, 1, 3);
+
+  auto res = mon.detect(net, 0);
+  ASSERT_FALSE(res.reports.empty());
+  EXPECT_EQ(res.reports[0].at_switch, 1u);
+  EXPECT_EQ(g.edge_at(res.reports[0].at_switch, res.reports[0].in_port), e01);
+}
+
+TEST(PacketLoss, NoLossNoReport) {
+  graph::Graph g = graph::make_ring(5);
+  core::PacketLossMonitor mon(g, {8});
+  sim::Network net(g);
+  mon.install(net);
+  mon.send_data(net, 0, 1, 5);
+  mon.send_data(net, 2, 2, 7);
+  auto res = mon.detect(net, 0);
+  EXPECT_TRUE(res.reports.empty());
+}
+
+TEST(PacketLoss, SingleCounterFalseNegativeAtModulus) {
+  // Exactly 8 lost packets alias to zero with a single mod-8 counter — the
+  // overflow false negative the paper warns about.
+  graph::Graph g = graph::make_path(2);
+  core::PacketLossMonitor mon(g, {8});
+  sim::Network net(g);
+  mon.install(net);
+  net.set_loss_from(0, 0, 1.0);
+  mon.send_data(net, 0, 1, 8);
+  net.set_loss_from(0, 0, 0.0);
+  auto res = mon.detect(net, 0);
+  EXPECT_TRUE(res.reports.empty()) << "mod-8 alias should be missed";
+}
+
+TEST(PacketLoss, PrimeModuliFixTheAlias) {
+  // The paper's fix: "increase and compare a few smart counters, with
+  // unique and prime sizes" — 8 lost packets cannot alias mod 7 and 11.
+  graph::Graph g = graph::make_path(2);
+  core::PacketLossMonitor mon(g, {7, 11});
+  sim::Network net(g);
+  mon.install(net);
+  net.set_loss_from(0, 0, 1.0);
+  mon.send_data(net, 0, 1, 8);
+  net.set_loss_from(0, 0, 0.0);
+  auto res = mon.detect(net, 0);
+  EXPECT_FALSE(res.reports.empty());
+}
+
+TEST(PacketLoss, BernoulliLossDetectedWithHighProbability) {
+  graph::Graph g = graph::make_path(3);
+  int detected = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    core::PacketLossMonitor mon(g, {7, 11, 13});
+    sim::Network net(g, 1, 1000 + trial);
+    mon.install(net);
+    net.set_loss_from(g.edge_at(1, 2), 1, 0.4);
+    mon.send_data(net, 1, 2, 20);
+    net.set_loss_from(g.edge_at(1, 2), 1, 0.0);
+    auto res = mon.detect(net, 1);
+    if (!res.reports.empty()) ++detected;
+  }
+  EXPECT_GE(detected, 8);
+}
+
+}  // namespace
+}  // namespace ss

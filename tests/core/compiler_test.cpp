@@ -1,0 +1,168 @@
+// Compiler-level properties: installed-state structure, determinism, rule
+// complexity, and option validation.
+
+#include "core/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fields.hpp"
+#include "ofp/dump.hpp"
+#include "ofp/space.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss::core {
+namespace {
+
+ofp::Switch compile_node(const graph::Graph& g, const TagLayout& L,
+                         const CompilerOptions& opts, graph::NodeId v) {
+  TemplateCompiler compiler(g, L, opts);
+  ofp::Switch sw(v, g.degree(v));
+  compiler.install_switch(sw, v);
+  return sw;
+}
+
+TEST(Compiler, InstallationIsDeterministic) {
+  util::Rng rng(9);
+  graph::Graph g = graph::make_gnp_connected(10, 0.3, rng);
+  TagLayout L(g);
+  CompilerOptions opts;
+  opts.kind = ServiceKind::kSnapshot;
+  auto a = compile_node(g, L, opts, 3);
+  auto b = compile_node(g, L, opts, 3);
+  EXPECT_EQ(ofp::dump_switch(a), ofp::dump_switch(b));
+}
+
+TEST(Compiler, RuleCountIsQuadraticInDegreeAndIndependentOfN) {
+  // The classify table enumerates (in, cur, par): O(deg^2) entries; no rule
+  // references another node's state, so n does not matter.
+  CompilerOptions opts;
+  opts.kind = ServiceKind::kPlain;
+  auto count_for = [&](std::size_t n) {
+    graph::Graph g = graph::make_ring(n);
+    TagLayout L(g);
+    return compile_node(g, L, opts, 0).total_flow_entries();
+  };
+  EXPECT_EQ(count_for(10), count_for(100));
+
+  // Degree scaling: star hub with deg d has ~d^2 from-cur rules.
+  auto hub_count = [&](std::size_t d) {
+    graph::Graph g = graph::make_star(d + 1);
+    TagLayout L(g);
+    return compile_node(g, L, opts, 0).total_flow_entries();
+  };
+  const auto c4 = hub_count(4), c8 = hub_count(8), c16 = hub_count(16);
+  // Quadratic growth: ratios approach 4x per doubling.
+  EXPECT_GT(static_cast<double>(c8) / c4, 2.5);
+  EXPECT_GT(static_cast<double>(c16) / c8, 3.0);
+}
+
+TEST(Compiler, ScanGroupStructure) {
+  graph::Graph g = graph::make_star(4);  // hub degree 3
+  TagLayout L(g);
+  CompilerOptions opts;
+  opts.kind = ServiceKind::kPlain;
+  auto sw = compile_node(g, L, opts, 0);
+  // Scan(s, q) for s in 1..4, q in 0..3 => 16 groups.
+  std::size_t groups = 0;
+  sw.groups().for_each([&](const ofp::Group&) { ++groups; });
+  EXPECT_EQ(groups, 16u);
+
+  // Scan(1, 0): 3 port buckets + finish fallback.
+  const auto& root_scan = sw.groups().at(scan_group_id(1, 0, false));
+  EXPECT_EQ(root_scan.type, ofp::GroupType::kFastFailover);
+  ASSERT_EQ(root_scan.buckets.size(), 4u);
+  EXPECT_EQ(root_scan.buckets[0].watch_port, ofp::PortNo{1});
+  EXPECT_EQ(root_scan.buckets[2].watch_port, ofp::PortNo{3});
+  EXPECT_FALSE(root_scan.buckets[3].watch_port.has_value());  // Finish()
+
+  // Scan(2, 3): ports 2 (3 skipped as parent), then parent fallback.
+  const auto& mid = sw.groups().at(scan_group_id(2, 3, false));
+  ASSERT_EQ(mid.buckets.size(), 2u);
+  EXPECT_EQ(mid.buckets[0].watch_port, ofp::PortNo{2});
+  EXPECT_EQ(mid.buckets[1].watch_port, ofp::PortNo{3});
+}
+
+TEST(Compiler, BlackholeCountersEmitOnePerPort) {
+  graph::Graph g = graph::make_ring(5);
+  TagLayout L(g);
+  CompilerOptions opts;
+  opts.kind = ServiceKind::kBlackholeCounters;
+  opts.counter_modulus = 16;
+  auto sw = compile_node(g, L, opts, 2);
+  for (graph::PortNo p = 1; p <= 2; ++p) {
+    const auto& ctr = sw.groups().at(counter_group_id(kFamBlackhole, p));
+    EXPECT_EQ(ctr.type, ofp::GroupType::kSelect);
+    EXPECT_EQ(ctr.buckets.size(), 16u);
+  }
+}
+
+TEST(Compiler, OptionValidation) {
+  graph::Graph g = graph::make_path(3);
+  TagLayout L(g);
+  {
+    CompilerOptions o;
+    o.counter_modulus = 1;
+    EXPECT_THROW(TemplateCompiler(g, L, o), std::invalid_argument);
+  }
+  {
+    CompilerOptions o;
+    o.counter_modulus = 17;
+    EXPECT_THROW(TemplateCompiler(g, L, o), std::invalid_argument);
+  }
+  {
+    CompilerOptions o;
+    o.loss_moduli = {};
+    EXPECT_THROW(TemplateCompiler(g, L, o), std::invalid_argument);
+  }
+  {
+    CompilerOptions o;
+    o.loss_moduli = {4, 5, 6, 7};  // more than kScratchRegs
+    EXPECT_THROW(TemplateCompiler(g, L, o), std::invalid_argument);
+  }
+  {
+    CompilerOptions o;
+    o.kind = ServiceKind::kSnapshot;
+    o.fragment_limit = 1;
+    EXPECT_THROW(TemplateCompiler(g, L, o), std::invalid_argument);
+  }
+  {
+    CompilerOptions o;
+    o.kind = ServiceKind::kAnycast;
+    AnycastGroupSpec gs;
+    gs.gid = 0;
+    o.groups = {gs};
+    EXPECT_THROW(TemplateCompiler(g, L, o), std::invalid_argument);
+  }
+}
+
+TEST(Compiler, SpaceScalesWithService) {
+  // Blackhole-counters carries more state (dance rules + counters + chain)
+  // than the plain template.
+  util::Rng rng(4);
+  graph::Graph g = graph::make_random_regular(12, 4, rng);
+  TagLayout L(g);
+  CompilerOptions plain;
+  plain.kind = ServiceKind::kPlain;
+  CompilerOptions bh;
+  bh.kind = ServiceKind::kBlackholeCounters;
+  const auto sp = ofp::measure_space(compile_node(g, L, plain, 0));
+  const auto sb = ofp::measure_space(compile_node(g, L, bh, 0));
+  EXPECT_GT(sb.total_bytes(), sp.total_bytes());
+  EXPECT_GT(sb.groups, sp.groups);
+}
+
+TEST(Compiler, DumpMentionsEveryTableAndGroup) {
+  graph::Graph g = graph::make_path(3);
+  TagLayout L(g);
+  CompilerOptions opts;
+  opts.kind = ServiceKind::kSnapshot;
+  auto sw = compile_node(g, L, opts, 1);
+  const std::string d = ofp::dump_switch(sw);
+  EXPECT_NE(d.find("table 1"), std::string::npos);
+  EXPECT_NE(d.find("FAST-FAILOVER"), std::string::npos);
+  EXPECT_NE(d.find("start.root"), std::string::npos);
+  EXPECT_NE(d.find("first.p1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ss::core

@@ -1,0 +1,111 @@
+// Critical-link (bridge) detection — extension of §3.4, validated against
+// Tarjan's bridge algorithm on every topology, every link, both endpoints.
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+using test::NamedGraph;
+
+class CriticalLinkCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(CriticalLinkCorpusTest, MatchesBridgesFromBothEndpoints) {
+  const graph::Graph& g = GetParam().g;
+  core::CriticalLinkService svc(g);
+  const auto truth = graph::bridges(g);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    for (const graph::Endpoint& end : {g.edge(e).a, g.edge(e).b}) {
+      sim::Network net(g);
+      svc.install(net);
+      auto res = svc.run(net, end.node, end.port);
+      ASSERT_TRUE(res.critical.has_value())
+          << GetParam().name << " edge " << e << " from " << end.node;
+      EXPECT_EQ(*res.critical, truth[e])
+          << GetParam().name << " edge " << e << " from " << end.node;
+    }
+  }
+}
+
+TEST_P(CriticalLinkCorpusTest, ConstantOutOfBandBudget) {
+  const graph::Graph& g = GetParam().g;
+  core::CriticalLinkService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0, 1);
+  ASSERT_TRUE(res.critical.has_value());
+  EXPECT_EQ(res.stats.outband_from_ctrl, 1u);
+  EXPECT_EQ(res.stats.outband_to_ctrl, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CriticalLinkCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(CriticalLink, PathLinksAreAllBridges) {
+  graph::Graph g = graph::make_path(5);
+  core::CriticalLinkService svc(g);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, g.edge(e).a.node, g.edge(e).a.port);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_TRUE(*res.critical) << "edge " << e;
+  }
+}
+
+TEST(CriticalLink, RingLinksAreNot) {
+  graph::Graph g = graph::make_ring(6);
+  core::CriticalLinkService svc(g);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, g.edge(e).b.node, g.edge(e).b.port);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_FALSE(*res.critical) << "edge " << e;
+  }
+}
+
+TEST(CriticalLink, FailuresPromoteLinksToBridges) {
+  // 4-ring: no bridges; cut one link and every remaining link is a bridge.
+  graph::Graph g = graph::make_ring(4);
+  core::CriticalLinkService svc(g);
+  for (graph::EdgeId e = 1; e < g.edge_count(); ++e) {
+    sim::Network net(g);
+    svc.install(net);
+    net.set_link_up(0, false);
+    auto res = svc.run(net, g.edge(e).a.node, g.edge(e).a.port);
+    ASSERT_TRUE(res.critical.has_value()) << "edge " << e;
+    EXPECT_TRUE(*res.critical) << "edge " << e;
+  }
+}
+
+TEST(CriticalLink, WorksInband) {
+  graph::Graph g = graph::make_grid(3, 3);
+  core::CriticalLinkService svc(g, /*collector=*/4);
+  const auto truth = graph::bridges(g);
+  for (graph::EdgeId e = 0; e < 4; ++e) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, g.edge(e).a.node, g.edge(e).a.port);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_EQ(*res.critical, truth[e]);
+    EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+  }
+}
+
+TEST(CriticalLink, RejectsBadPort) {
+  graph::Graph g = graph::make_path(3);
+  core::CriticalLinkService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  EXPECT_THROW(svc.run(net, 0, 5), std::invalid_argument);
+  EXPECT_THROW(svc.run(net, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,161 @@
+// Critical-node detection (§3.4): the in-band verdict must match Tarjan's
+// articulation points on every topology, every node, with and without
+// failures.
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+using test::NamedGraph;
+
+class CriticalCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(CriticalCorpusTest, MatchesArticulationPointsForEveryNode) {
+  const graph::Graph& g = GetParam().g;
+  core::CriticalNodeService svc(g);
+  const auto truth = graph::articulation_points(g);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, v);
+    ASSERT_TRUE(res.critical.has_value()) << "node " << v;
+    EXPECT_EQ(*res.critical, truth[v]) << GetParam().name << " node " << v;
+    // Table 2: 2 out-of-band messages (request + verdict).
+    EXPECT_EQ(res.stats.outband_from_ctrl, 1u);
+    EXPECT_EQ(res.stats.outband_to_ctrl, 1u);
+  }
+}
+
+TEST_P(CriticalCorpusTest, MatchesArticulationPointsUnderFailures) {
+  const graph::Graph& g = GetParam().g;
+  core::CriticalNodeService svc(g);
+  util::Rng rng(55);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<bool> down(g.edge_count(), false);
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) down[e] = rng.chance(0.25);
+    auto alive = [&](graph::EdgeId e) { return !down[e]; };
+    const auto truth = graph::articulation_points(g, alive);
+    const auto v = static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1));
+
+    sim::Network net(g);
+    svc.install(net);
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e)
+      if (down[e]) net.set_link_up(e, false);
+    auto res = svc.run(net, v);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_EQ(*res.critical, truth[v]) << GetParam().name << " trial " << trial;
+  }
+}
+
+TEST_P(CriticalCorpusTest, MessageComplexityIsOneTraversal) {
+  // Table 2, critical row: (4|E| - 2n) in-band messages.  When the node is
+  // critical the traversal is cut short, so <= is asserted; when it is not
+  // critical, the full-traversal count must be exact.
+  const graph::Graph& g = GetParam().g;
+  core::CriticalNodeService svc(g);
+  const auto truth = graph::articulation_points(g);
+  for (graph::NodeId v = 0; v < std::min<std::size_t>(g.node_count(), 4); ++v) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, v);
+    const auto full = 4 * g.edge_count() - 2 * g.node_count() + 2;
+    if (truth[v]) {
+      EXPECT_LE(res.stats.inband_msgs, full);
+    } else {
+      EXPECT_EQ(res.stats.inband_msgs, full);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CriticalCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(CriticalNode, PathInteriorNodesAreCritical) {
+  graph::Graph g = graph::make_path(5);
+  core::CriticalNodeService svc(g);
+  for (graph::NodeId v = 0; v < 5; ++v) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, v);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_EQ(*res.critical, v != 0 && v != 4);
+  }
+}
+
+TEST(CriticalNode, RingHasNoCriticalNodes) {
+  graph::Graph g = graph::make_ring(7);
+  core::CriticalNodeService svc(g);
+  for (graph::NodeId v = 0; v < 7; ++v) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, v);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_FALSE(*res.critical);
+  }
+}
+
+TEST(CriticalNode, StarHubIsCritical) {
+  graph::Graph g = graph::make_star(6);
+  core::CriticalNodeService svc(g);
+  {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, 0);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_TRUE(*res.critical);
+  }
+  {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, 3);
+    ASSERT_TRUE(res.critical.has_value());
+    EXPECT_FALSE(*res.critical);
+  }
+}
+
+TEST(CriticalNode, FailureCanMakeANodeCritical) {
+  // 4-ring: nobody is critical; cut one link and the two interior nodes of
+  // the remaining path become critical.
+  graph::Graph g = graph::make_ring(4);
+  core::CriticalNodeService svc(g);
+  {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, 1);
+    EXPECT_FALSE(*res.critical);
+  }
+  {
+    sim::Network net(g);
+    svc.install(net);
+    net.set_link_up(g.edge_at(2, 2), false);
+    const auto truth = graph::articulation_points(g, net.alive_fn());
+    for (graph::NodeId v = 0; v < 4; ++v) {
+      sim::Network net2(g);
+      svc.install(net2);
+      net2.set_link_up(g.edge_at(2, 2), false);
+      auto res = svc.run(net2, v);
+      ASSERT_TRUE(res.critical.has_value());
+      EXPECT_EQ(*res.critical, truth[v]) << "node " << v;
+    }
+  }
+}
+
+TEST(CriticalNode, IsolatedNodeIsNotCritical) {
+  graph::Graph g = graph::make_path(3);
+  core::CriticalNodeService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_link_up(0, false);  // isolate node 0
+  auto res = svc.run(net, 0);
+  ASSERT_TRUE(res.critical.has_value());
+  EXPECT_FALSE(*res.critical);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,116 @@
+// TagLayout: the bit-level contract between compiler, drivers and decoders.
+
+#include "core/fields.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/eth_types.hpp"
+#include "graph/generators.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss::core {
+namespace {
+
+TEST(TagLayout, FieldsAreDisjointAndInsideTheRegion) {
+  for (const auto& ng : test::standard_corpus()) {
+    TagLayout L(ng.g);
+    std::vector<FieldRef> fields = {
+        L.start(),     L.phase2(),   L.repeat(),    L.to_parent(), L.first_port(),
+        L.gid(),       L.chain_idx(), L.opt_id(),   L.opt_val(),   L.rec_count(),
+        L.out_port()};
+    for (std::uint32_t k = 0; k < kChainSlots; ++k) fields.push_back(L.chain_slot(k));
+    for (std::uint32_t k = 0; k < kScratchRegs; ++k) {
+      fields.push_back(L.scratch_a(k));
+      fields.push_back(L.scratch_b(k));
+    }
+    for (graph::NodeId v = 0; v < ng.g.node_count(); ++v) {
+      fields.push_back(L.par(v));
+      fields.push_back(L.cur(v));
+    }
+    // Pairwise disjoint and within the region.
+    for (std::size_t a = 0; a < fields.size(); ++a) {
+      EXPECT_GT(fields[a].width, 0u);
+      EXPECT_LE(fields[a].offset + fields[a].width, L.total_bits());
+      for (std::size_t b = a + 1; b < fields.size(); ++b) {
+        const bool overlap = fields[a].offset < fields[b].offset + fields[b].width &&
+                             fields[b].offset < fields[a].offset + fields[a].width;
+        EXPECT_FALSE(overlap) << ng.name << " fields " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(TagLayout, ParCurWideEnoughForEveryPort) {
+  util::Rng rng(1);
+  graph::Graph g = graph::make_barabasi_albert(30, 3, rng);
+  TagLayout L(g);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const auto deg = g.degree(v);
+    EXPECT_GE((std::uint64_t{1} << L.par(v).width) - 1, deg) << "node " << v;
+    EXPECT_EQ(L.par(v).width, L.cur(v).width);
+  }
+}
+
+TEST(TagLayout, TraversalRegionCoversStartAndAllPerNodeState) {
+  graph::Graph g = graph::make_ring(7);
+  TagLayout L(g);
+  const FieldRef r = L.traversal_state_region();
+  auto inside = [&](FieldRef f) {
+    return f.offset >= r.offset && f.offset + f.width <= r.offset + r.width;
+  };
+  EXPECT_TRUE(inside(L.start()));
+  for (graph::NodeId v = 0; v < 7; ++v) {
+    EXPECT_TRUE(inside(L.par(v)));
+    EXPECT_TRUE(inside(L.cur(v)));
+  }
+  // But NOT the service fields that must survive a chained-anycast restart.
+  EXPECT_FALSE(inside(L.gid()));
+  EXPECT_FALSE(inside(L.chain_idx()));
+  EXPECT_FALSE(inside(L.opt_id()));
+}
+
+TEST(TagLayout, PacketHelpersRoundTrip) {
+  graph::Graph g = graph::make_path(4);
+  TagLayout L(g);
+  ofp::Packet pkt = L.make_packet(kEthTraversal);
+  EXPECT_EQ(pkt.eth_type, kEthTraversal);
+  EXPECT_EQ(pkt.tag.size_bits(), L.total_bits());
+  L.set(pkt, L.gid(), 0x5a5);
+  L.set(pkt, L.cur(2), 1);
+  EXPECT_EQ(L.get(pkt, L.gid()), 0x5a5u);
+  EXPECT_EQ(L.get(pkt, L.cur(2)), 1u);
+  EXPECT_EQ(L.get(pkt, L.cur(1)), 0u);
+}
+
+TEST(TagLayout, ChainSlotBounds) {
+  graph::Graph g = graph::make_path(2);
+  TagLayout L(g);
+  EXPECT_NO_THROW(L.chain_slot(kChainSlots - 1));
+  EXPECT_THROW(L.chain_slot(kChainSlots), std::out_of_range);
+  EXPECT_THROW(L.scratch_a(kScratchRegs), std::out_of_range);
+  EXPECT_THROW(L.scratch_b(kScratchRegs), std::out_of_range);
+}
+
+TEST(TagLayout, SizeGrowsLinearly) {
+  // O(n log Delta) bits: doubling n roughly doubles the per-node section.
+  graph::Graph g1 = graph::make_ring(50), g2 = graph::make_ring(100);
+  TagLayout l1(g1), l2(g2);
+  const auto fixed = TagLayout(graph::make_ring(3)).total_bits() - 3 * 2 * 2;
+  EXPECT_NEAR(static_cast<double>(l2.total_bits() - fixed),
+              2.0 * (l1.total_bits() - fixed), 8.0);
+}
+
+TEST(BitsFor, Values) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 3u);
+  EXPECT_EQ(bits_for(255), 8u);
+  EXPECT_EQ(bits_for(256), 9u);
+}
+
+}  // namespace
+}  // namespace ss::core

@@ -1,0 +1,176 @@
+// Seed-parameterized randomized cross-checks ("fuzz-lite"): random
+// topologies x random failures x random service parameters, validated
+// against the host-level reference algorithms.  Each seed is one ctest
+// case, so failures are reproducible by name.
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "ofp/verify.hpp"
+#include "ofp/wire.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+graph::Graph random_topology(util::Rng& rng) {
+  const auto n = static_cast<std::size_t>(rng.uniform(4, 24));
+  switch (rng.uniform(0, 4)) {
+    case 0: return graph::make_gnp_connected(n, 0.15 + rng.uniform01() * 0.3, rng);
+    case 1: return graph::make_random_tree(n, rng);
+    case 2: return graph::make_random_regular(std::max<std::size_t>(n, 6),
+                                              2 + rng.uniform(0, 2) * 2, rng);
+    case 3: return graph::make_barabasi_albert(std::max<std::size_t>(n, 5), 2, rng);
+    default: return graph::make_waxman(n, 0.7, 0.4, rng);
+  }
+}
+
+class FuzzSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeedTest, SnapshotVsGroundTruthUnderRandomFailures) {
+  util::Rng rng(1000 + GetParam());
+  graph::Graph g = random_topology(rng);
+  core::SnapshotService svc(g, rng.chance(0.5) ? 0 : 3);
+  sim::Network net(g);
+  svc.install(net);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e)
+    if (rng.chance(0.2)) net.set_link_up(e, false);
+  const auto root = static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1));
+  auto res = svc.run(net, root);
+  ASSERT_TRUE(res.complete);
+  // Decode must exactly equal the alive component subgraph.
+  auto reach = graph::reachable_from(g, root, net.alive_fn());
+  std::size_t expect_edges = 0;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e)
+    if (net.link(e).up() && reach[g.edge(e).a.node]) ++expect_edges;
+  EXPECT_EQ(res.edges.size(), expect_edges);
+  std::size_t expect_nodes = 0;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v)
+    if (reach[v]) ++expect_nodes;
+  EXPECT_EQ(res.nodes.size(), expect_nodes);
+}
+
+TEST_P(FuzzSeedTest, CriticalMatchesTarjanOnARandomInstance) {
+  util::Rng rng(2000 + GetParam());
+  graph::Graph g = random_topology(rng);
+  core::CriticalNodeService svc(g);
+  std::vector<bool> down(g.edge_count(), false);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) down[e] = rng.chance(0.15);
+  auto alive = [&](graph::EdgeId e) { return !down[e]; };
+  const auto truth = graph::articulation_points(g, alive);
+  const auto v = static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1));
+  sim::Network net(g);
+  svc.install(net);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e)
+    if (down[e]) net.set_link_up(e, false);
+  auto res = svc.run(net, v);
+  ASSERT_TRUE(res.critical.has_value());
+  EXPECT_EQ(*res.critical, truth[v]);
+}
+
+TEST_P(FuzzSeedTest, BlackholeCountersLocalizeARandomPlant) {
+  util::Rng rng(3000 + GetParam());
+  graph::Graph g = random_topology(rng);
+  core::BlackholeCountersService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, g.edge_count() - 1));
+  const auto& ed = g.edge(victim);
+  net.set_blackhole_from(victim, rng.chance(0.5) ? ed.a.node : ed.b.node, true);
+  const auto root = static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1));
+  auto res = svc.run(net, root);
+  ASSERT_EQ(res.reports.size(), 1u);
+  EXPECT_EQ(g.edge_at(res.reports[0].at_switch, res.reports[0].out_port), victim);
+}
+
+TEST_P(FuzzSeedTest, PriocastElectsTheMaximumReachableMember) {
+  util::Rng rng(4000 + GetParam());
+  graph::Graph g = random_topology(rng);
+  core::AnycastGroupSpec gs;
+  gs.gid = 1;
+  const auto members = 1 + rng.uniform(0, 3);
+  for (std::uint64_t k = 0; k < members; ++k)
+    gs.members[static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1))] =
+        static_cast<std::uint32_t>(rng.uniform(1, 4000));
+  core::PriocastService svc(g, {gs});
+  sim::Network net(g);
+  svc.install(net);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e)
+    if (rng.chance(0.15)) net.set_link_up(e, false);
+  const auto root = static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1));
+  auto res = svc.run(net, root, 1);
+  // Ground truth: the reachable member with the highest priority.
+  auto reach = graph::reachable_from(g, root, net.alive_fn());
+  std::optional<graph::NodeId> best;
+  for (auto& [m, prio] : gs.members) {
+    if (!reach[m]) continue;
+    if (!best || prio > gs.members[*best]) best = m;
+  }
+  if (best) {
+    ASSERT_TRUE(res.delivered_at.has_value());
+    // Ties (duplicate priorities) resolve to traversal order; accept any
+    // member holding the maximum priority.
+    EXPECT_EQ(gs.members[*res.delivered_at], gs.members[*best]);
+  } else {
+    EXPECT_FALSE(res.delivered_at.has_value());
+  }
+}
+
+TEST_P(FuzzSeedTest, CompiledPipelinesAlwaysVerify) {
+  util::Rng rng(5000 + GetParam());
+  graph::Graph g = random_topology(rng);
+  core::TagLayout layout(g);
+  core::CompilerOptions opts;
+  const core::ServiceKind kinds[] = {
+      core::ServiceKind::kSnapshot, core::ServiceKind::kBlackholeCounters,
+      core::ServiceKind::kPacketLoss, core::ServiceKind::kLoadInference,
+      core::ServiceKind::kCriticalLink};
+  opts.kind = kinds[rng.uniform(0, 4)];
+  if (rng.chance(0.5))
+    opts.inband_collector = static_cast<graph::NodeId>(
+        rng.uniform(0, g.node_count() - 1));
+  core::TemplateCompiler compiler(g, layout, opts);
+  const auto v = static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1));
+  ofp::Switch sw(v, g.degree(v));
+  compiler.install_switch(sw, v);
+  auto rep = ofp::verify_switch(sw, layout.total_bits());
+  EXPECT_TRUE(rep.ok()) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+TEST_P(FuzzSeedTest, WireDecoderNeverAcceptsCorruption) {
+  // Flip random bytes in valid messages: the decoder must either throw or
+  // produce a decodable structure — never crash, never loop.
+  util::Rng rng(6000 + GetParam());
+  graph::Graph g = graph::make_ring(4);
+  core::TagLayout layout(g);
+  core::CompilerOptions opts;
+  opts.kind = core::ServiceKind::kSnapshot;
+  core::TemplateCompiler compiler(g, layout, opts);
+  ofp::Switch sw(0, 2);
+  compiler.install_switch(sw, 0);
+  auto msgs = ofp::wire::encode_switch_config(sw);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto msg = msgs[rng.uniform(0, msgs.size() - 1)];
+    const auto flips = 1 + rng.uniform(0, 3);
+    for (std::uint64_t f = 0; f < flips; ++f)
+      msg[rng.uniform(0, msg.size() - 1)] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    try {
+      if (msg.size() >= 8 && ofp::wire::message_type(msg) == ofp::wire::kTypeFlowMod)
+        ofp::wire::decode_flow_mod(msg);
+      else
+        ofp::wire::decode_group_mod(msg);
+    } catch (const std::runtime_error&) {
+      // rejected: fine
+    } catch (const std::length_error&) {
+      // absurd allocation request rejected by the library: fine
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,133 @@
+// Fully in-band monitoring (§3.4 remark: "all out-of-band messages can be
+// sent in-band to any server connected to the first node of the traversal").
+// With an in-band collector configured, services must produce ZERO
+// switch-to-controller messages and identical results.
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+using test::NamedGraph;
+
+class InbandSnapshotTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(InbandSnapshotTest, SnapshotFullyInband) {
+  const graph::Graph& g = GetParam().g;
+  const graph::NodeId collector = static_cast<graph::NodeId>(g.node_count() / 2);
+  core::SnapshotService svc(g, 0, true, collector);
+  for (graph::NodeId root : {graph::NodeId{0},
+                             static_cast<graph::NodeId>(g.node_count() - 1)}) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, root);
+    ASSERT_TRUE(res.complete) << GetParam().name << " root " << root;
+    EXPECT_EQ(res.canonical(), g.canonical());
+    // The whole operation is in-band: no switch->controller messages.
+    EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+    EXPECT_EQ(res.stats.outband_from_ctrl, 1u);  // the trigger injection
+  }
+}
+
+TEST_P(InbandSnapshotTest, FragmentedSnapshotInband) {
+  const graph::Graph& g = GetParam().g;
+  if (g.node_count() < 6) GTEST_SKIP();
+  core::SnapshotService svc(g, /*fragment_limit=*/3, true, /*collector=*/0);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0);
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.canonical(), g.canonical());
+  EXPECT_GE(res.fragments, 2u);
+  EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, InbandSnapshotTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(InbandCritical, VerdictsMatchControllerModeWithZeroCtrlMsgs) {
+  graph::Graph g = graph::make_grid(3, 4);
+  core::CriticalNodeService inband(g, /*collector=*/0);
+  const auto truth = graph::articulation_points(g);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    sim::Network net(g);
+    inband.install(net);
+    auto res = inband.run(net, v);
+    ASSERT_TRUE(res.critical.has_value()) << "node " << v;
+    EXPECT_EQ(*res.critical, truth[v]) << "node " << v;
+    EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+  }
+}
+
+TEST(InbandBlackhole, SmartCountersReportInband) {
+  graph::Graph g = graph::make_ring(8);
+  core::BlackholeCountersService svc(g, 16, /*collector=*/2);
+  sim::Network net(g);
+  svc.install(net);
+  const graph::EdgeId victim = g.edge_at(5, 2);
+  net.set_blackhole_from(victim, 5, true);
+  auto res = svc.run(net, 0);
+  ASSERT_EQ(res.reports.size(), 1u);
+  EXPECT_EQ(res.reports[0].at_switch, 5u);
+  EXPECT_EQ(g.edge_at(res.reports[0].at_switch, res.reports[0].out_port), victim);
+  EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+}
+
+TEST(InbandBlackhole, ReportRoutesAroundIfTheyAvoidTheBlackhole) {
+  // Collector adjacent to the reporter: the report path is short and
+  // avoids the dead link.
+  graph::Graph g = graph::make_path(4);
+  core::BlackholeCountersService svc(g, 16, /*collector=*/0);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_blackhole_from(g.edge_at(2, 2), 2, true);  // 2->3 drops
+  auto res = svc.run(net, 0);
+  ASSERT_EQ(res.reports.size(), 1u);
+  EXPECT_EQ(res.reports[0].at_switch, 2u);
+}
+
+TEST(Inband, ReporterFieldIdentifiesTheOrigin) {
+  // On a path, the report from the far end must traverse every hop to the
+  // collector and still carry the origin id.
+  graph::Graph g = graph::make_path(5);
+  core::CriticalNodeService svc(g, /*collector=*/0);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 4);  // leaf: not critical; verdict reported by 4
+  ASSERT_TRUE(res.critical.has_value());
+  EXPECT_FALSE(*res.critical);
+  // In-band report consumed extra hops: more in-band messages than the
+  // bare traversal.
+  EXPECT_GT(res.stats.inband_msgs, 4 * g.edge_count() - 2 * g.node_count() + 2);
+}
+
+TEST(InbandBlackhole, ReportSurvivesWhenItsStaticRouteIsTheBlackhole) {
+  // Regression: the reporter is adjacent to the blackhole by construction,
+  // and its BFS route to the collector can run straight through the dead
+  // port.  The report must exit via the phase-2 packet's arrival port (a
+  // just-proven-live link) and reach the collector anyway.
+  graph::Graph topo = graph::make_torus(5, 5);
+  core::BlackholeCountersService svc(topo, 16, /*collector=*/0);
+  sim::Network net(topo);
+  svc.install(net);
+  net.set_blackhole_from(topo.edge_at(13, 3), 13, true);  // 13's route to 0
+  auto res = svc.run(net, /*root=*/24);
+  ASSERT_EQ(res.reports.size(), 1u);
+  EXPECT_EQ(res.reports[0].at_switch, 13u);
+  EXPECT_EQ(res.reports[0].out_port, 3u);
+  EXPECT_EQ(res.stats.outband_to_ctrl, 0u);
+}
+
+TEST(Inband, InvalidCollectorRejected) {
+  graph::Graph g = graph::make_path(3);
+  EXPECT_THROW(core::SnapshotService(g, 0, true, graph::NodeId{9}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ss

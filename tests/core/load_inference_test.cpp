@@ -1,0 +1,99 @@
+// Load inference (§4 extension): one traversal reconstructs exact per-port
+// traffic counts from smart-counter residues (CRT over coprime moduli).
+
+#include <gtest/gtest.h>
+
+#include "core/load_labels.hpp"
+#include "core/services.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+using core::PortLoadKey;
+
+TEST(LoadLabels, RoundTrip) {
+  for (bool in : {false, true}) {
+    for (std::uint32_t k : {0u, 3u}) {
+      const auto lbl = core::encode_load(in, k, 123, 45, 14);
+      const auto r = core::decode_load(lbl);
+      EXPECT_EQ(r.ingress, in);
+      EXPECT_EQ(r.modulus_idx, k);
+      EXPECT_EQ(r.node, 123u);
+      EXPECT_EQ(r.port, 45u);
+      EXPECT_EQ(r.value, 14u);
+    }
+  }
+  EXPECT_THROW(core::encode_load(false, 4, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(core::encode_load(false, 0, 1u << 12, 0, 0), std::out_of_range);
+}
+
+TEST(LoadInference, RecoversExactCountsBelowCrtProduct) {
+  graph::Graph g = graph::make_ring(5);
+  core::LoadInferenceService svc(g);  // {13,15,16}: exact < 3120
+  sim::Network net(g);
+  svc.install(net);
+
+  // Asymmetric traffic: node 0 sends 37 on port 1; node 2 sends 115 on
+  // port 2; node 4 sends 999 on port 1.
+  svc.send_data(net, 0, 1, 37);
+  svc.send_data(net, 2, 2, 115);
+  svc.send_data(net, 4, 1, 999);
+
+  auto res = svc.infer(net, 1);
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.loads.at({0, 1, false}), 37u);
+  EXPECT_EQ(res.loads.at({2, 2, false}), 115u);
+  EXPECT_EQ(res.loads.at({4, 1, false}), 999u);
+  // Receivers saw matching ingress counts.
+  const auto nb0 = *g.neighbor(0, 1);
+  EXPECT_EQ(res.loads.at({nb0.node, nb0.port, true}), 37u);
+  // Untouched ports are zero.
+  EXPECT_EQ(res.loads.at({3, 1, false}), 0u);
+}
+
+TEST(LoadInference, SingleModulusWrapsAtModulus) {
+  graph::Graph g = graph::make_path(2);
+  core::LoadInferenceService svc(g, {13});
+  sim::Network net(g);
+  svc.install(net);
+  svc.send_data(net, 0, 1, 20);  // 20 mod 13 = 7
+  auto res = svc.infer(net, 0);
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.loads.at({0, 1, false}), 7u);
+}
+
+TEST(LoadInference, CoversEveryPortOfEveryReachedNode) {
+  util::Rng rng(61);
+  graph::Graph g = graph::make_gnp_connected(8, 0.3, rng);
+  core::LoadInferenceService svc(g, {7, 9});
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.infer(net, 0);
+  ASSERT_TRUE(res.complete);
+  std::size_t ports = 0;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) ports += g.degree(v);
+  EXPECT_EQ(res.loads.size(), 2 * ports);  // both directions per port
+}
+
+TEST(LoadInference, RejectsNonCoprimeModuli) {
+  graph::Graph g = graph::make_path(2);
+  EXPECT_THROW(core::LoadInferenceService(g, {8, 12}), std::invalid_argument);
+}
+
+TEST(LoadInference, SingleOutOfBandRoundTrip) {
+  // The whole load census costs 1 packet-out + 1 report (cf. O(|E|) per
+  // poll for controller-driven port-stats collection).
+  graph::Graph g = graph::make_grid(3, 3);
+  core::LoadInferenceService svc(g, {13, 16});
+  sim::Network net(g);
+  svc.install(net);
+  svc.send_data(net, 4, 1, 5);
+  auto res = svc.infer(net, 0);
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.stats.outband_from_ctrl, 1u);
+  EXPECT_EQ(res.stats.outband_to_ctrl, 1u);
+}
+
+}  // namespace
+}  // namespace ss

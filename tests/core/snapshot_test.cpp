@@ -1,0 +1,179 @@
+// Snapshot service (§3.1): the reconstructed topology must equal the live
+// topology seen from the root, with and without failures and fragmentation.
+
+#include <gtest/gtest.h>
+
+#include "core/labels.hpp"
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/test_helpers.hpp"
+#include "util/strings.hpp"
+
+namespace ss {
+namespace {
+
+using test::NamedGraph;
+
+// Ground truth: canonical form of the alive edges inside root's component.
+std::string expected_canonical(const graph::Graph& g, graph::NodeId root,
+                               const graph::EdgeAlive& alive) {
+  auto reach = graph::reachable_from(g, root, alive);
+  std::vector<std::string> lines;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!alive(e)) continue;
+    const graph::Edge& ed = g.edge(e);
+    if (!reach[ed.a.node]) continue;
+    graph::Endpoint lo = ed.a, hi = ed.b;
+    if (hi.node < lo.node) std::swap(lo, hi);
+    lines.push_back(util::cat(lo.node, ":", lo.port, "-", hi.node, ":", hi.port));
+  }
+  std::sort(lines.begin(), lines.end());
+  return util::join(lines, "\n");
+}
+
+class SnapshotCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(SnapshotCorpusTest, ReconstructsFullTopologyFromEveryRoot) {
+  const graph::Graph& g = GetParam().g;
+  core::SnapshotService svc(g);
+  for (graph::NodeId root = 0; root < g.node_count(); ++root) {
+    sim::Network net(g);
+    svc.install(net);
+    auto res = svc.run(net, root);
+    ASSERT_TRUE(res.complete) << "root " << root;
+    EXPECT_EQ(res.canonical(), g.canonical()) << "root " << root;
+    EXPECT_EQ(res.nodes.size(), g.node_count());
+    EXPECT_EQ(res.fragments, 1u);  // unfragmented: one final report
+  }
+}
+
+TEST_P(SnapshotCorpusTest, ReconstructsSurvivingComponentUnderFailures) {
+  const graph::Graph& g = GetParam().g;
+  core::SnapshotService svc(g);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    sim::Network net(g);
+    svc.install(net);
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e)
+      if (rng.chance(0.3)) net.set_link_up(e, false);
+    const auto root = static_cast<graph::NodeId>(rng.uniform(0, g.node_count() - 1));
+    auto res = svc.run(net, root);
+    ASSERT_TRUE(res.complete);
+    EXPECT_EQ(res.canonical(), expected_canonical(g, root, net.alive_fn()))
+        << GetParam().name << " trial " << trial;
+  }
+}
+
+TEST_P(SnapshotCorpusTest, FragmentationPreservesResult) {
+  const graph::Graph& g = GetParam().g;
+  if (g.node_count() < 4) GTEST_SKIP();
+  core::SnapshotService svc(g, /*fragment_limit=*/3);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0);
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.canonical(), g.canonical());
+  // ~n/3 fragments plus the final packet.
+  EXPECT_GE(res.fragments, g.node_count() / 3);
+}
+
+TEST_P(SnapshotCorpusTest, OutOfBandBudgetMatchesTable2) {
+  // Table 2, snapshot row: 1 request out + 1 result back (unfragmented).
+  const graph::Graph& g = GetParam().g;
+  core::SnapshotService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  auto res = svc.run(net, 0);
+  EXPECT_EQ(res.stats.outband_from_ctrl, 1u);
+  EXPECT_EQ(res.stats.outband_to_ctrl, 1u);
+  // In-band messages: same traversal bound as the template.
+  EXPECT_EQ(res.stats.inband_msgs, 4 * g.edge_count() - 2 * g.node_count() + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SnapshotCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+// --- Fragment-size invariant: every fragment respects the record budget ---
+
+TEST(SnapshotFragments, FragmentLabelCountsBounded) {
+  util::Rng rng(5);
+  graph::Graph g = graph::make_gnp_connected(20, 0.2, rng);
+  const std::uint32_t limit = 4;
+  core::SnapshotService svc(g, limit);
+  sim::Network net(g);
+  svc.install(net);
+  const std::size_t mark = net.controller_msgs().size();
+  auto res = svc.run(net, 0);
+  ASSERT_TRUE(res.complete);
+  // Per fragment: at most `limit` first-visits, each contributing at most
+  // 2 + deg records (VISIT + OUTs + RET) plus bounces.
+  const std::size_t per_visit = 2 + 2 * g.max_degree();
+  for (std::size_t k = mark; k < net.controller_msgs().size(); ++k) {
+    const auto& m = net.controller_msgs()[k];
+    EXPECT_LE(m.packet.labels.size(), limit * per_visit);
+  }
+}
+
+// --- Decoder unit tests ---
+
+TEST(SnapshotDecoder, HandcraftedStream) {
+  using namespace core;
+  // Root 0 visits 1 via (port1 -> port2), bounces off 2, returns.
+  std::vector<std::uint32_t> labels = {
+      encode_visit(0, 0),  encode_out(1), encode_visit(1, 2),
+      encode_out(1),       encode_bounce(2, 3), encode_ret(),
+  };
+  auto res = SnapshotService::decode(labels);
+  EXPECT_EQ(res.nodes.size(), 3u);
+  ASSERT_EQ(res.edges.size(), 2u);
+  EXPECT_EQ(res.edges[0].a.node, 0u);
+  EXPECT_EQ(res.edges[0].a.port, 1u);
+  EXPECT_EQ(res.edges[0].b.node, 1u);
+  EXPECT_EQ(res.edges[0].b.port, 2u);
+  EXPECT_EQ(res.edges[1].a.node, 1u);
+  EXPECT_EQ(res.edges[1].b.node, 2u);
+}
+
+TEST(SnapshotDecoder, RejectsMalformedStreams) {
+  using namespace core;
+  EXPECT_THROW(SnapshotService::decode({encode_ret()}), std::runtime_error);
+  EXPECT_THROW(SnapshotService::decode({encode_visit(0, 0), encode_visit(1, 1)}),
+               std::runtime_error);
+  EXPECT_THROW(SnapshotService::decode({encode_visit(0, 0), encode_bounce(1, 1)}),
+               std::runtime_error);
+}
+
+TEST(SnapshotLabels, RoundTrip) {
+  using namespace core;
+  for (std::uint32_t node : {0u, 1u, 77u, core::kLabelNodeMax}) {
+    for (std::uint32_t port : {0u, 1u, 15u, core::kLabelPortMax}) {
+      auto r = decode_record(encode_visit(node, port));
+      EXPECT_EQ(r.type, RecType::kVisit);
+      EXPECT_EQ(r.node, node);
+      EXPECT_EQ(r.port, port);
+    }
+  }
+  EXPECT_THROW(encode_visit(core::kLabelNodeMax + 1, 0), std::out_of_range);
+}
+
+// --- Message size: the snapshot payload is O(|E|) (Table 2 size column) ---
+
+TEST(SnapshotSizes, PayloadGrowsWithNetwork) {
+  core::SnapshotService small(graph::make_ring(6));
+  sim::Network net_small(graph::make_ring(6));
+  small.install(net_small);
+  auto rs = small.run(net_small, 0);
+
+  core::SnapshotService big(graph::make_ring(30));
+  sim::Network net_big(graph::make_ring(30));
+  big.install(net_big);
+  auto rb = big.run(net_big, 0);
+
+  EXPECT_GT(rb.stats.max_wire_bytes, rs.stats.max_wire_bytes);
+  // At least one 4-byte record per edge crossing in the final packet.
+  EXPECT_GE(rb.stats.max_wire_bytes, 4ull * 30);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,148 @@
+// Integration tests for the bare SmartSouth template: the rule-compiled
+// traversal must match the host-level reference emulation of Algorithm 1
+// hop for hop, terminate, and obey the paper's message-complexity formula.
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+using test::NamedGraph;
+
+class TraversalCorpusTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(TraversalCorpusTest, FinishesFromEveryRoot) {
+  const graph::Graph& g = GetParam().g;
+  core::PlainTraversal svc(g);
+  for (graph::NodeId root = 0; root < g.node_count(); ++root) {
+    sim::Network net(g);
+    svc.install(net);
+    core::RunStats stats;
+    EXPECT_TRUE(svc.run(net, root, &stats)) << "root " << root;
+  }
+}
+
+TEST_P(TraversalCorpusTest, HopSequenceMatchesReferenceDfs) {
+  const graph::Graph& g = GetParam().g;
+  core::PlainTraversal svc(g);
+  for (graph::NodeId root = 0; root < g.node_count(); ++root) {
+    sim::Network net(g);
+    net.set_trace(true);
+    svc.install(net);
+    svc.run(net, root);
+
+    const graph::DfsTrace ref = graph::smartsouth_dfs(g, root);
+    const auto& trace = net.trace();
+    ASSERT_EQ(trace.size(), ref.hops.size()) << "root " << root;
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+      EXPECT_EQ(trace[k].from, ref.hops[k].from) << "hop " << k;
+      EXPECT_EQ(trace[k].out_port, ref.hops[k].out_port) << "hop " << k;
+      EXPECT_EQ(trace[k].to, ref.hops[k].to) << "hop " << k;
+      EXPECT_EQ(trace[k].in_port, ref.hops[k].in_port) << "hop " << k;
+    }
+  }
+}
+
+// Table 2: the traversal costs 4|E| - 2n in-band messages (the paper's
+// accounting; the exact count is 4|E| - 2n + 2, see EXPERIMENTS.md).
+TEST_P(TraversalCorpusTest, MessageComplexityFormula) {
+  const graph::Graph& g = GetParam().g;
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  core::RunStats stats;
+  ASSERT_TRUE(svc.run(net, 0, &stats));
+  const auto expected = 4 * g.edge_count() - 2 * g.node_count() + 2;
+  EXPECT_EQ(stats.inband_msgs, expected);
+  // Out-of-band: 1 trigger + 1 finish report.
+  EXPECT_EQ(stats.outband_from_ctrl, 1u);
+  EXPECT_EQ(stats.outband_to_ctrl, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, TraversalCorpusTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+// --- Fast-failover robustness: pre-run link failures are routed around. ---
+
+class TraversalFailureTest : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(TraversalFailureTest, SurvivesLinkFailuresBeforeRun) {
+  const graph::Graph& g = GetParam().g;
+  core::PlainTraversal svc(g);
+  util::Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    sim::Network net(g);
+    net.set_trace(true);
+    svc.install(net);
+    // Fail ~25% of links.
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e)
+      if (rng.chance(0.25)) net.set_link_up(e, false);
+
+    const graph::NodeId root = static_cast<graph::NodeId>(
+        rng.uniform(0, g.node_count() - 1));
+    const bool finished = svc.run(net, root);
+    EXPECT_TRUE(finished) << GetParam().name << " trial " << trial;
+
+    // The traversal must match the reference DFS on the surviving graph.
+    const graph::DfsTrace ref = graph::smartsouth_dfs(g, root, net.alive_fn());
+    EXPECT_EQ(net.trace().size(), ref.hops.size());
+
+    // Every node in the root's surviving component must have been touched.
+    auto reach = graph::reachable_from(g, root, net.alive_fn());
+    std::vector<bool> touched(g.node_count(), false);
+    touched[root] = true;
+    for (const auto& h : net.trace())
+      if (h.delivered) touched[h.to] = true;
+    for (graph::NodeId v = 0; v < g.node_count(); ++v)
+      if (reach[v]) {
+        EXPECT_TRUE(touched[v]) << "node " << v << " missed";
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, TraversalFailureTest,
+                         ::testing::ValuesIn(test::standard_corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+// --- Degenerate cases ---
+
+TEST(TraversalEdgeCases, SingleNode) {
+  graph::Graph g(1);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  core::RunStats stats;
+  EXPECT_TRUE(svc.run(net, 0, &stats));
+  EXPECT_EQ(stats.inband_msgs, 0u);
+}
+
+TEST(TraversalEdgeCases, TwoNodes) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  core::RunStats stats;
+  EXPECT_TRUE(svc.run(net, 0, &stats));
+  EXPECT_EQ(stats.inband_msgs, 2u);  // down and back
+}
+
+TEST(TraversalEdgeCases, RootInSmallComponentAfterFailures) {
+  // Path 0-1-2-3; cut 1-2: traversal from 0 covers {0,1} only but finishes.
+  graph::Graph g = graph::make_path(4);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_link_up(1, false);
+  core::RunStats stats;
+  EXPECT_TRUE(svc.run(net, 0, &stats));
+  EXPECT_EQ(stats.inband_msgs, 2u);
+}
+
+}  // namespace
+}  // namespace ss

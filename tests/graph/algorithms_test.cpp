@@ -1,0 +1,202 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ss::graph {
+namespace {
+
+// Brute-force articulation check: remove v, count components among the rest.
+bool brute_is_articulation(const Graph& g, NodeId v, const EdgeAlive& alive) {
+  auto drop_v = [&](EdgeId e) {
+    if (!alive(e)) return false;
+    const Edge& ed = g.edge(e);
+    return ed.a.node != v && ed.b.node != v;
+  };
+  auto before = components(g, alive);
+  auto after = components(g, drop_v);
+  // Count components excluding v and singletons created by removing v's edges.
+  std::map<std::uint32_t, int> comp_before, comp_after;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (u == v) continue;
+    comp_after[after[u]]++;
+    comp_before[before[u]]++;
+  }
+  // v is an articulation point iff some before-component containing v splits.
+  std::map<std::uint32_t, std::set<std::uint32_t>> split;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (u == v) continue;
+    split[before[u]].insert(after[u]);
+  }
+  for (auto& [b, parts] : split)
+    if (parts.size() > 1) return true;
+  return false;
+}
+
+TEST(Algorithms, DfsVisitsAllNodesOfComponent) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = make_gnp_connected(15, 0.2, rng);
+    const auto root = static_cast<NodeId>(rng.uniform(0, 14));
+    DfsTrace tr = smartsouth_dfs(g, root);
+    EXPECT_TRUE(tr.finished);
+    EXPECT_EQ(tr.visit_order.size(), g.node_count());
+    EXPECT_EQ(tr.visit_order.front(), root);
+    EXPECT_EQ(tr.hops.size(), 4 * g.edge_count() - 2 * g.node_count() + 2);
+  }
+}
+
+TEST(Algorithms, DfsParentStructureIsTree) {
+  util::Rng rng(22);
+  Graph g = make_gnp_connected(20, 0.25, rng);
+  DfsTrace tr = smartsouth_dfs(g, 0);
+  // Every non-root node has a parent port leading to an earlier-visited node.
+  std::vector<std::size_t> order(g.node_count());
+  for (std::size_t k = 0; k < tr.visit_order.size(); ++k) order[tr.visit_order[k]] = k;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0) {
+      EXPECT_EQ(tr.parent_port[v], kNoPort);
+      continue;
+    }
+    ASSERT_NE(tr.parent_port[v], kNoPort);
+    const auto parent = g.neighbor(v, tr.parent_port[v])->node;
+    EXPECT_LT(order[parent], order[v]);
+  }
+}
+
+TEST(Algorithms, DfsRespectsFailedEdges) {
+  Graph g = make_ring(6);
+  auto alive = [](EdgeId e) { return e != 2; };  // cut 2-3
+  DfsTrace tr = smartsouth_dfs(g, 0, alive);
+  EXPECT_TRUE(tr.finished);
+  EXPECT_EQ(tr.visit_order.size(), 6u);  // still connected as a path
+  for (const Hop& h : tr.hops) {
+    EXPECT_NE(g.edge_at(h.from, h.out_port), 2u);
+  }
+}
+
+TEST(Algorithms, DfsOnDisconnectedCoversRootComponentOnly) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  DfsTrace tr = smartsouth_dfs(g, 2);
+  EXPECT_TRUE(tr.finished);
+  EXPECT_EQ(tr.visit_order.size(), 3u);
+  EXPECT_FALSE(tr.visited[0]);
+}
+
+TEST(Algorithms, ComponentsAndConnectivity) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  auto comp = components(g);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[5]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(make_ring(5)));
+}
+
+TEST(Algorithms, ArticulationPointsOnKnownGraphs) {
+  {
+    auto art = articulation_points(make_path(5));
+    EXPECT_FALSE(art[0]);
+    EXPECT_TRUE(art[1] && art[2] && art[3]);
+    EXPECT_FALSE(art[4]);
+  }
+  {
+    auto art = articulation_points(make_ring(6));
+    for (bool a : art) EXPECT_FALSE(a);
+  }
+  {
+    auto art = articulation_points(make_star(6));
+    EXPECT_TRUE(art[0]);
+    for (NodeId v = 1; v < 6; ++v) EXPECT_FALSE(art[v]);
+  }
+}
+
+TEST(Algorithms, ArticulationMatchesBruteForceOnRandomGraphs) {
+  util::Rng rng(33);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = make_gnp_connected(12, 0.18, rng);
+    auto art = articulation_points(g);
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      EXPECT_EQ(art[v], brute_is_articulation(g, v, all_alive()))
+          << "trial " << trial << " node " << v;
+  }
+}
+
+TEST(Algorithms, ArticulationUnderFailures) {
+  util::Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = make_gnp_connected(10, 0.3, rng);
+    std::vector<bool> down(g.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) down[e] = rng.chance(0.3);
+    auto alive = [&](EdgeId e) { return !down[e]; };
+    auto art = articulation_points(g, alive);
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      EXPECT_EQ(art[v], brute_is_articulation(g, v, alive)) << trial << ":" << v;
+  }
+}
+
+TEST(Algorithms, BridgesOnKnownGraphs) {
+  {
+    auto br = bridges(make_path(4));
+    EXPECT_TRUE(br[0] && br[1] && br[2]);
+  }
+  {
+    auto br = bridges(make_ring(5));
+    for (bool b : br) EXPECT_FALSE(b);
+  }
+  {
+    // Two triangles joined by one edge: only the joiner is a bridge.
+    Graph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    const EdgeId joiner = g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(5, 3);
+    auto br = bridges(g);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) EXPECT_EQ(br[e], e == joiner);
+  }
+}
+
+TEST(Algorithms, BfsDistance) {
+  Graph g = make_ring(8);
+  auto d = bfs_distance(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(d[7], 1u);
+
+  Graph h(3);
+  h.add_edge(0, 1);
+  auto dh = bfs_distance(h, 0);
+  EXPECT_EQ(dh[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Algorithms, ReachableFrom) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  auto r = reachable_from(g, 0);
+  EXPECT_TRUE(r[0] && r[1]);
+  EXPECT_FALSE(r[2] || r[3]);
+}
+
+TEST(Algorithms, DfsThrowsOnBadRoot) {
+  Graph g = make_path(3);
+  EXPECT_THROW(smartsouth_dfs(g, 7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ss::graph

@@ -1,0 +1,99 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace ss::graph {
+namespace {
+
+TEST(Generators, Path) {
+  Graph g = make_path(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Generators, Ring) {
+  Graph g = make_ring(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(Generators, Star) {
+  Graph g = make_star(8);
+  EXPECT_EQ(g.degree(0), 7u);
+  for (NodeId v = 1; v < 8; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Generators, Complete) {
+  Graph g = make_complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, DaryTree) {
+  Graph g = make_dary_tree(15, 2);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  // Internal nodes of a full binary tree have degree 3 (parent + 2 children).
+  EXPECT_EQ(g.degree(1), 3u);
+}
+
+TEST(Generators, GridAndTorus) {
+  Graph grid = make_grid(3, 4);
+  EXPECT_EQ(grid.node_count(), 12u);
+  EXPECT_EQ(grid.edge_count(), 3u * 3 + 2u * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_TRUE(is_connected(grid));
+
+  Graph torus = make_torus(3, 4);
+  EXPECT_EQ(torus.edge_count(), 2u * 12);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(torus.degree(v), 4u);
+}
+
+TEST(Generators, RandomFamiliesAreConnected) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_TRUE(is_connected(make_random_tree(20, rng)));
+    EXPECT_TRUE(is_connected(make_gnp_connected(20, 0.1, rng)));
+    EXPECT_TRUE(is_connected(make_random_regular(16, 4, rng)));
+    EXPECT_TRUE(is_connected(make_barabasi_albert(20, 2, rng)));
+    EXPECT_TRUE(is_connected(make_waxman(15, 0.6, 0.4, rng)));
+  }
+}
+
+TEST(Generators, RandomTreeHasExactlyNMinus1Edges) {
+  util::Rng rng(3);
+  Graph g = make_random_tree(30, rng);
+  EXPECT_EQ(g.edge_count(), 29u);
+}
+
+TEST(Generators, BarabasiAlbertEdgeCount) {
+  util::Rng rng(5);
+  Graph g = make_barabasi_albert(20, 3, rng);
+  // Seed star has 3 edges; each of the 16 later nodes adds exactly 3.
+  EXPECT_EQ(g.edge_count(), 3u + 16u * 3);
+}
+
+TEST(Generators, FatTreeStructure) {
+  Graph g = make_fat_tree(4);
+  // k=4: 4 core + 8 agg + 8 edge = 20 switches.
+  EXPECT_EQ(g.node_count(), 20u);
+  // Each agg: 2 core links + 2 edge links => 8 * 4 / ... total: 8*2 + 8*2 = 32.
+  EXPECT_EQ(g.edge_count(), 32u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(make_fat_tree(3), std::invalid_argument);
+}
+
+TEST(Generators, RejectsDegenerateArguments) {
+  EXPECT_THROW(make_path(0), std::invalid_argument);
+  EXPECT_THROW(make_star(1), std::invalid_argument);
+  EXPECT_THROW(make_dary_tree(5, 0), std::invalid_argument);
+  util::Rng rng(1);
+  EXPECT_THROW(make_barabasi_albert(3, 3, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ss::graph

@@ -1,0 +1,85 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::graph {
+namespace {
+
+TEST(Graph, PortsAssignedInOrder) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e02 = g.add_edge(0, 2);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.edge(e01).a.port, 1u);
+  EXPECT_EQ(g.edge(e02).a.port, 2u);
+  auto nb = g.neighbor(0, 2);
+  ASSERT_TRUE(nb.has_value());
+  EXPECT_EQ(nb->node, 2u);
+  EXPECT_EQ(nb->port, 1u);
+}
+
+TEST(Graph, NeighborOutOfRange) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.neighbor(0, 0).has_value());
+  EXPECT_FALSE(g.neighbor(0, 2).has_value());
+  EXPECT_THROW(g.edge_at(0, 2), std::out_of_range);
+}
+
+TEST(Graph, OtherEnd) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.other_end(e, 0).node, 1u);
+  EXPECT_EQ(g.other_end(e, 1).node, 0u);
+}
+
+TEST(Graph, OtherEndRejectsForeignNode) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_THROW(g.other_end(e, 2), std::invalid_argument);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+}
+
+TEST(Graph, CanonicalFormIsSorted) {
+  Graph g(3);
+  g.add_edge(2, 1);
+  g.add_edge(0, 2);
+  const std::string c = g.canonical();
+  EXPECT_EQ(c, "0:1-2:2\n1:1-2:1");
+}
+
+TEST(Graph, AddNodeReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Graph, MaxDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, NeighborsListsAllPorts) {
+  Graph g(4);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  auto nbs = g.neighbors(1);
+  ASSERT_EQ(nbs.size(), 3u);
+  EXPECT_EQ(nbs[0].first, 1u);
+  EXPECT_EQ(nbs[0].second.node, 0u);
+  EXPECT_EQ(nbs[2].second.node, 3u);
+}
+
+}  // namespace
+}  // namespace ss::graph

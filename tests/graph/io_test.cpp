@@ -1,0 +1,46 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ss::graph {
+namespace {
+
+TEST(GraphIo, ParsesEdgeList) {
+  Graph g = parse_edge_list("0 1\n1 2\n# comment\n2 0\n");
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  util::Rng rng(3);
+  Graph g = make_gnp_connected(12, 0.3, rng);
+  Graph h = parse_edge_list(to_edge_list(g));
+  EXPECT_EQ(h.canonical(), g.canonical());
+}
+
+TEST(GraphIo, CommentsAndBlankLines) {
+  Graph g = parse_edge_list("# header\n\n0 1\n\n  # indented comment\n1 2 # inline\n");
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_edge_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("0 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("0 -1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("a b\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, DotOutputMentionsEveryEdge) {
+  Graph g = make_path(3);
+  const std::string dot = to_dot(g, "p3");
+  EXPECT_NE(dot.find("graph p3"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ss::graph

@@ -1,0 +1,66 @@
+#include "ofp/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::ofp {
+namespace {
+
+FlowEntry entry(std::uint32_t prio, std::string name) {
+  FlowEntry e;
+  e.priority = prio;
+  e.name = std::move(name);
+  return e;
+}
+
+TEST(FlowTable, KeepsDescendingPriorityOrder) {
+  FlowTable t;
+  t.add(entry(5, "b"));
+  t.add(entry(9, "a"));
+  t.add(entry(1, "d"));
+  t.add(entry(5, "c"));  // equal priority: after "b"
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.entries()[0].name, "a");
+  EXPECT_EQ(t.entries()[1].name, "b");
+  EXPECT_EQ(t.entries()[2].name, "c");
+  EXPECT_EQ(t.entries()[3].name, "d");
+}
+
+TEST(FlowTable, LookupReturnsFirstMatch) {
+  FlowTable t;
+  FlowEntry narrow = entry(10, "narrow");
+  narrow.match.on_port(1);
+  t.add(std::move(narrow));
+  t.add(entry(1, "any"));
+
+  Packet p;
+  p.tag.ensure(8);
+  const FlowEntry* hit = t.lookup(p, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "narrow");
+  hit = t.lookup(p, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "any");
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable t;
+  FlowEntry e = entry(1, "only");
+  e.match.on_eth(0x1234);
+  t.add(std::move(e));
+  Packet p;
+  p.eth_type = 0x9999;
+  EXPECT_EQ(t.lookup(p, 1), nullptr);
+  EXPECT_EQ(t.lookups(), 1u);
+}
+
+TEST(FlowTable, HitCountersPerEntry) {
+  FlowTable t;
+  t.add(entry(1, "x"));
+  Packet p;
+  t.lookup(p, 1);
+  t.lookup(p, 2);
+  EXPECT_EQ(t.entries()[0].hit_count, 2u);
+}
+
+}  // namespace
+}  // namespace ss::ofp

@@ -1,0 +1,161 @@
+// Group-table semantics: ALL / INDIRECT / SELECT (round-robin = smart
+// counter) / FAST-FAILOVER, plus chaining rules.
+
+#include <gtest/gtest.h>
+
+#include "ofp/switch.hpp"
+
+namespace ss::ofp {
+namespace {
+
+Packet make_pkt() {
+  Packet p;
+  p.tag.ensure(64);
+  return p;
+}
+
+FlowEntry any_to_group(GroupId gid) {
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {ActGroup{gid}, ActOutput{kPortLocal}};
+  return e;
+}
+
+Group make_group(GroupId id, GroupType t) {
+  Group g;
+  g.id = id;
+  g.type = t;
+  return g;
+}
+
+TEST(Groups, AllClonesPerBucket) {
+  Switch sw(1, 4);
+  Group g = make_group(5, GroupType::kAll);
+  g.buckets.push_back({{ActSetTag{0, 8, 1}, ActOutput{1}}, std::nullopt});
+  g.buckets.push_back({{ActSetTag{0, 8, 2}, ActOutput{2}}, std::nullopt});
+  sw.groups().add(std::move(g));
+  sw.table(0).add(any_to_group(5));
+  auto res = sw.receive(make_pkt(), 3);
+  ASSERT_EQ(res.emissions.size(), 3u);  // two clones + the LOCAL tail
+  EXPECT_EQ(res.emissions[0].packet.tag.get(0, 8), 1u);
+  EXPECT_EQ(res.emissions[1].packet.tag.get(0, 8), 2u);
+  // ALL works on clones: the pipeline packet is untouched.
+  EXPECT_EQ(res.emissions[2].packet.tag.get(0, 8), 0u);
+}
+
+TEST(Groups, IndirectMutatesLivePacket) {
+  Switch sw(1, 2);
+  Group g = make_group(7, GroupType::kIndirect);
+  g.buckets.push_back({{ActSetTag{0, 8, 9}}, std::nullopt});
+  sw.groups().add(std::move(g));
+  sw.table(0).add(any_to_group(7));
+  auto res = sw.receive(make_pkt(), 1);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].packet.tag.get(0, 8), 9u);
+}
+
+TEST(Groups, SelectRoundRobinIsAFetchAndIncrement) {
+  // The paper's smart counter: bucket j writes j; consecutive applications
+  // must yield 0, 1, 2, ..., k-1, 0, 1, ...
+  Switch sw(1, 2);
+  const std::uint32_t k = 5;
+  Group g = make_group(9, GroupType::kSelect);
+  for (std::uint32_t j = 0; j < k; ++j)
+    g.buckets.push_back({{ActSetTag{0, 8, j}}, std::nullopt});
+  sw.groups().add(std::move(g));
+  sw.table(0).add(any_to_group(9));
+  for (std::uint32_t i = 0; i < 2 * k + 3; ++i) {
+    auto res = sw.receive(make_pkt(), 1);
+    ASSERT_EQ(res.emissions.size(), 1u);
+    EXPECT_EQ(res.emissions[0].packet.tag.get(0, 8), i % k) << "application " << i;
+  }
+  EXPECT_EQ(sw.groups().at(9).exec_count, 2 * k + 3);
+}
+
+TEST(Groups, FastFailoverPicksFirstLiveBucket) {
+  Switch sw(1, 3);
+  Group g = make_group(11, GroupType::kFastFailover);
+  g.buckets.push_back({{ActOutput{1}}, PortNo{1}});
+  g.buckets.push_back({{ActOutput{2}}, PortNo{2}});
+  g.buckets.push_back({{ActOutput{3}}, PortNo{3}});
+  sw.groups().add(std::move(g));
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {ActGroup{11}};
+  sw.table(0).add(std::move(e));
+
+  auto r1 = sw.receive(make_pkt(), 2);
+  ASSERT_EQ(r1.emissions.size(), 1u);
+  EXPECT_EQ(r1.emissions[0].port, 1u);
+
+  sw.set_port_live(1, false);
+  auto r2 = sw.receive(make_pkt(), 2);
+  ASSERT_EQ(r2.emissions.size(), 1u);
+  EXPECT_EQ(r2.emissions[0].port, 2u);
+
+  sw.set_port_live(2, false);
+  sw.set_port_live(3, false);
+  auto r3 = sw.receive(make_pkt(), 2);
+  EXPECT_TRUE(r3.emissions.empty());  // no live bucket: drop
+}
+
+TEST(Groups, FastFailoverUnwatchedBucketAlwaysLive) {
+  Switch sw(1, 1);
+  Group g = make_group(13, GroupType::kFastFailover);
+  g.buckets.push_back({{ActOutput{1}}, PortNo{1}});
+  g.buckets.push_back({{ActOutput{kPortController}}, std::nullopt});
+  sw.groups().add(std::move(g));
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {ActGroup{13}};
+  sw.table(0).add(std::move(e));
+  sw.set_port_live(1, false);
+  auto res = sw.receive(make_pkt(), 1);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].port, kPortController);
+}
+
+TEST(Groups, ChainedGroupsWork) {
+  Switch sw(1, 2);
+  Group inner = make_group(20, GroupType::kIndirect);
+  inner.buckets.push_back({{ActSetTag{0, 8, 3}, ActOutput{1}}, std::nullopt});
+  sw.groups().add(std::move(inner));
+  Group outer = make_group(21, GroupType::kIndirect);
+  outer.buckets.push_back({{ActSetTag{8, 8, 4}, ActGroup{20}}, std::nullopt});
+  sw.groups().add(std::move(outer));
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {ActGroup{21}};
+  sw.table(0).add(std::move(e));
+  auto res = sw.receive(make_pkt(), 1);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].packet.tag.get(0, 8), 3u);
+  EXPECT_EQ(res.emissions[0].packet.tag.get(8, 8), 4u);
+}
+
+TEST(Groups, GroupCycleDetected) {
+  Switch sw(1, 2);
+  Group a = make_group(30, GroupType::kIndirect);
+  a.buckets.push_back({{ActGroup{31}}, std::nullopt});
+  sw.groups().add(std::move(a));
+  Group b = make_group(31, GroupType::kIndirect);
+  b.buckets.push_back({{ActGroup{30}}, std::nullopt});
+  sw.groups().add(std::move(b));
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {ActGroup{30}};
+  sw.table(0).add(std::move(e));
+  EXPECT_THROW(sw.receive(make_pkt(), 1), std::logic_error);
+}
+
+TEST(Groups, DuplicateAndUnknownIds) {
+  GroupTable t;
+  t.add(make_group(1, GroupType::kAll));
+  EXPECT_THROW(t.add(make_group(1, GroupType::kAll)), std::invalid_argument);
+  EXPECT_THROW(t.at(99), std::out_of_range);
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_FALSE(t.contains(2));
+}
+
+}  // namespace
+}  // namespace ss::ofp

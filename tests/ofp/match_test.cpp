@@ -1,0 +1,120 @@
+#include "ofp/match.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::ofp {
+namespace {
+
+Packet make_pkt(std::size_t tag_bits = 64) {
+  Packet p;
+  p.tag.ensure(tag_bits);
+  return p;
+}
+
+TEST(Match, EmptyMatchesEverything) {
+  Match m;
+  Packet p = make_pkt();
+  EXPECT_TRUE(m.matches(p, 1));
+  EXPECT_TRUE(m.matches(p, kPortController));
+}
+
+TEST(Match, InPortAndEthType) {
+  Match m;
+  m.on_port(3).on_eth(0x88b5);
+  Packet p = make_pkt();
+  p.eth_type = 0x88b5;
+  EXPECT_TRUE(m.matches(p, 3));
+  EXPECT_FALSE(m.matches(p, 2));
+  p.eth_type = 0x0800;
+  EXPECT_FALSE(m.matches(p, 3));
+}
+
+TEST(Match, TtlCriterion) {
+  Match m;
+  m.on_ttl(0);
+  Packet p = make_pkt();
+  p.ttl = 0;
+  EXPECT_TRUE(m.matches(p, 1));
+  p.ttl = 5;
+  EXPECT_FALSE(m.matches(p, 1));
+}
+
+TEST(Match, ExactTagMatch) {
+  Match m;
+  m.on_tag(8, 4, 0xa);
+  Packet p = make_pkt();
+  p.tag.set(8, 4, 0xa);
+  EXPECT_TRUE(m.matches(p, 1));
+  p.tag.set(8, 4, 0xb);
+  EXPECT_FALSE(m.matches(p, 1));
+}
+
+TEST(Match, MaskedTagMatch) {
+  Match m;
+  // Match start in {0, 1}: 2-bit field, test only the high bit.
+  m.on_tag_masked(0, 2, 0, 0b10);
+  Packet p = make_pkt();
+  for (std::uint64_t v : {0u, 1u}) {
+    p.tag.set(0, 2, v);
+    EXPECT_TRUE(m.matches(p, 1)) << v;
+  }
+  for (std::uint64_t v : {2u, 3u}) {
+    p.tag.set(0, 2, v);
+    EXPECT_FALSE(m.matches(p, 1)) << v;
+  }
+}
+
+TEST(Match, ConjunctionOfTagMatches) {
+  Match m;
+  m.on_tag(0, 4, 1).on_tag(4, 4, 2);
+  Packet p = make_pkt();
+  p.tag.set(0, 4, 1);
+  EXPECT_FALSE(m.matches(p, 1));
+  p.tag.set(4, 4, 2);
+  EXPECT_TRUE(m.matches(p, 1));
+}
+
+TEST(Match, MatchBitsAccounting) {
+  Match m;
+  m.on_port(1).on_eth(0x800).on_ttl(3).on_tag(0, 10, 5);
+  EXPECT_EQ(m.match_bits(), 32u + 16 + 8 + 10);
+}
+
+TEST(Match, DescribeIsHumanReadable) {
+  Match m;
+  m.on_port(2).on_tag(4, 3, 6);
+  const std::string d = m.describe();
+  EXPECT_NE(d.find("in=2"), std::string::npos);
+  EXPECT_NE(d.find("tag[4+3]=6"), std::string::npos);
+  EXPECT_EQ(Match{}.describe(), "any");
+}
+
+// Exhaustive check of the less-than prefix decomposition: for every width
+// up to 6 and every bound, the union of the produced rules must accept
+// exactly the values below the bound.
+TEST(Match, LessThanDecompositionExhaustive) {
+  for (std::uint32_t width = 1; width <= 6; ++width) {
+    const std::uint64_t top = std::uint64_t{1} << width;
+    for (std::uint64_t bound = 0; bound < top; ++bound) {
+      auto rules = less_than_decomposition(0, width, bound);
+      for (std::uint64_t value = 0; value < top; ++value) {
+        util::BitVec tag(width);
+        tag.set(0, width, value);
+        bool any = false;
+        for (const TagMatch& r : rules) any = any || r.matches(tag);
+        EXPECT_EQ(any, value < bound)
+            << "width=" << width << " bound=" << bound << " value=" << value;
+      }
+    }
+  }
+}
+
+TEST(Match, LessThanDecompositionRuleCount) {
+  // One rule per set bit of the bound.
+  auto rules = less_than_decomposition(0, 8, 0b10110000);
+  EXPECT_EQ(rules.size(), 3u);
+  EXPECT_TRUE(less_than_decomposition(0, 8, 0).empty());
+}
+
+}  // namespace
+}  // namespace ss::ofp

@@ -1,0 +1,123 @@
+// Group deduplication: provably behavior-preserving, measurably smaller.
+
+#include "ofp/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "ofp/space.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace ss {
+namespace {
+
+TEST(Optimize, MergesIdenticalGroups) {
+  ofp::Switch sw(1, 2);
+  for (ofp::GroupId id : {10u, 20u, 30u}) {
+    ofp::Group g;
+    g.id = id;
+    g.type = ofp::GroupType::kFastFailover;
+    g.buckets.push_back({{ofp::ActOutput{1}}, ofp::PortNo{1}});
+    sw.groups().add(std::move(g));
+  }
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.actions = {ofp::ActGroup{30}};
+  sw.table(0).add(std::move(e));
+
+  auto stats = ofp::dedup_groups(sw);
+  EXPECT_EQ(stats.groups_before, 3u);
+  EXPECT_EQ(stats.groups_after, 1u);
+  EXPECT_GE(stats.references_rewritten, 1u);
+  // The reference now points at the survivor (smallest id).
+  const auto& acts = sw.tables()[0].entries()[0].actions;
+  EXPECT_EQ(std::get<ofp::ActGroup>(acts[0]).group, 10u);
+  EXPECT_TRUE(sw.groups().contains(10));
+  EXPECT_FALSE(sw.groups().contains(30));
+}
+
+TEST(Optimize, NeverMergesSelectGroups) {
+  // SELECT cursors are per-group state (smart counters): two counters with
+  // identical buckets are still DISTINCT counters.
+  ofp::Switch sw(1, 2);
+  for (ofp::GroupId id : {1u, 2u}) {
+    ofp::Group g;
+    g.id = id;
+    g.type = ofp::GroupType::kSelect;
+    for (int j = 0; j < 4; ++j)
+      g.buckets.push_back({{ofp::ActSetTag{0, 4, static_cast<std::uint64_t>(j)}},
+                           std::nullopt});
+    sw.groups().add(std::move(g));
+  }
+  auto stats = ofp::dedup_groups(sw);
+  EXPECT_EQ(stats.groups_after, 2u);
+}
+
+TEST(Optimize, CascadesThroughNestedReferences) {
+  // Two parents referencing two identical leaves become one parent once
+  // the leaves merge.
+  ofp::Switch sw(1, 2);
+  for (ofp::GroupId leaf : {5u, 6u}) {
+    ofp::Group g;
+    g.id = leaf;
+    g.type = ofp::GroupType::kIndirect;
+    g.buckets.push_back({{ofp::ActOutput{2}}, std::nullopt});
+    sw.groups().add(std::move(g));
+  }
+  ofp::GroupId parent_id = 7;
+  for (ofp::GroupId leaf : {5u, 6u}) {
+    ofp::Group g;
+    g.id = parent_id++;
+    g.type = ofp::GroupType::kIndirect;
+    g.buckets.push_back({{ofp::ActGroup{leaf}}, std::nullopt});
+    sw.groups().add(std::move(g));
+  }
+  auto stats = ofp::dedup_groups(sw);
+  EXPECT_EQ(stats.groups_after, 2u);  // one leaf + one parent
+}
+
+TEST(Optimize, TraversalBehaviorUnchangedOnEveryCorpusGraph) {
+  // The strongest possible equivalence check: run the full snapshot service
+  // on optimized pipelines and compare against ground truth.
+  for (const auto& ng : test::standard_corpus()) {
+    core::SnapshotService svc(ng.g);
+    sim::Network net(ng.g);
+    svc.install(net);
+    std::uint64_t removed = 0;
+    for (graph::NodeId v = 0; v < ng.g.node_count(); ++v)
+      removed += ofp::dedup_groups(net.sw(v)).groups_removed();
+    auto res = svc.run(net, 0);
+    ASSERT_TRUE(res.complete) << ng.name;
+    EXPECT_EQ(res.canonical(), ng.g.canonical()) << ng.name;
+    EXPECT_GT(removed, 0u) << ng.name;  // the scan family always has dupes
+  }
+}
+
+TEST(Optimize, BlackholeServiceStillLocalizesAfterDedup) {
+  graph::Graph g = graph::make_torus(4, 4);
+  core::BlackholeCountersService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v)
+    ofp::dedup_groups(net.sw(v));
+  net.set_blackhole_from(5, g.edge(5).a.node, true);
+  auto res = svc.run(net, 0);
+  ASSERT_EQ(res.reports.size(), 1u);
+  EXPECT_EQ(g.edge_at(res.reports[0].at_switch, res.reports[0].out_port), 5u);
+}
+
+TEST(Optimize, ShrinksMeasuredSpace) {
+  util::Rng rng(12);
+  graph::Graph g = graph::make_random_regular(12, 4, rng);
+  core::SnapshotService svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  const auto before = ofp::measure_space(net.sw(0));
+  auto stats = ofp::dedup_groups(net.sw(0));
+  const auto after = ofp::measure_space(net.sw(0));
+  EXPECT_LT(after.total_bytes(), before.total_bytes());
+  EXPECT_EQ(after.groups, stats.groups_after);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,176 @@
+#include "ofp/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ofp/switch.hpp"
+
+namespace ss::ofp {
+namespace {
+
+Switch make_switch(PortNo ports = 4) { return Switch(1, ports); }
+
+Packet make_pkt() {
+  Packet p;
+  p.tag.ensure(64);
+  return p;
+}
+
+FlowEntry rule(std::uint32_t prio, Match m, ActionList a,
+               std::optional<TableId> goto_t = std::nullopt) {
+  FlowEntry e;
+  e.priority = prio;
+  e.match = std::move(m);
+  e.actions = std::move(a);
+  e.goto_table = goto_t;
+  return e;
+}
+
+TEST(Pipeline, TableMissDrops) {
+  Switch sw = make_switch();
+  auto res = sw.receive(make_pkt(), 1);
+  EXPECT_TRUE(res.emissions.empty());
+}
+
+TEST(Pipeline, HighestPriorityWins) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(10, Match{}, {ActOutput{2}}));
+  sw.table(0).add(rule(20, Match{}, {ActOutput{3}}));
+  auto res = sw.receive(make_pkt(), 1);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].port, 3u);
+}
+
+TEST(Pipeline, EqualPriorityFirstInsertedWins) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(10, Match{}, {ActOutput{2}}));
+  sw.table(0).add(rule(10, Match{}, {ActOutput{3}}));
+  auto res = sw.receive(make_pkt(), 1);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].port, 2u);
+}
+
+TEST(Pipeline, GotoTableForwardOnly) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{}, {}, TableId{2}));
+  sw.table(2).add(rule(1, Match{}, {ActOutput{1}}));
+  auto res = sw.receive(make_pkt(), 2);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_GE(res.tables_visited, 2u);
+
+  Switch bad = make_switch();
+  bad.table(1).add(rule(1, Match{}, {}, TableId{1}));
+  Match m;
+  bad.table(0).add(rule(1, Match{}, {}, TableId{1}));
+  EXPECT_THROW(bad.receive(make_pkt(), 1), std::logic_error);
+}
+
+TEST(Pipeline, OutputCopiesPacketStateAtThatPoint) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{},
+                       {ActSetTag{0, 8, 1}, ActOutput{1}, ActSetTag{0, 8, 2},
+                        ActOutput{2}}));
+  auto res = sw.receive(make_pkt(), 3);
+  ASSERT_EQ(res.emissions.size(), 2u);
+  EXPECT_EQ(res.emissions[0].packet.tag.get(0, 8), 1u);
+  EXPECT_EQ(res.emissions[1].packet.tag.get(0, 8), 2u);
+}
+
+TEST(Pipeline, OutputInPortResolves) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{}, {ActOutput{kPortInPort}}));
+  auto res = sw.receive(make_pkt(), 3);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].port, 3u);
+}
+
+TEST(Pipeline, DropStopsProcessing) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{}, {ActDrop{}, ActOutput{1}}, TableId{1}));
+  sw.table(1).add(rule(1, Match{}, {ActOutput{2}}));
+  auto res = sw.receive(make_pkt(), 1);
+  EXPECT_TRUE(res.emissions.empty());
+}
+
+TEST(Pipeline, LabelPushPop) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{},
+                       {ActPushLabel{7}, ActPushLabel{9}, ActPopLabel{}, ActOutput{1}}));
+  auto res = sw.receive(make_pkt(), 2);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  ASSERT_EQ(res.emissions[0].packet.labels.size(), 1u);
+  EXPECT_EQ(res.emissions[0].packet.labels[0], 7u);
+}
+
+TEST(Pipeline, PopOnEmptyStackThrows) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{}, {ActPopLabel{}}));
+  EXPECT_THROW(sw.receive(make_pkt(), 1), std::runtime_error);
+}
+
+TEST(Pipeline, ClearLabels) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{},
+                       {ActPushLabel{1}, ActPushLabel{2}, ActClearLabels{}, ActOutput{1}}));
+  auto res = sw.receive(make_pkt(), 2);
+  EXPECT_TRUE(res.emissions[0].packet.labels.empty());
+}
+
+TEST(Pipeline, DecTtlDecrements) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{}, {ActDecTtl{}, ActOutput{1}}));
+  Packet p = make_pkt();
+  p.ttl = 5;
+  auto res = sw.receive(std::move(p), 2);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].packet.ttl, 4u);
+}
+
+TEST(Pipeline, DecTtlAtZeroPuntsToController) {
+  // OFPR_INVALID_TTL behaviour: the packet goes to the controller and
+  // processing stops.
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{}, {ActDecTtl{}, ActOutput{1}}));
+  Packet p = make_pkt();
+  p.ttl = 0;
+  auto res = sw.receive(std::move(p), 2);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].port, kPortController);
+  EXPECT_EQ(res.emissions[0].controller_reason, kReasonInvalidTtl);
+  EXPECT_TRUE(res.dropped_by_ttl);
+}
+
+TEST(Pipeline, SetAndClearTagRange) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{},
+                       {ActSetTag{0, 16, 0xffff}, ActClearTagRange{4, 8}, ActOutput{1}}));
+  auto res = sw.receive(make_pkt(), 2);
+  const auto& tag = res.emissions[0].packet.tag;
+  EXPECT_EQ(tag.get(0, 4), 0xfu);
+  EXPECT_EQ(tag.get(4, 8), 0u);
+  EXPECT_EQ(tag.get(12, 4), 0xfu);
+}
+
+TEST(Pipeline, PerEntryHitCounters) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{}, {ActOutput{1}}));
+  sw.receive(make_pkt(), 2);
+  sw.receive(make_pkt(), 2);
+  EXPECT_EQ(sw.tables()[0].entries()[0].hit_count, 2u);
+  EXPECT_EQ(sw.tables()[0].lookups(), 2u);
+}
+
+TEST(Pipeline, PortCountersTrackRxTx) {
+  Switch sw = make_switch();
+  sw.table(0).add(rule(1, Match{}, {ActOutput{2}}));
+  sw.receive(make_pkt(), 1);
+  EXPECT_EQ(sw.port(1).rx_packets, 1u);
+  EXPECT_EQ(sw.port(2).tx_packets, 1u);
+}
+
+TEST(Pipeline, ReceiveOnUnknownPortThrows) {
+  Switch sw = make_switch(2);
+  EXPECT_THROW(sw.receive(make_pkt(), 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ss::ofp

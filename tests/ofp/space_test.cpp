@@ -1,0 +1,58 @@
+#include "ofp/space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::ofp {
+namespace {
+
+TEST(Space, EmptySwitchIsFree) {
+  Switch sw(1, 4);
+  auto r = measure_space(sw);
+  EXPECT_EQ(r.flow_entries, 0u);
+  EXPECT_EQ(r.total_bytes(), 0u);
+  EXPECT_TRUE(r.fits_novikit());
+}
+
+TEST(Space, EntriesAndGroupsArePriced) {
+  Switch sw(1, 4);
+  FlowEntry e;
+  e.priority = 1;
+  e.match.on_port(1).on_tag(0, 16, 5);
+  e.actions = {ActSetTag{0, 16, 7}, ActOutput{2}};
+  sw.table(0).add(std::move(e));
+
+  Group g;
+  g.id = 1;
+  g.type = GroupType::kSelect;
+  for (int j = 0; j < 8; ++j) g.buckets.push_back({{ActSetTag{0, 4, 0}}, std::nullopt});
+  sw.groups().add(std::move(g));
+
+  auto r = measure_space(sw);
+  EXPECT_EQ(r.flow_entries, 1u);
+  EXPECT_EQ(r.groups, 1u);
+  EXPECT_EQ(r.buckets, 8u);
+  EXPECT_GT(r.flow_bytes, 0u);
+  EXPECT_GT(r.group_bytes, 0u);
+}
+
+TEST(Space, WiderMatchesCostMore) {
+  Switch a(1, 2), b(2, 2);
+  FlowEntry ea;
+  ea.match.on_tag(0, 8, 1);
+  a.table(0).add(std::move(ea));
+  FlowEntry eb;
+  eb.match.on_tag(0, 64, 1);
+  b.table(0).add(std::move(eb));
+  EXPECT_LT(measure_space(a).flow_bytes, measure_space(b).flow_bytes);
+}
+
+TEST(Space, NoviKitBudgetBoundary) {
+  SpaceReport r;
+  r.flow_bytes = kNoviKitTableBytes;
+  EXPECT_TRUE(r.fits_novikit());
+  r.flow_bytes += 1;
+  EXPECT_FALSE(r.fits_novikit());
+}
+
+}  // namespace
+}  // namespace ss::ofp

@@ -1,0 +1,101 @@
+// Event-scheduling semantics: link-state changes interleaved with packet
+// arrivals must apply in timestamp order.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+
+namespace ss::sim {
+namespace {
+
+ofp::Packet make_pkt() {
+  ofp::Packet p;
+  p.tag.ensure(16);
+  return p;
+}
+
+void install_chain_forwarder(Network& net, ofp::SwitchId sw, ofp::PortNo out) {
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.actions = {ofp::ActOutput{out}};
+  net.sw(sw).table(0).add(std::move(e));
+}
+
+TEST(Events, LinkChangeAppliesBeforeLaterArrivals) {
+  // Path 0-1-2, delay 10 per hop.  The packet leaves 0 at t=0, reaches 1
+  // at t=10 and is forwarded; link 1-2 dies at t=15, i.e. while the packet
+  // is in flight on it (already committed: it arrives).  A SECOND packet
+  // injected at t=0 with the same path... there is no second inject API at
+  // a later time, so probe the ordering directly: the change at t=5
+  // happens before the t=10 arrival, so the forward from 1 is dropped.
+  graph::Graph g = graph::make_path(3);
+  Network net(g, /*delay=*/10);
+  install_chain_forwarder(net, 0, 1);
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.match.on_port(1);
+  e.actions = {ofp::ActOutput{2}};
+  net.sw(1).table(0).add(std::move(e));
+
+  net.schedule_link_state(1, false, 5);  // 1-2 down before the packet hits 1
+  net.packet_out(0, make_pkt());
+  net.run();
+  EXPECT_EQ(net.stats().dropped_down, 1u);
+  EXPECT_EQ(net.stats().delivered, 1u);  // only the 0->1 hop
+}
+
+TEST(Events, ChangeAfterTrafficDoesNotAffectIt) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g, 10);
+  install_chain_forwarder(net, 0, 1);
+  net.schedule_link_state(0, false, 100);  // long after the packet
+  net.packet_out(0, make_pkt());
+  net.run();
+  EXPECT_EQ(net.stats().delivered, 1u);
+  EXPECT_FALSE(net.sw(0).port_live(1));  // the change still applied
+  EXPECT_GE(net.now(), 100u);
+}
+
+TEST(Events, RepairMidRunRestoresLiveness) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g, 1);
+  net.set_link_up(0, false);
+  net.schedule_link_state(0, true, 50);
+  net.run();
+  EXPECT_TRUE(net.sw(0).port_live(1));
+  EXPECT_TRUE(net.sw(1).port_live(1));
+}
+
+TEST(Events, MultipleChangesApplyInOrder) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g, 1);
+  net.schedule_link_state(0, false, 10);
+  net.schedule_link_state(0, true, 20);
+  net.schedule_link_state(0, false, 30);
+  net.run();
+  EXPECT_FALSE(net.sw(0).port_live(1));
+  EXPECT_GE(net.now(), 30u);
+}
+
+TEST(Events, BadEdgeRejected) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  EXPECT_THROW(net.schedule_link_state(5, false, 1), std::out_of_range);
+}
+
+TEST(Events, InFlightPacketsSurviveALateCut) {
+  // The crossing decision is made at transmit time: a packet already on
+  // the wire is delivered even if the link dies before its arrival tick.
+  graph::Graph g = graph::make_path(2);
+  Network net(g, /*delay=*/10);
+  install_chain_forwarder(net, 0, 1);
+  net.packet_out(0, make_pkt());     // transmits at t=0, arrives t=10
+  net.schedule_link_state(0, false, 5);
+  net.run();
+  EXPECT_EQ(net.stats().delivered, 1u);
+  EXPECT_EQ(net.sw(1).port(1).rx_packets, 1u);
+}
+
+}  // namespace
+}  // namespace ss::sim

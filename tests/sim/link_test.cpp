@@ -1,0 +1,71 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::sim {
+namespace {
+
+Link make_link() {
+  return Link(0, LinkEnd{1, 2}, LinkEnd{3, 4}, /*delay=*/7);
+}
+
+TEST(Link, Endpoints) {
+  Link l = make_link();
+  EXPECT_EQ(l.delay(), 7u);
+  EXPECT_EQ(l.peer_of(1).sw, 3u);
+  EXPECT_EQ(l.peer_of(1).port, 4u);
+  EXPECT_EQ(l.peer_of(3).sw, 1u);
+  EXPECT_TRUE(l.from_a(1));
+  EXPECT_FALSE(l.from_a(3));
+}
+
+TEST(Link, HealthyCrossingDelivers) {
+  Link l = make_link();
+  util::Rng rng(1);
+  EXPECT_EQ(l.try_cross(1, rng), Link::Crossing::kDelivered);
+  EXPECT_EQ(l.try_cross(3, rng), Link::Crossing::kDelivered);
+}
+
+TEST(Link, DownDropsBothDirections) {
+  Link l = make_link();
+  l.set_up(false);
+  util::Rng rng(1);
+  EXPECT_EQ(l.try_cross(1, rng), Link::Crossing::kDroppedDown);
+  EXPECT_EQ(l.try_cross(3, rng), Link::Crossing::kDroppedDown);
+}
+
+TEST(Link, BlackholeIsDirectional) {
+  Link l = make_link();
+  l.set_blackhole(/*a_to_b=*/true, true);
+  util::Rng rng(1);
+  EXPECT_EQ(l.try_cross(1, rng), Link::Crossing::kDroppedBlackhole);
+  EXPECT_EQ(l.try_cross(3, rng), Link::Crossing::kDelivered);
+  EXPECT_TRUE(l.any_blackhole());
+  l.set_blackhole(true, false);
+  EXPECT_FALSE(l.any_blackhole());
+}
+
+TEST(Link, LossIsDirectionalAndProbabilistic) {
+  Link l = make_link();
+  l.set_loss(/*a_to_b=*/true, 0.5);
+  util::Rng rng(42);
+  int dropped = 0;
+  for (int i = 0; i < 200; ++i)
+    if (l.try_cross(1, rng) == Link::Crossing::kDroppedLoss) ++dropped;
+  EXPECT_GT(dropped, 60);
+  EXPECT_LT(dropped, 140);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(l.try_cross(3, rng), Link::Crossing::kDelivered);
+}
+
+TEST(Link, DownTakesPrecedenceOverLossAndBlackhole) {
+  Link l = make_link();
+  l.set_loss(true, 1.0);
+  l.set_blackhole(true, true);
+  l.set_up(false);
+  util::Rng rng(1);
+  EXPECT_EQ(l.try_cross(1, rng), Link::Crossing::kDroppedDown);
+}
+
+}  // namespace
+}  // namespace ss::sim

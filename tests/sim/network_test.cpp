@@ -1,0 +1,182 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ss::sim {
+namespace {
+
+ofp::Packet make_pkt() {
+  ofp::Packet p;
+  p.tag.ensure(32);
+  return p;
+}
+
+// Wire two switches with "forward everything out the other port" rules.
+void install_forwarder(Network& net, ofp::SwitchId sw, ofp::PortNo out) {
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.actions = {ofp::ActOutput{out}};
+  net.sw(sw).table(0).add(std::move(e));
+}
+
+void install_sink(Network& net, ofp::SwitchId sw) {
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.actions = {ofp::ActOutput{ofp::kPortLocal}};
+  net.sw(sw).table(0).add(std::move(e));
+}
+
+TEST(Network, DeliversAcrossALink) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g, /*delay=*/5);
+  install_forwarder(net, 0, 1);
+  install_sink(net, 1);
+  net.packet_out(0, make_pkt());
+  net.run();
+  ASSERT_EQ(net.local_deliveries().size(), 1u);
+  EXPECT_EQ(net.local_deliveries()[0].at, 1u);
+  EXPECT_EQ(net.local_deliveries()[0].time, 5u);
+  EXPECT_EQ(net.stats().sent, 1u);
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(Network, LinkDownDropsAndKillsLiveness) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  install_forwarder(net, 0, 1);
+  net.set_link_up(0, false);
+  EXPECT_FALSE(net.sw(0).port_live(1));
+  EXPECT_FALSE(net.sw(1).port_live(1));
+  net.packet_out(0, make_pkt());
+  net.run();
+  EXPECT_EQ(net.stats().dropped_down, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+
+  net.set_link_up(0, true);
+  EXPECT_TRUE(net.sw(0).port_live(1));
+}
+
+TEST(Network, BlackholeDropsButPortStaysLive) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  install_forwarder(net, 0, 1);
+  net.set_blackhole_from(0, 0, true);
+  EXPECT_TRUE(net.sw(0).port_live(1));  // the whole point of §3.3
+  net.packet_out(0, make_pkt());
+  net.run();
+  EXPECT_EQ(net.stats().dropped_blackhole, 1u);
+
+  // Reverse direction unaffected.
+  install_forwarder(net, 1, 1);
+  install_sink(net, 0);
+  // Re-prioritize: sink on 0 must win over forwarder.
+  net.packet_out(1, make_pkt());
+  net.run();
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(Network, BernoulliLossIsSeeded) {
+  graph::Graph g = graph::make_path(2);
+  Network a(g, 1, 777), b(g, 1, 777);
+  for (Network* net : {&a, &b}) {
+    install_forwarder(*net, 0, 1);
+    install_sink(*net, 1);
+    net->set_loss_from(0, 0, 0.5);
+    for (int i = 0; i < 100; ++i) net->packet_out(0, make_pkt());
+    net->run();
+  }
+  EXPECT_EQ(a.stats().dropped_loss, b.stats().dropped_loss);  // deterministic
+  EXPECT_GT(a.stats().dropped_loss, 20u);
+  EXPECT_LT(a.stats().dropped_loss, 80u);
+}
+
+TEST(Network, ControllerMessagesAreLogged) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.actions = {ofp::ActOutput{ofp::kPortController, 42}};
+  net.sw(0).table(0).add(std::move(e));
+  net.packet_out(0, make_pkt());
+  net.run();
+  ASSERT_EQ(net.controller_msgs().size(), 1u);
+  EXPECT_EQ(net.controller_msgs()[0].from, 0u);
+  EXPECT_EQ(net.controller_msgs()[0].reason, 42u);
+  EXPECT_EQ(net.stats().controller_msgs, 1u);
+  EXPECT_EQ(net.stats().packet_outs, 1u);
+}
+
+TEST(Network, EventBudgetGuardsAgainstRuleLoops) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  install_forwarder(net, 0, 1);
+  install_forwarder(net, 1, 1);  // ping-pong forever
+  net.packet_out(0, make_pkt());
+  EXPECT_THROW(net.run(/*max_events=*/1000), std::runtime_error);
+}
+
+TEST(Network, TraceRecordsHops) {
+  graph::Graph g = graph::make_path(3);
+  Network net(g);
+  net.set_trace(true);
+  install_forwarder(net, 0, 1);
+  // Node 1: in from port 1 -> out port 2.
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.match.on_port(1);
+  e.actions = {ofp::ActOutput{2}};
+  net.sw(1).table(0).add(std::move(e));
+  install_sink(net, 2);
+  net.packet_out(0, make_pkt());
+  net.run();
+  ASSERT_EQ(net.trace().size(), 2u);
+  EXPECT_EQ(net.trace()[0].from, 0u);
+  EXPECT_EQ(net.trace()[0].to, 1u);
+  EXPECT_TRUE(net.trace()[0].delivered);
+  EXPECT_EQ(net.trace()[1].from, 1u);
+  EXPECT_EQ(net.trace()[1].to, 2u);
+}
+
+TEST(Network, HostInjectEntersThroughPhysicalPort) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  // Node 1: packets from port 1 are sunk locally.
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.match.on_port(1);
+  e.actions = {ofp::ActOutput{ofp::kPortLocal}};
+  net.sw(1).table(0).add(std::move(e));
+  net.host_inject(1, 1, make_pkt());
+  net.run();
+  ASSERT_EQ(net.local_deliveries().size(), 1u);
+  EXPECT_EQ(net.sw(1).port(1).rx_packets, 1u);
+}
+
+TEST(Network, TopologyMirrorsGraphPorts) {
+  util::Rng rng(9);
+  graph::Graph g = graph::make_gnp_connected(10, 0.3, rng);
+  Network net(g);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(net.sw(v).num_ports(), g.degree(v));
+    for (graph::PortNo p = 1; p <= g.degree(v); ++p)
+      EXPECT_TRUE(net.sw(v).port_live(p));
+  }
+  EXPECT_EQ(net.link_count(), g.edge_count());
+}
+
+TEST(Network, AliveFnTracksLinkState) {
+  graph::Graph g = graph::make_ring(4);
+  Network net(g);
+  auto alive = net.alive_fn();
+  EXPECT_TRUE(alive(2));
+  net.set_link_up(2, false);
+  EXPECT_FALSE(alive(2));
+  // Blackholes count as alive.
+  net.set_blackhole(3, true);
+  EXPECT_TRUE(alive(3));
+}
+
+}  // namespace
+}  // namespace ss::sim

@@ -1,0 +1,54 @@
+#pragma once
+// Shared test fixtures: a corpus of topologies covering the families the
+// benches sweep, and small conveniences for building networks.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace ss::test {
+
+struct NamedGraph {
+  std::string name;
+  graph::Graph g;
+};
+
+/// Deterministic corpus: every family, small enough for exhaustive checks.
+inline std::vector<NamedGraph> standard_corpus() {
+  util::Rng rng(42);
+  std::vector<NamedGraph> out;
+  out.push_back({"path6", graph::make_path(6)});
+  out.push_back({"ring8", graph::make_ring(8)});
+  out.push_back({"star7", graph::make_star(7)});
+  out.push_back({"complete5", graph::make_complete(5)});
+  out.push_back({"tree15", graph::make_dary_tree(15, 2)});
+  out.push_back({"rtree12", graph::make_random_tree(12, rng)});
+  out.push_back({"grid4x4", graph::make_grid(4, 4)});
+  out.push_back({"torus4x4", graph::make_torus(4, 4)});
+  out.push_back({"gnp12", graph::make_gnp_connected(12, 0.3, rng)});
+  out.push_back({"reg10d4", graph::make_random_regular(10, 4, rng)});
+  out.push_back({"ba14m2", graph::make_barabasi_albert(14, 2, rng)});
+  out.push_back({"waxman10", graph::make_waxman(10, 0.8, 0.5, rng)});
+  out.push_back({"fattree4", graph::make_fat_tree(4)});
+  return out;
+}
+
+/// Smaller corpus for quadratic sweeps (every root x every graph).
+inline std::vector<NamedGraph> small_corpus() {
+  util::Rng rng(7);
+  std::vector<NamedGraph> out;
+  out.push_back({"path4", graph::make_path(4)});
+  out.push_back({"ring5", graph::make_ring(5)});
+  out.push_back({"complete4", graph::make_complete(4)});
+  out.push_back({"grid3x3", graph::make_grid(3, 3)});
+  out.push_back({"gnp8", graph::make_gnp_connected(8, 0.35, rng)});
+  return out;
+}
+
+}  // namespace ss::test

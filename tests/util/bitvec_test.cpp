@@ -1,0 +1,106 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ss::util {
+namespace {
+
+TEST(BitVec, SetGetWithinOneWord) {
+  BitVec v(64);
+  v.set(0, 8, 0xab);
+  v.set(8, 8, 0xcd);
+  EXPECT_EQ(v.get(0, 8), 0xabu);
+  EXPECT_EQ(v.get(8, 8), 0xcdu);
+  EXPECT_EQ(v.get(0, 16), 0xcdabu);
+}
+
+TEST(BitVec, CrossesWordBoundary) {
+  BitVec v(128);
+  v.set(60, 12, 0xfff);
+  EXPECT_EQ(v.get(60, 12), 0xfffu);
+  EXPECT_EQ(v.get(56, 4), 0u);
+  EXPECT_EQ(v.get(72, 4), 0u);
+  v.set(60, 12, 0xa5a);
+  EXPECT_EQ(v.get(60, 12), 0xa5au);
+}
+
+TEST(BitVec, FullWidthField) {
+  BitVec v(128);
+  const std::uint64_t x = 0xdeadbeefcafebabeull;
+  v.set(32, 64, x);
+  EXPECT_EQ(v.get(32, 64), x);
+}
+
+TEST(BitVec, SetMasksExcessBits) {
+  BitVec v(32);
+  v.set(0, 4, 0xff);  // only low 4 bits stored
+  EXPECT_EQ(v.get(0, 4), 0xfu);
+  EXPECT_EQ(v.get(4, 4), 0u);
+}
+
+TEST(BitVec, ClearRange) {
+  BitVec v(200);
+  for (std::size_t i = 0; i < 200; i += 8) v.set(i, 8, 0xff);
+  v.clear_range(10, 150);
+  EXPECT_EQ(v.get(0, 8), 0xffu);
+  for (std::size_t i = 16; i + 8 <= 160; i += 8) EXPECT_EQ(v.get(i, 8), 0u) << i;
+  EXPECT_EQ(v.get(192, 8), 0xffu);
+}
+
+TEST(BitVec, ClearAllAndEquality) {
+  BitVec a(70), b(70);
+  a.set(65, 4, 7);
+  EXPECT_NE(a, b);
+  a.clear_all();
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, EnsureGrowsZeroFilled) {
+  BitVec v(8);
+  v.set(0, 8, 0xff);
+  v.ensure(100);
+  EXPECT_EQ(v.size_bits(), 100u);
+  EXPECT_EQ(v.get(0, 8), 0xffu);
+  EXPECT_EQ(v.get(90, 8), 0u);
+  v.ensure(4);  // never shrinks
+  EXPECT_EQ(v.size_bits(), 100u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(16);
+  EXPECT_THROW(v.get(10, 8), std::out_of_range);
+  EXPECT_THROW(v.set(16, 1, 0), std::out_of_range);
+  EXPECT_THROW(v.get(0, 0), std::invalid_argument);
+  EXPECT_THROW(v.get(0, 65), std::invalid_argument);
+}
+
+TEST(BitVec, ToHex) {
+  BitVec v(16);
+  v.set(0, 8, 0x12);
+  v.set(8, 8, 0x34);
+  EXPECT_EQ(v.to_hex(), "1234");
+}
+
+// Property: random field writes at disjoint offsets are all preserved.
+TEST(BitVec, RandomDisjointFieldsRoundTrip) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec v(512);
+    std::vector<std::tuple<std::size_t, std::size_t, std::uint64_t>> fields;
+    std::size_t off = 0;
+    while (off + 1 < 512) {
+      const std::size_t w = rng.uniform(1, std::min<std::uint64_t>(64, 512 - off));
+      const std::uint64_t val =
+          rng.uniform(0, w == 64 ? ~0ull : ((1ull << w) - 1));
+      fields.emplace_back(off, w, val);
+      v.set(off, w, val);
+      off += w;
+    }
+    for (auto& [o, w, val] : fields) EXPECT_EQ(v.get(o, w), val);
+  }
+}
+
+}  // namespace
+}  // namespace ss::util

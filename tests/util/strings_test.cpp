@@ -1,0 +1,27 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::util {
+namespace {
+
+TEST(Strings, Cat) {
+  EXPECT_EQ(cat("a", 1, "-", 2u), "a1-2");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(human_bytes(32ull * 1024 * 1024), "32.0 MiB");
+}
+
+}  // namespace
+}  // namespace ss::util

@@ -1,0 +1,298 @@
+// smartsouth_cli — run any SmartSouth service on a generated topology from
+// the command line.
+//
+//   smartsouth_cli snapshot --topo torus --n 16 --fail 3,7
+//   smartsouth_cli critical --topo path --n 6 --root 2
+//   smartsouth_cli blackhole-ctr --topo grid --n 20 --blackhole 5:2
+//   smartsouth_cli anycast --topo ring --n 12 --members 4,9 --root 0
+//   smartsouth_cli priocast --topo gnp --n 20 --members 4,9,15 --root 0
+//   smartsouth_cli dump --topo ring --n 5 --service snapshot --node 2
+//   smartsouth_cli verify --topo fattree --n 4 --service priocast
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/smartsouth.hpp"
+#include "graph/io.hpp"
+#include "util/strings.hpp"
+
+using namespace ss;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string get(const std::string& k, const std::string& dflt) const {
+    auto it = flags.find(k);
+    return it == flags.end() ? dflt : it->second;
+  }
+  std::uint64_t get_u(const std::string& k, std::uint64_t dflt) const {
+    auto it = flags.find(k);
+    return it == flags.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  std::vector<std::uint32_t> get_list(const std::string& k) const {
+    std::vector<std::uint32_t> out;
+    auto it = flags.find(k);
+    if (it == flags.end()) return out;
+    std::string s = it->second;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t comma = s.find(',', pos);
+      out.push_back(static_cast<std::uint32_t>(
+          std::strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return out;
+  }
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: smartsouth_cli <command> [--flag value ...]\n"
+               "commands: snapshot anycast priocast critical blackhole-ttl\n"
+               "          blackhole-ctr loss load dump verify\n"
+               "common flags:\n"
+               "  --topo  ring|path|star|complete|grid|torus|tree|gnp|reg|fattree\n"
+               "  --file  edge-list file ('u v' per line; overrides --topo)\n"
+               "  --n     node count (fattree: k)        [16]\n"
+               "  --root  trigger node                   [0]\n"
+               "  --seed  RNG seed                       [1]\n"
+               "  --fail  comma list of edge ids to take down\n"
+               "  --blackhole node:port  plant a silent failure\n"
+               "  --members a,b,c   anycast/priocast group members\n"
+               "  --service  (dump/verify) which service to compile [snapshot]\n"
+               "  --node     (dump) which switch to print           [0]\n");
+  std::exit(2);
+}
+
+graph::Graph make_topo(const Args& a) {
+  const std::string file = a.get("file", "");
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", file.c_str());
+      std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return graph::parse_edge_list(text.str());
+  }
+  const std::string t = a.get("topo", "grid");
+  const std::size_t n = a.get_u("n", 16);
+  util::Rng rng(a.get_u("seed", 1));
+  if (t == "ring") return graph::make_ring(n);
+  if (t == "path") return graph::make_path(n);
+  if (t == "star") return graph::make_star(n);
+  if (t == "complete") return graph::make_complete(n);
+  if (t == "grid") return graph::make_grid(n / 4 ? n / 4 : 1, 4);
+  if (t == "torus") return graph::make_torus(n / 4 ? n / 4 : 3, 4);
+  if (t == "tree") return graph::make_dary_tree(n, 2);
+  if (t == "gnp") return graph::make_gnp_connected(n, 0.2, rng);
+  if (t == "reg") return graph::make_random_regular(n, 4, rng);
+  if (t == "fattree") return graph::make_fat_tree(n);
+  std::fprintf(stderr, "unknown topology '%s'\n", t.c_str());
+  std::exit(2);
+}
+
+core::ServiceKind parse_kind(const std::string& s) {
+  if (s == "plain") return core::ServiceKind::kPlain;
+  if (s == "snapshot") return core::ServiceKind::kSnapshot;
+  if (s == "anycast") return core::ServiceKind::kAnycast;
+  if (s == "chained") return core::ServiceKind::kChainedAnycast;
+  if (s == "priocast") return core::ServiceKind::kPriocast;
+  if (s == "blackhole-ttl") return core::ServiceKind::kBlackholeTtl;
+  if (s == "blackhole-ctr") return core::ServiceKind::kBlackholeCounters;
+  if (s == "loss") return core::ServiceKind::kPacketLoss;
+  if (s == "critical") return core::ServiceKind::kCritical;
+  if (s == "load") return core::ServiceKind::kLoadInference;
+  std::fprintf(stderr, "unknown service '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+void apply_failures(const Args& a, const graph::Graph& g, sim::Network& net) {
+  for (auto e : a.get_list("fail")) {
+    if (e >= g.edge_count()) {
+      std::fprintf(stderr, "no edge %u\n", e);
+      std::exit(2);
+    }
+    net.set_link_up(e, false);
+    std::printf("link %u down (%u:%u-%u:%u)\n", e, g.edge(e).a.node, g.edge(e).a.port,
+                g.edge(e).b.node, g.edge(e).b.port);
+  }
+  const std::string bh = a.get("blackhole", "");
+  if (!bh.empty()) {
+    const auto colon = bh.find(':');
+    if (colon == std::string::npos) usage();
+    const auto node = static_cast<graph::NodeId>(std::strtoul(bh.c_str(), nullptr, 10));
+    const auto port = static_cast<graph::PortNo>(
+        std::strtoul(bh.c_str() + colon + 1, nullptr, 10));
+    net.set_blackhole_from(g.edge_at(node, port), node, true);
+    std::printf("blackhole planted at %u:%u\n", node, port);
+  }
+}
+
+core::AnycastGroupSpec members_group(const Args& a, const graph::Graph& g) {
+  core::AnycastGroupSpec gs;
+  gs.gid = 1;
+  std::uint32_t prio = 10;
+  auto members = a.get_list("members");
+  if (members.empty()) members = {static_cast<std::uint32_t>(g.node_count() - 1)};
+  for (auto m : members) gs.members[m] = prio += 10;
+  return gs;
+}
+
+void print_stats(const core::RunStats& s) {
+  std::printf("in-band msgs: %llu   out-of-band: %llu (to ctrl %llu / from ctrl %llu)"
+              "   max packet: %llu B\n",
+              static_cast<unsigned long long>(s.inband_msgs),
+              static_cast<unsigned long long>(s.outband_total()),
+              static_cast<unsigned long long>(s.outband_to_ctrl),
+              static_cast<unsigned long long>(s.outband_from_ctrl),
+              static_cast<unsigned long long>(s.max_wire_bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) usage();
+    args.flags[argv[i] + 2] = argv[i + 1];
+  }
+
+  graph::Graph g = make_topo(args);
+  const auto root = static_cast<graph::NodeId>(args.get_u("root", 0));
+  std::printf("topology: %zu nodes, %zu links; trigger at %u\n", g.node_count(),
+              g.edge_count(), root);
+
+  if (args.command == "snapshot") {
+    core::SnapshotService svc(g, static_cast<std::uint32_t>(args.get_u("fragment", 0)));
+    sim::Network net(g);
+    svc.install(net);
+    apply_failures(args, g, net);
+    auto res = svc.run(net, root);
+    std::printf("complete: %s   nodes: %zu   links: %zu   fragments: %zu\n",
+                res.complete ? "yes" : "no", res.nodes.size(), res.edges.size(),
+                res.fragments);
+    print_stats(res.stats);
+    std::printf("%s\n", res.canonical().c_str());
+  } else if (args.command == "anycast" || args.command == "priocast") {
+    auto gs = members_group(args, g);
+    sim::Network net(g);
+    std::optional<graph::NodeId> at;
+    core::RunStats stats;
+    if (args.command == "anycast") {
+      core::AnycastService svc(g, {gs});
+      svc.install(net);
+      apply_failures(args, g, net);
+      auto res = svc.run(net, root, 1);
+      at = res.delivered_at;
+      stats = res.stats;
+    } else {
+      core::PriocastService svc(g, {gs});
+      svc.install(net);
+      apply_failures(args, g, net);
+      auto res = svc.run(net, root, 1);
+      at = res.delivered_at;
+      stats = res.stats;
+    }
+    if (at)
+      std::printf("delivered at switch %u\n", *at);
+    else
+      std::printf("no group member reachable\n");
+    print_stats(stats);
+  } else if (args.command == "critical") {
+    core::CriticalNodeService svc(g);
+    sim::Network net(g);
+    svc.install(net);
+    apply_failures(args, g, net);
+    auto res = svc.run(net, root);
+    std::printf("switch %u is %s\n", root,
+                res.critical.value_or(false) ? "CRITICAL" : "not critical");
+    print_stats(res.stats);
+  } else if (args.command == "blackhole-ttl") {
+    core::BlackholeTtlService svc(g);
+    sim::Network net(g);
+    svc.install(net);
+    apply_failures(args, g, net);
+    auto res = svc.run(net, root,
+                       static_cast<std::uint32_t>(
+                           std::min<std::size_t>(4 * g.edge_count() + 4, 255)));
+    if (res.blackhole_found)
+      std::printf("blackhole at switch %u port %u (%u probes)\n", res.at_switch,
+                  res.out_port, res.probes);
+    else
+      std::printf("no blackhole found (%u probes)\n", res.probes);
+    print_stats(res.stats);
+  } else if (args.command == "blackhole-ctr") {
+    core::BlackholeCountersService svc(g);
+    sim::Network net(g);
+    svc.install(net);
+    apply_failures(args, g, net);
+    auto res = svc.run(net, root);
+    if (res.reports.empty()) std::printf("no blackhole reported\n");
+    for (auto& r : res.reports)
+      std::printf("blackhole at switch %u port %u\n", r.at_switch, r.out_port);
+    print_stats(res.stats);
+  } else if (args.command == "load") {
+    core::LoadInferenceService svc(g);
+    sim::Network net(g);
+    svc.install(net);
+    svc.send_data(net, root, 1, static_cast<std::uint32_t>(args.get_u("traffic", 25)));
+    auto res = svc.infer(net, root);
+    std::printf("complete: %s; nonzero loads:\n", res.complete ? "yes" : "no");
+    for (auto& [key, load] : res.loads)
+      if (load)
+        std::printf("  switch %u port %u %s: %llu\n", key.node, key.port,
+                    key.ingress ? "in" : "out", static_cast<unsigned long long>(load));
+    print_stats(res.stats);
+  } else if (args.command == "dump" || args.command == "verify") {
+    core::TagLayout layout(g);
+    core::CompilerOptions opts;
+    opts.kind = parse_kind(args.get("service", "snapshot"));
+    if (opts.kind == core::ServiceKind::kAnycast ||
+        opts.kind == core::ServiceKind::kChainedAnycast ||
+        opts.kind == core::ServiceKind::kPriocast)
+      opts.groups.push_back(members_group(args, g));
+    core::TemplateCompiler compiler(g, layout, opts);
+    if (args.command == "dump") {
+      const auto node = static_cast<graph::NodeId>(args.get_u("node", 0));
+      ofp::Switch sw(node, g.degree(node));
+      compiler.install_switch(sw, node);
+      std::printf("%s", ofp::dump_switch(sw).c_str());
+      auto space = ofp::measure_space(sw);
+      std::printf("state: %llu entries, %llu groups, %s\n",
+                  static_cast<unsigned long long>(space.flow_entries),
+                  static_cast<unsigned long long>(space.groups),
+                  util::human_bytes(space.total_bytes()).c_str());
+    } else {
+      std::size_t errors = 0, warnings = 0;
+      for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+        ofp::Switch sw(v, g.degree(v));
+        compiler.install_switch(sw, v);
+        auto rep = ofp::verify_switch(sw, layout.total_bits());
+        errors += rep.errors.size();
+        warnings += rep.warnings.size();
+        for (auto& e : rep.errors) std::printf("switch %u: ERROR %s\n", v, e.c_str());
+        for (auto& w : rep.warnings) std::printf("switch %u: warn %s\n", v, w.c_str());
+      }
+      std::printf("verified %zu switches: %zu errors, %zu warnings\n", g.node_count(),
+                  errors, warnings);
+      return errors == 0 ? 0 : 1;
+    }
+  } else {
+    usage();
+  }
+  return 0;
+}
