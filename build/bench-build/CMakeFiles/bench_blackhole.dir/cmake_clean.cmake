@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_blackhole"
+  "../bench/bench_blackhole.pdb"
+  "CMakeFiles/bench_blackhole.dir/blackhole.cpp.o"
+  "CMakeFiles/bench_blackhole.dir/blackhole.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blackhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

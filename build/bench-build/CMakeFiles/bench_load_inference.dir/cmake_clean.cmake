@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_load_inference"
+  "../bench/bench_load_inference.pdb"
+  "CMakeFiles/bench_load_inference.dir/load_inference.cpp.o"
+  "CMakeFiles/bench_load_inference.dir/load_inference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_packet_loss"
+  "../bench/bench_packet_loss.pdb"
+  "CMakeFiles/bench_packet_loss.dir/packet_loss.cpp.o"
+  "CMakeFiles/bench_packet_loss.dir/packet_loss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_inband"
+  "../bench/bench_table2_inband.pdb"
+  "CMakeFiles/bench_table2_inband.dir/table2_inband.cpp.o"
+  "CMakeFiles/bench_table2_inband.dir/table2_inband.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_inband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_outband"
+  "../bench/bench_table2_outband.pdb"
+  "CMakeFiles/bench_table2_outband.dir/table2_outband.cpp.o"
+  "CMakeFiles/bench_table2_outband.dir/table2_outband.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_outband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_sizes"
+  "../bench/bench_table2_sizes.pdb"
+  "CMakeFiles/bench_table2_sizes.dir/table2_sizes.cpp.o"
+  "CMakeFiles/bench_table2_sizes.dir/table2_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table2_inband "/root/repo/build/bench/bench_table2_inband")
+set_tests_properties(smoke_bench_table2_inband PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table2_outband "/root/repo/build/bench/bench_table2_outband")
+set_tests_properties(smoke_bench_table2_outband PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table2_sizes "/root/repo/build/bench/bench_table2_sizes")
+set_tests_properties(smoke_bench_table2_sizes PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_blackhole "/root/repo/build/bench/bench_blackhole")
+set_tests_properties(smoke_bench_blackhole PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_packet_loss "/root/repo/build/bench/bench_packet_loss")
+set_tests_properties(smoke_bench_packet_loss PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_baselines "/root/repo/build/bench/bench_baselines")
+set_tests_properties(smoke_bench_baselines PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_load_inference "/root/repo/build/bench/bench_load_inference")
+set_tests_properties(smoke_bench_load_inference PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation "/root/repo/build/bench/bench_ablation")
+set_tests_properties(smoke_bench_ablation PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_extensions "/root/repo/build/bench/bench_extensions")
+set_tests_properties(smoke_bench_extensions PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_scaling "/root/repo/build/bench/bench_scaling")
+set_tests_properties(smoke_bench_scaling PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_failover.dir/controller_failover.cpp.o"
+  "CMakeFiles/controller_failover.dir/controller_failover.cpp.o.d"
+  "controller_failover"
+  "controller_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_noc.dir/inband_noc.cpp.o"
+  "CMakeFiles/inband_noc.dir/inband_noc.cpp.o.d"
+  "inband_noc"
+  "inband_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

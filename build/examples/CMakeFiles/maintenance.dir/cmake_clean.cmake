@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance.dir/maintenance.cpp.o"
+  "CMakeFiles/maintenance.dir/maintenance.cpp.o.d"
+  "maintenance"
+  "maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troubleshooting.dir/troubleshooting.cpp.o"
+  "CMakeFiles/troubleshooting.dir/troubleshooting.cpp.o.d"
+  "troubleshooting"
+  "troubleshooting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troubleshooting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

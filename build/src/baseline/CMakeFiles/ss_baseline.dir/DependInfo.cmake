@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/controller_anycast.cpp" "src/baseline/CMakeFiles/ss_baseline.dir/controller_anycast.cpp.o" "gcc" "src/baseline/CMakeFiles/ss_baseline.dir/controller_anycast.cpp.o.d"
+  "/root/repo/src/baseline/controller_critical.cpp" "src/baseline/CMakeFiles/ss_baseline.dir/controller_critical.cpp.o" "gcc" "src/baseline/CMakeFiles/ss_baseline.dir/controller_critical.cpp.o.d"
+  "/root/repo/src/baseline/lldp_discovery.cpp" "src/baseline/CMakeFiles/ss_baseline.dir/lldp_discovery.cpp.o" "gcc" "src/baseline/CMakeFiles/ss_baseline.dir/lldp_discovery.cpp.o.d"
+  "/root/repo/src/baseline/probe_blackhole.cpp" "src/baseline/CMakeFiles/ss_baseline.dir/probe_blackhole.cpp.o" "gcc" "src/baseline/CMakeFiles/ss_baseline.dir/probe_blackhole.cpp.o.d"
+  "/root/repo/src/baseline/stats_polling.cpp" "src/baseline/CMakeFiles/ss_baseline.dir/stats_polling.cpp.o" "gcc" "src/baseline/CMakeFiles/ss_baseline.dir/stats_polling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ofp/CMakeFiles/ss_ofp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_baseline.dir/controller_anycast.cpp.o"
+  "CMakeFiles/ss_baseline.dir/controller_anycast.cpp.o.d"
+  "CMakeFiles/ss_baseline.dir/controller_critical.cpp.o"
+  "CMakeFiles/ss_baseline.dir/controller_critical.cpp.o.d"
+  "CMakeFiles/ss_baseline.dir/lldp_discovery.cpp.o"
+  "CMakeFiles/ss_baseline.dir/lldp_discovery.cpp.o.d"
+  "CMakeFiles/ss_baseline.dir/probe_blackhole.cpp.o"
+  "CMakeFiles/ss_baseline.dir/probe_blackhole.cpp.o.d"
+  "CMakeFiles/ss_baseline.dir/stats_polling.cpp.o"
+  "CMakeFiles/ss_baseline.dir/stats_polling.cpp.o.d"
+  "libss_baseline.a"
+  "libss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/compiler.cpp.o"
+  "CMakeFiles/ss_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/ss_core.dir/fields.cpp.o"
+  "CMakeFiles/ss_core.dir/fields.cpp.o.d"
+  "CMakeFiles/ss_core.dir/monitor.cpp.o"
+  "CMakeFiles/ss_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/ss_core.dir/services.cpp.o"
+  "CMakeFiles/ss_core.dir/services.cpp.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/ss_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/ss_graph.dir/generators.cpp.o"
+  "CMakeFiles/ss_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ss_graph.dir/graph.cpp.o"
+  "CMakeFiles/ss_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ss_graph.dir/io.cpp.o"
+  "CMakeFiles/ss_graph.dir/io.cpp.o.d"
+  "libss_graph.a"
+  "libss_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ofp/action.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/action.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/action.cpp.o.d"
+  "/root/repo/src/ofp/dump.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/dump.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/dump.cpp.o.d"
+  "/root/repo/src/ofp/flow_table.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/flow_table.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/flow_table.cpp.o.d"
+  "/root/repo/src/ofp/group_table.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/group_table.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/group_table.cpp.o.d"
+  "/root/repo/src/ofp/match.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/match.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/match.cpp.o.d"
+  "/root/repo/src/ofp/optimize.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/optimize.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/optimize.cpp.o.d"
+  "/root/repo/src/ofp/pipeline.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/pipeline.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/pipeline.cpp.o.d"
+  "/root/repo/src/ofp/space.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/space.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/space.cpp.o.d"
+  "/root/repo/src/ofp/switch.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/switch.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/switch.cpp.o.d"
+  "/root/repo/src/ofp/verify.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/verify.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/verify.cpp.o.d"
+  "/root/repo/src/ofp/wire.cpp" "src/ofp/CMakeFiles/ss_ofp.dir/wire.cpp.o" "gcc" "src/ofp/CMakeFiles/ss_ofp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_ofp.dir/action.cpp.o"
+  "CMakeFiles/ss_ofp.dir/action.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/dump.cpp.o"
+  "CMakeFiles/ss_ofp.dir/dump.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/flow_table.cpp.o"
+  "CMakeFiles/ss_ofp.dir/flow_table.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/group_table.cpp.o"
+  "CMakeFiles/ss_ofp.dir/group_table.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/match.cpp.o"
+  "CMakeFiles/ss_ofp.dir/match.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/optimize.cpp.o"
+  "CMakeFiles/ss_ofp.dir/optimize.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/pipeline.cpp.o"
+  "CMakeFiles/ss_ofp.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/space.cpp.o"
+  "CMakeFiles/ss_ofp.dir/space.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/switch.cpp.o"
+  "CMakeFiles/ss_ofp.dir/switch.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/verify.cpp.o"
+  "CMakeFiles/ss_ofp.dir/verify.cpp.o.d"
+  "CMakeFiles/ss_ofp.dir/wire.cpp.o"
+  "CMakeFiles/ss_ofp.dir/wire.cpp.o.d"
+  "libss_ofp.a"
+  "libss_ofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_ofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

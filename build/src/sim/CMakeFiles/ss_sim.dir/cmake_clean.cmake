@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_sim.dir/link.cpp.o"
+  "CMakeFiles/ss_sim.dir/link.cpp.o.d"
+  "CMakeFiles/ss_sim.dir/network.cpp.o"
+  "CMakeFiles/ss_sim.dir/network.cpp.o.d"
+  "libss_sim.a"
+  "libss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

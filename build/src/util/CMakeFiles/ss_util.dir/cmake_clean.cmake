@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_util.dir/bitvec.cpp.o"
+  "CMakeFiles/ss_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/ss_util.dir/log.cpp.o"
+  "CMakeFiles/ss_util.dir/log.cpp.o.d"
+  "CMakeFiles/ss_util.dir/strings.cpp.o"
+  "CMakeFiles/ss_util.dir/strings.cpp.o.d"
+  "libss_util.a"
+  "libss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

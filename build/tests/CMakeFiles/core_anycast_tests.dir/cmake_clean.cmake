@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_anycast_tests.dir/core/anycast_test.cpp.o"
+  "CMakeFiles/core_anycast_tests.dir/core/anycast_test.cpp.o.d"
+  "core_anycast_tests"
+  "core_anycast_tests.pdb"
+  "core_anycast_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_anycast_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_blackhole_tests.dir/core/blackhole_test.cpp.o"
+  "CMakeFiles/core_blackhole_tests.dir/core/blackhole_test.cpp.o.d"
+  "core_blackhole_tests"
+  "core_blackhole_tests.pdb"
+  "core_blackhole_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_blackhole_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

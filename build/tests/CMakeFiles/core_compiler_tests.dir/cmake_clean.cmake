@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_compiler_tests.dir/core/compiler_test.cpp.o"
+  "CMakeFiles/core_compiler_tests.dir/core/compiler_test.cpp.o.d"
+  "core_compiler_tests"
+  "core_compiler_tests.pdb"
+  "core_compiler_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_compiler_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

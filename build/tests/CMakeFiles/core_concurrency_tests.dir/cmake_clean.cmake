@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_concurrency_tests.dir/core/concurrency_test.cpp.o"
+  "CMakeFiles/core_concurrency_tests.dir/core/concurrency_test.cpp.o.d"
+  "core_concurrency_tests"
+  "core_concurrency_tests.pdb"
+  "core_concurrency_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_concurrency_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

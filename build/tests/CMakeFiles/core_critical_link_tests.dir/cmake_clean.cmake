@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_critical_link_tests.dir/core/critical_link_test.cpp.o"
+  "CMakeFiles/core_critical_link_tests.dir/core/critical_link_test.cpp.o.d"
+  "core_critical_link_tests"
+  "core_critical_link_tests.pdb"
+  "core_critical_link_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_critical_link_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

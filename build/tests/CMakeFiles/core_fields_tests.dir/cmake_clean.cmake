@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fields_tests.dir/core/fields_test.cpp.o"
+  "CMakeFiles/core_fields_tests.dir/core/fields_test.cpp.o.d"
+  "core_fields_tests"
+  "core_fields_tests.pdb"
+  "core_fields_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fields_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fuzz_tests.dir/core/fuzz_test.cpp.o"
+  "CMakeFiles/core_fuzz_tests.dir/core/fuzz_test.cpp.o.d"
+  "core_fuzz_tests"
+  "core_fuzz_tests.pdb"
+  "core_fuzz_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fuzz_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/inband_test.cpp" "tests/CMakeFiles/core_inband_tests.dir/core/inband_test.cpp.o" "gcc" "tests/CMakeFiles/core_inband_tests.dir/core/inband_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ss_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ofp/CMakeFiles/ss_ofp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_inband_tests.dir/core/inband_test.cpp.o"
+  "CMakeFiles/core_inband_tests.dir/core/inband_test.cpp.o.d"
+  "core_inband_tests"
+  "core_inband_tests.pdb"
+  "core_inband_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_inband_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

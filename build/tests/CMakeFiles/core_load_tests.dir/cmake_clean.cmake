@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_load_tests.dir/core/load_inference_test.cpp.o"
+  "CMakeFiles/core_load_tests.dir/core/load_inference_test.cpp.o.d"
+  "core_load_tests"
+  "core_load_tests.pdb"
+  "core_load_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_load_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

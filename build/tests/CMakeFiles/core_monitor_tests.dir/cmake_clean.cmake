@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_monitor_tests.dir/core/monitor_test.cpp.o"
+  "CMakeFiles/core_monitor_tests.dir/core/monitor_test.cpp.o.d"
+  "core_monitor_tests"
+  "core_monitor_tests.pdb"
+  "core_monitor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_monitor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

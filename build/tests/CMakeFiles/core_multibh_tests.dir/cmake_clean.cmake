@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multibh_tests.dir/core/multi_blackhole_test.cpp.o"
+  "CMakeFiles/core_multibh_tests.dir/core/multi_blackhole_test.cpp.o.d"
+  "core_multibh_tests"
+  "core_multibh_tests.pdb"
+  "core_multibh_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multibh_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

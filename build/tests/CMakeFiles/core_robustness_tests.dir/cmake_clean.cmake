@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_robustness_tests.dir/core/robustness_test.cpp.o"
+  "CMakeFiles/core_robustness_tests.dir/core/robustness_test.cpp.o.d"
+  "core_robustness_tests"
+  "core_robustness_tests.pdb"
+  "core_robustness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_robustness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

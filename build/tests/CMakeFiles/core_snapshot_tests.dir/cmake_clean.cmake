@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_snapshot_tests.dir/core/snapshot_test.cpp.o"
+  "CMakeFiles/core_snapshot_tests.dir/core/snapshot_test.cpp.o.d"
+  "core_snapshot_tests"
+  "core_snapshot_tests.pdb"
+  "core_snapshot_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_snapshot_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_traversal_tests.dir/core/traversal_test.cpp.o"
+  "CMakeFiles/core_traversal_tests.dir/core/traversal_test.cpp.o.d"
+  "core_traversal_tests"
+  "core_traversal_tests.pdb"
+  "core_traversal_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_traversal_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

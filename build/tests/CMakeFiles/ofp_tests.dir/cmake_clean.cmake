@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofp_tests.dir/ofp/flow_table_test.cpp.o"
+  "CMakeFiles/ofp_tests.dir/ofp/flow_table_test.cpp.o.d"
+  "CMakeFiles/ofp_tests.dir/ofp/group_test.cpp.o"
+  "CMakeFiles/ofp_tests.dir/ofp/group_test.cpp.o.d"
+  "CMakeFiles/ofp_tests.dir/ofp/match_test.cpp.o"
+  "CMakeFiles/ofp_tests.dir/ofp/match_test.cpp.o.d"
+  "CMakeFiles/ofp_tests.dir/ofp/optimize_test.cpp.o"
+  "CMakeFiles/ofp_tests.dir/ofp/optimize_test.cpp.o.d"
+  "CMakeFiles/ofp_tests.dir/ofp/pipeline_test.cpp.o"
+  "CMakeFiles/ofp_tests.dir/ofp/pipeline_test.cpp.o.d"
+  "CMakeFiles/ofp_tests.dir/ofp/space_test.cpp.o"
+  "CMakeFiles/ofp_tests.dir/ofp/space_test.cpp.o.d"
+  "CMakeFiles/ofp_tests.dir/ofp/verify_test.cpp.o"
+  "CMakeFiles/ofp_tests.dir/ofp/verify_test.cpp.o.d"
+  "CMakeFiles/ofp_tests.dir/ofp/wire_test.cpp.o"
+  "CMakeFiles/ofp_tests.dir/ofp/wire_test.cpp.o.d"
+  "ofp_tests"
+  "ofp_tests.pdb"
+  "ofp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

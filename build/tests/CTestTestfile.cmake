@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/ofp_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_traversal_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_snapshot_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_anycast_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_blackhole_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_critical_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_load_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_robustness_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_fields_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_compiler_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_inband_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_critical_link_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_monitor_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_multibh_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_concurrency_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_fuzz_tests[1]_include.cmake")
+include("/root/repo/build/tests/baseline_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_flows.dir/export_flows.cpp.o"
+  "CMakeFiles/export_flows.dir/export_flows.cpp.o.d"
+  "export_flows"
+  "export_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

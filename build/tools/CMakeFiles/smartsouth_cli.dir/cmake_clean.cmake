@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsouth_cli.dir/smartsouth_cli.cpp.o"
+  "CMakeFiles/smartsouth_cli.dir/smartsouth_cli.cpp.o.d"
+  "smartsouth_cli"
+  "smartsouth_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsouth_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_cli_snapshot "/root/repo/build/tools/smartsouth_cli" "snapshot" "--topo" "torus" "--n" "16" "--fail" "3")
+set_tests_properties(tool_cli_snapshot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cli_verify "/root/repo/build/tools/smartsouth_cli" "verify" "--topo" "grid" "--n" "12" "--service" "blackhole-ctr")
+set_tests_properties(tool_cli_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cli_critical "/root/repo/build/tools/smartsouth_cli" "critical" "--topo" "path" "--n" "5" "--root" "2")
+set_tests_properties(tool_cli_critical PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_export "/root/repo/build/tools/export_flows" "--topo" "ring" "--n" "6" "--service" "snapshot" "--node" "1" "--hex" "1")
+set_tests_properties(tool_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
