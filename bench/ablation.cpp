@@ -13,6 +13,7 @@
 using namespace ss;
 
 int main() {
+  bench::Metrics metrics("ablation");
   util::Rng rng(2718);
 
   std::printf("(a) Fast-failover ablation: traversal success rate vs pre-run "
@@ -39,6 +40,14 @@ int main() {
     bench::row({util::cat(rate), util::cat(100 * ok_ff / trials, "%"),
                 util::cat(100 * ok_noff / trials, "%")},
                {12, 9, 11});
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "ablation")
+                     .add("series", "fast_failover")
+                     .add("failure_rate", rate)
+                     .add("ok_with_ff", ok_ff)
+                     .add("ok_without_ff", ok_noff)
+                     .add("trials", trials));
   }
   bench::hr();
 

@@ -17,6 +17,7 @@
 using namespace ss;
 
 int main() {
+  bench::Metrics metrics("baselines");
   std::printf("Controller load: out-of-band messages per operation\n");
   bench::hr();
   bench::row({"topology", "n", "|E|", "snap SS", "snap LLDP", "any SS",
@@ -81,6 +82,21 @@ int main() {
                 util::cat(ctrl_any), util::cat(ss_bh), util::cat(pb),
                 util::cat(ss_crit), util::cat(ctrl_crit)},
                {12, 4, 5, 8, 9, 7, 8, 6, 8, 8, 9});
+
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "baselines")
+                     .add("family", sg.family)
+                     .add("n", n)
+                     .add("edges", g.edge_count())
+                     .add("snapshot_ss", ss_snap)
+                     .add("snapshot_lldp", ld)
+                     .add("anycast_ss", ss_any)
+                     .add("anycast_ctrl", ctrl_any)
+                     .add("blackhole_ss", ss_bh)
+                     .add("blackhole_probe", pb)
+                     .add("critical_ss", ss_crit)
+                     .add("critical_ctrl", ctrl_crit));
   }
   bench::hr();
 

@@ -1,16 +1,48 @@
 #pragma once
-// Shared bench plumbing: aligned table printing and the topology sweep used
-// across the Table-2 experiments.
+// Shared bench plumbing: aligned table printing, the topology sweep used
+// across the Table-2 experiments, and the JSONL metrics sidecar every bench
+// writes next to its stdout table.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
 #include "util/rng.hpp"
 
 namespace ss::bench {
+
+/// JSONL metrics sidecar: one file per bench binary, one object per line.
+/// Written to $SS_METRICS_DIR (or the working directory) as
+/// <name>.metrics.jsonl, so sweep tables stay machine-readable without
+/// scraping stdout.
+class Metrics {
+ public:
+  explicit Metrics(std::string_view name) {
+    const char* dir = std::getenv("SS_METRICS_DIR");
+    path_ = std::string(dir != nullptr ? dir : ".") + "/" + std::string(name) +
+            ".metrics.jsonl";
+    os_.open(path_, std::ios::trunc);
+    if (!os_) std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+  }
+
+  void emit(const obs::JsonObj& o) {
+    if (os_) os_ << o.str() << '\n';
+  }
+
+  /// Raw stream access for the obs/ exporters (write_flow_stats etc.).
+  std::ostream& stream() { return os_; }
+  bool ok() const { return os_.good(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+};
 
 /// Print one row of right-aligned columns (first column left-aligned).
 inline void row(const std::vector<std::string>& cols,

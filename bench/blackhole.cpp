@@ -14,6 +14,7 @@
 using namespace ss;
 
 int main() {
+  bench::Metrics metrics("blackhole");
   util::Rng rng(99);
 
   std::printf("BH-1: TTL binary search (averaged over 10 planted blackholes)\n");
@@ -48,6 +49,18 @@ int main() {
                 util::cat(static_cast<int>(2 * std::log2(4.0 * E + 4))), buf2,
                 util::cat(localized, "/", trials)},
                {12, 5, 6, 10, 9, 11, 9});
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "blackhole")
+                     .add("series", "bh1_ttl_search")
+                     .add("family", sg.family)
+                     .add("n", g.node_count())
+                     .add("edges", E)
+                     .add("avg_probes", probes / trials)
+                     .add("bound_2log4e", 2 * std::log2(4.0 * E + 4))
+                     .add("avg_outband", outband / trials)
+                     .add("localized", localized)
+                     .add("trials", trials));
   }
   bench::hr();
 
@@ -82,6 +95,17 @@ int main() {
                 util::cat(outband / trials), "3", util::cat(inband / trials),
                 util::cat(4 * E), util::cat(localized, "/", trials)},
                {12, 5, 6, 8, 4, 8, 7, 9});
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "blackhole")
+                     .add("series", "bh2_smart_counters")
+                     .add("family", sg.family)
+                     .add("n", g.node_count())
+                     .add("edges", E)
+                     .add("avg_outband", outband / trials)
+                     .add("avg_inband", inband / trials)
+                     .add("localized", localized)
+                     .add("trials", trials));
   }
   bench::hr();
   std::printf(

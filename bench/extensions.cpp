@@ -12,6 +12,7 @@
 using namespace ss;
 
 int main() {
+  bench::Metrics metrics("extensions");
   util::Rng rng(404);
 
   std::printf("(a) Critical-link (bridge) detection vs ground truth\n");
@@ -38,6 +39,16 @@ int main() {
                 util::cat(bridges), util::cat(correct, "/", g.edge_count()),
                 util::cat(outband / g.edge_count())},
                {12, 4, 5, 8, 8, 13});
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "extensions")
+                     .add("series", "critical_link")
+                     .add("family", sg.family)
+                     .add("n", sg.n)
+                     .add("edges", g.edge_count())
+                     .add("bridges", bridges)
+                     .add("correct", correct)
+                     .add("outband_per_query", outband / g.edge_count()));
   }
   bench::hr();
 

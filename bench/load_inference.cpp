@@ -11,6 +11,7 @@
 using namespace ss;
 
 int main() {
+  bench::Metrics metrics("load_inference");
   util::Rng rng(123);
 
   std::printf("(a) Inferred vs actual per-port egress loads (grid 4x5)\n");
@@ -49,6 +50,13 @@ int main() {
   std::printf("exact on %zu/%zu ports; out-of-band cost: %llu msgs (1 + 1)\n\n",
               correct, total,
               static_cast<unsigned long long>(res.stats.outband_total()));
+  metrics.emit(obs::JsonObj()
+                   .add("type", "bench")
+                   .add("bench", "load_inference")
+                   .add("series", "inferred_vs_actual")
+                   .add("ports_exact", correct)
+                   .add("ports_total", total)
+                   .add("outband_msgs", res.stats.outband_total()));
 
   std::printf("(b) Census cost vs network size (vs per-switch stats polling)\n");
   bench::hr();
@@ -76,6 +84,17 @@ int main() {
                 agree ? "yes" : "NO",
                 util::cat(r.stats.inband_msgs), util::cat(r.stats.max_wire_bytes)},
                {5, 6, 10, 9, 6, 8, 9});
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "load_inference")
+                     .add("series", "census_cost")
+                     .add("n", n)
+                     .add("edges", gg.edge_count())
+                     .add("outband_ss", r.stats.outband_total())
+                     .add("poll_msgs", truth.request_msgs + truth.reply_msgs)
+                     .add("agree", agree)
+                     .add("inband_msgs", r.stats.inband_msgs)
+                     .add("max_wire_bytes", r.stats.max_wire_bytes));
   }
   bench::hr();
   std::printf(

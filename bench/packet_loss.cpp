@@ -29,6 +29,7 @@ bool run_trial(const std::vector<std::uint32_t>& moduli, double loss_rate,
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("packet_loss");
   std::printf("(a) Detection rate vs loss rate (20 data packets, 50 trials)\n");
   bench::hr();
   bench::row({"loss rate", "mod {8}", "mod {7,11}", "mod {7,11,13}"},
@@ -36,6 +37,12 @@ int main() {
   bench::hr();
   for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
     std::vector<std::string> cols{util::cat(rate)};
+    obs::JsonObj rec;
+    rec.add("type", "bench")
+        .add("bench", "packet_loss")
+        .add("series", "detection_vs_loss")
+        .add("loss_rate", rate)
+        .add("trials", 50);
     for (auto moduli : std::vector<std::vector<std::uint32_t>>{
              {8}, {7, 11}, {7, 11, 13}}) {
       int hits = 0;
@@ -43,8 +50,12 @@ int main() {
       for (int t = 0; t < trials; ++t)
         if (run_trial(moduli, rate, 20, 1000 + t)) ++hits;
       cols.push_back(util::cat(hits * 2, "%"));
+      std::string key = "hits_mod";
+      for (auto m : moduli) key += util::cat("_", m);
+      rec.add(key, hits);
     }
     bench::row(cols, {10, 9, 11, 13});
+    metrics.emit(rec);
   }
   bench::hr();
 

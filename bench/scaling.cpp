@@ -46,6 +46,7 @@ ofp::SpaceReport max_switch_space(const graph::Graph& g, core::ServiceKind kind)
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("scaling");
   std::printf("(a) Per-switch compiled state vs network size (snapshot service)\n");
   bench::hr();
   bench::row({"topology", "n", "|E|", "maxDeg", "entries", "groups", "buckets",
@@ -71,6 +72,19 @@ int main() {
                 util::cat(util::human_bytes(r.total_bytes())),
                 r.fits_novikit() ? "yes" : "NO"},
                {12, 5, 6, 6, 8, 7, 8, 10, 9});
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "scaling")
+                     .add("series", "state_vs_n")
+                     .add("family", sg.family)
+                     .add("n", sg.n)
+                     .add("edges", sg.g.edge_count())
+                     .add("max_degree", sg.g.max_degree())
+                     .add("flow_entries", r.flow_entries)
+                     .add("groups", r.groups)
+                     .add("buckets", r.buckets)
+                     .add("state_bytes", r.total_bytes())
+                     .add("fits_32mb", r.fits_novikit()));
   }
   bench::hr();
 
@@ -134,11 +148,19 @@ int main() {
     const auto t0 = std::chrono::steady_clock::now();
     auto res = svc.run(net, 0);
     const auto t1 = std::chrono::steady_clock::now();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
     bench::row({util::cat(n), util::cat(g.edge_count()),
-                util::cat(res.stats.inband_msgs),
-                util::cat(std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
-                              .count())},
+                util::cat(res.stats.inband_msgs), util::cat(us)},
                {6, 7, 11, 10});
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "scaling")
+                     .add("series", "sim_wallclock")
+                     .add("n", n)
+                     .add("edges", g.edge_count())
+                     .add("inband_msgs", res.stats.inband_msgs)
+                     .add("sim_us", us));
   }
   bench::hr();
 

@@ -14,12 +14,14 @@
 
 #include "bench/bench_util.hpp"
 #include "core/services.hpp"
+#include "obs/export.hpp"
 #include "sim/network.hpp"
 #include "util/strings.hpp"
 
 using namespace ss;
 
 int main() {
+  bench::Metrics metrics("table2_inband");
   std::printf("Table 2 reproduction: in-band message counts\n");
   bench::hr();
   bench::row({"topology", "n", "|E|", "snapshot", "4E-2n", "anycast", "4E-2n",
@@ -80,6 +82,24 @@ int main() {
                 util::cat(bh_msgs), util::cat(4 * E), util::cat(crit_msgs),
                 util::cat(4 * E - 2 * n)},
                {14, 4, 5, 9, 7, 8, 7, 9, 7, 10, 6, 8, 7});
+
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "table2_inband")
+                     .add("family", sg.family)
+                     .add("n", n)
+                     .add("edges", E)
+                     .add("snapshot_msgs", snap_msgs)
+                     .add("anycast_msgs", any_msgs)
+                     .add("priocast_msgs", prio_msgs)
+                     .add("blackhole2_msgs", bh_msgs)
+                     .add("critical_msgs", crit_msgs)
+                     .add("formula_4e_2n", 4 * E - 2 * n)
+                     .add("formula_8e_4n", 8 * E - 4 * n));
+    // Acceptance ground truth: per-rule hit counters of the snapshot run,
+    // the raw material the in-band "smart counters" aggregate.
+    if (sg.family == "ring" && n == 20)
+      obs::write_flow_stats(metrics.stream(), net_snap, /*only_hit=*/true);
   }
   bench::hr();
   std::printf(

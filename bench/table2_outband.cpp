@@ -16,6 +16,7 @@
 using namespace ss;
 
 int main() {
+  bench::Metrics metrics("table2_outband");
   std::printf("Table 2 reproduction: out-of-band message counts\n");
   bench::hr();
   bench::row({"topology", "n", "|E|", "snapshot", "(2)", "anycast-req", "(0)",
@@ -78,6 +79,20 @@ int main() {
          util::cat(static_cast<int>(two_log_e)), util::cat(r2.stats.outband_total()),
          "3", util::cat(c.outband_total()), "2"},
         {14, 4, 5, 9, 4, 11, 4, 12, 4, 4, 8, 4, 4, 8, 4});
+
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "table2_outband")
+                     .add("family", sg.family)
+                     .add("n", n)
+                     .add("edges", E)
+                     .add("snapshot_outband", s.outband_total())
+                     .add("anycast_outband", a.outband_total() - 1)
+                     .add("priocast_outband", p.outband_total() - 1)
+                     .add("bh1_outband", r1.stats.outband_total())
+                     .add("bh2_outband", r2.stats.outband_total())
+                     .add("critical_outband", c.outband_total())
+                     .add("bound_2loge", two_log_e));
   }
   bench::hr();
   std::printf(

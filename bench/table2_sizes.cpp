@@ -15,6 +15,7 @@
 using namespace ss;
 
 int main() {
+  bench::Metrics metrics("table2_sizes");
   std::printf("Table 2 reproduction: message sizes (bytes on the wire)\n");
   bench::hr();
   bench::row({"topology", "n", "|E|", "tag(B)", "~n*logD", "snap max", "O(E)=4E",
@@ -62,6 +63,19 @@ int main() {
                 util::cat(a.max_wire_bytes), util::cat(c.max_wire_bytes),
                 util::cat(b.max_wire_bytes)},
                {14, 4, 5, 7, 8, 9, 8, 8, 9, 6});
+
+    metrics.emit(obs::JsonObj()
+                     .add("type", "bench")
+                     .add("bench", "table2_sizes")
+                     .add("family", sg.family)
+                     .add("n", n)
+                     .add("edges", E)
+                     .add("tag_bytes", layout.total_bytes())
+                     .add("tag_bound_bytes", tag_bound)
+                     .add("snapshot_max_wire", s.max_wire_bytes)
+                     .add("anycast_max_wire", a.max_wire_bytes)
+                     .add("critical_max_wire", c.max_wire_bytes)
+                     .add("bh2_max_wire", b.max_wire_bytes));
   }
   bench::hr();
   std::printf(

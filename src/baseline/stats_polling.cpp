@@ -11,13 +11,33 @@ StatsPollResult StatsPolling::poll(sim::Network& net) const {
     ++net.stats().packet_outs;
     ++res.reply_msgs;
     ++net.stats().controller_msgs;
-    for (graph::PortNo p = 1; p <= graph_.degree(v); ++p) {
-      const auto& port = net.sw(v).port(p);
-      res.loads[{v, p, false}] = port.tx_packets;
-      res.loads[{v, p, true}] = port.rx_packets;
+    for (const ofp::PortStatsEntry& ps : ofp::port_stats(net.sw(v))) {
+      res.loads[{v, ps.port, false}] = ps.tx_packets;
+      res.loads[{v, ps.port, true}] = ps.rx_packets;
     }
   }
   return res;
+}
+
+FlowPollResult StatsPolling::poll_flows(sim::Network& net, bool only_hit) const {
+  FlowPollResult res;
+  for (graph::NodeId v = 0; v < graph_.node_count(); ++v) {
+    if (graph_.degree(v) == 0) continue;
+    ++res.request_msgs;
+    ++net.stats().packet_outs;
+    ++res.reply_msgs;
+    ++net.stats().controller_msgs;
+    res.flows[v] = ofp::flow_stats(net.sw(v), only_hit);
+  }
+  return res;
+}
+
+std::uint64_t FlowPollResult::total_packets(graph::NodeId v) const {
+  auto it = flows.find(v);
+  if (it == flows.end()) return 0;
+  std::uint64_t sum = 0;
+  for (const ofp::FlowStatsEntry& fs : it->second) sum += fs.packet_count;
+  return sum;
 }
 
 }  // namespace ss::baseline

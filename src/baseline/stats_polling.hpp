@@ -1,14 +1,18 @@
 #pragma once
-// Baseline: controller-driven load collection via port-stats polling
-// (OFPMP_PORT_STATS in real OpenFlow).  The controller sends one stats
-// request per switch and receives one reply — O(n) out-of-band messages
-// per polling round, versus 2 for the in-band load-inference traversal.
+// Baseline: controller-driven stats collection via multipart polling
+// (OFPMP_PORT_STATS / OFPMP_FLOW in real OpenFlow).  The controller sends
+// one stats request per switch and receives one reply — O(n) out-of-band
+// messages per polling round, versus 2 for the in-band load-inference
+// traversal.  Both polls read the switches' real counters through
+// ofp::port_stats()/ofp::flow_stats(), the same API the obs/ exporters
+// serialize, so baseline numbers and in-band numbers share one ground truth.
 
 #include <cstdint>
 #include <map>
 
 #include "core/services.hpp"
 #include "graph/graph.hpp"
+#include "ofp/stats.hpp"
 #include "sim/network.hpp"
 
 namespace ss::baseline {
@@ -21,12 +25,27 @@ struct StatsPollResult {
   std::uint64_t reply_msgs = 0;    // switch -> controller
 };
 
+struct FlowPollResult {
+  /// node -> that switch's OFPMP_FLOW reply.
+  std::map<graph::NodeId, std::vector<ofp::FlowStatsEntry>> flows;
+  std::uint64_t request_msgs = 0;
+  std::uint64_t reply_msgs = 0;
+
+  /// Sum of packet_count over one switch's reply (0 for unpolled nodes).
+  std::uint64_t total_packets(graph::NodeId v) const;
+};
+
 class StatsPolling {
  public:
   explicit StatsPolling(const graph::Graph& g) : graph_(g) {}
 
-  /// One polling round over every switch.
+  /// One OFPMP_PORT_STATS round over every switch.
   StatsPollResult poll(sim::Network& net) const;
+
+  /// One OFPMP_FLOW round over every switch.  `only_hit` drops zero-count
+  /// entries from the replies (what a monitoring controller would filter
+  /// anyway); the request/reply message cost is the same either way.
+  FlowPollResult poll_flows(sim::Network& net, bool only_hit = false) const;
 
  private:
   graph::Graph graph_;

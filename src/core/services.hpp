@@ -31,7 +31,8 @@ struct RunStats {
 /// Snapshot delta of the network's counters across one service run.
 class StatsScope {
  public:
-  explicit StatsScope(sim::Network& net) : net_(&net), before_(net.stats()) {}
+  explicit StatsScope(sim::Network& net)
+      : net_(&net), before_(net.stats()), watch_(net.add_wire_max_watch()) {}
   RunStats delta() const {
     const sim::Stats& a = before_;
     const sim::Stats& b = net_->stats();
@@ -39,13 +40,16 @@ class StatsScope {
     r.inband_msgs = b.sent - a.sent;
     r.outband_to_ctrl = b.controller_msgs - a.controller_msgs;
     r.outband_from_ctrl = b.packet_outs - a.packet_outs;
-    r.max_wire_bytes = b.max_wire_bytes;
+    // Per-scope high-watermark, NOT the network's cumulative max: a small
+    // run after a large one must not inherit the large run's packet size.
+    r.max_wire_bytes = net_->wire_max_watch(watch_);
     return r;
   }
 
  private:
   sim::Network* net_;
   sim::Stats before_;
+  std::size_t watch_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,168 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "ofp/dump.hpp"
+
+namespace ss::obs {
+
+void write_flow_stats(std::ostream& os, const sim::Network& net, bool only_hit) {
+  for (ofp::SwitchId v = 0; v < net.switch_count(); ++v) {
+    for (const ofp::FlowStatsEntry& f : ofp::flow_stats(net.sw(v), only_hit)) {
+      os << JsonObj()
+                .add("type", "flow")
+                .add("switch", static_cast<std::uint64_t>(v))
+                .add("table", static_cast<std::uint64_t>(f.table))
+                .add("priority", static_cast<std::uint64_t>(f.priority))
+                .add("cookie", f.cookie)
+                .add("rule", f.name)
+                .add("packets", f.packet_count)
+                .add("bytes", f.byte_count)
+                .str()
+         << "\n";
+    }
+  }
+}
+
+void write_group_stats(std::ostream& os, const sim::Network& net, bool only_executed) {
+  for (ofp::SwitchId v = 0; v < net.switch_count(); ++v) {
+    for (const ofp::GroupStatsEntry& g : ofp::group_stats(net.sw(v), only_executed)) {
+      JsonArr buckets;
+      for (const ofp::BucketCounters& b : g.buckets)
+        buckets.push(JsonObj().add("packets", b.packet_count).add("bytes", b.byte_count));
+      os << JsonObj()
+                .add("type", "group")
+                .add("switch", static_cast<std::uint64_t>(v))
+                .add("group", static_cast<std::uint64_t>(g.id))
+                .add("group_type", ofp::group_type_name(g.type))
+                .add("name", g.name)
+                .add("execs", g.exec_count)
+                .add_raw("buckets", buckets.str())
+                .str()
+         << "\n";
+    }
+  }
+}
+
+void write_port_stats(std::ostream& os, const sim::Network& net) {
+  for (ofp::SwitchId v = 0; v < net.switch_count(); ++v) {
+    for (const ofp::PortStatsEntry& p : ofp::port_stats(net.sw(v))) {
+      os << JsonObj()
+                .add("type", "port")
+                .add("switch", static_cast<std::uint64_t>(v))
+                .add("port", static_cast<std::uint64_t>(p.port))
+                .add("live", p.live)
+                .add("rx_packets", p.rx_packets)
+                .add("tx_packets", p.tx_packets)
+                .add("rx_bytes", p.rx_bytes)
+                .add("tx_bytes", p.tx_bytes)
+                .add("tx_dropped", p.tx_dropped)
+                .str()
+         << "\n";
+    }
+  }
+}
+
+void write_link_stats(std::ostream& os, const sim::Network& net) {
+  for (graph::EdgeId e = 0; e < net.link_count(); ++e) {
+    const sim::Link& l = net.link(e);
+    for (const bool a_to_b : {true, false}) {
+      const sim::WireCounters& w = l.wire(a_to_b);
+      if (w.sent == 0) continue;
+      const sim::LinkEnd& src = a_to_b ? l.end_a() : l.end_b();
+      const sim::LinkEnd& dst = a_to_b ? l.end_b() : l.end_a();
+      os << JsonObj()
+                .add("type", "link")
+                .add("link", static_cast<std::uint64_t>(e))
+                .add("from", static_cast<std::uint64_t>(src.sw))
+                .add("to", static_cast<std::uint64_t>(dst.sw))
+                .add("up", l.up())
+                .add("sent", w.sent)
+                .add("delivered", w.delivered)
+                .add("dropped_down", w.dropped_down)
+                .add("dropped_blackhole", w.dropped_blackhole)
+                .add("dropped_loss", w.dropped_loss)
+                .str()
+         << "\n";
+    }
+  }
+}
+
+std::string hop_json(const sim::TraceEntry& te) {
+  JsonArr matches;
+  for (const sim::TraceMatch& m : te.matches)
+    matches.push(JsonObj()
+                     .add("table", static_cast<std::uint64_t>(m.table))
+                     .add("priority", static_cast<std::uint64_t>(m.priority))
+                     .add("cookie", m.cookie)
+                     .add("rule", m.rule));
+  JsonArr groups;
+  for (const sim::TraceGroup& g : te.groups)
+    groups.push(JsonObj()
+                    .add("group", static_cast<std::uint64_t>(g.group))
+                    .add("group_type", ofp::group_type_name(g.type))
+                    .add("bucket", static_cast<std::int64_t>(g.bucket)));
+  JsonArr labels;
+  for (std::uint32_t l : te.packet.labels) labels.push(static_cast<std::uint64_t>(l));
+  return JsonObj()
+      .add("type", "hop")
+      .add("seq", te.seq)
+      .add("time", te.time)
+      .add("from", static_cast<std::uint64_t>(te.from))
+      .add("out_port", static_cast<std::uint64_t>(te.out_port))
+      .add("to", static_cast<std::uint64_t>(te.to))
+      .add("in_port", static_cast<std::uint64_t>(te.in_port))
+      .add("delivered", te.delivered)
+      .add("eth_type", static_cast<std::uint64_t>(te.packet.eth_type))
+      .add("ttl", static_cast<std::uint64_t>(te.packet.ttl))
+      .add("wire_bytes", static_cast<std::uint64_t>(te.packet.wire_bytes()))
+      .add("tag", te.packet.tag.to_hex())
+      .add_raw("labels", labels.str())
+      .add_raw("matches", matches.str())
+      .add_raw("groups", groups.str())
+      .str();
+}
+
+void write_trace(std::ostream& os, const sim::Network& net) {
+  for (const sim::TraceEntry& te : net.trace()) os << hop_json(te) << "\n";
+}
+
+void write_run_stats(std::ostream& os, const core::RunStats& rs, std::string_view label) {
+  os << JsonObj()
+            .add("type", "run")
+            .add("label", label)
+            .add("inband_msgs", rs.inband_msgs)
+            .add("outband_to_ctrl", rs.outband_to_ctrl)
+            .add("outband_from_ctrl", rs.outband_from_ctrl)
+            .add("max_wire_bytes", rs.max_wire_bytes)
+            .str()
+     << "\n";
+}
+
+void write_sim_stats(std::ostream& os, const sim::Stats& s) {
+  os << JsonObj()
+            .add("type", "sim")
+            .add("sent", s.sent)
+            .add("delivered", s.delivered)
+            .add("dropped_down", s.dropped_down)
+            .add("dropped_blackhole", s.dropped_blackhole)
+            .add("dropped_loss", s.dropped_loss)
+            .add("controller_msgs", s.controller_msgs)
+            .add("packet_outs", s.packet_outs)
+            .add("max_wire_bytes", s.max_wire_bytes)
+            .add("events", s.events)
+            .str()
+     << "\n";
+}
+
+void write_all(std::ostream& os, const sim::Network& net) {
+  write_sim_stats(os, net.stats());
+  write_flow_stats(os, net);
+  write_group_stats(os, net);
+  write_port_stats(os, net);
+  write_link_stats(os, net);
+  write_trace(os, net);
+}
+
+}  // namespace ss::obs

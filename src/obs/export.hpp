@@ -1,0 +1,60 @@
+#pragma once
+// JSONL serialization of everything the observability layer measures: flow /
+// group / port counters, link wire counters, attributed traces, and run
+// stats.  One self-describing object per line ("type" discriminator), so a
+// single sidecar file can interleave record kinds and downstream tooling
+// (tools/trace_inspect, or any jq pipeline) filters by type.
+//
+// Schema (see docs/observability.md for the full field tables):
+//   {"type":"flow",  "switch":s,"table":t,"priority":p,"cookie":c,
+//    "rule":"...","packets":n,"bytes":n}
+//   {"type":"group", "switch":s,"group":g,"group_type":"FAST-FAILOVER",
+//    "execs":n,"buckets":[{"packets":n,"bytes":n},...]}
+//   {"type":"port",  "switch":s,"port":p,"live":b,"rx_packets":n,
+//    "tx_packets":n,"rx_bytes":n,"tx_bytes":n,"tx_dropped":n}
+//   {"type":"link",  "link":e,"from":u,"to":v,"up":b,"sent":n,"delivered":n,
+//    "dropped_down":n,"dropped_blackhole":n,"dropped_loss":n}
+//   {"type":"hop",   "seq":n,"time":t,"from":u,"out_port":p,"to":v,
+//    "in_port":q,"delivered":b,"eth_type":n,"ttl":n,"wire_bytes":n,
+//    "tag":"hex","labels":[...],"matches":[...],"groups":[...]}
+//   {"type":"run",   "label":"...","inband_msgs":n,...}
+//   {"type":"sim",   "sent":n,"delivered":n,...}
+
+#include <iosfwd>
+#include <string_view>
+
+#include "core/services.hpp"
+#include "ofp/stats.hpp"
+#include "sim/network.hpp"
+
+namespace ss::obs {
+
+/// Per-rule counters of every switch.  `only_hit` (default) keeps the
+/// sidecar compact by skipping never-matched rules.
+void write_flow_stats(std::ostream& os, const sim::Network& net, bool only_hit = true);
+
+/// Per-group exec + per-bucket counters.  `only_executed` skips idle groups.
+void write_group_stats(std::ostream& os, const sim::Network& net,
+                       bool only_executed = true);
+
+/// Per-port switch-visible counters (every existing port).
+void write_port_stats(std::ostream& os, const sim::Network& net);
+
+/// Omniscient per-direction link wire counters (only directions with
+/// traffic).
+void write_link_stats(std::ostream& os, const sim::Network& net);
+
+/// The attributed trace, one "hop" line per recorded transmission.
+void write_trace(std::ostream& os, const sim::Network& net);
+
+/// One TraceEntry as a JSON object string (shared by write_trace and tests).
+std::string hop_json(const sim::TraceEntry& te);
+
+void write_run_stats(std::ostream& os, const core::RunStats& rs, std::string_view label);
+
+void write_sim_stats(std::ostream& os, const sim::Stats& s);
+
+/// Everything at once: sim stats, flow/group/port/link counters, trace.
+void write_all(std::ostream& os, const sim::Network& net);
+
+}  // namespace ss::obs

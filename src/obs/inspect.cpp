@@ -1,0 +1,122 @@
+#include "obs/inspect.hpp"
+
+#include <map>
+#include <set>
+
+#include "ofp/dump.hpp"
+#include "util/strings.hpp"
+
+namespace ss::obs {
+
+std::string anomaly_kind_name(AnomalyKind k) {
+  switch (k) {
+    case AnomalyKind::kDeadEndPort: return "dead_end_port";
+    case AnomalyKind::kFailoverActivation: return "failover_activation";
+    case AnomalyKind::kNoLiveBucket: return "no_live_bucket";
+    case AnomalyKind::kRevisitedPort: return "revisited_port";
+  }
+  return "?";
+}
+
+std::vector<HopRecord> hops_from_network(const sim::Network& net) {
+  std::vector<HopRecord> out;
+  out.reserve(net.trace().size());
+  for (const sim::TraceEntry& te : net.trace()) {
+    HopRecord h;
+    h.seq = te.seq;
+    h.time = te.time;
+    h.from = te.from;
+    h.out_port = te.out_port;
+    h.to = te.to;
+    h.in_port = te.in_port;
+    h.delivered = te.delivered;
+    for (const sim::TraceMatch& m : te.matches)
+      h.matches.push_back({m.table, m.priority, m.cookie, m.rule});
+    for (const sim::TraceGroup& g : te.groups)
+      h.groups.push_back({g.group, ofp::group_type_name(g.type), g.bucket});
+    h.tag_hex = te.packet.tag.to_hex();
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+bool hop_from_json_line(std::string_view line, HopRecord& out) {
+  const auto parsed = json_parse(line);
+  if (!parsed || !parsed->is_object()) return false;
+  if (parsed->str("type") != "hop") return false;
+  HopRecord h;
+  h.seq = parsed->u64("seq");
+  h.time = parsed->u64("time");
+  h.from = static_cast<std::uint32_t>(parsed->u64("from"));
+  h.out_port = static_cast<std::uint32_t>(parsed->u64("out_port"));
+  h.to = static_cast<std::uint32_t>(parsed->u64("to"));
+  h.in_port = static_cast<std::uint32_t>(parsed->u64("in_port"));
+  h.delivered = parsed->boolean_or("delivered");
+  h.tag_hex = parsed->str("tag");
+  if (const JsonValue* ms = parsed->get("matches"); ms != nullptr && ms->is_array()) {
+    for (const JsonValue& m : ms->array)
+      h.matches.push_back({static_cast<std::uint32_t>(m.u64("table")),
+                           static_cast<std::uint32_t>(m.u64("priority")),
+                           m.u64("cookie"), m.str("rule")});
+  }
+  if (const JsonValue* gs = parsed->get("groups"); gs != nullptr && gs->is_array()) {
+    for (const JsonValue& g : gs->array)
+      h.groups.push_back({static_cast<std::uint32_t>(g.u64("group")),
+                          g.str("group_type"),
+                          static_cast<std::int32_t>(g.i64("bucket", -1))});
+  }
+  out = std::move(h);
+  return true;
+}
+
+InspectReport inspect_hops(const std::vector<HopRecord>& hops) {
+  InspectReport rep;
+  rep.hop_count = hops.size();
+  if (hops.empty()) return rep;
+
+  const std::string ff_name = ofp::group_type_name(ofp::GroupType::kFastFailover);
+  std::set<std::uint32_t> seen;
+  rep.visit_order.push_back(hops.front().from);
+  seen.insert(hops.front().from);
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> port_use;
+
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const HopRecord& h = hops[i];
+    if (h.delivered) {
+      ++rep.delivered_count;
+      if (seen.insert(h.to).second) rep.visit_order.push_back(h.to);
+    } else {
+      rep.anomalies.push_back(
+          {AnomalyKind::kDeadEndPort, i,
+           util::cat("hop ", h.seq, ": switch ", h.from, " port ", h.out_port,
+                     " transmitted but nothing arrived at switch ", h.to)});
+    }
+    for (const HopGroup& g : h.groups) {
+      if (g.type != ff_name) continue;
+      if (g.bucket > 0) {
+        ++rep.failover_count;
+        rep.anomalies.push_back(
+            {AnomalyKind::kFailoverActivation, i,
+             util::cat("hop ", h.seq, ": switch ", h.from, " group ", g.group,
+                       " failed over to bucket ", g.bucket,
+                       " (preferred port dead)")});
+      } else if (g.bucket < 0) {
+        rep.anomalies.push_back(
+            {AnomalyKind::kNoLiveBucket, i,
+             util::cat("hop ", h.seq, ": switch ", h.from, " group ", g.group,
+                       " had no live bucket")});
+      }
+    }
+    const std::size_t uses = ++port_use[{h.from, h.out_port}];
+    if (uses == 3) {  // report each offending directed port once
+      rep.anomalies.push_back(
+          {AnomalyKind::kRevisitedPort, i,
+           util::cat("switch ", h.from, " port ", h.out_port,
+                     " crossed more than twice — rule loop or restarted run")});
+    }
+  }
+  return rep;
+}
+
+}  // namespace ss::obs

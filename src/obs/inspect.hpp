@@ -1,0 +1,92 @@
+#pragma once
+// Trace inspection: reconstruct the DFS structure of a SmartSouth traversal
+// from an attributed trace (live sim::TraceEntry records or "hop" lines read
+// back from a JSONL export) and flag anomalies:
+//
+//   * dead_end_port      — a hop that left the switch but never arrived
+//                          (administratively-down link, blackhole, or loss);
+//   * failover_activation— a FAST-FAILOVER group executed a bucket > 0,
+//                          i.e. the preferred port was dead and the data
+//                          plane routed around it (in a healthy topology
+//                          every scan takes bucket 0);
+//   * no_live_bucket     — a FAST-FAILOVER group found no live bucket at
+//                          all (the packet was dropped in the pipeline);
+//   * revisited_port     — a directed (switch, port) pair carried more than
+//                          two traversal packets.  Algorithm 1 crosses tree
+//                          edges once per direction and non-tree edges twice
+//                          per direction, so >2 indicates a rule loop or a
+//                          restarted traversal sharing the trace.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/network.hpp"
+
+namespace ss::obs {
+
+struct HopMatch {
+  std::uint32_t table = 0;
+  std::uint32_t priority = 0;
+  std::uint64_t cookie = 0;
+  std::string rule;
+};
+
+struct HopGroup {
+  std::uint32_t group = 0;
+  std::string type;  // ofp::group_type_name spelling
+  std::int32_t bucket = -1;
+};
+
+/// One trace hop, format-independent (live trace or parsed JSONL).
+struct HopRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t time = 0;
+  std::uint32_t from = 0;
+  std::uint32_t out_port = 0;
+  std::uint32_t to = 0;
+  std::uint32_t in_port = 0;
+  bool delivered = false;
+  std::vector<HopMatch> matches;
+  std::vector<HopGroup> groups;
+  std::string tag_hex;
+};
+
+enum class AnomalyKind : std::uint8_t {
+  kDeadEndPort,
+  kFailoverActivation,
+  kNoLiveBucket,
+  kRevisitedPort,
+};
+
+std::string anomaly_kind_name(AnomalyKind k);
+
+struct Anomaly {
+  AnomalyKind kind;
+  std::size_t hop_index;  // index into the inspected hop vector
+  std::string detail;
+};
+
+struct InspectReport {
+  std::vector<std::uint32_t> visit_order;  // nodes in first-arrival order
+  std::vector<Anomaly> anomalies;
+  std::size_t hop_count = 0;
+  std::size_t delivered_count = 0;
+  std::size_t failover_count = 0;  // failover_activation anomalies
+
+  bool clean() const { return anomalies.empty(); }
+};
+
+/// Adapt the live trace of a network.
+std::vector<HopRecord> hops_from_network(const sim::Network& net);
+
+/// Parse one JSONL line; returns false (and leaves `out` untouched) when
+/// the line is valid JSON of another type or malformed.
+bool hop_from_json_line(std::string_view line, HopRecord& out);
+
+/// Reconstruct visit order + anomalies.  Hops must be in seq order (they
+/// are, both live and as exported).
+InspectReport inspect_hops(const std::vector<HopRecord>& hops);
+
+}  // namespace ss::obs

@@ -1,0 +1,300 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ss::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObj& JsonObj::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+  return *this;
+}
+
+JsonObj& JsonObj::add(std::string_view k, std::string_view v) {
+  key(k).body_ += '"';
+  body_ += json_escape(v);
+  body_ += '"';
+  return *this;
+}
+
+JsonObj& JsonObj::add(std::string_view k, const char* v) {
+  return add(k, std::string_view(v));
+}
+
+JsonObj& JsonObj::add(std::string_view k, bool v) {
+  key(k).body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonObj& JsonObj::add(std::string_view k, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  key(k).body_ += buf;
+  return *this;
+}
+
+JsonObj& JsonObj::add_u(std::string_view k, std::uint64_t v) {
+  key(k).body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObj& JsonObj::add_i(std::string_view k, std::int64_t v) {
+  key(k).body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObj& JsonObj::add_raw(std::string_view k, std::string_view raw) {
+  key(k).body_ += raw;
+  return *this;
+}
+
+std::string JsonObj::str() const { return "{" + body_ + "}"; }
+
+JsonArr& JsonArr::push_raw(std::string_view raw) {
+  if (!body_.empty()) body_ += ',';
+  body_ += raw;
+  return *this;
+}
+
+JsonArr& JsonArr::push(std::uint64_t v) { return push_raw(std::to_string(v)); }
+
+std::string JsonArr::str() const { return "[" + body_ + "]"; }
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    if (pos >= text.size()) {
+      ok = false;
+      return {};
+    }
+    const char c = text[pos];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      literal("true");
+      return v;
+    }
+    if (c == 'f') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      literal("false");
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    eat('{');
+    skip_ws();
+    if (eat('}')) return v;
+    while (ok) {
+      skip_ws();
+      JsonValue k = string_value();
+      if (!ok || !eat(':')) {
+        ok = false;
+        return v;
+      }
+      v.object.emplace(std::move(k.string), value());
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      ok = false;
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    eat('[');
+    skip_ws();
+    if (eat(']')) return v;
+    while (ok) {
+      v.array.push_back(value());
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      ok = false;
+    }
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    skip_ws();
+    if (!eat('"')) {
+      ok = false;
+      return v;
+    }
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              ok = false;
+              return v;
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else {
+                ok = false;
+                return v;
+              }
+            }
+            // Our own emitter only writes \u00xx control escapes; decode
+            // the low byte and pass anything wider through as '?'.
+            v.string += code < 0x100 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            ok = false;
+            return v;
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    ok = false;
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '-' ||
+            text[pos] == '+' || text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E'))
+      ++pos;
+    const std::string_view tok = text.substr(start, pos - start);
+    if (tok.empty()) {
+      ok = false;
+      return v;
+    }
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v.number);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) ok = false;
+    return v;
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::uint64_t JsonValue::u64(std::string_view key, std::uint64_t dflt) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->is_number() ? static_cast<std::uint64_t>(v->number) : dflt;
+}
+
+std::int64_t JsonValue::i64(std::string_view key, std::int64_t dflt) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->is_number() ? static_cast<std::int64_t>(v->number) : dflt;
+}
+
+std::string JsonValue::str(std::string_view key, std::string dflt) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->is_string() ? v->string : dflt;
+}
+
+bool JsonValue::boolean_or(std::string_view key, bool dflt) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->kind == Kind::kBool ? v->boolean : dflt;
+}
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.value();
+  p.skip_ws();
+  if (!p.ok || p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,91 @@
+#pragma once
+// Minimal JSON support for the observability layer: a streaming builder for
+// JSONL emission (one object per line, deterministic key order) and a small
+// recursive-descent parser for reading those lines back (trace_inspect's
+// analyze mode).  Deliberately dependency-free — the container bakes in no
+// JSON library, and the schema we read is our own.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace ss::obs {
+
+/// Escape for embedding inside a JSON string literal (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+/// Builder for one JSON object; add() keeps insertion order.
+class JsonObj {
+ public:
+  JsonObj& add(std::string_view key, std::string_view v);
+  JsonObj& add(std::string_view key, const char* v);
+  JsonObj& add(std::string_view key, bool v);
+  JsonObj& add(std::string_view key, double v);
+  JsonObj& add_u(std::string_view key, std::uint64_t v);
+  JsonObj& add_i(std::string_view key, std::int64_t v);
+  /// Any integer type (uint64_t aliases differ across platforms, so one
+  /// template beats an overload per width).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  JsonObj& add(std::string_view key, T v) {
+    if constexpr (std::is_signed_v<T>)
+      return add_i(key, static_cast<std::int64_t>(v));
+    else
+      return add_u(key, static_cast<std::uint64_t>(v));
+  }
+  /// Splice pre-encoded JSON (a nested array/object) verbatim.
+  JsonObj& add_raw(std::string_view key, std::string_view raw_json);
+
+  /// "{...}"
+  std::string str() const;
+
+ private:
+  JsonObj& key(std::string_view k);
+  std::string body_;
+};
+
+/// Builder for one JSON array of pre-encoded elements.
+class JsonArr {
+ public:
+  JsonArr& push_raw(std::string_view raw_json);
+  JsonArr& push(const JsonObj& o) { return push_raw(o.str()); }
+  JsonArr& push(std::uint64_t v);
+  /// "[...]"
+  std::string str() const;
+
+ private:
+  std::string body_;
+};
+
+/// Parsed JSON value (numbers kept as double + exact u64 when lossless).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+  /// Convenience typed reads with defaults.
+  std::uint64_t u64(std::string_view key, std::uint64_t dflt = 0) const;
+  std::int64_t i64(std::string_view key, std::int64_t dflt = 0) const;
+  std::string str(std::string_view key, std::string dflt = {}) const;
+  bool boolean_or(std::string_view key, bool dflt = false) const;
+};
+
+/// Parse one JSON document; nullopt on malformed input or trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace ss::obs

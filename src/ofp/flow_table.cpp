@@ -5,6 +5,7 @@
 namespace ss::ofp {
 
 void FlowTable::add(FlowEntry entry) {
+  if (entry.cookie == 0) entry.cookie = next_cookie_++;
   auto it = std::upper_bound(
       entries_.begin(), entries_.end(), entry.priority,
       [](std::uint32_t p, const FlowEntry& e) { return p > e.priority; });
@@ -16,10 +17,18 @@ const FlowEntry* FlowTable::lookup(const Packet& pkt, PortNo in_port) const {
   for (const FlowEntry& e : entries_) {
     if (e.match.matches(pkt, in_port)) {
       ++e.hit_count;
+      e.byte_count += pkt.wire_bytes();
       return &e;
     }
   }
   return nullptr;
+}
+
+void FlowTable::reset_counters() {
+  for (FlowEntry& e : entries_) {
+    e.hit_count = 0;
+    e.byte_count = 0;
+  }
 }
 
 }  // namespace ss::ofp

@@ -24,7 +24,14 @@ struct FlowEntry {
   std::optional<TableId> goto_table;
   std::string name;  // compiler-assigned, for diagnostics only
 
+  /// OFPMP_FLOW cookie.  0 = unassigned; FlowTable::add then assigns the
+  /// next per-table sequence number so every installed rule is addressable
+  /// by (table, cookie) in stats queries and packet traces.
+  std::uint64_t cookie = 0;
+
+  // OpenFlow per-flow-entry counters (OFPMP_FLOW duration/packet/byte).
   mutable std::uint64_t hit_count = 0;
+  mutable std::uint64_t byte_count = 0;
 };
 
 class FlowTable {
@@ -44,9 +51,14 @@ class FlowTable {
 
   std::uint64_t lookups() const { return lookups_; }
 
+  /// Zero every entry's packet/byte counters (OFPFC_MODIFY resets counters
+  /// in real switches; here a monitoring round can re-arm explicitly).
+  void reset_counters();
+
  private:
   std::vector<FlowEntry> entries_;
   mutable std::uint64_t lookups_ = 0;
+  std::uint64_t next_cookie_ = 1;
 };
 
 }  // namespace ss::ofp

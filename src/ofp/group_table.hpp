@@ -31,6 +31,10 @@ struct Bucket {
   /// FAST-FAILOVER liveness gate.  Empty optional = unconditionally live
   /// (used for terminal buckets such as the root's Finish()).
   std::optional<PortNo> watch_port;
+
+  // OpenFlow per-bucket counters (ofp_bucket_counter).
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
 };
 
 struct Group {
@@ -72,6 +76,17 @@ class GroupTable {
   void reset_select_cursors() {
     for (auto& [id, g] : groups_)
       if (g.type == GroupType::kSelect) g.rr_cursor = 0;
+  }
+
+  /// Zero every group's execution and per-bucket counters (stats re-arm).
+  void reset_counters() {
+    for (auto& [id, g] : groups_) {
+      g.exec_count = 0;
+      for (Bucket& b : g.buckets) {
+        b.packet_count = 0;
+        b.byte_count = 0;
+      }
+    }
   }
 
  private:

@@ -22,6 +22,7 @@ PipelineResult Pipeline::run(Packet pkt, PortNo in_port) const {
       throw std::runtime_error("Pipeline: table walk exceeded bound");
     const FlowEntry* entry = (*tables_)[table].lookup(pkt, in_port);
     if (entry == nullptr) break;  // table miss => drop
+    out.matched.push_back({static_cast<TableId>(table), entry});
     util::log_trace("pipeline t", table, " hit '", entry->name, "' match{",
                     entry->match.describe(), "} actions{", describe(entry->actions), "}");
     apply_actions(entry->actions, pkt, in_port, out, stop, 0);
@@ -92,36 +93,60 @@ void Pipeline::exec_group(GroupId gid, Packet& pkt, PortNo in_port,
     throw std::logic_error("Pipeline: group chain too deep (cycle?)");
   Group& g = groups_->at(gid);
   ++g.exec_count;
+  auto charge = [&](Bucket& b) {
+    ++b.packet_count;
+    b.byte_count += pkt.wire_bytes();
+  };
+  auto decide = [&](std::int32_t bucket) {
+    out.group_decisions.push_back({gid, g.type, bucket});
+  };
   switch (g.type) {
     case GroupType::kAll: {
-      for (const Bucket& b : g.buckets) {
+      for (std::size_t k = 0; k < g.buckets.size(); ++k) {
         Packet clone = pkt;
         bool clone_stop = false;
-        apply_actions(b.actions, clone, in_port, out, clone_stop, depth + 1);
+        charge(g.buckets[k]);
+        decide(static_cast<std::int32_t>(k));
+        apply_actions(g.buckets[k].actions, clone, in_port, out, clone_stop, depth + 1);
       }
+      if (g.buckets.empty()) decide(-1);
       break;
     }
     case GroupType::kIndirect: {
-      if (!g.buckets.empty())
+      if (!g.buckets.empty()) {
+        charge(g.buckets.front());
+        decide(0);
         apply_actions(g.buckets.front().actions, pkt, in_port, out, stop, depth + 1);
+      } else {
+        decide(-1);
+      }
       break;
     }
     case GroupType::kSelect: {
       // Round-robin bucket selection — the paper's smart-counter substrate.
-      if (g.buckets.empty()) break;
+      if (g.buckets.empty()) {
+        decide(-1);
+        break;
+      }
       const std::size_t idx = g.rr_cursor % g.buckets.size();
       ++g.rr_cursor;
+      charge(g.buckets[idx]);
+      decide(static_cast<std::int32_t>(idx));
       apply_actions(g.buckets[idx].actions, pkt, in_port, out, stop, depth + 1);
       break;
     }
     case GroupType::kFastFailover: {
-      for (const Bucket& b : g.buckets) {
+      for (std::size_t k = 0; k < g.buckets.size(); ++k) {
+        Bucket& b = g.buckets[k];
         if (!b.watch_port || live_(*b.watch_port)) {
+          charge(b);
+          decide(static_cast<std::int32_t>(k));
           apply_actions(b.actions, pkt, in_port, out, stop, depth + 1);
           return;
         }
       }
       // No live bucket: packet has nowhere to go (spec: drop).
+      decide(-1);
       break;
     }
   }

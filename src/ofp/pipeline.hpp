@@ -29,11 +29,36 @@ struct Emission {
   std::uint32_t controller_reason = 0;  // set when port == kPortController
 };
 
+/// One flow-entry hit during a pipeline run (telemetry attribution).  The
+/// entry pointer stays valid until the owning table is modified; consumers
+/// that outlive the run (the simulator's tracer) copy what they need.
+struct MatchedEntry {
+  TableId table = 0;
+  const FlowEntry* entry = nullptr;
+};
+
+/// One group execution: which bucket fired.  `bucket` is the index into the
+/// group's bucket vector; -1 means no bucket was eligible (empty group, or a
+/// FAST-FAILOVER group with every watch port dead).  For FAST-FAILOVER
+/// groups, any bucket > 0 is a failover activation: the preferred port was
+/// down and the data plane routed around it.
+struct GroupDecision {
+  GroupId group = 0;
+  GroupType type = GroupType::kIndirect;
+  std::int32_t bucket = -1;
+};
+
 struct PipelineResult {
   std::vector<Emission> emissions;
   Packet final_packet;       // header state when processing ended
   std::uint32_t tables_visited = 0;
   bool dropped_by_ttl = false;
+
+  // Telemetry: the (table, rule) chain and group/bucket decisions of this
+  // run, in execution order.  Always recorded — both are pointer/IDs only,
+  // so the cost is one small vector per processed packet.
+  std::vector<MatchedEntry> matched;
+  std::vector<GroupDecision> group_decisions;
 };
 
 /// Liveness oracle for FAST-FAILOVER watch ports.

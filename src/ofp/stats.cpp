@@ -1,0 +1,57 @@
+#include "ofp/stats.hpp"
+
+#include <algorithm>
+
+namespace ss::ofp {
+
+std::vector<FlowStatsEntry> flow_stats(const Switch& sw, bool only_hit) {
+  std::vector<FlowStatsEntry> out;
+  const auto& tables = sw.tables();
+  for (TableId t = 0; t < tables.size(); ++t) {
+    for (const FlowEntry& e : tables[t].entries()) {
+      if (only_hit && e.hit_count == 0) continue;
+      out.push_back({t, e.priority, e.cookie, e.name, e.hit_count, e.byte_count});
+    }
+  }
+  return out;
+}
+
+std::vector<GroupStatsEntry> group_stats(const Switch& sw, bool only_executed) {
+  std::vector<GroupStatsEntry> out;
+  sw.groups().for_each([&](const Group& g) {
+    if (only_executed && g.exec_count == 0) return;
+    GroupStatsEntry row{g.id, g.type, g.name, g.exec_count, {}};
+    row.buckets.reserve(g.buckets.size());
+    for (const Bucket& b : g.buckets)
+      row.buckets.push_back({b.packet_count, b.byte_count});
+    out.push_back(std::move(row));
+  });
+  std::sort(out.begin(), out.end(),
+            [](const GroupStatsEntry& a, const GroupStatsEntry& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<PortStatsEntry> port_stats(const Switch& sw) {
+  std::vector<PortStatsEntry> out;
+  for (PortNo p = 1; p <= sw.num_ports(); ++p) {
+    if (!sw.port_exists(p)) continue;
+    const PortState& ps = sw.port(p);
+    out.push_back({p, ps.live, ps.rx_packets, ps.tx_packets, ps.rx_bytes,
+                   ps.tx_bytes, ps.tx_dropped});
+  }
+  return out;
+}
+
+void reset_all_counters(Switch& sw) {
+  for (FlowTable& t : sw.tables_mut()) t.reset_counters();
+  sw.groups().reset_counters();
+  for (PortNo p = 1; p <= sw.num_ports(); ++p) {
+    if (!sw.port_exists(p)) continue;
+    PortState& ps = sw.port_mut(p);
+    ps.rx_packets = ps.tx_packets = 0;
+    ps.rx_bytes = ps.tx_bytes = 0;
+    ps.tx_dropped = 0;
+  }
+}
+
+}  // namespace ss::ofp

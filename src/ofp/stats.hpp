@@ -1,0 +1,71 @@
+#pragma once
+// OpenFlow-multipart-style statistics queries over a switch's live state.
+//
+// Mirrors the read-only stats a real OpenFlow 1.3 switch answers:
+//   * OFPMP_FLOW        -> flow_stats():  per-entry packet/byte counters
+//   * OFPMP_GROUP       -> group_stats(): per-group exec + per-bucket counters
+//   * OFPMP_PORT_STATS  -> port_stats():  per-port rx/tx packet/byte counters
+//
+// The stats_polling baseline reads these (one request/reply pair per switch)
+// instead of synthesizing numbers, and the obs/ JSONL exporters serialize
+// them — so the counters the paper's smart-counter services encode in-band
+// can always be cross-checked against the switch-local ground truth.
+
+#include <vector>
+
+#include "ofp/switch.hpp"
+
+namespace ss::ofp {
+
+/// One OFPMP_FLOW reply row.
+struct FlowStatsEntry {
+  TableId table = 0;
+  std::uint32_t priority = 0;
+  std::uint64_t cookie = 0;
+  std::string name;  // compiler-assigned rule name (diagnostics)
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+/// One OFPMP_GROUP reply row (bucket counters in bucket order).
+struct BucketCounters {
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+struct GroupStatsEntry {
+  GroupId id = 0;
+  GroupType type = GroupType::kIndirect;
+  std::string name;
+  std::uint64_t exec_count = 0;
+  std::vector<BucketCounters> buckets;
+};
+
+/// One OFPMP_PORT_STATS reply row.
+struct PortStatsEntry {
+  PortNo port = 0;
+  bool live = false;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_dropped = 0;
+};
+
+/// Every flow entry of every table, in (table, match-priority) order.
+/// `only_hit` skips entries with zero packets (compact exports).
+std::vector<FlowStatsEntry> flow_stats(const Switch& sw, bool only_hit = false);
+
+/// Every group, in ascending group-id order (deterministic across runs).
+/// `only_executed` skips groups that never fired.
+std::vector<GroupStatsEntry> group_stats(const Switch& sw, bool only_executed = false);
+
+/// Every existing physical port, ascending.
+std::vector<PortStatsEntry> port_stats(const Switch& sw);
+
+/// Re-arm every counter on the switch (flow, group, and port) — the
+/// controller-side equivalent of a stats-reset barrage before a new
+/// monitoring round.
+void reset_all_counters(Switch& sw);
+
+}  // namespace ss::ofp

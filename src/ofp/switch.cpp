@@ -32,12 +32,15 @@ PipelineResult Switch::receive(Packet pkt, PortNo in_port) {
     if (!port_exists(in_port))
       throw std::out_of_range("Switch::receive: no such port");
     ++ports_[in_port].rx_packets;
+    ports_[in_port].rx_bytes += pkt.wire_bytes();
   }
   Pipeline pl(&tables_, &groups_, [this](PortNo p) { return port_live(p); });
   auto res = pl.run(std::move(pkt), in_port);
   for (const Emission& em : res.emissions)
-    if (!is_reserved_port(em.port) && port_exists(em.port))
+    if (!is_reserved_port(em.port) && port_exists(em.port)) {
       ++ports_[em.port].tx_packets;
+      ports_[em.port].tx_bytes += em.packet.wire_bytes();
+    }
   return res;
 }
 

@@ -17,6 +17,13 @@ struct PortState {
   bool live = false;
   std::uint64_t rx_packets = 0;
   std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  /// Packets emitted on this port while the attached link was down.  A real
+  /// switch counts these as ofp_port_stats::tx_dropped; silent (blackhole /
+  /// lossy) drops are NOT visible here — that asymmetry is the point of
+  /// §3.3 and is measured by sim::Link's omniscient wire counters instead.
+  std::uint64_t tx_dropped = 0;
 };
 
 class Switch {
@@ -32,6 +39,8 @@ class Switch {
   bool port_live(PortNo p) const { return port_exists(p) && ports_[p].live; }
   void set_port_live(PortNo p, bool live);
   const PortState& port(PortNo p) const { return ports_.at(p); }
+  /// Mutable counter access (the simulator attributes tx_dropped here).
+  PortState& port_mut(PortNo p) { return ports_.at(p); }
 
   // --- tables ---
   /// Access table `id`, growing the pipeline as needed.

@@ -24,6 +24,18 @@ struct LinkEnd {
   ofp::PortNo port = 0;
 };
 
+/// Omniscient per-direction wire counters.  Unlike the switch-side port
+/// counters these DO see silent (blackhole / lossy) drops — they are the
+/// simulator's ground truth against which the paper's in-band detection
+/// services are judged.
+struct WireCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_down = 0;
+  std::uint64_t dropped_blackhole = 0;
+  std::uint64_t dropped_loss = 0;
+};
+
 class Link {
  public:
   Link(graph::EdgeId id, LinkEnd a, LinkEnd b, Time delay)
@@ -51,15 +63,35 @@ class Link {
   const LinkEnd& peer_of(ofp::SwitchId sw) const { return sw == a_.sw ? b_ : a_; }
   bool from_a(ofp::SwitchId sw) const { return sw == a_.sw; }
 
-  /// Does a packet entering from `sw` survive the crossing?
+  /// Does a packet entering from `sw` survive the crossing?  Updates the
+  /// direction's wire counters as a side effect.
   enum class Crossing { kDelivered, kDroppedDown, kDroppedBlackhole, kDroppedLoss };
-  Crossing try_cross(ofp::SwitchId from_sw, util::Rng& rng) const {
-    if (!up_) return Crossing::kDroppedDown;
+  Crossing try_cross(ofp::SwitchId from_sw, util::Rng& rng) {
     const bool ab = from_a(from_sw);
-    if (blackhole(ab)) return Crossing::kDroppedBlackhole;
+    WireCounters& w = ab ? wire_ab_ : wire_ba_;
+    ++w.sent;
+    if (!up_) {
+      ++w.dropped_down;
+      return Crossing::kDroppedDown;
+    }
+    if (blackhole(ab)) {
+      ++w.dropped_blackhole;
+      return Crossing::kDroppedBlackhole;
+    }
     const double p = loss(ab);
-    if (p > 0.0 && rng.chance(p)) return Crossing::kDroppedLoss;
+    if (p > 0.0 && rng.chance(p)) {
+      ++w.dropped_loss;
+      return Crossing::kDroppedLoss;
+    }
+    ++w.delivered;
     return Crossing::kDelivered;
+  }
+
+  /// Wire counters for one direction; `a_to_b` selects a->b.
+  const WireCounters& wire(bool a_to_b) const { return a_to_b ? wire_ab_ : wire_ba_; }
+  void reset_wire_counters() {
+    wire_ab_ = WireCounters{};
+    wire_ba_ = WireCounters{};
   }
 
  private:
@@ -69,6 +101,7 @@ class Link {
   bool up_ = true;
   bool bh_ab_ = false, bh_ba_ = false;
   double loss_ab_ = 0.0, loss_ba_ = 0.0;
+  WireCounters wire_ab_, wire_ba_;
 };
 
 }  // namespace ss::sim

@@ -44,28 +44,36 @@ void Network::set_loss_from(graph::EdgeId id, ofp::SwitchId from, double p) {
 void Network::packet_out(ofp::SwitchId at, ofp::Packet pkt) {
   ++stats_.packet_outs;
   auto res = sw(at).packet_out(std::move(pkt));
-  process_emissions(at, res.emissions);
+  process_emissions(at, res);
 }
 
 void Network::host_inject(ofp::SwitchId at, ofp::PortNo port, ofp::Packet pkt) {
   queue_.push({now_, seq_++, at, port, std::move(pkt)});
 }
 
-void Network::process_emissions(ofp::SwitchId at,
-                                const std::vector<ofp::Emission>& emissions) {
-  for (const ofp::Emission& em : emissions) {
+void Network::process_emissions(ofp::SwitchId at, const ofp::PipelineResult& res) {
+  for (const ofp::Emission& em : res.emissions) {
     if (em.port == ofp::kPortController) {
       ++stats_.controller_msgs;
       controller_msgs_.push_back({now_, at, em.controller_reason, em.packet});
     } else if (em.port == ofp::kPortLocal) {
       local_deliveries_.push_back({now_, at, em.packet});
     } else {
-      transmit(at, em.port, em.packet);
+      transmit(at, em.port, em.packet, &res);
     }
   }
 }
 
-void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt) {
+void Network::trim_trace() {
+  if (trace_ring_cap_ == 0) return;
+  while (trace_.size() > trace_ring_cap_) {
+    trace_.pop_front();
+    ++trace_dropped_;
+  }
+}
+
+void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
+                       const ofp::PipelineResult* attribution) {
   if (!sw(from).port_exists(port)) {
     util::log_warn("transmit: switch ", from, " has no port ", port, "; dropping");
     return;
@@ -73,13 +81,35 @@ void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt) {
   const graph::EdgeId eid = graph_.edge_at(from, port);
   Link& l = links_[eid];
   ++stats_.sent;
-  stats_.max_wire_bytes = std::max<std::uint64_t>(stats_.max_wire_bytes, pkt.wire_bytes());
+  const std::uint64_t bytes = pkt.wire_bytes();
+  stats_.max_wire_bytes = std::max(stats_.max_wire_bytes, bytes);
+  for (std::uint64_t& w : wire_max_watch_) w = std::max(w, bytes);
   const LinkEnd& dst = l.peer_of(from);
-  if (trace_enabled_)
-    trace_.push_back({now_, from, port, dst.sw, dst.port, false});
+  if (trace_enabled_) {
+    TraceEntry te;
+    te.time = now_;
+    te.from = from;
+    te.out_port = port;
+    te.to = dst.sw;
+    te.in_port = dst.port;
+    te.seq = trace_seq_++;
+    te.packet = pkt;
+    if (attribution != nullptr) {
+      te.matches.reserve(attribution->matched.size());
+      for (const ofp::MatchedEntry& m : attribution->matched)
+        te.matches.push_back(
+            {m.table, m.entry->priority, m.entry->cookie, m.entry->name});
+      te.groups.reserve(attribution->group_decisions.size());
+      for (const ofp::GroupDecision& d : attribution->group_decisions)
+        te.groups.push_back({d.group, d.type, d.bucket});
+    }
+    trace_.push_back(std::move(te));
+    trim_trace();
+  }
   switch (l.try_cross(from, rng_)) {
     case Link::Crossing::kDroppedDown:
       ++stats_.dropped_down;
+      ++sw(from).port_mut(port).tx_dropped;
       return;
     case Link::Crossing::kDroppedBlackhole:
       ++stats_.dropped_blackhole;
@@ -119,7 +149,7 @@ void Network::run(std::uint64_t max_events) {
     queue_.pop();
     now_ = a.time;
     auto res = sw(a.sw).receive(std::move(a.packet), a.port);
-    process_emissions(a.sw, res.emissions);
+    process_emissions(a.sw, res);
   }
 }
 

@@ -9,8 +9,10 @@
 //  * anycast deliveries       -> local_deliveries() (OFPP_LOCAL = "self")
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "graph/algorithms.hpp"
@@ -34,7 +36,28 @@ struct LocalDelivery {
   ofp::Packet packet;
 };
 
-/// One wire transmission (recorded when tracing is enabled).
+/// One flow-entry hit attributed to a traced hop (copied out of the
+/// pipeline so the trace survives later table modifications).
+struct TraceMatch {
+  ofp::TableId table = 0;
+  std::uint32_t priority = 0;
+  std::uint64_t cookie = 0;
+  std::string rule;  // compiler-assigned name
+};
+
+/// One group execution attributed to a traced hop.  For FAST-FAILOVER
+/// groups a bucket index > 0 means the preferred port was dead and the
+/// data plane failed over; -1 means no bucket was eligible.
+struct TraceGroup {
+  ofp::GroupId group = 0;
+  ofp::GroupType type = ofp::GroupType::kIndirect;
+  std::int32_t bucket = -1;
+};
+
+/// One wire transmission (recorded when tracing is enabled): a span-style
+/// record carrying the matched rule chain, the group/bucket decisions of
+/// the emitting pipeline run, and the full SmartSouth header snapshot as
+/// transmitted (decode fields with the service's TagLayout).
 struct TraceEntry {
   Time time = 0;
   ofp::SwitchId from = 0;
@@ -42,6 +65,11 @@ struct TraceEntry {
   ofp::SwitchId to = 0;
   ofp::PortNo in_port = 0;
   bool delivered = false;
+
+  std::uint64_t seq = 0;  // global hop index; survives ring-buffer eviction
+  ofp::Packet packet;     // header state on the wire (tag, labels, ttl, ...)
+  std::vector<TraceMatch> matches;
+  std::vector<TraceGroup> groups;
 };
 
 struct Stats {
@@ -114,12 +142,35 @@ class Network {
     controller_msgs_.clear();
     local_deliveries_.clear();
     trace_.clear();
+    trace_seq_ = 0;
+    trace_dropped_ = 0;
   }
 
   /// Record every wire transmission (off by default; tests compare the
   /// recorded hop sequence against the host-level reference DFS).
   void set_trace(bool on) { trace_enabled_ = on; }
-  const std::vector<TraceEntry>& trace() const { return trace_; }
+  /// Bound the trace to the most recent `cap` hops (0 = unbounded).  A
+  /// nonzero cap also enables tracing; evicted entries are counted in
+  /// trace_dropped() and seq numbers keep running, so consumers can tell
+  /// how much history the ring discarded.
+  void set_trace_ring(std::size_t cap) {
+    trace_ring_cap_ = cap;
+    if (cap > 0) trace_enabled_ = true;
+    trim_trace();
+  }
+  const std::deque<TraceEntry>& trace() const { return trace_; }
+  std::uint64_t trace_dropped() const { return trace_dropped_; }
+
+  /// Register a high-watermark watcher over in-band wire packet sizes:
+  /// returns an id whose value (wire_max_watch) is the largest wire_bytes
+  /// observed since registration.  Used by core::StatsScope so nested /
+  /// repeated per-run scopes each see their own window's max rather than
+  /// the network-lifetime max.
+  std::size_t add_wire_max_watch() {
+    wire_max_watch_.push_back(0);
+    return wire_max_watch_.size() - 1;
+  }
+  std::uint64_t wire_max_watch(std::size_t id) const { return wire_max_watch_.at(id); }
 
   /// Edge-alive predicate for ground-truth algorithms: true unless the link
   /// is administratively down.  (Blackholes count as alive — that is the
@@ -142,8 +193,10 @@ class Network {
     }
   };
 
-  void process_emissions(ofp::SwitchId at, const std::vector<ofp::Emission>& emissions);
-  void transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt);
+  void process_emissions(ofp::SwitchId at, const ofp::PipelineResult& res);
+  void transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
+                const ofp::PipelineResult* attribution = nullptr);
+  void trim_trace();
 
   graph::Graph graph_;
   std::vector<ofp::Switch> switches_;
@@ -157,7 +210,11 @@ class Network {
   std::vector<ControllerMsg> controller_msgs_;
   std::vector<LocalDelivery> local_deliveries_;
   bool trace_enabled_ = false;
-  std::vector<TraceEntry> trace_;
+  std::deque<TraceEntry> trace_;
+  std::size_t trace_ring_cap_ = 0;  // 0 = unbounded
+  std::uint64_t trace_seq_ = 0;
+  std::uint64_t trace_dropped_ = 0;
+  std::vector<std::uint64_t> wire_max_watch_;
 };
 
 }  // namespace ss::sim

@@ -49,5 +49,47 @@ TEST(StatsPolling, AgreesWithInbandLoadInference) {
   }
 }
 
+TEST(StatsPolling, FlowPollMatchesWireDeliveriesOnLosslessLinks) {
+  graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  baseline::StatsPolling polling(g);
+  auto res = polling.poll_flows(net);
+  EXPECT_EQ(res.request_msgs, g.node_count());
+  EXPECT_EQ(res.reply_msgs, g.node_count());
+  ASSERT_EQ(res.flows.size(), g.node_count());
+
+  // On lossless links every transmitted packet is delivered and runs one
+  // pipeline per hop; each pipeline run lands on >= 1 flow entry per table
+  // visited, so per-switch table-0 hits sum to deliveries + the trigger.
+  std::uint64_t table0 = 0;
+  for (auto& [v, entries] : res.flows) {
+    EXPECT_GT(res.total_packets(v), 0u) << "switch " << v;
+    for (auto& fs : entries)
+      if (fs.table == 0) table0 += fs.packet_count;
+  }
+  EXPECT_EQ(table0, net.stats().delivered + 1);
+}
+
+TEST(StatsPolling, FlowPollOnlyHitFiltersZeroCounters) {
+  graph::Graph g = graph::make_path(4);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  baseline::StatsPolling polling(g);
+  auto all = polling.poll_flows(net, /*only_hit=*/false);
+  auto hit = polling.poll_flows(net, /*only_hit=*/true);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_LT(hit.flows.at(v).size(), all.flows.at(v).size());
+    for (auto& fs : hit.flows.at(v)) EXPECT_GT(fs.packet_count, 0u);
+    EXPECT_EQ(hit.total_packets(v), all.total_packets(v));
+  }
+}
+
 }  // namespace
 }  // namespace ss

@@ -1,0 +1,381 @@
+// End-to-end checks of the telemetry layer: per-rule/group/port counters,
+// attributed traces (ring-buffer mode included), the JSONL round trip, the
+// trace inspector, and the per-scope max_wire_bytes watcher.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/inspect.hpp"
+#include "ofp/stats.hpp"
+
+namespace ss {
+namespace {
+
+std::uint64_t table0_hits(const ofp::Switch& sw) {
+  std::uint64_t sum = 0;
+  for (const auto& fs : ofp::flow_stats(sw))
+    if (fs.table == 0) sum += fs.packet_count;
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Flow counters
+// ---------------------------------------------------------------------------
+
+TEST(FlowCounters, Table0HitsMatchReferenceDfsArrivals) {
+  graph::Graph g = graph::make_ring(12);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  // Every received packet runs the pipeline once and lands on exactly one
+  // table-0 entry, so per-switch table-0 hits = reference arrivals (+1 at
+  // the root for the trigger packet-out, which also enters at table 0).
+  const auto ref = graph::smartsouth_dfs(g, 0);
+  std::map<graph::NodeId, std::uint64_t> arrivals;
+  for (const auto& h : ref.hops) ++arrivals[h.to];
+  for (graph::NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(table0_hits(net.sw(v)), arrivals[v] + (v == 0 ? 1 : 0))
+        << "switch " << v;
+}
+
+TEST(FlowCounters, PortCountersMatchReferenceDfsArrivals) {
+  graph::Graph g = graph::make_grid(4, 5);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  const auto ref = graph::smartsouth_dfs(g, 0);
+  std::map<graph::NodeId, std::uint64_t> arrivals, departures;
+  for (const auto& h : ref.hops) {
+    ++arrivals[h.to];
+    ++departures[h.from];
+  }
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    std::uint64_t rx = 0, tx = 0;
+    for (const auto& ps : ofp::port_stats(net.sw(v))) {
+      rx += ps.rx_packets;
+      tx += ps.tx_packets;
+    }
+    EXPECT_EQ(rx, arrivals[v]) << "switch " << v;
+    EXPECT_EQ(tx, departures[v]) << "switch " << v;
+  }
+}
+
+TEST(FlowCounters, CookiesAssignedUniquePerTableAndResettable) {
+  graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  auto stats = ofp::flow_stats(net.sw(1));
+  ASSERT_FALSE(stats.empty());
+  std::set<std::pair<ofp::TableId, std::uint64_t>> cookies;
+  bool any_hit = false;
+  for (const auto& fs : stats) {
+    EXPECT_NE(fs.cookie, 0u) << fs.name;
+    EXPECT_TRUE(cookies.insert({fs.table, fs.cookie}).second)
+        << "duplicate cookie in table " << fs.table;
+    any_hit = any_hit || fs.packet_count > 0;
+  }
+  EXPECT_TRUE(any_hit);
+
+  ofp::reset_all_counters(net.sw(1));
+  for (const auto& fs : ofp::flow_stats(net.sw(1))) {
+    EXPECT_EQ(fs.packet_count, 0u);
+    EXPECT_EQ(fs.byte_count, 0u);
+  }
+  for (const auto& gs : ofp::group_stats(net.sw(1))) {
+    EXPECT_EQ(gs.exec_count, 0u);
+    for (const auto& b : gs.buckets) EXPECT_EQ(b.packet_count, 0u);
+  }
+  for (const auto& ps : ofp::port_stats(net.sw(1))) {
+    EXPECT_EQ(ps.rx_packets, 0u);
+    EXPECT_EQ(ps.tx_packets, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group counters / failover attribution
+// ---------------------------------------------------------------------------
+
+TEST(GroupCounters, HealthyScansAlwaysTakeBucketZero) {
+  graph::Graph g = graph::make_ring(8);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  for (graph::NodeId v = 0; v < g.node_count(); ++v)
+    for (const auto& gs : ofp::group_stats(net.sw(v), /*only_executed=*/true))
+      if (gs.type == ofp::GroupType::kFastFailover) {
+        for (std::size_t b = 1; b < gs.buckets.size(); ++b)
+          EXPECT_EQ(gs.buckets[b].packet_count, 0u)
+              << "switch " << v << " group " << gs.id << " bucket " << b;
+      }
+}
+
+TEST(GroupCounters, DeadLinkChargesFailoverBucket) {
+  graph::Graph g = graph::make_ring(8);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_link_up(3, false);  // ring stays connected as a path
+  ASSERT_TRUE(svc.run(net, 0));
+
+  std::uint64_t failover_hits = 0;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v)
+    for (const auto& gs : ofp::group_stats(net.sw(v), /*only_executed=*/true))
+      if (gs.type == ofp::GroupType::kFastFailover)
+        for (std::size_t b = 1; b < gs.buckets.size(); ++b)
+          failover_hits += gs.buckets[b].packet_count;
+  EXPECT_GT(failover_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Attributed trace + ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(Trace, HopsCarryMatchAndGroupAttribution) {
+  graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace(true);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  ASSERT_FALSE(net.trace().empty());
+  std::uint64_t expect_seq = 0;
+  std::size_t group_hops = 0;
+  for (const auto& te : net.trace()) {
+    EXPECT_EQ(te.seq, expect_seq++);
+    ASSERT_FALSE(te.matches.empty());
+    EXPECT_EQ(te.matches.front().table, 0u);  // pipelines enter at table 0
+    for (const auto& m : te.matches) EXPECT_NE(m.cookie, 0u);
+    if (!te.groups.empty()) ++group_hops;
+    EXPECT_GT(te.packet.wire_bytes(), 0u);
+  }
+  EXPECT_GT(group_hops, 0u);  // port scans forward through FF groups
+}
+
+TEST(Trace, RingBufferKeepsTailAndCountsDrops) {
+  graph::Graph g = graph::make_ring(12);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace_ring(10);  // enables tracing, capped
+  ASSERT_TRUE(svc.run(net, 0));
+
+  const std::uint64_t sent = net.stats().sent;
+  ASSERT_GT(sent, 10u);
+  EXPECT_EQ(net.trace().size(), 10u);
+  EXPECT_EQ(net.trace_dropped(), sent - 10);
+  // The ring holds the *last* 10 transmissions, seq-contiguous.
+  EXPECT_EQ(net.trace().front().seq, sent - 10);
+  EXPECT_EQ(net.trace().back().seq, sent - 1);
+  for (std::size_t i = 1; i < net.trace().size(); ++i)
+    EXPECT_EQ(net.trace()[i].seq, net.trace()[i - 1].seq + 1);
+}
+
+TEST(Trace, ClearLogsResetsTraceAndSeq) {
+  graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace_ring(4);
+  ASSERT_TRUE(svc.run(net, 0));
+  ASSERT_FALSE(net.trace().empty());
+  ASSERT_GT(net.trace_dropped(), 0u);
+
+  net.clear_logs();
+  EXPECT_TRUE(net.trace().empty());
+  EXPECT_EQ(net.trace_dropped(), 0u);
+
+  ASSERT_TRUE(svc.run(net, 0));
+  EXPECT_EQ(net.trace().size(), 4u);  // ring cap survives clear_logs
+  EXPECT_EQ(net.trace().back().seq + 1 - net.trace().front().seq, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL round trip + inspector
+// ---------------------------------------------------------------------------
+
+TEST(JsonRoundtrip, HopLinesReproduceTheInspectReport) {
+  graph::Graph g = graph::make_grid(4, 5);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace(true);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  const auto live = obs::hops_from_network(net);
+  std::vector<obs::HopRecord> parsed;
+  for (const auto& te : net.trace()) {
+    obs::HopRecord h;
+    ASSERT_TRUE(obs::hop_from_json_line(obs::hop_json(te), h));
+    parsed.push_back(std::move(h));
+  }
+  ASSERT_EQ(parsed.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(parsed[i].seq, live[i].seq);
+    EXPECT_EQ(parsed[i].from, live[i].from);
+    EXPECT_EQ(parsed[i].to, live[i].to);
+    EXPECT_EQ(parsed[i].delivered, live[i].delivered);
+    EXPECT_EQ(parsed[i].tag_hex, live[i].tag_hex);
+    ASSERT_EQ(parsed[i].matches.size(), live[i].matches.size());
+    for (std::size_t k = 0; k < live[i].matches.size(); ++k) {
+      EXPECT_EQ(parsed[i].matches[k].cookie, live[i].matches[k].cookie);
+      EXPECT_EQ(parsed[i].matches[k].rule, live[i].matches[k].rule);
+    }
+    ASSERT_EQ(parsed[i].groups.size(), live[i].groups.size());
+    for (std::size_t k = 0; k < live[i].groups.size(); ++k)
+      EXPECT_EQ(parsed[i].groups[k].bucket, live[i].groups[k].bucket);
+  }
+
+  const auto a = obs::inspect_hops(live);
+  const auto b = obs::inspect_hops(parsed);
+  EXPECT_EQ(a.visit_order, b.visit_order);
+  EXPECT_EQ(a.anomalies.size(), b.anomalies.size());
+  EXPECT_EQ(a.failover_count, b.failover_count);
+}
+
+TEST(Inspect, CleanOnHealthyAndMatchesReferenceOrder) {
+  graph::Graph g = graph::make_grid(4, 5);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace(true);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  const auto rep = obs::inspect_hops(obs::hops_from_network(net));
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.visit_order, graph::smartsouth_dfs(g, 0).visit_order);
+  EXPECT_EQ(rep.delivered_count, rep.hop_count);
+}
+
+TEST(Inspect, FlagsMidRunFailoverOnly) {
+  graph::Graph g = graph::make_ring(24);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace(true);
+  net.schedule_link_state(12, false, 5);  // ahead of the packet
+  ASSERT_TRUE(svc.run(net, 0));
+
+  const auto rep = obs::inspect_hops(obs::hops_from_network(net));
+  EXPECT_GT(rep.failover_count, 0u);
+  for (const auto& an : rep.anomalies)
+    EXPECT_EQ(an.kind, obs::AnomalyKind::kFailoverActivation) << an.detail;
+  // Post-failure liveness reproduces the detour.
+  EXPECT_EQ(rep.visit_order, graph::smartsouth_dfs(g, 0, net.alive_fn()).visit_order);
+}
+
+TEST(Inspect, DeadEndPortOnUndeliveredHop) {
+  graph::Graph g = graph::make_path(3);
+  core::PlainTraversal svc(g, /*finish_report=*/true, /*use_fast_failover=*/false);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace(true);
+  net.schedule_link_state(1, false, 1);  // cut 1-2 after the first hop left 0
+  svc.run(net, 0);
+
+  const auto rep = obs::inspect_hops(obs::hops_from_network(net));
+  bool dead_end = false;
+  for (const auto& an : rep.anomalies)
+    dead_end = dead_end || an.kind == obs::AnomalyKind::kDeadEndPort;
+  EXPECT_TRUE(dead_end);
+}
+
+// ---------------------------------------------------------------------------
+// Export writers
+// ---------------------------------------------------------------------------
+
+TEST(Export, WriteAllEmitsParseableTypedLines) {
+  graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace(true);
+  ASSERT_TRUE(svc.run(net, 0));
+
+  std::ostringstream os;
+  obs::write_all(os, net);
+  std::istringstream in(os.str());
+  std::string line;
+  std::map<std::string, int> types;
+  while (std::getline(in, line)) {
+    auto v = obs::json_parse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    ++types[v->str("type")];
+  }
+  EXPECT_GT(types["flow"], 0);
+  EXPECT_GT(types["group"], 0);
+  EXPECT_GT(types["port"], 0);
+  EXPECT_GT(types["link"], 0);
+  EXPECT_GT(types["hop"], 0);
+  EXPECT_EQ(types["sim"], 1);
+}
+
+// ---------------------------------------------------------------------------
+// StatsScope windowed max (regression: used to copy the cumulative max)
+// ---------------------------------------------------------------------------
+
+TEST(StatsScope, MaxWireBytesIsPerScopeNotCumulative) {
+  graph::Graph g = graph::make_path(2);
+  sim::Network net(g);
+  ofp::FlowEntry fwd;
+  fwd.priority = 1;
+  fwd.actions = {ofp::ActOutput{1}};
+  net.sw(0).table(0).add(std::move(fwd));
+  ofp::FlowEntry sink;
+  sink.priority = 1;
+  sink.actions = {ofp::ActOutput{ofp::kPortLocal}};
+  net.sw(1).table(0).add(std::move(sink));
+
+  auto send = [&](std::uint32_t payload) {
+    ofp::Packet p;
+    p.payload_bytes = payload;
+    net.packet_out(0, std::move(p));
+    net.run();
+  };
+
+  std::uint64_t big = 0, small = 0;
+  {
+    core::StatsScope scope(net);
+    send(400);
+    big = scope.delta().max_wire_bytes;
+  }
+  {
+    core::StatsScope scope(net);
+    send(20);
+    small = scope.delta().max_wire_bytes;
+  }
+  EXPECT_GT(big, 400u);
+  EXPECT_LT(small, 100u);  // must not inherit the 400-byte run's max
+  EXPECT_EQ(net.stats().max_wire_bytes, big);  // cumulative stat unchanged
+
+  // Nested scopes window independently.
+  {
+    core::StatsScope outer(net);
+    send(300);
+    {
+      core::StatsScope inner(net);
+      send(10);
+      EXPECT_LT(inner.delta().max_wire_bytes, 100u);
+    }
+    EXPECT_GT(outer.delta().max_wire_bytes, 300u);
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,262 @@
+// trace_inspect — reconstruct and sanity-check SmartSouth traversals from
+// attributed packet traces.
+//
+//   trace_inspect run --topo ring --n 24 --root 0
+//       run a traced PlainTraversal on a generated topology, reconstruct
+//       the DFS visit order, compare it hop-for-hop against the host-level
+//       reference emulation of Algorithm 1, and report anomalies.
+//
+//   trace_inspect run --topo ring --n 24 --fail-edge 12 --fail-at 5
+//       same, but take edge 12 down at simulated time 5 (mid-run): the
+//       fast-failover detour shows up as a flagged failover_activation.
+//
+//   trace_inspect run ... --out trace.jsonl
+//       additionally export the full observability record (trace + flow /
+//       group / port / link counters) as JSONL.
+//
+//   trace_inspect analyze trace.jsonl
+//       re-read an exported trace and run the same anomaly checks offline.
+//
+// Exit status: 0 on success; with --expect-clean, nonzero when any anomaly
+// or reference mismatch is found; with --expect-failover, nonzero unless at
+// least one failover activation was flagged.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/services.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/inspect.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace ss;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string positional;  // analyze: trace file
+  std::map<std::string, std::string> flags;
+
+  bool has(const std::string& k) const { return flags.count(k) != 0; }
+  std::uint64_t get_u(const std::string& k, std::uint64_t dflt) const {
+    auto it = flags.find(k);
+    return it == flags.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  std::string get(const std::string& k, const std::string& dflt) const {
+    auto it = flags.find(k);
+    return it == flags.end() ? dflt : it->second;
+  }
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: trace_inspect run [--flag value ...]\n"
+               "       trace_inspect analyze <trace.jsonl> [--flag ...]\n"
+               "flags (run):\n"
+               "  --topo  ring|path|star|complete|grid|torus|tree|gnp|reg|fattree [ring]\n"
+               "  --n     node count (fattree: k)                 [24]\n"
+               "  --root  trigger node                            [0]\n"
+               "  --seed  RNG seed                                [1]\n"
+               "  --fail-edge E   take edge E down (with --fail-at: mid-run)\n"
+               "  --fail-at T     simulated time of the failure   [pre-run]\n"
+               "  --out FILE      write the full JSONL observability record\n"
+               "flags (both):\n"
+               "  --expect-clean     exit 1 unless zero anomalies (run: and DFS match)\n"
+               "  --expect-failover  exit 1 unless a failover activation was flagged\n"
+               "  --quiet            suppress the per-hop anomaly listing\n");
+  std::exit(2);
+}
+
+graph::Graph make_topo(const Args& a) {
+  const std::string t = a.get("topo", "ring");
+  const std::size_t n = a.get_u("n", 24);
+  util::Rng rng(a.get_u("seed", 1));
+  if (t == "ring") return graph::make_ring(n);
+  if (t == "path") return graph::make_path(n);
+  if (t == "star") return graph::make_star(n);
+  if (t == "complete") return graph::make_complete(n);
+  if (t == "grid") return graph::make_grid(n / 4 ? n / 4 : 1, 4);
+  if (t == "torus") return graph::make_torus(n / 4 ? n / 4 : 3, 4);
+  if (t == "tree") return graph::make_dary_tree(n, 2);
+  if (t == "gnp") return graph::make_gnp_connected(n, 0.2, rng);
+  if (t == "reg") return graph::make_random_regular(n, 4, rng);
+  if (t == "fattree") return graph::make_fat_tree(n);
+  std::fprintf(stderr, "unknown topology '%s'\n", t.c_str());
+  std::exit(2);
+}
+
+void print_report(const obs::InspectReport& rep, bool quiet) {
+  std::printf("hops: %zu (%zu delivered), nodes visited: %zu\n", rep.hop_count,
+              rep.delivered_count, rep.visit_order.size());
+  std::printf("visit order:");
+  for (std::uint32_t v : rep.visit_order) std::printf(" %u", v);
+  std::printf("\n");
+  if (rep.clean()) {
+    std::printf("anomalies: none\n");
+    return;
+  }
+  std::printf("anomalies: %zu (%zu failover activations)\n", rep.anomalies.size(),
+              rep.failover_count);
+  if (quiet) return;
+  for (const obs::Anomaly& an : rep.anomalies)
+    std::printf("  [%s] %s\n", obs::anomaly_kind_name(an.kind).c_str(),
+                an.detail.c_str());
+}
+
+/// Shared exit policy for both modes.
+int verdict(const Args& a, const obs::InspectReport& rep, bool reference_ok) {
+  if (a.has("expect-clean") && (!rep.clean() || !reference_ok)) {
+    std::printf("FAIL: expected a clean trace\n");
+    return 1;
+  }
+  if (a.has("expect-failover")) {
+    if (rep.failover_count == 0) {
+      std::printf("FAIL: expected at least one failover activation\n");
+      return 1;
+    }
+    // A failover detour must not break the traversal structure: besides
+    // the failover flags themselves there must be no other anomaly kind.
+    for (const obs::Anomaly& an : rep.anomalies)
+      if (an.kind != obs::AnomalyKind::kFailoverActivation) {
+        std::printf("FAIL: unexpected anomaly beside the failover: %s\n",
+                    an.detail.c_str());
+        return 1;
+      }
+    if (!reference_ok) {
+      std::printf("FAIL: visit order diverged from the reference DFS\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const Args& a) {
+  const graph::Graph g = make_topo(a);
+  const auto root = static_cast<graph::NodeId>(a.get_u("root", 0));
+  if (root >= g.node_count()) {
+    std::fprintf(stderr, "root %u out of range\n", root);
+    return 2;
+  }
+
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.set_trace(true);
+
+  if (a.has("fail-edge")) {
+    const auto e = static_cast<graph::EdgeId>(a.get_u("fail-edge", 0));
+    if (e >= g.edge_count()) {
+      std::fprintf(stderr, "edge %u out of range\n", e);
+      return 2;
+    }
+    if (a.has("fail-at"))
+      net.schedule_link_state(e, false, a.get_u("fail-at", 0));
+    else
+      net.set_link_up(e, false);
+  }
+
+  core::RunStats stats;
+  const bool finished = svc.run(net, root, &stats);
+  std::printf("traversal %s; %llu in-band msgs\n", finished ? "finished" : "DID NOT FINISH",
+              static_cast<unsigned long long>(stats.inband_msgs));
+
+  const auto hops = obs::hops_from_network(net);
+  const obs::InspectReport rep = obs::inspect_hops(hops);
+  print_report(rep, a.has("quiet"));
+
+  // Reference: Algorithm 1 emulated against the network's FINAL liveness.
+  // Valid whenever the failed link was not crossed before it went down —
+  // which is exactly the regime the --fail-at scenarios target.
+  const graph::DfsTrace ref = graph::smartsouth_dfs(g, root, net.alive_fn());
+  bool reference_ok = finished && rep.visit_order.size() == ref.visit_order.size();
+  if (reference_ok)
+    for (std::size_t k = 0; k < ref.visit_order.size(); ++k)
+      if (rep.visit_order[k] != ref.visit_order[k]) {
+        reference_ok = false;
+        break;
+      }
+  std::printf("reference DFS visit order: %s (%zu nodes)\n",
+              reference_ok ? "MATCH" : "MISMATCH", ref.visit_order.size());
+
+  const std::string out = a.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 2;
+    }
+    obs::write_run_stats(os, stats, util::cat("plain_traversal.", a.get("topo", "ring"),
+                                              ".n", g.node_count(), ".root", root));
+    obs::write_all(os, net);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return verdict(a, rep, reference_ok);
+}
+
+int cmd_analyze(const Args& a) {
+  std::ifstream in(a.positional);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", a.positional.c_str());
+    return 2;
+  }
+  std::vector<obs::HopRecord> hops;
+  std::size_t lines = 0, bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    obs::HopRecord h;
+    if (obs::hop_from_json_line(line, h)) {
+      hops.push_back(std::move(h));
+    } else if (!obs::json_parse(line)) {
+      ++bad;  // other record types (flow/port/...) are fine; garbage is not
+    }
+  }
+  std::printf("%zu lines, %zu hop records", lines, hops.size());
+  if (bad > 0) std::printf(", %zu malformed", bad);
+  std::printf("\n");
+  if (bad > 0) return 2;
+
+  const obs::InspectReport rep = obs::inspect_hops(hops);
+  print_report(rep, a.has("quiet"));
+  // Offline we have no topology: structural checks only.
+  return verdict(a, rep, /*reference_ok=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (argc < 2) usage();
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string key = tok.substr(2);
+      const bool flag_only = key == "expect-clean" || key == "expect-failover" ||
+                             key == "quiet";
+      if (!flag_only && i + 1 < argc)
+        a.flags[key] = argv[++i];
+      else
+        a.flags[key] = "1";
+    } else {
+      a.positional = tok;
+    }
+  }
+  if (a.command == "run") return cmd_run(a);
+  if (a.command == "analyze") {
+    if (a.positional.empty()) usage();
+    return cmd_analyze(a);
+  }
+  usage();
+}
