@@ -14,7 +14,7 @@ using namespace ss;
 
 int main() {
   bench::Metrics metrics("ablation");
-  util::Rng rng(2718);
+  util::Rng rng(bench::bench_seed(1));
 
   std::printf("(a) Fast-failover ablation: traversal success rate vs pre-run "
               "link failures\n    (torus 5x5, 40 trials per cell)\n");

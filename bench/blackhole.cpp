@@ -15,7 +15,7 @@ using namespace ss;
 
 int main() {
   bench::Metrics metrics("blackhole");
-  util::Rng rng(99);
+  util::Rng rng(bench::bench_seed(3));
 
   std::printf("BH-1: TTL binary search (averaged over 10 planted blackholes)\n");
   bench::hr();

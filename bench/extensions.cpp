@@ -13,7 +13,7 @@ using namespace ss;
 
 int main() {
   bench::Metrics metrics("extensions");
-  util::Rng rng(404);
+  util::Rng rng(bench::bench_seed(4));
 
   std::printf("(a) Critical-link (bridge) detection vs ground truth\n");
   bench::hr();

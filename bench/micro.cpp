@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "core/services.hpp"
 #include "graph/generators.hpp"
 #include "ofp/switch.hpp"
@@ -68,7 +69,7 @@ BENCHMARK(BM_SmartCounterFetchInc);
 
 void BM_CompileSnapshotSwitch(benchmark::State& state) {
   const auto deg = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(1);
+  util::Rng rng(bench::bench_seed(6));
   graph::Graph g = graph::make_random_regular(std::max<std::size_t>(deg * 4, 8),
                                               deg, rng);
   core::TagLayout layout(g);
@@ -85,7 +86,7 @@ BENCHMARK(BM_CompileSnapshotSwitch)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_FullTraversal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(2);
+  util::Rng rng(bench::bench_seed(7));
   graph::Graph g = graph::make_random_regular(n, 4, rng);
   core::PlainTraversal svc(g, /*finish_report=*/false);
   for (auto _ : state) {
@@ -101,7 +102,7 @@ BENCHMARK(BM_FullTraversal)->Arg(20)->Arg(50)->Arg(100);
 
 void BM_SnapshotEndToEnd(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(3);
+  util::Rng rng(bench::bench_seed(8));
   graph::Graph g = graph::make_random_regular(n, 4, rng);
   core::SnapshotService svc(g);
   for (auto _ : state) {

@@ -181,6 +181,18 @@ void TemplateCompiler::emit_pre_table(Ctx& c) const {
   Match trav;
   trav.on_eth(kEthTraversal);
 
+  if (opts_.epoch_guard) {
+    // OpenFlow has no "not equal" match, so the guard enumerates the
+    // kEpochSpace - 1 stale epochs explicitly; set_current_epoch rotates
+    // the values in place when a retry bumps the accepted epoch.
+    std::uint32_t slot = 0;
+    for (std::uint64_t e = 0; e < kEpochSpace; ++e) {
+      if (e == 0) continue;  // accepted epoch at install time
+      add_rule(c.sw, kTablePre, kPrioEpochGuard, match_tag(trav, L.epoch(), e),
+               {ActDrop{}}, std::nullopt, util::cat("epoch.stale.", slot++));
+    }
+  }
+
   switch (opts_.kind) {
     case ServiceKind::kAnycast: {
       for (const AnycastGroupSpec& gs : opts_.groups) {
@@ -963,6 +975,25 @@ void TemplateCompiler::emit_load_chain(Ctx& c) const {
     add_rule(c.sw, tid_exhaust, 10, match_tag(Match{}, L.par(c.i), t),
              {ActGroup{scan_group_id(1, t, false)}}, std::nullopt,
              util::cat("load.resume.par", t));
+}
+
+void set_current_epoch(sim::Network& net, std::uint32_t epoch) {
+  const std::uint64_t accepted = epoch % kEpochSpace;
+  for (graph::NodeId v = 0; v < net.topology().node_count(); ++v) {
+    std::uint64_t stale = 0;
+    bool touched = false;
+    for (FlowEntry& fe : net.sw(v).table(kTablePre).entries_mut()) {
+      if (fe.name.rfind("epoch.stale.", 0) != 0) continue;
+      if (stale == accepted) ++stale;
+      fe.match.tag_matches.at(0).value = stale++;
+      touched = true;
+    }
+    if (!touched)
+      throw std::logic_error(
+          "set_current_epoch: no epoch guard rules installed (compile with "
+          "epoch_guard)");
+    ++net.stats().packet_outs;  // one flow-mod per switch
+  }
 }
 
 }  // namespace ss::core

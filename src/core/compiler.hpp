@@ -123,6 +123,15 @@ struct CompilerOptions {
   /// every non-tree edge is recorded twice and its second OUT record is
   /// never popped.  Ablates the paper's header-space optimization.
   bool snapshot_dedup = true;
+
+  /// Compile the scenario engine's stale-epoch guard: top-priority rules in
+  /// kTablePre drop any traversal packet whose epoch tag differs from the
+  /// currently accepted epoch (0 at install time; advanced at runtime with
+  /// set_current_epoch).  This is what makes the watchdog/retry drivers
+  /// safe — a retried traversal cannot race a zombie predecessor that
+  /// crawled out of a cleared blackhole.  Off by default so rule counts and
+  /// Table-2 message complexity match the paper exactly.
+  bool epoch_guard = false;
 };
 
 /// Well-known table ids.
@@ -176,6 +185,17 @@ class TemplateCompiler {
   // (kNoPort at the collector itself), computed offline by BFS.
   std::vector<graph::PortNo> report_route_;
 };
+
+/// Priority of the compiled stale-epoch drop rules (above every service
+/// pre-check and the in-band report route).
+inline constexpr std::uint32_t kPrioEpochGuard = 20000;
+
+/// Advance the accepted epoch on every switch of `net` (requires rules
+/// compiled with epoch_guard).  Rewrites the epoch values of the installed
+/// "epoch.stale.*" guard rules in place so every epoch except
+/// `epoch % kEpochSpace` is dropped; accounted as one controller->switch
+/// message (flow-mod) per switch in net.stats().packet_outs.
+void set_current_epoch(sim::Network& net, std::uint32_t epoch);
 
 /// Group-id namespaces (stable across switches for debuggability).
 ofp::GroupId scan_group_id(graph::PortNo first, graph::PortNo parent, bool phase2_root);

@@ -32,6 +32,9 @@ TagLayout::TagLayout(const graph::Graph& g) {
   out_port_ = alloc(16);
   reason_ = alloc(8);
   reporter_ = alloc(bits_for(n));
+  // Epoch sits OUTSIDE the traversal-state region below: a chained-anycast
+  // restart wipes that region, but the retry epoch must survive it.
+  epoch_ = alloc(kEpochBits);
   for (std::uint32_t k = 0; k < kScratchRegs; ++k) scratch_a_.push_back(alloc(4));
   for (std::uint32_t k = 0; k < kScratchRegs; ++k) scratch_b_.push_back(alloc(4));
 

@@ -33,6 +33,10 @@ struct FieldRef {
 inline constexpr std::uint32_t kChainSlots = 4;
 /// Smart-counter scratch registers (one per prime modulus, in/out pairs).
 inline constexpr std::uint32_t kScratchRegs = 3;
+/// Width of the traversal epoch tag used by the scenario engine's hardened
+/// (watchdog/retry) drivers; epochs wrap modulo kEpochSpace.
+inline constexpr std::uint32_t kEpochBits = 3;
+inline constexpr std::uint32_t kEpochSpace = 1u << kEpochBits;
 
 class TagLayout {
  public:
@@ -55,6 +59,7 @@ class TagLayout {
   FieldRef out_port() const { return out_port_; }    // data/probe steering field
   FieldRef reason() const { return reason_; }        // in-band report reason code
   FieldRef reporter() const { return reporter_; }    // in-band report origin + 1
+  FieldRef epoch() const { return epoch_; }          // retry attempt tag (mod kEpochSpace)
 
   // --- per-node traversal state ---
   FieldRef par(graph::NodeId v) const { return par_[v]; }
@@ -86,7 +91,7 @@ class TagLayout {
   FieldRef chain_idx_;
   std::vector<FieldRef> chain_;
   FieldRef opt_id_, opt_val_, rec_count_, out_port_;
-  FieldRef reason_, reporter_;
+  FieldRef reason_, reporter_, epoch_;
   std::vector<FieldRef> scratch_a_, scratch_b_;
   std::vector<FieldRef> par_, cur_;
   FieldRef traversal_region_;

@@ -61,17 +61,80 @@ std::vector<Report> collect_reports(sim::Network& net, const TagLayout& L,
   return out;
 }
 
+/// The watchdog/retry loop shared by every hardened driver.  One object per
+/// run, stack-allocated: inject attempt 0, arm a watchdog callback inside
+/// the live event loop; each firing without a verdict bumps the accepted
+/// epoch (the compiled guard rules then eat the lost attempt's stragglers)
+/// and re-injects.  All attempts execute inside ONE net.run() drain, so
+/// scheduled churn keeps unfolding across retries — the regime
+/// run_with_retries cannot reach.
+class HardenedDriver {
+ public:
+  HardenedDriver(sim::Network& net, const TagLayout& L, NodeId root,
+                 const RetryPolicy& policy, std::function<void(ofp::Packet&)> decorate,
+                 std::function<bool(std::uint32_t)> verdict_seen)
+      : net_(net),
+        L_(L),
+        root_(root),
+        policy_(policy),
+        decorate_(std::move(decorate)),
+        verdict_seen_(std::move(verdict_seen)) {}
+
+  void run() {
+    inject();
+    net_.run();
+  }
+
+  std::uint32_t attempts() const { return attempts_; }
+  std::uint32_t epoch() const { return epoch_; }
+
+ private:
+  void inject() {
+    ++attempts_;
+    ofp::Packet pkt = L_.make_packet(kEthTraversal);
+    if (decorate_) decorate_(pkt);
+    L_.set(pkt, L_.epoch(), epoch_);
+    net_.packet_out(root_, std::move(pkt));
+    arm();
+  }
+
+  void arm() {
+    net_.schedule_callback(net_.now() + policy_.timeout, [this](sim::Network&) {
+      if (verdict_seen_(epoch_) || attempts_ >= policy_.max_attempts) return;
+      epoch_ = (epoch_ + 1) % kEpochSpace;
+      set_current_epoch(net_, epoch_);
+      inject();
+    });
+  }
+
+  sim::Network& net_;
+  const TagLayout& L_;
+  NodeId root_;
+  RetryPolicy policy_;
+  std::function<void(ofp::Packet&)> decorate_;
+  std::function<bool(std::uint32_t)> verdict_seen_;
+  std::uint32_t attempts_ = 0;
+  std::uint32_t epoch_ = 0;
+};
+
+void require_epoch_guard(const TemplateCompiler& compiler) {
+  if (!compiler.options().epoch_guard)
+    throw std::logic_error(
+        "run_hardened requires a service constructed with epoch_guard = true");
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // PlainTraversal
 // ---------------------------------------------------------------------------
 PlainTraversal::PlainTraversal(const graph::Graph& g, bool finish_report,
-                               bool use_fast_failover)
+                               bool use_fast_failover, bool epoch_guard)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kPlain);
         o.finish_report = finish_report;
         o.use_fast_failover = use_fast_failover;
+        o.epoch_guard = epoch_guard;
         return o;
       }()) {}
 
@@ -86,16 +149,38 @@ bool PlainTraversal::run(sim::Network& net, NodeId root, RunStats* stats) const 
   return false;
 }
 
+bool PlainTraversal::run_hardened(sim::Network& net, NodeId root,
+                                  const RetryPolicy& policy, HardenedStats* hardened,
+                                  RunStats* stats) const {
+  require_epoch_guard(compiler_);
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  auto finish_seen = [&](std::uint32_t epoch) {
+    for (const auto* m : new_msgs(net, mark))
+      if (m->reason == kReasonFinish &&
+          layout_.get(m->packet, layout_.epoch()) == epoch)
+        return true;
+    return false;
+  };
+  HardenedDriver drv(net, layout_, root, policy, nullptr, finish_seen);
+  drv.run();
+  if (stats) *stats = scope.delta();
+  if (hardened) *hardened = {drv.attempts(), drv.epoch()};
+  return finish_seen(drv.epoch());
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot
 // ---------------------------------------------------------------------------
 SnapshotService::SnapshotService(const graph::Graph& g, std::uint32_t fragment_limit,
-                                 bool dedup, std::optional<NodeId> inband_collector)
+                                 bool dedup, std::optional<NodeId> inband_collector,
+                                 bool epoch_guard)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kSnapshot);
         o.fragment_limit = fragment_limit;
         o.snapshot_dedup = dedup;
         o.inband_collector = inband_collector;
+        o.epoch_guard = epoch_guard;
         return o;
       }()) {}
 
@@ -174,6 +259,50 @@ SnapshotResult SnapshotService::run(sim::Network& net, NodeId root) const {
   return res;
 }
 
+SnapshotResult SnapshotService::run_hardened(sim::Network& net, NodeId root,
+                                             const RetryPolicy& policy,
+                                             HardenedStats* hardened) const {
+  require_epoch_guard(compiler_);
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  const std::size_t lmark = net.local_deliveries().size();
+  const auto collector = compiler_.options().inband_collector;
+  auto reports_of = [&](std::uint32_t epoch) {
+    std::vector<Report> out;
+    for (const Report& m :
+         collect_reports(net, layout_, mark, lmark, collector)) {
+      if (layout_.get(*m.packet, layout_.epoch()) == epoch) out.push_back(m);
+    }
+    return out;
+  };
+  auto finish_seen = [&](std::uint32_t epoch) {
+    for (const Report& m : reports_of(epoch))
+      if (m.reason == kReasonFinish) return true;
+    return false;
+  };
+  HardenedDriver drv(net, layout_, root, policy, nullptr, finish_seen);
+  drv.run();
+
+  // Decode only the accepted epoch's fragments: records flushed by an
+  // abandoned attempt would otherwise corrupt the stack decoding.
+  std::vector<std::uint32_t> labels;
+  bool complete = false;
+  std::size_t fragments = 0;
+  for (const Report& m : reports_of(drv.epoch())) {
+    if (m.reason == kReasonSnapshotFragment || m.reason == kReasonFinish) {
+      labels.insert(labels.end(), m.packet->labels.begin(), m.packet->labels.end());
+      ++fragments;
+      if (m.reason == kReasonFinish) complete = true;
+    }
+  }
+  SnapshotResult res = decode(labels);
+  res.complete = complete;
+  res.fragments = fragments;
+  res.stats = scope.delta();
+  if (hardened) *hardened = {drv.attempts(), drv.epoch()};
+  return res;
+}
+
 std::string SnapshotResult::canonical() const {
   std::vector<std::string> lines;
   lines.reserve(edges.size());
@@ -190,10 +319,12 @@ std::string SnapshotResult::canonical() const {
 // ---------------------------------------------------------------------------
 // Anycast
 // ---------------------------------------------------------------------------
-AnycastService::AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups)
+AnycastService::AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups,
+                               bool epoch_guard)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kAnycast);
         o.groups = std::move(groups);
+        o.epoch_guard = epoch_guard;
         return o;
       }()) {}
 
@@ -209,6 +340,36 @@ AnycastResult AnycastService::run(sim::Network& net, NodeId from, std::uint32_t 
   if (net.local_deliveries().size() > mark)
     res.delivered_at = net.local_deliveries()[mark].at;
   res.stats = scope.delta();
+  return res;
+}
+
+AnycastResult AnycastService::run_hardened(sim::Network& net, NodeId from,
+                                           std::uint32_t gid, const RetryPolicy& policy,
+                                           HardenedStats* hardened) const {
+  require_epoch_guard(compiler_);
+  StatsScope scope(net);
+  const std::size_t mark = net.local_deliveries().size();
+  auto delivery_of = [&](std::uint32_t epoch) -> const sim::LocalDelivery* {
+    for (std::size_t k = mark; k < net.local_deliveries().size(); ++k) {
+      const auto& d = net.local_deliveries()[k];
+      if (d.packet.eth_type == kEthTraversal &&
+          layout_.get(d.packet, layout_.epoch()) == epoch)
+        return &d;
+    }
+    return nullptr;
+  };
+  auto decorate = [&](ofp::Packet& pkt) {
+    layout_.set(pkt, layout_.gid(), gid);
+    pkt.payload_bytes = 64;
+  };
+  HardenedDriver drv(net, layout_, from, policy, decorate,
+                     [&](std::uint32_t e) { return delivery_of(e) != nullptr; });
+  drv.run();
+  AnycastResult res;
+  if (const sim::LocalDelivery* d = delivery_of(drv.epoch()))
+    res.delivered_at = d->at;
+  res.stats = scope.delta();
+  if (hardened) *hardened = {drv.attempts(), drv.epoch()};
   return res;
 }
 
@@ -533,10 +694,12 @@ LoadInferenceResult LoadInferenceService::infer(sim::Network& net, NodeId root) 
 // Critical-node detection
 // ---------------------------------------------------------------------------
 CriticalNodeService::CriticalNodeService(const graph::Graph& g,
-                                         std::optional<NodeId> inband_collector)
+                                         std::optional<NodeId> inband_collector,
+                                         bool epoch_guard)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kCritical);
         o.inband_collector = inband_collector;
+        o.epoch_guard = epoch_guard;
         return o;
       }()) {}
 
@@ -553,6 +716,34 @@ CriticalResult CriticalNodeService::run(sim::Network& net, NodeId v) const {
     if (m.reason == kReasonCritFalse && !res.critical.has_value()) res.critical = false;
   }
   res.stats = scope.delta();
+  return res;
+}
+
+CriticalResult CriticalNodeService::run_hardened(sim::Network& net, NodeId v,
+                                                 const RetryPolicy& policy,
+                                                 HardenedStats* hardened) const {
+  require_epoch_guard(compiler_);
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  const std::size_t lmark = net.local_deliveries().size();
+  const auto collector = compiler_.options().inband_collector;
+  auto verdict_of = [&](std::uint32_t epoch) -> std::optional<bool> {
+    std::optional<bool> verdict;
+    for (const Report& m :
+         collect_reports(net, layout_, mark, lmark, collector)) {
+      if (layout_.get(*m.packet, layout_.epoch()) != epoch) continue;
+      if (m.reason == kReasonCritTrue) verdict = true;
+      if (m.reason == kReasonCritFalse && !verdict.has_value()) verdict = false;
+    }
+    return verdict;
+  };
+  HardenedDriver drv(net, layout_, v, policy, nullptr,
+                     [&](std::uint32_t e) { return verdict_of(e).has_value(); });
+  drv.run();
+  CriticalResult res;
+  res.critical = verdict_of(drv.epoch());
+  res.stats = scope.delta();
+  if (hardened) *hardened = {drv.attempts(), drv.epoch()};
   return res;
 }
 

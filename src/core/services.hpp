@@ -52,6 +52,24 @@ class StatsScope {
   std::size_t watch_;
 };
 
+/// Watchdog/retry policy for traversals under churn (the scenario engine's
+/// hardening, §3.3 regime): if no verdict for the current attempt arrives
+/// within `timeout` simulated time units of its injection, the injection
+/// point re-issues the trigger with a bumped epoch tag; the compiled guard
+/// rules (CompilerOptions::epoch_guard) drop the previous attempt's
+/// packets, so a zombie traversal crawling out of a cleared blackhole
+/// cannot corrupt the retry's state.
+struct RetryPolicy {
+  sim::Time timeout = 64;
+  std::uint32_t max_attempts = 5;
+};
+
+/// What the hardened drivers report about their retry loop.
+struct HardenedStats {
+  std::uint32_t attempts = 0;     // trigger packets injected (>= 1)
+  std::uint32_t final_epoch = 0;  // epoch tag of the accepted attempt
+};
+
 // ---------------------------------------------------------------------------
 // Plain traversal (the bare SmartSouth template) — used to measure the
 // template's own message complexity.
@@ -59,10 +77,15 @@ class StatsScope {
 class PlainTraversal {
  public:
   explicit PlainTraversal(const graph::Graph& g, bool finish_report = true,
-                          bool use_fast_failover = true);
+                          bool use_fast_failover = true, bool epoch_guard = false);
   void install(sim::Network& net) const { compiler_.install(net); }
   /// Inject at `root`; returns true iff the root's Finish() fired.
   bool run(sim::Network& net, graph::NodeId root, RunStats* stats = nullptr) const;
+  /// Watchdog/retry run (requires construction with epoch_guard = true):
+  /// returns true iff some attempt's Finish() fired.
+  bool run_hardened(sim::Network& net, graph::NodeId root, const RetryPolicy& policy,
+                    HardenedStats* hardened = nullptr,
+                    RunStats* stats = nullptr) const;
   const TagLayout& layout() const { return layout_; }
 
  private:
@@ -97,7 +120,8 @@ class SnapshotService {
   /// port instead of the controller channel (fully in-band monitoring).
   explicit SnapshotService(const graph::Graph& g, std::uint32_t fragment_limit = 0,
                            bool dedup = true,
-                           std::optional<graph::NodeId> inband_collector = {});
+                           std::optional<graph::NodeId> inband_collector = {},
+                           bool epoch_guard = false);
   void install(sim::Network& net) const { compiler_.install(net); }
   SnapshotResult run(sim::Network& net, graph::NodeId root) const;
 
@@ -109,6 +133,15 @@ class SnapshotService {
   SnapshotResult run_with_retries(sim::Network& net, graph::NodeId root,
                                   std::uint32_t max_attempts,
                                   std::uint32_t* attempts = nullptr) const;
+
+  /// In-run watchdog/retry (requires epoch_guard = true at construction):
+  /// unlike run_with_retries, the retry fires WHILE the network is live —
+  /// a silently eaten trigger is replaced after `policy.timeout` without
+  /// waiting for the event queue to drain, and only records tagged with
+  /// the accepted epoch are decoded.
+  SnapshotResult run_hardened(sim::Network& net, graph::NodeId root,
+                              const RetryPolicy& policy,
+                              HardenedStats* hardened = nullptr) const;
   const TagLayout& layout() const { return layout_; }
 
   /// Decode a concatenated record stream (exposed for tests).
@@ -130,9 +163,18 @@ struct AnycastResult {
 
 class AnycastService {
  public:
-  AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups);
+  AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups,
+                 bool epoch_guard = false);
   void install(sim::Network& net) const { compiler_.install(net); }
   AnycastResult run(sim::Network& net, graph::NodeId from, std::uint32_t gid) const;
+  /// Watchdog/retry run (requires epoch_guard = true at construction).
+  /// Note the asymmetry with snapshot: an anycast with no reachable
+  /// receiver ends silently at the root, indistinguishable in-band from a
+  /// swallowed trigger, so such runs spend all max_attempts before giving
+  /// up.
+  AnycastResult run_hardened(sim::Network& net, graph::NodeId from, std::uint32_t gid,
+                             const RetryPolicy& policy,
+                             HardenedStats* hardened = nullptr) const;
   const TagLayout& layout() const { return layout_; }
 
  private:
@@ -327,10 +369,16 @@ struct CriticalResult {
 class CriticalNodeService {
  public:
   explicit CriticalNodeService(const graph::Graph& g,
-                               std::optional<graph::NodeId> inband_collector = {});
+                               std::optional<graph::NodeId> inband_collector = {},
+                               bool epoch_guard = false);
   void install(sim::Network& net) const { compiler_.install(net); }
   /// Ask node `v` to test its own criticality.
   CriticalResult run(sim::Network& net, graph::NodeId v) const;
+  /// Watchdog/retry run (requires epoch_guard = true at construction); the
+  /// verdict is taken from the accepted epoch's reports only.
+  CriticalResult run_hardened(sim::Network& net, graph::NodeId v,
+                              const RetryPolicy& policy,
+                              HardenedStats* hardened = nullptr) const;
   const TagLayout& layout() const { return layout_; }
 
  private:

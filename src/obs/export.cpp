@@ -140,20 +140,23 @@ void write_run_stats(std::ostream& os, const core::RunStats& rs, std::string_vie
      << "\n";
 }
 
+void add_stats_fields(JsonObj& o, const sim::Stats& s) {
+  o.add("sent", s.sent)
+      .add("delivered", s.delivered)
+      .add("dropped_down", s.dropped_down)
+      .add("dropped_blackhole", s.dropped_blackhole)
+      .add("dropped_loss", s.dropped_loss)
+      .add("controller_msgs", s.controller_msgs)
+      .add("packet_outs", s.packet_outs)
+      .add("max_wire_bytes", s.max_wire_bytes)
+      .add("events", s.events);
+}
+
 void write_sim_stats(std::ostream& os, const sim::Stats& s) {
-  os << JsonObj()
-            .add("type", "sim")
-            .add("sent", s.sent)
-            .add("delivered", s.delivered)
-            .add("dropped_down", s.dropped_down)
-            .add("dropped_blackhole", s.dropped_blackhole)
-            .add("dropped_loss", s.dropped_loss)
-            .add("controller_msgs", s.controller_msgs)
-            .add("packet_outs", s.packet_outs)
-            .add("max_wire_bytes", s.max_wire_bytes)
-            .add("events", s.events)
-            .str()
-     << "\n";
+  JsonObj o;
+  o.add("type", "sim");
+  add_stats_fields(o, s);
+  os << o.str() << "\n";
 }
 
 void write_all(std::ostream& os, const sim::Network& net) {

@@ -24,6 +24,7 @@
 #include <string_view>
 
 #include "core/services.hpp"
+#include "obs/json.hpp"
 #include "ofp/stats.hpp"
 #include "sim/network.hpp"
 
@@ -53,6 +54,11 @@ std::string hop_json(const sim::TraceEntry& te);
 void write_run_stats(std::ostream& os, const core::RunStats& rs, std::string_view label);
 
 void write_sim_stats(std::ostream& os, const sim::Stats& s);
+
+/// Append the Stats counters to an object under their canonical keys —
+/// shared by the "sim" record and the scenario runner's per-event timeline
+/// records, so both speak the same schema.
+void add_stats_fields(JsonObj& o, const sim::Stats& s);
 
 /// Everything at once: sim stats, flow/group/port/link counters, trace.
 void write_all(std::ostream& os, const sim::Network& net);

@@ -1,0 +1,328 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/eth_types.hpp"
+#include "graph/algorithms.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "util/strings.hpp"
+
+namespace ss::scenario {
+
+using graph::NodeId;
+
+namespace {
+
+/// Counter-wise b - a (max_wire_bytes is a high-watermark, kept as-is).
+sim::Stats stats_delta(const sim::Stats& b, const sim::Stats& a) {
+  sim::Stats d;
+  d.sent = b.sent - a.sent;
+  d.delivered = b.delivered - a.delivered;
+  d.dropped_down = b.dropped_down - a.dropped_down;
+  d.dropped_blackhole = b.dropped_blackhole - a.dropped_blackhole;
+  d.dropped_loss = b.dropped_loss - a.dropped_loss;
+  d.controller_msgs = b.controller_msgs - a.controller_msgs;
+  d.packet_outs = b.packet_outs - a.packet_outs;
+  d.max_wire_bytes = b.max_wire_bytes;
+  d.events = b.events - a.events;
+  return d;
+}
+
+std::string describe_change(const sim::NetChange& c) {
+  using K = sim::NetChange::Kind;
+  switch (c.kind) {
+    case K::kLinkState:
+      return util::cat(c.flag ? "link_up" : "link_down", " edge=", c.edge);
+    case K::kBlackhole:
+      return util::cat(c.flag ? "blackhole_on" : "blackhole_off", " edge=", c.edge,
+                       c.both_dirs ? std::string{} : util::cat(" from=", c.sw));
+    case K::kLoss:
+      return util::cat("loss edge=", c.edge,
+                       c.both_dirs ? std::string{} : util::cat(" from=", c.sw),
+                       " rate=", c.rate);
+    case K::kSwitchState:
+      return util::cat(c.flag ? "switch_restore" : "switch_crash", " switch=", c.sw);
+    case K::kCallback:
+      return "callback";
+  }
+  return "?";
+}
+
+/// Canonical "u:pu-v:pv" line set of the component of `root` under `alive`
+/// — the reference a correct snapshot must equal.
+std::string expected_snapshot(const graph::Graph& g, NodeId root,
+                              const graph::EdgeAlive& alive) {
+  const std::vector<bool> reach = graph::reachable_from(g, root, alive);
+  std::vector<std::string> lines;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!alive(e)) continue;
+    const graph::Edge& ed = g.edge(e);
+    if (!reach[ed.a.node] || !reach[ed.b.node]) continue;
+    graph::Endpoint lo = ed.a, hi = ed.b;
+    if (hi.node < lo.node) std::swap(lo, hi);
+    lines.push_back(util::cat(lo.node, ":", lo.port, "-", hi.node, ":", hi.port));
+  }
+  std::sort(lines.begin(), lines.end());
+  return util::join(lines, "\n");
+}
+
+}  // namespace
+
+graph::EdgeAlive alive_at(const ScenarioSpec& spec, sim::Time t) {
+  std::vector<bool> admin(spec.graph.edge_count(), true);
+  std::vector<bool> sw_up(spec.graph.node_count(), true);
+  for (const FaultEvent& ev : spec.schedule) {
+    if (ev.at > t) break;  // schedule is sorted; at == t applies before arrivals
+    switch (ev.op) {
+      case FaultOp::kLinkDown: admin[ev.edge] = false; break;
+      case FaultOp::kLinkUp: admin[ev.edge] = true; break;
+      case FaultOp::kSwitchCrash: sw_up[ev.sw] = false; break;
+      case FaultOp::kSwitchRestore: sw_up[ev.sw] = true; break;
+      default: break;  // blackhole / loss leave links alive (§3.3)
+    }
+  }
+  std::vector<bool> alive(spec.graph.edge_count(), true);
+  for (graph::EdgeId e = 0; e < spec.graph.edge_count(); ++e) {
+    const graph::Edge& ed = spec.graph.edge(e);
+    alive[e] = admin[e] && sw_up[ed.a.node] && sw_up[ed.b.node];
+  }
+  return [alive = std::move(alive)](graph::EdgeId e) { return alive[e]; };
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioResult r;
+  sim::Network net(spec.graph, spec.link_delay, spec.seed);
+  const bool hardened = spec.retry.has_value();
+
+  sim::Stats last{};
+  net.set_change_hook([&](sim::Time t, const sim::NetChange& c) {
+    if (c.kind == sim::NetChange::Kind::kCallback) return;  // watchdogs, not faults
+    TimelineEntry te;
+    te.at = t;
+    te.what = describe_change(c);
+    te.delta = stats_delta(net.stats(), last);
+    last = net.stats();
+    r.timeline.push_back(std::move(te));
+  });
+  apply_schedule(net, spec.schedule);
+
+  const std::size_t ctrl_mark = net.controller_msgs().size();
+  const std::size_t local_mark = net.local_deliveries().size();
+  core::HardenedStats hs{1, 0};
+
+  // The accepted attempt's controller message of reason `reason`, epoch-
+  // filtered when hardened (a stale attempt's reports must not set the
+  // verdict time).
+  auto find_report = [&](const core::TagLayout& L,
+                         std::uint32_t reason) -> const sim::ControllerMsg* {
+    for (std::size_t k = ctrl_mark; k < net.controller_msgs().size(); ++k) {
+      const auto& m = net.controller_msgs()[k];
+      if (m.reason != reason) continue;
+      if (hardened && L.get(m.packet, L.epoch()) != hs.final_epoch) continue;
+      return &m;
+    }
+    return nullptr;
+  };
+
+  if (spec.service == "plain") {
+    core::PlainTraversal svc(spec.graph, true, true, hardened);
+    svc.install(net);
+    r.complete = hardened
+                     ? svc.run_hardened(net, spec.root, *spec.retry, &hs, &r.run)
+                     : svc.run(net, spec.root, &r.run);
+    if (const auto* m = find_report(svc.layout(), core::kReasonFinish))
+      r.verdict_at = m->time;
+    r.ground_truth_ok = r.complete;
+    r.ground_truth_detail =
+        r.complete ? "finish received" : "traversal never finished";
+  } else if (spec.service == "snapshot") {
+    core::SnapshotService svc(spec.graph, spec.fragment_limit, true, {}, hardened);
+    svc.install(net);
+    core::SnapshotResult res =
+        hardened ? svc.run_hardened(net, spec.root, *spec.retry, &hs)
+                 : svc.run(net, spec.root);
+    r.complete = res.complete;
+    r.run = res.stats;
+    r.snapshot_canonical = res.canonical();
+    r.snapshot_fragments = res.fragments;
+    if (const auto* m = find_report(svc.layout(), core::kReasonFinish))
+      r.verdict_at = m->time;
+    if (r.complete) {
+      const std::string want =
+          expected_snapshot(spec.graph, spec.root, alive_at(spec, r.verdict_at));
+      r.snapshot_match = r.snapshot_canonical == want;
+      r.ground_truth_ok = r.snapshot_match;
+      r.ground_truth_detail = r.snapshot_match
+                                  ? "snapshot equals reference component"
+                                  : "snapshot differs from reference component";
+    } else {
+      r.ground_truth_detail = "no complete snapshot";
+    }
+  } else if (spec.service == "anycast") {
+    core::AnycastGroupSpec gs;
+    gs.gid = spec.anycast_gid;
+    for (NodeId m : spec.anycast_members) gs.members[m] = 1;
+    core::AnycastService svc(spec.graph, {gs}, hardened);
+    svc.install(net);
+    core::AnycastResult res =
+        hardened
+            ? svc.run_hardened(net, spec.root, spec.anycast_gid, *spec.retry, &hs)
+            : svc.run(net, spec.root, spec.anycast_gid);
+    r.complete = res.delivered_at.has_value();
+    r.run = res.stats;
+    r.delivered_at = res.delivered_at;
+    if (r.complete) {
+      for (std::size_t k = local_mark; k < net.local_deliveries().size(); ++k) {
+        const auto& d = net.local_deliveries()[k];
+        if (d.at != *res.delivered_at || d.packet.eth_type != core::kEthTraversal)
+          continue;
+        const auto& L = svc.layout();
+        if (hardened && L.get(d.packet, L.epoch()) != hs.final_epoch) continue;
+        r.verdict_at = d.time;
+        break;
+      }
+      const auto alive = alive_at(spec, r.verdict_at);
+      const std::vector<bool> reach =
+          graph::reachable_from(spec.graph, spec.root, alive);
+      const bool is_member =
+          std::find(spec.anycast_members.begin(), spec.anycast_members.end(),
+                    *res.delivered_at) != spec.anycast_members.end();
+      r.ground_truth_ok = is_member && reach[*res.delivered_at];
+      r.ground_truth_detail =
+          r.ground_truth_ok ? "delivered to a reachable group member"
+                            : "delivered to a non-member or unreachable node";
+    } else {
+      // No claim was made; correct iff no member was reachable when the
+      // run drained (post-schedule network state).
+      const std::vector<bool> reach =
+          graph::reachable_from(spec.graph, spec.root, net.alive_fn());
+      bool any = false;
+      for (NodeId m : spec.anycast_members) any = any || reach[m];
+      r.ground_truth_ok = !any;
+      r.ground_truth_detail = any ? "a group member was reachable but not served"
+                                  : "no group member reachable";
+    }
+  } else {  // critical
+    core::CriticalNodeService svc(spec.graph, {}, hardened);
+    svc.install(net);
+    core::CriticalResult res =
+        hardened ? svc.run_hardened(net, spec.root, *spec.retry, &hs)
+                 : svc.run(net, spec.root);
+    r.complete = res.critical.has_value();
+    r.run = res.stats;
+    r.critical = res.critical;
+    if (r.complete) {
+      const auto* m = find_report(svc.layout(), *res.critical
+                                                    ? core::kReasonCritTrue
+                                                    : core::kReasonCritFalse);
+      if (m != nullptr) r.verdict_at = m->time;
+      const std::vector<bool> cut = graph::articulation_points(
+          spec.graph, alive_at(spec, r.verdict_at));
+      r.ground_truth_ok = cut[spec.root] == *res.critical;
+      r.ground_truth_detail = r.ground_truth_ok
+                                  ? "verdict matches articulation-point check"
+                                  : "verdict contradicts articulation-point check";
+    } else {
+      r.ground_truth_detail = "no criticality verdict";
+    }
+  }
+
+  r.attempts = hs.attempts;
+  r.final_epoch = hs.final_epoch;
+  r.verdict = r.complete ? "complete" : "incomplete";
+  r.sim = net.stats();
+  for (graph::EdgeId e = 0; e < net.link_count(); ++e) {
+    for (bool dir : {true, false}) {
+      const sim::WireCounters& w = net.link(e).wire(dir);
+      r.wire_sent += w.sent;
+      r.wire_delivered += w.delivered;
+      r.wire_dropped_down += w.dropped_down;
+      r.wire_dropped_blackhole += w.dropped_blackhole;
+      r.wire_dropped_loss += w.dropped_loss;
+    }
+  }
+
+  const ExpectSpec& ex = spec.expect;
+  auto expect_failed = [&](std::string what) {
+    r.expect_ok = false;
+    r.expect_failures.push_back(std::move(what));
+  };
+  if (ex.verdict && *ex.verdict != r.verdict)
+    expect_failed(util::cat("verdict: want ", *ex.verdict, ", got ", r.verdict));
+  if (ex.max_attempts && r.attempts > *ex.max_attempts)
+    expect_failed(util::cat("attempts: want <= ", *ex.max_attempts, ", got ",
+                            r.attempts));
+  if (ex.snapshot_match && *ex.snapshot_match != r.snapshot_match)
+    expect_failed(util::cat("snapshot_match: want ", *ex.snapshot_match, ", got ",
+                            r.snapshot_match));
+  if (ex.delivered_at &&
+      (!r.delivered_at || *r.delivered_at != *ex.delivered_at))
+    expect_failed(util::cat("delivered_at: want ", *ex.delivered_at));
+  if (ex.critical && (!r.critical || *r.critical != *ex.critical))
+    expect_failed(util::cat("critical: want ", *ex.critical));
+  return r;
+}
+
+void write_result_jsonl(std::ostream& os, const ScenarioSpec& spec,
+                        const ScenarioResult& r) {
+  {
+    obs::JsonObj o;
+    o.add("type", "scenario")
+        .add("name", spec.name)
+        .add("topology", spec.topology.kind)
+        .add("n", spec.graph.node_count())
+        .add("edges", spec.graph.edge_count())
+        .add("seed", spec.seed)
+        .add("root", spec.root)
+        .add("service", spec.service)
+        .add("events", spec.schedule.size())
+        .add("hardened", spec.retry.has_value());
+    if (spec.retry)
+      o.add("retry_timeout", spec.retry->timeout)
+          .add("retry_max_attempts", spec.retry->max_attempts);
+    os << o.str() << "\n";
+  }
+  for (const TimelineEntry& te : r.timeline) {
+    obs::JsonObj o;
+    o.add("type", "scenario_event").add("at", te.at).add("what", te.what);
+    obs::add_stats_fields(o, te.delta);
+    os << o.str() << "\n";
+  }
+  obs::JsonObj o;
+  o.add("type", "scenario_result")
+      .add("verdict", r.verdict)
+      .add("attempts", r.attempts)
+      .add("final_epoch", r.final_epoch)
+      .add("verdict_at", r.verdict_at)
+      .add("ground_truth_ok", r.ground_truth_ok)
+      .add("ground_truth", r.ground_truth_detail);
+  if (spec.service == "snapshot")
+    o.add("snapshot_match", r.snapshot_match)
+        .add("snapshot_fragments", r.snapshot_fragments);
+  if (spec.service == "anycast")
+    o.add_i("delivered_at", r.delivered_at ? static_cast<std::int64_t>(*r.delivered_at)
+                                           : std::int64_t{-1});
+  if (spec.service == "critical")
+    o.add("critical", r.critical ? (*r.critical ? "true" : "false") : "none");
+  o.add("inband_msgs", r.run.inband_msgs)
+      .add("outband_to_ctrl", r.run.outband_to_ctrl)
+      .add("outband_from_ctrl", r.run.outband_from_ctrl)
+      .add("max_wire_bytes", r.run.max_wire_bytes)
+      .add("wire_sent", r.wire_sent)
+      .add("wire_delivered", r.wire_delivered)
+      .add("wire_dropped_down", r.wire_dropped_down)
+      .add("wire_dropped_blackhole", r.wire_dropped_blackhole)
+      .add("wire_dropped_loss", r.wire_dropped_loss)
+      .add("expect_ok", r.expect_ok);
+  if (!r.expect_failures.empty()) {
+    obs::JsonArr arr;
+    for (const std::string& f : r.expect_failures)
+      arr.push_raw(util::cat("\"", obs::json_escape(f), "\""));
+    o.add_raw("expect_failures", arr.str());
+  }
+  os << o.str() << "\n";
+}
+
+}  // namespace ss::scenario

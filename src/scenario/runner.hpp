@@ -1,0 +1,77 @@
+#pragma once
+// Scenario runner: execute one parsed ScenarioSpec against a fresh network
+// and judge the outcome against omniscient ground truth.
+//
+// Judgement happens at verdict time, not end-of-run: a schedule may restore
+// links AFTER the service produced its answer, so the runner reconstructs
+// link/switch aliveness at the accepted report's timestamp by folding the
+// spec's own schedule (blackholes and loss do not affect aliveness — that
+// is the point of §3.3), and compares the service's claim against the
+// reference algorithms on that graph plus the WireCounters the simulator
+// kept.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "sim/network.hpp"
+
+namespace ss::scenario {
+
+/// One applied fault with the Stats movement since the previous timeline
+/// cut (counter deltas; max_wire_bytes is the running high-watermark).
+struct TimelineEntry {
+  sim::Time at = 0;
+  std::string what;
+  sim::Stats delta;
+};
+
+struct ScenarioResult {
+  bool complete = false;
+  std::string verdict = "incomplete";  // "complete" | "incomplete"
+  std::uint32_t attempts = 1;
+  std::uint32_t final_epoch = 0;
+  sim::Time verdict_at = 0;  // accepted report's simulated timestamp
+  bool ground_truth_ok = false;
+  std::string ground_truth_detail;
+
+  std::vector<TimelineEntry> timeline;
+  core::RunStats run;  // the service run's own accounting
+  sim::Stats sim;      // whole-scenario simulator counters
+
+  // WireCounters totals over every link and direction (omniscient).
+  std::uint64_t wire_sent = 0;
+  std::uint64_t wire_delivered = 0;
+  std::uint64_t wire_dropped_down = 0;
+  std::uint64_t wire_dropped_blackhole = 0;
+  std::uint64_t wire_dropped_loss = 0;
+
+  // Service payloads (set by the matching service only).
+  std::string snapshot_canonical;
+  bool snapshot_match = false;
+  std::size_t snapshot_fragments = 0;
+  std::optional<graph::NodeId> delivered_at;
+  std::optional<bool> critical;
+
+  bool expect_ok = true;
+  std::vector<std::string> expect_failures;
+};
+
+/// Execute the scenario; deterministic for a given spec (and therefore for
+/// a given file + seed).
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Emit the deterministic JSONL result stream: one "scenario" header line,
+/// one "scenario_event" line per applied fault, one "scenario_result" line.
+void write_result_jsonl(std::ostream& os, const ScenarioSpec& spec,
+                        const ScenarioResult& r);
+
+/// Link/switch aliveness at time `t` folded from the spec's schedule
+/// (events with at <= t applied, matching the run loop's ordering).
+/// Exposed for tests.
+graph::EdgeAlive alive_at(const ScenarioSpec& spec, sim::Time t);
+
+}  // namespace ss::scenario

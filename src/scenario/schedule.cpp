@@ -1,0 +1,137 @@
+#include "scenario/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ss::scenario {
+
+const char* fault_op_name(FaultOp op) {
+  switch (op) {
+    case FaultOp::kLinkDown: return "link_down";
+    case FaultOp::kLinkUp: return "link_up";
+    case FaultOp::kBlackholeOn: return "blackhole_on";
+    case FaultOp::kBlackholeOff: return "blackhole_off";
+    case FaultOp::kLossSet: return "loss";
+    case FaultOp::kSwitchCrash: return "switch_crash";
+    case FaultOp::kSwitchRestore: return "switch_restore";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> expand_flap(const FlapSpec& f) {
+  if (f.down_for == 0 || f.down_for >= f.period)
+    throw std::invalid_argument("flap: need 0 < down_for < period");
+  std::vector<FaultEvent> out;
+  out.reserve(2 * f.count);
+  for (std::uint32_t k = 0; k < f.count; ++k) {
+    const sim::Time t = f.start + static_cast<sim::Time>(k) * f.period;
+    out.push_back({t, FaultOp::kLinkDown, f.edge, 0, std::nullopt, 0.0});
+    out.push_back({t + f.down_for, FaultOp::kLinkUp, f.edge, 0, std::nullopt, 0.0});
+  }
+  return out;
+}
+
+std::vector<FaultEvent> expand_poisson_churn(const PoissonChurnSpec& p, util::Rng& rng) {
+  if (p.rate <= 0.0) throw std::invalid_argument("poisson_churn: rate must be > 0");
+  if (p.end < p.start) throw std::invalid_argument("poisson_churn: end < start");
+  if (p.edges.empty()) throw std::invalid_argument("poisson_churn: no candidate edges");
+  std::vector<FaultEvent> out;
+  double t = static_cast<double>(p.start);
+  while (true) {
+    // Exponential inter-arrival; 1 - uniform01 avoids log(0).
+    t += -std::log(1.0 - rng.uniform01()) / p.rate;
+    if (t > static_cast<double>(p.end)) break;
+    const auto at = static_cast<sim::Time>(t);
+    const graph::EdgeId e =
+        p.edges[rng.uniform(0, static_cast<std::uint64_t>(p.edges.size()) - 1)];
+    out.push_back({at, FaultOp::kLinkDown, e, 0, std::nullopt, 0.0});
+    if (p.down_for > 0)
+      out.push_back({at + p.down_for, FaultOp::kLinkUp, e, 0, std::nullopt, 0.0});
+  }
+  return out;
+}
+
+std::vector<FaultEvent> expand_k_failures(const KFailuresSpec& s, util::Rng& rng) {
+  if (s.edges.size() < s.k)
+    throw std::invalid_argument("k_failures: fewer candidate edges than k");
+  // Partial Fisher-Yates: the first k slots become the failed set.
+  std::vector<graph::EdgeId> pool = s.edges;
+  std::vector<FaultEvent> out;
+  for (std::uint32_t i = 0; i < s.k; ++i) {
+    const auto j =
+        i + rng.uniform(0, static_cast<std::uint64_t>(pool.size() - i) - 1);
+    std::swap(pool[i], pool[j]);
+    out.push_back({s.at, FaultOp::kLinkDown, pool[i], 0, std::nullopt, 0.0});
+    if (s.down_for > 0)
+      out.push_back(
+          {s.at + s.down_for, FaultOp::kLinkUp, pool[i], 0, std::nullopt, 0.0});
+  }
+  return out;
+}
+
+void sort_schedule(std::vector<FaultEvent>& schedule) {
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+void apply_schedule(sim::Network& net, const std::vector<FaultEvent>& schedule) {
+  for (const FaultEvent& ev : schedule) {
+    switch (ev.op) {
+      case FaultOp::kLinkDown:
+        net.schedule_link_state(ev.edge, false, ev.at);
+        break;
+      case FaultOp::kLinkUp:
+        net.schedule_link_state(ev.edge, true, ev.at);
+        break;
+      case FaultOp::kBlackholeOn:
+        if (ev.from)
+          net.schedule_blackhole_from(ev.edge, *ev.from, true, ev.at);
+        else
+          net.schedule_blackhole(ev.edge, true, ev.at);
+        break;
+      case FaultOp::kBlackholeOff:
+        if (ev.from)
+          net.schedule_blackhole_from(ev.edge, *ev.from, false, ev.at);
+        else
+          net.schedule_blackhole(ev.edge, false, ev.at);
+        break;
+      case FaultOp::kLossSet:
+        if (ev.from)
+          net.schedule_loss_from(ev.edge, *ev.from, ev.rate, ev.at);
+        else
+          net.schedule_loss(ev.edge, ev.rate, ev.at);
+        break;
+      case FaultOp::kSwitchCrash:
+        net.schedule_switch_state(ev.sw, false, ev.at);
+        break;
+      case FaultOp::kSwitchRestore:
+        net.schedule_switch_state(ev.sw, true, ev.at);
+        break;
+    }
+  }
+}
+
+std::string describe(const FaultEvent& ev) {
+  std::string s = fault_op_name(ev.op);
+  switch (ev.op) {
+    case FaultOp::kSwitchCrash:
+    case FaultOp::kSwitchRestore:
+      s += util::cat(" switch=", ev.sw);
+      break;
+    case FaultOp::kLossSet:
+      s += util::cat(" edge=", ev.edge);
+      if (ev.from) s += util::cat(" from=", *ev.from);
+      s += util::cat(" rate=", ev.rate);
+      break;
+    default:
+      s += util::cat(" edge=", ev.edge);
+      if (ev.from) s += util::cat(" from=", *ev.from);
+      break;
+  }
+  return s;
+}
+
+}  // namespace ss::scenario

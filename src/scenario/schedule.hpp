@@ -1,0 +1,87 @@
+#pragma once
+// Deterministic fault schedules: the typed event list the scenario engine
+// feeds into sim::Network's change queue, plus the generators that expand
+// compact workload descriptions (flap trains, Poisson churn, k random
+// failures) into concrete events.
+//
+// Determinism contract: expansion consumes a caller-supplied util::Rng in
+// argument order, sort_schedule() is stable, and sim::Network applies
+// equal-time changes in insertion order — so a (spec, seed) pair always
+// produces the identical event sequence, which is what makes scenario
+// results byte-replayable.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace ss::scenario {
+
+enum class FaultOp : std::uint8_t {
+  kLinkDown,       // administrative down: FAST-FAILOVER visible
+  kLinkUp,
+  kBlackholeOn,    // silent drop, port stays live (§3.3)
+  kBlackholeOff,
+  kLossSet,        // Bernoulli loss rate change
+  kSwitchCrash,    // every incident link's ports go not-live
+  kSwitchRestore,
+};
+
+const char* fault_op_name(FaultOp op);
+
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultOp op = FaultOp::kLinkDown;
+  graph::EdgeId edge = 0;              // link ops
+  ofp::SwitchId sw = 0;                // kSwitchCrash / kSwitchRestore
+  std::optional<ofp::SwitchId> from;   // directional blackhole/loss origin
+  double rate = 0.0;                   // kLossSet
+};
+
+/// Periodic link flap train: `count` down/up pairs starting at `start`,
+/// one per `period`, each down phase lasting `down_for` (< period).
+struct FlapSpec {
+  graph::EdgeId edge = 0;
+  sim::Time start = 0;
+  sim::Time period = 10;
+  sim::Time down_for = 5;
+  std::uint32_t count = 1;
+};
+std::vector<FaultEvent> expand_flap(const FlapSpec& f);
+
+/// Poisson link churn over [start, end]: failures arrive with exponential
+/// inter-arrival times (mean 1/rate), each picking a uniform edge from
+/// `edges` and staying down for `down_for` (0 = permanent).
+struct PoissonChurnSpec {
+  double rate = 0.001;  // expected failures per simulated time unit
+  sim::Time start = 0;
+  sim::Time end = 0;
+  sim::Time down_for = 0;
+  std::vector<graph::EdgeId> edges;  // candidate edges (must be non-empty)
+};
+std::vector<FaultEvent> expand_poisson_churn(const PoissonChurnSpec& p, util::Rng& rng);
+
+/// k distinct random edges fail simultaneously at time `at`, each restored
+/// after `down_for` (0 = permanent).
+struct KFailuresSpec {
+  std::uint32_t k = 1;
+  sim::Time at = 0;
+  sim::Time down_for = 0;
+  std::vector<graph::EdgeId> edges;  // candidate edges (must hold >= k)
+};
+std::vector<FaultEvent> expand_k_failures(const KFailuresSpec& s, util::Rng& rng);
+
+/// Stable sort by time: equal-time events keep their relative order.
+void sort_schedule(std::vector<FaultEvent>& schedule);
+
+/// Install every event into the network's change queue.
+void apply_schedule(sim::Network& net, const std::vector<FaultEvent>& schedule);
+
+/// Human/JSONL label, e.g. "link_down edge=12" or "loss edge=3 rate=0.5".
+std::string describe(const FaultEvent& ev);
+
+}  // namespace ss::scenario

@@ -1,0 +1,248 @@
+#include "scenario/spec.hpp"
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "util/strings.hpp"
+
+namespace ss::scenario {
+
+using obs::JsonValue;
+
+graph::Graph build_topology(const TopoRef& t, std::string* error) {
+  util::Rng rng(t.seed);
+  const std::size_t n = t.n;
+  if (t.kind == "ring") return graph::make_ring(n);
+  if (t.kind == "path") return graph::make_path(n);
+  if (t.kind == "star") return graph::make_star(n);
+  if (t.kind == "complete") return graph::make_complete(n);
+  if (t.kind == "grid") return graph::make_grid(n / 4 ? n / 4 : 1, 4);
+  if (t.kind == "torus") return graph::make_torus(n / 4 ? n / 4 : 3, 4);
+  if (t.kind == "tree") return graph::make_dary_tree(n, 2);
+  if (t.kind == "gnp") return graph::make_gnp_connected(n, 0.2, rng);
+  if (t.kind == "reg") return graph::make_random_regular(n, 4, rng);
+  if (t.kind == "fattree") return graph::make_fat_tree(n);
+  if (error) *error = util::cat("unknown topology kind '", t.kind, "'");
+  return graph::Graph{};
+}
+
+namespace {
+
+double num_or(const JsonValue& obj, std::string_view key, double dflt) {
+  const JsonValue* v = obj.get(key);
+  return v != nullptr && v->is_number() ? v->number : dflt;
+}
+
+/// All edge ids of `g` — the default candidate set for generators.
+std::vector<graph::EdgeId> all_edges(const graph::Graph& g) {
+  std::vector<graph::EdgeId> out(g.edge_count());
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) out[e] = e;
+  return out;
+}
+
+/// Parse an optional "edges": [..] array, defaulting to every edge.
+bool parse_edge_set(const JsonValue& item, const graph::Graph& g,
+                    std::vector<graph::EdgeId>* out, std::string* error) {
+  const JsonValue* arr = item.get("edges");
+  if (arr == nullptr) {
+    *out = all_edges(g);
+    return true;
+  }
+  if (!arr->is_array()) {
+    *error = "'edges' must be an array";
+    return false;
+  }
+  for (const JsonValue& v : arr->array) {
+    if (!v.is_number() || v.number < 0 || v.number >= g.edge_count()) {
+      *error = "edge id out of range in 'edges'";
+      return false;
+    }
+    out->push_back(static_cast<graph::EdgeId>(v.number));
+  }
+  return true;
+}
+
+/// One end of `edge`, validated.
+bool check_from(const JsonValue& item, const graph::Graph& g, graph::EdgeId edge,
+                std::optional<ofp::SwitchId>* from, std::string* error) {
+  const JsonValue* v = item.get("from");
+  if (v == nullptr) return true;
+  if (!v->is_number()) {
+    *error = "'from' must be a switch id";
+    return false;
+  }
+  const auto sw = static_cast<ofp::SwitchId>(v->number);
+  const graph::Edge& ed = g.edge(edge);
+  if (sw != ed.a.node && sw != ed.b.node) {
+    *error = util::cat("'from' switch ", sw, " is not an end of edge ", edge);
+    return false;
+  }
+  *from = sw;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
+                                           std::string* error) {
+  std::string err;
+  auto fail = [&](std::string msg) -> std::optional<ScenarioSpec> {
+    if (error) *error = std::move(msg);
+    return std::nullopt;
+  };
+
+  const auto doc = obs::json_parse(json_text);
+  if (!doc || !doc->is_object()) return fail("malformed JSON");
+
+  ScenarioSpec s;
+  s.name = doc->str("name", "unnamed");
+  if (const JsonValue* t = doc->get("topology")) {
+    if (!t->is_object()) return fail("'topology' must be an object");
+    s.topology.kind = t->str("kind", "ring");
+    s.topology.n = t->u64("n", 16);
+    s.topology.seed = t->u64("seed", 1);
+  }
+  s.graph = build_topology(s.topology, &err);
+  if (!err.empty()) return fail(err);
+  if (s.graph.node_count() == 0) return fail("empty topology");
+
+  s.seed = doc->u64("seed", 1);
+  s.root = static_cast<graph::NodeId>(doc->u64("root", 0));
+  if (s.root >= s.graph.node_count()) return fail("root out of range");
+  s.service = doc->str("service", "plain");
+  if (s.service != "plain" && s.service != "snapshot" && s.service != "anycast" &&
+      s.service != "critical")
+    return fail(util::cat("unknown service '", s.service, "'"));
+  s.link_delay = doc->u64("link_delay", 1);
+  if (s.link_delay == 0) return fail("link_delay must be >= 1");
+  s.fragment_limit = static_cast<std::uint32_t>(doc->u64("fragment_limit", 0));
+
+  if (const JsonValue* a = doc->get("anycast")) {
+    if (!a->is_object()) return fail("'anycast' must be an object");
+    s.anycast_gid = static_cast<std::uint32_t>(a->u64("gid", 1));
+    const JsonValue* members = a->get("members");
+    if (members == nullptr || !members->is_array())
+      return fail("'anycast.members' must be an array");
+    for (const JsonValue& m : members->array) {
+      if (!m.is_number() || m.number < 0 || m.number >= s.graph.node_count())
+        return fail("anycast member out of range");
+      s.anycast_members.push_back(static_cast<graph::NodeId>(m.number));
+    }
+  }
+  if (s.service == "anycast" && s.anycast_members.empty())
+    return fail("anycast service needs 'anycast.members'");
+
+  if (const JsonValue* r = doc->get("retry")) {
+    if (!r->is_object()) return fail("'retry' must be an object");
+    core::RetryPolicy p;
+    p.timeout = r->u64("timeout", 64);
+    p.max_attempts = static_cast<std::uint32_t>(r->u64("max_attempts", 5));
+    if (p.timeout == 0 || p.max_attempts == 0)
+      return fail("retry timeout/max_attempts must be >= 1");
+    s.retry = p;
+  }
+
+  // Schedule: concrete ops are taken as-is; generator ops expand here, all
+  // drawing from one Rng(seed) in file order.
+  util::Rng rng(s.seed);
+  if (const JsonValue* sched = doc->get("schedule")) {
+    if (!sched->is_array()) return fail("'schedule' must be an array");
+    for (const JsonValue& item : sched->array) {
+      if (!item.is_object()) return fail("schedule entries must be objects");
+      const std::string op = item.str("op");
+      auto edge_of = [&](graph::EdgeId* e) {
+        const JsonValue* v = item.get("edge");
+        if (v == nullptr || !v->is_number() || v->number < 0 ||
+            v->number >= s.graph.edge_count())
+          return false;
+        *e = static_cast<graph::EdgeId>(v->number);
+        return true;
+      };
+      try {
+        if (op == "link_down" || op == "link_up") {
+          FaultEvent ev;
+          ev.at = item.u64("at");
+          ev.op = op == "link_down" ? FaultOp::kLinkDown : FaultOp::kLinkUp;
+          if (!edge_of(&ev.edge)) return fail(util::cat(op, ": bad 'edge'"));
+          s.schedule.push_back(ev);
+        } else if (op == "blackhole_on" || op == "blackhole_off") {
+          FaultEvent ev;
+          ev.at = item.u64("at");
+          ev.op = op == "blackhole_on" ? FaultOp::kBlackholeOn : FaultOp::kBlackholeOff;
+          if (!edge_of(&ev.edge)) return fail(util::cat(op, ": bad 'edge'"));
+          if (!check_from(item, s.graph, ev.edge, &ev.from, &err)) return fail(err);
+          s.schedule.push_back(ev);
+        } else if (op == "loss") {
+          FaultEvent ev;
+          ev.at = item.u64("at");
+          ev.op = FaultOp::kLossSet;
+          if (!edge_of(&ev.edge)) return fail("loss: bad 'edge'");
+          if (!check_from(item, s.graph, ev.edge, &ev.from, &err)) return fail(err);
+          ev.rate = num_or(item, "rate", 0.0);
+          if (ev.rate < 0.0 || ev.rate > 1.0) return fail("loss: rate must be in [0,1]");
+          s.schedule.push_back(ev);
+        } else if (op == "switch_crash" || op == "switch_restore") {
+          FaultEvent ev;
+          ev.at = item.u64("at");
+          ev.op = op == "switch_crash" ? FaultOp::kSwitchCrash : FaultOp::kSwitchRestore;
+          const JsonValue* v = item.get("switch");
+          if (v == nullptr || !v->is_number() || v->number < 0 ||
+              v->number >= s.graph.node_count())
+            return fail(util::cat(op, ": bad 'switch'"));
+          ev.sw = static_cast<ofp::SwitchId>(v->number);
+          s.schedule.push_back(ev);
+        } else if (op == "flap") {
+          FlapSpec f;
+          if (!edge_of(&f.edge)) return fail("flap: bad 'edge'");
+          f.start = item.u64("start", 0);
+          f.period = item.u64("period", 10);
+          f.down_for = item.u64("down_for", 5);
+          f.count = static_cast<std::uint32_t>(item.u64("count", 1));
+          const auto ex = expand_flap(f);
+          s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
+        } else if (op == "poisson_churn") {
+          PoissonChurnSpec p;
+          p.rate = num_or(item, "rate", 0.0);
+          p.start = item.u64("start", 0);
+          p.end = item.u64("end", 0);
+          p.down_for = item.u64("down_for", 0);
+          if (!parse_edge_set(item, s.graph, &p.edges, &err)) return fail(err);
+          const auto ex = expand_poisson_churn(p, rng);
+          s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
+        } else if (op == "k_failures") {
+          KFailuresSpec kf;
+          kf.k = static_cast<std::uint32_t>(item.u64("k", 1));
+          kf.at = item.u64("at", 0);
+          kf.down_for = item.u64("down_for", 0);
+          if (!parse_edge_set(item, s.graph, &kf.edges, &err)) return fail(err);
+          const auto ex = expand_k_failures(kf, rng);
+          s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
+        } else {
+          return fail(util::cat("unknown schedule op '", op, "'"));
+        }
+      } catch (const std::invalid_argument& ex) {
+        return fail(ex.what());
+      }
+    }
+  }
+  sort_schedule(s.schedule);
+
+  if (const JsonValue* e = doc->get("expect")) {
+    if (!e->is_object()) return fail("'expect' must be an object");
+    if (const JsonValue* v = e->get("verdict")) {
+      if (!v->is_string() || (v->string != "complete" && v->string != "incomplete"))
+        return fail("expect.verdict must be \"complete\" or \"incomplete\"");
+      s.expect.verdict = v->string;
+    }
+    if (const JsonValue* v = e->get("max_attempts"))
+      s.expect.max_attempts = static_cast<std::uint32_t>(v->number);
+    if (const JsonValue* v = e->get("snapshot_match")) s.expect.snapshot_match = v->boolean;
+    if (const JsonValue* v = e->get("delivered_at"))
+      s.expect.delivered_at = static_cast<graph::NodeId>(v->number);
+    if (const JsonValue* v = e->get("critical")) s.expect.critical = v->boolean;
+  }
+  return s;
+}
+
+}  // namespace ss::scenario

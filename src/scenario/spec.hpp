@@ -1,0 +1,62 @@
+#pragma once
+// Scenario spec: the dependency-free JSON file format describing one
+// replayable experiment — topology reference, root, service, fault
+// schedule, seed, and the expected outcome.  Parsed with src/obs/json;
+// generators (flap / poisson_churn / k_failures) are expanded at parse
+// time with Rng(seed), so a spec file fully determines its event list.
+// docs/scenarios.md documents the format field by field.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/services.hpp"
+#include "graph/graph.hpp"
+#include "scenario/schedule.hpp"
+
+namespace ss::scenario {
+
+/// Named topology family, mirroring the tools' --topo vocabulary.
+struct TopoRef {
+  std::string kind = "ring";  // ring path star complete grid torus tree gnp reg fattree
+  std::size_t n = 16;
+  std::uint64_t seed = 1;  // random families (gnp / reg) only
+};
+
+/// Build the referenced topology; empty graph + *error set on unknown kind.
+graph::Graph build_topology(const TopoRef& t, std::string* error);
+
+/// Optional assertions evaluated against the run's result.
+struct ExpectSpec {
+  std::optional<std::string> verdict;          // "complete" / "incomplete"
+  std::optional<std::uint32_t> max_attempts;   // attempts <= this
+  std::optional<bool> snapshot_match;          // snapshot vs ground truth
+  std::optional<graph::NodeId> delivered_at;   // anycast receiver
+  std::optional<bool> critical;                // critical-node verdict
+};
+
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  TopoRef topology;
+  graph::Graph graph;
+  std::uint64_t seed = 1;
+  graph::NodeId root = 0;
+  std::string service = "plain";  // plain | snapshot | anycast | critical
+  sim::Time link_delay = 1;
+  std::uint32_t fragment_limit = 0;           // snapshot only
+  std::vector<graph::NodeId> anycast_members;  // anycast only
+  std::uint32_t anycast_gid = 1;
+  std::optional<core::RetryPolicy> retry;  // present = hardened (epoch) driver
+  std::vector<FaultEvent> schedule;        // expanded + sorted
+  ExpectSpec expect;
+};
+
+/// Parse and validate one scenario document.  Returns nullopt and sets
+/// *error (if given) on malformed JSON, unknown fields/ops, or references
+/// outside the topology.
+std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
+                                           std::string* error = nullptr);
+
+}  // namespace ss::scenario

@@ -17,17 +17,43 @@ Network::Network(const graph::Graph& g, Time link_delay, std::uint64_t seed)
     links_.emplace_back(e, LinkEnd{ed.a.node, ed.a.port}, LinkEnd{ed.b.node, ed.b.port},
                         link_delay);
   }
+  sw_up_.assign(g.node_count(), true);
+  link_admin_up_.assign(g.edge_count(), true);
+}
+
+void Network::refresh_link(graph::EdgeId id) {
+  Link& l = links_.at(id);
+  const bool eff =
+      link_admin_up_[id] && sw_up_[l.end_a().sw] && sw_up_[l.end_b().sw];
+  l.set_up(eff);
+  switches_[l.end_a().sw].set_port_live(l.end_a().port, eff);
+  switches_[l.end_b().sw].set_port_live(l.end_b().port, eff);
 }
 
 void Network::set_link_up(graph::EdgeId id, bool up) {
-  Link& l = links_.at(id);
-  l.set_up(up);
-  switches_[l.end_a().sw].set_port_live(l.end_a().port, up);
-  switches_[l.end_b().sw].set_port_live(l.end_b().port, up);
+  link_admin_up_.at(id) = up;
+  refresh_link(id);
+}
+
+void Network::set_switch_up(ofp::SwitchId id, bool up) {
+  sw_up_.at(id) = up;
+  for (graph::PortNo p = 1; p <= graph_.degree(id); ++p)
+    refresh_link(graph_.edge_at(id, p));
+}
+
+const Link& Network::validated_end(graph::EdgeId id, ofp::SwitchId from,
+                                   const char* what) const {
+  const Link& l = links_.at(id);
+  if (from != l.end_a().sw && from != l.end_b().sw)
+    throw std::invalid_argument(std::string(what) + ": switch " +
+                                std::to_string(from) + " is not an end of edge " +
+                                std::to_string(id));
+  return l;
 }
 
 void Network::set_blackhole_from(graph::EdgeId id, ofp::SwitchId from, bool enabled) {
-  Link& l = links_.at(id);
+  validated_end(id, from, "set_blackhole_from");
+  Link& l = links_[id];
   l.set_blackhole(l.from_a(from), enabled);
 }
 
@@ -37,8 +63,14 @@ void Network::set_blackhole(graph::EdgeId id, bool enabled) {
 }
 
 void Network::set_loss_from(graph::EdgeId id, ofp::SwitchId from, double p) {
-  Link& l = links_.at(id);
+  validated_end(id, from, "set_loss_from");
+  Link& l = links_[id];
   l.set_loss(l.from_a(from), p);
+}
+
+void Network::set_loss(graph::EdgeId id, double p) {
+  links_.at(id).set_loss(true, p);
+  links_.at(id).set_loss(false, p);
 }
 
 void Network::packet_out(ofp::SwitchId at, ofp::Packet pkt) {
@@ -128,20 +160,114 @@ void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
 
 void Network::schedule_link_state(graph::EdgeId id, bool up, Time when) {
   if (id >= links_.size()) throw std::out_of_range("schedule_link_state: bad edge");
-  link_changes_.emplace(when, std::make_pair(id, up));
+  NetChange c;
+  c.kind = NetChange::Kind::kLinkState;
+  c.edge = id;
+  c.flag = up;
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_blackhole(graph::EdgeId id, bool enabled, Time when) {
+  if (id >= links_.size()) throw std::out_of_range("schedule_blackhole: bad edge");
+  NetChange c;
+  c.kind = NetChange::Kind::kBlackhole;
+  c.edge = id;
+  c.flag = enabled;
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_blackhole_from(graph::EdgeId id, ofp::SwitchId from,
+                                      bool enabled, Time when) {
+  validated_end(id, from, "schedule_blackhole_from");
+  NetChange c;
+  c.kind = NetChange::Kind::kBlackhole;
+  c.edge = id;
+  c.sw = from;
+  c.both_dirs = false;
+  c.flag = enabled;
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_loss(graph::EdgeId id, double p, Time when) {
+  if (id >= links_.size()) throw std::out_of_range("schedule_loss: bad edge");
+  NetChange c;
+  c.kind = NetChange::Kind::kLoss;
+  c.edge = id;
+  c.rate = p;
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_loss_from(graph::EdgeId id, ofp::SwitchId from, double p,
+                                 Time when) {
+  validated_end(id, from, "schedule_loss_from");
+  NetChange c;
+  c.kind = NetChange::Kind::kLoss;
+  c.edge = id;
+  c.sw = from;
+  c.both_dirs = false;
+  c.rate = p;
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_switch_state(ofp::SwitchId id, bool up, Time when) {
+  if (id >= switches_.size())
+    throw std::out_of_range("schedule_switch_state: bad switch");
+  NetChange c;
+  c.kind = NetChange::Kind::kSwitchState;
+  c.sw = id;
+  c.flag = up;
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_callback(Time when, std::function<void(Network&)> fn) {
+  NetChange c;
+  c.kind = NetChange::Kind::kCallback;
+  c.fn = std::move(fn);
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::apply_change(Time t, NetChange& c) {
+  switch (c.kind) {
+    case NetChange::Kind::kLinkState:
+      set_link_up(c.edge, c.flag);
+      break;
+    case NetChange::Kind::kBlackhole:
+      if (c.both_dirs)
+        set_blackhole(c.edge, c.flag);
+      else
+        set_blackhole_from(c.edge, c.sw, c.flag);
+      break;
+    case NetChange::Kind::kLoss:
+      if (c.both_dirs)
+        set_loss(c.edge, c.rate);
+      else
+        set_loss_from(c.edge, c.sw, c.rate);
+      break;
+    case NetChange::Kind::kSwitchState:
+      set_switch_up(c.sw, c.flag);
+      break;
+    case NetChange::Kind::kCallback:
+      if (c.fn) c.fn(*this);
+      break;
+  }
+  if (change_hook_) change_hook_(t, c);
 }
 
 void Network::run(std::uint64_t max_events) {
-  while (!queue_.empty() || !link_changes_.empty()) {
+  while (!queue_.empty() || !changes_.empty()) {
     if (++stats_.events > max_events)
       throw std::runtime_error("Network::run: event budget exceeded (rule loop?)");
     const Time next_pkt =
         queue_.empty() ? ~Time{0} : queue_.top().time;
-    if (!link_changes_.empty() && link_changes_.begin()->first <= next_pkt) {
-      auto it = link_changes_.begin();
-      now_ = std::max(now_, it->first);
-      set_link_up(it->second.first, it->second.second);
-      link_changes_.erase(it);
+    if (!changes_.empty() && changes_.begin()->first <= next_pkt) {
+      // Extract before applying: a callback may schedule further changes,
+      // which must not invalidate the iterator we are working from.
+      auto it = changes_.begin();
+      const Time t = it->first;
+      NetChange c = std::move(it->second);
+      changes_.erase(it);
+      now_ = std::max(now_, t);
+      apply_change(now_, c);
       continue;
     }
     if (queue_.empty()) break;

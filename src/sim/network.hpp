@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <queue>
 #include <string>
@@ -86,6 +87,30 @@ struct Stats {
   void reset() { *this = Stats{}; }
 };
 
+class Network;
+
+/// One scheduled network mutation, applied by the event loop when simulated
+/// time reaches it (before any packet arrival carrying the same timestamp).
+/// This is the scenario engine's unit of fault injection: everything the
+/// static setters can do — plus controller callbacks, which is how the
+/// hardened traversal drivers arm their watchdog timers.
+struct NetChange {
+  enum class Kind : std::uint8_t {
+    kLinkState,    // administrative link up/down (FAST-FAILOVER visible)
+    kBlackhole,    // silent drop on/off (port stays live)
+    kLoss,         // Bernoulli loss rate change
+    kSwitchState,  // switch crash/restore = every incident link down/up
+    kCallback,     // run `fn(net)` at `when` (watchdogs, staged injections)
+  };
+  Kind kind = Kind::kLinkState;
+  graph::EdgeId edge = 0;     // kLinkState / kBlackhole / kLoss
+  ofp::SwitchId sw = 0;       // kSwitchState target; direction origin otherwise
+  bool both_dirs = true;      // kBlackhole / kLoss: ignore `sw`, hit both ways
+  bool flag = false;          // up (kLinkState/kSwitchState) / enabled (kBlackhole)
+  double rate = 0.0;          // kLoss
+  std::function<void(Network&)> fn;  // kCallback
+};
+
 class Network {
  public:
   /// Build switches and links mirroring `g`; graph port numbers become
@@ -104,14 +129,29 @@ class Network {
   std::size_t link_count() const { return links_.size(); }
 
   /// Take a link administratively down/up; updates port liveness at both
-  /// ends (this is what FAST-FAILOVER watch ports observe).
+  /// ends (this is what FAST-FAILOVER watch ports observe).  The effective
+  /// wire state also requires both end switches to be up — a restored link
+  /// between crashed switches stays dead until the switches are restored.
   void set_link_up(graph::EdgeId id, bool up);
+  bool link_admin_up(graph::EdgeId id) const { return link_admin_up_.at(id); }
+
+  /// Crash (`up == false`) or restore a switch: every incident link's ports
+  /// go not-live, exactly as a dead box looks to its FAST-FAILOVER
+  /// neighbours.  Restoring re-evaluates each incident link against its
+  /// administrative state and the peer switch.
+  void set_switch_up(ofp::SwitchId id, bool up);
+  bool switch_up(ofp::SwitchId id) const { return sw_up_.at(id); }
 
   /// Plant a silent blackhole on the direction `from` -> other end.
+  /// Throws std::invalid_argument unless `from` is one of the link's ends.
   void set_blackhole_from(graph::EdgeId id, ofp::SwitchId from, bool enabled);
   /// Blackhole both directions.
   void set_blackhole(graph::EdgeId id, bool enabled);
+  /// Bernoulli loss on the direction `from` -> other end (same endpoint
+  /// validation as set_blackhole_from).
   void set_loss_from(graph::EdgeId id, ofp::SwitchId from, double p);
+  /// Loss on both directions.
+  void set_loss(graph::EdgeId id, double p);
 
   /// Schedule a link state flip at simulated time `when` (>= now).  This is
   /// how the mid-run-failure experiments inject failures WHILE a traversal
@@ -119,6 +159,25 @@ class Network {
   /// assume that during the execution of SmartSouth, no more failures will
   /// occur") and that the retrying drivers recover from.
   void schedule_link_state(graph::EdgeId id, bool up, Time when);
+  /// Scheduled versions of the other failure modes; same-timestamp changes
+  /// apply in insertion order (multimap is stable), before packet arrivals
+  /// carrying that timestamp.
+  void schedule_blackhole(graph::EdgeId id, bool enabled, Time when);
+  void schedule_blackhole_from(graph::EdgeId id, ofp::SwitchId from, bool enabled,
+                               Time when);
+  void schedule_loss(graph::EdgeId id, double p, Time when);
+  void schedule_loss_from(graph::EdgeId id, ofp::SwitchId from, double p, Time when);
+  void schedule_switch_state(ofp::SwitchId id, bool up, Time when);
+  /// Run `fn` at simulated time `when` — the hook the hardened drivers use
+  /// for retry watchdogs.  The callback may inject packets and schedule
+  /// further callbacks.
+  void schedule_callback(Time when, std::function<void(Network&)> fn);
+
+  /// Observe every applied scheduled change (after it took effect).  The
+  /// scenario runner uses this to cut per-event Stats deltas.
+  void set_change_hook(std::function<void(Time, const NetChange&)> hook) {
+    change_hook_ = std::move(hook);
+  }
 
   /// Controller packet-out: run `pkt` through `at`'s pipeline (counted as
   /// one out-of-band message), scheduling any resulting transmissions.
@@ -197,12 +256,21 @@ class Network {
   void transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
                 const ofp::PipelineResult* attribution = nullptr);
   void trim_trace();
+  void apply_change(Time t, NetChange& c);
+  /// Recompute a link's effective up state (admin AND both end switches up)
+  /// and push it to the Link and both ports' liveness.
+  void refresh_link(graph::EdgeId id);
+  const Link& validated_end(graph::EdgeId id, ofp::SwitchId from,
+                            const char* what) const;
 
   graph::Graph graph_;
   std::vector<ofp::Switch> switches_;
   std::vector<Link> links_;
   std::priority_queue<Arrival, std::vector<Arrival>, ArrivalLater> queue_;
-  std::multimap<Time, std::pair<graph::EdgeId, bool>> link_changes_;
+  std::multimap<Time, NetChange> changes_;
+  std::vector<bool> sw_up_;
+  std::vector<bool> link_admin_up_;
+  std::function<void(Time, const NetChange&)> change_hook_;
   std::uint64_t seq_ = 0;
   Time now_ = 0;
   Stats stats_;

@@ -1,0 +1,141 @@
+// Mid-traversal churn: failures injected WHILE a traversal is in flight —
+// the regime the paper excludes ("we will assume that during the execution
+// of SmartSouth, no more failures will occur").  FAST-FAILOVER covers
+// port-visible cuts on its own; silent blackholes strand the bare template
+// and need the epoch-guarded watchdog/retry drivers.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/compiler.hpp"
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+
+namespace ss {
+namespace {
+
+// A link that dies while the packet is out is port-visible: FAST-FAILOVER
+// routes around it and the bare template still finishes.
+TEST(Churn, MidTraversalLinkCutRoutedAroundByFailover) {
+  graph::Graph g = graph::make_ring(16);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.schedule_link_state(8, false, 5);
+  EXPECT_TRUE(svc.run(net, 0));
+  EXPECT_GE(net.stats().dropped_down, 0u);
+}
+
+TEST(Churn, LinkCutAndRestoreInterleavedWithTraversal) {
+  graph::Graph g = graph::make_ring(16);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.schedule_link_state(8, false, 4);
+  net.schedule_link_state(8, true, 10);  // restored while still running
+  core::RunStats stats;
+  EXPECT_TRUE(svc.run(net, 0, &stats));
+  EXPECT_GT(stats.inband_msgs, 0u);
+}
+
+// A silent blackhole keeps the port live, so nothing fails over: the
+// traversal packet is eaten and the bare run never finishes.
+TEST(Churn, MidTraversalBlackholeStrandsPlainRun) {
+  graph::Graph g = graph::make_ring(16);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  svc.install(net);
+  net.schedule_blackhole(8, true, 3);
+  EXPECT_FALSE(svc.run(net, 0));
+  EXPECT_GE(net.stats().dropped_blackhole, 1u);
+}
+
+TEST(Churn, HardenedRetryRecoversAfterBlackholeClears) {
+  graph::Graph g = graph::make_ring(16);
+  core::PlainTraversal svc(g, true, true, /*epoch_guard=*/true);
+  sim::Network net(g);
+  svc.install(net);
+  net.schedule_blackhole(8, true, 3);
+  net.schedule_blackhole(8, false, 150);
+  core::HardenedStats hs;
+  EXPECT_TRUE(svc.run_hardened(net, 0, {/*timeout=*/200, /*max_attempts=*/5}, &hs));
+  EXPECT_EQ(hs.attempts, 2u);
+  EXPECT_EQ(hs.final_epoch, 1u);
+}
+
+TEST(Churn, HardenedGivesUpOnPermanentBlackhole) {
+  graph::Graph g = graph::make_ring(16);
+  core::PlainTraversal svc(g, true, true, true);
+  sim::Network net(g);
+  svc.install(net);
+  net.schedule_blackhole(8, true, 3);  // never cleared
+  core::HardenedStats hs;
+  EXPECT_FALSE(svc.run_hardened(net, 0, {100, 3}, &hs));
+  EXPECT_EQ(hs.attempts, 3u);
+}
+
+// The guard table drops traversal packets whose epoch tag is not current —
+// a trigger from a superseded attempt dies at its first hop.
+TEST(Churn, EpochGuardDropsStaleTraversalPackets) {
+  graph::Graph g = graph::make_ring(8);
+  core::PlainTraversal svc(g, true, true, true);
+  sim::Network net(g);
+  svc.install(net);
+  core::set_current_epoch(net, 1);  // plain run injects epoch 0: now stale
+  EXPECT_FALSE(svc.run(net, 0));
+}
+
+TEST(Churn, SetCurrentEpochRequiresGuardRules) {
+  graph::Graph g = graph::make_ring(8);
+  core::PlainTraversal svc(g);  // compiled without the guard
+  sim::Network net(g);
+  svc.install(net);
+  EXPECT_THROW(core::set_current_epoch(net, 1), std::logic_error);
+}
+
+TEST(Churn, SnapshotHardenedCompletesAfterMidRunBlackhole) {
+  graph::Graph g = graph::make_ring(24);
+  core::SnapshotService svc(g, 0, true, {}, /*epoch_guard=*/true);
+  sim::Network net(g);
+  svc.install(net);
+  net.schedule_blackhole(12, true, 2);
+  net.schedule_blackhole(12, false, 260);
+  core::HardenedStats hs;
+  const core::SnapshotResult res = svc.run_hardened(net, 0, {250, 6}, &hs);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.nodes.size(), 24u);
+  EXPECT_GE(hs.attempts, 2u);
+}
+
+TEST(Churn, AnycastHardenedDeliversAfterBlackholeClears) {
+  graph::Graph g = graph::make_ring(12);
+  core::AnycastGroupSpec grp;
+  grp.gid = 1;
+  grp.members[6] = 1;
+  core::AnycastService svc(g, {grp}, /*epoch_guard=*/true);
+  sim::Network net(g);
+  svc.install(net);
+  net.schedule_blackhole(2, true, 1);
+  net.schedule_blackhole(2, false, 120);
+  core::HardenedStats hs;
+  const core::AnycastResult res = svc.run_hardened(net, 0, 1, {150, 5}, &hs);
+  ASSERT_TRUE(res.delivered_at.has_value());
+  EXPECT_EQ(*res.delivered_at, 6u);
+}
+
+TEST(Churn, CriticalHardenedVerdictSurvivesBlackholeRetry) {
+  graph::Graph g = graph::make_ring(10);  // a ring node is never critical
+  core::CriticalNodeService svc(g, {}, /*epoch_guard=*/true);
+  sim::Network net(g);
+  svc.install(net);
+  net.schedule_blackhole(5, true, 1);
+  net.schedule_blackhole(5, false, 120);
+  core::HardenedStats hs;
+  const core::CriticalResult res = svc.run_hardened(net, 0, {150, 5}, &hs);
+  ASSERT_TRUE(res.critical.has_value());
+  EXPECT_FALSE(*res.critical);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,273 @@
+// Scenario engine: generator determinism, spec parsing/validation, and the
+// headline acceptance property — replaying the same scenario file + seed
+// yields a byte-identical JSONL result, including a run where a
+// mid-traversal blackhole is recovered by the epoch watchdog and judged
+// against WireCounters ground truth.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/runner.hpp"
+#include "scenario/schedule.hpp"
+#include "scenario/spec.hpp"
+
+namespace ss::scenario {
+namespace {
+
+// --- generators -----------------------------------------------------------
+
+TEST(Schedule, FlapExpandsToAlternatingPairs) {
+  FlapSpec f;
+  f.edge = 3;
+  f.start = 100;
+  f.period = 50;
+  f.down_for = 20;
+  f.count = 3;
+  const auto ev = expand_flap(f);
+  ASSERT_EQ(ev.size(), 6u);
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(ev[2 * k].at, 100 + 50 * k);
+    EXPECT_EQ(ev[2 * k].op, FaultOp::kLinkDown);
+    EXPECT_EQ(ev[2 * k + 1].at, 100 + 50 * k + 20);
+    EXPECT_EQ(ev[2 * k + 1].op, FaultOp::kLinkUp);
+    EXPECT_EQ(ev[2 * k].edge, 3u);
+  }
+}
+
+TEST(Schedule, FlapRejectsDownPhaseOutsidePeriod) {
+  FlapSpec f;
+  f.period = 10;
+  f.down_for = 10;
+  EXPECT_THROW(expand_flap(f), std::invalid_argument);
+  f.down_for = 0;
+  EXPECT_THROW(expand_flap(f), std::invalid_argument);
+}
+
+TEST(Schedule, PoissonChurnIsSeedDeterministic) {
+  PoissonChurnSpec p;
+  p.rate = 0.05;
+  p.start = 0;
+  p.end = 1000;
+  p.down_for = 40;
+  p.edges = {0, 1, 2, 3, 4};
+  util::Rng r1(42), r2(42);
+  const auto a = expand_poisson_churn(p, r1);
+  const auto b = expand_poisson_churn(p, r2);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].at, b[k].at);
+    EXPECT_EQ(a[k].op, b[k].op);
+    EXPECT_EQ(a[k].edge, b[k].edge);
+  }
+  // Every down has its matching restore, and times stay inside the window.
+  for (const FaultEvent& ev : a)
+    if (ev.op == FaultOp::kLinkDown) {
+      EXPECT_LE(ev.at, 1000u);
+      EXPECT_TRUE(std::any_of(a.begin(), a.end(), [&](const FaultEvent& u) {
+        return u.op == FaultOp::kLinkUp && u.edge == ev.edge && u.at == ev.at + 40;
+      }));
+    }
+}
+
+TEST(Schedule, KFailuresPicksDistinctEdges) {
+  KFailuresSpec s;
+  s.k = 3;
+  s.at = 7;
+  s.down_for = 0;  // permanent: no restores
+  s.edges = {0, 1, 2, 3, 4, 5, 6, 7};
+  util::Rng rng(9);
+  const auto ev = expand_k_failures(s, rng);
+  ASSERT_EQ(ev.size(), 3u);
+  std::set<graph::EdgeId> picked;
+  for (const FaultEvent& e : ev) {
+    EXPECT_EQ(e.op, FaultOp::kLinkDown);
+    EXPECT_EQ(e.at, 7u);
+    picked.insert(e.edge);
+  }
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(Schedule, KFailuresRejectsTooFewCandidates) {
+  KFailuresSpec s;
+  s.k = 4;
+  s.edges = {0, 1};
+  util::Rng rng(1);
+  EXPECT_THROW(expand_k_failures(s, rng), std::invalid_argument);
+}
+
+TEST(Schedule, SortIsStableForEqualTimes) {
+  std::vector<FaultEvent> v(3);
+  v[0].at = 5;
+  v[0].edge = 10;
+  v[1].at = 5;
+  v[1].edge = 11;
+  v[2].at = 1;
+  v[2].edge = 12;
+  sort_schedule(v);
+  EXPECT_EQ(v[0].edge, 12u);
+  EXPECT_EQ(v[1].edge, 10u);  // equal-time order preserved
+  EXPECT_EQ(v[2].edge, 11u);
+}
+
+// --- spec parsing ---------------------------------------------------------
+
+TEST(Spec, ParsesFullDocument) {
+  const char* doc = R"({
+    "name": "t", "topology": {"kind": "ring", "n": 8}, "seed": 5,
+    "root": 2, "service": "snapshot", "link_delay": 2,
+    "retry": {"timeout": 100, "max_attempts": 4},
+    "schedule": [
+      {"op": "link_down", "edge": 1, "at": 10},
+      {"op": "blackhole_on", "edge": 2, "at": 3, "from": 2}
+    ],
+    "expect": {"verdict": "complete", "snapshot_match": true}
+  })";
+  std::string err;
+  const auto s = parse_scenario(doc, &err);
+  ASSERT_TRUE(s.has_value()) << err;
+  EXPECT_EQ(s->graph.node_count(), 8u);
+  EXPECT_EQ(s->root, 2u);
+  EXPECT_EQ(s->link_delay, 2u);
+  ASSERT_TRUE(s->retry.has_value());
+  EXPECT_EQ(s->retry->timeout, 100u);
+  ASSERT_EQ(s->schedule.size(), 2u);
+  // Sorted: the t=3 blackhole comes first, with its direction preserved.
+  EXPECT_EQ(s->schedule[0].op, FaultOp::kBlackholeOn);
+  ASSERT_TRUE(s->schedule[0].from.has_value());
+  EXPECT_EQ(*s->schedule[0].from, 2u);
+  EXPECT_EQ(*s->expect.verdict, "complete");
+}
+
+TEST(Spec, RejectsBadInput) {
+  std::string err;
+  EXPECT_FALSE(parse_scenario("not json", &err).has_value());
+  EXPECT_FALSE(parse_scenario(R"({"service": "teleport"})", &err).has_value());
+  EXPECT_FALSE(parse_scenario(R"({"root": 99})", &err).has_value());
+  EXPECT_FALSE(parse_scenario(
+                   R"({"schedule": [{"op": "link_down", "edge": 999, "at": 1}]})", &err)
+                   .has_value());
+  // 'from' must be an end of the edge (ring16 edge 0 joins 0 and 1).
+  EXPECT_FALSE(
+      parse_scenario(
+          R"({"schedule": [{"op": "blackhole_on", "edge": 0, "at": 1, "from": 9}]})",
+          &err)
+          .has_value());
+  EXPECT_NE(err.find("not an end"), std::string::npos);
+  EXPECT_FALSE(parse_scenario(R"({"service": "anycast"})", &err).has_value());
+  EXPECT_FALSE(parse_scenario(R"({"expect": {"verdict": "maybe"}})", &err).has_value());
+}
+
+TEST(Spec, GeneratorExpansionUsesDocumentSeed) {
+  const char* doc = R"({
+    "topology": {"kind": "ring", "n": 16}, "seed": 11,
+    "schedule": [{"op": "poisson_churn", "rate": 0.02, "start": 0,
+                  "end": 500, "down_for": 50}]
+  })";
+  const auto a = parse_scenario(doc);
+  const auto b = parse_scenario(doc);
+  ASSERT_TRUE(a && b);
+  ASSERT_EQ(a->schedule.size(), b->schedule.size());
+  for (std::size_t k = 0; k < a->schedule.size(); ++k) {
+    EXPECT_EQ(a->schedule[k].at, b->schedule[k].at);
+    EXPECT_EQ(a->schedule[k].edge, b->schedule[k].edge);
+  }
+}
+
+// --- ground-truth folding -------------------------------------------------
+
+TEST(Runner, AliveAtFoldsScheduleUpToT) {
+  const char* doc = R"({
+    "topology": {"kind": "ring", "n": 8},
+    "schedule": [
+      {"op": "link_down", "edge": 2, "at": 10},
+      {"op": "link_up", "edge": 2, "at": 50},
+      {"op": "switch_crash", "switch": 4, "at": 20}
+    ]
+  })";
+  const auto s = parse_scenario(doc);
+  ASSERT_TRUE(s.has_value());
+  // Ring8: edge 3 joins nodes 3 and 4, edge 4 joins 4 and 5.
+  auto at5 = alive_at(*s, 5);
+  EXPECT_TRUE(at5(2));
+  auto at15 = alive_at(*s, 15);
+  EXPECT_FALSE(at15(2));
+  EXPECT_TRUE(at15(3));
+  auto at30 = alive_at(*s, 30);  // crash folded in: 4's incident edges dead
+  EXPECT_FALSE(at30(2));
+  EXPECT_FALSE(at30(3));
+  EXPECT_FALSE(at30(4));
+  auto at60 = alive_at(*s, 60);  // link restored, switch still down
+  EXPECT_TRUE(at60(2));
+  EXPECT_FALSE(at60(3));
+}
+
+// --- end-to-end determinism + acceptance ----------------------------------
+
+const char* kBlackholeRetrySpec = R"({
+  "name": "embedded_blackhole_retry",
+  "topology": {"kind": "ring", "n": 16},
+  "seed": 1, "root": 0, "service": "snapshot",
+  "retry": {"timeout": 200, "max_attempts": 5},
+  "schedule": [
+    {"op": "blackhole_on", "edge": 8, "at": 3},
+    {"op": "blackhole_off", "edge": 8, "at": 150}
+  ],
+  "expect": {"verdict": "complete", "snapshot_match": true}
+})";
+
+TEST(Runner, BlackholeRetryCompletesWithGroundTruthVerdict) {
+  const auto spec = parse_scenario(kBlackholeRetrySpec);
+  ASSERT_TRUE(spec.has_value());
+  const ScenarioResult r = run_scenario(*spec);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.verdict, "complete");
+  EXPECT_EQ(r.attempts, 2u);          // one eaten trigger, one retry
+  EXPECT_EQ(r.final_epoch, 1u);
+  EXPECT_TRUE(r.snapshot_match);      // vs reference component at verdict_at
+  EXPECT_TRUE(r.ground_truth_ok);
+  EXPECT_GE(r.wire_dropped_blackhole, 1u);  // WireCounters saw the silent drop
+  EXPECT_TRUE(r.expect_ok);
+  EXPECT_EQ(r.timeline.size(), 2u);
+}
+
+TEST(Runner, ReplayIsByteIdentical) {
+  const auto spec = parse_scenario(kBlackholeRetrySpec);
+  ASSERT_TRUE(spec.has_value());
+  std::ostringstream a, b;
+  write_result_jsonl(a, *spec, run_scenario(*spec));
+  write_result_jsonl(b, *spec, run_scenario(*spec));
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Runner, CleanRunNeedsNoRetry) {
+  const auto spec = parse_scenario(
+      R"({"topology": {"kind": "ring", "n": 8}, "service": "plain",
+          "expect": {"verdict": "complete", "max_attempts": 1}})");
+  ASSERT_TRUE(spec.has_value());
+  const ScenarioResult r = run_scenario(*spec);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_TRUE(r.expect_ok);
+  EXPECT_EQ(r.wire_dropped_down + r.wire_dropped_blackhole + r.wire_dropped_loss, 0u);
+}
+
+TEST(Runner, ExpectFailureIsReported) {
+  const auto spec = parse_scenario(
+      R"({"topology": {"kind": "ring", "n": 8}, "service": "plain",
+          "schedule": [{"op": "blackhole_on", "edge": 2, "at": 1}],
+          "expect": {"verdict": "complete"}})");
+  ASSERT_TRUE(spec.has_value());
+  const ScenarioResult r = run_scenario(*spec);
+  EXPECT_FALSE(r.complete);  // unhardened + silent drop: strands
+  EXPECT_FALSE(r.expect_ok);
+  ASSERT_FALSE(r.expect_failures.empty());
+}
+
+}  // namespace
+}  // namespace ss::scenario

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "graph/generators.hpp"
 #include "sim/network.hpp"
 
@@ -95,6 +98,103 @@ TEST(Events, InFlightPacketsSurviveALateCut) {
   net.run();
   EXPECT_EQ(net.stats().delivered, 1u);
   EXPECT_EQ(net.sw(1).port(1).rx_packets, 1u);
+}
+
+TEST(Events, ScheduledBlackholeDropsLaterTrafficButKeepsPortLive) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g, /*delay=*/1);
+  install_chain_forwarder(net, 0, 1);
+  net.schedule_blackhole(0, true, 5);
+  net.schedule_callback(10, [](Network& n) { n.packet_out(0, make_pkt()); });
+  net.run();
+  EXPECT_EQ(net.stats().dropped_blackhole, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+  EXPECT_TRUE(net.sw(0).port_live(1));  // silent: FAST-FAILOVER cannot see it
+  EXPECT_TRUE(net.link(0).up());
+}
+
+TEST(Events, ScheduledDirectionalBlackholeSparesReverse) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g, 1);
+  install_chain_forwarder(net, 0, 1);
+  install_chain_forwarder(net, 1, 1);
+  const ofp::SwitchId b = net.link(0).end_b().sw;
+  net.schedule_blackhole_from(0, b, true, 5);  // only b -> a blackholed
+  net.schedule_callback(10, [](Network& n) { n.packet_out(0, make_pkt()); });
+  net.run();
+  // The a -> b crossing survives; the bounce back through b -> a is eaten.
+  EXPECT_EQ(net.stats().delivered, 1u);
+  EXPECT_EQ(net.stats().dropped_blackhole, 1u);
+  EXPECT_EQ(net.link(0).wire(true).delivered, 1u);
+  EXPECT_EQ(net.link(0).wire(false).dropped_blackhole, 1u);
+}
+
+TEST(Events, ScheduledLossAppliesAtTime) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g, 1);
+  install_chain_forwarder(net, 0, 1);
+  net.schedule_loss(0, 1.0, 5);
+  net.schedule_callback(10, [](Network& n) { n.packet_out(0, make_pkt()); });
+  net.run();
+  EXPECT_EQ(net.stats().dropped_loss, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(Events, SwitchCrashDownsEveryIncidentLink) {
+  graph::Graph g = graph::make_path(3);  // 0 -1- 1 -2- 2 ; edges 0 and 1
+  Network net(g, 1);
+  net.schedule_switch_state(1, false, 5);
+  net.run();
+  EXPECT_FALSE(net.switch_up(1));
+  EXPECT_FALSE(net.link(0).up());
+  EXPECT_FALSE(net.link(1).up());
+  EXPECT_FALSE(net.sw(0).port_live(1));  // neighbours see dead ports
+  EXPECT_FALSE(net.sw(2).port_live(1));
+  // Admin state is untouched: the links were not administratively downed.
+  EXPECT_TRUE(net.link_admin_up(0));
+  EXPECT_TRUE(net.link_admin_up(1));
+}
+
+TEST(Events, SwitchRestoreRespectsAdminState) {
+  graph::Graph g = graph::make_path(3);
+  Network net(g, 1);
+  net.set_switch_up(1, false);
+  net.set_link_up(1, false);  // admin-down 1-2 while the switch is dead
+  net.set_switch_up(1, true);
+  EXPECT_TRUE(net.link(0).up());    // restored with the switch
+  EXPECT_FALSE(net.link(1).up());   // still administratively down
+  net.set_link_up(1, true);
+  EXPECT_TRUE(net.link(1).up());
+}
+
+TEST(Events, CallbackMayScheduleFurtherChanges) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g, 1);
+  std::vector<Time> fired;
+  net.schedule_callback(10, [&](Network& n) {
+    fired.push_back(n.now());
+    n.schedule_callback(20, [&](Network& n2) { fired.push_back(n2.now()); });
+  });
+  net.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 10u);
+  EXPECT_EQ(fired[1], 20u);
+}
+
+TEST(Events, ChangeHookObservesAppliedChangesInOrder) {
+  graph::Graph g = graph::make_path(3);
+  Network net(g, 1);
+  std::vector<std::pair<Time, NetChange::Kind>> seen;
+  net.set_change_hook(
+      [&](Time t, const NetChange& c) { seen.emplace_back(t, c.kind); });
+  net.schedule_switch_state(1, false, 30);
+  net.schedule_blackhole(0, true, 10);
+  net.schedule_link_state(0, false, 20);
+  net.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<Time, NetChange::Kind>{10, NetChange::Kind::kBlackhole}));
+  EXPECT_EQ(seen[1], (std::pair<Time, NetChange::Kind>{20, NetChange::Kind::kLinkState}));
+  EXPECT_EQ(seen[2], (std::pair<Time, NetChange::Kind>{30, NetChange::Kind::kSwitchState}));
 }
 
 }  // namespace

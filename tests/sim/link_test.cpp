@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+
 namespace ss::sim {
 namespace {
 
@@ -65,6 +70,90 @@ TEST(Link, DownTakesPrecedenceOverLossAndBlackhole) {
   l.set_up(false);
   util::Rng rng(1);
   EXPECT_EQ(l.try_cross(1, rng), Link::Crossing::kDroppedDown);
+}
+
+TEST(Link, BlackholeReverseDirection) {
+  Link l = make_link();
+  l.set_blackhole(/*a_to_b=*/false, true);
+  util::Rng rng(1);
+  EXPECT_EQ(l.try_cross(3, rng), Link::Crossing::kDroppedBlackhole);
+  EXPECT_EQ(l.try_cross(1, rng), Link::Crossing::kDelivered);
+  EXPECT_TRUE(l.blackhole(false));
+  EXPECT_FALSE(l.blackhole(true));
+}
+
+TEST(Link, BlackholeBothDirections) {
+  Link l = make_link();
+  l.set_blackhole(true, true);
+  l.set_blackhole(false, true);
+  util::Rng rng(1);
+  EXPECT_EQ(l.try_cross(1, rng), Link::Crossing::kDroppedBlackhole);
+  EXPECT_EQ(l.try_cross(3, rng), Link::Crossing::kDroppedBlackhole);
+}
+
+TEST(Link, LossReverseDirectionOnly) {
+  Link l = make_link();
+  l.set_loss(/*a_to_b=*/false, 1.0);
+  util::Rng rng(7);
+  EXPECT_EQ(l.try_cross(3, rng), Link::Crossing::kDroppedLoss);
+  EXPECT_EQ(l.try_cross(1, rng), Link::Crossing::kDelivered);
+  EXPECT_DOUBLE_EQ(l.loss(false), 1.0);
+  EXPECT_DOUBLE_EQ(l.loss(true), 0.0);
+}
+
+TEST(Link, WireCountersAttributePerDirection) {
+  Link l = make_link();
+  l.set_blackhole(/*a_to_b=*/true, true);
+  util::Rng rng(1);
+  l.try_cross(1, rng);  // a->b: blackholed
+  l.try_cross(3, rng);  // b->a: delivered
+  l.try_cross(3, rng);
+  EXPECT_EQ(l.wire(true).sent, 1u);
+  EXPECT_EQ(l.wire(true).dropped_blackhole, 1u);
+  EXPECT_EQ(l.wire(true).delivered, 0u);
+  EXPECT_EQ(l.wire(false).sent, 2u);
+  EXPECT_EQ(l.wire(false).delivered, 2u);
+  EXPECT_EQ(l.wire(false).dropped_blackhole, 0u);
+}
+
+// Network-level direction mapping: set_blackhole_from(e, from, ...) must hit
+// exactly the from -> peer direction regardless of which end `from` is.
+TEST(Link, NetworkBlackholeFromMapsDirection) {
+  graph::Graph g = graph::make_path(2);  // edge 0: 0 -- 1
+  Network net(g);
+  Link& l = net.link(0);
+  const ofp::SwitchId a = l.end_a().sw;
+  const ofp::SwitchId b = l.end_b().sw;
+
+  net.set_blackhole_from(0, a, true);
+  EXPECT_TRUE(l.blackhole(/*a_to_b=*/true));
+  EXPECT_FALSE(l.blackhole(false));
+  net.set_blackhole_from(0, a, false);
+
+  net.set_blackhole_from(0, b, true);
+  EXPECT_TRUE(l.blackhole(false));
+  EXPECT_FALSE(l.blackhole(true));
+}
+
+TEST(Link, NetworkLossFromMapsDirection) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  Link& l = net.link(0);
+  net.set_loss_from(0, l.end_b().sw, 0.25);
+  EXPECT_DOUBLE_EQ(l.loss(/*a_to_b=*/false), 0.25);
+  EXPECT_DOUBLE_EQ(l.loss(true), 0.0);
+}
+
+// Regression: a switch that is not an end of the edge used to be silently
+// treated as the b-end; it must throw instead.
+TEST(Link, NetworkDirectionalSettersRejectForeignSwitch) {
+  graph::Graph g = graph::make_path(3);  // edge 0: 0 -- 1; switch 2 foreign
+  Network net(g);
+  EXPECT_THROW(net.set_blackhole_from(0, 2, true), std::invalid_argument);
+  EXPECT_THROW(net.set_loss_from(0, 2, 0.5), std::invalid_argument);
+  EXPECT_THROW(net.schedule_blackhole_from(0, 2, true, 10), std::invalid_argument);
+  EXPECT_THROW(net.schedule_loss_from(0, 2, 0.5, 10), std::invalid_argument);
+  EXPECT_FALSE(net.link(0).any_blackhole());
 }
 
 }  // namespace

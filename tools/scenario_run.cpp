@@ -1,0 +1,78 @@
+// scenario_run: execute one scenario spec file and emit the JSONL result.
+//
+//   scenario_run <scenario.json> [--out FILE]
+//
+// stdout (or --out): the deterministic result stream — one "scenario"
+// header line, one "scenario_event" line per applied fault, one
+// "scenario_result" line.  Replaying the same file yields byte-identical
+// output.  stderr: a one-line human summary.
+//
+// Exit codes: 0 = ran and every "expect" assertion held; 1 = an expect
+// assertion failed; 2 = unreadable/invalid spec.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+using namespace ss;
+
+int main(int argc, char** argv) {
+  std::string path, out_path;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--out") == 0 && k + 1 < argc) {
+      out_path = argv[++k];
+    } else if (path.empty() && argv[k][0] != '-') {
+      path = argv[k];
+    } else {
+      std::fprintf(stderr, "usage: scenario_run <scenario.json> [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: scenario_run <scenario.json> [--out FILE]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "scenario_run: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string error;
+  const auto spec = scenario::parse_scenario(buf.str(), &error);
+  if (!spec) {
+    std::fprintf(stderr, "scenario_run: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+
+  const scenario::ScenarioResult res = scenario::run_scenario(*spec);
+
+  if (out_path.empty()) {
+    scenario::write_result_jsonl(std::cout, *spec, res);
+  } else {
+    std::ofstream os(out_path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "scenario_run: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    scenario::write_result_jsonl(os, *spec, res);
+  }
+
+  std::fprintf(stderr,
+               "%s: %s in %u attempt(s), ground_truth=%s, %zu event(s), expect %s\n",
+               spec->name.c_str(), res.verdict.c_str(), res.attempts,
+               res.ground_truth_ok ? "ok" : "FAIL", res.timeline.size(),
+               res.expect_ok ? "ok" : "FAILED");
+  for (const std::string& f : res.expect_failures)
+    std::fprintf(stderr, "  expect failed: %s\n", f.c_str());
+  return res.expect_ok ? 0 : 1;
+}
