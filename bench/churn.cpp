@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
 #include "scenario/runner.hpp"
@@ -38,20 +39,36 @@ int main() {
   constexpr sim::Time kWindowEnd = 600;
   constexpr sim::Time kDownFor = 150;
 
-  for (const Topo& t : topos) {
-    std::vector<graph::EdgeId> edges(t.g.edge_count());
-    for (graph::EdgeId e = 0; e < t.g.edge_count(); ++e) edges[e] = e;
+  // Every (topo, rate, trial) point is independent: the trial seed is a
+  // pure function of the trial number (bench_seed(100 + trial)), never a
+  // shared Rng draw, so the flattened sweep parallelizes without changing a
+  // single result.  Aggregation and printing stay serial, in point order.
+  struct Point {
+    std::size_t topo = 0;
+    double rate = 0.0;
+    int trial = 0;
+  };
+  struct Outcome {
+    bool complete = false;
+    bool match = false;
+    std::uint64_t attempts = 0;
+    std::uint64_t events = 0;
+  };
+  std::vector<Point> points;
+  for (std::size_t ti = 0; ti < topos.size(); ++ti)
+    for (const double rate : rates)
+      for (int trial = 0; trial < kTrials; ++trial)
+        points.push_back({ti, rate, trial});
 
-    for (const double rate : rates) {
-      int completed = 0, matched = 0;
-      std::uint64_t attempts = 0, events = 0;
-      for (int trial = 0; trial < kTrials; ++trial) {
+  const auto outcomes = bench::parallel_sweep(
+      points, [&](const Point& pt, std::size_t) {
+        const Topo& t = topos[pt.topo];
         scenario::ScenarioSpec spec;
         spec.name = "churn";
         spec.topology.kind = t.name;
         spec.topology.n = t.g.node_count();
         spec.graph = t.g;
-        spec.seed = bench::bench_seed(100 + static_cast<std::uint64_t>(trial));
+        spec.seed = bench::bench_seed(100 + static_cast<std::uint64_t>(pt.trial));
         spec.root = 0;
         spec.service = "snapshot";
         spec.link_delay = 4;  // stretch the traversal so churn can hit it
@@ -60,23 +77,34 @@ int main() {
         const sim::Time clean_time =
             (4 * t.g.edge_count() - 2 * t.g.node_count() + 2) * spec.link_delay;
         spec.retry = core::RetryPolicy{2 * clean_time, /*max_attempts=*/8};
-        if (rate > 0.0) {
+        if (pt.rate > 0.0) {
           scenario::PoissonChurnSpec p;
-          p.rate = rate;
+          p.rate = pt.rate;
           p.start = 0;
           p.end = kWindowEnd;
           p.down_for = kDownFor;
-          p.edges = edges;
+          p.edges.resize(t.g.edge_count());
+          for (graph::EdgeId e = 0; e < t.g.edge_count(); ++e) p.edges[e] = e;
           util::Rng rng(spec.seed);
           spec.schedule = scenario::expand_poisson_churn(p, rng);
           scenario::sort_schedule(spec.schedule);
         }
-
         const scenario::ScenarioResult r = scenario::run_scenario(spec);
-        completed += r.complete ? 1 : 0;
-        matched += (r.complete && r.snapshot_match) ? 1 : 0;
-        attempts += r.attempts;
-        events += r.timeline.size();
+        return Outcome{r.complete, r.complete && r.snapshot_match, r.attempts,
+                       r.timeline.size()};
+      });
+
+  std::size_t next_point = 0;
+  for (const Topo& t : topos) {
+    for (const double rate : rates) {
+      int completed = 0, matched = 0;
+      std::uint64_t attempts = 0, events = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const Outcome& o = outcomes[next_point++];
+        completed += o.complete ? 1 : 0;
+        matched += o.match ? 1 : 0;
+        attempts += o.attempts;
+        events += o.events;
       }
 
       char rbuf[32], cbuf[32], mbuf[32], abuf[32];

@@ -1,0 +1,338 @@
+// Lookup microbenchmark: linear vs indexed flow-table dispatch on compiled
+// SmartSouth pipelines, plus whole-traversal wall-clock for both modes.
+//
+// Workload: install the hardened snapshot service (fragment_limit 12, dedup,
+// epoch guard — the largest tables the compiler emits for a service run) on
+// ring/grid/torus topologies, run one traced traversal, and replay the real
+// (switch, in_port, packet) arrival sequence against the tables with
+// counter-free find_linear / find_indexed walks.  Per-hop cost is the table
+// walk a real arrival performs (pre -> start -> aux -> classify).
+//
+// Output: stdout table; BENCH_pipeline.json (see docs/performance.md);
+// lookup.metrics.jsonl sidecar.  Modes:
+//   bench_lookup [--n N] [--iters K] [--out PATH] [--check BASELINE]
+// --check compares the DETERMINISTIC fields (hops, events, entries) of each
+// (topo, n) row against a committed baseline and exits 1 on drift — the CI
+// bench-smoke job runs this against the repo's BENCH_pipeline.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "sim/network.hpp"
+
+using namespace ss;
+
+namespace {
+
+struct Workload {
+  ofp::SwitchId sw = 0;
+  ofp::PortNo in_port = 0;
+  ofp::Packet packet;
+};
+
+struct Row {
+  std::string topo;
+  std::size_t n = 0;
+  // Deterministic (checked against the committed baseline):
+  std::uint64_t hops = 0;     // Stats::sent of one traversal
+  std::uint64_t events = 0;   // Stats::events of one traversal
+  std::uint64_t entries = 0;  // flow entries per switch
+  // Timing (informational):
+  double linear_ns = 0.0;   // per-hop table walk, linear scan
+  double indexed_ns = 0.0;  // per-hop table walk, indexed dispatch
+  double trav_linear_us = 0.0;
+  double trav_indexed_us = 0.0;
+  double speedup() const {
+    return indexed_ns > 0.0 ? linear_ns / indexed_ns : 0.0;
+  }
+};
+
+graph::Graph build_topo(const std::string& topo, std::size_t n) {
+  if (topo == "ring") return graph::make_ring(n);
+  // Square-ish rows x cols with rows * cols == n.
+  std::size_t rows = static_cast<std::size_t>(std::sqrt(double(n)));
+  while (rows > 1 && n % rows != 0) --rows;
+  const std::size_t cols = n / rows;
+  return topo == "grid" ? graph::make_grid(rows, cols)
+                        : graph::make_torus(rows, cols);
+}
+
+core::SnapshotService make_service(const graph::Graph& g) {
+  // Fragment budget scales with network size, as a deployment would size it
+  // (finer-grained snapshots on bigger networks); it is also what drives the
+  // classify-table entry count, so the bench exercises realistic tables at
+  // every n rather than the Δ-only minimum.
+  const auto frag = static_cast<std::uint32_t>(
+      std::max<std::size_t>(12, g.node_count() / 8));
+  return core::SnapshotService(g, frag, /*dedup=*/true,
+                               /*inband_collector=*/{}, /*epoch_guard=*/true);
+}
+
+void set_index_mode(sim::Network& net, bool indexed) {
+  for (graph::NodeId v = 0; v < net.topology().node_count(); ++v)
+    for (ofp::FlowTable& t : net.sw(v).tables_mut()) t.set_use_index(indexed);
+}
+
+/// The table walk an arrival performs, lookup cost only (no actions; the
+/// snapshot miss path is action-free before classify, so post-goto tables
+/// see the arrival packet exactly as the pipeline does for non-root hops).
+std::uint64_t walk(const std::vector<ofp::FlowTable>& tables,
+                   const ofp::Packet& pkt, ofp::PortNo in_port, bool indexed) {
+  std::size_t t = 0;
+  std::uint64_t acc = 0;
+  while (t < tables.size()) {
+    const ofp::FlowEntry* e = indexed ? tables[t].find_indexed(pkt, in_port)
+                                      : tables[t].find_linear(pkt, in_port);
+    if (e == nullptr) break;
+    acc += e->cookie;
+    if (!e->goto_table) break;
+    t = *e->goto_table;
+  }
+  return acc;
+}
+
+double now_ns() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Row measure_point(const std::string& topo, std::size_t n, int iters) {
+  Row r;
+  r.topo = topo;
+  r.n = n;
+  const graph::Graph g = build_topo(topo, n);
+  const core::SnapshotService svc = make_service(g);
+
+  // Traced reference run: collect the real arrival workload.
+  std::vector<Workload> work;
+  {
+    sim::Network net(g, 1, bench::bench_seed(1));
+    svc.install(net);
+    net.set_trace(true);
+    svc.run(net, 0);
+    r.hops = net.stats().sent;
+    r.events = net.stats().events;
+    r.entries = net.sw(0).total_flow_entries();
+    // Cap the replay set so it stays cache-resident: the microbench isolates
+    // dispatch arithmetic; DRAM streaming effects are what the traversal
+    // wall-clock columns already capture.
+    constexpr std::size_t kMaxHops = 512;
+    for (const sim::TraceEntry& te : net.trace()) {
+      if (!te.delivered) continue;
+      work.push_back({te.to, te.in_port, te.packet});
+      if (work.size() >= kMaxHops) break;
+    }
+
+    // Time both walk modes against the live tables (counters untouched:
+    // find_* never bump lookup/hit counters).  Warm once so the lazy index
+    // build is not billed to the first timed pass.
+    std::uint64_t sink = 0;
+    for (const Workload& w : work)
+      sink += walk(net.sw(w.sw).tables(), w.packet, w.in_port, true);
+    for (const int indexed : {0, 1}) {
+      const double t0 = now_ns();
+      for (int it = 0; it < iters; ++it)
+        for (const Workload& w : work)
+          sink += walk(net.sw(w.sw).tables(), w.packet, w.in_port, indexed != 0);
+      const double per_hop =
+          (now_ns() - t0) / (double(iters) * double(work.size()));
+      (indexed != 0 ? r.indexed_ns : r.linear_ns) = per_hop;
+    }
+    if (sink == 0xdeadbeef) std::fprintf(stderr, "(impossible)\n");
+  }
+
+  // Whole-traversal wall-clock, both modes, fresh network each (stats must
+  // agree between modes — a cheap end-to-end equivalence check).
+  std::uint64_t ev_linear = 0, ev_indexed = 0;
+  for (const int indexed : {0, 1}) {
+    sim::Network net(g, 1, bench::bench_seed(1));
+    svc.install(net);
+    set_index_mode(net, indexed != 0);
+    const double t0 = now_ns();
+    svc.run(net, 0);
+    const double us = (now_ns() - t0) / 1000.0;
+    (indexed != 0 ? r.trav_indexed_us : r.trav_linear_us) = us;
+    (indexed != 0 ? ev_indexed : ev_linear) = net.stats().events;
+    if (net.stats().sent != r.hops || net.stats().events != r.events) {
+      std::fprintf(stderr,
+                   "FATAL: %s n=%zu mode=%d stats diverged from reference "
+                   "(sent %llu vs %llu, events %llu vs %llu)\n",
+                   topo.c_str(), n, indexed,
+                   (unsigned long long)net.stats().sent,
+                   (unsigned long long)r.hops,
+                   (unsigned long long)net.stats().events,
+                   (unsigned long long)r.events);
+      std::exit(1);
+    }
+  }
+  (void)ev_linear;
+  (void)ev_indexed;
+  return r;
+}
+
+int check_baseline(const std::vector<Row>& rows, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "--check: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = obs::json_parse(ss.str());
+  if (!doc || !doc->is_object() || doc->get("rows") == nullptr ||
+      !doc->get("rows")->is_array()) {
+    std::fprintf(stderr, "--check: %s is not a BENCH_pipeline.json document\n",
+                 path.c_str());
+    return 1;
+  }
+  int compared = 0, failed = 0;
+  for (const Row& r : rows) {
+    for (const obs::JsonValue& b : doc->get("rows")->array) {
+      if (b.str("topo") != r.topo || b.u64("n") != r.n) continue;
+      ++compared;
+      const bool ok = b.u64("hops") == r.hops && b.u64("events") == r.events &&
+                      b.u64("entries") == r.entries;
+      if (!ok) {
+        ++failed;
+        std::fprintf(stderr,
+                     "DRIFT %s n=%zu: hops %llu->%llu events %llu->%llu "
+                     "entries %llu->%llu\n",
+                     r.topo.c_str(), r.n, (unsigned long long)b.u64("hops"),
+                     (unsigned long long)r.hops,
+                     (unsigned long long)b.u64("events"),
+                     (unsigned long long)r.events,
+                     (unsigned long long)b.u64("entries"),
+                     (unsigned long long)r.entries);
+      }
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "--check: no baseline rows matched this run\n");
+    return 1;
+  }
+  std::fprintf(stderr, "--check: %d row(s) compared against %s, %d drifted\n",
+               compared, path.c_str(), failed);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sizes = {60, 400};
+  int iters = 200;
+  std::string out_path = "BENCH_pipeline.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--n")
+      sizes = {static_cast<std::size_t>(std::strtoul(next(), nullptr, 10))};
+    else if (a == "--iters")
+      iters = static_cast<int>(std::strtol(next(), nullptr, 10));
+    else if (a == "--out")
+      out_path = next();
+    else if (a == "--check")
+      check_path = next();
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_lookup [--n N] [--iters K] [--out PATH] "
+                   "[--check BASELINE]\n");
+      return 2;
+    }
+  }
+  if (iters < 1) iters = 1;
+
+  bench::Metrics metrics("lookup");
+  const std::vector<int> widths = {6, 6, 8, 9, 9, 10, 10, 8, 11, 11};
+  bench::row({"topo", "n", "entries", "hops", "events", "linear_ns",
+              "index_ns", "speedup", "trav_lin_us", "trav_idx_us"},
+             widths);
+  bench::hr(110);
+
+  struct Point {
+    std::string topo;
+    std::size_t n;
+  };
+  std::vector<Point> points;
+  for (const char* topo : {"ring", "grid", "torus"})
+    for (const std::size_t n : sizes) points.push_back({topo, n});
+
+  // Timing benches stay serial by default (parallel workers would contend
+  // for cores and pollute each other's timings); SS_BENCH_THREADS>1 opts in.
+  const std::vector<Row> rows = bench::parallel_sweep(
+      points,
+      [&](const Point& p, std::size_t) { return measure_point(p.topo, p.n, iters); },
+      std::getenv("SS_BENCH_THREADS") != nullptr ? 0u : 1u);
+
+  obs::JsonArr arr;
+  for (const Row& r : rows) {
+    char lb[32], ib[32], sb[32], tl[32], ti[32];
+    std::snprintf(lb, sizeof lb, "%.1f", r.linear_ns);
+    std::snprintf(ib, sizeof ib, "%.1f", r.indexed_ns);
+    std::snprintf(sb, sizeof sb, "%.2fx", r.speedup());
+    std::snprintf(tl, sizeof tl, "%.0f", r.trav_linear_us);
+    std::snprintf(ti, sizeof ti, "%.0f", r.trav_indexed_us);
+    bench::row({r.topo, std::to_string(r.n), std::to_string(r.entries),
+                std::to_string(r.hops), std::to_string(r.events), lb, ib, sb,
+                tl, ti},
+               widths);
+
+    obs::JsonObj o;
+    o.add("topo", r.topo);
+    o.add("n", r.n);
+    o.add("entries", r.entries);
+    o.add("hops", r.hops);
+    o.add("events", r.events);
+    o.add("linear_ns", r.linear_ns);
+    o.add("indexed_ns", r.indexed_ns);
+    o.add("speedup", r.speedup());
+    o.add("traversal_linear_us", r.trav_linear_us);
+    o.add("traversal_indexed_us", r.trav_indexed_us);
+    arr.push(o);
+
+    obs::JsonObj m;
+    m.add("type", "lookup");
+    m.add("topo", r.topo);
+    m.add("n", r.n);
+    m.add("entries", r.entries);
+    m.add("hops", r.hops);
+    m.add("events", r.events);
+    m.add("linear_ns", r.linear_ns);
+    m.add("indexed_ns", r.indexed_ns);
+    metrics.emit(m);
+  }
+
+  if (!check_path.empty()) {
+    const int rc = check_baseline(rows, check_path);
+    if (rc != 0) return rc;
+  }
+
+  if (!out_path.empty()) {
+    obs::JsonObj doc;
+    doc.add("schema", "ss.bench.pipeline.v1");
+    doc.add("bench", "lookup");
+    doc.add_u("seed", bench::bench_seed());
+    doc.add_raw("rows", arr.str());
+    std::ofstream out(out_path, std::ios::trunc);
+    out << doc.str() << "\n";
+    std::fprintf(stderr, "baseline: %s\n", out_path.c_str());
+  }
+  if (metrics.ok())
+    std::fprintf(stderr, "metrics: %s\n", metrics.path().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+// Deterministic parallel sweep driver.
+//
+// Bench sweeps are embarrassingly parallel: every (topology, n, trial) point
+// builds its own Network and derives all randomness from an SS_SEED-based
+// per-point stream (bench_seed(stream_base + index)).  parallel_sweep fans
+// those points out over a worker pool and returns the results IN ITEM ORDER,
+// so everything the caller prints or emits afterwards — stdout tables,
+// *.metrics.jsonl rows — is byte-identical to a serial run regardless of
+// thread count (timing fields excepted, as always).
+//
+// Rules for point functions:
+//   * no shared mutable state — each point owns its Network/Rng/buffers;
+//   * derive randomness only from the point index, never from a shared Rng
+//     (a shared stream would make results depend on execution order);
+//   * return a value-type result; all printing happens serially afterwards.
+//
+// Thread count comes from SS_BENCH_THREADS (default: hardware concurrency).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace ss::bench {
+
+inline unsigned sweep_threads() {
+  const char* s = std::getenv("SS_BENCH_THREADS");
+  if (s != nullptr && *s != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s && *end == '\0' && v >= 1) return static_cast<unsigned>(v);
+    std::fprintf(stderr, "warning: ignoring bad SS_BENCH_THREADS '%s'\n", s);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+/// Run fn(items[i], i) for every i on `threads` workers (0 = auto) and
+/// return the results in item order.  The result type must be
+/// default-constructible.  The first exception thrown by any point is
+/// rethrown after all workers join.
+template <typename Item, typename Fn>
+auto parallel_sweep(const std::vector<Item>& items, Fn fn, unsigned threads = 0)
+    -> std::vector<decltype(fn(items.front(), std::size_t{0}))> {
+  using R = decltype(fn(items.front(), std::size_t{0}));
+  std::vector<R> results(items.size());
+  if (items.empty()) return results;
+  if (threads == 0) threads = sweep_threads();
+  if (threads > items.size()) threads = static_cast<unsigned>(items.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) results[i] = fn(items[i], i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        for (std::size_t i = next.fetch_add(1); i < items.size();
+             i = next.fetch_add(1))
+          results[i] = fn(items[i], i);
+      } catch (...) {
+        // Record and stop this worker; siblings finish their points so one
+        // bad point does not suppress the rest of the sweep.
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return results;
+}
+
+}  // namespace ss::bench

@@ -13,6 +13,7 @@
 #include <chrono>
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/services.hpp"
 #include "ofp/optimize.hpp"
 #include "ofp/space.hpp"
@@ -64,8 +65,17 @@ int main() {
   sweep.push_back({"fattree k=8", 80, graph::make_fat_tree(8)});
   sweep.push_back({"fattree k=12", 180, graph::make_fat_tree(12)});
 
-  for (const auto& sg : sweep) {
-    auto r = max_switch_space(sg.g, core::ServiceKind::kSnapshot);
+  // Graph construction stays serial above (the shared rng stream defines the
+  // sweep); only the per-point measurement fans out, and rows are emitted in
+  // item order, so the table and metrics are byte-identical at any thread
+  // count.
+  const auto reports =
+      bench::parallel_sweep(sweep, [](const bench::SweepGraph& sg, std::size_t) {
+        return max_switch_space(sg.g, core::ServiceKind::kSnapshot);
+      });
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& sg = sweep[i];
+    const auto& r = reports[i];
     bench::row({sg.family, util::cat(sg.n), util::cat(sg.g.edge_count()),
                 util::cat(sg.g.max_degree()), util::cat(r.flow_entries),
                 util::cat(r.groups), util::cat(r.buckets),
@@ -91,7 +101,7 @@ int main() {
   std::printf("\n(b) Per-switch state by service (reg4, n = 100)\n");
   bench::hr();
   graph::Graph g100 = graph::make_random_regular(100, 4, rng);
-  const std::pair<const char*, core::ServiceKind> kinds[] = {
+  const std::vector<std::pair<const char*, core::ServiceKind>> kinds = {
       {"plain", core::ServiceKind::kPlain},
       {"snapshot", core::ServiceKind::kSnapshot},
       {"anycast", core::ServiceKind::kAnycast},
@@ -104,9 +114,12 @@ int main() {
   bench::row({"service", "entries", "groups", "buckets", "bytes"},
              {14, 8, 7, 8, 10});
   bench::hr();
-  for (auto& [name, kind] : kinds) {
-    auto r = max_switch_space(g100, kind);
-    bench::row({name, util::cat(r.flow_entries), util::cat(r.groups),
+  const auto kind_reports = bench::parallel_sweep(
+      kinds, [&](const std::pair<const char*, core::ServiceKind>& k,
+                 std::size_t) { return max_switch_space(g100, k.second); });
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const auto& r = kind_reports[i];
+    bench::row({kinds[i].first, util::cat(r.flow_entries), util::cat(r.groups),
                 util::cat(r.buckets), util::cat(util::human_bytes(r.total_bytes()))},
                {14, 8, 7, 8, 10});
   }
@@ -118,49 +131,79 @@ int main() {
   bench::row({"topology", "n", "records", "bytes/full", "fragments"},
              {12, 5, 8, 10, 9});
   bench::hr();
-  for (std::size_t n : {20, 50, 100, 200, 300}) {
-    graph::Graph g = graph::make_random_regular(n, 4, rng);
-    // 0.5 KB of 4-byte records = 128 labels; with <= 2deg+2 records per
-    // visit, a limit of 128 / (2*4+2) = 12 visits per fragment is safe.
-    core::SnapshotService svc(g, /*fragment_limit=*/12);
-    sim::Network net(g);
-    svc.install(net);
-    auto res = svc.run(net, 0);
-    core::SnapshotService whole(g);
-    sim::Network net2(g);
-    whole.install(net2);
-    auto full = whole.run(net2, 0);
-    bench::row({"reg4", util::cat(n), util::cat(res.edges.size()),
-                util::cat(full.stats.max_wire_bytes), util::cat(res.fragments)},
+  std::vector<bench::SweepGraph> frag_cases;
+  for (std::size_t n : {20, 50, 100, 200, 300})
+    frag_cases.push_back({"reg4", n, graph::make_random_regular(n, 4, rng)});
+  struct FragRow {
+    std::size_t records = 0;
+    std::uint64_t full_bytes = 0;
+    std::uint64_t fragments = 0;
+  };
+  const auto frag_rows = bench::parallel_sweep(
+      frag_cases, [](const bench::SweepGraph& sg, std::size_t) {
+        // 0.5 KB of 4-byte records = 128 labels; with <= 2deg+2 records per
+        // visit, a limit of 128 / (2*4+2) = 12 visits per fragment is safe.
+        core::SnapshotService svc(sg.g, /*fragment_limit=*/12);
+        sim::Network net(sg.g);
+        svc.install(net);
+        auto res = svc.run(net, 0);
+        core::SnapshotService whole(sg.g);
+        sim::Network net2(sg.g);
+        whole.install(net2);
+        auto full = whole.run(net2, 0);
+        return FragRow{res.edges.size(),
+                       static_cast<std::uint64_t>(full.stats.max_wire_bytes),
+                       static_cast<std::uint64_t>(res.fragments)};
+      });
+  for (std::size_t i = 0; i < frag_cases.size(); ++i)
+    bench::row({"reg4", util::cat(frag_cases[i].n),
+                util::cat(frag_rows[i].records), util::cat(frag_rows[i].full_bytes),
+                util::cat(frag_rows[i].fragments)},
                {12, 5, 8, 10, 9});
-  }
   bench::hr();
 
   std::printf("\n(d) Traversal wall-clock in the simulator (snapshot)\n");
   bench::hr();
   bench::row({"n", "|E|", "inband msgs", "sim us/run"}, {6, 7, 11, 10});
   bench::hr();
-  for (std::size_t n : {20, 50, 100, 200, 400}) {
-    graph::Graph g = graph::make_random_regular(n, 4, rng);
-    core::SnapshotService svc(g);
-    sim::Network net(g);
-    svc.install(net);
-    const auto t0 = std::chrono::steady_clock::now();
-    auto res = svc.run(net, 0);
-    const auto t1 = std::chrono::steady_clock::now();
-    const auto us =
-        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
-    bench::row({util::cat(n), util::cat(g.edge_count()),
-                util::cat(res.stats.inband_msgs), util::cat(us)},
+  std::vector<bench::SweepGraph> wall_cases;
+  for (std::size_t n : {20, 50, 100, 200, 400})
+    wall_cases.push_back({"reg4", n, graph::make_random_regular(n, 4, rng)});
+  struct WallRow {
+    std::uint64_t inband_msgs = 0;
+    long long us = 0;
+  };
+  // Timing series: stays serial unless SS_BENCH_THREADS opts in — parallel
+  // runs contend for cores and distort per-run wall-clock.  The msg counts
+  // are deterministic either way.
+  const auto wall_rows = bench::parallel_sweep(
+      wall_cases,
+      [](const bench::SweepGraph& sg, std::size_t) {
+        core::SnapshotService svc(sg.g);
+        sim::Network net(sg.g);
+        svc.install(net);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto res = svc.run(net, 0);
+        const auto t1 = std::chrono::steady_clock::now();
+        return WallRow{
+            res.stats.inband_msgs,
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()};
+      },
+      std::getenv("SS_BENCH_THREADS") != nullptr ? 0u : 1u);
+  for (std::size_t i = 0; i < wall_cases.size(); ++i) {
+    const auto& sg = wall_cases[i];
+    bench::row({util::cat(sg.n), util::cat(sg.g.edge_count()),
+                util::cat(wall_rows[i].inband_msgs), util::cat(wall_rows[i].us)},
                {6, 7, 11, 10});
     metrics.emit(obs::JsonObj()
                      .add("type", "bench")
                      .add("bench", "scaling")
                      .add("series", "sim_wallclock")
-                     .add("n", n)
-                     .add("edges", g.edge_count())
-                     .add("inband_msgs", res.stats.inband_msgs)
-                     .add("sim_us", us));
+                     .add("n", sg.n)
+                     .add("edges", sg.g.edge_count())
+                     .add("inband_msgs", wall_rows[i].inband_msgs)
+                     .add("sim_us", wall_rows[i].us));
   }
   bench::hr();
 

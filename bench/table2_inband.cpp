@@ -11,8 +11,10 @@
 // constant the paper drops (see EXPERIMENTS.md).
 
 #include <cinttypes>
+#include <sstream>
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/services.hpp"
 #include "obs/export.hpp"
 #include "sim/network.hpp"
@@ -29,57 +31,88 @@ int main() {
              {14, 4, 5, 9, 7, 8, 7, 9, 7, 10, 6, 8, 7});
   bench::hr();
 
-  for (const auto& sg : bench::standard_sweep()) {
-    const graph::Graph& g = sg.g;
-    const auto n = g.node_count();
-    const auto E = g.edge_count();
+  // Each sweep point runs five independent services on its own Networks, so
+  // the whole sweep fans out; rows/metrics are emitted serially in sweep
+  // order afterwards (byte-identical to a serial run at any thread count).
+  struct PointResult {
+    std::uint64_t snap_msgs = 0;
+    std::uint64_t any_msgs = 0;
+    std::uint64_t prio_msgs = 0;
+    std::uint64_t bh_msgs = 0;
+    std::uint64_t crit_msgs = 0;
+    std::string flow_stats;  // ring n=20 only: acceptance ground truth
+  };
+  const auto sweep = bench::standard_sweep();
+  const auto results = bench::parallel_sweep(
+      sweep, [](const bench::SweepGraph& sg, std::size_t) {
+        const graph::Graph& g = sg.g;
+        const auto n = g.node_count();
+        PointResult out;
 
-    core::SnapshotService snap(g);
-    sim::Network net_snap(g);
-    snap.install(net_snap);
-    const auto snap_msgs = snap.run(net_snap, 0).stats.inband_msgs;
+        core::SnapshotService snap(g);
+        sim::Network net_snap(g);
+        snap.install(net_snap);
+        out.snap_msgs = snap.run(net_snap, 0).stats.inband_msgs;
 
-    // Anycast with an unreachable group id measures the full traversal
-    // (a delivered anycast stops early).
-    core::AnycastGroupSpec gs;
-    gs.gid = 1;
-    gs.members[static_cast<graph::NodeId>(n - 1)] = 1;
-    core::AnycastService any(g, {gs});
-    sim::Network net_any(g);
-    any.install(net_any);
-    const auto any_msgs = any.run(net_any, 0, /*gid=*/2).stats.inband_msgs;
+        // Anycast with an unreachable group id measures the full traversal
+        // (a delivered anycast stops early).
+        core::AnycastGroupSpec gs;
+        gs.gid = 1;
+        gs.members[static_cast<graph::NodeId>(n - 1)] = 1;
+        core::AnycastService any(g, {gs});
+        sim::Network net_any(g);
+        any.install(net_any);
+        out.any_msgs = any.run(net_any, 0, /*gid=*/2).stats.inband_msgs;
 
-    core::AnycastGroupSpec pgs;
-    pgs.gid = 1;
-    pgs.members[static_cast<graph::NodeId>(n / 2)] = 7;
-    core::PriocastService prio(g, {pgs});
-    sim::Network net_prio(g);
-    prio.install(net_prio);
-    const auto prio_msgs = prio.run(net_prio, 0, 1).stats.inband_msgs;
+        core::AnycastGroupSpec pgs;
+        pgs.gid = 1;
+        pgs.members[static_cast<graph::NodeId>(n / 2)] = 7;
+        core::PriocastService prio(g, {pgs});
+        sim::Network net_prio(g);
+        prio.install(net_prio);
+        out.prio_msgs = prio.run(net_prio, 0, 1).stats.inband_msgs;
 
-    core::BlackholeCountersService bh(g);
-    sim::Network net_bh(g);
-    bh.install(net_bh);
-    const auto bh_msgs = bh.run(net_bh, 0).stats.inband_msgs;
+        core::BlackholeCountersService bh(g);
+        sim::Network net_bh(g);
+        bh.install(net_bh);
+        out.bh_msgs = bh.run(net_bh, 0).stats.inband_msgs;
 
-    core::CriticalNodeService crit(g);
-    sim::Network net_crit(g);
-    crit.install(net_crit);
-    // Measure at a non-critical node (full traversal, like the paper's row).
-    graph::NodeId probe = 0;
-    const auto art = graph::articulation_points(g);
-    for (graph::NodeId v = 0; v < n; ++v)
-      if (!art[v]) {
-        probe = v;
-        break;
-      }
-    const auto crit_msgs = crit.run(net_crit, probe).stats.inband_msgs;
+        core::CriticalNodeService crit(g);
+        sim::Network net_crit(g);
+        crit.install(net_crit);
+        // Measure at a non-critical node (full traversal, like the paper's
+        // row).
+        graph::NodeId probe = 0;
+        const auto art = graph::articulation_points(g);
+        for (graph::NodeId v = 0; v < n; ++v)
+          if (!art[v]) {
+            probe = v;
+            break;
+          }
+        out.crit_msgs = crit.run(net_crit, probe).stats.inband_msgs;
 
+        // Acceptance ground truth: per-rule hit counters of the snapshot
+        // run, the raw material the in-band "smart counters" aggregate.
+        // Captured here (the Network dies with the point) and appended to
+        // the sidecar serially below.
+        if (sg.family == "ring" && n == 20) {
+          std::ostringstream os;
+          obs::write_flow_stats(os, net_snap, /*only_hit=*/true);
+          out.flow_stats = os.str();
+        }
+        return out;
+      });
+
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& sg = sweep[i];
+    const auto& r = results[i];
+    const auto n = sg.g.node_count();
+    const auto E = sg.g.edge_count();
     bench::row({util::cat(sg.family), util::cat(n), util::cat(E),
-                util::cat(snap_msgs), util::cat(4 * E - 2 * n),
-                util::cat(any_msgs), util::cat(4 * E - 2 * n),
-                util::cat(prio_msgs), util::cat(8 * E - 4 * n),
-                util::cat(bh_msgs), util::cat(4 * E), util::cat(crit_msgs),
+                util::cat(r.snap_msgs), util::cat(4 * E - 2 * n),
+                util::cat(r.any_msgs), util::cat(4 * E - 2 * n),
+                util::cat(r.prio_msgs), util::cat(8 * E - 4 * n),
+                util::cat(r.bh_msgs), util::cat(4 * E), util::cat(r.crit_msgs),
                 util::cat(4 * E - 2 * n)},
                {14, 4, 5, 9, 7, 8, 7, 9, 7, 10, 6, 8, 7});
 
@@ -89,17 +122,14 @@ int main() {
                      .add("family", sg.family)
                      .add("n", n)
                      .add("edges", E)
-                     .add("snapshot_msgs", snap_msgs)
-                     .add("anycast_msgs", any_msgs)
-                     .add("priocast_msgs", prio_msgs)
-                     .add("blackhole2_msgs", bh_msgs)
-                     .add("critical_msgs", crit_msgs)
+                     .add("snapshot_msgs", r.snap_msgs)
+                     .add("anycast_msgs", r.any_msgs)
+                     .add("priocast_msgs", r.prio_msgs)
+                     .add("blackhole2_msgs", r.bh_msgs)
+                     .add("critical_msgs", r.crit_msgs)
                      .add("formula_4e_2n", 4 * E - 2 * n)
                      .add("formula_8e_4n", 8 * E - 4 * n));
-    // Acceptance ground truth: per-rule hit counters of the snapshot run,
-    // the raw material the in-band "smart counters" aggregate.
-    if (sg.family == "ring" && n == 20)
-      obs::write_flow_stats(metrics.stream(), net_snap, /*only_hit=*/true);
+    if (!r.flow_stats.empty()) metrics.stream() << r.flow_stats;
   }
   bench::hr();
   std::printf(

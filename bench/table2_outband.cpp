@@ -10,6 +10,7 @@
 // our driver uses to model that injection (column "req").
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/services.hpp"
 #include "util/strings.hpp"
 
@@ -25,59 +26,85 @@ int main() {
              {14, 4, 5, 9, 4, 11, 4, 12, 4, 4, 8, 4, 4, 8, 4});
   bench::hr();
 
+  // The victim edge for the blackhole rows comes from a shared rng stream,
+  // one draw per point — pre-draw them serially so the flattened parallel
+  // sweep consumes the exact same sequence, then fan out the measurements.
+  const auto sweep = bench::standard_sweep();
   util::Rng rng(bench::bench_seed(10));
-  for (const auto& sg : bench::standard_sweep()) {
-    const graph::Graph& g = sg.g;
-    const auto n = g.node_count();
-    const auto E = g.edge_count();
+  std::vector<graph::EdgeId> victims;
+  victims.reserve(sweep.size());
+  for (const auto& sg : sweep)
+    victims.push_back(
+        static_cast<graph::EdgeId>(rng.uniform(0, sg.g.edge_count() - 1)));
 
-    core::SnapshotService snap(g);
-    sim::Network net1(g);
-    snap.install(net1);
-    const auto s = snap.run(net1, 0).stats;
+  struct PointResult {
+    std::uint64_t snap = 0;
+    std::uint64_t any = 0;
+    std::uint64_t prio = 0;
+    std::uint64_t bh1 = 0;
+    std::uint64_t bh2 = 0;
+    std::uint64_t crit = 0;
+  };
+  const auto results = bench::parallel_sweep(
+      sweep, [&](const bench::SweepGraph& sg, std::size_t i) {
+        const graph::Graph& g = sg.g;
+        const auto n = g.node_count();
+        const auto E = g.edge_count();
+        PointResult out;
 
-    core::AnycastGroupSpec gs;
-    gs.gid = 1;
-    gs.members[static_cast<graph::NodeId>(n - 1)] = 1;
-    core::AnycastService any(g, {gs});
-    sim::Network net2(g);
-    any.install(net2);
-    const auto a = any.run(net2, 0, 1).stats;
+        core::SnapshotService snap(g);
+        sim::Network net1(g);
+        snap.install(net1);
+        out.snap = snap.run(net1, 0).stats.outband_total();
 
-    core::PriocastService prio(g, {gs});
-    sim::Network net3(g);
-    prio.install(net3);
-    const auto p = prio.run(net3, 0, 1).stats;
+        core::AnycastGroupSpec gs;
+        gs.gid = 1;
+        gs.members[static_cast<graph::NodeId>(n - 1)] = 1;
+        core::AnycastService any(g, {gs});
+        sim::Network net2(g);
+        any.install(net2);
+        out.any = any.run(net2, 0, 1).stats.outband_total();
 
-    // Blackhole variant 1 with a planted failure (worst case for probes).
-    core::BlackholeTtlService bh1(g);
-    sim::Network net4(g);
-    bh1.install(net4);
-    const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, E - 1));
-    net4.set_blackhole_from(victim, g.edge(victim).a.node, true);
-    const auto max_ttl =
-        static_cast<std::uint32_t>(std::min<std::size_t>(4 * E + 4, 255));
-    const auto r1 = bh1.run(net4, 0, max_ttl);
+        core::PriocastService prio(g, {gs});
+        sim::Network net3(g);
+        prio.install(net3);
+        out.prio = prio.run(net3, 0, 1).stats.outband_total();
 
-    core::BlackholeCountersService bh2(g);
-    sim::Network net5(g);
-    bh2.install(net5);
-    net5.set_blackhole_from(victim, g.edge(victim).a.node, true);
-    const auto r2 = bh2.run(net5, 0);
+        // Blackhole variant 1 with a planted failure (worst case for probes).
+        core::BlackholeTtlService bh1(g);
+        sim::Network net4(g);
+        bh1.install(net4);
+        const graph::EdgeId victim = victims[i];
+        net4.set_blackhole_from(victim, g.edge(victim).a.node, true);
+        const auto max_ttl =
+            static_cast<std::uint32_t>(std::min<std::size_t>(4 * E + 4, 255));
+        out.bh1 = bh1.run(net4, 0, max_ttl).stats.outband_total();
 
-    core::CriticalNodeService crit(g);
-    sim::Network net6(g);
-    crit.install(net6);
-    const auto c = crit.run(net6, 0).stats;
+        core::BlackholeCountersService bh2(g);
+        sim::Network net5(g);
+        bh2.install(net5);
+        net5.set_blackhole_from(victim, g.edge(victim).a.node, true);
+        out.bh2 = bh2.run(net5, 0).stats.outband_total();
 
+        core::CriticalNodeService crit(g);
+        sim::Network net6(g);
+        crit.install(net6);
+        out.crit = crit.run(net6, 0).stats.outband_total();
+        return out;
+      });
+
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& sg = sweep[i];
+    const auto& r = results[i];
+    const auto n = sg.g.node_count();
+    const auto E = sg.g.edge_count();
     const double two_log_e = 2.0 * std::log2(static_cast<double>(4 * E + 4));
 
     bench::row(
-        {sg.family, util::cat(n), util::cat(E), util::cat(s.outband_total()), "2",
-         util::cat(a.outband_total() - 1), "0", util::cat(p.outband_total() - 1),
-         "0", util::cat(r1.stats.outband_total()),
-         util::cat(static_cast<int>(two_log_e)), util::cat(r2.stats.outband_total()),
-         "3", util::cat(c.outband_total()), "2"},
+        {sg.family, util::cat(n), util::cat(E), util::cat(r.snap), "2",
+         util::cat(r.any - 1), "0", util::cat(r.prio - 1), "0",
+         util::cat(r.bh1), util::cat(static_cast<int>(two_log_e)),
+         util::cat(r.bh2), "3", util::cat(r.crit), "2"},
         {14, 4, 5, 9, 4, 11, 4, 12, 4, 4, 8, 4, 4, 8, 4});
 
     metrics.emit(obs::JsonObj()
@@ -86,12 +113,12 @@ int main() {
                      .add("family", sg.family)
                      .add("n", n)
                      .add("edges", E)
-                     .add("snapshot_outband", s.outband_total())
-                     .add("anycast_outband", a.outband_total() - 1)
-                     .add("priocast_outband", p.outband_total() - 1)
-                     .add("bh1_outband", r1.stats.outband_total())
-                     .add("bh2_outband", r2.stats.outband_total())
-                     .add("critical_outband", c.outband_total())
+                     .add("snapshot_outband", r.snap)
+                     .add("anycast_outband", r.any - 1)
+                     .add("priocast_outband", r.prio - 1)
+                     .add("bh1_outband", r.bh1)
+                     .add("bh2_outband", r.bh2)
+                     .add("critical_outband", r.crit)
                      .add("bound_2loge", two_log_e));
   }
   bench::hr();

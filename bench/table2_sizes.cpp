@@ -8,6 +8,7 @@
 //   Tag region: O(n log n) bits across all services.
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/fields.hpp"
 #include "core/services.hpp"
 #include "util/strings.hpp"
@@ -23,45 +24,64 @@ int main() {
              {14, 4, 5, 7, 8, 9, 8, 8, 9, 6});
   bench::hr();
 
-  for (const auto& sg : bench::standard_sweep()) {
-    const graph::Graph& g = sg.g;
-    const auto n = g.node_count();
-    const auto E = g.edge_count();
-    core::TagLayout layout(g);
+  // Sweep points are fully independent (standard_sweep's rng draws happen
+  // serially inside it); measure in parallel, emit in sweep order.
+  struct PointResult {
+    std::size_t tag_bytes = 0;
+    std::uint64_t snap_max = 0;
+    std::uint64_t any_max = 0;
+    std::uint64_t crit_max = 0;
+    std::uint64_t bh_max = 0;
+  };
+  const auto sweep = bench::standard_sweep();
+  const auto results = bench::parallel_sweep(
+      sweep, [](const bench::SweepGraph& sg, std::size_t) {
+        const graph::Graph& g = sg.g;
+        const auto n = g.node_count();
+        core::TagLayout layout(g);
+        PointResult out;
+        out.tag_bytes = layout.total_bytes();
 
-    core::SnapshotService snap(g);
-    sim::Network net1(g);
-    snap.install(net1);
-    const auto s = snap.run(net1, 0).stats;
+        core::SnapshotService snap(g);
+        sim::Network net1(g);
+        snap.install(net1);
+        out.snap_max = snap.run(net1, 0).stats.max_wire_bytes;
 
-    core::AnycastGroupSpec gs;
-    gs.gid = 1;
-    gs.members[static_cast<graph::NodeId>(n - 1)] = 1;
-    core::AnycastService any(g, {gs});
-    sim::Network net2(g);
-    any.install(net2);
-    const auto a = any.run(net2, 0, 1).stats;
+        core::AnycastGroupSpec gs;
+        gs.gid = 1;
+        gs.members[static_cast<graph::NodeId>(n - 1)] = 1;
+        core::AnycastService any(g, {gs});
+        sim::Network net2(g);
+        any.install(net2);
+        out.any_max = any.run(net2, 0, 1).stats.max_wire_bytes;
 
-    core::CriticalNodeService crit(g);
-    sim::Network net3(g);
-    crit.install(net3);
-    const auto c = crit.run(net3, 0).stats;
+        core::CriticalNodeService crit(g);
+        sim::Network net3(g);
+        crit.install(net3);
+        out.crit_max = crit.run(net3, 0).stats.max_wire_bytes;
 
-    core::BlackholeCountersService bh(g);
-    sim::Network net4(g);
-    bh.install(net4);
-    const auto b = bh.run(net4, 0).stats;
+        core::BlackholeCountersService bh(g);
+        sim::Network net4(g);
+        bh.install(net4);
+        out.bh_max = bh.run(net4, 0).stats.max_wire_bytes;
+        return out;
+      });
+
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& sg = sweep[i];
+    const auto& r = results[i];
+    const auto n = sg.g.node_count();
+    const auto E = sg.g.edge_count();
 
     // Rough n*log(maxdeg) bound on the traversal tag, in bytes.
-    const auto logd =
-        core::bits_for(g.max_degree());
+    const auto logd = core::bits_for(sg.g.max_degree());
     const auto tag_bound = (2 * n * logd + 7) / 8;
 
     bench::row({sg.family, util::cat(n), util::cat(E),
-                util::cat(layout.total_bytes()), util::cat(tag_bound),
-                util::cat(s.max_wire_bytes), util::cat(4 * E),
-                util::cat(a.max_wire_bytes), util::cat(c.max_wire_bytes),
-                util::cat(b.max_wire_bytes)},
+                util::cat(r.tag_bytes), util::cat(tag_bound),
+                util::cat(r.snap_max), util::cat(4 * E),
+                util::cat(r.any_max), util::cat(r.crit_max),
+                util::cat(r.bh_max)},
                {14, 4, 5, 7, 8, 9, 8, 8, 9, 6});
 
     metrics.emit(obs::JsonObj()
@@ -70,12 +90,12 @@ int main() {
                      .add("family", sg.family)
                      .add("n", n)
                      .add("edges", E)
-                     .add("tag_bytes", layout.total_bytes())
+                     .add("tag_bytes", r.tag_bytes)
                      .add("tag_bound_bytes", tag_bound)
-                     .add("snapshot_max_wire", s.max_wire_bytes)
-                     .add("anycast_max_wire", a.max_wire_bytes)
-                     .add("critical_max_wire", c.max_wire_bytes)
-                     .add("bh2_max_wire", b.max_wire_bytes));
+                     .add("snapshot_max_wire", r.snap_max)
+                     .add("anycast_max_wire", r.any_max)
+                     .add("critical_max_wire", r.crit_max)
+                     .add("bh2_max_wire", r.bh_max));
   }
   bench::hr();
   std::printf(

@@ -154,8 +154,11 @@ class TemplateCompiler {
   const CompilerOptions& options() const { return opts_; }
   const TagLayout& layout() const { return *layout_; }
 
+  /// Per-switch compilation state (opaque; public so compiler.cpp's
+  /// file-local emit helpers can stage rules into it).
+  struct Ctx;
+
  private:
-  struct Ctx;  // per-switch compilation state
 
   void emit_pre_table(Ctx& c) const;
   void emit_start_table(Ctx& c) const;

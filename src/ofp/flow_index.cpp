@@ -1,0 +1,311 @@
+#include "ofp/flow_index.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "ofp/flow_table.hpp"
+
+namespace ss::ofp {
+
+namespace {
+
+std::uint64_t width_mask(std::uint32_t width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+bool is_exact(const TagMatch& tm) {
+  const std::uint64_t wmask = width_mask(tm.width);
+  return (tm.mask & wmask) == wmask;
+}
+
+/// One tentative index dimension during construction; committed to the
+/// FlowIndex members only after the budget loop converges.
+struct LocalDim {
+  enum Kind { kEth, kPort, kTag };
+  Kind kind = kTag;
+  std::uint32_t offset = 0;
+  std::uint32_t width = 0;
+  std::size_t freq = 0;  // #entries pinning this key (drop ordering)
+};
+
+int find_tag_dim(const std::vector<LocalDim>& dims, std::uint32_t offset,
+                 std::uint32_t width) {
+  for (std::size_t d = 0; d < dims.size(); ++d)
+    if (dims[d].kind == LocalDim::kTag && dims[d].offset == offset &&
+        dims[d].width == width)
+      return static_cast<int>(d);
+  return -1;
+}
+
+/// Classify one entry against the active dimensions.
+///   ids[d]  — pinned value id, or -1 when the entry is wildcard in dim d.
+///   covered — the cell address alone proves the entire match.
+///   pinned  — caller-owned scratch, avoids a heap allocation per entry.
+/// Returns false when the entry pins one key to two different values and can
+/// therefore never match (the linear scan would reject it with value
+/// compares; we simply never list it as a candidate).
+bool classify(const FlowEntry& e, const std::vector<LocalDim>& dims,
+              const std::vector<std::vector<std::uint64_t>>& dim_values,
+              std::vector<std::optional<std::uint64_t>>& pinned,
+              std::vector<int>& ids, bool& covered) {
+  covered = !e.match.ttl.has_value();
+  bool eth_active = false, port_active = false;
+  for (const LocalDim& d : dims) {
+    eth_active |= d.kind == LocalDim::kEth;
+    port_active |= d.kind == LocalDim::kPort;
+  }
+  if (e.match.eth_type && !eth_active) covered = false;
+  if (e.match.in_port && !port_active) covered = false;
+
+  auto id_in = [&](std::size_t d, std::uint64_t v) -> int {
+    const auto& vals = dim_values[d];
+    auto it = std::lower_bound(vals.begin(), vals.end(), v);
+    // Entry-pinned values are always present in the dim by construction.
+    return static_cast<int>(it - vals.begin());
+  };
+
+  pinned.assign(dims.size(), std::nullopt);
+  for (const TagMatch& tm : e.match.tag_matches) {
+    const int d = find_tag_dim(dims, tm.offset, tm.width);
+    if (!is_exact(tm) || d < 0) {
+      covered = false;  // masked test, or a key the index does not carry
+      continue;
+    }
+    const std::uint64_t v = tm.value & width_mask(tm.width);
+    if (pinned[static_cast<std::size_t>(d)] &&
+        *pinned[static_cast<std::size_t>(d)] != v)
+      return false;  // contradictory pins: entry can never match
+    pinned[static_cast<std::size_t>(d)] = v;
+  }
+
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    switch (dims[d].kind) {
+      case LocalDim::kEth:
+        ids[d] = e.match.eth_type ? id_in(d, *e.match.eth_type) : -1;
+        break;
+      case LocalDim::kPort:
+        ids[d] = e.match.in_port ? id_in(d, *e.match.in_port) : -1;
+        break;
+      case LocalDim::kTag:
+        ids[d] = pinned[d] ? id_in(d, *pinned[d]) : -1;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void FlowIndex::Dim::finalize() {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  dense = !values.empty() &&
+          values.back() - values.front() + 1 == values.size();
+  lo = values.empty() ? 0 : values.front();
+}
+
+void FlowIndex::build(const std::vector<FlowEntry>& entries) {
+  *this = FlowIndex();
+  const std::size_t n = entries.size();
+  if (n <= kSmallLinear) {
+    linear_ = true;  // a scan this short beats any dispatch arithmetic
+    max_read_end_ = static_cast<std::size_t>(-1);
+    return;
+  }
+
+  // Pass 1: scan for malformed widths, the maximal tag read, distinct
+  // eth/port values, and exact tag-key frequencies.
+  std::vector<std::uint64_t> eth_vals, port_vals;
+  struct KeyInfo {
+    std::size_t freq = 0;
+    std::vector<std::uint64_t> vals;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, KeyInfo> keys;
+  for (const FlowEntry& e : entries) {
+    if (e.match.eth_type) eth_vals.push_back(*e.match.eth_type);
+    if (e.match.in_port) port_vals.push_back(*e.match.in_port);
+    for (const TagMatch& tm : e.match.tag_matches) {
+      if (tm.width == 0 || tm.width > 64) {
+        linear_ = true;  // matches() would throw invalid_argument; keep
+        max_read_end_ = static_cast<std::size_t>(-1);
+        return;          // behavior identical by never skipping the entry
+      }
+      max_read_end_ =
+          std::max<std::size_t>(max_read_end_, std::size_t{tm.offset} + tm.width);
+      if (is_exact(tm)) {
+        KeyInfo& ki = keys[{tm.offset, tm.width}];
+        ++ki.freq;
+        ki.vals.push_back(tm.value & width_mask(tm.width));
+      }
+    }
+  }
+
+  // Pass 2: tentative dimension list — eth, in_port, then the most frequent
+  // exact tag keys (ties broken by ascending offset/width for determinism).
+  std::vector<LocalDim> dims;
+  if (!eth_vals.empty()) dims.push_back({LocalDim::kEth, 0, 0, eth_vals.size()});
+  if (!port_vals.empty())
+    dims.push_back({LocalDim::kPort, 0, 0, port_vals.size()});
+  {
+    std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, std::size_t>>
+        ranked;
+    for (const auto& [k, ki] : keys) ranked.push_back({k, ki.freq});
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    for (std::size_t i = 0; i < ranked.size() && i < kMaxTagDims; ++i)
+      dims.push_back({LocalDim::kTag, ranked[i].first.first,
+                      ranked[i].first.second, ranked[i].second});
+  }
+
+  // Budget loop: drop the weakest dimension (last tag, then in_port, then
+  // eth — dims is ordered so that is always back()) until cells and total
+  // candidate references fit.
+  const std::size_t max_refs = 512 + 64 * n;
+  std::vector<std::vector<std::uint64_t>> dim_values;
+  std::vector<std::size_t> cards;
+  std::vector<std::optional<std::uint64_t>> pinned;
+  std::vector<int> ids;
+  bool covered = false;
+  while (true) {
+    dim_values.assign(dims.size(), {});
+    cards.assign(dims.size(), 0);
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      std::vector<std::uint64_t>& vals = dim_values[d];
+      switch (dims[d].kind) {
+        case LocalDim::kEth: vals = eth_vals; break;
+        case LocalDim::kPort: vals = port_vals; break;
+        case LocalDim::kTag:
+          vals = keys[{dims[d].offset, dims[d].width}].vals;
+          break;
+      }
+      std::sort(vals.begin(), vals.end());
+      vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+      cards[d] = vals.size() + 1;  // + "other"
+    }
+    std::size_t cells = 1, refs = 0;
+    for (std::size_t c : cards) cells *= c;
+    ids.assign(dims.size(), -1);
+    for (const FlowEntry& e : entries) {
+      if (!classify(e, dims, dim_values, pinned, ids, covered)) continue;
+      std::size_t per_entry = 1;
+      for (std::size_t d = 0; d < dims.size(); ++d)
+        if (ids[d] < 0) per_entry *= cards[d];
+      refs += per_entry;
+    }
+    if ((cells <= kMaxCells && refs <= max_refs) || dims.empty()) break;
+    dims.pop_back();
+  }
+
+  // Commit dimensions and strides (last dim has stride 1).
+  std::vector<std::size_t> strides(dims.size(), 1);
+  for (std::size_t d = dims.size(); d-- > 1;)
+    strides[d - 1] = strides[d] * cards[d];
+  std::size_t total_cells = 1;
+  for (std::size_t c : cards) total_cells *= c;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    Dim dim;
+    dim.values = dim_values[d];
+    dim.finalize();
+    switch (dims[d].kind) {
+      case LocalDim::kEth:
+        eth_used_ = true;
+        eth_dim_ = std::move(dim);
+        eth_stride_ = strides[d];
+        break;
+      case LocalDim::kPort:
+        port_used_ = true;
+        port_dim_ = std::move(dim);
+        port_stride_ = strides[d];
+        break;
+      case LocalDim::kTag:
+        tag_dims_.push_back({dims[d].offset, dims[d].width, std::move(dim),
+                             strides[d]});
+        break;
+    }
+  }
+
+  // Pass 3: enumerate every (cell, candidate) pair in entry order, then pack
+  // CSR with a stable counting sort by cell — stability is what preserves
+  // the linear-scan order inside each cell.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<std::size_t> cursor;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!classify(entries[i], dims, dim_values, pinned, ids, covered))
+      continue;
+    const auto cand =
+        static_cast<std::uint32_t>((i << 1) | (covered ? 1u : 0u));
+    cursor.assign(dims.size(), 0);
+    while (true) {
+      std::size_t cell = 0;
+      for (std::size_t d = 0; d < dims.size(); ++d)
+        cell += (ids[d] >= 0 ? static_cast<std::size_t>(ids[d]) : cursor[d]) *
+                strides[d];
+      pairs.push_back({static_cast<std::uint32_t>(cell), cand});
+      std::size_t d = dims.size();
+      while (d-- > 0) {
+        if (ids[d] >= 0) continue;
+        if (++cursor[d] < cards[d]) break;
+        cursor[d] = 0;
+      }
+      if (d == static_cast<std::size_t>(-1)) break;
+    }
+  }
+  cell_off_.assign(total_cells + 1, 0);
+  for (const auto& [cell, cand] : pairs) ++cell_off_[cell + 1];
+  for (std::size_t c = 1; c < cell_off_.size(); ++c)
+    cell_off_[c] += cell_off_[c - 1];
+  cands_.resize(pairs.size());
+  std::vector<std::uint32_t> fill(cell_off_.begin(), cell_off_.end() - 1);
+  for (const auto& [cell, cand] : pairs) cands_[fill[cell]++] = cand;
+
+  // Flatten the committed dims into HotOps for dispatch() (same strides, so
+  // the same cell arithmetic), spilling non-dense value sets into hot_vals_.
+  auto push_op = [&](HotOp::Kind kind, const Dim& dim, std::size_t stride,
+                     std::uint32_t offset, std::uint32_t width) {
+    HotOp op;
+    op.kind = kind;
+    op.dense = dim.dense;
+    op.nvals = static_cast<std::uint32_t>(dim.values.size());
+    op.stride = static_cast<std::uint32_t>(stride);
+    if (dim.dense) {
+      op.lo_or_voff = dim.lo;
+    } else {
+      op.lo_or_voff = hot_vals_.size();
+      hot_vals_.insert(hot_vals_.end(), dim.values.begin(), dim.values.end());
+    }
+    if (kind == HotOp::kTag) {
+      op.word = offset / 64;
+      op.bit = static_cast<std::uint8_t>(offset % 64);
+      op.cross = std::uint32_t{op.bit} + width > 64;
+      op.mask = width >= 64 ? ~std::uint64_t{0}
+                            : ((std::uint64_t{1} << width) - 1);
+    }
+    hot_.push_back(op);
+  };
+  if (eth_used_) push_op(HotOp::kEth, eth_dim_, eth_stride_, 0, 0);
+  if (port_used_) push_op(HotOp::kPort, port_dim_, port_stride_, 0, 0);
+  for (const TagDim& td : tag_dims_)
+    push_op(HotOp::kTag, td.dim, td.stride, td.offset, td.width);
+
+  // Slot codes: empty / single candidate / overflow-to-CSR per cell.  The
+  // single-candidate case stores the entry's BYTE offset (8-aligned, so bit
+  // 0 is free for the covered flag) — find_indexed adds it to the entries
+  // base pointer without an index multiply.
+  static_assert(sizeof(FlowEntry) % 8 == 0);
+  slot_.assign(total_cells, kEmptySlot);
+  for (std::size_t c = 0; c < total_cells; ++c) {
+    const std::uint32_t len = cell_off_[c + 1] - cell_off_[c];
+    if (len == 1) {
+      const std::uint32_t cand = cands_[cell_off_[c]];
+      slot_[c] = static_cast<std::uint32_t>((cand >> 1) * sizeof(FlowEntry)) |
+                 (cand & 1u);
+    } else if (len > 1) {
+      slot_[c] = kOverflowBit | static_cast<std::uint32_t>(c);
+    }
+  }
+}
+
+}  // namespace ss::ofp

@@ -1,0 +1,227 @@
+#pragma once
+// Dispatch index for FlowTable lookups.
+//
+// The compiler emits tables whose entries discriminate almost entirely on a
+// handful of exact-valued keys: `eth_type` (service vs data traffic),
+// `in_port` (per-neighbor classify rules), and exact-width TagMatches over
+// the reserved tag region (cur/par/visited fields).  A linear priority scan
+// re-tests all of them per entry, per hop.  FlowIndex instead builds a small
+// dense dispatch table over those keys:
+//
+//   * one dimension per discriminating key (eth_type, in_port, and up to
+//     kMaxTagDims of the most frequent exact-width (offset,width) tag keys);
+//   * each dimension maps a concrete packet value to a small id, with one
+//     extra "other" id for values no entry pins;
+//   * the cross product of ids addresses a cell holding the candidate
+//     entries, in ascending entry order (= descending priority order, stable
+//     within equal priority), each flagged "covered" when the index
+//     dimensions already prove its whole match.
+//
+// Cells are stored CSR-style: one flat candidate array plus per-cell offsets.
+// That keeps the whole index in two contiguous allocations, makes build
+// allocation-light, and lets candidates() return a raw pointer range the
+// caller iterates without any indirection.
+//
+// Equivalence with the linear scan is structural, not heuristic:
+//   * candidates appear in the cell in the same relative order the linear
+//     scan visits them, so the first candidate that matches is exactly the
+//     entry the linear scan would return;
+//   * an entry absent from the packet's cell is absent only because it pins
+//     an indexed key to a different value than the packet carries, so the
+//     linear scan would have rejected it with value compares that cannot
+//     throw;
+//   * a "covered" candidate's entire match is implied by the cell address,
+//     so it can win with zero Match::matches calls;
+//   * whenever the packet's tag region is too small for ANY tag read a
+//     linear scan might attempt (max_read_end), candidates() refuses and the
+//     caller falls back to the linear scan, preserving out_of_range throw
+//     behavior bit-for-bit;
+//   * tables containing a malformed TagMatch width (0 or >64, which makes
+//     Match::matches throw invalid_argument) force linear mode outright.
+//
+// Cost is bounded: the cell count and the total candidate references are
+// capped; dimensions are greedily dropped (least discriminating first) until
+// the index fits, degenerating to a single all-entries cell (= linear scan
+// with covered-entry short-circuits) in the worst case.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ofp/packet.hpp"
+#include "ofp/types.hpp"
+
+namespace ss::ofp {
+
+struct FlowEntry;
+
+class FlowIndex {
+ public:
+  /// Candidate range: [first, second) over packed (entry_index << 1) |
+  /// covered refs.  {nullptr, nullptr} means "fall back to the linear scan".
+  using CandRange = std::pair<const std::uint32_t*, const std::uint32_t*>;
+
+  static constexpr std::size_t kMaxTagDims = 3;
+  static constexpr std::size_t kMaxCells = std::size_t{1} << 16;
+
+  /// Tables this small scan faster than they dispatch; build() puts them in
+  /// linear mode outright.
+  static constexpr std::size_t kSmallLinear = 4;
+
+  /// Per-cell slot codes (see dispatch()).  Single-candidate slots hold the
+  /// entry's byte offset into the entries array (8-aligned) with the
+  /// covered flag in bit 0; they never reach bit 31, so both sentinels stay
+  /// unambiguous.
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kOverflowBit = 0x80000000u;
+
+  /// (Re)build from a priority-sorted entry vector.
+  void build(const std::vector<FlowEntry>& entries);
+
+  /// True when the table defeated indexing (malformed widths) or is too
+  /// small to be worth dispatching; callers must use their linear scan.
+  /// Linear mode also sets max_read_end_ to SIZE_MAX so dispatch() refuses
+  /// every packet — find_indexed needs no separate branch for it.
+  bool linear_mode() const { return linear_; }
+
+  /// Fast dispatch: computes the packet's cell and returns its slot code.
+  ///   false            — tag region smaller than some entry's tag read;
+  ///                      caller must use the linear scan (throw behavior).
+  ///   slot == kEmptySlot      — empty cell, provable table miss.
+  ///   slot & kOverflowBit     — rare multi-candidate cell; low bits are the
+  ///                             cell number, resolve via overflow().
+  ///   otherwise               — the cell's single candidate: the entry's
+  ///                             byte offset into the entries array, with
+  ///                             the covered flag in bit 0.
+  /// Inline and allocation-free: one precomputed HotOp per dimension (raw
+  /// word read, dense id map, multiply-add), then a single slot load.
+  bool dispatch(const Packet& pkt, PortNo in_port, std::uint32_t& slot) const {
+    if (pkt.tag.size_bits() < max_read_end_) return false;
+    const std::uint64_t* ws = pkt.tag.data();
+    std::size_t cell = 0;
+    for (const HotOp& op : hot_) {
+      std::uint64_t v;
+      if (op.kind == HotOp::kTag) {
+        v = ws[op.word] >> op.bit;
+        if (op.cross) v |= ws[op.word + 1] << (64 - op.bit);
+        v &= op.mask;
+      } else {
+        v = op.kind == HotOp::kEth ? pkt.eth_type : in_port;
+      }
+      std::size_t id;
+      if (op.dense) {
+        id = v - op.lo_or_voff;              // unsigned wrap: v < lo → huge
+        if (id >= op.nvals) id = op.nvals;   // "other"
+      } else {
+        const std::uint64_t* vb = hot_vals_.data() + op.lo_or_voff;
+        const std::uint64_t* ve = vb + op.nvals;
+        const std::uint64_t* it = std::lower_bound(vb, ve, v);
+        id = (it != ve && *it == v) ? static_cast<std::size_t>(it - vb)
+                                    : op.nvals;
+      }
+      cell += id * op.stride;
+    }
+    slot = slot_[cell];
+    return true;
+  }
+
+  /// CSR range for an overflow slot's cell (cold path).
+  CandRange overflow(std::uint32_t slot) const {
+    const std::size_t cell = slot & ~kOverflowBit;
+    const std::uint32_t* base = cands_.data();
+    return {base + cell_off_[cell], base + cell_off_[cell + 1]};
+  }
+
+  /// Cell contents for this packet, or a null range when the packet's tag
+  /// region is smaller than some entry's tag read (linear fallback keeps
+  /// throw behavior identical).  Never throws when it returns non-null.
+  /// Reference path for tests/benches; lookups go through dispatch().
+  CandRange candidates(const Packet& pkt, PortNo in_port) const {
+    if (pkt.tag.size_bits() < max_read_end_) return {nullptr, nullptr};
+    std::size_t cell = 0;
+    if (eth_used_) cell += eth_dim_.id_of(pkt.eth_type) * eth_stride_;
+    if (port_used_) cell += port_dim_.id_of(in_port) * port_stride_;
+    for (const TagDim& td : tag_dims_)
+      cell += td.dim.id_of(pkt.tag.get(td.offset, td.width)) * td.stride;
+    const std::uint32_t* base = cands_.data();
+    return {base + cell_off_[cell], base + cell_off_[cell + 1]};
+  }
+
+  // Introspection (tests, benches, docs).
+  std::size_t cell_count() const {
+    return cell_off_.empty() ? 0 : cell_off_.size() - 1;
+  }
+  std::size_t dim_count() const {
+    return (eth_used_ ? 1u : 0u) + (port_used_ ? 1u : 0u) + tag_dims_.size();
+  }
+  std::size_t candidate_refs() const { return cands_.size(); }
+  std::size_t max_read_end() const { return max_read_end_; }
+
+ private:
+  struct Dim {
+    std::vector<std::uint64_t> values;  // sorted distinct pinned values
+    bool dense = false;                 // values form a contiguous range
+    std::uint64_t lo = 0;
+
+    void finalize();
+    std::size_t card() const { return values.size() + 1; }  // + "other"
+
+    /// Small-id for a concrete value; values.size() is the "other" id.
+    /// Inline: compiler tables pin contiguous ids, so the dense subtract
+    /// path is the common case.
+    std::size_t id_of(std::uint64_t v) const {
+      if (dense)
+        return (v >= lo && v - lo < values.size())
+                   ? static_cast<std::size_t>(v - lo)
+                   : values.size();
+      auto it = std::lower_bound(values.begin(), values.end(), v);
+      if (it != values.end() && *it == v)
+        return static_cast<std::size_t>(it - values.begin());
+      return values.size();
+    }
+  };
+
+  struct TagDim {
+    std::uint32_t offset = 0;
+    std::uint32_t width = 0;
+    Dim dim;
+    std::size_t stride = 0;
+  };
+
+  /// One flattened dispatch op per dimension, precomputed at build() so the
+  /// hot loop does no range checks, no division, and no pointer chasing
+  /// beyond the packet words and (for rare non-dense dims) hot_vals_.
+  /// Packed to 32 bytes — two ops per cache line.
+  struct HotOp {
+    enum Kind : std::uint8_t { kEth, kPort, kTag };
+    Kind kind = kTag;
+    bool cross = false;        // tag read spills into word+1
+    bool dense = true;         // ids are v - lo; else binary-search hot_vals_
+    std::uint8_t bit = 0;      // shift within word
+    std::uint32_t word = 0;    // tag word index
+    std::uint32_t nvals = 0;   // distinct pinned values; id nvals = "other"
+    std::uint32_t stride = 0;
+    std::uint64_t mask = 0;    // width mask (tag reads)
+    std::uint64_t lo_or_voff = 0;  // dense: id base; else hot_vals_ offset
+  };
+  static_assert(sizeof(HotOp) == 32);
+
+  bool linear_ = false;
+  bool eth_used_ = false;
+  bool port_used_ = false;
+  Dim eth_dim_;
+  Dim port_dim_;
+  std::size_t eth_stride_ = 0;
+  std::size_t port_stride_ = 0;
+  std::vector<TagDim> tag_dims_;
+  std::vector<HotOp> hot_;               // flattened dims, dispatch order
+  std::vector<std::uint64_t> hot_vals_;  // non-dense value arrays, packed
+  std::vector<std::uint32_t> slot_;      // per-cell slot codes (see dispatch)
+  std::vector<std::uint32_t> cell_off_;  // CSR offsets, cell_count()+1 long
+  std::vector<std::uint32_t> cands_;     // flat packed candidate refs
+  std::size_t max_read_end_ = 0;
+};
+
+}  // namespace ss::ofp

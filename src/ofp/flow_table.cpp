@@ -1,8 +1,17 @@
 #include "ofp/flow_table.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace ss::ofp {
+
+bool FlowTable::index_enabled_default() {
+  static const bool enabled = [] {
+    const char* s = std::getenv("SS_NO_FLOW_INDEX");
+    return s == nullptr || *s == '\0' || *s == '0';
+  }();
+  return enabled;
+}
 
 void FlowTable::add(FlowEntry entry) {
   if (entry.cookie == 0) entry.cookie = next_cookie_++;
@@ -10,18 +19,24 @@ void FlowTable::add(FlowEntry entry) {
       entries_.begin(), entries_.end(), entry.priority,
       [](std::uint32_t p, const FlowEntry& e) { return p > e.priority; });
   entries_.insert(it, std::move(entry));
+  invalidate_index();
 }
 
-const FlowEntry* FlowTable::lookup(const Packet& pkt, PortNo in_port) const {
-  ++lookups_;
-  for (const FlowEntry& e : entries_) {
-    if (e.match.matches(pkt, in_port)) {
-      ++e.hit_count;
-      e.byte_count += pkt.wire_bytes();
-      return &e;
-    }
-  }
-  return nullptr;
+void FlowTable::add_all(std::vector<FlowEntry> batch) {
+  if (batch.empty()) return;
+  // Cookies follow argument order, exactly as sequential add() would assign.
+  for (FlowEntry& e : batch)
+    if (e.cookie == 0) e.cookie = next_cookie_++;
+  entries_.reserve(entries_.size() + batch.size());
+  for (FlowEntry& e : batch) entries_.push_back(std::move(e));
+  // stable_sort keeps pre-existing entries ahead of same-priority newcomers
+  // and newcomers in argument order — the same tie-break sequential
+  // upper_bound inserts produce.
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const FlowEntry& a, const FlowEntry& b) {
+                     return a.priority > b.priority;
+                   });
+  invalidate_index();
 }
 
 void FlowTable::reset_counters() {

@@ -6,6 +6,12 @@
 // OpenFlow requires — the compiler enforces forward-only gotos so every
 // compiled pipeline is loop-free and hence formally analyzable, which is the
 // property the paper insists SmartSouth preserves).
+//
+// Lookup normally dispatches through a lazily built FlowIndex (see
+// flow_index.hpp) and falls back to the priority-ordered linear scan when
+// the index declines a packet; both paths return the identical entry.  The
+// index can be disabled per table (set_use_index) or process-wide by setting
+// SS_NO_FLOW_INDEX=1 in the environment, which benches use for A/B runs.
 
 #include <cstdint>
 #include <optional>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "ofp/action.hpp"
+#include "ofp/flow_index.hpp"
 #include "ofp/match.hpp"
 
 namespace ss::ofp {
@@ -40,14 +47,95 @@ class FlowTable {
   /// equal priority: earlier insertion wins, like OpenFlow's overlap rules).
   void add(FlowEntry entry);
 
+  /// Bulk insert: assigns cookies in argument order, appends, and sorts
+  /// once.  The resulting table state (order, cookies) is identical to
+  /// calling add() on each element in sequence, at O(n log n) instead of
+  /// O(n²) total.
+  void add_all(std::vector<FlowEntry> batch);
+
+  /// Lookups on a freshly mutated table stay linear until the table proves
+  /// hot; the build cost (~µs) then amortizes over many dispatches instead
+  /// of taxing one-shot traversals.
+  static constexpr std::uint64_t kIndexBuildThreshold = 16;
+
   /// Highest-priority matching entry, or nullptr (table miss => drop).
-  const FlowEntry* lookup(const Packet& pkt, PortNo in_port) const;
+  /// Bumps the table's lookup counter and the winner's flow counters.
+  const FlowEntry* lookup(const Packet& pkt, PortNo in_port) const {
+    ++lookups_;
+    const FlowEntry* e;
+    if (use_index_ &&
+        (!index_dirty_ || ++lookups_since_mut_ >= kIndexBuildThreshold))
+      e = find_indexed(pkt, in_port);
+    else
+      e = find_linear(pkt, in_port);
+    if (e != nullptr) {
+      ++e->hit_count;
+      e->byte_count += pkt.wire_bytes();
+    }
+    return e;
+  }
+
+  /// Reference semantics: plain priority-ordered scan.  No counter updates.
+  const FlowEntry* find_linear(const Packet& pkt, PortNo in_port) const {
+    for (const FlowEntry& e : entries_)
+      if (e.match.matches(pkt, in_port)) return &e;
+    return nullptr;
+  }
+
+  /// Indexed dispatch (builds the index on first use after a mutation,
+  /// regardless of the lookup() threshold).  Returns the same entry
+  /// find_linear would, with the same exceptions.  No counter updates.
+  const FlowEntry* find_indexed(const Packet& pkt, PortNo in_port) const {
+    // A scan this short beats any dispatch arithmetic (and build() would put
+    // the index in linear mode anyway) — skip the index machinery entirely.
+    if (entries_.size() <= FlowIndex::kSmallLinear)
+      return find_linear(pkt, in_port);
+    const FlowIndex& ix = index();
+    // No linear_mode() branch here: linear mode pins max_read_end to
+    // SIZE_MAX, so dispatch() itself refuses and we fall through.
+    std::uint32_t slot;
+    if (!ix.dispatch(pkt, in_port, slot)) return find_linear(pkt, in_port);
+    if (slot == FlowIndex::kEmptySlot) return nullptr;
+    if ((slot & FlowIndex::kOverflowBit) == 0) {
+      // Single-candidate cell, the common case: the slot is the entry's
+      // byte offset (covered flag in bit 0), so resolving it is one add —
+      // and "covered" means the cell address already proves the match.
+      const auto* e = reinterpret_cast<const FlowEntry*>(
+          reinterpret_cast<const char*>(entries_.data()) +
+          (slot & ~std::uint32_t{1}));
+      return ((slot & 1u) != 0 || e->match.matches(pkt, in_port)) ? e
+                                                                  : nullptr;
+    }
+    auto [it, end] = ix.overflow(slot);
+    for (; it != end; ++it) {
+      const FlowEntry& e = entries_[*it >> 1];
+      if ((*it & 1u) != 0 || e.match.matches(pkt, in_port)) return &e;
+    }
+    return nullptr;
+  }
+
+  /// Toggle indexed dispatch for this table (benches A/B the fast path).
+  void set_use_index(bool on) { use_index_ = on; }
+  bool use_index() const { return use_index_; }
+
+  /// Index introspection for tests and benches; builds it if stale.
+  const FlowIndex& index() const {
+    if (index_dirty_) {
+      index_.build(entries_);
+      index_dirty_ = false;
+    }
+    return index_;
+  }
 
   std::size_t size() const { return entries_.size(); }
   const std::vector<FlowEntry>& entries() const { return entries_; }
 
   /// Mutable access for optimizer passes (order must be preserved).
-  std::vector<FlowEntry>& entries_mut() { return entries_; }
+  /// Invalidates the dispatch index.
+  std::vector<FlowEntry>& entries_mut() {
+    invalidate_index();
+    return entries_;
+  }
 
   std::uint64_t lookups() const { return lookups_; }
 
@@ -56,9 +144,20 @@ class FlowTable {
   void reset_counters();
 
  private:
+  static bool index_enabled_default();
+
+  void invalidate_index() {
+    index_dirty_ = true;
+    lookups_since_mut_ = 0;
+  }
+
   std::vector<FlowEntry> entries_;
   mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t lookups_since_mut_ = 0;
   std::uint64_t next_cookie_ = 1;
+  mutable FlowIndex index_;
+  mutable bool index_dirty_ = true;
+  bool use_index_ = index_enabled_default();
 };
 
 }  // namespace ss::ofp

@@ -4,15 +4,6 @@
 
 namespace ss::ofp {
 
-bool Match::matches(const Packet& pkt, PortNo pkt_in_port) const {
-  if (in_port && *in_port != pkt_in_port) return false;
-  if (eth_type && *eth_type != pkt.eth_type) return false;
-  if (ttl && *ttl != pkt.ttl) return false;
-  for (const TagMatch& tm : tag_matches)
-    if (!tm.matches(pkt.tag)) return false;
-  return true;
-}
-
 std::uint32_t Match::match_bits() const {
   std::uint32_t bits = 0;
   if (in_port) bits += 32;

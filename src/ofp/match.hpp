@@ -43,7 +43,15 @@ struct Match {
 
   bool operator==(const Match&) const = default;
 
-  bool matches(const Packet& pkt, PortNo pkt_in_port) const;
+  /// Inline: per-entry test on the pipeline's hot path.
+  bool matches(const Packet& pkt, PortNo pkt_in_port) const {
+    if (in_port && *in_port != pkt_in_port) return false;
+    if (eth_type && *eth_type != pkt.eth_type) return false;
+    if (ttl && *ttl != pkt.ttl) return false;
+    for (const TagMatch& tm : tag_matches)
+      if (!tm.matches(pkt.tag)) return false;
+    return true;
+  }
 
   /// TCAM cost model: number of bits this match pins (for space accounting).
   std::uint32_t match_bits() const;

@@ -15,6 +15,12 @@ constexpr std::uint32_t kMaxGroupDepth = 4;  // OF forbids group cycles; allow
 
 PipelineResult Pipeline::run(Packet pkt, PortNo in_port) const {
   PipelineResult out;
+  run_into(out, std::move(pkt), in_port);
+  return out;
+}
+
+void Pipeline::run_into(PipelineResult& out, Packet pkt, PortNo in_port) const {
+  out.reset();
   std::size_t table = 0;
   bool stop = false;
   while (table < tables_->size()) {
@@ -33,7 +39,6 @@ PipelineResult Pipeline::run(Packet pkt, PortNo in_port) const {
     table = *entry->goto_table;
   }
   out.final_packet = std::move(pkt);
-  return out;
 }
 
 void Pipeline::apply_actions(const ActionList& actions, Packet& pkt, PortNo in_port,

@@ -59,6 +59,18 @@ struct PipelineResult {
   // so the cost is one small vector per processed packet.
   std::vector<MatchedEntry> matched;
   std::vector<GroupDecision> group_decisions;
+
+  /// Clear for reuse, keeping vector capacity — the simulator's event loop
+  /// runs every pipeline into one scratch result so telemetry stays "always
+  /// recorded" without a per-hop allocation storm.
+  void reset() {
+    emissions.clear();
+    final_packet = Packet{};
+    tables_visited = 0;
+    dropped_by_ttl = false;
+    matched.clear();
+    group_decisions.clear();
+  }
 };
 
 /// Liveness oracle for FAST-FAILOVER watch ports.
@@ -70,6 +82,9 @@ class Pipeline {
       : tables_(tables), groups_(groups), live_(std::move(live)) {}
 
   PipelineResult run(Packet pkt, PortNo in_port) const;
+
+  /// Like run(), but reuses `out`'s vector capacity (out is reset first).
+  void run_into(PipelineResult& out, Packet pkt, PortNo in_port) const;
 
  private:
   void apply_actions(const ActionList& actions, Packet& pkt, PortNo in_port,

@@ -28,6 +28,12 @@ FlowTable& Switch::table(TableId id) {
 }
 
 PipelineResult Switch::receive(Packet pkt, PortNo in_port) {
+  PipelineResult res;
+  receive_into(res, std::move(pkt), in_port);
+  return res;
+}
+
+void Switch::receive_into(PipelineResult& out, Packet pkt, PortNo in_port) {
   if (!is_reserved_port(in_port)) {
     if (!port_exists(in_port))
       throw std::out_of_range("Switch::receive: no such port");
@@ -35,13 +41,12 @@ PipelineResult Switch::receive(Packet pkt, PortNo in_port) {
     ports_[in_port].rx_bytes += pkt.wire_bytes();
   }
   Pipeline pl(&tables_, &groups_, [this](PortNo p) { return port_live(p); });
-  auto res = pl.run(std::move(pkt), in_port);
-  for (const Emission& em : res.emissions)
+  pl.run_into(out, std::move(pkt), in_port);
+  for (const Emission& em : out.emissions)
     if (!is_reserved_port(em.port) && port_exists(em.port)) {
       ++ports_[em.port].tx_packets;
       ports_[em.port].tx_bytes += em.packet.wire_bytes();
     }
-  return res;
 }
 
 PipelineResult Switch::packet_out(Packet pkt) {

@@ -54,6 +54,11 @@ class Switch {
   /// ingress; the caller (simulator) accounts egress.
   PipelineResult receive(Packet pkt, PortNo in_port);
 
+  /// Like receive(), but reuses `out`'s vector capacity (the simulator's
+  /// event loop keeps one scratch PipelineResult instead of allocating
+  /// telemetry vectors per hop).
+  void receive_into(PipelineResult& out, Packet pkt, PortNo in_port);
+
   /// Inject a packet as if from the controller (packet-out), entering the
   /// pipeline with a reserved in_port (kPortController).
   PipelineResult packet_out(Packet pkt);

@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -75,23 +76,36 @@ void Network::set_loss(graph::EdgeId id, double p) {
 
 void Network::packet_out(ofp::SwitchId at, ofp::Packet pkt) {
   ++stats_.packet_outs;
-  auto res = sw(at).packet_out(std::move(pkt));
-  process_emissions(at, res);
+  sw(at).receive_into(pipe_scratch_, std::move(pkt), ofp::kPortController);
+  process_emissions(at, pipe_scratch_);
+}
+
+void Network::push_arrival(Arrival a) {
+  queue_.push_back(std::move(a));
+  std::push_heap(queue_.begin(), queue_.end(), ArrivalLater{});
+}
+
+Network::Arrival Network::pop_arrival() {
+  std::pop_heap(queue_.begin(), queue_.end(), ArrivalLater{});
+  Arrival a = std::move(queue_.back());
+  queue_.pop_back();
+  return a;
 }
 
 void Network::host_inject(ofp::SwitchId at, ofp::PortNo port, ofp::Packet pkt) {
-  queue_.push({now_, seq_++, at, port, std::move(pkt)});
+  push_arrival({now_, seq_++, at, port, std::move(pkt)});
 }
 
-void Network::process_emissions(ofp::SwitchId at, const ofp::PipelineResult& res) {
-  for (const ofp::Emission& em : res.emissions) {
+void Network::process_emissions(ofp::SwitchId at, ofp::PipelineResult& res) {
+  for (ofp::Emission& em : res.emissions) {
     if (em.port == ofp::kPortController) {
       ++stats_.controller_msgs;
-      controller_msgs_.push_back({now_, at, em.controller_reason, em.packet});
+      controller_msgs_.push_back({now_, at, em.controller_reason,
+                                  std::move(em.packet)});
     } else if (em.port == ofp::kPortLocal) {
-      local_deliveries_.push_back({now_, at, em.packet});
+      local_deliveries_.push_back({now_, at, std::move(em.packet)});
     } else {
-      transmit(at, em.port, em.packet, &res);
+      transmit(at, em.port, std::move(em.packet), &res);
     }
   }
 }
@@ -155,7 +169,7 @@ void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
   ++stats_.delivered;
   if (trace_enabled_) trace_.back().delivered = true;
   const LinkEnd& peer = l.peer_of(from);
-  queue_.push({now_ + l.delay(), seq_++, peer.sw, peer.port, std::move(pkt)});
+  push_arrival({now_ + l.delay(), seq_++, peer.sw, peer.port, std::move(pkt)});
 }
 
 void Network::schedule_link_state(graph::EdgeId id, bool up, Time when) {
@@ -258,7 +272,7 @@ void Network::run(std::uint64_t max_events) {
     if (++stats_.events > max_events)
       throw std::runtime_error("Network::run: event budget exceeded (rule loop?)");
     const Time next_pkt =
-        queue_.empty() ? ~Time{0} : queue_.top().time;
+        queue_.empty() ? ~Time{0} : queue_.front().time;
     if (!changes_.empty() && changes_.begin()->first <= next_pkt) {
       // Extract before applying: a callback may schedule further changes,
       // which must not invalidate the iterator we are working from.
@@ -271,11 +285,10 @@ void Network::run(std::uint64_t max_events) {
       continue;
     }
     if (queue_.empty()) break;
-    Arrival a = queue_.top();
-    queue_.pop();
+    Arrival a = pop_arrival();
     now_ = a.time;
-    auto res = sw(a.sw).receive(std::move(a.packet), a.port);
-    process_emissions(a.sw, res);
+    sw(a.sw).receive_into(pipe_scratch_, std::move(a.packet), a.port);
+    process_emissions(a.sw, pipe_scratch_);
   }
 }
 

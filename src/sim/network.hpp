@@ -12,7 +12,6 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -252,9 +251,13 @@ class Network {
     }
   };
 
-  void process_emissions(ofp::SwitchId at, const ofp::PipelineResult& res);
+  /// Consume a pipeline result: emission packets are MOVED out (the result
+  /// is scratch — it is reset before its next use).
+  void process_emissions(ofp::SwitchId at, ofp::PipelineResult& res);
   void transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
                 const ofp::PipelineResult* attribution = nullptr);
+  void push_arrival(Arrival a);
+  Arrival pop_arrival();
   void trim_trace();
   void apply_change(Time t, NetChange& c);
   /// Recompute a link's effective up state (admin AND both end switches up)
@@ -266,7 +269,13 @@ class Network {
   graph::Graph graph_;
   std::vector<ofp::Switch> switches_;
   std::vector<Link> links_;
-  std::priority_queue<Arrival, std::vector<Arrival>, ArrivalLater> queue_;
+  /// Min-heap on (time, seq) via push_heap/pop_heap — unlike
+  /// std::priority_queue, popping can MOVE the arrival (and its packet) out.
+  std::vector<Arrival> queue_;
+  /// Scratch pipeline result reused across every receive (the event loop is
+  /// single-threaded and pipelines never nest), so telemetry vectors and
+  /// packet buffers keep their capacity hop to hop.
+  ofp::PipelineResult pipe_scratch_;
   std::multimap<Time, NetChange> changes_;
   std::vector<bool> sw_up_;
   std::vector<bool> link_admin_up_;

@@ -1,25 +1,85 @@
 #include "util/bitvec.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace ss::util {
 
-void BitVec::ensure(std::size_t bits) {
-  if (bits <= bits_) return;
-  bits_ = bits;
-  words_.resize((bits + 63) / 64, 0);
+BitVec::BitVec(const BitVec& o) : bits_(o.bits_) {
+  const std::size_t n = o.word_count();
+  if (n > kInlineWords) {
+    cap_words_ = n;
+    heap_ = new std::uint64_t[n];
+  }
+  std::memcpy(words(), o.words(), n * sizeof(std::uint64_t));
 }
 
-std::uint64_t BitVec::get(std::size_t offset, std::size_t width) const {
-  if (width == 0 || width > 64) throw std::invalid_argument("BitVec::get width");
-  if (offset + width > bits_) throw std::out_of_range("BitVec::get range");
-  const std::size_t w = offset / 64;
-  const std::size_t b = offset % 64;
-  std::uint64_t lo = words_[w] >> b;
-  if (b != 0 && w + 1 < words_.size()) lo |= words_[w + 1] << (64 - b);
-  if (width == 64) return lo;
-  return lo & ((std::uint64_t{1} << width) - 1);
+BitVec::BitVec(BitVec&& o) noexcept
+    : bits_(o.bits_), cap_words_(o.cap_words_), heap_(o.heap_) {
+  if (heap_ == nullptr) {
+    inline_[0] = o.inline_[0];
+    inline_[1] = o.inline_[1];
+  }
+  o.bits_ = 0;
+  o.cap_words_ = kInlineWords;
+  o.inline_[0] = 0;
+  o.inline_[1] = 0;
+  o.heap_ = nullptr;
+}
+
+BitVec& BitVec::operator=(const BitVec& o) {
+  if (this == &o) return *this;
+  const std::size_t n = o.word_count();
+  if (n > cap_words_) {
+    auto* fresh = new std::uint64_t[n];
+    delete[] heap_;
+    heap_ = fresh;
+    cap_words_ = n;
+  }
+  bits_ = o.bits_;
+  std::uint64_t* dst = words();
+  std::memcpy(dst, o.words(), n * sizeof(std::uint64_t));
+  // Zero any capacity beyond the copied words so ensure() can hand it out
+  // without re-clearing.
+  if (cap_words_ > n)
+    std::memset(dst + n, 0, (cap_words_ - n) * sizeof(std::uint64_t));
+  return *this;
+}
+
+BitVec& BitVec::operator=(BitVec&& o) noexcept {
+  if (this == &o) return *this;
+  delete[] heap_;
+  bits_ = o.bits_;
+  cap_words_ = o.cap_words_;
+  heap_ = o.heap_;
+  if (heap_ == nullptr) {
+    inline_[0] = o.inline_[0];
+    inline_[1] = o.inline_[1];
+  }
+  o.bits_ = 0;
+  o.cap_words_ = kInlineWords;
+  o.inline_[0] = 0;
+  o.inline_[1] = 0;
+  o.heap_ = nullptr;
+  return *this;
+}
+
+void BitVec::ensure(std::size_t bits) {
+  if (bits <= bits_) return;
+  const std::size_t need = (bits + 63) / 64;
+  if (need > cap_words_) {
+    const std::size_t newcap = std::max(need, cap_words_ * 2);
+    auto* fresh = new std::uint64_t[newcap]();  // value-init: zero-filled
+    std::memcpy(fresh, words(), word_count() * sizeof(std::uint64_t));
+    delete[] heap_;
+    heap_ = fresh;
+    cap_words_ = newcap;
+  }
+  // Words between the old and new count are already zero: inline storage is
+  // zero-initialised, heap growth value-initialises, and set() never writes
+  // at offsets >= bits_.
+  bits_ = bits;
 }
 
 void BitVec::set(std::size_t offset, std::size_t width, std::uint64_t value) {
@@ -28,13 +88,14 @@ void BitVec::set(std::size_t offset, std::size_t width, std::uint64_t value) {
   const std::uint64_t mask =
       width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
   value &= mask;
+  std::uint64_t* ws = words();
   const std::size_t w = offset / 64;
   const std::size_t b = offset % 64;
-  words_[w] = (words_[w] & ~(mask << b)) | (value << b);
+  ws[w] = (ws[w] & ~(mask << b)) | (value << b);
   if (b + width > 64) {
     const std::size_t hi_bits = b + width - 64;
     const std::uint64_t hi_mask = (std::uint64_t{1} << hi_bits) - 1;
-    words_[w + 1] = (words_[w + 1] & ~hi_mask) | (value >> (64 - b));
+    ws[w + 1] = (ws[w + 1] & ~hi_mask) | (value >> (64 - b));
   }
 }
 
@@ -48,11 +109,14 @@ void BitVec::clear_range(std::size_t offset, std::size_t width) {
 }
 
 void BitVec::clear_all() {
-  for (auto& w : words_) w = 0;
+  std::uint64_t* ws = words();
+  for (std::size_t i = 0; i < word_count(); ++i) ws[i] = 0;
 }
 
 bool BitVec::operator==(const BitVec& o) const {
-  return bits_ == o.bits_ && words_ == o.words_;
+  if (bits_ != o.bits_) return false;
+  return std::memcmp(words(), o.words(), word_count() * sizeof(std::uint64_t)) ==
+         0;
 }
 
 std::string BitVec::to_hex() const {

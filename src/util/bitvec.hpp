@@ -5,28 +5,64 @@
 // header (the paper assumes switches with extended match-field support, such
 // as the NoviKit 250).  BitVec models that region: match fields and set-field
 // actions address sub-ranges of it as (offset, width) pairs.
+//
+// Storage uses a small-buffer optimization: tag regions of up to
+// kInlineWords*64 = 128 bits live inline (no heap allocation), which covers
+// the global service fields plus the per-node state of small topologies.
+// Larger regions spill to a heap buffer; moves then steal the buffer, so
+// passing packets by value through the pipeline stays O(1) for them.
 
 #include <cstdint>
 #include <cstddef>
+#include <stdexcept>
 #include <string>
-#include <vector>
 
 namespace ss::util {
 
 class BitVec {
  public:
+  /// Words kept inline before spilling to the heap (128 bits).
+  static constexpr std::size_t kInlineWords = 2;
+
   BitVec() = default;
-  explicit BitVec(std::size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+  explicit BitVec(std::size_t bits) { ensure(bits); }
+
+  BitVec(const BitVec& o);
+  BitVec(BitVec&& o) noexcept;
+  BitVec& operator=(const BitVec& o);
+  BitVec& operator=(BitVec&& o) noexcept;
+  ~BitVec() { delete[] heap_; }
 
   std::size_t size_bits() const { return bits_; }
   std::size_t size_bytes() const { return (bits_ + 7) / 8; }
+
+  /// True while the region still fits the inline buffer (diagnostics/tests).
+  bool inline_storage() const { return heap_ == nullptr; }
 
   /// Grow (never shrink) to at least `bits`, zero-filling new space.
   void ensure(std::size_t bits);
 
   /// Read `width` bits (1..64) starting at bit `offset`, little-endian
   /// within the vector (bit 0 of the field is vector bit `offset`).
-  std::uint64_t get(std::size_t offset, std::size_t width) const;
+  /// Inline: this is the single hottest operation in the simulator (every
+  /// TagMatch test and every indexed dispatch reads a field).
+  std::uint64_t get(std::size_t offset, std::size_t width) const {
+    if (width == 0 || width > 64)
+      throw std::invalid_argument("BitVec::get width");
+    if (offset + width > bits_) throw std::out_of_range("BitVec::get range");
+    const std::uint64_t* ws = words();
+    const std::size_t w = offset / 64;
+    const std::size_t b = offset % 64;
+    std::uint64_t lo = ws[w] >> b;
+    if (b != 0 && w + 1 < word_count()) lo |= ws[w + 1] << (64 - b);
+    if (width == 64) return lo;
+    return lo & ((std::uint64_t{1} << width) - 1);
+  }
+
+  /// Raw word access for callers that have already range-checked a batch of
+  /// reads (FlowIndex dispatch validates against its max_read_end once and
+  /// then reads fields unchecked).  Valid for (size_bits()+63)/64 words.
+  const std::uint64_t* data() const { return words(); }
 
   /// Write the low `width` bits of `value` at bit `offset`.
   void set(std::size_t offset, std::size_t width, std::uint64_t value);
@@ -44,8 +80,14 @@ class BitVec {
   std::string to_hex() const;
 
  private:
+  std::size_t word_count() const { return (bits_ + 63) / 64; }
+  const std::uint64_t* words() const { return heap_ != nullptr ? heap_ : inline_; }
+  std::uint64_t* words() { return heap_ != nullptr ? heap_ : inline_; }
+
   std::size_t bits_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::size_t cap_words_ = kInlineWords;
+  std::uint64_t inline_[kInlineWords] = {0, 0};
+  std::uint64_t* heap_ = nullptr;
 };
 
 }  // namespace ss::util
