@@ -6,48 +6,82 @@
 //      paper's model, handled by re-triggering).
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/services.hpp"
 #include "graph/algorithms.hpp"
 #include "util/strings.hpp"
 
 using namespace ss;
 
+namespace {
+
+constexpr int kFfTrials = 40;
+constexpr int kRetryTrials = 40;
+const std::vector<double> kFailRates{0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
+const std::vector<int> kMidRunFails{0, 1, 2, 4};
+
+}  // namespace
+
 int main() {
   bench::Metrics metrics("ablation");
   util::Rng rng(bench::bench_seed(1));
+  graph::Graph torus = graph::make_torus(5, 5);
+
+  // Pre-draw everything the shared stream feeds, in the exact order the
+  // serial loops consumed it: part (a) down-lists first, part (d) failure
+  // plans second.  The sweeps themselves then fan out over parallel_sweep.
+  std::vector<std::vector<std::vector<graph::EdgeId>>> ff_down(
+      kFailRates.size());
+  for (std::size_t i = 0; i < kFailRates.size(); ++i) {
+    ff_down[i].resize(kFfTrials);
+    for (int t = 0; t < kFfTrials; ++t)
+      for (graph::EdgeId e = 0; e < torus.edge_count(); ++e)
+        if (rng.chance(kFailRates[i])) ff_down[i][t].push_back(e);
+  }
+  using FailPlan = std::vector<std::pair<graph::EdgeId, sim::Time>>;
+  std::vector<std::vector<FailPlan>> midrun_plans(kMidRunFails.size());
+  for (std::size_t i = 0; i < kMidRunFails.size(); ++i) {
+    midrun_plans[i].resize(kRetryTrials);
+    for (int t = 0; t < kRetryTrials; ++t)
+      for (int k = 0; k < kMidRunFails[i]; ++k)
+        midrun_plans[i][t].emplace_back(
+            static_cast<graph::EdgeId>(rng.uniform(0, torus.edge_count() - 1)),
+            static_cast<sim::Time>(rng.uniform(1, 30)));
+  }
 
   std::printf("(a) Fast-failover ablation: traversal success rate vs pre-run "
               "link failures\n    (torus 5x5, 40 trials per cell)\n");
   bench::hr();
   bench::row({"failure rate", "with FF", "without FF"}, {12, 9, 11});
   bench::hr();
-  graph::Graph torus = graph::make_torus(5, 5);
-  for (double rate : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
-    int ok_ff = 0, ok_noff = 0;
-    const int trials = 40;
-    for (int t = 0; t < trials; ++t) {
-      std::vector<graph::EdgeId> down;
-      for (graph::EdgeId e = 0; e < torus.edge_count(); ++e)
-        if (rng.chance(rate)) down.push_back(e);
-      for (bool ff : {true, false}) {
-        core::PlainTraversal svc(torus, true, ff);
-        sim::Network net(torus);
-        svc.install(net);
-        for (auto e : down) net.set_link_up(e, false);
-        if (svc.run(net, 0)) (ff ? ok_ff : ok_noff) += 1;
-      }
-    }
-    bench::row({util::cat(rate), util::cat(100 * ok_ff / trials, "%"),
-                util::cat(100 * ok_noff / trials, "%")},
+  const auto ff_rows = bench::parallel_sweep(
+      kFailRates, [&](double /*rate*/, std::size_t i) {
+        std::pair<int, int> ok{0, 0};  // {with FF, without FF}
+        for (int t = 0; t < kFfTrials; ++t) {
+          for (bool ff : {true, false}) {
+            core::PlainTraversal svc(torus, true, ff);
+            sim::Network net(torus);
+            svc.install(net);
+            for (auto e : ff_down[i][t]) net.set_link_up(e, false);
+            if (svc.run(net, 0)) (ff ? ok.first : ok.second) += 1;
+          }
+        }
+        return ok;
+      });
+  for (std::size_t i = 0; i < kFailRates.size(); ++i) {
+    const auto [ok_ff, ok_noff] = ff_rows[i];
+    bench::row({util::cat(kFailRates[i]),
+                util::cat(100 * ok_ff / kFfTrials, "%"),
+                util::cat(100 * ok_noff / kFfTrials, "%")},
                {12, 9, 11});
     metrics.emit(obs::JsonObj()
                      .add("type", "bench")
                      .add("bench", "ablation")
                      .add("series", "fast_failover")
-                     .add("failure_rate", rate)
+                     .add("failure_rate", kFailRates[i])
                      .add("ok_with_ff", ok_ff)
                      .add("ok_without_ff", ok_noff)
-                     .add("trials", trials));
+                     .add("trials", kFfTrials));
   }
   bench::hr();
 
@@ -57,18 +91,23 @@ int main() {
   bench::row({"topology", "n", "|E|", "non-tree", "dedup", "no-dedup", "saved"},
              {12, 4, 5, 8, 7, 9, 6});
   bench::hr();
-  for (const auto& sg : bench::standard_sweep()) {
-    core::SnapshotService a(sg.g, 0, true), b(sg.g, 0, false);
-    sim::Network na(sg.g), nb(sg.g);
-    a.install(na);
-    b.install(nb);
-    auto ra = a.run(na, 0);
-    auto rb = b.run(nb, 0);
+  const auto sweep = bench::standard_sweep();
+  const auto dedup_rows = bench::parallel_sweep(
+      sweep, [](const bench::SweepGraph& sg, std::size_t) {
+        core::SnapshotService a(sg.g, 0, true), b(sg.g, 0, false);
+        sim::Network na(sg.g), nb(sg.g);
+        a.install(na);
+        b.install(nb);
+        return std::pair<std::uint64_t, std::uint64_t>{
+            a.run(na, 0).stats.max_wire_bytes, b.run(nb, 0).stats.max_wire_bytes};
+      });
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const bench::SweepGraph& sg = sweep[i];
+    const auto [dedup_bytes, nodedup_bytes] = dedup_rows[i];
     bench::row({sg.family, util::cat(sg.n), util::cat(sg.g.edge_count()),
                 util::cat(sg.g.edge_count() - (sg.g.node_count() - 1)),
-                util::cat(ra.stats.max_wire_bytes),
-                util::cat(rb.stats.max_wire_bytes),
-                util::cat(rb.stats.max_wire_bytes - ra.stats.max_wire_bytes)},
+                util::cat(dedup_bytes), util::cat(nodedup_bytes),
+                util::cat(nodedup_bytes - dedup_bytes)},
                {12, 4, 5, 8, 7, 9, 6});
   }
   bench::hr();
@@ -103,36 +142,40 @@ int main() {
   bench::row({"mid-run fails", "single-shot ok", "retry(5) ok", "avg attempts"},
              {13, 14, 11, 12});
   bench::hr();
-  for (int fails : {0, 1, 2, 4}) {
+  struct RetryRow {
     int ok1 = 0, ok2 = 0;
     double attempts_sum = 0;
-    const int trials = 40;
-    core::SnapshotService svc(torus);
-    for (int t = 0; t < trials; ++t) {
-      std::vector<std::pair<graph::EdgeId, sim::Time>> plan;
-      for (int k = 0; k < fails; ++k)
-        plan.emplace_back(
-            static_cast<graph::EdgeId>(rng.uniform(0, torus.edge_count() - 1)),
-            static_cast<sim::Time>(rng.uniform(1, 30)));
-      {
-        sim::Network net(torus);
-        svc.install(net);
-        for (auto& [e, tm] : plan) net.schedule_link_state(e, false, tm);
-        if (svc.run(net, 0).complete) ++ok1;
-      }
-      {
-        sim::Network net(torus);
-        svc.install(net);
-        for (auto& [e, tm] : plan) net.schedule_link_state(e, false, tm);
-        std::uint32_t att = 0;
-        if (svc.run_with_retries(net, 0, 5, &att).complete) ++ok2;
-        attempts_sum += att;
-      }
-    }
+  };
+  const auto retry_rows = bench::parallel_sweep(
+      kMidRunFails, [&](int /*fails*/, std::size_t i) {
+        RetryRow row;
+        core::SnapshotService svc(torus);
+        for (int t = 0; t < kRetryTrials; ++t) {
+          const FailPlan& plan = midrun_plans[i][t];
+          {
+            sim::Network net(torus);
+            svc.install(net);
+            for (auto& [e, tm] : plan) net.schedule_link_state(e, false, tm);
+            if (svc.run(net, 0).complete) ++row.ok1;
+          }
+          {
+            sim::Network net(torus);
+            svc.install(net);
+            for (auto& [e, tm] : plan) net.schedule_link_state(e, false, tm);
+            std::uint32_t att = 0;
+            if (svc.run_with_retries(net, 0, 5, &att).complete) ++row.ok2;
+            row.attempts_sum += att;
+          }
+        }
+        return row;
+      });
+  for (std::size_t i = 0; i < kMidRunFails.size(); ++i) {
     char buf[32];
-    std::snprintf(buf, sizeof buf, "%.2f", attempts_sum / trials);
-    bench::row({util::cat(fails), util::cat(100 * ok1 / trials, "%"),
-                util::cat(100 * ok2 / trials, "%"), buf},
+    std::snprintf(buf, sizeof buf, "%.2f",
+                  retry_rows[i].attempts_sum / kRetryTrials);
+    bench::row({util::cat(kMidRunFails[i]),
+                util::cat(100 * retry_rows[i].ok1 / kRetryTrials, "%"),
+                util::cat(100 * retry_rows[i].ok2 / kRetryTrials, "%"), buf},
                {13, 14, 11, 12});
   }
   bench::hr();

@@ -11,10 +11,22 @@
 #include "baseline/lldp_discovery.hpp"
 #include "baseline/probe_blackhole.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/services.hpp"
 #include "util/strings.hpp"
 
 using namespace ss;
+
+namespace {
+
+struct BaseRow {
+  std::uint64_t ss_snap = 0, lldp = 0;
+  std::uint64_t ss_any = 0, ctrl_any = 0;
+  std::uint64_t ss_bh = 0, probe_bh = 0;
+  std::uint64_t ss_crit = 0, ctrl_crit = 0;
+};
+
+}  // namespace
 
 int main() {
   bench::Metrics metrics("baselines");
@@ -25,8 +37,19 @@ int main() {
              {12, 4, 5, 8, 9, 7, 8, 6, 8, 8, 9});
   bench::hr();
 
+  const auto sweep = bench::standard_sweep();
+  // Pre-draw the per-point blackhole victim from the shared stream, in the
+  // order the serial loop consumed it, before fanning out.
   util::Rng rng(bench::bench_seed(2));
-  for (const auto& sg : bench::standard_sweep()) {
+  std::vector<graph::EdgeId> victims;
+  victims.reserve(sweep.size());
+  for (const auto& sg : sweep)
+    victims.push_back(
+        static_cast<graph::EdgeId>(rng.uniform(0, sg.g.edge_count() - 1)));
+
+  const auto rows = bench::parallel_sweep(sweep, [&](const bench::SweepGraph& sg,
+                                                     std::size_t i) {
+    BaseRow row;
     const graph::Graph& g = sg.g;
     const auto n = g.node_count();
 
@@ -34,11 +57,11 @@ int main() {
     core::SnapshotService snap(g);
     sim::Network net1(g);
     snap.install(net1);
-    const auto ss_snap = snap.run(net1, 0).stats.outband_total();
+    row.ss_snap = snap.run(net1, 0).stats.outband_total();
     baseline::LldpDiscovery lldp(g);
     sim::Network net2(g);
     lldp.install(net2);
-    const auto ld = lldp.run(net2).stats.outband_total();
+    row.lldp = lldp.run(net2).stats.outband_total();
 
     // Anycast vs controller routing (same member set, same request).
     core::AnycastGroupSpec gs;
@@ -48,55 +71,61 @@ int main() {
     sim::Network net3(g);
     any.install(net3);
     // Out-of-band beyond the request injection itself.
-    const auto ss_any = any.run(net3, 0, 1).stats.outband_total() - 1;
+    row.ss_any = any.run(net3, 0, 1).stats.outband_total() - 1;
     baseline::ControllerAnycast cany(g, {{1, {static_cast<graph::NodeId>(n - 1)}}});
     sim::Network net4(g);
     const auto ca = cany.run(net4, 0, 1);
-    const auto ctrl_any = ca.control_messages() - 1;
+    row.ctrl_any = ca.control_messages() - 1;
 
     // Blackhole: smart counters vs per-link echo probing.
-    const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, g.edge_count() - 1));
+    const graph::EdgeId victim = victims[i];
     core::BlackholeCountersService bh(g);
     sim::Network net5(g);
     bh.install(net5);
     net5.set_blackhole_from(victim, g.edge(victim).a.node, true);
-    const auto ss_bh = bh.run(net5, 0).stats.outband_total();
+    row.ss_bh = bh.run(net5, 0).stats.outband_total();
     baseline::ProbeBlackhole probe(g);
     sim::Network net6(g);
     probe.install(net6);
     net6.set_blackhole_from(victim, g.edge(victim).a.node, true);
-    const auto pb = probe.run(net6).stats.outband_total();
+    row.probe_bh = probe.run(net6).stats.outband_total();
 
     // Critical node.
     core::CriticalNodeService crit(g);
     sim::Network net7(g);
     crit.install(net7);
-    const auto ss_crit = crit.run(net7, 0).stats.outband_total();
+    row.ss_crit = crit.run(net7, 0).stats.outband_total();
     baseline::ControllerCritical cc(g);
     sim::Network net8(g);
     cc.install(net8);
-    const auto ctrl_crit = cc.run(net8, 0).stats.outband_total();
+    row.ctrl_crit = cc.run(net8, 0).stats.outband_total();
+    return row;
+  });
 
-    bench::row({sg.family, util::cat(n), util::cat(g.edge_count()),
-                util::cat(ss_snap), util::cat(ld), util::cat(ss_any),
-                util::cat(ctrl_any), util::cat(ss_bh), util::cat(pb),
-                util::cat(ss_crit), util::cat(ctrl_crit)},
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const bench::SweepGraph& sg = sweep[i];
+    const BaseRow& r = rows[i];
+    bench::row({sg.family, util::cat(sg.g.node_count()),
+                util::cat(sg.g.edge_count()), util::cat(r.ss_snap),
+                util::cat(r.lldp), util::cat(r.ss_any), util::cat(r.ctrl_any),
+                util::cat(r.ss_bh), util::cat(r.probe_bh), util::cat(r.ss_crit),
+                util::cat(r.ctrl_crit)},
                {12, 4, 5, 8, 9, 7, 8, 6, 8, 8, 9});
 
     metrics.emit(obs::JsonObj()
                      .add("type", "bench")
                      .add("bench", "baselines")
                      .add("family", sg.family)
-                     .add("n", n)
-                     .add("edges", g.edge_count())
-                     .add("snapshot_ss", ss_snap)
-                     .add("snapshot_lldp", ld)
-                     .add("anycast_ss", ss_any)
-                     .add("anycast_ctrl", ctrl_any)
-                     .add("blackhole_ss", ss_bh)
-                     .add("blackhole_probe", pb)
-                     .add("critical_ss", ss_crit)
-                     .add("critical_ctrl", ctrl_crit));
+                     .add("n", sg.g.node_count())
+                     .add("edges", sg.g.edge_count())
+                     .add("snapshot_ss", r.ss_snap)
+                     .add("snapshot_lldp", r.lldp)
+                     .add("anycast_ss", r.ss_any)
+                     .add("anycast_ctrl", r.ctrl_any)
+                     .add("blackhole_ss", r.ss_bh)
+                     .add("blackhole_probe", r.probe_bh)
+                     .add("critical_ss", r.ss_crit)
+                     .add("critical_ctrl", r.ctrl_crit));
   }
   bench::hr();
 

@@ -35,6 +35,11 @@ class Metrics {
     if (os_) os_ << o.str() << '\n';
   }
 
+  /// One pre-encoded JSONL line (histogram serializations etc.).
+  void emit_line(std::string_view line) {
+    if (os_) os_ << line << '\n';
+  }
+
   /// Raw stream access for the obs/ exporters (write_flow_stats etc.).
   std::ostream& stream() { return os_; }
   bool ok() const { return os_.good(); }

@@ -4,18 +4,88 @@
 //        plus localization accuracy.
 //  BH-2  smart counters: exactly 2 injected packets + 1 report ("two
 //        out-band packets"), localization accuracy, and in-band cost ~4|E|.
+//
+// Parallelized with the pre-drawn-stream recipe: all victim/direction draws
+// come out of the single bench_seed(3) stream SERIALLY, in the same order the
+// old serial loops consumed them, then the per-point work fans out over
+// parallel_sweep.  Output is byte-identical at any SS_BENCH_THREADS.
 
 #include <cmath>
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/services.hpp"
 #include "util/strings.hpp"
 
 using namespace ss;
 
+namespace {
+
+constexpr int kTrials = 10;
+
+struct Bh1Row {
+  bool ran = false;  // points over the 8-bit TTL limit are skipped
+  double probes = 0;
+  double outband = 0;
+  int localized = 0;
+  obs::Histogram probe_hist;  // per-trial probe counts, merged across points
+};
+
+struct Bh2Row {
+  std::uint64_t outband = 0;
+  std::uint64_t inband = 0;
+  int localized = 0;
+};
+
+}  // namespace
+
 int main() {
   bench::Metrics metrics("blackhole");
   util::Rng rng(bench::bench_seed(3));
+  const auto sweep = bench::standard_sweep();
+
+  // Pre-draw every random value in the exact order the serial version
+  // consumed them: first all BH-1 victims (eligible points only), then all
+  // BH-2 (victim, direction) pairs.
+  std::vector<std::vector<graph::EdgeId>> bh1_victims(sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto E = sweep[i].g.edge_count();
+    if (4 * E + 4 > 255) continue;  // 8-bit TTL limit, see EXPERIMENTS.md
+    bh1_victims[i].reserve(kTrials);
+    for (int t = 0; t < kTrials; ++t)
+      bh1_victims[i].push_back(static_cast<graph::EdgeId>(rng.uniform(0, E - 1)));
+  }
+  std::vector<std::vector<std::pair<graph::EdgeId, bool>>> bh2_draws(sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto E = sweep[i].g.edge_count();
+    bh2_draws[i].reserve(kTrials);
+    for (int t = 0; t < kTrials; ++t) {
+      const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, E - 1));
+      bh2_draws[i].push_back({victim, rng.chance(0.5)});
+    }
+  }
+
+  const auto bh1 = bench::parallel_sweep(sweep, [&](const bench::SweepGraph& sg,
+                                                    std::size_t i) {
+    Bh1Row row;
+    const graph::Graph& g = sg.g;
+    const auto E = g.edge_count();
+    if (bh1_victims[i].empty()) return row;
+    row.ran = true;
+    core::BlackholeTtlService svc(g);
+    for (const graph::EdgeId victim : bh1_victims[i]) {
+      sim::Network net(g);
+      svc.install(net);
+      net.set_blackhole_from(victim, g.edge(victim).a.node, true);
+      auto res = svc.run(net, 0, static_cast<std::uint32_t>(4 * E + 4));
+      row.probes += res.probes;
+      row.probe_hist.record(res.probes);
+      row.outband += static_cast<double>(res.stats.outband_total());
+      if (res.blackhole_found && g.edge_at(res.at_switch, res.out_port) == victim)
+        ++row.localized;
+    }
+    return row;
+  });
 
   std::printf("BH-1: TTL binary search (averaged over 10 planted blackholes)\n");
   bench::hr();
@@ -23,46 +93,54 @@ int main() {
               "localized"},
              {12, 5, 6, 10, 9, 11, 9});
   bench::hr();
-  for (const auto& sg : bench::standard_sweep()) {
-    const graph::Graph& g = sg.g;
-    const auto E = g.edge_count();
-    if (4 * E + 4 > 255) continue;  // 8-bit TTL limit, see EXPERIMENTS.md
-    core::BlackholeTtlService svc(g);
-    double probes = 0, outband = 0;
-    int localized = 0;
-    const int trials = 10;
-    for (int t = 0; t < trials; ++t) {
-      const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, E - 1));
-      sim::Network net(g);
-      svc.install(net);
-      net.set_blackhole_from(victim, g.edge(victim).a.node, true);
-      auto res = svc.run(net, 0, static_cast<std::uint32_t>(4 * E + 4));
-      probes += res.probes;
-      outband += static_cast<double>(res.stats.outband_total());
-      if (res.blackhole_found && g.edge_at(res.at_switch, res.out_port) == victim)
-        ++localized;
-    }
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (!bh1[i].ran) continue;
+    const bench::SweepGraph& sg = sweep[i];
+    const auto E = sg.g.edge_count();
     char buf[32], buf2[32];
-    std::snprintf(buf, sizeof buf, "%.1f", probes / trials);
-    std::snprintf(buf2, sizeof buf2, "%.1f", outband / trials);
-    bench::row({sg.family, util::cat(g.node_count()), util::cat(E), buf,
+    std::snprintf(buf, sizeof buf, "%.1f", bh1[i].probes / kTrials);
+    std::snprintf(buf2, sizeof buf2, "%.1f", bh1[i].outband / kTrials);
+    bench::row({sg.family, util::cat(sg.g.node_count()), util::cat(E), buf,
                 util::cat(static_cast<int>(2 * std::log2(4.0 * E + 4))), buf2,
-                util::cat(localized, "/", trials)},
+                util::cat(bh1[i].localized, "/", kTrials)},
                {12, 5, 6, 10, 9, 11, 9});
     metrics.emit(obs::JsonObj()
                      .add("type", "bench")
                      .add("bench", "blackhole")
                      .add("series", "bh1_ttl_search")
                      .add("family", sg.family)
-                     .add("n", g.node_count())
+                     .add("n", sg.g.node_count())
                      .add("edges", E)
-                     .add("avg_probes", probes / trials)
+                     .add("avg_probes", bh1[i].probes / kTrials)
                      .add("bound_2log4e", 2 * std::log2(4.0 * E + 4))
-                     .add("avg_outband", outband / trials)
-                     .add("localized", localized)
-                     .add("trials", trials));
+                     .add("avg_outband", bh1[i].outband / kTrials)
+                     .add("localized", bh1[i].localized)
+                     .add("trials", kTrials));
   }
+  const obs::Histogram probe_hist = bench::merge_hist_shards(
+      bh1, [](const Bh1Row& r) -> const obs::Histogram& { return r.probe_hist; });
+  metrics.emit_line(probe_hist.to_json("bh1_probes"));
   bench::hr();
+
+  const auto bh2 = bench::parallel_sweep(sweep, [&](const bench::SweepGraph& sg,
+                                                    std::size_t i) {
+    Bh2Row row;
+    const graph::Graph& g = sg.g;
+    core::BlackholeCountersService svc(g);
+    for (const auto& [victim, dir] : bh2_draws[i]) {
+      sim::Network net(g);
+      svc.install(net);
+      const auto& ed = g.edge(victim);
+      net.set_blackhole_from(victim, dir ? ed.a.node : ed.b.node, true);
+      auto res = svc.run(net, 0);
+      row.outband += res.stats.outband_total();
+      row.inband += res.stats.inband_msgs;
+      if (res.reports.size() == 1 &&
+          g.edge_at(res.reports[0].at_switch, res.reports[0].out_port) == victim)
+        ++row.localized;
+    }
+    return row;
+  });
 
   std::printf("\nBH-2: smart counters (10 planted blackholes per row)\n");
   bench::hr();
@@ -70,42 +148,25 @@ int main() {
               "localized"},
              {12, 5, 6, 8, 4, 8, 7, 9});
   bench::hr();
-  for (const auto& sg : bench::standard_sweep()) {
-    const graph::Graph& g = sg.g;
-    const auto E = g.edge_count();
-    core::BlackholeCountersService svc(g);
-    std::uint64_t outband = 0, inband = 0;
-    int localized = 0;
-    const int trials = 10;
-    for (int t = 0; t < trials; ++t) {
-      const auto victim = static_cast<graph::EdgeId>(rng.uniform(0, E - 1));
-      const bool dir = rng.chance(0.5);
-      sim::Network net(g);
-      svc.install(net);
-      const auto& ed = g.edge(victim);
-      net.set_blackhole_from(victim, dir ? ed.a.node : ed.b.node, true);
-      auto res = svc.run(net, 0);
-      outband += res.stats.outband_total();
-      inband += res.stats.inband_msgs;
-      if (res.reports.size() == 1 &&
-          g.edge_at(res.reports[0].at_switch, res.reports[0].out_port) == victim)
-        ++localized;
-    }
-    bench::row({sg.family, util::cat(g.node_count()), util::cat(E),
-                util::cat(outband / trials), "3", util::cat(inband / trials),
-                util::cat(4 * E), util::cat(localized, "/", trials)},
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const bench::SweepGraph& sg = sweep[i];
+    const auto E = sg.g.edge_count();
+    bench::row({sg.family, util::cat(sg.g.node_count()), util::cat(E),
+                util::cat(bh2[i].outband / kTrials), "3",
+                util::cat(bh2[i].inband / kTrials), util::cat(4 * E),
+                util::cat(bh2[i].localized, "/", kTrials)},
                {12, 5, 6, 8, 4, 8, 7, 9});
     metrics.emit(obs::JsonObj()
                      .add("type", "bench")
                      .add("bench", "blackhole")
                      .add("series", "bh2_smart_counters")
                      .add("family", sg.family)
-                     .add("n", g.node_count())
+                     .add("n", sg.g.node_count())
                      .add("edges", E)
-                     .add("avg_outband", outband / trials)
-                     .add("avg_inband", inband / trials)
-                     .add("localized", localized)
-                     .add("trials", trials));
+                     .add("avg_outband", bh2[i].outband / kTrials)
+                     .add("avg_inband", bh2[i].inband / kTrials)
+                     .add("localized", bh2[i].localized)
+                     .add("trials", kTrials));
   }
   bench::hr();
   std::printf(

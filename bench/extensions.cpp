@@ -4,6 +4,7 @@
 // pattern as the paper's headline results: O(1) controller involvement.
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/monitor.hpp"
 #include "core/services.hpp"
 #include "graph/algorithms.hpp"
@@ -11,33 +12,56 @@
 
 using namespace ss;
 
+namespace {
+
+// Part (a) per-point result: the full edge sweep is the dominant cost of
+// this binary, so it fans out over parallel_sweep (no randomness involved).
+struct CritLinkRow {
+  bool ran = false;  // n > 40 points are skipped to keep the table readable
+  std::size_t bridges = 0;
+  std::size_t correct = 0;
+  std::uint64_t outband = 0;
+};
+
+}  // namespace
+
 int main() {
   bench::Metrics metrics("extensions");
   util::Rng rng(bench::bench_seed(4));
+  const auto sweep = bench::standard_sweep();
 
   std::printf("(a) Critical-link (bridge) detection vs ground truth\n");
   bench::hr();
   bench::row({"topology", "n", "|E|", "bridges", "correct", "outband/query"},
              {12, 4, 5, 8, 8, 13});
   bench::hr();
-  for (const auto& sg : bench::standard_sweep()) {
-    if (sg.n > 40) continue;  // full edge sweep; keep the table readable
+  const auto crit_rows = bench::parallel_sweep(
+      sweep, [](const bench::SweepGraph& sg, std::size_t) {
+        CritLinkRow row;
+        if (sg.n > 40) return row;
+        row.ran = true;
+        const graph::Graph& g = sg.g;
+        core::CriticalLinkService svc(g);
+        const auto truth = graph::bridges(g);
+        for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+          if (truth[e]) ++row.bridges;
+          sim::Network net(g);
+          svc.install(net);
+          auto res = svc.run(net, g.edge(e).a.node, g.edge(e).a.port);
+          if (res.critical.has_value() && *res.critical == truth[e])
+            ++row.correct;
+          row.outband += res.stats.outband_total();
+        }
+        return row;
+      });
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (!crit_rows[i].ran) continue;
+    const bench::SweepGraph& sg = sweep[i];
     const graph::Graph& g = sg.g;
-    core::CriticalLinkService svc(g);
-    const auto truth = graph::bridges(g);
-    std::size_t bridges = 0, correct = 0;
-    std::uint64_t outband = 0;
-    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
-      if (truth[e]) ++bridges;
-      sim::Network net(g);
-      svc.install(net);
-      auto res = svc.run(net, g.edge(e).a.node, g.edge(e).a.port);
-      if (res.critical.has_value() && *res.critical == truth[e]) ++correct;
-      outband += res.stats.outband_total();
-    }
     bench::row({sg.family, util::cat(sg.n), util::cat(g.edge_count()),
-                util::cat(bridges), util::cat(correct, "/", g.edge_count()),
-                util::cat(outband / g.edge_count())},
+                util::cat(crit_rows[i].bridges),
+                util::cat(crit_rows[i].correct, "/", g.edge_count()),
+                util::cat(crit_rows[i].outband / g.edge_count())},
                {12, 4, 5, 8, 8, 13});
     metrics.emit(obs::JsonObj()
                      .add("type", "bench")
@@ -46,9 +70,10 @@ int main() {
                      .add("family", sg.family)
                      .add("n", sg.n)
                      .add("edges", g.edge_count())
-                     .add("bridges", bridges)
-                     .add("correct", correct)
-                     .add("outband_per_query", outband / g.edge_count()));
+                     .add("bridges", crit_rows[i].bridges)
+                     .add("correct", crit_rows[i].correct)
+                     .add("outband_per_query",
+                          crit_rows[i].outband / g.edge_count()));
   }
   bench::hr();
 

@@ -54,8 +54,12 @@ struct Row {
   double indexed_ns = 0.0;  // per-hop table walk, indexed dispatch
   double trav_linear_us = 0.0;
   double trav_indexed_us = 0.0;
+  double trav_traced_us = 0.0;  // indexed + trace ring (arena-pooled entries)
   double speedup() const {
     return indexed_ns > 0.0 ? linear_ns / indexed_ns : 0.0;
+  }
+  double trace_overhead() const {
+    return trav_indexed_us > 0.0 ? trav_traced_us / trav_indexed_us : 0.0;
   }
 };
 
@@ -180,6 +184,25 @@ Row measure_point(const std::string& topo, std::size_t n, int iters) {
   }
   (void)ev_linear;
   (void)ev_indexed;
+
+  // Traced traversal (indexed mode) with a bounded ring: eviction feeds the
+  // TraceEntry arena pool, so this pins what profiling-with-traces-on costs
+  // once per-hop snapshots stop allocating.
+  {
+    sim::Network net(g, 1, bench::bench_seed(1));
+    svc.install(net);
+    set_index_mode(net, true);
+    net.set_trace_capacity(256);
+    const double t0 = now_ns();
+    svc.run(net, 0);
+    r.trav_traced_us = (now_ns() - t0) / 1000.0;
+    if (net.stats().sent != r.hops || net.stats().events != r.events) {
+      std::fprintf(stderr,
+                   "FATAL: %s n=%zu traced run stats diverged from reference\n",
+                   topo.c_str(), n);
+      std::exit(1);
+    }
+  }
   return r;
 }
 
@@ -258,11 +281,12 @@ int main(int argc, char** argv) {
   if (iters < 1) iters = 1;
 
   bench::Metrics metrics("lookup");
-  const std::vector<int> widths = {6, 6, 8, 9, 9, 10, 10, 8, 11, 11};
+  const std::vector<int> widths = {6, 6, 8, 9, 9, 10, 10, 8, 11, 11, 11, 9};
   bench::row({"topo", "n", "entries", "hops", "events", "linear_ns",
-              "index_ns", "speedup", "trav_lin_us", "trav_idx_us"},
+              "index_ns", "speedup", "trav_lin_us", "trav_idx_us",
+              "trav_trc_us", "trace_ov"},
              widths);
-  bench::hr(110);
+  bench::hr(132);
 
   struct Point {
     std::string topo;
@@ -281,15 +305,17 @@ int main(int argc, char** argv) {
 
   obs::JsonArr arr;
   for (const Row& r : rows) {
-    char lb[32], ib[32], sb[32], tl[32], ti[32];
+    char lb[32], ib[32], sb[32], tl[32], ti[32], tt[32], to[32];
     std::snprintf(lb, sizeof lb, "%.1f", r.linear_ns);
     std::snprintf(ib, sizeof ib, "%.1f", r.indexed_ns);
     std::snprintf(sb, sizeof sb, "%.2fx", r.speedup());
     std::snprintf(tl, sizeof tl, "%.0f", r.trav_linear_us);
     std::snprintf(ti, sizeof ti, "%.0f", r.trav_indexed_us);
+    std::snprintf(tt, sizeof tt, "%.0f", r.trav_traced_us);
+    std::snprintf(to, sizeof to, "%.2fx", r.trace_overhead());
     bench::row({r.topo, std::to_string(r.n), std::to_string(r.entries),
                 std::to_string(r.hops), std::to_string(r.events), lb, ib, sb,
-                tl, ti},
+                tl, ti, tt, to},
                widths);
 
     obs::JsonObj o;
@@ -303,6 +329,7 @@ int main(int argc, char** argv) {
     o.add("speedup", r.speedup());
     o.add("traversal_linear_us", r.trav_linear_us);
     o.add("traversal_indexed_us", r.trav_indexed_us);
+    o.add("traversal_traced_us", r.trav_traced_us);
     arr.push(o);
 
     obs::JsonObj m;

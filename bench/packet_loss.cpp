@@ -4,6 +4,7 @@
 //      comparing several counters "with unique and prime sizes".
 
 #include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
 #include "core/services.hpp"
 #include "util/strings.hpp"
 
@@ -26,6 +27,9 @@ bool run_trial(const std::vector<std::uint32_t>& moduli, double loss_rate,
   return !res.reports.empty();
 }
 
+const std::vector<std::vector<std::uint32_t>> kModuliSets{{8}, {7, 11},
+                                                          {7, 11, 13}};
+
 }  // namespace
 
 int main() {
@@ -35,24 +39,34 @@ int main() {
   bench::row({"loss rate", "mod {8}", "mod {7,11}", "mod {7,11,13}"},
              {10, 9, 11, 13});
   bench::hr();
-  for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
-    std::vector<std::string> cols{util::cat(rate)};
+  // Every trial derives its seed from (1000 + t) alone — no shared stream —
+  // so rates fan out over parallel_sweep with no pre-draw step needed.
+  const std::vector<double> rates{0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8};
+  const int trials = 50;
+  const auto hits_per_rate =
+      bench::parallel_sweep(rates, [&](double rate, std::size_t) {
+        std::vector<int> hits;
+        for (const auto& moduli : kModuliSets) {
+          int h = 0;
+          for (int t = 0; t < trials; ++t)
+            if (run_trial(moduli, rate, 20, 1000 + t)) ++h;
+          hits.push_back(h);
+        }
+        return hits;
+      });
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::vector<std::string> cols{util::cat(rates[i])};
     obs::JsonObj rec;
     rec.add("type", "bench")
         .add("bench", "packet_loss")
         .add("series", "detection_vs_loss")
-        .add("loss_rate", rate)
-        .add("trials", 50);
-    for (auto moduli : std::vector<std::vector<std::uint32_t>>{
-             {8}, {7, 11}, {7, 11, 13}}) {
-      int hits = 0;
-      const int trials = 50;
-      for (int t = 0; t < trials; ++t)
-        if (run_trial(moduli, rate, 20, 1000 + t)) ++hits;
-      cols.push_back(util::cat(hits * 2, "%"));
+        .add("loss_rate", rates[i])
+        .add("trials", trials);
+    for (std::size_t m = 0; m < kModuliSets.size(); ++m) {
+      cols.push_back(util::cat(hits_per_rate[i][m] * 2, "%"));
       std::string key = "hits_mod";
-      for (auto m : moduli) key += util::cat("_", m);
-      rec.add(key, hits);
+      for (auto mod : kModuliSets[m]) key += util::cat("_", mod);
+      rec.add(key, hits_per_rate[i][m]);
     }
     bench::row(cols, {10, 9, 11, 13});
     metrics.emit(rec);

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/hist.hpp"
+
 namespace ss::bench {
 
 inline unsigned sweep_threads() {
@@ -75,6 +77,18 @@ auto parallel_sweep(const std::vector<Item>& items, Fn fn, unsigned threads = 0)
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
   return results;
+}
+
+/// Fold per-point histogram shards (one per sweep item, accessed via
+/// `get(result)`) into a single histogram.  Histogram::merge is commutative
+/// bucket-count addition and the fold walks results in ITEM order, so the
+/// merged histogram — and its to_json() serialization — is byte-identical
+/// at any thread count.
+template <typename R, typename Get>
+inline obs::Histogram merge_hist_shards(const std::vector<R>& results, Get get) {
+  obs::Histogram out;
+  for (const R& r : results) out.merge(get(r));
+  return out;
 }
 
 }  // namespace ss::bench

@@ -1,0 +1,107 @@
+#include "obs/hist.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace ss::obs {
+
+namespace {
+constexpr std::uint32_t kSub = 1u << Histogram::kSubBits;  // sub-buckets / octave
+}
+
+std::uint32_t Histogram::bucket_of(std::uint64_t v) {
+  if (v < 2 * kSub) return static_cast<std::uint32_t>(v);
+  const std::uint32_t b = 63 - static_cast<std::uint32_t>(std::countl_zero(v));
+  const std::uint32_t shift = b - kSubBits;
+  return shift * kSub + static_cast<std::uint32_t>(v >> shift);
+}
+
+std::uint64_t Histogram::bucket_lo(std::uint32_t idx) {
+  if (idx < 2 * kSub) return idx;
+  const std::uint32_t shift = idx / kSub - 1;
+  const std::uint64_t top = idx - shift * kSub;  // in [kSub, 2*kSub)
+  return top << shift;
+}
+
+std::uint64_t Histogram::bucket_hi(std::uint32_t idx) {
+  if (idx < 2 * kSub) return idx;
+  const std::uint32_t shift = idx / kSub - 1;
+  return bucket_lo(idx) + ((std::uint64_t{1} << shift) - 1);
+}
+
+void Histogram::record(std::uint64_t v, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[bucket_of(v)] += count;
+  count_ += count;
+  sum_ += v * count;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [idx, c] : other.buckets_) buckets_[idx] += c;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * double(count_))));
+  std::uint64_t seen = 0;
+  for (const auto& [idx, c] : buckets_) {
+    seen += c;
+    if (seen >= rank)
+      return std::clamp(bucket_hi(idx), min(), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::to_json(std::string_view name) const {
+  JsonArr buckets;
+  for (const auto& [idx, c] : buckets_)
+    buckets.push_raw(JsonArr().push(idx).push(c).str());
+  return JsonObj()
+      .add("type", "hist")
+      .add("name", name)
+      .add("count", count_)
+      .add("sum", sum_)
+      .add("min", min())
+      .add("max", max_)
+      .add_raw("buckets", buckets.str())
+      .str();
+}
+
+std::optional<Histogram> Histogram::from_json(const JsonValue& v) {
+  if (!v.is_object() || v.str("type") != "hist") return std::nullopt;
+  const JsonValue* buckets = v.get("buckets");
+  if (buckets == nullptr || !buckets->is_array()) return std::nullopt;
+  Histogram h;
+  h.count_ = v.u64("count");
+  h.sum_ = v.u64("sum");
+  h.max_ = v.u64("max");
+  h.min_ = h.count_ == 0 ? ~std::uint64_t{0} : v.u64("min");
+  for (const JsonValue& pair : buckets->array) {
+    if (!pair.is_array() || pair.array.size() != 2 ||
+        !pair.array[0].is_number() || !pair.array[1].is_number())
+      return std::nullopt;
+    h.buckets_[static_cast<std::uint32_t>(pair.array[0].number)] +=
+        static_cast<std::uint64_t>(pair.array[1].number);
+  }
+  return h;
+}
+
+std::string Histogram::summary() const {
+  if (count_ == 0) return "count=0";
+  return util::cat("count=", count_, " min=", min(), " p50=", percentile(50),
+                   " p90=", percentile(90), " p99=", percentile(99),
+                   " max=", max_);
+}
+
+}  // namespace ss::obs

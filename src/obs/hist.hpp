@@ -1,0 +1,81 @@
+#pragma once
+// Log-bucketed HDR-style histograms for the profiling layer: per-hop lookup
+// latencies, per-traversal hop counts, per-service completion times.
+//
+// Design constraints, in order:
+//  * deterministic — integer-only bucketing, sparse serialization in bucket
+//    order, so two runs that record the same values emit identical bytes;
+//  * mergeable — merge() is plain bucket-count addition (plus min/max/sum),
+//    commutative and associative, so bench::parallel_sweep shards can be
+//    folded in ANY order without changing the serialized result;
+//  * bounded error — values below 2^(kSubBits+1) are exact; above that each
+//    power of two is split into 2^kSubBits sub-buckets, giving a relative
+//    quantization error below 1/2^kSubBits (~6% at the default 4 sub-bits).
+//
+// The scheme is the integer core of HdrHistogram: for v < 2^(kSubBits+1)
+// the bucket index IS the value; otherwise with b = bit_width(v) - 1 the
+// index is (b - kSubBits) * 2^kSubBits + (v >> (b - kSubBits)), which is
+// continuous and monotone in v.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace ss::obs {
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits sub-buckets per power of two.
+  static constexpr std::uint32_t kSubBits = 4;
+
+  /// Bucket index for a value (exact below 2^(kSubBits+1)).
+  static std::uint32_t bucket_of(std::uint64_t v);
+  /// Smallest / largest value mapping to bucket `idx`.
+  static std::uint64_t bucket_lo(std::uint32_t idx);
+  static std::uint64_t bucket_hi(std::uint32_t idx);
+
+  void record(std::uint64_t v, std::uint64_t count = 1);
+  /// Add another histogram's contents (order-independent).
+  void merge(const Histogram& other);
+  void clear() { *this = Histogram{}; }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : double(sum_) / double(count_); }
+
+  /// Value at percentile p (0..100): the upper bound of the bucket holding
+  /// the rank-ceil(p/100 * count) recorded value, clamped to [min, max] so
+  /// p=0 reports min and p=100 reports max exactly.  0 when empty.
+  std::uint64_t percentile(double p) const;
+
+  /// One JSONL line: {"type":"hist","name":...,"count":...,"sum":...,
+  /// "min":...,"max":...,"buckets":[[idx,count],...]} with buckets sparse
+  /// and ascending — byte-identical for equal contents.
+  std::string to_json(std::string_view name) const;
+  /// Rebuild from a parsed to_json() object; nullopt if not a hist record.
+  static std::optional<Histogram> from_json(const JsonValue& v);
+
+  /// "count=N min=... p50=... p90=... p99=... max=..." for text reports.
+  std::string summary() const;
+
+  bool operator==(const Histogram& o) const {
+    return count_ == o.count_ && sum_ == o.sum_ && min_ == o.min_ &&
+           max_ == o.max_ && buckets_ == o.buckets_;
+  }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> buckets_;  // sparse, ordered
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace ss::obs

@@ -18,25 +18,27 @@ std::string anomaly_kind_name(AnomalyKind k) {
   return "?";
 }
 
+HopRecord hop_record_from(const sim::TraceEntry& te) {
+  HopRecord h;
+  h.seq = te.seq;
+  h.time = te.time;
+  h.from = te.from;
+  h.out_port = te.out_port;
+  h.to = te.to;
+  h.in_port = te.in_port;
+  h.delivered = te.delivered;
+  for (const sim::TraceMatch& m : te.matches)
+    h.matches.push_back({m.table, m.priority, m.cookie, m.rule});
+  for (const sim::TraceGroup& g : te.groups)
+    h.groups.push_back({g.group, ofp::group_type_name(g.type), g.bucket});
+  h.tag_hex = te.packet.tag.to_hex();
+  return h;
+}
+
 std::vector<HopRecord> hops_from_network(const sim::Network& net) {
   std::vector<HopRecord> out;
   out.reserve(net.trace().size());
-  for (const sim::TraceEntry& te : net.trace()) {
-    HopRecord h;
-    h.seq = te.seq;
-    h.time = te.time;
-    h.from = te.from;
-    h.out_port = te.out_port;
-    h.to = te.to;
-    h.in_port = te.in_port;
-    h.delivered = te.delivered;
-    for (const sim::TraceMatch& m : te.matches)
-      h.matches.push_back({m.table, m.priority, m.cookie, m.rule});
-    for (const sim::TraceGroup& g : te.groups)
-      h.groups.push_back({g.group, ofp::group_type_name(g.type), g.bucket});
-    h.tag_hex = te.packet.tag.to_hex();
-    out.push_back(std::move(h));
-  }
+  for (const sim::TraceEntry& te : net.trace()) out.push_back(hop_record_from(te));
   return out;
 }
 

@@ -78,6 +78,10 @@ struct InspectReport {
   bool clean() const { return anomalies.empty(); }
 };
 
+/// Adapt one live trace entry (shared by hops_from_network and the
+/// timeline's trace ingestion).
+HopRecord hop_record_from(const sim::TraceEntry& te);
+
 /// Adapt the live trace of a network.
 std::vector<HopRecord> hops_from_network(const sim::Network& net);
 

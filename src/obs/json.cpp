@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <istream>
 
 namespace ss::obs {
 
@@ -94,9 +95,15 @@ std::string JsonArr::str() const { return "[" + body_ + "]"; }
 namespace {
 
 struct Parser {
+  /// Nesting cap: recursive descent means stack frames, and "malformed
+  /// input never crashes" includes a pathological 100k-deep array.  Far
+  /// deeper than any schema we emit; beyond it the line is malformed.
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text;
   std::size_t pos = 0;
   bool ok = true;
+  int depth = 0;
 
   void skip_ws() {
     while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
@@ -125,8 +132,15 @@ struct Parser {
       return {};
     }
     const char c = text[pos];
-    if (c == '{') return object();
-    if (c == '[') return array();
+    if (c == '{' || c == '[') {
+      if (++depth > kMaxDepth) {
+        ok = false;
+        return {};
+      }
+      JsonValue v = c == '{' ? object() : array();
+      --depth;
+      return v;
+    }
     if (c == '"') return string_value();
     if (c == 't') {
       JsonValue v;
@@ -295,6 +309,24 @@ std::optional<JsonValue> json_parse(std::string_view text) {
   p.skip_ws();
   if (!p.ok || p.pos != text.size()) return std::nullopt;
   return v;
+}
+
+JsonlStats for_each_jsonl(std::istream& is,
+                          const std::function<void(const JsonValue&)>& fn) {
+  JsonlStats st;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++st.lines;
+    const auto v = json_parse(line);
+    if (!v) {
+      ++st.malformed;
+      continue;
+    }
+    ++st.parsed;
+    if (fn) fn(*v);
+  }
+  return st;
 }
 
 }  // namespace ss::obs

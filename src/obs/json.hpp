@@ -6,6 +6,8 @@
 // JSON library, and the schema we read is our own.
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
@@ -87,5 +89,19 @@ struct JsonValue {
 
 /// Parse one JSON document; nullopt on malformed input or trailing garbage.
 std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Tally of one JSONL reading pass.
+struct JsonlStats {
+  std::size_t lines = 0;      // non-empty lines seen
+  std::size_t parsed = 0;     // lines that parsed to a value
+  std::size_t malformed = 0;  // lines skipped (truncated / garbage / non-JSON)
+};
+
+/// Read `is` line by line and call `fn` for every line that parses.  The
+/// contract every consumer relies on: malformed lines (truncated writes,
+/// interleaved garbage, raw non-UTF8 bytes) are SKIPPED AND COUNTED, never
+/// fatal — a half-written sidecar still yields every intact record.
+JsonlStats for_each_jsonl(std::istream& is,
+                          const std::function<void(const JsonValue&)>& fn);
 
 }  // namespace ss::obs

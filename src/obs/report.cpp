@@ -1,0 +1,202 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace ss::obs {
+
+namespace {
+
+void hist_line(std::ostream& os, const char* name, const Histogram& h) {
+  os << "  " << name << ": " << h.summary() << "\n";
+}
+
+std::map<std::string, std::uint64_t> anomaly_totals(const Timeline& tl) {
+  // every kind present with an explicit zero, so snapshots diff cleanly
+  std::map<std::string, std::uint64_t> totals{
+      {"dead_end_port", 0},
+      {"failover_activation", 0},
+      {"no_live_bucket", 0},
+      {"revisited_port", 0},
+  };
+  for (const auto& [epoch, rep] : tl.inspect_by_epoch())
+    for (const Anomaly& a : rep.anomalies) ++totals[anomaly_kind_name(a.kind)];
+  return totals;
+}
+
+std::map<std::string, std::uint64_t> violation_totals(const Timeline& tl) {
+  std::map<std::string, std::uint64_t> totals{
+      {"wire_conservation", 0},
+      {"counter_regression", 0},
+      {"dfs_token_fork", 0},
+      {"unprovoked_failover", 0},
+  };
+  for (const InvariantViolation& v : tl.violations())
+    ++totals[invariant_kind_name(v.kind)];
+  return totals;
+}
+
+}  // namespace
+
+void write_report(std::ostream& os, const RunHeader& h, const Timeline& tl) {
+  const sim::WireCounters& w = tl.wire_totals();
+
+  os << "== run ==\n";
+  os << "  " << h.name << ": service=" << h.service
+     << (h.hardened ? " (hardened)" : "") << " topology=" << h.topology
+     << " n=" << h.nodes << " edges=" << h.edges << " seed=" << h.seed
+     << " root=" << h.root << "\n";
+  os << "  verdict=" << h.verdict << " attempts=" << h.attempts
+     << " final_epoch=" << h.final_epoch
+     << " ground_truth=" << (h.ground_truth_ok ? "ok" : "FAIL") << " ("
+     << h.ground_truth_detail << ")\n";
+  os << "  hops=" << tl.hop_count() << " (" << tl.trace_dropped()
+     << " evicted)  wire: sent=" << w.sent << " delivered=" << w.delivered
+     << " dropped_down=" << w.dropped_down
+     << " dropped_blackhole=" << w.dropped_blackhole
+     << " dropped_loss=" << w.dropped_loss << "\n";
+
+  os << "\n== timeline ==\n";
+  std::uint64_t hop_pos = 0;
+  bool any_event = false;
+  for (const TimelineEvent& ev : tl.events()) {
+    switch (ev.kind) {
+      case TimelineEvent::Kind::kHop:
+        ++hop_pos;
+        break;
+      case TimelineEvent::Kind::kFault:
+        os << "  t=" << ev.time << " hop=" << hop_pos << "  fault  "
+           << tl.faults()[ev.index].label << "\n";
+        any_event = true;
+        break;
+      case TimelineEvent::Kind::kEpochBump:
+        os << "  t=" << ev.time << " hop=" << hop_pos << "  epoch  -> "
+           << ev.epoch << " (watchdog retry)\n";
+        any_event = true;
+        break;
+      case TimelineEvent::Kind::kVerdict:
+        os << "  t=" << ev.time << " hop=" << hop_pos << "  verdict "
+           << tl.verdict_label() << "\n";
+        any_event = true;
+        break;
+    }
+  }
+  if (!any_event) os << "  (no fault / epoch / verdict events)\n";
+  os << "  (" << tl.hop_count() << " hops across "
+     << tl.inspect_by_epoch().size() << " epoch(s))\n";
+
+  os << "\n== hop heatmap (transmissions per switch) ==\n";
+  std::uint64_t peak = 1;
+  for (const auto& [sw, n] : tl.hops_per_switch()) peak = std::max(peak, n);
+  for (const auto& [sw, n] : tl.hops_per_switch()) {
+    const std::size_t bar = static_cast<std::size_t>(n * 40 / peak);
+    os << "  switch " << sw << ": " << n << " " << std::string(bar, '#') << "\n";
+  }
+  if (tl.hops_per_switch().empty()) os << "  (no hops recorded)\n";
+
+  os << "\n== histograms ==\n";
+  hist_line(os, "wire_bytes", tl.wire_bytes_hist());
+  hist_line(os, "tables_per_hop", tl.tables_per_hop_hist());
+  hist_line(os, "hops_per_epoch", tl.hops_per_epoch_hist());
+
+  os << "\n== fault reactions ==\n";
+  if (tl.reactions().empty()) os << "  (no degradation faults)\n";
+  for (const FaultReaction& r : tl.reactions()) {
+    const TlFault& f = tl.faults()[r.fault_index];
+    os << "  " << f.label << " @t=" << f.at << " (hop " << f.at_hop << ")\n";
+    if (r.reaction_seq)
+      os << "    first reaction: " << r.reaction_kind << " at hop seq "
+         << *r.reaction_seq << " (+" << r.reaction_latency_hops << " hops)\n";
+    else
+      os << "    first reaction: none observed\n";
+    if (r.epoch_after)
+      os << "    epoch bump: -> " << *r.epoch_after << " (+"
+         << r.epoch_latency_hops << " hops)\n";
+    if (r.verdict_latency_hops)
+      os << "    fault -> verdict: +" << *r.verdict_latency_hops << " hops\n";
+  }
+
+  os << "\n== anomalies ==\n";
+  std::size_t n_anom = 0;
+  for (const auto& [epoch, rep] : tl.inspect_by_epoch())
+    for (const Anomaly& a : rep.anomalies) {
+      os << "  [epoch " << epoch << "] " << anomaly_kind_name(a.kind) << ": "
+         << a.detail << "\n";
+      ++n_anom;
+    }
+  if (n_anom == 0) os << "  none\n";
+
+  os << "\n== invariants ==\n";
+  if (tl.violations().empty()) {
+    os << "  all held (wire_conservation, counter_monotonicity, "
+          "single_dfs_token, provoked_failover)\n";
+  } else {
+    for (const InvariantViolation& v : tl.violations())
+      os << "  VIOLATION " << invariant_kind_name(v.kind) << " t=" << v.time
+         << ": " << v.detail << "\n";
+  }
+}
+
+void write_prom_snapshot(std::ostream& os, const RunHeader& h, const Timeline& tl) {
+  const std::string run = util::cat("run=\"", h.name, "\"");
+  os << "# SmartSouth run snapshot (Prometheus text exposition)\n";
+  os << "ss_run_complete{" << run << "} " << (h.verdict == "complete" ? 1 : 0)
+     << "\n";
+  os << "ss_run_attempts{" << run << "} " << h.attempts << "\n";
+  os << "ss_run_final_epoch{" << run << "} " << h.final_epoch << "\n";
+  os << "ss_run_ground_truth_ok{" << run << "} " << (h.ground_truth_ok ? 1 : 0)
+     << "\n";
+  os << "ss_hops_total{" << run << "} " << tl.hop_count() << "\n";
+  os << "ss_trace_evicted_total{" << run << "} " << tl.trace_dropped() << "\n";
+
+  const sim::WireCounters& w = tl.wire_totals();
+  os << "ss_wire_sent_total{" << run << "} " << w.sent << "\n";
+  os << "ss_wire_delivered_total{" << run << "} " << w.delivered << "\n";
+  os << "ss_wire_dropped_total{" << run << ",cause=\"down\"} " << w.dropped_down
+     << "\n";
+  os << "ss_wire_dropped_total{" << run << ",cause=\"blackhole\"} "
+     << w.dropped_blackhole << "\n";
+  os << "ss_wire_dropped_total{" << run << ",cause=\"loss\"} " << w.dropped_loss
+     << "\n";
+
+  for (const auto& [sw, n] : tl.hops_per_switch())
+    os << "ss_switch_hops_total{" << run << ",switch=\"" << sw << "\"} " << n
+       << "\n";
+
+  const auto hist = [&](const char* name, const Histogram& hst) {
+    os << "ss_hist_count{" << run << ",name=\"" << name << "\"} " << hst.count()
+       << "\n";
+    for (double q : {50.0, 90.0, 99.0})
+      os << "ss_hist_quantile{" << run << ",name=\"" << name << "\",q=\"" << q
+         << "\"} " << hst.percentile(q) << "\n";
+  };
+  hist("wire_bytes", tl.wire_bytes_hist());
+  hist("tables_per_hop", tl.tables_per_hop_hist());
+  hist("hops_per_epoch", tl.hops_per_epoch_hist());
+
+  for (const auto& [kind, n] : violation_totals(tl))
+    os << "ss_invariant_violations_total{" << run << ",kind=\"" << kind << "\"} "
+       << n << "\n";
+  for (const auto& [kind, n] : anomaly_totals(tl))
+    os << "ss_anomalies_total{" << run << ",kind=\"" << kind << "\"} " << n
+       << "\n";
+
+  for (const FaultReaction& r : tl.reactions()) {
+    const TlFault& f = tl.faults()[r.fault_index];
+    const std::string fault = util::cat(run, ",fault=\"", f.label, "\"");
+    if (r.reaction_seq)
+      os << "ss_fault_reaction_hops{" << fault << ",kind=\"" << r.reaction_kind
+         << "\"} " << r.reaction_latency_hops << "\n";
+    if (r.epoch_after)
+      os << "ss_fault_epoch_bump_hops{" << fault << "} " << r.epoch_latency_hops
+         << "\n";
+    if (r.verdict_latency_hops)
+      os << "ss_fault_verdict_hops{" << fault << "} " << *r.verdict_latency_hops
+         << "\n";
+  }
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,47 @@
+#pragma once
+// Human-readable run report + Prometheus-style text snapshot, rendered from
+// a finalized Timeline.  This is the "answers" end of the observability
+// layer: the JSONL sidecars stay the machine interface, the report is what
+// a person reads to learn what happened after the fault at sequence S and
+// where the hops went.
+//
+// Layering: the header is a plain struct so this file needs nothing from
+// scenario/ — tools/obs_report fills it from a ScenarioResult.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/timeline.hpp"
+
+namespace ss::obs {
+
+/// Run identity + outcome, filled by the caller (tools/obs_report copies it
+/// out of the scenario result).
+struct RunHeader {
+  std::string name;
+  std::string topology;   // "ring" etc.
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t root = 0;
+  std::string service;    // plain | snapshot | anycast | critical
+  bool hardened = false;
+  std::string verdict;    // "complete" | "incomplete"
+  std::uint32_t attempts = 1;
+  std::uint32_t final_epoch = 0;
+  bool ground_truth_ok = false;
+  std::string ground_truth_detail;
+};
+
+/// The full text report: run summary, causal timeline (faults, epoch bumps,
+/// verdict, with hop positions), per-switch hop heatmap, histogram
+/// percentiles, fault->reaction latencies, per-epoch anomalies, and the
+/// invariant verdict.
+void write_report(std::ostream& os, const RunHeader& h, const Timeline& tl);
+
+/// Prometheus text exposition (gauges/counters, '#'-commented), suitable
+/// for diffing or scraping: run outcome, wire totals, per-switch hop
+/// counts, histogram percentiles, violation/anomaly counts.
+void write_prom_snapshot(std::ostream& os, const RunHeader& h, const Timeline& tl);
+
+}  // namespace ss::obs

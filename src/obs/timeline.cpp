@@ -1,0 +1,362 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+
+#include "ofp/dump.hpp"
+#include "util/strings.hpp"
+
+namespace ss::obs {
+
+const char* tl_fault_kind_name(TlFaultKind k) {
+  switch (k) {
+    case TlFaultKind::kLinkDown: return "link_down";
+    case TlFaultKind::kLinkUp: return "link_up";
+    case TlFaultKind::kBlackholeOn: return "blackhole_on";
+    case TlFaultKind::kBlackholeOff: return "blackhole_off";
+    case TlFaultKind::kLossSet: return "loss";
+    case TlFaultKind::kSwitchCrash: return "switch_crash";
+    case TlFaultKind::kSwitchRestore: return "switch_restore";
+  }
+  return "?";
+}
+
+bool tl_fault_degrades(TlFaultKind k, double rate) {
+  switch (k) {
+    case TlFaultKind::kLinkDown:
+    case TlFaultKind::kBlackholeOn:
+    case TlFaultKind::kSwitchCrash:
+      return true;
+    case TlFaultKind::kLossSet:
+      return rate > 0.0;
+    default:
+      return false;
+  }
+}
+
+std::string invariant_kind_name(InvariantKind k) {
+  switch (k) {
+    case InvariantKind::kWireConservation: return "wire_conservation";
+    case InvariantKind::kCounterRegression: return "counter_regression";
+    case InvariantKind::kDfsTokenFork: return "dfs_token_fork";
+    case InvariantKind::kUnprovokedFailover: return "unprovoked_failover";
+  }
+  return "?";
+}
+
+Timeline::Timeline(const graph::Graph& g)
+    : g_(&g),
+      incident_(g.node_count()),
+      edge_admin_down_(g.edge_count(), false),
+      sw_crashed_(g.node_count(), false) {
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const graph::Edge& ed = g.edge(e);
+    incident_[ed.a.node].push_back(e);
+    incident_[ed.b.node].push_back(e);
+  }
+}
+
+void Timeline::add_change(sim::Time t, const sim::NetChange& c,
+                          const sim::Stats& cumulative) {
+  using K = sim::NetChange::Kind;
+  if (c.kind == K::kCallback) return;  // watchdog machinery, not a fault
+  TlFault f;
+  f.at = t;
+  f.edge = c.edge;
+  f.sw = c.sw;
+  f.rate = c.rate;
+  f.stats = cumulative;
+  switch (c.kind) {
+    case K::kLinkState:
+      f.kind = c.flag ? TlFaultKind::kLinkUp : TlFaultKind::kLinkDown;
+      f.label = util::cat(tl_fault_kind_name(f.kind), " edge=", c.edge);
+      break;
+    case K::kBlackhole:
+      f.kind = c.flag ? TlFaultKind::kBlackholeOn : TlFaultKind::kBlackholeOff;
+      f.label = util::cat(tl_fault_kind_name(f.kind), " edge=", c.edge,
+                          c.both_dirs ? std::string{} : util::cat(" from=", c.sw));
+      break;
+    case K::kLoss:
+      f.kind = TlFaultKind::kLossSet;
+      f.label = util::cat("loss edge=", c.edge,
+                          c.both_dirs ? std::string{} : util::cat(" from=", c.sw),
+                          " rate=", c.rate);
+      break;
+    case K::kSwitchState:
+      f.kind = c.flag ? TlFaultKind::kSwitchRestore : TlFaultKind::kSwitchCrash;
+      f.label = util::cat(tl_fault_kind_name(f.kind), " switch=", c.sw);
+      break;
+    case K::kCallback:
+      return;
+  }
+  faults_.push_back(std::move(f));
+}
+
+void Timeline::ingest_trace(const sim::Network& net, EpochFn epoch_of,
+                            std::uint16_t traversal_eth) {
+  traversal_eth_ = traversal_eth;
+  trace_dropped_ = net.trace_dropped();
+  hops_.reserve(hops_.size() + net.trace().size());
+  for (const sim::TraceEntry& te : net.trace()) {
+    hops_.push_back(hop_record_from(te));
+    hop_epoch_.push_back(epoch_of ? epoch_of(te.packet) : 0u);
+    hop_eth_.push_back(te.packet.eth_type);
+    hop_bytes_.push_back(te.packet.wire_bytes());
+  }
+}
+
+void Timeline::set_verdict(sim::Time at, std::string label) {
+  verdict_at_ = at;
+  verdict_label_ = std::move(label);
+}
+
+void Timeline::violate(InvariantKind k, sim::Time t, std::string detail) {
+  violations_.push_back({k, t, std::move(detail)});
+}
+
+void Timeline::check_counter_cut(const sim::Stats& cut, sim::Time t) {
+  if (last_cut_) {
+    const sim::Stats& p = *last_cut_;
+    const auto chk = [&](const char* name, std::uint64_t prev, std::uint64_t now) {
+      if (now < prev)
+        violate(InvariantKind::kCounterRegression, t,
+                util::cat("counter ", name, " regressed at t=", t, ": ", prev,
+                          " -> ", now));
+    };
+    chk("sent", p.sent, cut.sent);
+    chk("delivered", p.delivered, cut.delivered);
+    chk("dropped_down", p.dropped_down, cut.dropped_down);
+    chk("dropped_blackhole", p.dropped_blackhole, cut.dropped_blackhole);
+    chk("dropped_loss", p.dropped_loss, cut.dropped_loss);
+    chk("controller_msgs", p.controller_msgs, cut.controller_msgs);
+    chk("packet_outs", p.packet_outs, cut.packet_outs);
+    chk("max_wire_bytes", p.max_wire_bytes, cut.max_wire_bytes);
+    chk("events", p.events, cut.events);
+  }
+  last_cut_ = cut;
+}
+
+bool Timeline::failover_provoked(std::uint32_t at_switch) const {
+  if (at_switch >= incident_.size()) return false;
+  for (graph::EdgeId e : incident_[at_switch]) {
+    if (edge_admin_down_[e]) return true;
+    const graph::Edge& ed = g_->edge(e);
+    const auto peer = ed.a.node == at_switch ? ed.b.node : ed.a.node;
+    if (sw_crashed_[peer]) return true;
+  }
+  return false;
+}
+
+bool Timeline::hop_crosses(const HopRecord& h, graph::EdgeId e) const {
+  const graph::Edge& ed = g_->edge(e);
+  return (h.from == ed.a.node && h.out_port == ed.a.port) ||
+         (h.from == ed.b.node && h.out_port == ed.b.port);
+}
+
+void Timeline::finalize(const sim::Network& net) {
+  if (finalized_) return;
+  finalized_ = true;
+
+  const std::string ff_name = ofp::group_type_name(ofp::GroupType::kFastFailover);
+
+  // --- one ordered pass over faults + hops (faults first at equal time,
+  // matching the simulator's apply-changes-then-arrivals rule) ---
+  std::size_t fi = 0, hi = 0;
+  std::uint64_t hop_counter = 0;      // hops processed so far
+  std::uint32_t cur_epoch = 0;        // traversal token epoch
+  std::optional<std::uint32_t> token_at;
+  bool token_lost = false;
+  bool token_seen = false;
+
+  while (fi < faults_.size() || hi < hops_.size()) {
+    const bool take_fault =
+        fi < faults_.size() &&
+        (hi >= hops_.size() || faults_[fi].at <= hops_[hi].time);
+    if (take_fault) {
+      TlFault& f = faults_[fi];
+      f.at_hop = hop_counter;
+      check_counter_cut(f.stats, f.at);
+      switch (f.kind) {
+        case TlFaultKind::kLinkDown: edge_admin_down_[f.edge] = true; break;
+        case TlFaultKind::kLinkUp: edge_admin_down_[f.edge] = false; break;
+        case TlFaultKind::kSwitchCrash: sw_crashed_[f.sw] = true; break;
+        case TlFaultKind::kSwitchRestore: sw_crashed_[f.sw] = false; break;
+        default: break;  // blackhole / loss keep ports live (§3.3)
+      }
+      if (tl_fault_degrades(f.kind, f.rate)) {
+        FaultReaction r;
+        r.fault_index = fi;
+        reactions_.push_back(r);
+      }
+      events_.push_back({TimelineEvent::Kind::kFault, f.at, fi, 0});
+      ++fi;
+      continue;
+    }
+
+    const HopRecord& h = hops_[hi];
+    const std::uint32_t epoch = hop_epoch_[hi];
+    const bool traversal = traversal_eth_ != 0 && hop_eth_[hi] == traversal_eth_;
+
+    // profiling aggregates
+    wire_bytes_.record(hop_bytes_[hi]);
+    tables_per_hop_.record(h.matches.size());
+    ++hops_per_switch_[h.from];
+
+    // single-DFS-token invariant (per epoch, traversal EtherType only)
+    if (traversal) {
+      if (epoch > cur_epoch) {
+        // watchdog retry: a fresh token supersedes the old epoch entirely
+        for (FaultReaction& r : reactions_) {
+          if (r.epoch_after) continue;
+          r.epoch_after = epoch;
+          r.epoch_latency_hops = hop_counter - faults_[r.fault_index].at_hop;
+        }
+        events_.push_back({TimelineEvent::Kind::kEpochBump, h.time, hi, epoch});
+        cur_epoch = epoch;
+        token_at.reset();
+        token_lost = false;
+        token_seen = false;
+      }
+      if (epoch == cur_epoch) {
+        if (token_lost) {
+          violate(InvariantKind::kDfsTokenFork, h.time,
+                  util::cat("hop ", h.seq, ": traversal packet departs switch ",
+                            h.from, " after the epoch-", cur_epoch,
+                            " token was dropped (no epoch bump)"));
+        } else if (token_seen && token_at.has_value() &&
+                   h.from != token_at.value_or(0)) {
+          violate(InvariantKind::kDfsTokenFork, h.time,
+                  util::cat("hop ", h.seq, ": token forked — departs switch ",
+                            h.from, " but the epoch-", cur_epoch,
+                            " token is at switch ", token_at.value_or(0)));
+        }
+        token_seen = true;
+        if (h.delivered) {
+          token_at = h.to;
+          token_lost = false;
+        } else {
+          token_at.reset();
+          token_lost = true;
+        }
+      }
+      // epoch < cur_epoch: a stale in-flight packet from a superseded
+      // attempt; the watchdog already took over, nothing to check.
+      max_epoch_ = std::max(max_epoch_, epoch);
+    }
+
+    // provoked-failover invariant + fault reactions
+    bool failover_here = false;
+    for (const HopGroup& g : h.groups) {
+      if (g.type != ff_name || g.bucket <= 0) continue;
+      failover_here = true;
+      if (!failover_provoked(h.from))
+        violate(InvariantKind::kUnprovokedFailover, h.time,
+                util::cat("hop ", h.seq, ": switch ", h.from, " group ", g.group,
+                          " failed over to bucket ", g.bucket,
+                          " with every incident link live"));
+    }
+    for (FaultReaction& r : reactions_) {
+      if (r.reaction_seq) continue;
+      const TlFault& f = faults_[r.fault_index];
+      bool hit = false;
+      std::string kind;
+      if (failover_here) {
+        const graph::Edge& ed = g_->edge(f.edge);
+        const bool adjacent_link =
+            f.kind == TlFaultKind::kLinkDown &&
+            (h.from == ed.a.node || h.from == ed.b.node);
+        bool adjacent_crash = false;
+        if (f.kind == TlFaultKind::kSwitchCrash && h.from < incident_.size()) {
+          for (graph::EdgeId e : incident_[h.from]) {
+            const graph::Edge& ie = g_->edge(e);
+            const auto peer = ie.a.node == h.from ? ie.b.node : ie.a.node;
+            adjacent_crash = adjacent_crash || peer == f.sw;
+          }
+        }
+        if (adjacent_link || adjacent_crash) {
+          hit = true;
+          kind = "failover";
+        }
+      }
+      if (!hit && !h.delivered) {
+        const bool on_edge = f.kind != TlFaultKind::kSwitchCrash &&
+                             f.kind != TlFaultKind::kSwitchRestore &&
+                             hop_crosses(h, f.edge);
+        const bool into_crash =
+            f.kind == TlFaultKind::kSwitchCrash && (h.to == f.sw || h.from == f.sw);
+        if (on_edge || into_crash) {
+          hit = true;
+          kind = "wire_drop";
+        }
+      }
+      if (hit) {
+        r.reaction_seq = h.seq;
+        r.reaction_kind = std::move(kind);
+        r.reaction_latency_hops = hop_counter - f.at_hop + 1;
+      }
+    }
+
+    events_.push_back({TimelineEvent::Kind::kHop, h.time, hi, epoch});
+    ++hi;
+    ++hop_counter;
+  }
+
+  // --- verdict placement + fault -> verdict latencies ---
+  if (verdict_at_) {
+    verdict_at_hop_ = 0;
+    for (std::size_t k = 0; k < hops_.size(); ++k)
+      if (hops_[k].time <= *verdict_at_) ++verdict_at_hop_;
+    for (FaultReaction& r : reactions_) {
+      const TlFault& f = faults_[r.fault_index];
+      if (f.at <= *verdict_at_ && verdict_at_hop_ >= f.at_hop)
+        r.verdict_latency_hops = verdict_at_hop_ - f.at_hop;
+    }
+    const auto pos = std::upper_bound(
+        events_.begin(), events_.end(), *verdict_at_,
+        [](sim::Time t, const TimelineEvent& ev) { return t < ev.time; });
+    events_.insert(pos, {TimelineEvent::Kind::kVerdict, *verdict_at_, 0, 0});
+  }
+
+  // --- final counter cut + wire conservation ---
+  final_stats_ = net.stats();
+  check_counter_cut(final_stats_, net.now());
+  for (graph::EdgeId e = 0; e < net.link_count(); ++e) {
+    for (bool ab : {true, false}) {
+      const sim::WireCounters& w = net.link(e).wire(ab);
+      wire_totals_.sent += w.sent;
+      wire_totals_.delivered += w.delivered;
+      wire_totals_.dropped_down += w.dropped_down;
+      wire_totals_.dropped_blackhole += w.dropped_blackhole;
+      wire_totals_.dropped_loss += w.dropped_loss;
+      const std::uint64_t accounted =
+          w.delivered + w.dropped_down + w.dropped_blackhole + w.dropped_loss;
+      if (w.sent != accounted)
+        violate(InvariantKind::kWireConservation, net.now(),
+                util::cat("edge ", e, " dir ", ab ? "a->b" : "b->a", ": sent ",
+                          w.sent, " != delivered ", w.delivered, " + dropped ",
+                          accounted - w.delivered));
+    }
+  }
+
+  // --- per-epoch structural inspection + per-attempt hop counts ---
+  std::map<std::uint32_t, std::vector<HopRecord>> by_epoch;
+  for (std::size_t k = 0; k < hops_.size(); ++k)
+    by_epoch[hop_epoch_[k]].push_back(hops_[k]);
+  for (const auto& [epoch, hops] : by_epoch) {
+    hops_per_epoch_.record(hops.size());
+    inspect_.emplace_back(epoch, inspect_hops(hops));
+  }
+}
+
+std::vector<std::string> Timeline::anomaly_kinds() const {
+  std::vector<std::string> kinds;
+  for (const auto& [epoch, rep] : inspect_)
+    for (const Anomaly& a : rep.anomalies) {
+      const std::string name = anomaly_kind_name(a.kind);
+      if (std::find(kinds.begin(), kinds.end(), name) == kinds.end())
+        kinds.push_back(name);
+    }
+  std::sort(kinds.begin(), kinds.end());
+  return kinds;
+}
+
+}  // namespace ss::obs

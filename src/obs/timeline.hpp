@@ -1,0 +1,213 @@
+#pragma once
+// Causal timeline + online health invariants: join scenario fault events,
+// attributed trace hops, counter cuts, and retry-epoch bumps onto ONE
+// event-sequence axis, then check the run against invariants the simulator
+// must uphold no matter what the fault schedule did:
+//
+//   * wire conservation   — per link direction, sent == delivered +
+//                           dropped_down + dropped_blackhole + dropped_loss
+//                           (the omniscient WireCounters must account for
+//                           every packet put on the wire);
+//   * counter monotonicity— cumulative sim::Stats counters never regress
+//                           across timeline cuts;
+//   * single DFS token    — within one retry epoch the traversal EtherType
+//                           carries exactly one token: every hop departs
+//                           from where the previous delivered hop arrived,
+//                           and nothing moves after the token was dropped
+//                           until a watchdog bumps the epoch;
+//   * provoked failover   — a FAST-FAILOVER bucket > 0 is only legal while
+//                           some incident link of the executing switch is
+//                           administratively down or its peer switch is
+//                           crashed (blackholes and loss keep ports live,
+//                           so they can never justify a failover).
+//
+// The timeline ALSO answers the latency question the raw JSONL cannot:
+// for each degradation fault, how many hops until the data plane visibly
+// reacted (failover bucket / wire drop), until the watchdog bumped the
+// epoch, and until the service produced its verdict.
+//
+// Layering: ss_scenario links ss_obs, not the reverse — faults arrive as
+// sim::NetChange (via the network's change hook) and nothing here includes
+// scenario/ headers.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "obs/hist.hpp"
+#include "obs/inspect.hpp"
+#include "sim/network.hpp"
+
+namespace ss::obs {
+
+/// Fault categories the timeline reasons about (the subset of scheduled
+/// NetChanges that are faults; callbacks are watchdog machinery, not
+/// faults, and are never recorded).
+enum class TlFaultKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kBlackholeOn,
+  kBlackholeOff,
+  kLossSet,
+  kSwitchCrash,
+  kSwitchRestore,
+};
+
+const char* tl_fault_kind_name(TlFaultKind k);
+
+/// Does this fault degrade the network (and therefore deserve a reaction)?
+bool tl_fault_degrades(TlFaultKind k, double rate);
+
+struct TlFault {
+  sim::Time at = 0;
+  TlFaultKind kind = TlFaultKind::kLinkDown;
+  graph::EdgeId edge = 0;   // link-scoped kinds
+  ofp::SwitchId sw = 0;     // kSwitchCrash / kSwitchRestore
+  double rate = 0.0;        // kLossSet
+  std::string label;        // "link_down edge=12" spelling
+  sim::Stats stats;         // cumulative counters at the cut
+  std::uint64_t at_hop = 0; // hops ingested strictly before this fault (set by finalize)
+};
+
+enum class InvariantKind : std::uint8_t {
+  kWireConservation,
+  kCounterRegression,
+  kDfsTokenFork,
+  kUnprovokedFailover,
+};
+
+std::string invariant_kind_name(InvariantKind k);
+
+struct InvariantViolation {
+  InvariantKind kind;
+  sim::Time time = 0;
+  std::string detail;
+};
+
+/// How (and how fast, in hops) the data plane reacted to one degradation
+/// fault.  Latencies are event-sequence distances — number of wire hops
+/// between the fault's cut and the reaction — which is the deterministic,
+/// delay-independent metric the paper's analysis speaks in.
+struct FaultReaction {
+  std::size_t fault_index = 0;  // into faults()
+  std::optional<std::uint64_t> reaction_seq;  // trace seq of first reaction hop
+  std::string reaction_kind;                  // "failover" | "wire_drop"
+  std::uint64_t reaction_latency_hops = 0;
+  std::optional<std::uint32_t> epoch_after;   // first epoch bump after the fault
+  std::uint64_t epoch_latency_hops = 0;
+  std::optional<std::uint64_t> verdict_latency_hops;
+};
+
+/// One entry on the unified axis (faults before hops at equal time,
+/// matching the simulator's apply-changes-then-arrivals ordering).
+struct TimelineEvent {
+  enum class Kind : std::uint8_t { kFault, kHop, kEpochBump, kVerdict };
+  Kind kind = Kind::kHop;
+  sim::Time time = 0;
+  std::size_t index = 0;     // kFault: faults()[index]; kHop: hops()[index]
+  std::uint32_t epoch = 0;   // kHop / kEpochBump
+};
+
+class Timeline {
+ public:
+  /// `g` must outlive the timeline (it is the scenario's topology).
+  explicit Timeline(const graph::Graph& g);
+
+  /// Decode the retry epoch from a packet tag; empty = everything epoch 0.
+  using EpochFn = std::function<std::uint32_t(const ofp::Packet&)>;
+
+  /// Ingest one applied scheduled change (adapter for
+  /// sim::Network::set_change_hook); kCallback changes are ignored.
+  void add_change(sim::Time t, const sim::NetChange& c, const sim::Stats& cumulative);
+
+  /// Ingest the network's attributed trace (post-run).  `traversal_eth`
+  /// selects the token-carrying EtherType for the single-token check.
+  void ingest_trace(const sim::Network& net, EpochFn epoch_of = {},
+                    std::uint16_t traversal_eth = 0x88b5);
+
+  /// The service's accepted answer (timestamp + human label).
+  void set_verdict(sim::Time at, std::string label);
+
+  /// Merge everything onto one axis and run the invariants (wire
+  /// conservation against `net`'s links, a final counter cut against
+  /// `net`'s stats).  Call exactly once, after ingestion.
+  void finalize(const sim::Network& net);
+
+  // --- results (valid after finalize) ---
+  const std::vector<TimelineEvent>& events() const { return events_; }
+  const std::vector<TlFault>& faults() const { return faults_; }
+  const std::vector<HopRecord>& hops() const { return hops_; }
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  const std::vector<FaultReaction>& reactions() const { return reactions_; }
+
+  /// Per-epoch structural inspection (dead ends, failovers, port reuse) —
+  /// partitioned so a retried traversal does not false-positive the
+  /// crossed-more-than-twice check against its own earlier attempts.
+  const std::vector<std::pair<std::uint32_t, InspectReport>>& inspect_by_epoch() const {
+    return inspect_;
+  }
+  /// Distinct anomaly kind names across every epoch, sorted.
+  std::vector<std::string> anomaly_kinds() const;
+
+  const std::map<std::uint32_t, std::uint64_t>& hops_per_switch() const {
+    return hops_per_switch_;
+  }
+  const Histogram& wire_bytes_hist() const { return wire_bytes_; }
+  const Histogram& tables_per_hop_hist() const { return tables_per_hop_; }
+  const Histogram& hops_per_epoch_hist() const { return hops_per_epoch_; }
+
+  std::uint64_t hop_count() const { return hops_.size(); }
+  std::uint32_t max_epoch() const { return max_epoch_; }
+  std::uint64_t trace_dropped() const { return trace_dropped_; }
+  std::optional<sim::Time> verdict_at() const { return verdict_at_; }
+  const std::string& verdict_label() const { return verdict_label_; }
+  /// Hops ingested with time <= verdict_at (the verdict's sequence position).
+  std::uint64_t verdict_at_hop() const { return verdict_at_hop_; }
+
+  /// Whole-run WireCounters totals (captured by finalize).
+  const sim::WireCounters& wire_totals() const { return wire_totals_; }
+  const sim::Stats& final_stats() const { return final_stats_; }
+
+ private:
+  void violate(InvariantKind k, sim::Time t, std::string detail);
+  void check_counter_cut(const sim::Stats& cut, sim::Time t);
+  bool failover_provoked(std::uint32_t at_switch) const;
+  bool hop_crosses(const HopRecord& h, graph::EdgeId e) const;
+
+  const graph::Graph* g_;
+  std::vector<std::vector<graph::EdgeId>> incident_;  // per node
+
+  std::vector<TlFault> faults_;
+  std::vector<HopRecord> hops_;
+  std::vector<std::uint32_t> hop_epoch_;
+  std::vector<std::uint16_t> hop_eth_;
+  std::vector<std::uint64_t> hop_bytes_;
+  std::uint64_t trace_dropped_ = 0;
+  std::uint16_t traversal_eth_ = 0;
+  std::optional<sim::Time> verdict_at_;
+  std::string verdict_label_;
+  std::uint64_t verdict_at_hop_ = 0;
+
+  std::vector<TimelineEvent> events_;
+  std::vector<InvariantViolation> violations_;
+  std::vector<FaultReaction> reactions_;
+  std::vector<std::pair<std::uint32_t, InspectReport>> inspect_;
+  std::map<std::uint32_t, std::uint64_t> hops_per_switch_;
+  Histogram wire_bytes_, tables_per_hop_, hops_per_epoch_;
+  std::uint32_t max_epoch_ = 0;
+  sim::WireCounters wire_totals_;
+  sim::Stats final_stats_;
+
+  // fault-state tracking during the finalize pass
+  std::vector<bool> edge_admin_down_;
+  std::vector<bool> sw_crashed_;
+
+  std::optional<sim::Stats> last_cut_;
+  bool finalized_ = false;
+};
+
+}  // namespace ss::obs

@@ -92,13 +92,19 @@ graph::EdgeAlive alive_at(const ScenarioSpec& spec, sim::Time t) {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, nullptr);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
   ScenarioResult r;
   sim::Network net(spec.graph, spec.link_delay, spec.seed);
   const bool hardened = spec.retry.has_value();
+  if (timeline != nullptr) net.set_trace(true);
 
   sim::Stats last{};
   net.set_change_hook([&](sim::Time t, const sim::NetChange& c) {
     if (c.kind == sim::NetChange::Kind::kCallback) return;  // watchdogs, not faults
+    if (timeline != nullptr) timeline->add_change(t, c, net.stats());
     TimelineEntry te;
     te.at = t;
     te.what = describe_change(c);
@@ -107,6 +113,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     r.timeline.push_back(std::move(te));
   });
   apply_schedule(net, spec.schedule);
+
+  // The service's tag layout, copied out of whichever branch ran so the
+  // timeline can decode retry epochs after the service object is gone.
+  std::optional<core::TagLayout> layout;
 
   const std::size_t ctrl_mark = net.controller_msgs().size();
   const std::size_t local_mark = net.local_deliveries().size();
@@ -129,6 +139,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   if (spec.service == "plain") {
     core::PlainTraversal svc(spec.graph, true, true, hardened);
     svc.install(net);
+    layout.emplace(svc.layout());
     r.complete = hardened
                      ? svc.run_hardened(net, spec.root, *spec.retry, &hs, &r.run)
                      : svc.run(net, spec.root, &r.run);
@@ -140,6 +151,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   } else if (spec.service == "snapshot") {
     core::SnapshotService svc(spec.graph, spec.fragment_limit, true, {}, hardened);
     svc.install(net);
+    layout.emplace(svc.layout());
     core::SnapshotResult res =
         hardened ? svc.run_hardened(net, spec.root, *spec.retry, &hs)
                  : svc.run(net, spec.root);
@@ -166,6 +178,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     for (NodeId m : spec.anycast_members) gs.members[m] = 1;
     core::AnycastService svc(spec.graph, {gs}, hardened);
     svc.install(net);
+    layout.emplace(svc.layout());
     core::AnycastResult res =
         hardened
             ? svc.run_hardened(net, spec.root, spec.anycast_gid, *spec.retry, &hs)
@@ -207,6 +220,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   } else {  // critical
     core::CriticalNodeService svc(spec.graph, {}, hardened);
     svc.install(net);
+    layout.emplace(svc.layout());
     core::CriticalResult res =
         hardened ? svc.run_hardened(net, spec.root, *spec.retry, &hs)
                  : svc.run(net, spec.root);
@@ -242,6 +256,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       r.wire_dropped_blackhole += w.dropped_blackhole;
       r.wire_dropped_loss += w.dropped_loss;
     }
+  }
+
+  if (timeline != nullptr) {
+    obs::Timeline::EpochFn epoch_of;
+    if (hardened && layout) {
+      epoch_of = [L = *layout](const ofp::Packet& p) {
+        return static_cast<std::uint32_t>(L.get(p, L.epoch()));
+      };
+    }
+    timeline->ingest_trace(net, std::move(epoch_of), core::kEthTraversal);
+    if (r.complete) timeline->set_verdict(r.verdict_at, r.verdict);
+    timeline->finalize(net);
   }
 
   const ExpectSpec& ex = spec.expect;

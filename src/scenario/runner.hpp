@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "scenario/spec.hpp"
 #include "sim/network.hpp"
 
@@ -63,6 +64,13 @@ struct ScenarioResult {
 /// Execute the scenario; deterministic for a given spec (and therefore for
 /// a given file + seed).
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Same, but additionally feed an obs::Timeline: tracing is switched on,
+/// every applied fault becomes a timeline cut, the trace is ingested with
+/// the service's epoch decoder, the verdict is stamped, and the timeline is
+/// finalized (invariants checked) before returning.  `timeline` must be
+/// fresh and must not outlive `spec` (it keeps a pointer to spec.graph).
+ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline);
 
 /// Emit the deterministic JSONL result stream: one "scenario" header line,
 /// one "scenario_event" line per applied fault, one "scenario_result" line.

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -20,6 +21,10 @@ Network::Network(const graph::Graph& g, Time link_delay, std::uint64_t seed)
   }
   sw_up_.assign(g.node_count(), true);
   link_admin_up_.assign(g.edge_count(), true);
+  // Default trace ring capacity; does NOT enable tracing by itself, it only
+  // bounds memory once something turns tracing on.
+  if (const char* cap = std::getenv("SS_TRACE_CAP"); cap != nullptr)
+    trace_ring_cap_ = std::strtoull(cap, nullptr, 10);
 }
 
 void Network::refresh_link(graph::EdgeId id) {
@@ -113,9 +118,15 @@ void Network::process_emissions(ofp::SwitchId at, ofp::PipelineResult& res) {
 void Network::trim_trace() {
   if (trace_ring_cap_ == 0) return;
   while (trace_.size() > trace_ring_cap_) {
+    trace_pool_.push_back(std::move(trace_.front()));
     trace_.pop_front();
     ++trace_dropped_;
   }
+}
+
+void Network::recycle_trace() {
+  for (TraceEntry& te : trace_) trace_pool_.push_back(std::move(te));
+  trace_.clear();
 }
 
 void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
@@ -133,6 +144,16 @@ void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
   const LinkEnd& dst = l.peer_of(from);
   if (trace_enabled_) {
     TraceEntry te;
+    if (!trace_pool_.empty()) {
+      // Arena reuse: a retired entry donates its packet/tag buffers and
+      // match/group vector capacity, so steady-state tracing allocates
+      // nothing per hop.
+      te = std::move(trace_pool_.back());
+      trace_pool_.pop_back();
+      te.matches.clear();
+      te.groups.clear();
+      te.delivered = false;
+    }
     te.time = now_;
     te.from = from;
     te.out_port = port;

@@ -199,7 +199,7 @@ class Network {
   void clear_logs() {
     controller_msgs_.clear();
     local_deliveries_.clear();
-    trace_.clear();
+    recycle_trace();
     trace_seq_ = 0;
     trace_dropped_ = 0;
   }
@@ -210,12 +210,17 @@ class Network {
   /// Bound the trace to the most recent `cap` hops (0 = unbounded).  A
   /// nonzero cap also enables tracing; evicted entries are counted in
   /// trace_dropped() and seq numbers keep running, so consumers can tell
-  /// how much history the ring discarded.
+  /// how much history the ring discarded.  The construction-time default
+  /// comes from the SS_TRACE_CAP environment variable (unset/0 =
+  /// unbounded); this setter overrides it.
   void set_trace_ring(std::size_t cap) {
     trace_ring_cap_ = cap;
     if (cap > 0) trace_enabled_ = true;
     trim_trace();
   }
+  /// Preferred spelling of set_trace_ring (same semantics).
+  void set_trace_capacity(std::size_t cap) { set_trace_ring(cap); }
+  std::size_t trace_capacity() const { return trace_ring_cap_; }
   const std::deque<TraceEntry>& trace() const { return trace_; }
   std::uint64_t trace_dropped() const { return trace_dropped_; }
 
@@ -259,6 +264,8 @@ class Network {
   void push_arrival(Arrival a);
   Arrival pop_arrival();
   void trim_trace();
+  /// Move every trace entry into the reuse pool and empty the trace.
+  void recycle_trace();
   void apply_change(Time t, NetChange& c);
   /// Recompute a link's effective up state (admin AND both end switches up)
   /// and push it to the Link and both ports' liveness.
@@ -288,6 +295,10 @@ class Network {
   std::vector<LocalDelivery> local_deliveries_;
   bool trace_enabled_ = false;
   std::deque<TraceEntry> trace_;
+  /// Retired entries kept for arena-style reuse: a traced traversal stops
+  /// paying per-hop vector/tag allocations once the pool is warm (ring
+  /// eviction and clear_logs() both feed it).
+  std::vector<TraceEntry> trace_pool_;
   std::size_t trace_ring_cap_ = 0;  // 0 = unbounded
   std::uint64_t trace_seq_ = 0;
   std::uint64_t trace_dropped_ = 0;

@@ -1,0 +1,116 @@
+// Histogram properties the profiling layer depends on: exact small values,
+// bounded relative error above, order-independent merging, deterministic
+// serialization — and the acceptance property that merging parallel_sweep
+// shards yields byte-identical output at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "bench/parallel.hpp"
+#include "obs/hist.hpp"
+#include "obs/json.hpp"
+
+namespace ss::obs {
+namespace {
+
+TEST(Histogram, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(Histogram::bucket_of(v), v);
+    EXPECT_EQ(Histogram::bucket_lo(Histogram::bucket_of(v)), v);
+    EXPECT_EQ(Histogram::bucket_hi(Histogram::bucket_of(v)), v);
+  }
+}
+
+TEST(Histogram, BucketsCoverAndBoundRelativeError) {
+  for (std::uint64_t v : {32ull, 33ull, 100ull, 1000ull, 65535ull, 65536ull,
+                          1'000'000ull, (1ull << 40) + 12345}) {
+    const std::uint32_t idx = Histogram::bucket_of(v);
+    const std::uint64_t lo = Histogram::bucket_lo(idx);
+    const std::uint64_t hi = Histogram::bucket_hi(idx);
+    EXPECT_LE(lo, v);
+    EXPECT_GE(hi, v);
+    // Relative quantization error below 1/2^kSubBits.
+    EXPECT_LE(hi - lo, lo >> Histogram::kSubBits);
+    // Buckets are contiguous and monotone.
+    EXPECT_EQ(Histogram::bucket_of(lo), idx);
+    EXPECT_EQ(Histogram::bucket_of(hi), idx);
+    EXPECT_EQ(Histogram::bucket_lo(idx + 1), hi + 1);
+  }
+}
+
+TEST(Histogram, PercentilesBracketRecordedValues) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.percentile(0), 1u);
+  EXPECT_EQ(h.percentile(100), 100u);
+  // Quantization never moves a percentile by more than one sub-bucket.
+  EXPECT_GE(h.percentile(50), 50u);
+  EXPECT_LE(h.percentile(50), 53u);
+  EXPECT_GE(h.percentile(90), 90u);
+  EXPECT_LE(h.percentile(90), 95u);
+  EXPECT_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, MergeIsOrderIndependentAndMatchesSingleRecorder) {
+  Histogram all, a, b;
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    const std::uint64_t x = (v * 2654435761u) % 10000;
+    all.record(x);
+    (v % 2 == 0 ? a : b).record(x);
+  }
+  Histogram ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab, all);
+  EXPECT_EQ(ab.to_json("m"), all.to_json("m"));
+}
+
+TEST(Histogram, JsonRoundTripIsByteStable) {
+  Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 31ull, 32ull, 999ull, 123456789ull})
+    h.record(v, v % 3 + 1);
+  const std::string line = h.to_json("latency");
+  const auto parsed = json_parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = Histogram::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, h);
+  EXPECT_EQ(back->to_json("latency"), line);
+}
+
+// The acceptance property: per-shard histograms recorded under
+// bench::parallel_sweep and folded with merge_hist_shards serialize to the
+// SAME bytes whether the sweep ran on 1 thread or 4.
+TEST(Histogram, ParallelShardMergeIsThreadCountInvariant) {
+  std::vector<std::size_t> items(32);
+  std::iota(items.begin(), items.end(), 0);
+  const auto run = [&](unsigned threads) {
+    const auto shards = bench::parallel_sweep(
+        items,
+        [](std::size_t item, std::size_t idx) {
+          Histogram h;
+          // Deterministic per-point values derived from the index only.
+          for (std::uint64_t k = 0; k < 100; ++k)
+            h.record((idx * 7919 + k * k * 31) % 5000);
+          (void)item;
+          return h;
+        },
+        threads);
+    return bench::merge_hist_shards(shards, [](const Histogram& h) { return h; })
+        .to_json("sweep");
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(3));
+}
+
+}  // namespace
+}  // namespace ss::obs

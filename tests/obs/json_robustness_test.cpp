@@ -1,0 +1,94 @@
+// Robustness of the obs JSON layer against the inputs a half-written or
+// corrupted sidecar actually produces: truncated lines, interleaved garbage,
+// unknown keys, raw non-UTF8 bytes.  The contract is skip-and-count, never
+// crash, never lose an intact record.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ss::obs {
+namespace {
+
+TEST(JsonRobustness, ForEachJsonlSkipsMalformedAndCountsEverything) {
+  std::stringstream ss;
+  ss << R"({"type":"a","v":1})" << "\n"
+     << "\n"                                  // blank: not counted as a line
+     << R"({"type":"b","v":2)" << "\n"        // truncated write
+     << "this is not json\n"                  // interleaved garbage
+     << R"({"type":"c","v":3})" << "\n"
+     << R"({"type":"d"}trailing)" << "\n"     // trailing garbage
+     << R"({"type":"e","v":5})";              // last line, no newline
+  std::vector<std::string> seen;
+  const JsonlStats st = for_each_jsonl(
+      ss, [&](const JsonValue& v) { seen.push_back(v.str("type")); });
+  EXPECT_EQ(st.lines, 6u);
+  EXPECT_EQ(st.parsed, 3u);
+  EXPECT_EQ(st.malformed, 3u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "a");
+  EXPECT_EQ(seen[1], "c");
+  EXPECT_EQ(seen[2], "e");
+}
+
+TEST(JsonRobustness, UnknownKeysArePreservedNotRejected) {
+  const auto v = json_parse(
+      R"({"known":1,"mystery_key":[1,2,{"nested":null}],"later":true})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->u64("known"), 1u);
+  EXPECT_TRUE(v->boolean_or("later"));
+  const JsonValue* m = v->get("mystery_key");
+  ASSERT_NE(m, nullptr);
+  ASSERT_TRUE(m->is_array());
+  ASSERT_EQ(m->array.size(), 3u);
+  EXPECT_EQ(m->array[2].object.count("nested"), 1u);
+}
+
+TEST(JsonRobustness, RawNonUtf8BytesNeverCrash) {
+  // Raw \xff\xfe inside a string: not valid UTF-8 and not a valid JSON
+  // escape.  Whether the parser accepts the bytes verbatim or flags the
+  // line, it must do so gracefully.
+  std::stringstream ss;
+  ss << "{\"s\":\"\xff\xfe\x80\"}" << "\n"
+     << "\xff\xfe\n"                          // bare garbage bytes
+     << R"({"ok":true})" << "\n";
+  std::size_t calls = 0;
+  const JsonlStats st = for_each_jsonl(ss, [&](const JsonValue&) { ++calls; });
+  EXPECT_EQ(st.lines, 3u);
+  EXPECT_EQ(st.parsed + st.malformed, 3u);
+  EXPECT_EQ(st.parsed, calls);
+  EXPECT_GE(st.malformed, 1u);  // the bare-bytes line can never parse
+}
+
+TEST(JsonRobustness, TruncatedEscapesAndLiteralsAreMalformed) {
+  for (const char* bad : {
+           R"({"s":"\u12)",     // cut mid unicode escape
+           R"({"s":"\)",        // cut mid escape
+           R"({"v":tru})",      // mangled literal
+           R"({"v":12e})",      // mangled number
+           R"([1,2,)",          // cut array
+           R"({"a":{"b":1})",   // unbalanced nesting
+           "",                  // empty document
+       }) {
+    EXPECT_FALSE(json_parse(bad).has_value()) << "input: " << bad;
+  }
+}
+
+TEST(JsonRobustness, DeepNestingIsCappedNotCrashed) {
+  // Sane nesting parses; a pathological 100k-deep line trips the parser's
+  // depth cap and reads as malformed instead of overflowing the stack.
+  std::string sane(100, '[');
+  sane += std::string(100, ']');
+  ASSERT_TRUE(json_parse(sane).has_value());
+
+  std::string hostile(100'000, '[');
+  hostile += std::string(100'000, ']');
+  EXPECT_FALSE(json_parse(hostile).has_value());
+}
+
+}  // namespace
+}  // namespace ss::obs

@@ -1,0 +1,184 @@
+// Causal timeline + health invariants: clean runs hold every invariant,
+// fault runs attribute reactions and latencies, and each online check fires
+// on a run that actually violates it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+#include "obs/timeline.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "sim/network.hpp"
+
+namespace ss::obs {
+namespace {
+
+scenario::ScenarioSpec parse_ok(const char* doc) {
+  const auto s = scenario::parse_scenario(doc);
+  EXPECT_TRUE(s.has_value());
+  return *s;
+}
+
+TEST(Timeline, CleanRunHoldsEveryInvariant) {
+  const auto spec = parse_ok(
+      R"({"topology": {"kind": "ring", "n": 8}, "service": "plain",
+          "expect": {"verdict": "complete"}})");
+  Timeline tl(spec.graph);
+  const auto r = scenario::run_scenario(spec, &tl);
+  ASSERT_TRUE(r.complete);
+  EXPECT_TRUE(tl.violations().empty());
+  EXPECT_TRUE(tl.anomaly_kinds().empty());
+  EXPECT_TRUE(tl.faults().empty());
+  EXPECT_GT(tl.hop_count(), 0u);
+  EXPECT_EQ(tl.max_epoch(), 0u);
+  // Wire conservation, restated from the per-link totals.
+  const sim::WireCounters w = tl.wire_totals();
+  EXPECT_GT(w.sent, 0u);
+  EXPECT_EQ(w.sent, w.delivered + w.dropped_down + w.dropped_blackhole +
+                        w.dropped_loss);
+  EXPECT_EQ(w.dropped_down + w.dropped_blackhole + w.dropped_loss, 0u);
+  // Every hop lands in exactly one per-switch heatmap cell.
+  std::uint64_t heat = 0;
+  for (const auto& [sw, n] : tl.hops_per_switch()) heat += n;
+  EXPECT_EQ(heat, tl.hop_count());
+  EXPECT_EQ(tl.wire_bytes_hist().count(), tl.hop_count());
+  // The verdict is the last event on the axis.
+  ASSERT_FALSE(tl.events().empty());
+  EXPECT_EQ(tl.events().back().kind, TimelineEvent::Kind::kVerdict);
+}
+
+TEST(Timeline, BlackholeRetryAttributesFaultReactionAndLatency) {
+  const auto spec = parse_ok(R"({
+    "name": "tl_blackhole_retry",
+    "topology": {"kind": "ring", "n": 16},
+    "seed": 1, "root": 0, "service": "snapshot",
+    "retry": {"timeout": 200, "max_attempts": 5},
+    "schedule": [
+      {"op": "blackhole_on", "edge": 8, "at": 3},
+      {"op": "blackhole_off", "edge": 8, "at": 150}
+    ],
+    "expect": {"verdict": "complete", "snapshot_match": true}
+  })");
+  Timeline tl(spec.graph);
+  const auto r = scenario::run_scenario(spec, &tl);
+  ASSERT_TRUE(r.complete);
+  // Health: a blackhole provokes retries, not invariant violations.
+  EXPECT_TRUE(tl.violations().empty());
+  ASSERT_EQ(tl.faults().size(), 2u);
+  EXPECT_EQ(tl.faults()[0].kind, TlFaultKind::kBlackholeOn);
+  EXPECT_EQ(tl.max_epoch(), 1u);  // the watchdog bumped once
+
+  // The degrading fault got a reaction record: the wire drop it caused,
+  // the epoch bump it provoked, and the distance to the final verdict.
+  ASSERT_FALSE(tl.reactions().empty());
+  const FaultReaction& fr = tl.reactions().front();
+  EXPECT_EQ(fr.fault_index, 0u);
+  ASSERT_TRUE(fr.reaction_seq.has_value());
+  EXPECT_EQ(fr.reaction_kind, "wire_drop");
+  EXPECT_GT(fr.reaction_latency_hops, 0u);
+  ASSERT_TRUE(fr.epoch_after.has_value());
+  EXPECT_EQ(*fr.epoch_after, 1u);
+  ASSERT_TRUE(fr.verdict_latency_hops.has_value());
+  EXPECT_GT(*fr.verdict_latency_hops, fr.reaction_latency_hops);
+
+  // The stranded first attempt shows up as a dead-end anomaly, partitioned
+  // per epoch so the successful retry stays clean.
+  const auto kinds = tl.anomaly_kinds();
+  EXPECT_TRUE(std::find(kinds.begin(), kinds.end(), "dead_end_port") !=
+              kinds.end());
+}
+
+TEST(Timeline, CounterRegressionIsFlagged) {
+  graph::Graph g = graph::make_path(2);
+  sim::Network net(g);
+  net.set_trace(true);
+  Timeline tl(g);
+  sim::NetChange down;
+  down.kind = sim::NetChange::Kind::kLinkState;
+  down.edge = 0;
+  down.flag = false;
+  sim::Stats cut1;
+  cut1.sent = 10;
+  cut1.delivered = 10;
+  tl.add_change(1, down, cut1);
+  sim::NetChange up = down;
+  up.flag = true;
+  sim::Stats cut2;  // sent went BACKWARDS: 10 -> 5
+  cut2.sent = 5;
+  cut2.delivered = 5;
+  tl.add_change(2, up, cut2);
+  tl.ingest_trace(net);
+  tl.finalize(net);
+  ASSERT_FALSE(tl.violations().empty());
+  EXPECT_TRUE(std::any_of(
+      tl.violations().begin(), tl.violations().end(),
+      [](const InvariantViolation& v) {
+        return v.kind == InvariantKind::kCounterRegression;
+      }));
+}
+
+TEST(Timeline, UnprovokedFailoverIsFlagged) {
+  // Down a link BEHIND the timeline's back: the traversal's fast-failover
+  // buckets activate, but no recorded fault justifies them.
+  graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  net.set_trace(true);
+  svc.install(net);
+  net.set_link_up(2, false);
+  Timeline tl(g);
+  ASSERT_TRUE(svc.run(net, 0));
+  tl.ingest_trace(net);
+  tl.finalize(net);
+  EXPECT_TRUE(std::any_of(
+      tl.violations().begin(), tl.violations().end(),
+      [](const InvariantViolation& v) {
+        return v.kind == InvariantKind::kUnprovokedFailover;
+      }));
+  // The same run with the fault on the record is healthy.
+  sim::Network net2(g);
+  net2.set_trace(true);
+  svc.install(net2);
+  Timeline tl2(g);
+  sim::NetChange down;
+  down.kind = sim::NetChange::Kind::kLinkState;
+  down.edge = 2;
+  down.flag = false;
+  net2.set_link_up(2, false);
+  tl2.add_change(0, down, net2.stats());
+  ASSERT_TRUE(svc.run(net2, 0));
+  tl2.ingest_trace(net2);
+  tl2.finalize(net2);
+  EXPECT_TRUE(std::none_of(
+      tl2.violations().begin(), tl2.violations().end(),
+      [](const InvariantViolation& v) {
+        return v.kind == InvariantKind::kUnprovokedFailover;
+      }));
+}
+
+TEST(Timeline, DfsTokenForkIsFlagged) {
+  // Two traversal triggers in the same epoch = two live tokens; the
+  // single-token invariant must notice the second stream.
+  graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net(g);
+  net.set_trace(true);
+  svc.install(net);
+  ASSERT_TRUE(svc.run(net, 0));
+  ASSERT_TRUE(svc.run(net, 3));  // second token, no epoch bump, wrong origin
+  Timeline tl(g);
+  tl.ingest_trace(net);
+  tl.finalize(net);
+  EXPECT_TRUE(std::any_of(
+      tl.violations().begin(), tl.violations().end(),
+      [](const InvariantViolation& v) {
+        return v.kind == InvariantKind::kDfsTokenFork;
+      }));
+}
+
+}  // namespace
+}  // namespace ss::obs

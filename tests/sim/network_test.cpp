@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <stdexcept>
+
 #include "graph/generators.hpp"
 
 namespace ss::sim {
@@ -164,6 +167,76 @@ TEST(Network, TopologyMirrorsGraphPorts) {
       EXPECT_TRUE(net.sw(v).port_live(p));
   }
   EXPECT_EQ(net.link_count(), g.edge_count());
+}
+
+// Ping a packet back and forth across a 2-path until the event budget
+// trips, accumulating one trace entry per hop.  The budget throw is the
+// intended stop condition here, not a failure.
+void bounce(Network& net, std::uint64_t budget) {
+  try {
+    net.run(budget);
+  } catch (const std::runtime_error&) {
+  }
+}
+
+TEST(Network, TraceCapacityBoundsRingAndCountsEvictions) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  net.set_trace_capacity(3);  // implies tracing on
+  EXPECT_EQ(net.trace_capacity(), 3u);
+  install_forwarder(net, 0, 1);
+  install_forwarder(net, 1, 1);
+  net.packet_out(0, make_pkt());
+  bounce(net, 40);  // ping-pongs until the event budget stops it
+  ASSERT_EQ(net.trace().size(), 3u);
+  EXPECT_GT(net.trace_dropped(), 0u);
+  // The ring keeps the NEWEST hops: seq numbers keep running past the cap.
+  const std::uint64_t last_seq = net.trace().back().seq;
+  EXPECT_EQ(last_seq, net.trace_dropped() + 2);  // 3 kept, rest evicted
+  for (std::size_t i = 1; i < net.trace().size(); ++i)
+    EXPECT_EQ(net.trace()[i].seq, net.trace()[i - 1].seq + 1);
+}
+
+TEST(Network, TraceCapEnvSetsDefaultWithoutEnablingTracing) {
+  ::setenv("SS_TRACE_CAP", "5", 1);
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  ::unsetenv("SS_TRACE_CAP");
+  EXPECT_EQ(net.trace_capacity(), 5u);
+  install_forwarder(net, 0, 1);
+  install_forwarder(net, 1, 1);
+  // The env var only bounds memory; it must not turn tracing on by itself.
+  net.packet_out(0, make_pkt());
+  bounce(net, 20);
+  EXPECT_TRUE(net.trace().empty());
+  // Once something enables tracing the env-provided bound applies.
+  net.set_trace(true);
+  net.packet_out(0, make_pkt());
+  bounce(net, 80);
+  EXPECT_LE(net.trace().size(), 5u);
+  EXPECT_GT(net.trace_dropped(), 0u);
+}
+
+TEST(Network, ClearLogsRecyclesTraceAndKeepsTracingOn) {
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  net.set_trace(true);
+  install_forwarder(net, 0, 1);
+  install_forwarder(net, 1, 1);
+  net.packet_out(0, make_pkt());
+  bounce(net, 20);
+  ASSERT_FALSE(net.trace().empty());
+  net.clear_logs();
+  EXPECT_TRUE(net.trace().empty());
+  EXPECT_EQ(net.trace_dropped(), 0u);
+  // Entries recorded after the reset restart seq at 0 (pool reuse must not
+  // leak stale matches/groups/delivered state).  The event budget is
+  // cumulative across runs, so give the second leg extra headroom.
+  net.packet_out(0, make_pkt());
+  bounce(net, 60);
+  ASSERT_FALSE(net.trace().empty());
+  EXPECT_EQ(net.trace().front().seq, 0u);
+  for (const TraceEntry& te : net.trace()) EXPECT_TRUE(te.groups.empty());
 }
 
 TEST(Network, AliveFnTracksLinkState) {

@@ -1,0 +1,184 @@
+// obs_report: run one scenario spec with the causal timeline attached and
+// render the unified run report — fault/epoch/verdict timeline, per-switch
+// hop heatmap, histogram percentiles, fault->reaction latencies, per-epoch
+// anomalies, and the invariant verdict — plus an optional Prometheus-style
+// text snapshot.
+//
+//   obs_report <scenario.json> [--out FILE] [--prom FILE]
+//              [--expect-clean]             zero anomalies AND zero violations
+//              [--expect-anomalies a,b]     exact anomaly-kind set (sorted)
+//              [--expect-reaction KIND]     some fault reacted via KIND
+//                                           ("failover" | "wire_drop") with a
+//                                           fault->verdict latency recorded
+//
+// Any --expect-* flag also arms the health gate: invariant violations or a
+// failed scenario "expect" block exit non-zero.
+//
+// Exit codes: 0 = ran (and every armed expectation held); 1 = an
+// expectation or health check failed; 2 = unreadable/invalid spec or usage.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "obs/timeline.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+using namespace ss;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string join_csv(const std::vector<std::string>& v) {
+  std::string out;
+  for (const std::string& s : v) {
+    if (!out.empty()) out += ',';
+    out += s;
+  }
+  return out.empty() ? "none" : out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: obs_report <scenario.json> [--out FILE] [--prom FILE]\n"
+               "                  [--expect-clean] [--expect-anomalies a,b]\n"
+               "                  [--expect-reaction KIND]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path, out_path, prom_path, expect_reaction;
+  bool expect_clean = false, have_expect_anomalies = false, gated = false;
+  std::vector<std::string> expect_anomalies;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--out") == 0 && k + 1 < argc) {
+      out_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--prom") == 0 && k + 1 < argc) {
+      prom_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--expect-clean") == 0) {
+      expect_clean = gated = true;
+    } else if (std::strcmp(argv[k], "--expect-anomalies") == 0 && k + 1 < argc) {
+      expect_anomalies = split_csv(argv[++k]);
+      have_expect_anomalies = gated = true;
+    } else if (std::strcmp(argv[k], "--expect-reaction") == 0 && k + 1 < argc) {
+      expect_reaction = argv[++k];
+      gated = true;
+    } else if (path.empty() && argv[k][0] != '-') {
+      path = argv[k];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "obs_report: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string error;
+  const auto spec = scenario::parse_scenario(buf.str(), &error);
+  if (!spec) {
+    std::fprintf(stderr, "obs_report: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+
+  obs::Timeline tl(spec->graph);
+  const scenario::ScenarioResult res = scenario::run_scenario(*spec, &tl);
+
+  obs::RunHeader h;
+  h.name = spec->name;
+  h.topology = spec->topology.kind;
+  h.nodes = spec->graph.node_count();
+  h.edges = spec->graph.edge_count();
+  h.seed = spec->seed;
+  h.root = spec->root;
+  h.service = spec->service;
+  h.hardened = spec->retry.has_value();
+  h.verdict = res.verdict;
+  h.attempts = res.attempts;
+  h.final_epoch = res.final_epoch;
+  h.ground_truth_ok = res.ground_truth_ok;
+  h.ground_truth_detail = res.ground_truth_detail;
+
+  if (out_path.empty()) {
+    obs::write_report(std::cout, h, tl);
+  } else {
+    std::ofstream os(out_path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "obs_report: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    obs::write_report(os, h, tl);
+  }
+  if (!prom_path.empty()) {
+    std::ofstream os(prom_path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "obs_report: cannot write %s\n", prom_path.c_str());
+      return 2;
+    }
+    obs::write_prom_snapshot(os, h, tl);
+  }
+
+  const std::vector<std::string> kinds = tl.anomaly_kinds();
+  bool ok = true;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "obs_report: expectation failed: %s\n", what.c_str());
+    ok = false;
+  };
+  if (gated) {
+    if (!tl.violations().empty())
+      fail(std::to_string(tl.violations().size()) + " invariant violation(s)");
+    if (!res.expect_ok) fail("scenario expect block failed");
+  }
+  if (expect_clean && !kinds.empty())
+    fail("wanted zero anomalies, got " + join_csv(kinds));
+  if (have_expect_anomalies && kinds != expect_anomalies)
+    fail("wanted anomalies {" + join_csv(expect_anomalies) + "}, got {" +
+         join_csv(kinds) + "}");
+  if (!expect_reaction.empty()) {
+    bool found = false;
+    for (const obs::FaultReaction& r : tl.reactions())
+      found = found || (r.reaction_seq && r.reaction_kind == expect_reaction &&
+                        r.verdict_latency_hops.has_value());
+    if (!found)
+      fail("no fault reacted via \"" + expect_reaction +
+           "\" with a fault->verdict latency");
+  }
+
+  std::fprintf(stderr,
+               "%s: %s, %zu hop(s), %zu fault(s), anomalies={%s}, "
+               "%zu violation(s)%s\n",
+               spec->name.c_str(), res.verdict.c_str(),
+               static_cast<std::size_t>(tl.hop_count()), tl.faults().size(),
+               join_csv(kinds).c_str(), tl.violations().size(),
+               gated ? (ok ? ", expectations ok" : ", expectations FAILED") : "");
+  return ok ? 0 : 1;
+}
