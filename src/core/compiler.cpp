@@ -202,6 +202,27 @@ void TemplateCompiler::emit_pre_table(Ctx& c) const {
     }
   }
 
+  if (opts_.header_guard) {
+    // Impossible-state validation (again by enumeration — no "greater than"
+    // match in OpenFlow).  Three families, all unreachable by compiled
+    // rules: start outside {0,1,2}, and this node's par/cur naming a port
+    // above its degree.  Nodes whose degree saturates the field width emit
+    // no par/cur guards — every encodable value is a real port there.
+    std::uint32_t slot = 0;
+    const FieldRef st = L.start();
+    for (std::uint64_t v = 3; v < (std::uint64_t{1} << st.width); ++v)
+      add_rule(c, kTablePre, kPrioHeaderGuard, match_tag(trav, st, v),
+               {ActDrop{}}, std::nullopt, util::cat("hdr.guard.start.", slot++));
+    for (const auto& [f, what] :
+         {std::pair<FieldRef, const char*>{L.par(c.i), "par"},
+          std::pair<FieldRef, const char*>{L.cur(c.i), "cur"}}) {
+      for (std::uint64_t v = c.deg + 1; v < (std::uint64_t{1} << f.width); ++v)
+        add_rule(c, kTablePre, kPrioHeaderGuard, match_tag(trav, f, v),
+                 {ActDrop{}}, std::nullopt,
+                 util::cat("hdr.guard.", what, ".", slot++));
+    }
+  }
+
   switch (opts_.kind) {
     case ServiceKind::kAnycast: {
       for (const AnycastGroupSpec& gs : opts_.groups) {
@@ -986,23 +1007,48 @@ void TemplateCompiler::emit_load_chain(Ctx& c) const {
              util::cat("load.resume.par", t));
 }
 
-void set_current_epoch(sim::Network& net, std::uint32_t epoch) {
+bool set_switch_epoch(ofp::Switch& sw, std::uint32_t epoch) {
   const std::uint64_t accepted = epoch % kEpochSpace;
+  std::uint64_t stale = 0;
+  bool touched = false;
+  for (FlowEntry& fe : sw.table(kTablePre).entries_mut()) {
+    if (fe.name.rfind("epoch.stale.", 0) != 0) continue;
+    if (stale == accepted) ++stale;
+    fe.match.tag_matches.at(0).value = stale++;
+    touched = true;
+  }
+  return touched;
+}
+
+std::optional<std::uint32_t> current_epoch_of(const ofp::Switch& sw) {
+  if (sw.tables().size() <= kTablePre) return std::nullopt;
+  bool dropped[kEpochSpace] = {};
+  bool any = false;
+  for (const FlowEntry& fe : sw.tables()[kTablePre].entries()) {
+    if (fe.name.rfind("epoch.stale.", 0) != 0) continue;
+    dropped[fe.match.tag_matches.at(0).value % kEpochSpace] = true;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  for (std::uint32_t e = 0; e < kEpochSpace; ++e)
+    if (!dropped[e]) return e;
+  return std::nullopt;  // malformed: every epoch dropped
+}
+
+void set_current_epoch(sim::Network& net, std::uint32_t epoch) {
+  bool any = false;
   for (graph::NodeId v = 0; v < net.topology().node_count(); ++v) {
-    std::uint64_t stale = 0;
-    bool touched = false;
-    for (FlowEntry& fe : net.sw(v).table(kTablePre).entries_mut()) {
-      if (fe.name.rfind("epoch.stale.", 0) != 0) continue;
-      if (stale == accepted) ++stale;
-      fe.match.tag_matches.at(0).value = stale++;
-      touched = true;
-    }
-    if (!touched)
-      throw std::logic_error(
-          "set_current_epoch: no epoch guard rules installed (compile with "
-          "epoch_guard)");
+    // A switch with no guard rules (wiped by a restart, not yet repaired)
+    // is skipped: there is nothing to rewrite, and the repair path brings
+    // it to the current epoch explicitly via set_switch_epoch.
+    if (!set_switch_epoch(net.sw(v), epoch)) continue;
+    any = true;
     ++net.stats().packet_outs;  // one flow-mod per switch
   }
+  if (!any)
+    throw std::logic_error(
+        "set_current_epoch: no epoch guard rules installed (compile with "
+        "epoch_guard)");
 }
 
 }  // namespace ss::core

@@ -132,6 +132,16 @@ struct CompilerOptions {
   /// crawled out of a cleared blackhole.  Off by default so rule counts and
   /// Table-2 message complexity match the paper exactly.
   bool epoch_guard = false;
+
+  /// Compile header-state validation: drop rules in kTablePre for traversal
+  /// packets whose tag region encodes an IMPOSSIBLE state — a start value
+  /// outside {0,1,2}, or this node's par/cur holding a port above its
+  /// degree.  No compiled rule can produce such a packet, so any sighting
+  /// is in-flight corruption; dropping it lets the hardened driver's
+  /// watchdog re-trigger a clean traversal instead of the corrupt packet
+  /// wandering the network misdirecting per-node state.  Off by default for
+  /// paper-exact rule counts.
+  bool header_guard = false;
 };
 
 /// Well-known table ids.
@@ -193,12 +203,34 @@ class TemplateCompiler {
 /// pre-check and the in-band report route).
 inline constexpr std::uint32_t kPrioEpochGuard = 20000;
 
+/// Priority of the header-state validation rules: below the epoch guard (a
+/// stale packet is dropped regardless of how mangled it is) but above every
+/// service rule, so no service hook ever acts on an impossible header.
+inline constexpr std::uint32_t kPrioHeaderGuard = 19000;
+
 /// Advance the accepted epoch on every switch of `net` (requires rules
 /// compiled with epoch_guard).  Rewrites the epoch values of the installed
 /// "epoch.stale.*" guard rules in place so every epoch except
 /// `epoch % kEpochSpace` is dropped; accounted as one controller->switch
-/// message (flow-mod) per switch in net.stats().packet_outs.
+/// message (flow-mod) per switch in net.stats().packet_outs.  Switches with
+/// no installed guard rules (e.g. freshly rebooted, awaiting repair) are
+/// skipped; throws std::logic_error only when NO switch had guard rules.
 void set_current_epoch(sim::Network& net, std::uint32_t epoch);
+
+/// Per-switch epoch rewrite: same in-place rotation as set_current_epoch but
+/// for one switch, with no throw and no stats accounting (the caller — the
+/// recovery service — does its own packet-out bookkeeping).  Returns false
+/// if the switch holds no "epoch.stale.*" rules.
+bool set_switch_epoch(ofp::Switch& sw, std::uint32_t epoch);
+
+/// Read the accepted epoch BACK from a switch's installed guard rules: the
+/// one value in [0, kEpochSpace) that no "epoch.stale.*" rule drops.
+/// std::nullopt if the switch has no guard rules (not compiled with
+/// epoch_guard, or wiped by a restart).  This is how the recovery service
+/// learns the authoritative epoch from a healthy reference switch and
+/// brings a repaired one — reinstalled from the epoch-0 golden image — back
+/// in step.
+std::optional<std::uint32_t> current_epoch_of(const ofp::Switch& sw);
 
 /// Group-id namespaces (stable across switches for debuggability).
 ofp::GroupId scan_group_id(graph::PortNo first, graph::PortNo parent, bool phase2_root);

@@ -1,0 +1,199 @@
+#include "core/recovery.hpp"
+
+#include "core/eth_types.hpp"
+
+namespace ss::core {
+
+using graph::NodeId;
+
+const char* switch_health_name(SwitchHealth h) {
+  switch (h) {
+    case SwitchHealth::kHealthy: return "healthy";
+    case SwitchHealth::kDivergent: return "divergent";
+    case SwitchHealth::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Fold a 64-bit digest into the 32-bit label a probe packet can carry.
+std::uint32_t fold32(std::uint64_t d) {
+  return static_cast<std::uint32_t>(d ^ (d >> 32));
+}
+
+}  // namespace
+
+RecoveryService::RecoveryService(const graph::Graph& g, const TagLayout& layout,
+                                 const TemplateCompiler& compiler,
+                                 RecoveryPolicy policy)
+    : graph_(&g), layout_(&layout), policy_(policy) {
+  golden_.reserve(g.node_count());
+  expected_.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    golden_.emplace_back(static_cast<ofp::SwitchId>(v), g.degree(v));
+    compiler.install_switch(golden_.back(), v);
+    // Pre-warm each golden table's dispatch index: reinstall() copies the
+    // table wholesale, so a repaired switch starts with a hot index.
+    for (const ofp::FlowTable& t : golden_.back().tables()) t.index();
+    expected_.push_back(ofp::digest_switch(golden_.back()));
+  }
+  state_.assign(g.node_count(), NodeState{});
+}
+
+void RecoveryService::sync_epoch(std::uint32_t epoch) {
+  if (epoch == golden_epoch_) return;
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    if (set_switch_epoch(golden_[v], epoch))
+      expected_[v] = ofp::digest_switch(golden_[v]);
+  }
+  golden_epoch_ = epoch;
+}
+
+std::uint32_t RecoveryService::authoritative_epoch(sim::Network& net) const {
+  // Prefer the probe root (the recovery anchor, protected from chaos in the
+  // canned scenarios), then any up switch whose guard rules still decode.
+  if (net.switch_up(policy_.probe_root))
+    if (auto e = current_epoch_of(net.sw(policy_.probe_root))) return *e;
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    if (!net.switch_up(v)) continue;
+    if (auto e = current_epoch_of(net.sw(v))) return *e;
+  }
+  return golden_epoch_;  // no guard rules anywhere: stay where we are
+}
+
+void RecoveryService::close_record(NodeState& st, sim::Network& net) {
+  if (st.open < 0) return;
+  RepairRecord& r = records_[static_cast<std::size_t>(st.open)];
+  r.repaired_at = net.now();
+  r.repair_hop = net.stats().sent;
+  r.attempts = st.attempts;
+  r.repaired = true;
+  st.open = -1;
+}
+
+void RecoveryService::cycle(sim::Network& net) {
+  ++stats_.cycles;
+
+  // In-band integrity probe: one controller packet into the probe root
+  // carrying every switch's expected digest in its label stack.  No rule
+  // matches kEthProbe, so it dies at the root after being accounted — the
+  // audit below is the controller-side evaluation of what the probe
+  // carried.
+  ofp::Packet probe = layout_->make_packet(kEthProbe);
+  probe.labels.reserve(expected_.size());
+  for (const ofp::SwitchDigest& d : expected_) probe.labels.push_back(fold32(d.combined));
+  net.packet_out(policy_.probe_root, std::move(probe));
+  ++stats_.probes_sent;
+
+  sync_epoch(authoritative_epoch(net));
+
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    // A down switch forwards nothing and cannot be repaired; it re-enters
+    // the audit the cycle after its restart brings it back up.
+    if (!net.switch_up(v)) continue;
+    NodeState& st = state_[v];
+
+    if (st.health == SwitchHealth::kQuarantined) {
+      if (net.now() < st.next_eligible) continue;
+      // Re-admission: a fresh attempt budget, straight back to the repair
+      // pipeline if still divergent.
+      st.health = SwitchHealth::kDivergent;
+      st.attempts = 0;
+    }
+
+    ofp::AuditReport rep = ofp::audit(net.sw(v), expected_[v]);
+    if (rep.clean()) {
+      if (st.health == SwitchHealth::kDivergent) {
+        // Healed — by last cycle's reinstall, or externally.
+        close_record(st, net);
+        st.health = SwitchHealth::kHealthy;
+        st.clean_streak = 0;
+      } else if (++st.clean_streak >= 2) {
+        // Two consecutive clean audits decay the attempt counter, so an
+        // old, resolved incident does not push a fresh one into quarantine.
+        st.attempts = 0;
+      }
+      continue;
+    }
+
+    st.clean_streak = 0;
+    if (st.health == SwitchHealth::kHealthy) {
+      // Detection cycle: mark only.  The repair waits for the next cycle —
+      // MTTR then spans real traffic instead of closing in zero width.
+      st.health = SwitchHealth::kDivergent;
+      st.open = static_cast<std::int64_t>(records_.size());
+      RepairRecord r;
+      r.sw = v;
+      r.detected_at = net.now();
+      r.detect_hop = net.stats().sent;
+      records_.push_back(r);
+      ++stats_.divergences;
+      st.next_eligible = net.now();
+      continue;
+    }
+
+    // kDivergent: repair when the backoff window allows.
+    if (net.now() < st.next_eligible) continue;
+    ++st.attempts;
+    if (st.attempts > policy_.max_repair_attempts) {
+      st.health = SwitchHealth::kQuarantined;
+      st.next_eligible = net.now() + policy_.quarantine_for;
+      ++stats_.quarantines;
+      if (st.open >= 0) records_[static_cast<std::size_t>(st.open)].quarantined = true;
+      continue;
+    }
+
+    const ofp::RepairStats rs = ofp::reinstall(net.sw(v), golden_[v], rep);
+    const std::uint64_t mods =
+        rs.tables_reinstalled + (rs.groups_reinstalled ? 1 : 0);
+    stats_.flow_mods += mods;
+    net.stats().packet_outs += mods;  // one flow/group-mod batch per table
+    ++stats_.repairs;
+    // Exponential backoff before the NEXT attempt, should this one not hold.
+    st.next_eligible =
+        net.now() + (policy_.backoff_base << (st.attempts - 1));
+
+    if (ofp::audit(net.sw(v), expected_[v]).clean()) {
+      close_record(st, net);
+      st.health = SwitchHealth::kHealthy;
+      st.clean_streak = 0;
+    }
+  }
+}
+
+ofp::AuditReport RecoveryService::audit_switch(sim::Network& net, NodeId v) {
+  sync_epoch(authoritative_epoch(net));
+  return ofp::audit(net.sw(v), expected_[v]);
+}
+
+bool RecoveryService::all_clean(sim::Network& net) {
+  sync_epoch(authoritative_epoch(net));
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    if (!net.switch_up(v)) continue;
+    if (!ofp::audit(net.sw(v), expected_[v]).clean()) return false;
+  }
+  return true;
+}
+
+bool RecoveryService::should_continue(sim::Network& net) {
+  if (policy_.max_cycles != 0 && stats_.cycles >= policy_.max_cycles)
+    return false;
+  // Scheduled faults or in-flight packets: more damage may still be coming.
+  if (net.pending_changes() > 0 || net.pending_arrivals() > 0) return true;
+  // Otherwise keep probing exactly until every up switch audits clean.
+  return !all_clean(net);
+}
+
+void RecoveryService::schedule(sim::Network& net, sim::Time when) {
+  net.schedule_callback(when, [this](sim::Network& n) {
+    cycle(n);
+    if (should_continue(n)) schedule(n, n.now() + policy_.probe_interval);
+  });
+}
+
+void RecoveryService::arm(sim::Network& net) {
+  schedule(net, net.now() + policy_.probe_interval);
+}
+
+}  // namespace ss::core

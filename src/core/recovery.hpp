@@ -1,0 +1,148 @@
+#pragma once
+// Self-healing recovery service on the SmartSouth template.
+//
+// The paper assumes an intact rule installation ("we will assume that during
+// the execution of SmartSouth, no more failures will occur").  This service
+// drops that assumption for the CONTROL state itself: switches may power-
+// cycle (losing every installed table — sim::Network::restart_switch) or
+// suffer silent rule corruption (sim::Network::corrupt_rules), and the
+// network must converge back to a correct installation without a human.
+//
+// Mechanism, per probe cycle (a self-re-arming simulator callback):
+//   1. An in-band integrity probe is injected at `probe_root`, carrying
+//      every switch's expected table digest (ofp/integrity.hpp) in its
+//      label stack — the control channel cost of auditing is one packet
+//      per cycle, not one rule dump per switch.
+//   2. Every up switch is audited against its golden image's digest.  A
+//      divergent switch is only MARKED this cycle (health kDivergent, a
+//      RepairRecord opens); the repair itself waits for a later cycle, so
+//      detection-to-repair spans real traffic and MTTR is measured in
+//      delivered hops, not in zero-width callback time.
+//   3. A marked switch past its backoff deadline is repaired: transactional
+//      ofp::reinstall from the golden image (only divergent tables move,
+//      carrying warm dispatch indexes), accounted as one flow-mod per
+//      reinstalled table/group set.  Each failed attempt doubles the
+//      backoff (backoff_base << attempts); after max_repair_attempts the
+//      switch is QUARANTINED for `quarantine_for` time units before the
+//      attempt counter resets.
+//   4. Epoch coherence: golden images are kept rotated to the network's
+//      authoritative accepted epoch (read back from a healthy switch's
+//      guard rules via current_epoch_of), so a repaired switch re-enters
+//      the network accepting the CURRENT epoch — not the stale epoch 0 it
+//      was first compiled with — and digests compare epoch-consistently.
+//
+// The service stops re-arming once the event queue holds no scheduled work
+// and every up switch audits clean — the simulation then drains naturally.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/fields.hpp"
+#include "ofp/integrity.hpp"
+#include "sim/network.hpp"
+
+namespace ss::core {
+
+struct RecoveryPolicy {
+  sim::Time probe_interval = 32;        // time between integrity probe cycles
+  sim::Time backoff_base = 16;          // first retry delay; doubles per attempt
+  std::uint32_t max_repair_attempts = 4;  // attempts before quarantine
+  sim::Time quarantine_for = 256;       // quarantine duration
+  graph::NodeId probe_root = 0;         // probe injection point
+  std::uint64_t max_cycles = 0;         // hard cap on probe cycles (0 = none)
+};
+
+enum class SwitchHealth : std::uint8_t {
+  kHealthy = 0,     // last audit clean
+  kDivergent = 1,   // marked by an audit; repair pending or backing off
+  kQuarantined = 2, // repeated repair failures; parked until re-admission
+};
+
+const char* switch_health_name(SwitchHealth h);
+
+/// One detected divergence, from detection to resolution.  `detect_hop` /
+/// `repair_hop` snapshot the network's cumulative sent-packet counter, so
+/// repair_hop - detect_hop is the MTTR in hops of traffic the network moved
+/// while the switch was broken — the unit the chaos harness histograms.
+struct RepairRecord {
+  graph::NodeId sw = 0;
+  sim::Time detected_at = 0;
+  sim::Time repaired_at = 0;
+  std::uint64_t detect_hop = 0;
+  std::uint64_t repair_hop = 0;
+  std::uint32_t attempts = 0;   // repair attempts spent on this divergence
+  bool quarantined = false;     // the divergence passed through quarantine
+  bool repaired = false;        // closed clean (false = still open at exit)
+};
+
+struct RecoveryStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t divergences = 0;   // RepairRecords opened
+  std::uint64_t repairs = 0;       // reinstall() invocations
+  std::uint64_t quarantines = 0;
+  std::uint64_t flow_mods = 0;     // control messages spent on reinstalls
+};
+
+class RecoveryService {
+ public:
+  /// Compiles a private golden image per node from `compiler` (the SAME
+  /// compiler the service installed with, so digests match bit-for-bit)
+  /// and digests it.  `layout` must outlive the service.
+  RecoveryService(const graph::Graph& g, const TagLayout& layout,
+                  const TemplateCompiler& compiler, RecoveryPolicy policy = {});
+
+  /// Schedule the first probe cycle at now + probe_interval; each cycle
+  /// re-arms itself while scheduled work remains or any up switch is
+  /// unhealthy.  The service must outlive net.run().
+  void arm(sim::Network& net);
+
+  /// One probe cycle (exposed so tests can step deterministically).
+  void cycle(sim::Network& net);
+
+  /// Audit one switch against its (epoch-synced) golden digest.
+  ofp::AuditReport audit_switch(sim::Network& net, graph::NodeId v);
+
+  /// Final acceptance audit: every UP switch compares clean against its
+  /// golden image at the network's current authoritative epoch.
+  bool all_clean(sim::Network& net);
+
+  SwitchHealth health(graph::NodeId v) const { return state_.at(v).health; }
+  const std::vector<RepairRecord>& records() const { return records_; }
+  const RecoveryStats& stats() const { return stats_; }
+  const ofp::Switch& golden(graph::NodeId v) const { return golden_.at(v); }
+  const RecoveryPolicy& policy() const { return policy_; }
+
+ private:
+  struct NodeState {
+    SwitchHealth health = SwitchHealth::kHealthy;
+    std::uint32_t attempts = 0;
+    std::uint32_t clean_streak = 0;
+    sim::Time next_eligible = 0;
+    std::int64_t open = -1;  // index into records_, -1 = none open
+  };
+
+  /// Rotate every golden image (and its digest) to `epoch` if not already
+  /// there — keeps audits epoch-consistent after watchdog retries bumped
+  /// the network's accepted epoch at runtime.
+  void sync_epoch(std::uint32_t epoch);
+  /// The network's authoritative accepted epoch: read back from the first
+  /// up switch whose guard rules still decode (0 if none do).
+  std::uint32_t authoritative_epoch(sim::Network& net) const;
+  void close_record(NodeState& st, sim::Network& net);
+  bool should_continue(sim::Network& net);
+  void schedule(sim::Network& net, sim::Time when);
+
+  const graph::Graph* graph_;
+  const TagLayout* layout_;
+  RecoveryPolicy policy_;
+  std::vector<ofp::Switch> golden_;
+  std::vector<ofp::SwitchDigest> expected_;
+  std::uint32_t golden_epoch_ = 0;
+  std::vector<NodeState> state_;
+  std::vector<RepairRecord> records_;
+  RecoveryStats stats_;
+};
+
+}  // namespace ss::core

@@ -123,18 +123,41 @@ void require_epoch_guard(const TemplateCompiler& compiler) {
         "run_hardened requires a service constructed with epoch_guard = true");
 }
 
+/// Type the retry loop's ending: success, a verdict stranded on an epoch the
+/// watchdog had already abandoned (timeout too tight), or plain exhaustion.
+/// Attempt a carries epoch a % kEpochSpace, so the abandoned epochs are
+/// exactly 0 .. attempts-2.
+template <typename SeenFn>
+HardenedOutcome classify_outcome(const HardenedDriver& drv, SeenFn&& seen) {
+  if (seen(drv.epoch())) return HardenedOutcome::kVerdict;
+  for (std::uint32_t a = 0; a + 1 < drv.attempts(); ++a)
+    if (seen(a % kEpochSpace)) return HardenedOutcome::kStaleVerdict;
+  return HardenedOutcome::kExhausted;
+}
+
 }  // namespace
+
+const char* hardened_outcome_name(HardenedOutcome o) {
+  switch (o) {
+    case HardenedOutcome::kVerdict: return "verdict";
+    case HardenedOutcome::kStaleVerdict: return "stale-verdict";
+    case HardenedOutcome::kExhausted: return "exhausted";
+  }
+  return "?";
+}
 
 // ---------------------------------------------------------------------------
 // PlainTraversal
 // ---------------------------------------------------------------------------
 PlainTraversal::PlainTraversal(const graph::Graph& g, bool finish_report,
-                               bool use_fast_failover, bool epoch_guard)
+                               bool use_fast_failover, bool epoch_guard,
+                               bool header_guard)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kPlain);
         o.finish_report = finish_report;
         o.use_fast_failover = use_fast_failover;
         o.epoch_guard = epoch_guard;
+        o.header_guard = header_guard;
         return o;
       }()) {}
 
@@ -165,7 +188,8 @@ bool PlainTraversal::run_hardened(sim::Network& net, NodeId root,
   HardenedDriver drv(net, layout_, root, policy, nullptr, finish_seen);
   drv.run();
   if (stats) *stats = scope.delta();
-  if (hardened) *hardened = {drv.attempts(), drv.epoch()};
+  if (hardened)
+    *hardened = {drv.attempts(), drv.epoch(), classify_outcome(drv, finish_seen)};
   return finish_seen(drv.epoch());
 }
 
@@ -174,13 +198,14 @@ bool PlainTraversal::run_hardened(sim::Network& net, NodeId root,
 // ---------------------------------------------------------------------------
 SnapshotService::SnapshotService(const graph::Graph& g, std::uint32_t fragment_limit,
                                  bool dedup, std::optional<NodeId> inband_collector,
-                                 bool epoch_guard)
+                                 bool epoch_guard, bool header_guard)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kSnapshot);
         o.fragment_limit = fragment_limit;
         o.snapshot_dedup = dedup;
         o.inband_collector = inband_collector;
         o.epoch_guard = epoch_guard;
+        o.header_guard = header_guard;
         return o;
       }()) {}
 
@@ -299,7 +324,8 @@ SnapshotResult SnapshotService::run_hardened(sim::Network& net, NodeId root,
   res.complete = complete;
   res.fragments = fragments;
   res.stats = scope.delta();
-  if (hardened) *hardened = {drv.attempts(), drv.epoch()};
+  if (hardened)
+    *hardened = {drv.attempts(), drv.epoch(), classify_outcome(drv, finish_seen)};
   return res;
 }
 
@@ -320,11 +346,12 @@ std::string SnapshotResult::canonical() const {
 // Anycast
 // ---------------------------------------------------------------------------
 AnycastService::AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups,
-                               bool epoch_guard)
+                               bool epoch_guard, bool header_guard)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kAnycast);
         o.groups = std::move(groups);
         o.epoch_guard = epoch_guard;
+        o.header_guard = header_guard;
         return o;
       }()) {}
 
@@ -362,14 +389,15 @@ AnycastResult AnycastService::run_hardened(sim::Network& net, NodeId from,
     layout_.set(pkt, layout_.gid(), gid);
     pkt.payload_bytes = 64;
   };
-  HardenedDriver drv(net, layout_, from, policy, decorate,
-                     [&](std::uint32_t e) { return delivery_of(e) != nullptr; });
+  auto delivery_seen = [&](std::uint32_t e) { return delivery_of(e) != nullptr; };
+  HardenedDriver drv(net, layout_, from, policy, decorate, delivery_seen);
   drv.run();
   AnycastResult res;
   if (const sim::LocalDelivery* d = delivery_of(drv.epoch()))
     res.delivered_at = d->at;
   res.stats = scope.delta();
-  if (hardened) *hardened = {drv.attempts(), drv.epoch()};
+  if (hardened)
+    *hardened = {drv.attempts(), drv.epoch(), classify_outcome(drv, delivery_seen)};
   return res;
 }
 
@@ -695,11 +723,12 @@ LoadInferenceResult LoadInferenceService::infer(sim::Network& net, NodeId root) 
 // ---------------------------------------------------------------------------
 CriticalNodeService::CriticalNodeService(const graph::Graph& g,
                                          std::optional<NodeId> inband_collector,
-                                         bool epoch_guard)
+                                         bool epoch_guard, bool header_guard)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kCritical);
         o.inband_collector = inband_collector;
         o.epoch_guard = epoch_guard;
+        o.header_guard = header_guard;
         return o;
       }()) {}
 
@@ -737,13 +766,14 @@ CriticalResult CriticalNodeService::run_hardened(sim::Network& net, NodeId v,
     }
     return verdict;
   };
-  HardenedDriver drv(net, layout_, v, policy, nullptr,
-                     [&](std::uint32_t e) { return verdict_of(e).has_value(); });
+  auto verdict_seen = [&](std::uint32_t e) { return verdict_of(e).has_value(); };
+  HardenedDriver drv(net, layout_, v, policy, nullptr, verdict_seen);
   drv.run();
   CriticalResult res;
   res.critical = verdict_of(drv.epoch());
   res.stats = scope.delta();
-  if (hardened) *hardened = {drv.attempts(), drv.epoch()};
+  if (hardened)
+    *hardened = {drv.attempts(), drv.epoch(), classify_outcome(drv, verdict_seen)};
   return res;
 }
 

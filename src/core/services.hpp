@@ -64,10 +64,25 @@ struct RetryPolicy {
   std::uint32_t max_attempts = 5;
 };
 
+/// How a hardened run ended.  Distinguishes the two failure shapes that a
+/// bare bool conflated: a verdict that never arrived at all (every watchdog
+/// fired, every retry was spent — the network genuinely cannot answer) vs a
+/// verdict that DID arrive but only for an epoch the watchdog had already
+/// abandoned (the attempt was slower than the timeout, not dead — a policy
+/// mismatch, and typically fixed by a longer timeout, not more retries).
+enum class HardenedOutcome : std::uint8_t {
+  kVerdict = 0,       // the final attempt's verdict arrived: success
+  kStaleVerdict = 1,  // a verdict arrived, but only for an abandoned epoch
+  kExhausted = 2,     // max_attempts spent; no verdict for any epoch
+};
+
+const char* hardened_outcome_name(HardenedOutcome o);
+
 /// What the hardened drivers report about their retry loop.
 struct HardenedStats {
   std::uint32_t attempts = 0;     // trigger packets injected (>= 1)
   std::uint32_t final_epoch = 0;  // epoch tag of the accepted attempt
+  HardenedOutcome outcome = HardenedOutcome::kExhausted;
 };
 
 // ---------------------------------------------------------------------------
@@ -77,7 +92,8 @@ struct HardenedStats {
 class PlainTraversal {
  public:
   explicit PlainTraversal(const graph::Graph& g, bool finish_report = true,
-                          bool use_fast_failover = true, bool epoch_guard = false);
+                          bool use_fast_failover = true, bool epoch_guard = false,
+                          bool header_guard = false);
   void install(sim::Network& net) const { compiler_.install(net); }
   /// Inject at `root`; returns true iff the root's Finish() fired.
   bool run(sim::Network& net, graph::NodeId root, RunStats* stats = nullptr) const;
@@ -87,6 +103,10 @@ class PlainTraversal {
                     HardenedStats* hardened = nullptr,
                     RunStats* stats = nullptr) const;
   const TagLayout& layout() const { return layout_; }
+  /// The installed rule compiler — the recovery service derives its golden
+  /// images (and hence its integrity digests) from exactly this object, so
+  /// audits compare against what install() actually put on the switches.
+  const TemplateCompiler& compiler() const { return compiler_; }
 
  private:
   graph::Graph graph_;  // owned copy: services must outlive no one
@@ -121,7 +141,7 @@ class SnapshotService {
   explicit SnapshotService(const graph::Graph& g, std::uint32_t fragment_limit = 0,
                            bool dedup = true,
                            std::optional<graph::NodeId> inband_collector = {},
-                           bool epoch_guard = false);
+                           bool epoch_guard = false, bool header_guard = false);
   void install(sim::Network& net) const { compiler_.install(net); }
   SnapshotResult run(sim::Network& net, graph::NodeId root) const;
 
@@ -143,6 +163,7 @@ class SnapshotService {
                               const RetryPolicy& policy,
                               HardenedStats* hardened = nullptr) const;
   const TagLayout& layout() const { return layout_; }
+  const TemplateCompiler& compiler() const { return compiler_; }
 
   /// Decode a concatenated record stream (exposed for tests).
   static SnapshotResult decode(const std::vector<std::uint32_t>& labels);
@@ -164,7 +185,7 @@ struct AnycastResult {
 class AnycastService {
  public:
   AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups,
-                 bool epoch_guard = false);
+                 bool epoch_guard = false, bool header_guard = false);
   void install(sim::Network& net) const { compiler_.install(net); }
   AnycastResult run(sim::Network& net, graph::NodeId from, std::uint32_t gid) const;
   /// Watchdog/retry run (requires epoch_guard = true at construction).
@@ -176,6 +197,7 @@ class AnycastService {
                              const RetryPolicy& policy,
                              HardenedStats* hardened = nullptr) const;
   const TagLayout& layout() const { return layout_; }
+  const TemplateCompiler& compiler() const { return compiler_; }
 
  private:
   graph::Graph graph_;  // owned copy: services must outlive no one
@@ -370,7 +392,7 @@ class CriticalNodeService {
  public:
   explicit CriticalNodeService(const graph::Graph& g,
                                std::optional<graph::NodeId> inband_collector = {},
-                               bool epoch_guard = false);
+                               bool epoch_guard = false, bool header_guard = false);
   void install(sim::Network& net) const { compiler_.install(net); }
   /// Ask node `v` to test its own criticality.
   CriticalResult run(sim::Network& net, graph::NodeId v) const;
@@ -380,6 +402,7 @@ class CriticalNodeService {
                               const RetryPolicy& policy,
                               HardenedStats* hardened = nullptr) const;
   const TagLayout& layout() const { return layout_; }
+  const TemplateCompiler& compiler() const { return compiler_; }
 
  private:
   graph::Graph graph_;  // owned copy: services must outlive no one

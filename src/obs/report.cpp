@@ -50,9 +50,15 @@ void write_report(std::ostream& os, const RunHeader& h, const Timeline& tl) {
      << " n=" << h.nodes << " edges=" << h.edges << " seed=" << h.seed
      << " root=" << h.root << "\n";
   os << "  verdict=" << h.verdict << " attempts=" << h.attempts
-     << " final_epoch=" << h.final_epoch
-     << " ground_truth=" << (h.ground_truth_ok ? "ok" : "FAIL") << " ("
+     << " final_epoch=" << h.final_epoch;
+  if (!h.retry_outcome.empty()) os << " retry_outcome=" << h.retry_outcome;
+  os << " ground_truth=" << (h.ground_truth_ok ? "ok" : "FAIL") << " ("
      << h.ground_truth_detail << ")\n";
+  if (h.recovery_enabled)
+    os << "  recovery: final_audit="
+       << (h.final_audit_clean ? "clean" : "DIVERGENT")
+       << " divergences=" << h.divergences << " repairs=" << h.repairs
+       << " quarantines=" << h.quarantines << "\n";
   os << "  hops=" << tl.hop_count() << " (" << tl.trace_dropped()
      << " evicted)  wire: sent=" << w.sent << " delivered=" << w.delivered
      << " dropped_down=" << w.dropped_down
@@ -149,6 +155,16 @@ void write_prom_snapshot(std::ostream& os, const RunHeader& h, const Timeline& t
   os << "ss_run_final_epoch{" << run << "} " << h.final_epoch << "\n";
   os << "ss_run_ground_truth_ok{" << run << "} " << (h.ground_truth_ok ? 1 : 0)
      << "\n";
+  if (!h.retry_outcome.empty())
+    os << "ss_run_retry_outcome{" << run << ",outcome=\"" << h.retry_outcome
+       << "\"} 1\n";
+  if (h.recovery_enabled) {
+    os << "ss_recovery_final_audit_clean{" << run << "} "
+       << (h.final_audit_clean ? 1 : 0) << "\n";
+    os << "ss_recovery_divergences_total{" << run << "} " << h.divergences << "\n";
+    os << "ss_recovery_repairs_total{" << run << "} " << h.repairs << "\n";
+    os << "ss_recovery_quarantines_total{" << run << "} " << h.quarantines << "\n";
+  }
   os << "ss_hops_total{" << run << "} " << tl.hop_count() << "\n";
   os << "ss_trace_evicted_total{" << run << "} " << tl.trace_dropped() << "\n";
 

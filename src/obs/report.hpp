@@ -29,8 +29,18 @@ struct RunHeader {
   std::string verdict;    // "complete" | "incomplete"
   std::uint32_t attempts = 1;
   std::uint32_t final_epoch = 0;
+  // Hardened runs: typed retry verdict (verdict / stale-verdict / exhausted)
+  // distinguishing "ran out of attempts" from "only a superseded epoch ever
+  // answered".  Empty on non-hardened runs.
+  std::string retry_outcome;
   bool ground_truth_ok = false;
   std::string ground_truth_detail;
+  // Recovery service (self-healing) outcome; meaningful when enabled.
+  bool recovery_enabled = false;
+  bool final_audit_clean = true;
+  std::uint64_t divergences = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t quarantines = 0;
 };
 
 /// The full text report: run summary, causal timeline (faults, epoch bumps,

@@ -16,6 +16,9 @@ const char* tl_fault_kind_name(TlFaultKind k) {
     case TlFaultKind::kLossSet: return "loss";
     case TlFaultKind::kSwitchCrash: return "switch_crash";
     case TlFaultKind::kSwitchRestore: return "switch_restore";
+    case TlFaultKind::kSwitchRestart: return "switch_restart";
+    case TlFaultKind::kRuleCorrupt: return "rule_corrupt";
+    case TlFaultKind::kHeaderCorrupt: return "header_corrupt";
   }
   return "?";
 }
@@ -25,6 +28,9 @@ bool tl_fault_degrades(TlFaultKind k, double rate) {
     case TlFaultKind::kLinkDown:
     case TlFaultKind::kBlackholeOn:
     case TlFaultKind::kSwitchCrash:
+    case TlFaultKind::kSwitchRestart:  // up, but every table is gone
+    case TlFaultKind::kRuleCorrupt:
+    case TlFaultKind::kHeaderCorrupt:
       return true;
     case TlFaultKind::kLossSet:
       return rate > 0.0;
@@ -84,6 +90,19 @@ void Timeline::add_change(sim::Time t, const sim::NetChange& c,
     case K::kSwitchState:
       f.kind = c.flag ? TlFaultKind::kSwitchRestore : TlFaultKind::kSwitchCrash;
       f.label = util::cat(tl_fault_kind_name(f.kind), " switch=", c.sw);
+      break;
+    case K::kSwitchRestart:
+      f.kind = TlFaultKind::kSwitchRestart;
+      f.label = util::cat("switch_restart switch=", c.sw);
+      break;
+    case K::kRuleCorrupt:
+      f.kind = TlFaultKind::kRuleCorrupt;
+      f.label = util::cat("rule_corrupt switch=", c.sw, " salt=", c.salt);
+      break;
+    case K::kHeaderCorrupt:
+      f.kind = TlFaultKind::kHeaderCorrupt;
+      f.label = util::cat("header_corrupt off=", c.hdr_off, " width=", c.hdr_width,
+                          " val=", c.hdr_val);
       break;
     case K::kCallback:
       return;
@@ -180,6 +199,7 @@ void Timeline::finalize(const sim::Network& net) {
         case TlFaultKind::kLinkUp: edge_admin_down_[f.edge] = false; break;
         case TlFaultKind::kSwitchCrash: sw_crashed_[f.sw] = true; break;
         case TlFaultKind::kSwitchRestore: sw_crashed_[f.sw] = false; break;
+        case TlFaultKind::kSwitchRestart: sw_crashed_[f.sw] = false; break;
         default: break;  // blackhole / loss keep ports live (§3.3)
       }
       if (tl_fault_degrades(f.kind, f.rate)) {
@@ -278,9 +298,12 @@ void Timeline::finalize(const sim::Network& net) {
         }
       }
       if (!hit && !h.delivered) {
-        const bool on_edge = f.kind != TlFaultKind::kSwitchCrash &&
-                             f.kind != TlFaultKind::kSwitchRestore &&
-                             hop_crosses(h, f.edge);
+        // Only link-scoped faults own an edge; the switch-scoped robustness
+        // kinds carry edge=0 and must not claim drops crossing that edge.
+        const bool link_scoped = f.kind == TlFaultKind::kLinkDown ||
+                                 f.kind == TlFaultKind::kBlackholeOn ||
+                                 f.kind == TlFaultKind::kLossSet;
+        const bool on_edge = link_scoped && hop_crosses(h, f.edge);
         const bool into_crash =
             f.kind == TlFaultKind::kSwitchCrash && (h.to == f.sw || h.from == f.sw);
         if (on_edge || into_crash) {

@@ -55,6 +55,9 @@ enum class TlFaultKind : std::uint8_t {
   kLossSet,
   kSwitchCrash,
   kSwitchRestore,
+  kSwitchRestart,   // power-cycle: up again but tables wiped
+  kRuleCorrupt,     // silent flow/group corruption on one switch
+  kHeaderCorrupt,   // tag field overwritten on in-flight packets
 };
 
 const char* tl_fault_kind_name(TlFaultKind k);

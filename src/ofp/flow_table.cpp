@@ -39,6 +39,24 @@ void FlowTable::add_all(std::vector<FlowEntry> batch) {
   invalidate_index();
 }
 
+std::uint64_t FlowTable::remap_group_refs(const std::map<GroupId, GroupId>& remap) {
+  // Deliberately NOT entries_mut(): only action payloads change, never a
+  // match key or the entry order, so the index stays valid.
+  std::uint64_t rewrites = 0;
+  for (FlowEntry& e : entries_) {
+    for (Action& a : e.actions) {
+      auto* grp = std::get_if<ActGroup>(&a);
+      if (grp == nullptr) continue;
+      auto it = remap.find(grp->group);
+      if (it != remap.end() && it->second != grp->group) {
+        grp->group = it->second;
+        ++rewrites;
+      }
+    }
+  }
+  return rewrites;
+}
+
 void FlowTable::reset_counters() {
   for (FlowEntry& e : entries_) {
     e.hit_count = 0;

@@ -14,6 +14,7 @@
 // SS_NO_FLOW_INDEX=1 in the environment, which benches use for A/B runs.
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -136,6 +137,14 @@ class FlowTable {
     invalidate_index();
     return entries_;
   }
+
+  /// Re-point every ActGroup reference per `remap` WITHOUT invalidating the
+  /// dispatch index: group ids live in the action lists, which the index
+  /// never examines (it dispatches on match keys only), so the built slots
+  /// stay byte-for-byte valid.  This is what lets ofp::dedup_groups run on
+  /// a hot table without paying a per-switch index rebuild.  Returns the
+  /// number of rewritten references.
+  std::uint64_t remap_group_refs(const std::map<GroupId, GroupId>& remap);
 
   std::uint64_t lookups() const { return lookups_; }
 

@@ -1,0 +1,131 @@
+#include "ofp/integrity.hpp"
+
+#include <algorithm>
+
+namespace ss::ofp {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) {
+    h ^= (v >> (8 * k)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t mix_str(std::uint64_t h, const std::string& s) {
+  h = fnv1a(h, s.data(), s.size());
+  return mix_u64(h, s.size());  // length separator: "ab"+"c" != "a"+"bc"
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t k = 0; k < len; ++k) {
+    h ^= p[k];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t digest_table(const FlowTable& t) {
+  std::uint64_t h = kFnvOffset;
+  for (const FlowEntry& e : t.entries()) {
+    h = mix_u64(h, e.priority);
+    h = mix_str(h, e.match.describe());
+    h = mix_str(h, describe(e.actions));
+    h = mix_u64(h, e.goto_table ? 1u : 0u);
+    h = mix_u64(h, e.goto_table ? *e.goto_table : 0u);
+    h = mix_str(h, e.name);
+    // hit_count / byte_count / cookie deliberately excluded (see header).
+  }
+  return h;
+}
+
+std::uint64_t digest_groups(const GroupTable& g) {
+  // GroupTable iterates in unordered_map order; sort by id so two equal
+  // tables hash identically regardless of insertion history.
+  std::vector<const Group*> groups;
+  groups.reserve(g.size());
+  g.for_each([&](const Group& grp) { groups.push_back(&grp); });
+  std::sort(groups.begin(), groups.end(),
+            [](const Group* a, const Group* b) { return a->id < b->id; });
+
+  std::uint64_t h = kFnvOffset;
+  for (const Group* grp : groups) {
+    h = mix_u64(h, grp->id);
+    h = mix_u64(h, static_cast<std::uint64_t>(grp->type));
+    h = mix_str(h, grp->name);
+    h = mix_u64(h, grp->buckets.size());
+    for (const Bucket& b : grp->buckets) {
+      h = mix_u64(h, b.watch_port ? 1u : 0u);
+      h = mix_u64(h, b.watch_port ? *b.watch_port : 0u);
+      h = mix_str(h, describe(b.actions));
+      // rr_cursor / exec_count / bucket counters excluded: runtime state.
+    }
+  }
+  return h;
+}
+
+SwitchDigest digest_switch(const Switch& sw) {
+  SwitchDigest d;
+  d.tables.reserve(sw.tables().size());
+  std::uint64_t combined = kFnvOffset;
+  for (std::size_t t = 0; t < sw.tables().size(); ++t) {
+    const FlowTable& ft = sw.tables()[t];
+    TableDigest td;
+    td.table = static_cast<TableId>(t);
+    td.digest = digest_table(ft);
+    td.entries = ft.size();
+    combined = mix_u64(combined, td.digest);
+    d.tables.push_back(td);
+  }
+  d.groups_digest = digest_groups(sw.groups());
+  d.group_count = sw.groups().size();
+  d.combined = mix_u64(combined, d.groups_digest);
+  return d;
+}
+
+AuditReport audit(const Switch& installed, const SwitchDigest& expected) {
+  AuditReport rep;
+  rep.sw = installed.id();
+  // Digest of an entry-less table — what a side "missing" a table holds.
+  const std::uint64_t empty = kFnvOffset;
+  const std::size_t n = std::max(installed.tables().size(), expected.tables.size());
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::uint64_t want =
+        t < expected.tables.size() ? expected.tables[t].digest : empty;
+    const std::uint64_t got =
+        t < installed.tables().size() ? digest_table(installed.tables()[t]) : empty;
+    if (want != got) rep.divergent_tables.push_back(static_cast<TableId>(t));
+  }
+  rep.groups_divergent = digest_groups(installed.groups()) != expected.groups_digest;
+  return rep;
+}
+
+RepairStats reinstall(Switch& installed, const Switch& golden,
+                      const AuditReport& report) {
+  RepairStats st;
+  for (TableId tid : report.divergent_tables) {
+    // Copy assignment IS the transaction: the replacement (entries, warm
+    // dispatch index, cookie counter) is fully formed in `golden` before the
+    // single assignment swaps it in.
+    if (tid < golden.tables().size())
+      installed.table(tid) = golden.tables()[tid];
+    else
+      installed.table(tid) = FlowTable{};
+    st.entries_installed += installed.table(tid).size();
+    ++st.tables_reinstalled;
+  }
+  if (report.groups_divergent) {
+    installed.groups() = golden.groups();
+    st.groups_reinstalled = true;
+  }
+  return st;
+}
+
+}  // namespace ss::ofp

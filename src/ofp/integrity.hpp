@@ -1,0 +1,88 @@
+#pragma once
+// Rule-integrity subsystem: deterministic digests over installed switch
+// state, an audit that diffs them against a golden image, and a
+// transactional reinstall that repairs only what diverged.
+//
+// The digest covers everything the control plane installed — per table:
+// (priority, match, actions, goto, name) of every entry in priority order;
+// for the group table: (id, type, name, watch ports, bucket actions) in
+// ascending id order.  It deliberately EXCLUDES runtime counters
+// (hit/byte/lookup counts, SELECT round-robin cursors, bucket counters):
+// those legitimately drift under traffic, and an audit that flagged them
+// would re-install healthy switches forever.  Cookies are also excluded —
+// they are an installation-order artifact, and a faithfully repaired table
+// re-derives them identically anyway.
+//
+// Determinism contract: digest_switch(a) == digest_switch(b) iff a and b
+// hold the same installed rules, independent of process, platform, or the
+// unordered_map iteration order inside GroupTable (groups are hashed in
+// sorted id order).  This is what lets the recovery service compare a
+// remote switch against an expected digest carried in a probe packet's
+// label stack without shipping the rules themselves.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ofp/switch.hpp"
+
+namespace ss::ofp {
+
+/// FNV-1a 64-bit over a byte sequence; the building block of every digest.
+/// Exposed so tests can cross-check composition.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len);
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/// Digest of one flow table's installed entries (counters excluded).
+std::uint64_t digest_table(const FlowTable& t);
+/// Digest of the whole group table, iterated in ascending group-id order.
+std::uint64_t digest_groups(const GroupTable& g);
+
+struct TableDigest {
+  TableId table = 0;
+  std::uint64_t digest = 0;
+  std::size_t entries = 0;
+};
+
+/// The full per-switch digest: one entry per flow table (trailing empty
+/// tables included, so a wiped pipeline diverges from a compiled one), the
+/// group digest, and a combined value folding all of them.
+struct SwitchDigest {
+  std::vector<TableDigest> tables;
+  std::uint64_t groups_digest = 0;
+  std::size_t group_count = 0;
+  std::uint64_t combined = 0;
+};
+
+SwitchDigest digest_switch(const Switch& sw);
+
+/// audit() output: which parts of `installed` differ from the expectation.
+struct AuditReport {
+  SwitchId sw = 0;
+  std::vector<TableId> divergent_tables;  // per-table digest mismatches
+  bool groups_divergent = false;
+  bool clean() const { return divergent_tables.empty() && !groups_divergent; }
+};
+
+/// Diff the installed switch against an expected digest (typically of the
+/// compiler's golden image).  A table present on only one side counts as
+/// divergent unless it is empty on both.
+AuditReport audit(const Switch& installed, const SwitchDigest& expected);
+
+struct RepairStats {
+  std::size_t tables_reinstalled = 0;
+  std::size_t entries_installed = 0;
+  bool groups_reinstalled = false;
+};
+
+/// Repair ONLY the divergent parts named by `report`, copying them from
+/// `golden`.  Transactional per table: the replacement is built complete,
+/// then swapped in — a table is never observable half-installed.  The copy
+/// carries the golden table's warm dispatch index (FlowIndex slots are
+/// relative byte offsets, so copies stay valid), so a repaired switch
+/// dispatches at full speed from its first post-repair packet; untouched
+/// tables keep their indexes and their counters.
+RepairStats reinstall(Switch& installed, const Switch& golden,
+                      const AuditReport& report);
+
+}  // namespace ss::ofp

@@ -70,9 +70,10 @@ OptimizeStats dedup_groups(Switch& sw) {
     if (to_erase.empty()) break;
 
     for (GroupId id : to_erase) sw.groups().erase(id);
+    // Index-aware rewrite: group ids are action payload, not match keys, so
+    // the tables' dispatch indexes survive the re-point untouched.
     for (FlowTable& t : sw.tables_mut())
-      for (FlowEntry& e : t.entries_mut())
-        rewrite_actions(e.actions, remap, stats.references_rewritten);
+      stats.references_rewritten += t.remap_group_refs(remap);
     sw.groups().for_each_mut([&](Group& g) {
       for (Bucket& b : g.buckets)
         rewrite_actions(b.actions, remap, stats.references_rewritten);

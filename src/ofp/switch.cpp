@@ -59,6 +59,11 @@ std::uint64_t Switch::total_flow_entries() const {
   return n;
 }
 
+void Switch::reboot() {
+  tables_.clear();
+  groups_ = GroupTable{};
+}
+
 std::uint64_t Switch::total_group_buckets() const {
   std::uint64_t n = 0;
   groups_.for_each([&](const Group& g) { n += g.buckets.size(); });

@@ -66,6 +66,15 @@ class Switch {
   std::uint64_t total_flow_entries() const;
   std::uint64_t total_group_buckets() const;
 
+  /// Crash/restart semantics: drop every flow table and group, exactly what
+  /// a power-cycled OpenFlow switch comes back with.  Ports survive (they
+  /// are hardware; the simulator re-evaluates their liveness separately),
+  /// as do their counters — a rebooted ASIC keeps PHY statistics but loses
+  /// all controller-installed state.  The recovery layer's audit()
+  /// (ofp/integrity.hpp) is what notices and repairs the resulting empty
+  /// pipeline.
+  void reboot();
+
  private:
   SwitchId id_;
   std::vector<PortState> ports_;  // index 0 unused (ports are 1-based)

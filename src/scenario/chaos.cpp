@@ -1,0 +1,53 @@
+#include "scenario/chaos.hpp"
+
+#include <stdexcept>
+
+namespace ss::scenario {
+
+std::vector<FaultEvent> expand_chaos(const ChaosSpec& c, util::Rng& rng) {
+  if (c.switches.empty())
+    throw std::invalid_argument("chaos: no candidate switches");
+  if (c.end < c.start) throw std::invalid_argument("chaos: end < start");
+
+  std::vector<FaultEvent> out;
+  out.reserve(2 * c.faults);
+  for (std::uint32_t k = 0; k < c.faults; ++k) {
+    // Fixed draw order per fault — time, class, parameters — so inserting a
+    // new fault class later cannot silently reshuffle older seeds' episodes.
+    const auto at = c.start + rng.uniform(0, c.end - c.start);
+    std::uint64_t roll = rng.uniform(0, 9);
+    if (roll >= 8 && c.hdr_width == 0) roll = 4;  // no header target: corrupt rules
+    if (roll < 4) {
+      // Power-cycle: crash now, come back `restart_after` later with wiped
+      // tables (the restart is what loses state; the crash makes the outage
+      // visible to FAST-FAILOVER neighbours meanwhile).
+      FaultEvent crash;
+      crash.at = at;
+      crash.op = FaultOp::kSwitchCrash;
+      crash.sw = c.switches[rng.uniform(0, c.switches.size() - 1)];
+      FaultEvent restart = crash;
+      restart.at = at + c.restart_after;
+      restart.op = FaultOp::kSwitchRestart;
+      out.push_back(crash);
+      out.push_back(restart);
+    } else if (roll < 8) {
+      FaultEvent ev;
+      ev.at = at;
+      ev.op = FaultOp::kRuleCorrupt;
+      ev.sw = c.switches[rng.uniform(0, c.switches.size() - 1)];
+      ev.salt = rng.uniform(0, ~std::uint64_t{0} - 1);
+      out.push_back(ev);
+    } else {
+      FaultEvent ev;
+      ev.at = at;
+      ev.op = FaultOp::kHeaderCorrupt;
+      ev.hdr_off = c.hdr_off;
+      ev.hdr_width = c.hdr_width;
+      ev.hdr_val = c.hdr_val;
+      out.push_back(ev);
+    }
+  }
+  return out;
+}
+
+}  // namespace ss::scenario

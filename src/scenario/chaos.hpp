@@ -1,0 +1,41 @@
+#pragma once
+// Seeded chaos generator: expands a compact adversarial workload description
+// into a concrete fault schedule mixing the three robustness fault types —
+// switch power-cycles (crash, then a table-wiping restart), silent rule
+// corruption, and in-flight header corruption.
+//
+// Same determinism contract as the other expanders (schedule.hpp): all
+// randomness comes from the caller's util::Rng in a fixed draw order, so a
+// (spec, seed) pair always yields the identical episode — the property the
+// chaos harness's cross-thread byte-identity check rests on.
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/schedule.hpp"
+
+namespace ss::scenario {
+
+struct ChaosSpec {
+  std::uint32_t faults = 8;        // fault injections to draw
+  sim::Time start = 0;             // injection window [start, end]
+  sim::Time end = 200;
+  sim::Time restart_after = 24;    // crash -> restart delay (power-cycle)
+  std::vector<ofp::SwitchId> switches;  // candidate victims (non-empty)
+
+  // Header-corruption target field (typically the TagLayout's start field
+  // with an impossible value, e.g. 3 in a 2-bit {0,1,2} encoding).  A zero
+  // width disables the header-corrupt fault class.
+  std::uint32_t hdr_off = 0;
+  std::uint32_t hdr_width = 0;
+  std::uint64_t hdr_val = 0;
+};
+
+/// Draws per fault, in order: injection time, fault class (~40% power-cycle,
+/// ~40% rule corruption, ~20% header corruption), then the class's own
+/// parameters (victim switch and/or corruption salt).  A power-cycle emits a
+/// kSwitchCrash at t plus a kSwitchRestart at t + restart_after.  The
+/// returned schedule is unsorted; callers sort_schedule() as usual.
+std::vector<FaultEvent> expand_chaos(const ChaosSpec& c, util::Rng& rng);
+
+}  // namespace ss::scenario

@@ -44,6 +44,13 @@ std::string describe_change(const sim::NetChange& c) {
                        " rate=", c.rate);
     case K::kSwitchState:
       return util::cat(c.flag ? "switch_restore" : "switch_crash", " switch=", c.sw);
+    case K::kSwitchRestart:
+      return util::cat("switch_restart switch=", c.sw);
+    case K::kRuleCorrupt:
+      return util::cat("rule_corrupt switch=", c.sw, " salt=", c.salt);
+    case K::kHeaderCorrupt:
+      return util::cat("header_corrupt off=", c.hdr_off, " width=", c.hdr_width,
+                       " val=", c.hdr_val);
     case K::kCallback:
       return "callback";
   }
@@ -80,6 +87,7 @@ graph::EdgeAlive alive_at(const ScenarioSpec& spec, sim::Time t) {
       case FaultOp::kLinkUp: admin[ev.edge] = true; break;
       case FaultOp::kSwitchCrash: sw_up[ev.sw] = false; break;
       case FaultOp::kSwitchRestore: sw_up[ev.sw] = true; break;
+      case FaultOp::kSwitchRestart: sw_up[ev.sw] = true; break;
       default: break;  // blackhole / loss leave links alive (§3.3)
     }
   }
@@ -122,6 +130,29 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
   const std::size_t local_mark = net.local_deliveries().size();
   core::HardenedStats hs{1, 0};
 
+  // Self-healing recovery rides along with whichever service branch runs.
+  // The service owns the TagLayout the RecoveryService points at, so the
+  // arm/finish pair must BOTH run inside the branch: armed after install,
+  // drained (final audit, stats copied out, service released) before the
+  // branch — and the layout — goes out of scope.
+  std::optional<core::RecoveryService> rec;
+  auto arm_recovery = [&](const core::TagLayout& L,
+                          const core::TemplateCompiler& C) {
+    if (!spec.recovery) return;
+    rec.emplace(spec.graph, L, C, *spec.recovery);
+    rec->arm(net);
+  };
+  auto finish_recovery = [&] {
+    if (!rec) return;
+    r.recovery_enabled = true;
+    r.final_audit_clean = rec->all_clean(net);
+    r.divergences = rec->stats().divergences;
+    r.repairs_done = rec->stats().repairs;
+    r.quarantines = rec->stats().quarantines;
+    r.repair_records = rec->records();
+    rec.reset();
+  };
+
   // The accepted attempt's controller message of reason `reason`, epoch-
   // filtered when hardened (a stale attempt's reports must not set the
   // verdict time).
@@ -137,24 +168,29 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
   };
 
   if (spec.service == "plain") {
-    core::PlainTraversal svc(spec.graph, true, true, hardened);
+    core::PlainTraversal svc(spec.graph, true, true, hardened, spec.header_guard);
     svc.install(net);
     layout.emplace(svc.layout());
+    arm_recovery(svc.layout(), svc.compiler());
     r.complete = hardened
                      ? svc.run_hardened(net, spec.root, *spec.retry, &hs, &r.run)
                      : svc.run(net, spec.root, &r.run);
+    finish_recovery();
     if (const auto* m = find_report(svc.layout(), core::kReasonFinish))
       r.verdict_at = m->time;
     r.ground_truth_ok = r.complete;
     r.ground_truth_detail =
         r.complete ? "finish received" : "traversal never finished";
   } else if (spec.service == "snapshot") {
-    core::SnapshotService svc(spec.graph, spec.fragment_limit, true, {}, hardened);
+    core::SnapshotService svc(spec.graph, spec.fragment_limit, true, {}, hardened,
+                              spec.header_guard);
     svc.install(net);
     layout.emplace(svc.layout());
+    arm_recovery(svc.layout(), svc.compiler());
     core::SnapshotResult res =
         hardened ? svc.run_hardened(net, spec.root, *spec.retry, &hs)
                  : svc.run(net, spec.root);
+    finish_recovery();
     r.complete = res.complete;
     r.run = res.stats;
     r.snapshot_canonical = res.canonical();
@@ -176,13 +212,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
     core::AnycastGroupSpec gs;
     gs.gid = spec.anycast_gid;
     for (NodeId m : spec.anycast_members) gs.members[m] = 1;
-    core::AnycastService svc(spec.graph, {gs}, hardened);
+    core::AnycastService svc(spec.graph, {gs}, hardened, spec.header_guard);
     svc.install(net);
     layout.emplace(svc.layout());
+    arm_recovery(svc.layout(), svc.compiler());
     core::AnycastResult res =
         hardened
             ? svc.run_hardened(net, spec.root, spec.anycast_gid, *spec.retry, &hs)
             : svc.run(net, spec.root, spec.anycast_gid);
+    finish_recovery();
     r.complete = res.delivered_at.has_value();
     r.run = res.stats;
     r.delivered_at = res.delivered_at;
@@ -218,12 +256,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
                                   : "no group member reachable";
     }
   } else {  // critical
-    core::CriticalNodeService svc(spec.graph, {}, hardened);
+    core::CriticalNodeService svc(spec.graph, {}, hardened, spec.header_guard);
     svc.install(net);
     layout.emplace(svc.layout());
+    arm_recovery(svc.layout(), svc.compiler());
     core::CriticalResult res =
         hardened ? svc.run_hardened(net, spec.root, *spec.retry, &hs)
                  : svc.run(net, spec.root);
+    finish_recovery();
     r.complete = res.critical.has_value();
     r.run = res.stats;
     r.critical = res.critical;
@@ -245,6 +285,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
 
   r.attempts = hs.attempts;
   r.final_epoch = hs.final_epoch;
+  if (hardened) r.hardened_outcome = core::hardened_outcome_name(hs.outcome);
   r.verdict = r.complete ? "complete" : "incomplete";
   r.sim = net.stats();
   for (graph::EdgeId e = 0; e < net.link_count(); ++e) {
@@ -288,6 +329,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
     expect_failed(util::cat("delivered_at: want ", *ex.delivered_at));
   if (ex.critical && (!r.critical || *r.critical != *ex.critical))
     expect_failed(util::cat("critical: want ", *ex.critical));
+  if (ex.final_audit_clean && *ex.final_audit_clean != r.final_audit_clean)
+    expect_failed(util::cat("final_audit_clean: want ", *ex.final_audit_clean,
+                            ", got ", r.final_audit_clean));
+  if (ex.min_repairs && r.repairs_done < *ex.min_repairs)
+    expect_failed(util::cat("repairs: want >= ", *ex.min_repairs, ", got ",
+                            r.repairs_done));
   return r;
 }
 
@@ -324,6 +371,26 @@ void write_result_jsonl(std::ostream& os, const ScenarioSpec& spec,
       .add("verdict_at", r.verdict_at)
       .add("ground_truth_ok", r.ground_truth_ok)
       .add("ground_truth", r.ground_truth_detail);
+  if (!r.hardened_outcome.empty()) o.add("retry_outcome", r.hardened_outcome);
+  if (r.recovery_enabled) {
+    o.add("final_audit_clean", r.final_audit_clean)
+        .add("divergences", r.divergences)
+        .add("repairs", r.repairs_done)
+        .add("quarantines", r.quarantines);
+    obs::JsonArr recs;
+    for (const core::RepairRecord& rr : r.repair_records) {
+      obs::JsonObj ro;
+      ro.add("switch", rr.sw)
+          .add("detected_at", rr.detected_at)
+          .add("repaired_at", rr.repaired_at)
+          .add("mttr_hops", rr.repaired ? rr.repair_hop - rr.detect_hop : 0)
+          .add("attempts", rr.attempts)
+          .add("quarantined", rr.quarantined)
+          .add("repaired", rr.repaired);
+      recs.push_raw(ro.str());
+    }
+    o.add_raw("repair_records", recs.str());
+  }
   if (spec.service == "snapshot")
     o.add("snapshot_match", r.snapshot_match)
         .add("snapshot_fragments", r.snapshot_fragments);

@@ -35,6 +35,7 @@ struct ScenarioResult {
   std::string verdict = "incomplete";  // "complete" | "incomplete"
   std::uint32_t attempts = 1;
   std::uint32_t final_epoch = 0;
+  std::string hardened_outcome;  // hardened runs: verdict / stale-verdict / exhausted
   sim::Time verdict_at = 0;  // accepted report's simulated timestamp
   bool ground_truth_ok = false;
   std::string ground_truth_detail;
@@ -56,6 +57,14 @@ struct ScenarioResult {
   std::size_t snapshot_fragments = 0;
   std::optional<graph::NodeId> delivered_at;
   std::optional<bool> critical;
+
+  // Recovery service outcome (spec.recovery present only).
+  bool recovery_enabled = false;
+  bool final_audit_clean = true;   // end-of-run audit over every up switch
+  std::uint64_t divergences = 0;
+  std::uint64_t repairs_done = 0;
+  std::uint64_t quarantines = 0;
+  std::vector<core::RepairRecord> repair_records;
 
   bool expect_ok = true;
   std::vector<std::string> expect_failures;

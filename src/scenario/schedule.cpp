@@ -17,6 +17,9 @@ const char* fault_op_name(FaultOp op) {
     case FaultOp::kLossSet: return "loss";
     case FaultOp::kSwitchCrash: return "switch_crash";
     case FaultOp::kSwitchRestore: return "switch_restore";
+    case FaultOp::kSwitchRestart: return "switch_restart";
+    case FaultOp::kRuleCorrupt: return "rule_corrupt";
+    case FaultOp::kHeaderCorrupt: return "header_corrupt";
   }
   return "?";
 }
@@ -110,6 +113,15 @@ void apply_schedule(sim::Network& net, const std::vector<FaultEvent>& schedule) 
       case FaultOp::kSwitchRestore:
         net.schedule_switch_state(ev.sw, true, ev.at);
         break;
+      case FaultOp::kSwitchRestart:
+        net.schedule_switch_restart(ev.sw, ev.at);
+        break;
+      case FaultOp::kRuleCorrupt:
+        net.schedule_rule_corrupt(ev.sw, ev.salt, ev.at);
+        break;
+      case FaultOp::kHeaderCorrupt:
+        net.schedule_header_corrupt(ev.hdr_off, ev.hdr_width, ev.hdr_val, ev.at);
+        break;
     }
   }
 }
@@ -119,7 +131,14 @@ std::string describe(const FaultEvent& ev) {
   switch (ev.op) {
     case FaultOp::kSwitchCrash:
     case FaultOp::kSwitchRestore:
+    case FaultOp::kSwitchRestart:
       s += util::cat(" switch=", ev.sw);
+      break;
+    case FaultOp::kRuleCorrupt:
+      s += util::cat(" switch=", ev.sw, " salt=", ev.salt);
+      break;
+    case FaultOp::kHeaderCorrupt:
+      s += util::cat(" off=", ev.hdr_off, " width=", ev.hdr_width, " val=", ev.hdr_val);
       break;
     case FaultOp::kLossSet:
       s += util::cat(" edge=", ev.edge);

@@ -29,6 +29,9 @@ enum class FaultOp : std::uint8_t {
   kLossSet,        // Bernoulli loss rate change
   kSwitchCrash,    // every incident link's ports go not-live
   kSwitchRestore,
+  kSwitchRestart,  // power-cycle: tables wiped, switch back up (robustness)
+  kRuleCorrupt,    // silently corrupt one installed rule/group on `sw`
+  kHeaderCorrupt,  // overwrite a tag field on every in-flight packet
 };
 
 const char* fault_op_name(FaultOp op);
@@ -37,9 +40,13 @@ struct FaultEvent {
   sim::Time at = 0;
   FaultOp op = FaultOp::kLinkDown;
   graph::EdgeId edge = 0;              // link ops
-  ofp::SwitchId sw = 0;                // kSwitchCrash / kSwitchRestore
+  ofp::SwitchId sw = 0;                // switch-targeted ops
   std::optional<ofp::SwitchId> from;   // directional blackhole/loss origin
   double rate = 0.0;                   // kLossSet
+  std::uint64_t salt = 0;              // kRuleCorrupt: victim-selection salt
+  std::uint32_t hdr_off = 0;           // kHeaderCorrupt: tag field offset
+  std::uint32_t hdr_width = 0;         // kHeaderCorrupt: tag field width
+  std::uint64_t hdr_val = 0;           // kHeaderCorrupt: value written
 };
 
 /// Periodic link flap train: `count` down/up pairs starting at `start`,

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "core/fields.hpp"
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
+#include "scenario/chaos.hpp"
 #include "util/strings.hpp"
 
 namespace ss::scenario {
@@ -143,6 +145,25 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
     s.retry = p;
   }
 
+  s.header_guard = doc->boolean_or("header_guard", false);
+
+  if (const JsonValue* rec = doc->get("recovery")) {
+    if (!rec->is_object()) return fail("'recovery' must be an object");
+    core::RecoveryPolicy p;
+    p.probe_interval = rec->u64("probe_interval", 32);
+    p.backoff_base = rec->u64("backoff_base", 16);
+    p.max_repair_attempts =
+        static_cast<std::uint32_t>(rec->u64("max_repair_attempts", 4));
+    p.quarantine_for = rec->u64("quarantine_for", 256);
+    p.probe_root = static_cast<graph::NodeId>(rec->u64("probe_root", s.root));
+    p.max_cycles = rec->u64("max_cycles", 0);
+    if (p.probe_interval == 0 || p.max_repair_attempts == 0)
+      return fail("recovery probe_interval/max_repair_attempts must be >= 1");
+    if (p.probe_root >= s.graph.node_count())
+      return fail("recovery probe_root out of range");
+    s.recovery = p;
+  }
+
   // Schedule: concrete ops are taken as-is; generator ops expand here, all
   // drawing from one Rng(seed) in file order.
   util::Rng rng(s.seed);
@@ -182,16 +203,60 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
           ev.rate = num_or(item, "rate", 0.0);
           if (ev.rate < 0.0 || ev.rate > 1.0) return fail("loss: rate must be in [0,1]");
           s.schedule.push_back(ev);
-        } else if (op == "switch_crash" || op == "switch_restore") {
+        } else if (op == "switch_crash" || op == "switch_restore" ||
+                   op == "switch_restart" || op == "rule_corrupt") {
           FaultEvent ev;
           ev.at = item.u64("at");
-          ev.op = op == "switch_crash" ? FaultOp::kSwitchCrash : FaultOp::kSwitchRestore;
+          ev.op = op == "switch_crash"     ? FaultOp::kSwitchCrash
+                  : op == "switch_restore" ? FaultOp::kSwitchRestore
+                  : op == "switch_restart" ? FaultOp::kSwitchRestart
+                                           : FaultOp::kRuleCorrupt;
           const JsonValue* v = item.get("switch");
           if (v == nullptr || !v->is_number() || v->number < 0 ||
               v->number >= s.graph.node_count())
             return fail(util::cat(op, ": bad 'switch'"));
           ev.sw = static_cast<ofp::SwitchId>(v->number);
+          if (ev.op == FaultOp::kRuleCorrupt) ev.salt = item.u64("salt", 1);
           s.schedule.push_back(ev);
+        } else if (op == "header_corrupt") {
+          // Defaults to poisoning the traversal start field (value 3 is
+          // outside its legal {0,1,2} alphabet) — exactly what the
+          // header_guard rules and the driver's watchdog exist to absorb.
+          const core::TagLayout L(s.graph);
+          FaultEvent ev;
+          ev.at = item.u64("at");
+          ev.op = FaultOp::kHeaderCorrupt;
+          ev.hdr_off = static_cast<std::uint32_t>(item.u64("off", L.start().offset));
+          ev.hdr_width = static_cast<std::uint32_t>(item.u64("width", L.start().width));
+          ev.hdr_val = item.u64("val", 3);
+          if (ev.hdr_width == 0 || ev.hdr_width > 64)
+            return fail("header_corrupt: bad 'width'");
+          s.schedule.push_back(ev);
+        } else if (op == "chaos") {
+          const core::TagLayout L(s.graph);
+          ChaosSpec c;
+          c.faults = static_cast<std::uint32_t>(item.u64("faults", 8));
+          c.start = item.u64("start", 0);
+          c.end = item.u64("end", 200);
+          c.restart_after = item.u64("restart_after", 24);
+          c.hdr_off = static_cast<std::uint32_t>(item.u64("off", L.start().offset));
+          c.hdr_width = static_cast<std::uint32_t>(item.u64("width", L.start().width));
+          c.hdr_val = item.u64("val", 3);
+          if (const JsonValue* arr = item.get("switches")) {
+            if (!arr->is_array()) return fail("chaos: 'switches' must be an array");
+            for (const JsonValue& v : arr->array) {
+              if (!v.is_number() || v.number < 0 || v.number >= s.graph.node_count())
+                return fail("chaos: switch id out of range");
+              c.switches.push_back(static_cast<ofp::SwitchId>(v.number));
+            }
+          } else {
+            // Every node except the root — restarting the injection point
+            // mid-probe is a different experiment (switch_restart does it).
+            for (graph::NodeId v = 0; v < s.graph.node_count(); ++v)
+              if (v != s.root) c.switches.push_back(v);
+          }
+          const auto ex = expand_chaos(c, rng);
+          s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
         } else if (op == "flap") {
           FlapSpec f;
           if (!edge_of(&f.edge)) return fail("flap: bad 'edge'");
@@ -241,6 +306,10 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
     if (const JsonValue* v = e->get("delivered_at"))
       s.expect.delivered_at = static_cast<graph::NodeId>(v->number);
     if (const JsonValue* v = e->get("critical")) s.expect.critical = v->boolean;
+    if (const JsonValue* v = e->get("final_audit_clean"))
+      s.expect.final_audit_clean = v->boolean;
+    if (const JsonValue* v = e->get("min_repairs"))
+      s.expect.min_repairs = static_cast<std::uint32_t>(v->number);
   }
   return s;
 }

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/recovery.hpp"
 #include "core/services.hpp"
 #include "graph/graph.hpp"
 #include "scenario/schedule.hpp"
@@ -35,6 +36,8 @@ struct ExpectSpec {
   std::optional<bool> snapshot_match;          // snapshot vs ground truth
   std::optional<graph::NodeId> delivered_at;   // anycast receiver
   std::optional<bool> critical;                // critical-node verdict
+  std::optional<bool> final_audit_clean;       // recovery: end-of-run audit
+  std::optional<std::uint32_t> min_repairs;    // recovery: repairs >= this
 };
 
 struct ScenarioSpec {
@@ -49,6 +52,8 @@ struct ScenarioSpec {
   std::vector<graph::NodeId> anycast_members;  // anycast only
   std::uint32_t anycast_gid = 1;
   std::optional<core::RetryPolicy> retry;  // present = hardened (epoch) driver
+  bool header_guard = false;               // compile hdr.guard.* poison rules
+  std::optional<core::RecoveryPolicy> recovery;  // present = self-healing on
   std::vector<FaultEvent> schedule;        // expanded + sorted
   ExpectSpec expect;
 };

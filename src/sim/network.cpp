@@ -47,6 +47,61 @@ void Network::set_switch_up(ofp::SwitchId id, bool up) {
     refresh_link(graph_.edge_at(id, p));
 }
 
+void Network::restart_switch(ofp::SwitchId id) {
+  sw(id).reboot();
+  set_switch_up(id, true);
+}
+
+std::uint64_t Network::corrupt_rules(ofp::SwitchId id, std::uint64_t salt) {
+  ofp::Switch& s = sw(id);
+  // Candidate space: every installed flow entry, then every group (in
+  // ascending id order, so the pick is independent of unordered_map layout).
+  std::uint64_t flow_entries = s.total_flow_entries();
+  std::vector<ofp::GroupId> gids;
+  gids.reserve(s.groups().size());
+  s.groups().for_each([&](const ofp::Group& g) { gids.push_back(g.id); });
+  std::sort(gids.begin(), gids.end());
+  const std::uint64_t total = flow_entries + gids.size();
+  if (total == 0) return 0;
+
+  // splitmix64-style scramble of (salt, id): deterministic, well spread.
+  std::uint64_t x = salt + 0x9e3779b97f4a7c15ull * (id + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  std::uint64_t idx = x % total;
+
+  if (idx < flow_entries) {
+    for (ofp::FlowTable& t : s.tables_mut()) {
+      if (idx >= t.size()) {
+        idx -= t.size();
+        continue;
+      }
+      ofp::FlowEntry& e = t.entries_mut()[idx];
+      e.actions = {ofp::ActDrop{}};
+      e.goto_table.reset();
+      return 1;
+    }
+    return 0;  // unreachable: idx < flow_entries
+  }
+  s.groups().at(gids[idx - flow_entries]).buckets.clear();
+  return 1;
+}
+
+std::uint64_t Network::corrupt_header(std::uint32_t offset, std::uint32_t width,
+                                      std::uint64_t value) {
+  if (width == 0) return 0;
+  std::uint64_t touched = 0;
+  for (Arrival& a : queue_) {
+    if (a.packet.tag.size_bits() < offset + width) continue;
+    a.packet.tag.set(offset, width, value);
+    ++touched;
+  }
+  return touched;
+}
+
 const Link& Network::validated_end(graph::EdgeId id, ofp::SwitchId from,
                                    const char* what) const {
   const Link& l = links_.at(id);
@@ -254,6 +309,36 @@ void Network::schedule_switch_state(ofp::SwitchId id, bool up, Time when) {
   changes_.emplace(when, std::move(c));
 }
 
+void Network::schedule_switch_restart(ofp::SwitchId id, Time when) {
+  if (id >= switches_.size())
+    throw std::out_of_range("schedule_switch_restart: bad switch");
+  NetChange c;
+  c.kind = NetChange::Kind::kSwitchRestart;
+  c.sw = id;
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_rule_corrupt(ofp::SwitchId id, std::uint64_t salt,
+                                    Time when) {
+  if (id >= switches_.size())
+    throw std::out_of_range("schedule_rule_corrupt: bad switch");
+  NetChange c;
+  c.kind = NetChange::Kind::kRuleCorrupt;
+  c.sw = id;
+  c.salt = salt;
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_header_corrupt(std::uint32_t offset, std::uint32_t width,
+                                      std::uint64_t value, Time when) {
+  NetChange c;
+  c.kind = NetChange::Kind::kHeaderCorrupt;
+  c.hdr_off = offset;
+  c.hdr_width = width;
+  c.hdr_val = value;
+  changes_.emplace(when, std::move(c));
+}
+
 void Network::schedule_callback(Time when, std::function<void(Network&)> fn) {
   NetChange c;
   c.kind = NetChange::Kind::kCallback;
@@ -283,6 +368,15 @@ void Network::apply_change(Time t, NetChange& c) {
       break;
     case NetChange::Kind::kCallback:
       if (c.fn) c.fn(*this);
+      break;
+    case NetChange::Kind::kSwitchRestart:
+      restart_switch(c.sw);
+      break;
+    case NetChange::Kind::kRuleCorrupt:
+      corrupt_rules(c.sw, c.salt);
+      break;
+    case NetChange::Kind::kHeaderCorrupt:
+      corrupt_header(c.hdr_off, c.hdr_width, c.hdr_val);
       break;
   }
   if (change_hook_) change_hook_(t, c);

@@ -100,6 +100,9 @@ struct NetChange {
     kLoss,         // Bernoulli loss rate change
     kSwitchState,  // switch crash/restore = every incident link down/up
     kCallback,     // run `fn(net)` at `when` (watchdogs, staged injections)
+    kSwitchRestart,   // power-cycle: tables/groups wiped, switch comes back up
+    kRuleCorrupt,     // silently mutate one installed rule/group on `sw`
+    kHeaderCorrupt,   // overwrite a tag field on every in-flight packet
   };
   Kind kind = Kind::kLinkState;
   graph::EdgeId edge = 0;     // kLinkState / kBlackhole / kLoss
@@ -107,6 +110,10 @@ struct NetChange {
   bool both_dirs = true;      // kBlackhole / kLoss: ignore `sw`, hit both ways
   bool flag = false;          // up (kLinkState/kSwitchState) / enabled (kBlackhole)
   double rate = 0.0;          // kLoss
+  std::uint64_t salt = 0;     // kRuleCorrupt: deterministic victim selection
+  std::uint32_t hdr_off = 0;   // kHeaderCorrupt: tag field offset
+  std::uint32_t hdr_width = 0; // kHeaderCorrupt: tag field width (0 = no-op)
+  std::uint64_t hdr_val = 0;   // kHeaderCorrupt: value written into the field
   std::function<void(Network&)> fn;  // kCallback
 };
 
@@ -141,6 +148,30 @@ class Network {
   void set_switch_up(ofp::SwitchId id, bool up);
   bool switch_up(ofp::SwitchId id) const { return sw_up_.at(id); }
 
+  /// Power-cycle a switch: its flow/group tables are wiped (Switch::reboot)
+  /// and it comes back up with an EMPTY pipeline.  This is the crash model
+  /// set_switch_up deliberately lacks — there, tables survive, which models
+  /// a partition, not a reboot.  A restarted switch forwards nothing until
+  /// the recovery layer re-installs its rules.
+  void restart_switch(ofp::SwitchId id);
+
+  /// Adversarially corrupt ONE installed item on `id`, chosen
+  /// deterministically from (salt, id): either a flow entry (its actions
+  /// become a bare drop and its goto is cleared) or a group (its buckets are
+  /// emptied).  Returns the number of items corrupted (0 iff the switch has
+  /// no rules or groups to corrupt).  Models bit-flips / buggy-firmware
+  /// table damage that port liveness cannot reveal — only a rule-integrity
+  /// audit can.
+  std::uint64_t corrupt_rules(ofp::SwitchId id, std::uint64_t salt);
+
+  /// Overwrite tag bits [offset, offset+width) with `value` on every queued
+  /// in-flight packet whose tag region covers the range.  Returns the number
+  /// of packets touched.  This is how the chaos harness forges impossible
+  /// header states (e.g. a start field of 3 in a 2-bit {0,1,2} encoding) to
+  /// exercise the compiler's header-guard rules.
+  std::uint64_t corrupt_header(std::uint32_t offset, std::uint32_t width,
+                               std::uint64_t value);
+
   /// Plant a silent blackhole on the direction `from` -> other end.
   /// Throws std::invalid_argument unless `from` is one of the link's ends.
   void set_blackhole_from(graph::EdgeId id, ofp::SwitchId from, bool enabled);
@@ -167,10 +198,22 @@ class Network {
   void schedule_loss(graph::EdgeId id, double p, Time when);
   void schedule_loss_from(graph::EdgeId id, ofp::SwitchId from, double p, Time when);
   void schedule_switch_state(ofp::SwitchId id, bool up, Time when);
+  /// Scheduled fault-injection forms of the corruption primitives above.
+  void schedule_switch_restart(ofp::SwitchId id, Time when);
+  void schedule_rule_corrupt(ofp::SwitchId id, std::uint64_t salt, Time when);
+  void schedule_header_corrupt(std::uint32_t offset, std::uint32_t width,
+                               std::uint64_t value, Time when);
   /// Run `fn` at simulated time `when` — the hook the hardened drivers use
   /// for retry watchdogs.  The callback may inject packets and schedule
   /// further callbacks.
   void schedule_callback(Time when, std::function<void(Network&)> fn);
+
+  /// Event-queue introspection: counts of not-yet-applied scheduled changes
+  /// and queued packet arrivals.  The recovery service's re-arming callback
+  /// uses these to decide whether the simulation still has work coming (and
+  /// hence whether another probe cycle is worth scheduling).
+  std::size_t pending_changes() const { return changes_.size(); }
+  std::size_t pending_arrivals() const { return queue_.size(); }
 
   /// Observe every applied scheduled change (after it took effect).  The
   /// scenario runner uses this to cut per-event Stats deltas.

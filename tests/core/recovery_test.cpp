@@ -1,0 +1,177 @@
+// Self-healing recovery service: end-to-end restart-during-traversal,
+// corruption landing mid-repair, the quarantine state machine (entry via
+// exhausted attempts, exit via re-admission), and the header-state guard.
+
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "sim/network.hpp"
+
+namespace ss {
+namespace {
+
+/// Shared fixture pieces for direct-stepping tests: an installed ring plus
+/// a recovery service whose cycles the test drives by hand.
+struct SteppedRecovery {
+  graph::Graph g;
+  core::PlainTraversal svc;
+  sim::Network net;
+  core::RecoveryService rec;
+
+  explicit SteppedRecovery(core::RecoveryPolicy pol, std::size_t n = 8)
+      : g(graph::make_ring(n)),
+        svc(g),
+        net(g),
+        rec(g, svc.layout(), svc.compiler(), pol) {
+    svc.install(net);
+  }
+};
+
+scenario::ScenarioSpec base_spec(const char* name) {
+  scenario::ScenarioSpec spec;
+  spec.name = name;
+  spec.topology.kind = "torus";
+  spec.topology.n = 16;
+  spec.topology.seed = 1;
+  std::string err;
+  spec.graph = scenario::build_topology(spec.topology, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  spec.seed = 11;
+  spec.root = 0;
+  spec.service = "plain";
+  spec.header_guard = true;
+  core::RetryPolicy retry;
+  retry.timeout = 400;  // > one full torus-16 traversal
+  retry.max_attempts = 8;
+  spec.retry = retry;
+  core::RecoveryPolicy rec;
+  rec.probe_interval = 24;
+  rec.backoff_base = 16;
+  rec.max_repair_attempts = 8;
+  rec.quarantine_for = 128;
+  rec.probe_root = 0;
+  rec.max_cycles = 2048;
+  spec.recovery = rec;
+  return spec;
+}
+
+TEST(Recovery, RestartDuringTraversalRepairsAndCompletes) {
+  scenario::ScenarioSpec spec = base_spec("restart-mid-traversal");
+  scenario::FaultEvent ev;
+  ev.at = 6;  // mid first attempt: packets are in flight through sw 9
+  ev.op = scenario::FaultOp::kSwitchRestart;
+  ev.sw = 9;
+  spec.schedule = {ev};
+
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+  EXPECT_EQ(res.verdict, "complete") << res.verdict;
+  EXPECT_TRUE(res.recovery_enabled);
+  EXPECT_TRUE(res.final_audit_clean);
+  EXPECT_GE(res.repairs_done, 1u);
+  ASSERT_FALSE(res.repair_records.empty());
+  for (const core::RepairRecord& rr : res.repair_records) {
+    EXPECT_TRUE(rr.repaired);
+    EXPECT_GE(rr.repaired_at, rr.detected_at);
+  }
+}
+
+TEST(Recovery, CorruptionLandingMidRepairStillConverges) {
+  core::RecoveryPolicy pol;
+  pol.backoff_base = 1;
+  SteppedRecovery t(pol);
+
+  ASSERT_GT(t.net.corrupt_rules(3, /*salt=*/7), 0u);
+  t.rec.cycle(t.net);  // detection cycle: marked, not yet repaired
+  EXPECT_EQ(t.rec.health(3), core::SwitchHealth::kDivergent);
+
+  // Fresh damage lands on the SAME switch while its repair is pending.
+  ASSERT_GT(t.net.corrupt_rules(3, /*salt=*/99), 0u);
+  t.rec.cycle(t.net);  // repair cycle: reinstall covers both corruptions
+  EXPECT_EQ(t.rec.health(3), core::SwitchHealth::kHealthy);
+  EXPECT_TRUE(t.rec.all_clean(t.net));
+  ASSERT_EQ(t.rec.records().size(), 1u);
+  EXPECT_TRUE(t.rec.records()[0].repaired);
+  EXPECT_EQ(t.rec.stats().divergences, 1u);
+  EXPECT_EQ(t.rec.stats().repairs, 1u);
+  EXPECT_EQ(t.rec.stats().quarantines, 0u);
+}
+
+TEST(Recovery, RepeatedIncidentsEnterAndExitQuarantine) {
+  // Attempts persist across incidents (only two consecutive clean audits
+  // decay them), so a flapping switch exhausts its budget and is parked.
+  core::RecoveryPolicy pol;
+  pol.max_repair_attempts = 2;
+  pol.quarantine_for = 0;  // re-admission eligible on the very next cycle
+  pol.backoff_base = 1;
+  SteppedRecovery t(pol);
+
+  for (int incident = 0; incident < 2; ++incident) {
+    ASSERT_GT(t.net.corrupt_rules(5, 10 + incident), 0u);
+    t.rec.cycle(t.net);  // detect
+    t.rec.cycle(t.net);  // repair (attempts -> incident + 1)
+    EXPECT_EQ(t.rec.health(5), core::SwitchHealth::kHealthy);
+  }
+  EXPECT_EQ(t.rec.stats().repairs, 2u);
+
+  // Third incident: the repair cycle pushes attempts past the budget.
+  ASSERT_GT(t.net.corrupt_rules(5, 42), 0u);
+  t.rec.cycle(t.net);  // detect
+  t.rec.cycle(t.net);  // attempts=3 > max=2 -> quarantined, no reinstall
+  EXPECT_EQ(t.rec.health(5), core::SwitchHealth::kQuarantined);
+  EXPECT_EQ(t.rec.stats().quarantines, 1u);
+  EXPECT_EQ(t.rec.stats().repairs, 2u);  // unchanged: quarantine blocks it
+
+  // Re-admission: fresh attempt budget, straight back through repair.
+  t.rec.cycle(t.net);
+  EXPECT_EQ(t.rec.health(5), core::SwitchHealth::kHealthy);
+  EXPECT_TRUE(t.rec.all_clean(t.net));
+  EXPECT_EQ(t.rec.stats().repairs, 3u);
+  ASSERT_EQ(t.rec.records().size(), 3u);
+  const core::RepairRecord& last = t.rec.records().back();
+  EXPECT_TRUE(last.quarantined);
+  EXPECT_TRUE(last.repaired);
+}
+
+TEST(Recovery, DownSwitchIsSkippedUntilRestartBringsItBack) {
+  core::RecoveryPolicy pol;
+  pol.backoff_base = 1;
+  SteppedRecovery t(pol);
+
+  t.net.set_switch_up(2, false);
+  t.rec.cycle(t.net);  // a down switch is not audited and opens no record
+  EXPECT_EQ(t.rec.health(2), core::SwitchHealth::kHealthy);
+  EXPECT_EQ(t.rec.stats().divergences, 0u);
+
+  t.net.restart_switch(2);  // back up with wiped tables
+  t.rec.cycle(t.net);       // detect
+  EXPECT_EQ(t.rec.health(2), core::SwitchHealth::kDivergent);
+  t.rec.cycle(t.net);  // repair from golden
+  EXPECT_EQ(t.rec.health(2), core::SwitchHealth::kHealthy);
+  EXPECT_TRUE(t.rec.all_clean(t.net));
+}
+
+TEST(Recovery, HeaderGuardRecoversFromInFlightCorruption) {
+  scenario::ScenarioSpec spec = base_spec("header-poison");
+  const core::TagLayout layout(spec.graph);
+  scenario::FaultEvent ev;
+  ev.at = 8;
+  ev.op = scenario::FaultOp::kHeaderCorrupt;
+  ev.hdr_off = layout.start().offset;
+  ev.hdr_width = layout.start().width;
+  ev.hdr_val = 3;
+  spec.schedule = {ev};
+
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+  // Guard rules drop the poisoned packets; the watchdog re-injects and the
+  // clean retry completes with the installation never having diverged.
+  EXPECT_EQ(res.verdict, "complete") << res.verdict;
+  EXPECT_TRUE(res.final_audit_clean);
+}
+
+}  // namespace
+}  // namespace ss

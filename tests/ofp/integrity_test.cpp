@@ -1,0 +1,191 @@
+// Rule-integrity subsystem: digests must be deterministic and counter-blind,
+// audit must name exactly what diverged, and reinstall must repair only that
+// — transactionally, carrying warm dispatch indexes.
+
+#include "ofp/integrity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+#include "ofp/optimize.hpp"
+#include "sim/network.hpp"
+
+namespace ss {
+namespace {
+
+/// A compiler-installed network on `g` (realistic multi-table switches).
+sim::Network installed(const graph::Graph& g, core::PlainTraversal& svc) {
+  sim::Network net(g);
+  svc.install(net);
+  return net;
+}
+
+ofp::Switch make_switch_with_groups(bool reverse_insertion) {
+  ofp::Switch sw(1, 4);
+  std::vector<ofp::GroupId> ids{3, 7, 11};
+  if (reverse_insertion) std::reverse(ids.begin(), ids.end());
+  for (ofp::GroupId id : ids) {
+    ofp::Group g;
+    g.id = id;
+    g.type = ofp::GroupType::kFastFailover;
+    g.buckets.push_back({{ofp::ActOutput{1}}, ofp::PortNo{1}});
+    g.buckets.push_back({{ofp::ActOutput{2}}, ofp::PortNo{2}});
+    sw.groups().add(std::move(g));
+  }
+  ofp::FlowEntry e;
+  e.priority = 10;
+  e.match.eth_type = 0x0800;
+  e.actions = {ofp::ActGroup{7}};
+  sw.table(0).add(std::move(e));
+  return sw;
+}
+
+TEST(Integrity, DigestIndependentOfGroupInsertionOrder) {
+  const ofp::Switch a = make_switch_with_groups(false);
+  const ofp::Switch b = make_switch_with_groups(true);
+  const ofp::SwitchDigest da = ofp::digest_switch(a);
+  const ofp::SwitchDigest db = ofp::digest_switch(b);
+  EXPECT_EQ(da.combined, db.combined);
+  EXPECT_EQ(da.groups_digest, db.groups_digest);
+  ASSERT_EQ(da.tables.size(), db.tables.size());
+  for (std::size_t t = 0; t < da.tables.size(); ++t)
+    EXPECT_EQ(da.tables[t].digest, db.tables[t].digest);
+}
+
+TEST(Integrity, DigestIgnoresCountersAndCursors) {
+  ofp::Switch sw = make_switch_with_groups(false);
+  const std::uint64_t before = ofp::digest_switch(sw).combined;
+  // Drift every runtime counter the way live traffic would.
+  sw.tables_mut()[0].entries_mut()[0].hit_count = 999;
+  sw.tables_mut()[0].entries_mut()[0].byte_count = 12345;
+  sw.groups().at(7).exec_count = 55;
+  sw.groups().at(7).rr_cursor = 3;
+  sw.groups().at(7).buckets[0].packet_count = 42;
+  EXPECT_EQ(ofp::digest_switch(sw).combined, before);
+}
+
+TEST(Integrity, DigestSeesEveryInstalledField) {
+  const ofp::Switch base = make_switch_with_groups(false);
+  const std::uint64_t d0 = ofp::digest_switch(base).combined;
+
+  ofp::Switch s1 = make_switch_with_groups(false);
+  s1.tables_mut()[0].entries_mut()[0].priority = 11;
+  EXPECT_NE(ofp::digest_switch(s1).combined, d0);
+
+  ofp::Switch s2 = make_switch_with_groups(false);
+  s2.tables_mut()[0].entries_mut()[0].actions = {ofp::ActDrop{}};
+  EXPECT_NE(ofp::digest_switch(s2).combined, d0);
+
+  ofp::Switch s3 = make_switch_with_groups(false);
+  s3.groups().at(11).buckets.clear();
+  EXPECT_NE(ofp::digest_switch(s3).combined, d0);
+}
+
+TEST(Integrity, AuditFlagsExactlyTheDivergentTable) {
+  const graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net = installed(g, svc);
+  const ofp::SwitchDigest expected = ofp::digest_switch(net.sw(2));
+
+  EXPECT_TRUE(ofp::audit(net.sw(2), expected).clean());
+
+  // Corrupt one entry in one table: exactly that table must be named.
+  net.sw(2).tables_mut()[1].entries_mut()[0].actions = {ofp::ActDrop{}};
+  const ofp::AuditReport rep = ofp::audit(net.sw(2), expected);
+  EXPECT_FALSE(rep.clean());
+  ASSERT_EQ(rep.divergent_tables.size(), 1u);
+  EXPECT_EQ(rep.divergent_tables[0], 1u);
+  EXPECT_FALSE(rep.groups_divergent);
+}
+
+TEST(Integrity, AuditFlagsWipedSwitchOnEveryTable) {
+  const graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net = installed(g, svc);
+  const ofp::SwitchDigest expected = ofp::digest_switch(net.sw(3));
+  const std::size_t installed_tables = net.sw(3).tables().size();
+
+  net.sw(3).reboot();
+  const ofp::AuditReport rep = ofp::audit(net.sw(3), expected);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_EQ(rep.divergent_tables.size(), installed_tables);
+  EXPECT_TRUE(rep.groups_divergent);
+}
+
+TEST(Integrity, ReinstallRepairsOnlyWhatDivergedAndKeepsCounters) {
+  const graph::Graph g = graph::make_ring(6);
+  core::PlainTraversal svc(g);
+  sim::Network net = installed(g, svc);
+  // Golden copy BEFORE damage; run traffic so counters drift on the live one.
+  const ofp::Switch golden = net.sw(4);
+  const ofp::SwitchDigest expected = ofp::digest_switch(golden);
+  svc.run(net, 0);
+  const std::uint64_t hits_t0 = net.sw(4).tables()[0].entries()[0].hit_count;
+
+  net.sw(4).tables_mut()[1].entries_mut()[0].actions = {ofp::ActDrop{}};
+  const ofp::AuditReport rep = ofp::audit(net.sw(4), expected);
+  const ofp::RepairStats rs = ofp::reinstall(net.sw(4), golden, rep);
+  EXPECT_EQ(rs.tables_reinstalled, 1u);
+  EXPECT_GT(rs.entries_installed, 0u);
+  EXPECT_FALSE(rs.groups_reinstalled);
+  EXPECT_TRUE(ofp::audit(net.sw(4), expected).clean());
+  // Untouched table 0 kept its traffic counters (repair is surgical).
+  EXPECT_EQ(net.sw(4).tables()[0].entries()[0].hit_count, hits_t0);
+}
+
+TEST(Integrity, ReinstallRestoresARebootedSwitchToWorkingOrder) {
+  const graph::Graph g = graph::make_ring(8);
+  core::PlainTraversal svc(g);
+  sim::Network net = installed(g, svc);
+  const ofp::Switch golden = net.sw(5);
+  const ofp::SwitchDigest expected = ofp::digest_switch(golden);
+
+  net.restart_switch(5);
+  EXPECT_EQ(net.sw(5).tables().size(), 0u);
+  const ofp::AuditReport rep = ofp::audit(net.sw(5), expected);
+  ofp::reinstall(net.sw(5), golden, rep);
+  EXPECT_TRUE(ofp::audit(net.sw(5), expected).clean());
+  // The repaired switch must actually forward again: a full traversal
+  // completes and ground truth holds.
+  core::RunStats stats;
+  EXPECT_TRUE(svc.run(net, 0, &stats));
+}
+
+TEST(Integrity, DedupGroupsRemapsReferencesWithoutRebuildingEntries) {
+  // Satellite: dedup_groups re-points ActGroup payloads in place, so the
+  // flow index stays warm and cookies/counters are untouched.
+  ofp::Switch sw(1, 2);
+  for (ofp::GroupId id : {10u, 20u}) {
+    ofp::Group g;
+    g.id = id;
+    g.type = ofp::GroupType::kIndirect;
+    g.buckets.push_back({{ofp::ActOutput{1}}, std::nullopt});
+    sw.groups().add(std::move(g));
+  }
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.match.eth_type = 0x0800;
+  e.actions = {ofp::ActGroup{20}};
+  sw.table(0).add(std::move(e));
+  const std::uint64_t cookie = sw.tables()[0].entries()[0].cookie;
+  sw.tables_mut()[0].entries_mut()[0].hit_count = 7;
+
+  const auto stats = ofp::dedup_groups(sw);
+  EXPECT_EQ(stats.groups_after, 1u);
+  EXPECT_GE(stats.references_rewritten, 1u);
+  const ofp::FlowEntry& entry = sw.tables()[0].entries()[0];
+  EXPECT_EQ(std::get<ofp::ActGroup>(entry.actions[0]).group, 10u);
+  EXPECT_EQ(entry.cookie, cookie);
+  EXPECT_EQ(entry.hit_count, 7u);
+
+  // And the pipeline still dispatches through the survivor.
+  ofp::Packet p;
+  p.eth_type = 0x0800;
+  const ofp::PipelineResult res = sw.receive(p, 1);
+  ASSERT_EQ(res.emissions.size(), 1u);
+  EXPECT_EQ(res.emissions[0].port, 1u);
+}
+
+}  // namespace
+}  // namespace ss

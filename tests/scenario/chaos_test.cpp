@@ -1,0 +1,136 @@
+// Chaos generator and harness determinism: same seed -> identical schedule,
+// crash always paired with a restart, the chaos op parses from JSON, and a
+// full chaos scenario replays to byte-identical result JSONL.
+
+#include "scenario/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace ss {
+namespace {
+
+scenario::ChaosSpec small_chaos() {
+  scenario::ChaosSpec c;
+  c.faults = 12;
+  c.start = 0;
+  c.end = 200;
+  c.restart_after = 24;
+  c.switches = {1, 2, 3, 5, 8, 13};
+  c.hdr_off = 0;
+  c.hdr_width = 2;
+  c.hdr_val = 3;
+  return c;
+}
+
+bool same_event(const scenario::FaultEvent& a, const scenario::FaultEvent& b) {
+  return a.at == b.at && a.op == b.op && a.sw == b.sw && a.salt == b.salt &&
+         a.hdr_off == b.hdr_off && a.hdr_width == b.hdr_width &&
+         a.hdr_val == b.hdr_val;
+}
+
+TEST(Chaos, SameSeedSameSchedule) {
+  const scenario::ChaosSpec c = small_chaos();
+  util::Rng r1(77), r2(77);
+  const auto a = scenario::expand_chaos(c, r1);
+  const auto b = scenario::expand_chaos(c, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_TRUE(same_event(a[k], b[k])) << "event " << k << " differs";
+}
+
+TEST(Chaos, DifferentSeedsDiffer) {
+  const scenario::ChaosSpec c = small_chaos();
+  util::Rng r1(77), r2(78);
+  const auto a = scenario::expand_chaos(c, r1);
+  const auto b = scenario::expand_chaos(c, r2);
+  bool differs = a.size() != b.size();
+  for (std::size_t k = 0; !differs && k < a.size(); ++k)
+    differs = !same_event(a[k], b[k]);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Chaos, EveryCrashIsPairedWithARestartOfTheSameVictim) {
+  const scenario::ChaosSpec c = small_chaos();
+  util::Rng rng(5);
+  const auto sched = scenario::expand_chaos(c, rng);
+  std::size_t crashes = 0;
+  for (std::size_t k = 0; k < sched.size(); ++k) {
+    if (sched[k].op != scenario::FaultOp::kSwitchCrash) continue;
+    ++crashes;
+    // The generator emits the matching restart immediately after the crash.
+    ASSERT_LT(k + 1, sched.size());
+    const scenario::FaultEvent& up = sched[k + 1];
+    EXPECT_EQ(up.op, scenario::FaultOp::kSwitchRestart);
+    EXPECT_EQ(up.sw, sched[k].sw);
+    EXPECT_EQ(up.at, sched[k].at + c.restart_after);
+  }
+  // With 12 draws at ~40% power-cycle probability, seeing none would mean
+  // the class weighting is broken.
+  EXPECT_GT(crashes, 0u);
+  for (const scenario::FaultEvent& ev : sched) {
+    if (ev.op == scenario::FaultOp::kSwitchCrash ||
+        ev.op == scenario::FaultOp::kRuleCorrupt) {
+      EXPECT_NE(std::find(c.switches.begin(), c.switches.end(), ev.sw),
+                c.switches.end())
+          << "victim outside candidate set";
+    }
+  }
+}
+
+TEST(Chaos, ZeroHeaderWidthDisablesHeaderFaults) {
+  scenario::ChaosSpec c = small_chaos();
+  c.hdr_width = 0;
+  util::Rng rng(9);
+  for (const scenario::FaultEvent& ev : scenario::expand_chaos(c, rng))
+    EXPECT_NE(ev.op, scenario::FaultOp::kHeaderCorrupt);
+}
+
+constexpr const char* kChaosSpecJson = R"({
+  "name": "chaos_unit",
+  "topology": {"kind": "torus", "n": 16},
+  "seed": 21,
+  "root": 0,
+  "service": "plain",
+  "retry": {"timeout": 400, "max_attempts": 8},
+  "header_guard": true,
+  "recovery": {"probe_interval": 24, "backoff_base": 16,
+               "max_repair_attempts": 8, "quarantine_for": 128,
+               "max_cycles": 4096},
+  "schedule": [
+    {"op": "chaos", "faults": 4, "start": 0, "end": 160, "restart_after": 24}
+  ],
+  "expect": {"final_audit_clean": true}
+})";
+
+TEST(Chaos, ChaosOpParsesAndExpands) {
+  std::string err;
+  const auto spec = scenario::parse_scenario(kChaosSpecJson, &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  EXPECT_TRUE(spec->header_guard);
+  ASSERT_TRUE(spec->recovery.has_value());
+  EXPECT_EQ(spec->recovery->probe_interval, 24u);
+  // 4 draws expand to >= 4 events (power-cycles emit crash + restart).
+  EXPECT_GE(spec->schedule.size(), 4u);
+  ASSERT_TRUE(spec->expect.final_audit_clean.has_value());
+  EXPECT_TRUE(*spec->expect.final_audit_clean);
+}
+
+TEST(Chaos, ScenarioReplayIsByteIdentical) {
+  std::string err;
+  const auto spec = scenario::parse_scenario(kChaosSpecJson, &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+
+  std::ostringstream a, b;
+  scenario::write_result_jsonl(a, *spec, scenario::run_scenario(*spec));
+  scenario::write_result_jsonl(b, *spec, scenario::run_scenario(*spec));
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,257 @@
+// chaos_run: the adversarial robustness harness.  Runs N seeded chaos
+// episodes — each a hardened plain traversal on its own network, with a
+// chaos-generated fault schedule (power-cycles, silent rule corruption,
+// in-flight header corruption) and the self-healing recovery service armed
+// — then aggregates MTTR (hops-to-repair and time-to-repair) histograms
+// across episodes.
+//
+//   chaos_run [--episodes N] [--seed S] [--threads T] [--out FILE]
+//             [--topo KIND] [--n N] [--faults F]
+//
+// Determinism contract: per-episode seeds are pre-drawn from Rng(seed) in
+// episode order, each episode derives ALL of its randomness from its own
+// seed, episodes fan out over bench::parallel_sweep (results returned in
+// item order), and histograms fold with obs::Histogram::merge (commutative
+// bucket addition) — so stdout and --out are byte-identical at ANY thread
+// count.  No wall-clock values are emitted.
+//
+// Exit codes: 0 = every episode ended with a clean final audit and every
+// divergence repaired; 1 = at least one episode left damage behind;
+// 2 = usage / setup error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/parallel.hpp"
+#include "core/fields.hpp"
+#include "obs/hist.hpp"
+#include "obs/json.hpp"
+#include "scenario/chaos.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace ss;
+
+namespace {
+
+struct EpisodeResult {
+  std::uint64_t seed = 0;
+  std::string verdict;
+  std::string retry_outcome;
+  std::uint32_t attempts = 0;
+  std::size_t faults = 0;
+  bool final_audit_clean = false;
+  bool all_repaired = false;
+  std::uint64_t divergences = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t quarantines = 0;
+  obs::Histogram mttr_hops;
+  obs::Histogram mttr_time;
+};
+
+struct Config {
+  std::uint64_t episodes = 20;
+  std::uint64_t seed = 1;
+  unsigned threads = 1;
+  std::string topo = "torus";
+  std::size_t n = 16;
+  std::uint32_t faults = 6;
+  std::string out_path;
+};
+
+EpisodeResult run_episode(const Config& cfg, std::uint64_t ep_seed,
+                          std::size_t index) {
+  scenario::ScenarioSpec spec;
+  spec.name = util::cat("chaos-", index);
+  spec.topology.kind = cfg.topo;
+  spec.topology.n = cfg.n;
+  spec.topology.seed = 1;
+  std::string err;
+  spec.graph = scenario::build_topology(spec.topology, &err);
+  if (!err.empty() || spec.graph.node_count() == 0)
+    throw std::runtime_error(util::cat("chaos_run: bad topology: ", err));
+  spec.seed = ep_seed;
+  spec.root = 0;
+  spec.service = "plain";
+  spec.header_guard = true;
+
+  core::RetryPolicy retry;
+  retry.timeout = 400;  // > one full torus-16 traversal, so repairs land
+  retry.max_attempts = 8;
+  spec.retry = retry;
+
+  core::RecoveryPolicy rec;
+  rec.probe_interval = 24;
+  rec.backoff_base = 16;
+  rec.max_repair_attempts = 8;
+  rec.quarantine_for = 128;
+  rec.probe_root = spec.root;
+  rec.max_cycles = 4096;  // terminates pathological episodes deterministically
+  spec.recovery = rec;
+
+  const core::TagLayout layout(spec.graph);
+  scenario::ChaosSpec chaos;
+  chaos.faults = cfg.faults;
+  chaos.start = 0;
+  chaos.end = 200;
+  chaos.restart_after = 24;
+  chaos.hdr_off = layout.start().offset;
+  chaos.hdr_width = layout.start().width;
+  chaos.hdr_val = 3;  // poison value outside the start field's alphabet
+  for (graph::NodeId v = 0; v < spec.graph.node_count(); ++v)
+    if (v != spec.root) chaos.switches.push_back(v);
+
+  util::Rng rng(ep_seed);
+  spec.schedule = scenario::expand_chaos(chaos, rng);
+  scenario::sort_schedule(spec.schedule);
+
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+
+  EpisodeResult out;
+  out.seed = ep_seed;
+  out.verdict = res.verdict;
+  out.retry_outcome = res.hardened_outcome;
+  out.attempts = res.attempts;
+  out.faults = spec.schedule.size();
+  out.final_audit_clean = res.final_audit_clean;
+  out.divergences = res.divergences;
+  out.repairs = res.repairs_done;
+  out.quarantines = res.quarantines;
+  out.all_repaired = res.final_audit_clean;
+  for (const core::RepairRecord& rr : res.repair_records) {
+    if (!rr.repaired) {
+      out.all_repaired = false;
+      continue;
+    }
+    out.mttr_hops.record(rr.repair_hop - rr.detect_hop);
+    out.mttr_time.record(rr.repaired_at - rr.detected_at);
+  }
+  return out;
+}
+
+void write_output(std::ostream& os, const Config& cfg,
+                  const std::vector<EpisodeResult>& eps) {
+  {
+    obs::JsonObj o;
+    o.add("type", "chaos_run")
+        .add("episodes", cfg.episodes)
+        .add("seed", cfg.seed)
+        .add("topology", cfg.topo)
+        .add("n", cfg.n)
+        .add("faults_per_episode", cfg.faults);
+    os << o.str() << "\n";
+  }
+  std::uint64_t repaired = 0;
+  for (std::size_t k = 0; k < eps.size(); ++k) {
+    const EpisodeResult& e = eps[k];
+    repaired += e.all_repaired ? 1 : 0;
+    obs::JsonObj o;
+    o.add("type", "episode")
+        .add("index", k)
+        .add("seed", e.seed)
+        .add("faults", e.faults)
+        .add("verdict", e.verdict)
+        .add("retry_outcome", e.retry_outcome)
+        .add("attempts", e.attempts)
+        .add("final_audit_clean", e.final_audit_clean)
+        .add("all_repaired", e.all_repaired)
+        .add("divergences", e.divergences)
+        .add("repairs", e.repairs)
+        .add("quarantines", e.quarantines);
+    os << o.str() << "\n";
+  }
+  const obs::Histogram mttr_hops = bench::merge_hist_shards(
+      eps, [](const EpisodeResult& e) { return e.mttr_hops; });
+  const obs::Histogram mttr_time = bench::merge_hist_shards(
+      eps, [](const EpisodeResult& e) { return e.mttr_time; });
+  os << mttr_hops.to_json("mttr_hops") << "\n";
+  os << mttr_time.to_json("mttr_time") << "\n";
+  obs::JsonObj o;
+  o.add("type", "chaos_summary")
+      .add("episodes", eps.size())
+      .add("repaired", repaired)
+      .add("all_repaired", repaired == eps.size())
+      .add("mttr_hops", mttr_hops.summary())
+      .add("mttr_time", mttr_time.summary());
+  os << o.str() << "\n";
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: chaos_run [--episodes N] [--seed S] [--threads T]\n"
+               "                 [--out FILE] [--topo KIND] [--n N] [--faults F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int k = 1; k < argc; ++k) {
+    auto arg = [&](const char* name) {
+      return std::strcmp(argv[k], name) == 0 && k + 1 < argc;
+    };
+    if (arg("--episodes")) {
+      cfg.episodes = std::strtoull(argv[++k], nullptr, 10);
+    } else if (arg("--seed")) {
+      cfg.seed = std::strtoull(argv[++k], nullptr, 10);
+    } else if (arg("--threads")) {
+      cfg.threads = static_cast<unsigned>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--out")) {
+      cfg.out_path = argv[++k];
+    } else if (arg("--topo")) {
+      cfg.topo = argv[++k];
+    } else if (arg("--n")) {
+      cfg.n = std::strtoull(argv[++k], nullptr, 10);
+    } else if (arg("--faults")) {
+      cfg.faults = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  if (cfg.episodes == 0) return usage();
+
+  // Pre-draw every episode's seed in episode order so the fan-out's work
+  // list — and thus every episode's entire behaviour — is fixed before any
+  // thread starts.
+  util::Rng seeder(cfg.seed);
+  std::vector<std::uint64_t> seeds(cfg.episodes);
+  for (std::uint64_t& s : seeds) s = seeder.uniform(1, ~std::uint64_t{0} - 1);
+
+  std::vector<EpisodeResult> eps;
+  try {
+    eps = bench::parallel_sweep(
+        seeds,
+        [&cfg](const std::uint64_t& s, std::size_t i) {
+          return run_episode(cfg, s, i);
+        },
+        cfg.threads);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "chaos_run: %s\n", ex.what());
+    return 2;
+  }
+
+  if (cfg.out_path.empty()) {
+    write_output(std::cout, cfg, eps);
+  } else {
+    std::ofstream os(cfg.out_path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "chaos_run: cannot write %s\n", cfg.out_path.c_str());
+      return 2;
+    }
+    write_output(os, cfg, eps);
+  }
+
+  std::uint64_t repaired = 0;
+  for (const EpisodeResult& e : eps) repaired += e.all_repaired ? 1 : 0;
+  std::fprintf(stderr, "chaos_run: %llu/%llu episode(s) fully repaired\n",
+               static_cast<unsigned long long>(repaired),
+               static_cast<unsigned long long>(eps.size()));
+  return repaired == eps.size() ? 0 : 1;
+}

@@ -11,6 +11,15 @@
 //                                           ("failover" | "wire_drop") with a
 //                                           fault->verdict latency recorded
 //
+// Offline mode — audit a previously exported trace without re-running:
+//
+//   obs_report --trace <trace.jsonl> [--expect-clean] [--expect-anomalies a,b]
+//
+// reads "hop" lines back through the same parse path the exporter wrote
+// them with (obs::hop_from_json_line), reconstructs the DFS structure, and
+// applies the same anomaly gate.  Non-hop lines are skipped, so a mixed
+// JSONL stream (metrics + hops) audits as-is.
+//
 // Any --expect-* flag also arms the health gate: invariant violations or a
 // failed scenario "expect" block exit non-zero.
 //
@@ -26,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/inspect.hpp"
 #include "obs/report.hpp"
 #include "obs/timeline.hpp"
 #include "scenario/runner.hpp"
@@ -64,14 +74,71 @@ int usage() {
   std::fprintf(stderr,
                "usage: obs_report <scenario.json> [--out FILE] [--prom FILE]\n"
                "                  [--expect-clean] [--expect-anomalies a,b]\n"
-               "                  [--expect-reaction KIND]\n");
+               "                  [--expect-reaction KIND]\n"
+               "       obs_report --trace <trace.jsonl> [--expect-clean]\n"
+               "                  [--expect-anomalies a,b]\n");
   return 2;
+}
+
+/// Offline audit of an exported trace: parse hop lines, inspect, gate.
+int run_offline(const std::string& trace_path, bool expect_clean,
+                bool have_expect_anomalies,
+                const std::vector<std::string>& expect_anomalies) {
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "obs_report: cannot read %s\n", trace_path.c_str());
+    return 2;
+  }
+  std::vector<obs::HopRecord> hops;
+  std::size_t lines = 0, skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    obs::HopRecord h;
+    if (obs::hop_from_json_line(line, h))
+      hops.push_back(std::move(h));
+    else
+      ++skipped;
+  }
+  const obs::InspectReport rep = obs::inspect_hops(hops);
+
+  std::vector<std::string> kinds;
+  for (const obs::Anomaly& a : rep.anomalies) {
+    const std::string name = obs::anomaly_kind_name(a.kind);
+    if (std::find(kinds.begin(), kinds.end(), name) == kinds.end())
+      kinds.push_back(name);
+  }
+  std::sort(kinds.begin(), kinds.end());
+
+  std::cout << "== offline trace audit ==\n";
+  std::cout << "  " << trace_path << ": " << lines << " line(s), "
+            << hops.size() << " hop(s), " << skipped << " other\n";
+  std::cout << "  delivered=" << rep.delivered_count
+            << " failovers=" << rep.failover_count
+            << " switches_visited=" << rep.visit_order.size() << "\n";
+  for (const obs::Anomaly& a : rep.anomalies)
+    std::cout << "  anomaly " << obs::anomaly_kind_name(a.kind) << " hop="
+              << a.hop_index << ": " << a.detail << "\n";
+  if (rep.anomalies.empty()) std::cout << "  anomalies: none\n";
+
+  bool ok = true;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "obs_report: expectation failed: %s\n", what.c_str());
+    ok = false;
+  };
+  if (expect_clean && !kinds.empty())
+    fail("wanted zero anomalies, got " + join_csv(kinds));
+  if (have_expect_anomalies && kinds != expect_anomalies)
+    fail("wanted anomalies {" + join_csv(expect_anomalies) + "}, got {" +
+         join_csv(kinds) + "}");
+  return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path, out_path, prom_path, expect_reaction;
+  std::string path, out_path, prom_path, expect_reaction, trace_path;
   bool expect_clean = false, have_expect_anomalies = false, gated = false;
   std::vector<std::string> expect_anomalies;
   for (int k = 1; k < argc; ++k) {
@@ -79,6 +146,8 @@ int main(int argc, char** argv) {
       out_path = argv[++k];
     } else if (std::strcmp(argv[k], "--prom") == 0 && k + 1 < argc) {
       prom_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--trace") == 0 && k + 1 < argc) {
+      trace_path = argv[++k];
     } else if (std::strcmp(argv[k], "--expect-clean") == 0) {
       expect_clean = gated = true;
     } else if (std::strcmp(argv[k], "--expect-anomalies") == 0 && k + 1 < argc) {
@@ -92,6 +161,11 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+  if (!trace_path.empty()) {
+    if (!path.empty() || !expect_reaction.empty()) return usage();
+    return run_offline(trace_path, expect_clean, have_expect_anomalies,
+                       expect_anomalies);
   }
   if (path.empty()) return usage();
 
@@ -125,8 +199,14 @@ int main(int argc, char** argv) {
   h.verdict = res.verdict;
   h.attempts = res.attempts;
   h.final_epoch = res.final_epoch;
+  h.retry_outcome = res.hardened_outcome;
   h.ground_truth_ok = res.ground_truth_ok;
   h.ground_truth_detail = res.ground_truth_detail;
+  h.recovery_enabled = res.recovery_enabled;
+  h.final_audit_clean = res.final_audit_clean;
+  h.divergences = res.divergences;
+  h.repairs = res.repairs_done;
+  h.quarantines = res.quarantines;
 
   if (out_path.empty()) {
     obs::write_report(std::cout, h, tl);
