@@ -1,0 +1,269 @@
+// Top-K telemetry bench: cost and fidelity of sketch-based heavy-hitter
+// counting on compiled SmartSouth pipelines.
+//
+// Workload: torus topologies with stride-placed sketch switches; a
+// deterministic heavy-tailed flow mix (sim::make_flow_workload) pumped
+// through the kEthFlow ingest path; one DFS sweep reads every count-min
+// cell into the label stack and the decoder reports top-K with CRT cell
+// reconstruction, ghost-suppressing signature rows, and residual peeling.
+//
+// Output: stdout table; BENCH_topk.json; topk.metrics.jsonl sidecar.
+//   bench_topk [--n N] [--mice M] [--out PATH] [--check BASELINE]
+// --check compares the DETERMINISTIC fields (flows, packets, entries,
+// sweep_msgs, fragments, recall_pct) of each (n, mice) row against a
+// committed baseline and exits 1 on drift — decode fidelity is part of the
+// contract, not just throughput.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/topk.hpp"
+#include "sim/flowgen.hpp"
+#include "sim/network.hpp"
+
+using namespace ss;
+
+namespace {
+
+struct Row {
+  std::size_t n = 0;
+  std::uint32_t mice = 0;
+  // Deterministic (checked against the committed baseline):
+  std::uint64_t flows = 0;       // distinct keys after aggregation
+  std::uint64_t packets = 0;     // injected packets
+  std::uint64_t entries = 0;     // flow entries on a sketch switch
+  std::uint64_t sweep_msgs = 0;  // in-band messages of one sweep
+  std::uint64_t fragments = 0;   // per-switch read-out reports
+  std::uint64_t recall_pct = 0;  // round(recall * 100) vs ground truth
+  // Timing (informational):
+  double pump_us = 0.0;   // inject + drain every flow packet
+  double sweep_us = 0.0;  // DFS read-out + decode + validate
+  double pump_mpps() const {
+    return pump_us > 0.0 ? double(packets) / pump_us : 0.0;
+  }
+};
+
+Row measure_point(std::size_t n, std::uint32_t mice) {
+  Row r;
+  r.n = n;
+  r.mice = mice;
+  std::size_t rows_t = 3;
+  while ((rows_t + 1) * (rows_t + 1) <= n) ++rows_t;
+  while (rows_t > 3 && n % rows_t != 0) --rows_t;
+  const graph::Graph g = graph::make_torus(rows_t, n / rows_t);
+
+  obs::TopkParams tp;
+  const std::uint32_t sketches = 4;
+  for (std::uint32_t i = 0; i < sketches; ++i)
+    tp.sketches.push_back(static_cast<graph::NodeId>(
+        std::uint64_t{i} * g.node_count() / sketches));
+  tp.k = 10;
+  obs::TopkService svc(g, tp);
+
+  sim::FlowWorkloadConfig fc;
+  fc.seed = bench::bench_seed(17);
+  fc.key_bits = tp.rows * tp.row_bits;
+  fc.elephants = 32;
+  fc.mice = mice;
+  fc.elephant_min = 16384;
+  fc.elephant_max = 65536;
+  const std::vector<sim::FlowSpec> flows = sim::make_flow_workload(fc);
+  r.flows = flows.size();
+  for (const sim::FlowSpec& f : flows) r.packets += f.packets;
+
+  sim::Network net(g, 1, bench::bench_seed(18));
+  svc.install(net);
+  r.entries = net.sw(tp.sketches[0]).total_flow_entries();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.pump(net, flows);
+  const auto t1 = std::chrono::steady_clock::now();
+  const obs::TopkResult res = svc.sweep(net, 0);
+  const obs::TopkValidation val = svc.validate(res, flows);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  r.sweep_msgs = res.stats.inband_msgs;
+  r.fragments = res.fragments;
+  r.recall_pct = static_cast<std::uint64_t>(val.recall * 100.0 + 0.5);
+  if (!res.complete || !res.row_sums_consistent || !val.lower_bound_ok ||
+      !val.error_bound_ok) {
+    std::fprintf(stderr, "FATAL: n=%zu mice=%u sketch invariant broken\n", n,
+                 mice);
+    std::exit(1);
+  }
+  r.pump_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  r.sweep_us = std::chrono::duration<double, std::micro>(t2 - t1).count();
+  return r;
+}
+
+int check_baseline(const std::vector<Row>& rows, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "--check: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = obs::json_parse(ss.str());
+  if (!doc || !doc->is_object() || doc->get("rows") == nullptr ||
+      !doc->get("rows")->is_array()) {
+    std::fprintf(stderr, "--check: %s is not a BENCH_topk.json document\n",
+                 path.c_str());
+    return 1;
+  }
+  int compared = 0, failed = 0;
+  for (const Row& r : rows) {
+    for (const obs::JsonValue& b : doc->get("rows")->array) {
+      if (b.u64("n") != r.n || b.u64("mice") != r.mice) continue;
+      ++compared;
+      const bool ok = b.u64("flows") == r.flows &&
+                      b.u64("packets") == r.packets &&
+                      b.u64("entries") == r.entries &&
+                      b.u64("sweep_msgs") == r.sweep_msgs &&
+                      b.u64("fragments") == r.fragments &&
+                      b.u64("recall_pct") == r.recall_pct;
+      if (!ok) {
+        ++failed;
+        std::fprintf(
+            stderr,
+            "DRIFT n=%zu mice=%u: flows %llu->%llu packets %llu->%llu "
+            "entries %llu->%llu msgs %llu->%llu frags %llu->%llu "
+            "recall %llu->%llu\n",
+            r.n, r.mice, (unsigned long long)b.u64("flows"),
+            (unsigned long long)r.flows, (unsigned long long)b.u64("packets"),
+            (unsigned long long)r.packets,
+            (unsigned long long)b.u64("entries"), (unsigned long long)r.entries,
+            (unsigned long long)b.u64("sweep_msgs"),
+            (unsigned long long)r.sweep_msgs,
+            (unsigned long long)b.u64("fragments"),
+            (unsigned long long)r.fragments,
+            (unsigned long long)b.u64("recall_pct"),
+            (unsigned long long)r.recall_pct);
+      }
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "--check: no baseline rows matched this run\n");
+    return 1;
+  }
+  std::fprintf(stderr, "--check: %d row(s) compared against %s, %d drifted\n",
+               compared, path.c_str(), failed);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sizes = {36, 100};
+  std::vector<std::uint32_t> mice_counts = {20000, 50000};
+  std::string out_path = "BENCH_topk.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--n")
+      sizes = {static_cast<std::size_t>(std::strtoul(next(), nullptr, 10))};
+    else if (a == "--mice")
+      mice_counts = {
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10))};
+    else if (a == "--out")
+      out_path = next();
+    else if (a == "--check")
+      check_path = next();
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_topk [--n N] [--mice M] [--out PATH] "
+                   "[--check BASELINE]\n");
+      return 2;
+    }
+  }
+
+  bench::Metrics metrics("topk");
+  const std::vector<int> widths = {6, 7, 7, 9, 8, 9, 6, 7, 11, 10, 7};
+  bench::row({"n", "mice", "flows", "packets", "entries", "msgs", "frags",
+              "recall", "pump_us", "sweep_us", "mpps"},
+             widths);
+  bench::hr(110);
+
+  struct Point {
+    std::size_t n;
+    std::uint32_t mice;
+  };
+  std::vector<Point> points;
+  for (const std::size_t n : sizes)
+    for (const std::uint32_t m : mice_counts) points.push_back({n, m});
+
+  // Timing benches stay serial by default (workers would contend for cores);
+  // SS_BENCH_THREADS>1 opts in — the deterministic columns are unaffected.
+  const std::vector<Row> rows = bench::parallel_sweep(
+      points,
+      [&](const Point& p, std::size_t) { return measure_point(p.n, p.mice); },
+      std::getenv("SS_BENCH_THREADS") != nullptr ? 0u : 1u);
+
+  obs::JsonArr arr;
+  for (const Row& r : rows) {
+    char pu[32], su[32], mp[32];
+    std::snprintf(pu, sizeof pu, "%.0f", r.pump_us);
+    std::snprintf(su, sizeof su, "%.0f", r.sweep_us);
+    std::snprintf(mp, sizeof mp, "%.2f", r.pump_mpps());
+    bench::row({std::to_string(r.n), std::to_string(r.mice),
+                std::to_string(r.flows), std::to_string(r.packets),
+                std::to_string(r.entries), std::to_string(r.sweep_msgs),
+                std::to_string(r.fragments), std::to_string(r.recall_pct),
+                pu, su, mp},
+               widths);
+
+    obs::JsonObj o;
+    o.add("n", r.n);
+    o.add("mice", r.mice);
+    o.add("flows", r.flows);
+    o.add("packets", r.packets);
+    o.add("entries", r.entries);
+    o.add("sweep_msgs", r.sweep_msgs);
+    o.add("fragments", r.fragments);
+    o.add("recall_pct", r.recall_pct);
+    o.add("pump_us", r.pump_us);
+    o.add("sweep_us", r.sweep_us);
+    arr.push(o);
+
+    obs::JsonObj m;
+    m.add("type", "topk");
+    m.add("n", r.n);
+    m.add("mice", r.mice);
+    m.add("flows", r.flows);
+    m.add("packets", r.packets);
+    m.add("recall_pct", r.recall_pct);
+    m.add("pump_us", r.pump_us);
+    m.add("sweep_us", r.sweep_us);
+    metrics.emit(m);
+  }
+
+  if (!check_path.empty()) {
+    const int rc = check_baseline(rows, check_path);
+    if (rc != 0) return rc;
+  }
+
+  if (!out_path.empty()) {
+    obs::JsonObj doc;
+    doc.add("schema", "ss.bench.topk.v1");
+    doc.add("bench", "topk");
+    doc.add_u("seed", bench::bench_seed());
+    doc.add_raw("rows", arr.str());
+    std::ofstream out(out_path, std::ios::trunc);
+    out << doc.str() << "\n";
+    std::fprintf(stderr, "baseline: %s\n", out_path.c_str());
+  }
+  if (metrics.ok())
+    std::fprintf(stderr, "metrics: %s\n", metrics.path().c_str());
+  return 0;
+}

@@ -1,11 +1,14 @@
 #include "core/compiler.hpp"
 
+#include <algorithm>
 #include <map>
+#include <numeric>
 #include <stdexcept>
 
 #include "core/eth_types.hpp"
 #include "core/labels.hpp"
 #include "core/load_labels.hpp"
+#include "core/topk_labels.hpp"
 #include "util/strings.hpp"
 
 namespace ss::core {
@@ -21,6 +24,7 @@ using ofp::ActionList;
 using ofp::ActOutput;
 using ofp::ActPopLabel;
 using ofp::ActPushLabel;
+using ofp::ActPushTagField;
 using ofp::ActSetTag;
 using ofp::Bucket;
 using ofp::FlowEntry;
@@ -63,6 +67,9 @@ struct TemplateCompiler::Ctx {
   TableId tid_cmp0 = 0;      // packet-loss compare chain start
   TableId tid_classify = 0;
   TableId tid_chain = 0;     // blackhole phase-2 chain start
+  TableId tid_flow0 = 0;     // top-K sketch row tables (sketch hosts only)
+  bool sketch_host = false;  // this switch hosts a count-min sketch
+  std::uint32_t topk_cells = 0;  // d * w
 
   /// Rules staged per table during emit_*; install_switch flushes each
   /// table with one FlowTable::add_all (sort once instead of O(n) inserts
@@ -84,28 +91,67 @@ TemplateCompiler::TemplateCompiler(const graph::Graph& g, const TagLayout& layou
   for (const auto& gs : opts_.groups)
     if (gs.gid == 0) throw std::invalid_argument("anycast gid must be nonzero");
 
-  if (opts_.inband_collector) {
-    const NodeId c = *opts_.inband_collector;
-    if (c >= g.node_count())
-      throw std::invalid_argument("inband_collector: unknown node");
-    // BFS from the collector; each node's report route is the port of its
-    // BFS parent (toward the collector).  Computed in the offline stage —
-    // the same stage that installs all other rules.
-    report_route_.assign(g.node_count(), graph::kNoPort);
+  if (opts_.kind == ServiceKind::kTopkSweep) {
+    if (!layout.has_flow_key())
+      throw std::invalid_argument(
+          "kTopkSweep: layout must be built with TagExtras::flow_key");
+    if (opts_.topk_switches.empty())
+      throw std::invalid_argument("topk_switches: need at least one sketch host");
+    for (NodeId v : opts_.topk_switches)
+      if (v >= g.node_count())
+        throw std::invalid_argument("topk_switches: unknown node");
+    if (opts_.topk_rows == 0 ||
+        opts_.topk_rows * opts_.topk_row_bits > layout.flow_key().width)
+      throw std::invalid_argument("topk geometry: need 0 < d*b <= flow_key width");
+    if (((opts_.topk_rows + opts_.topk_sig_rows) << opts_.topk_row_bits) >
+        (1u << 12))
+      throw std::invalid_argument(
+          "topk geometry: (d+sig)*2^b must fit the 12-bit cell field");
+    if (opts_.topk_sig_rows != 0 &&
+        (!layout.has_flow_sig() ||
+         layout.flow_sig().width != opts_.topk_sig_rows * opts_.topk_row_bits))
+      throw std::invalid_argument(
+          "topk geometry: layout flow_sig width must equal sig_rows * b");
+    if (opts_.topk_moduli.empty() || opts_.topk_moduli.size() > 2 * kScratchRegs)
+      throw std::invalid_argument("topk_moduli: need 1..2*kScratchRegs entries");
+    for (std::size_t a = 0; a < opts_.topk_moduli.size(); ++a) {
+      if (opts_.topk_moduli[a] < 2 || opts_.topk_moduli[a] > 16)
+        throw std::invalid_argument("topk modulus must be in [2,16]");
+      for (std::size_t b = a + 1; b < opts_.topk_moduli.size(); ++b)
+        if (std::gcd(opts_.topk_moduli[a], opts_.topk_moduli[b]) != 1)
+          throw std::invalid_argument("topk_moduli must be pairwise coprime");
+    }
+  }
+
+  // BFS from `sink`; each node's route entry is the port of its BFS parent
+  // (toward the sink).  Computed in the offline stage — the same stage that
+  // installs all other rules.
+  auto bfs_route = [&g](NodeId sink) {
+    if (sink >= g.node_count())
+      throw std::invalid_argument("route sink: unknown node");
+    std::vector<PortNo> route(g.node_count(), graph::kNoPort);
     std::vector<bool> seen(g.node_count(), false);
-    std::vector<NodeId> queue{c};
-    seen[c] = true;
+    std::vector<NodeId> queue{sink};
+    seen[sink] = true;
     for (std::size_t head = 0; head < queue.size(); ++head) {
       const NodeId u = queue[head];
       for (PortNo p = 1; p <= g.degree(u); ++p) {
         const NodeId v = g.neighbor(u, p)->node;
         if (seen[v]) continue;
         seen[v] = true;
-        report_route_[v] = g.neighbor(u, p)->port;  // v's port back toward u
+        route[v] = g.neighbor(u, p)->port;  // v's port back toward u
         queue.push_back(v);
       }
     }
-  }
+    return route;
+  };
+  if (opts_.inband_collector) report_route_ = bfs_route(*opts_.inband_collector);
+  if (opts_.probe_sink) probe_route_ = bfs_route(*opts_.probe_sink);
+}
+
+bool TemplateCompiler::is_topk_switch(NodeId i) const {
+  return std::find(opts_.topk_switches.begin(), opts_.topk_switches.end(), i) !=
+         opts_.topk_switches.end();
 }
 
 void TemplateCompiler::install(sim::Network& net) const {
@@ -123,6 +169,12 @@ void TemplateCompiler::install_switch(ofp::Switch& sw, NodeId i) const {
   c.tid_cmp0 = kTableClassify;
   c.tid_classify = static_cast<TableId>(kTableClassify + k_loss);
   c.tid_chain = static_cast<TableId>(c.tid_classify + 1);
+  if (opts_.kind == ServiceKind::kTopkSweep) {
+    c.sketch_host = is_topk_switch(i);
+    c.topk_cells = (opts_.topk_rows + opts_.topk_sig_rows) << opts_.topk_row_bits;
+    // Sketch row tables sit after the read-out chain (cells + exhaust).
+    c.tid_flow0 = static_cast<TableId>(c.tid_chain + c.topk_cells + 1);
+  }
 
   emit_pre_table(c);
   emit_start_table(c);
@@ -133,6 +185,10 @@ void TemplateCompiler::install_switch(ofp::Switch& sw, NodeId i) const {
   if (opts_.kind == ServiceKind::kBlackholeCounters) emit_phase2_chain(c);
   if (opts_.kind == ServiceKind::kPacketLoss) emit_loss_chain(c);
   if (opts_.kind == ServiceKind::kLoadInference) emit_load_chain(c);
+  if (c.sketch_host) {
+    emit_topk_chain(c);
+    emit_topk_flow_tables(c);
+  }
 
   // Bulk-install everything the emitters staged: one sort per table.
   for (auto& [tid, rules] : c.staged) sw.table(tid).add_all(std::move(rules));
@@ -157,6 +213,13 @@ Match match_tag(const Match& base, FieldRef f, std::uint64_t v) {
   Match m = base;
   m.on_tag(f.offset, f.width, v);
   return m;
+}
+
+// Scratch register carrying modulus m's residue during the top-K read-out:
+// the a-side registers first, then the b-side (the sweep never runs the
+// packet-loss compare chain, so both sides are free).
+FieldRef topk_scratch(const TagLayout& L, std::uint32_t m) {
+  return m < kScratchRegs ? L.scratch_a(m) : L.scratch_b(m - kScratchRegs);
 }
 
 }  // namespace
@@ -314,8 +377,51 @@ void TemplateCompiler::emit_pre_table(Ctx& c) const {
       }
       break;
     }
+    case ServiceKind::kTopkSweep: {
+      if (c.sketch_host) {
+        // Controller-injected flow packets walk the sketch row tables
+        // (counting every row's matched cell) and steer out by out_port.
+        Match mf;
+        mf.on_eth(kEthFlow).on_port(ofp::kPortController);
+        add_rule(c, kTablePre, 710, mf, {}, c.tid_flow0, "flow.ingest");
+      }
+      // Flow traffic arriving over a wire was already counted at its
+      // ingress sketch; every switch is a sink for it.
+      Match ms;
+      ms.on_eth(kEthFlow);
+      add_rule(c, kTablePre, 700, ms, {ActDrop{}}, std::nullopt, "flow.sink");
+      break;
+    }
     default:
       break;
+  }
+
+  if (opts_.probe_sink) {
+    // In-band probe relay: audit probes travel hop by hop to the sink's
+    // LOCAL port instead of riding the controller channel.
+    Match pr;
+    pr.on_eth(kEthProbe);
+    const PortNo route = probe_route_[c.i];
+    add_rule(c, kTablePre, 9000, pr,
+             {ActOutput{route == graph::kNoPort ? ofp::kPortLocal : route}},
+             std::nullopt, "probe.relay");
+  }
+
+  if (opts_.data_forwarding && opts_.kind != ServiceKind::kPacketLoss &&
+      opts_.kind != ServiceKind::kLoadInference) {
+    // Generic background-data path for services without their own data
+    // rules: controller-injected packets steer by out_port, wire arrivals
+    // sink.  Keeps the hop clock advancing while faults are outstanding.
+    for (PortNo t = 1; t <= c.deg; ++t) {
+      Match mo;
+      mo.on_eth(kEthData).on_port(ofp::kPortController);
+      mo.on_tag(L.out_port().offset, L.out_port().width, t);
+      add_rule(c, kTablePre, 700, mo, {ActOutput{t}}, std::nullopt,
+               util::cat("data.fwd.p", t));
+    }
+    Match mi;
+    mi.on_eth(kEthData);
+    add_rule(c, kTablePre, 690, mi, {ActDrop{}}, std::nullopt, "data.sink");
   }
 
   if (opts_.inband_collector) {
@@ -357,6 +463,14 @@ void TemplateCompiler::emit_start_table(Ctx& c) const {
     // Read this node's counters (the chain ends by starting the port scan).
     add_rule(c, kTableStart, 100, m0, {set_field(L.start(), 1)}, c.tid_chain,
              "start.root.load");
+    add_rule(c, kTableStart, 0, Match{}, {}, kTableAux, "start.continue");
+    return;
+  }
+
+  if (c.sketch_host) {
+    // Sketch-hosting root: read out every cell before starting the scan.
+    add_rule(c, kTableStart, 100, m0, {set_field(L.start(), 1)}, c.tid_chain,
+             "start.root.topk");
     add_rule(c, kTableStart, 0, Match{}, {}, kTableAux, "start.continue");
     return;
   }
@@ -520,6 +634,12 @@ void TemplateCompiler::emit_classify_table(Ctx& c) const {
     if (opts_.kind == ServiceKind::kLoadInference) {
       add_rule(c, tid, kPrioFirstVisit, base, {set_field(L.par(i), p)}, c.tid_chain,
                util::cat("first.load.p", p));
+      continue;
+    }
+
+    if (c.sketch_host) {
+      add_rule(c, tid, kPrioFirstVisit, base, {set_field(L.par(i), p)}, c.tid_chain,
+               util::cat("first.topk.p", p));
       continue;
     }
 
@@ -882,6 +1002,13 @@ void TemplateCompiler::emit_counters(Ctx& c) const {
       }
     }
   }
+  if (c.sketch_host) {
+    // One CRT counter bank per sketch cell; the group-id "port" slot
+    // carries the cell index.
+    for (std::uint32_t j = 0; j < c.topk_cells; ++j)
+      for (std::uint32_t m = 0; m < opts_.topk_moduli.size(); ++m)
+        make_counter(kFamTopk0 + m, j, opts_.topk_moduli[m], topk_scratch(L, m));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1005,6 +1132,91 @@ void TemplateCompiler::emit_load_chain(Ctx& c) const {
     add_rule(c, tid_exhaust, 10, match_tag(Match{}, L.par(c.i), t),
              {ActGroup{scan_group_id(1, t, false)}}, std::nullopt,
              util::cat("load.resume.par", t));
+}
+
+// ---------------------------------------------------------------------------
+// Top-K read-out chain: at every first visit of a sketch host, walk one
+// table per cell.  Each table holds a single rule whose action list fuses
+// the read and the record for all K moduli: the SELECT group writes the
+// residue into a scratch register (fetch-and-increment mod m, returning the
+// PRE-increment value), and the push-field action copies it onto the label
+// stack under the (modulus, node, cell) framing bits.  The exhaust table
+// flushes the switch's read-out as one report fragment, clears the stack
+// (bounding the sweep packet's wire size to one switch's records) and
+// resumes the standard port scan.
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_topk_chain(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  const auto K = static_cast<std::uint32_t>(opts_.topk_moduli.size());
+  const TableId tid_exhaust = static_cast<TableId>(c.tid_chain + c.topk_cells);
+
+  for (std::uint32_t j = 0; j < c.topk_cells; ++j) {
+    ActionList acts;
+    for (std::uint32_t m = 0; m < K; ++m) {
+      const FieldRef s = topk_scratch(L, m);
+      acts.push_back(ActGroup{counter_group_id(kFamTopk0 + m, j)});
+      acts.push_back(ActPushTagField{s.offset, s.width, encode_topk_base(m, c.i, j)});
+    }
+    add_rule(c, static_cast<TableId>(c.tid_chain + j), 0, Match{}, acts,
+             static_cast<TableId>(c.tid_chain + j + 1), util::cat("topk.read.c", j));
+  }
+
+  for (PortNo t = 0; t <= c.deg; ++t) {
+    ActionList acts = report_actions(c.i, kReasonTopkFragment);
+    acts.push_back(ActClearLabels{});
+    acts.push_back(ActGroup{scan_group_id(1, t, false)});
+    add_rule(c, tid_exhaust, 10, match_tag(Match{}, L.par(c.i), t), acts,
+             std::nullopt, util::cat("topk.resume.par", t));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sketch row tables: the count-min update as plain match-action rules.  Row
+// r matches the r-th bit-slice of the flow-key tag field (the per-row hash)
+// and increments that cell's CRT counter bank; the egress table then steers
+// the counted packet out by the out_port tag, to sink at the neighbor.
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_topk_flow_tables(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  const std::uint32_t b = opts_.topk_row_bits;
+  const std::uint32_t w = 1u << b;
+  const FieldRef fkey = L.flow_key();
+
+  for (std::uint32_t r = 0; r < opts_.topk_rows; ++r) {
+    const TableId tid = static_cast<TableId>(c.tid_flow0 + r);
+    for (std::uint32_t v = 0; v < w; ++v) {
+      Match m;
+      m.on_tag(fkey.offset + r * b, b, v);
+      ActionList acts;
+      for (std::uint32_t k = 0; k < opts_.topk_moduli.size(); ++k)
+        acts.push_back(ActGroup{counter_group_id(kFamTopk0 + k, r * w + v)});
+      add_rule(c, tid, 10, m, acts, static_cast<TableId>(tid + 1),
+               util::cat("sketch.row", r, ".v", v));
+    }
+  }
+
+  // Signature rows: same shape, sliced from the flow_sig field, cells
+  // stacked after the slice rows'.
+  for (std::uint32_t s = 0; s < opts_.topk_sig_rows; ++s) {
+    const std::uint32_t r = opts_.topk_rows + s;
+    const TableId tid = static_cast<TableId>(c.tid_flow0 + r);
+    const FieldRef sig = L.flow_sig();
+    for (std::uint32_t v = 0; v < w; ++v) {
+      Match m;
+      m.on_tag(sig.offset + s * b, b, v);
+      ActionList acts;
+      for (std::uint32_t k = 0; k < opts_.topk_moduli.size(); ++k)
+        acts.push_back(ActGroup{counter_group_id(kFamTopk0 + k, r * w + v)});
+      add_rule(c, tid, 10, m, acts, static_cast<TableId>(tid + 1),
+               util::cat("sketch.sig", s, ".v", v));
+    }
+  }
+
+  const TableId tid_out = static_cast<TableId>(c.tid_flow0 + opts_.topk_rows +
+                                               opts_.topk_sig_rows);
+  for (PortNo t = 1; t <= c.deg; ++t)
+    add_rule(c, tid_out, 10, match_tag(Match{}, L.out_port(), t), {ActOutput{t}},
+             std::nullopt, util::cat("flow.out.p", t));
 }
 
 bool set_switch_epoch(ofp::Switch& sw, std::uint32_t epoch) {

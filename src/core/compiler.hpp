@@ -56,6 +56,9 @@ enum class ServiceKind : std::uint8_t {
   kCriticalLink,       // extension: is a LINK a bridge?  (§4: "our
                        // techniques can be extended to implement many
                        // other functions")
+  kTopkSweep,          // extension: network-wide top-K flow telemetry —
+                       // count-min sketches as match-action rules over a
+                       // hashed flow key, swept by the DFS traversal
 };
 
 /// Out-of-band message reason codes (controller channel).
@@ -68,6 +71,7 @@ enum Reason : std::uint32_t {
   kReasonLossDetected = 6,      // packet-loss probe counter mismatch
   kReasonLinkNotCritical = 7,   // critical-link: far end reached without it
   kReasonLinkCritical = 8,      // critical-link: traversal never saw the far end
+  kReasonTopkFragment = 9,      // top-K sweep: one switch's sketch read-out
 };
 
 struct AnycastGroupSpec {
@@ -109,6 +113,49 @@ struct CompilerOptions {
   /// Packet-loss / load-inference counter moduli (1..kScratchRegs entries;
   /// pairwise coprime values enable CRT reconstruction for load inference).
   std::vector<std::uint32_t> loss_moduli = {8};
+
+  // --- top-K telemetry (kTopkSweep) ---
+
+  /// Switches hosting a count-min sketch.  Flow packets (kEthFlow) injected
+  /// there walk the sketch row tables and increment the matched cells'
+  /// counter groups; the sweep reads every cell into the label stack.
+  /// Required non-empty for kTopkSweep.
+  std::vector<graph::NodeId> topk_switches;
+
+  /// Count-min geometry: d rows, b hash bits per row (w = 2^b columns).
+  /// Row r's hash is bit-slice r of the packet's flow-key tag field, so
+  /// d * b must not exceed kFlowKeyBits; d * 2^b (cell count) must fit the
+  /// 12-bit cell field of the read-out label.
+  std::uint32_t topk_rows = 4;
+  std::uint32_t topk_row_bits = 6;
+
+  /// Signature rows: extra count-min rows matching slices of the flow_sig
+  /// tag field — a whole-key hash stamped by the traffic source.  Slice
+  /// rows alone make the decode reversible but ghost-prone (the cartesian
+  /// product of two elephants' heavy slices is a spurious heavy key);
+  /// signature rows kill ghosts, which hash to a light cell w.h.p.  Counted
+  /// against the same 12-bit cell budget: (d + sig) * 2^b <= 4096.
+  std::uint32_t topk_sig_rows = 2;
+
+  /// Per-cell smart-counter moduli (pairwise coprime, each in [2,16], at
+  /// most 2*kScratchRegs entries — residues ride in scratch_a/scratch_b).
+  /// The counting range per cell is their product (default: 240240).
+  std::vector<std::uint32_t> topk_moduli = {16, 15, 13, 11, 7};
+
+  // --- satellite services (opt-in; defaults preserve rule counts) ---
+
+  /// Compile in-band probe relay: kEthProbe packets arriving on a wire port
+  /// are forwarded hop by hop along a BFS route to `probe_sink`'s LOCAL
+  /// port, so recovery-audit results travel in band instead of relying on
+  /// the controller channel.
+  std::optional<graph::NodeId> probe_sink;
+
+  /// Compile generic background-data forwarding for services that have no
+  /// data rules of their own: controller-injected kEthData packets steer by
+  /// the out_port tag; wire arrivals sink.  Lets scenarios keep traffic
+  /// flowing (and the hop clock advancing) between fault detection and
+  /// repair.  kPacketLoss/kLoadInference keep their own counting data rules.
+  bool data_forwarding = false;
 
   // --- ablation switches (benchmarks only; defaults reproduce the paper) ---
 
@@ -179,6 +226,10 @@ class TemplateCompiler {
   void emit_phase2_chain(Ctx& c) const;
   void emit_loss_chain(Ctx& c) const;
   void emit_load_chain(Ctx& c) const;
+  void emit_topk_chain(Ctx& c) const;
+  void emit_topk_flow_tables(Ctx& c) const;
+
+  bool is_topk_switch(graph::NodeId i) const;
 
   // Service hook action lists (Table 1 columns).
   ofp::ActionList hooks_send_new(Ctx& c, graph::PortNo out, bool root_first) const;
@@ -197,6 +248,8 @@ class TemplateCompiler {
   // inband_collector mode: port of each node toward the collector
   // (kNoPort at the collector itself), computed offline by BFS.
   std::vector<graph::PortNo> report_route_;
+  // probe_sink mode: same, for kEthProbe relay.
+  std::vector<graph::PortNo> probe_route_;
 };
 
 /// Priority of the compiled stale-epoch drop rules (above every service
@@ -243,5 +296,9 @@ inline constexpr ofp::GroupId kRestartGroupId = 0x300000;
 inline constexpr std::uint32_t kFamBlackhole = 0;
 inline constexpr std::uint32_t kFamLossOut0 = 1;  // +k for modulus k
 inline constexpr std::uint32_t kFamLossIn0 = 1 + kScratchRegs;
+/// Top-K sketch cells: family kFamTopk0 + modulus index, "port" slot = cell
+/// index (row * w + column) — the port field of counter_group_id is 12 bits
+/// wide, matching the cell field of the read-out label.
+inline constexpr std::uint32_t kFamTopk0 = 8;
 
 }  // namespace ss::core

@@ -11,5 +11,6 @@ inline constexpr std::uint16_t kEthTraversal = 0x88b5;  // SmartSouth trigger pa
 inline constexpr std::uint16_t kEthData = 0x0800;       // background data traffic
 inline constexpr std::uint16_t kEthProbe = 0x88b6;      // packet-loss probe
 inline constexpr std::uint16_t kEthReport = 0x88b8;     // in-band report copy
+inline constexpr std::uint16_t kEthFlow = 0x88b7;       // hashed-flow telemetry traffic
 
 }  // namespace ss::core

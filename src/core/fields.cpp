@@ -16,7 +16,7 @@ FieldRef TagLayout::alloc(std::uint32_t width) {
   return f;
 }
 
-TagLayout::TagLayout(const graph::Graph& g) {
+TagLayout::TagLayout(const graph::Graph& g, TagExtras extras) {
   const auto n = g.node_count();
 
   phase2_ = alloc(1);
@@ -50,7 +50,25 @@ TagLayout::TagLayout(const graph::Graph& g) {
     cur_.push_back(alloc(w));
   }
   traversal_region_ = {region_begin, next_ - region_begin};
+
+  // Extras go strictly last so a layout with extras is a superset of the
+  // plain layout: no existing offset moves.
+  if (extras.flow_key) flow_key_ = alloc(kFlowKeyBits);
+  if (extras.flow_sig_bits != 0) flow_sig_ = alloc(extras.flow_sig_bits);
+
   total_bits_ = next_;
+}
+
+FieldRef TagLayout::flow_key() const {
+  if (flow_key_.width == 0)
+    throw std::logic_error("TagLayout::flow_key: extras.flow_key not enabled");
+  return flow_key_;
+}
+
+FieldRef TagLayout::flow_sig() const {
+  if (flow_sig_.width == 0)
+    throw std::logic_error("TagLayout::flow_sig: extras.flow_sig_bits not enabled");
+  return flow_sig_;
 }
 
 FieldRef TagLayout::chain_slot(std::uint32_t k) const {

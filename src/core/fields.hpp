@@ -37,10 +37,27 @@ inline constexpr std::uint32_t kScratchRegs = 3;
 /// (watchdog/retry) drivers; epochs wrap modulo kEpochSpace.
 inline constexpr std::uint32_t kEpochBits = 3;
 inline constexpr std::uint32_t kEpochSpace = 1u << kEpochBits;
+/// Width of the hashed flow identifier carried by telemetry traffic.  The
+/// count-min rows hash by slicing this field, so it must be a multiple of
+/// the per-row slice width (6 bits x 4 rows = 24).
+inline constexpr std::uint32_t kFlowKeyBits = 24;
+
+/// Optional fields appended after the base layout.  Extras live at the very
+/// end of the tag so that enabling them never moves an existing field: every
+/// offset of a `TagLayout(g)` layout is identical in a `TagLayout(g, extras)`
+/// layout, which keeps all non-telemetry services bit-compatible.
+struct TagExtras {
+  bool operator==(const TagExtras&) const = default;
+  bool flow_key = false;  // 24-bit hashed flow id (top-K telemetry)
+  /// Width of the flow signature field: a whole-key hash computed at the
+  /// traffic source and matched as plain tag bits by the sketch's
+  /// signature rows (ghost suppression in the top-K decode).
+  std::uint32_t flow_sig_bits = 0;
+};
 
 class TagLayout {
  public:
-  explicit TagLayout(const graph::Graph& g);
+  explicit TagLayout(const graph::Graph& g, TagExtras extras = {});
 
   // --- global fields (Algorithm 1 + all four services) ---
   FieldRef start() const { return start_; }          // 0 = uninitialized, 1, 2 = priocast phase
@@ -69,6 +86,12 @@ class TagLayout {
   /// everything a chained-anycast restart must wipe to become a fresh root.
   FieldRef traversal_state_region() const { return traversal_region_; }
 
+  // --- extras (allocated only when requested at construction) ---
+  bool has_flow_key() const { return flow_key_.width != 0; }
+  FieldRef flow_key() const;  // throws unless TagExtras::flow_key was set
+  bool has_flow_sig() const { return flow_sig_.width != 0; }
+  FieldRef flow_sig() const;  // throws unless TagExtras::flow_sig_bits was set
+
   std::uint32_t total_bits() const { return total_bits_; }
   std::uint32_t total_bytes() const { return (total_bits_ + 7) / 8; }
 
@@ -95,6 +118,8 @@ class TagLayout {
   std::vector<FieldRef> scratch_a_, scratch_b_;
   std::vector<FieldRef> par_, cur_;
   FieldRef traversal_region_;
+  FieldRef flow_key_;
+  FieldRef flow_sig_;
   std::uint32_t total_bits_ = 0;
 };
 

@@ -72,8 +72,24 @@ void RecoveryService::close_record(NodeState& st, sim::Network& net) {
   st.open = -1;
 }
 
+void RecoveryService::drain_inband(sim::Network& net) {
+  if (!policy_.inband_sink) return;
+  for (; local_mark_ < net.local_deliveries().size(); ++local_mark_) {
+    const auto& d = net.local_deliveries()[local_mark_];
+    if (d.at != *policy_.inband_sink || d.packet.eth_type != kEthProbe) continue;
+    ++stats_.probes_delivered;
+    bool ok = d.packet.labels.size() == expected_.size();
+    for (std::size_t i = 0; ok && i < expected_.size(); ++i)
+      ok = d.packet.labels[i] == fold32(expected_[i].combined);
+    if (ok) ++stats_.probes_verified;
+  }
+}
+
 void RecoveryService::cycle(sim::Network& net) {
   ++stats_.cycles;
+  // Probes launched in earlier cycles have had a full interval to relay to
+  // the in-band sink; account for them before sending this cycle's.
+  drain_inband(net);
 
   // In-band integrity probe: one controller packet into the probe root
   // carrying every switch's expected digest in its label stack.  No rule
@@ -160,6 +176,25 @@ void RecoveryService::cycle(sim::Network& net) {
       st.clean_streak = 0;
     }
   }
+
+  // Background traffic: while any divergence is open, keep data packets
+  // moving through the compiled "data.fwd" rules so the hop clock advances
+  // between detection and repair and MTTR measures real forwarded traffic.
+  if (policy_.background_burst > 0) {
+    bool open = false;
+    for (const NodeState& st : state_)
+      if (st.health != SwitchHealth::kHealthy) open = true;
+    if (open) {
+      const auto deg =
+          static_cast<std::uint32_t>(graph_->degree(policy_.probe_root));
+      for (std::uint32_t b = 0; b < policy_.background_burst; ++b) {
+        ofp::Packet p = layout_->make_packet(kEthData);
+        layout_->set(p, layout_->out_port(), 1 + (b % deg));
+        net.packet_out(policy_.probe_root, std::move(p));
+        ++stats_.background_packets;
+      }
+    }
+  }
 }
 
 ofp::AuditReport RecoveryService::audit_switch(sim::Network& net, NodeId v) {
@@ -168,6 +203,7 @@ ofp::AuditReport RecoveryService::audit_switch(sim::Network& net, NodeId v) {
 }
 
 bool RecoveryService::all_clean(sim::Network& net) {
+  drain_inband(net);  // account probes that landed after the last cycle
   sync_epoch(authoritative_epoch(net));
   for (NodeId v = 0; v < graph_->node_count(); ++v) {
     if (!net.switch_up(v)) continue;

@@ -35,6 +35,7 @@
 // and every up switch audits clean — the simulation then drains naturally.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/compiler.hpp"
@@ -51,6 +52,18 @@ struct RecoveryPolicy {
   sim::Time quarantine_for = 256;       // quarantine duration
   graph::NodeId probe_root = 0;         // probe injection point
   std::uint64_t max_cycles = 0;         // hard cap on probe cycles (0 = none)
+  /// In-band probe relay: when set, the pipeline must carry the compiled
+  /// "probe.relay" rules (PipelineExtras::probe_sink on the service) and
+  /// each cycle's audit probe travels hop by hop to this switch's LOCAL
+  /// port instead of dying at the root — the service counts deliveries and
+  /// verifies the carried digest labels (stats probes_delivered/_verified).
+  std::optional<graph::NodeId> inband_sink;
+  /// Background traffic: kEthData packets injected at probe_root each cycle
+  /// while any divergence is open, riding the compiled "data.fwd" rules
+  /// (PipelineExtras::data_forwarding).  Keeps the hop clock moving between
+  /// detection and repair so MTTR is measured in delivered hops, not in
+  /// zero-width callback time.  0 = off (default, exact legacy cadence).
+  std::uint32_t background_burst = 0;
 };
 
 enum class SwitchHealth : std::uint8_t {
@@ -83,6 +96,9 @@ struct RecoveryStats {
   std::uint64_t repairs = 0;       // reinstall() invocations
   std::uint64_t quarantines = 0;
   std::uint64_t flow_mods = 0;     // control messages spent on reinstalls
+  std::uint64_t probes_delivered = 0;  // in-band probes seen at inband_sink
+  std::uint64_t probes_verified = 0;   // ...whose digest labels checked out
+  std::uint64_t background_packets = 0;  // burst packets injected
 };
 
 class RecoveryService {
@@ -134,9 +150,13 @@ class RecoveryService {
   bool should_continue(sim::Network& net);
   void schedule(sim::Network& net, sim::Time when);
 
+  /// Consume in-band probe deliveries at inband_sink since the last call.
+  void drain_inband(sim::Network& net);
+
   const graph::Graph* graph_;
   const TagLayout* layout_;
   RecoveryPolicy policy_;
+  std::size_t local_mark_ = 0;  // local_deliveries() cursor for drain_inband
   std::vector<ofp::Switch> golden_;
   std::vector<ofp::SwitchDigest> expected_;
   std::uint32_t golden_epoch_ = 0;

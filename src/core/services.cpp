@@ -151,13 +151,15 @@ const char* hardened_outcome_name(HardenedOutcome o) {
 // ---------------------------------------------------------------------------
 PlainTraversal::PlainTraversal(const graph::Graph& g, bool finish_report,
                                bool use_fast_failover, bool epoch_guard,
-                               bool header_guard)
+                               bool header_guard, PipelineExtras extras)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kPlain);
         o.finish_report = finish_report;
         o.use_fast_failover = use_fast_failover;
         o.epoch_guard = epoch_guard;
         o.header_guard = header_guard;
+        o.probe_sink = extras.probe_sink;
+        o.data_forwarding = extras.data_forwarding;
         return o;
       }()) {}
 
@@ -198,7 +200,8 @@ bool PlainTraversal::run_hardened(sim::Network& net, NodeId root,
 // ---------------------------------------------------------------------------
 SnapshotService::SnapshotService(const graph::Graph& g, std::uint32_t fragment_limit,
                                  bool dedup, std::optional<NodeId> inband_collector,
-                                 bool epoch_guard, bool header_guard)
+                                 bool epoch_guard, bool header_guard,
+                                 PipelineExtras extras)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kSnapshot);
         o.fragment_limit = fragment_limit;
@@ -206,6 +209,8 @@ SnapshotService::SnapshotService(const graph::Graph& g, std::uint32_t fragment_l
         o.inband_collector = inband_collector;
         o.epoch_guard = epoch_guard;
         o.header_guard = header_guard;
+        o.probe_sink = extras.probe_sink;
+        o.data_forwarding = extras.data_forwarding;
         return o;
       }()) {}
 
@@ -346,12 +351,15 @@ std::string SnapshotResult::canonical() const {
 // Anycast
 // ---------------------------------------------------------------------------
 AnycastService::AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups,
-                               bool epoch_guard, bool header_guard)
+                               bool epoch_guard, bool header_guard,
+                               PipelineExtras extras)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kAnycast);
         o.groups = std::move(groups);
         o.epoch_guard = epoch_guard;
         o.header_guard = header_guard;
+        o.probe_sink = extras.probe_sink;
+        o.data_forwarding = extras.data_forwarding;
         return o;
       }()) {}
 
@@ -723,12 +731,15 @@ LoadInferenceResult LoadInferenceService::infer(sim::Network& net, NodeId root) 
 // ---------------------------------------------------------------------------
 CriticalNodeService::CriticalNodeService(const graph::Graph& g,
                                          std::optional<NodeId> inband_collector,
-                                         bool epoch_guard, bool header_guard)
+                                         bool epoch_guard, bool header_guard,
+                                         PipelineExtras extras)
     : graph_(g), layout_(graph_), compiler_(graph_, layout_, [&] {
         CompilerOptions o = make_opts(ServiceKind::kCritical);
         o.inband_collector = inband_collector;
         o.epoch_guard = epoch_guard;
         o.header_guard = header_guard;
+        o.probe_sink = extras.probe_sink;
+        o.data_forwarding = extras.data_forwarding;
         return o;
       }()) {}
 

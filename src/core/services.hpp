@@ -85,6 +85,17 @@ struct HardenedStats {
   HardenedOutcome outcome = HardenedOutcome::kExhausted;
 };
 
+/// Cross-cutting pipeline riders a service compiles alongside its own
+/// rules.  `probe_sink` emits the kEthProbe hop-by-hop relay (recovery
+/// audit results travel in band to that switch's LOCAL port);
+/// `data_forwarding` emits the generic kEthData steer/sink pair the
+/// recovery service's background bursts ride (MTTR measured in hops of
+/// real traffic).  Defaults compile nothing extra.
+struct PipelineExtras {
+  std::optional<graph::NodeId> probe_sink;
+  bool data_forwarding = false;
+};
+
 // ---------------------------------------------------------------------------
 // Plain traversal (the bare SmartSouth template) — used to measure the
 // template's own message complexity.
@@ -93,7 +104,7 @@ class PlainTraversal {
  public:
   explicit PlainTraversal(const graph::Graph& g, bool finish_report = true,
                           bool use_fast_failover = true, bool epoch_guard = false,
-                          bool header_guard = false);
+                          bool header_guard = false, PipelineExtras extras = {});
   void install(sim::Network& net) const { compiler_.install(net); }
   /// Inject at `root`; returns true iff the root's Finish() fired.
   bool run(sim::Network& net, graph::NodeId root, RunStats* stats = nullptr) const;
@@ -141,7 +152,8 @@ class SnapshotService {
   explicit SnapshotService(const graph::Graph& g, std::uint32_t fragment_limit = 0,
                            bool dedup = true,
                            std::optional<graph::NodeId> inband_collector = {},
-                           bool epoch_guard = false, bool header_guard = false);
+                           bool epoch_guard = false, bool header_guard = false,
+                           PipelineExtras extras = {});
   void install(sim::Network& net) const { compiler_.install(net); }
   SnapshotResult run(sim::Network& net, graph::NodeId root) const;
 
@@ -185,7 +197,8 @@ struct AnycastResult {
 class AnycastService {
  public:
   AnycastService(const graph::Graph& g, std::vector<AnycastGroupSpec> groups,
-                 bool epoch_guard = false, bool header_guard = false);
+                 bool epoch_guard = false, bool header_guard = false,
+                 PipelineExtras extras = {});
   void install(sim::Network& net) const { compiler_.install(net); }
   AnycastResult run(sim::Network& net, graph::NodeId from, std::uint32_t gid) const;
   /// Watchdog/retry run (requires epoch_guard = true at construction).
@@ -392,7 +405,8 @@ class CriticalNodeService {
  public:
   explicit CriticalNodeService(const graph::Graph& g,
                                std::optional<graph::NodeId> inband_collector = {},
-                               bool epoch_guard = false, bool header_guard = false);
+                               bool epoch_guard = false, bool header_guard = false,
+                               PipelineExtras extras = {});
   void install(sim::Network& net) const { compiler_.install(net); }
   /// Ask node `v` to test its own criticality.
   CriticalResult run(sim::Network& net, graph::NodeId v) const;

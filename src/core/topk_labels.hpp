@@ -1,0 +1,57 @@
+#pragma once
+// Top-K telemetry record encoding.
+//
+// The top-K sweep reads, at every first visit of a sketch switch, all
+// d*w count-min cells and pushes one 32-bit label per (cell, modulus):
+//
+//   [31:28] modulus idx (which of the configured coprime moduli)
+//   [27:16] node        (12 bits)
+//   [15:4]  cell        (12 bits: row * w + column)
+//   [3:0]   residue     (counter residue, < modulus <= 16)
+//
+// The low 4 bits are left to the data plane: the compiled readout rule is
+// {ActGroup(cell counter), ActPushTagField(scratch | base)} where `base` is
+// encode_topk_base(..) — the group writes the residue into the scratch
+// register and the push-field action ORs it under the framing bits.  With
+// k coprime moduli the decoder reconstructs each cell's true count modulo
+// their product by CRT.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace ss::core {
+
+struct TopkRecord {
+  std::uint32_t modulus_idx = 0;
+  graph::NodeId node = 0;
+  std::uint32_t cell = 0;  // row * w + column
+  std::uint32_t residue = 0;
+};
+
+/// Framing bits of a readout label; the residue (low 4 bits) is OR'd in by
+/// the data plane's push-field action.
+inline std::uint32_t encode_topk_base(std::uint32_t mod_idx, graph::NodeId node,
+                                      std::uint32_t cell) {
+  if (mod_idx >= 16 || node >= (1u << 12) || cell >= (1u << 12))
+    throw std::out_of_range("encode_topk_base: field overflow");
+  return (mod_idx << 28) | (node << 16) | (cell << 4);
+}
+
+inline std::uint32_t encode_topk(std::uint32_t mod_idx, graph::NodeId node,
+                                 std::uint32_t cell, std::uint32_t residue) {
+  if (residue >= 16) throw std::out_of_range("encode_topk: residue overflow");
+  return encode_topk_base(mod_idx, node, cell) | residue;
+}
+
+inline TopkRecord decode_topk(std::uint32_t label) {
+  TopkRecord r;
+  r.modulus_idx = (label >> 28) & 0xf;
+  r.node = (label >> 16) & 0xfff;
+  r.cell = (label >> 4) & 0xfff;
+  r.residue = label & 0xf;
+  return r;
+}
+
+}  // namespace ss::core

@@ -1,8 +1,10 @@
 #include "obs/report.hpp"
 
 #include <algorithm>
+#include <initializer_list>
 #include <map>
 #include <ostream>
+#include <utility>
 
 #include "util/strings.hpp"
 
@@ -33,6 +35,7 @@ std::map<std::string, std::uint64_t> violation_totals(const Timeline& tl) {
       {"counter_regression", 0},
       {"dfs_token_fork", 0},
       {"unprovoked_failover", 0},
+      {"sketch_bound", 0},
   };
   for (const InvariantViolation& v : tl.violations())
     ++totals[invariant_kind_name(v.kind)];
@@ -88,6 +91,13 @@ void write_report(std::ostream& os, const RunHeader& h, const Timeline& tl) {
            << tl.verdict_label() << "\n";
         any_event = true;
         break;
+      case TimelineEvent::Kind::kSweep:
+        os << "  t=" << ev.time << " hop=" << hop_pos << "  sweep  "
+           << tl.sweeps()[ev.index].label
+           << (tl.sweeps()[ev.index].ok ? "" : "  [SKETCH BOUND BROKEN]")
+           << "\n";
+        any_event = true;
+        break;
     }
   }
   if (!any_event) os << "  (no fault / epoch / verdict events)\n";
@@ -107,6 +117,25 @@ void write_report(std::ostream& os, const RunHeader& h, const Timeline& tl) {
   hist_line(os, "wire_bytes", tl.wire_bytes_hist());
   hist_line(os, "tables_per_hop", tl.tables_per_hop_hist());
   hist_line(os, "hops_per_epoch", tl.hops_per_epoch_hist());
+
+  if (h.topk.enabled) {
+    const TopkReportSection& t = h.topk;
+    os << "\n== topk ==\n";
+    os << "  k=" << t.k << " eps=" << t.epsilon << " delta=" << t.delta
+       << " crt_range=" << t.range << "\n";
+    os << "  workload: flows=" << t.flows << " packets=" << t.packets << "\n";
+    os << "  sweep: fragments=" << t.fragments
+       << " complete=" << (t.complete ? "yes" : "NO")
+       << " row_sums=" << (t.row_sums_ok ? "consistent" : "BROKEN") << "\n";
+    os << "  recall=" << t.recall
+       << " bounds=" << (t.bounds_ok ? "held" : "VIOLATED")
+       << " max_overestimate=" << t.max_overestimate << "\n";
+    os << "  flow packets: p50=" << t.pkt_p50 << " p90=" << t.pkt_p90
+       << " p99=" << t.pkt_p99 << " p99.9=" << t.pkt_p999 << "\n";
+    os << "  flow bytes:   p50=" << t.byte_p50 << " p90=" << t.byte_p90
+       << " p99=" << t.byte_p99 << " p99.9=" << t.byte_p999 << "\n";
+    for (const std::string& line : t.top_lines) os << "  " << line << "\n";
+  }
 
   os << "\n== fault reactions ==\n";
   if (tl.reactions().empty()) os << "  (no degradation faults)\n";
@@ -192,6 +221,33 @@ void write_prom_snapshot(std::ostream& os, const RunHeader& h, const Timeline& t
   hist("wire_bytes", tl.wire_bytes_hist());
   hist("tables_per_hop", tl.tables_per_hop_hist());
   hist("hops_per_epoch", tl.hops_per_epoch_hist());
+
+  if (h.topk.enabled) {
+    const TopkReportSection& t = h.topk;
+    os << "ss_topk_k{" << run << "} " << t.k << "\n";
+    os << "ss_topk_epsilon{" << run << "} " << t.epsilon << "\n";
+    os << "ss_topk_delta{" << run << "} " << t.delta << "\n";
+    os << "ss_topk_flows_total{" << run << "} " << t.flows << "\n";
+    os << "ss_topk_packets_total{" << run << "} " << t.packets << "\n";
+    os << "ss_topk_recall{" << run << "} " << t.recall << "\n";
+    os << "ss_topk_bounds_ok{" << run << "} " << (t.bounds_ok ? 1 : 0) << "\n";
+    os << "ss_topk_max_overestimate{" << run << "} " << t.max_overestimate
+       << "\n";
+    os << "ss_topk_fragments_total{" << run << "} " << t.fragments << "\n";
+    os << "ss_topk_sweep_complete{" << run << "} " << (t.complete ? 1 : 0)
+       << "\n";
+    os << "ss_topk_row_sums_ok{" << run << "} " << (t.row_sums_ok ? 1 : 0)
+       << "\n";
+    const auto q = [&](const char* name, double p50, double p90, double p99,
+                      double p999) {
+      for (const auto& [qq, v] : std::initializer_list<std::pair<const char*, double>>{
+               {"50", p50}, {"90", p90}, {"99", p99}, {"99.9", p999}})
+        os << "ss_topk_flow_quantile{" << run << ",name=\"" << name << "\",q=\""
+           << qq << "\"} " << v << "\n";
+    };
+    q("packets", t.pkt_p50, t.pkt_p90, t.pkt_p99, t.pkt_p999);
+    q("bytes", t.byte_p50, t.byte_p90, t.byte_p99, t.byte_p999);
+  }
 
   for (const auto& [kind, n] : violation_totals(tl))
     os << "ss_invariant_violations_total{" << run << ",kind=\"" << kind << "\"} "

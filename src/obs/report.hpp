@@ -15,6 +15,29 @@
 
 namespace ss::obs {
 
+/// Top-K telemetry outcome (filled when the run carried sketch sweeps);
+/// the tail percentiles are the per-flow packet/byte distributions of the
+/// injected workload, the bounds are the count-min guarantees.
+struct TopkReportSection {
+  bool enabled = false;
+  std::uint32_t k = 0;
+  double epsilon = 0.0;
+  double delta = 0.0;
+  std::uint64_t range = 0;        // CRT counting range
+  std::uint64_t flows = 0;
+  std::uint64_t packets = 0;
+  double recall = 0.0;
+  bool bounds_ok = false;         // lower + eps bound on every reported flow
+  std::uint64_t max_overestimate = 0;
+  std::size_t fragments = 0;
+  bool complete = false;          // sweep traversal finished
+  bool row_sums_ok = false;
+  double pkt_p50 = 0, pkt_p90 = 0, pkt_p99 = 0, pkt_p999 = 0;
+  double byte_p50 = 0, byte_p90 = 0, byte_p99 = 0, byte_p999 = 0;
+  /// Pre-rendered "fkey=0x... est=N true=M" lines for the reported flows.
+  std::vector<std::string> top_lines;
+};
+
 /// Run identity + outcome, filled by the caller (tools/obs_report copies it
 /// out of the scenario result).
 struct RunHeader {
@@ -41,6 +64,8 @@ struct RunHeader {
   std::uint64_t divergences = 0;
   std::uint64_t repairs = 0;
   std::uint64_t quarantines = 0;
+  // Top-K sketch telemetry; rendered only when topk.enabled.
+  TopkReportSection topk;
 };
 
 /// The full text report: run summary, causal timeline (faults, epoch bumps,

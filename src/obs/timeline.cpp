@@ -45,6 +45,7 @@ std::string invariant_kind_name(InvariantKind k) {
     case InvariantKind::kCounterRegression: return "counter_regression";
     case InvariantKind::kDfsTokenFork: return "dfs_token_fork";
     case InvariantKind::kUnprovokedFailover: return "unprovoked_failover";
+    case InvariantKind::kSketchBound: return "sketch_bound";
   }
   return "?";
 }
@@ -126,6 +127,14 @@ void Timeline::ingest_trace(const sim::Network& net, EpochFn epoch_of,
 void Timeline::set_verdict(sim::Time at, std::string label) {
   verdict_at_ = at;
   verdict_label_ = std::move(label);
+}
+
+void Timeline::add_sweep(sim::Time at, std::uint32_t sweep, bool ok,
+                         std::string label) {
+  if (!ok)
+    violate(InvariantKind::kSketchBound, at,
+            util::cat("sweep ", sweep, ": ", label));
+  sweeps_.push_back({at, sweep, ok, std::move(label), 0});
 }
 
 void Timeline::violate(InvariantKind k, sim::Time t, std::string detail) {
@@ -339,6 +348,19 @@ void Timeline::finalize(const sim::Network& net) {
     events_.insert(pos, {TimelineEvent::Kind::kVerdict, *verdict_at_, 0, 0});
   }
 
+  // --- telemetry sweep marks onto the same axis (after same-time events,
+  // since a sweep decodes only once its traversal's hops have landed) ---
+  for (std::size_t si = 0; si < sweeps_.size(); ++si) {
+    SweepMark& s = sweeps_[si];
+    s.at_hop = 0;
+    for (std::size_t k = 0; k < hops_.size(); ++k)
+      if (hops_[k].time <= s.at) ++s.at_hop;
+    const auto pos = std::upper_bound(
+        events_.begin(), events_.end(), s.at,
+        [](sim::Time t, const TimelineEvent& ev) { return t < ev.time; });
+    events_.insert(pos, {TimelineEvent::Kind::kSweep, s.at, si, 0});
+  }
+
   // --- final counter cut + wire conservation ---
   final_stats_ = net.stats();
   check_counter_cut(final_stats_, net.now());
@@ -361,9 +383,14 @@ void Timeline::finalize(const sim::Network& net) {
   }
 
   // --- per-epoch structural inspection + per-attempt hop counts ---
+  // Only the traversal plane is DFS-shaped; telemetry flow packets, probe
+  // relays and background data bursts legitimately re-cross ports and must
+  // not trip the structural anomaly rules.
   std::map<std::uint32_t, std::vector<HopRecord>> by_epoch;
-  for (std::size_t k = 0; k < hops_.size(); ++k)
+  for (std::size_t k = 0; k < hops_.size(); ++k) {
+    if (traversal_eth_ != 0 && hop_eth_[k] != traversal_eth_) continue;
     by_epoch[hop_epoch_[k]].push_back(hops_[k]);
+  }
   for (const auto& [epoch, hops] : by_epoch) {
     hops_per_epoch_.record(hops.size());
     inspect_.emplace_back(epoch, inspect_hops(hops));

@@ -81,6 +81,7 @@ enum class InvariantKind : std::uint8_t {
   kCounterRegression,
   kDfsTokenFork,
   kUnprovokedFailover,
+  kSketchBound,   // count-min decode broke estimate>=true / row-sum equality
 };
 
 std::string invariant_kind_name(InvariantKind k);
@@ -105,13 +106,25 @@ struct FaultReaction {
   std::optional<std::uint64_t> verdict_latency_hops;
 };
 
+/// One telemetry sweep epoch placed on the axis: when a top-K sketch sweep
+/// decoded, and whether its online invariant held (count-min lower bound +
+/// row-sum consistency, checked by the decoder against ground truth).
+struct SweepMark {
+  sim::Time at = 0;
+  std::uint32_t sweep = 0;   // 0-based sweep ordinal
+  bool ok = true;
+  std::string label;         // "topk sweep=0 top=20 ok" spelling
+  std::uint64_t at_hop = 0;  // hops ingested with time <= at (set by finalize)
+};
+
 /// One entry on the unified axis (faults before hops at equal time,
 /// matching the simulator's apply-changes-then-arrivals ordering).
 struct TimelineEvent {
-  enum class Kind : std::uint8_t { kFault, kHop, kEpochBump, kVerdict };
+  enum class Kind : std::uint8_t { kFault, kHop, kEpochBump, kVerdict, kSweep };
   Kind kind = Kind::kHop;
   sim::Time time = 0;
-  std::size_t index = 0;     // kFault: faults()[index]; kHop: hops()[index]
+  std::size_t index = 0;     // kFault: faults()[index]; kHop: hops()[index];
+                             // kSweep: sweeps()[index]
   std::uint32_t epoch = 0;   // kHop / kEpochBump
 };
 
@@ -135,6 +148,11 @@ class Timeline {
   /// The service's accepted answer (timestamp + human label).
   void set_verdict(sim::Time at, std::string label);
 
+  /// Record one telemetry sweep epoch.  ok=false files an
+  /// InvariantKind::kSketchBound violation immediately; finalize() merges
+  /// the mark onto the event axis and stamps its hop position.
+  void add_sweep(sim::Time at, std::uint32_t sweep, bool ok, std::string label);
+
   /// Merge everything onto one axis and run the invariants (wire
   /// conservation against `net`'s links, a final counter cut against
   /// `net`'s stats).  Call exactly once, after ingestion.
@@ -146,6 +164,7 @@ class Timeline {
   const std::vector<HopRecord>& hops() const { return hops_; }
   const std::vector<InvariantViolation>& violations() const { return violations_; }
   const std::vector<FaultReaction>& reactions() const { return reactions_; }
+  const std::vector<SweepMark>& sweeps() const { return sweeps_; }
 
   /// Per-epoch structural inspection (dead ends, failovers, port reuse) —
   /// partitioned so a retried traversal does not false-positive the
@@ -198,6 +217,7 @@ class Timeline {
   std::vector<TimelineEvent> events_;
   std::vector<InvariantViolation> violations_;
   std::vector<FaultReaction> reactions_;
+  std::vector<SweepMark> sweeps_;
   std::vector<std::pair<std::uint32_t, InspectReport>> inspect_;
   std::map<std::uint32_t, std::uint64_t> hops_per_switch_;
   Histogram wire_bytes_, tables_per_hop_, hops_per_epoch_;

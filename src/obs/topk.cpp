@@ -1,0 +1,373 @@
+#include "obs/topk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/eth_types.hpp"
+#include "core/topk_labels.hpp"
+
+namespace ss::obs {
+
+using core::CompilerOptions;
+using core::ServiceKind;
+using core::TagExtras;
+using graph::NodeId;
+using graph::PortNo;
+
+double TopkParams::epsilon() const {
+  return std::exp(1.0) / static_cast<double>(width());
+}
+
+double TopkParams::delta() const {
+  return std::exp(-static_cast<double>(rows + sig_rows));
+}
+
+std::uint64_t TopkParams::range() const {
+  std::uint64_t p = 1;
+  for (std::uint32_t m : moduli) p *= m;
+  return p;
+}
+
+namespace {
+
+// Modular inverse of a (mod m) by extended Euclid; moduli are tiny and
+// pairwise coprime, so the inverse always exists.
+std::int64_t mod_inverse(std::int64_t a, std::int64_t m) {
+  std::int64_t t = 0, newt = 1, r = m, newr = a % m;
+  while (newr != 0) {
+    const std::int64_t q = r / newr;
+    t = std::exchange(newt, t - q * newt);
+    r = std::exchange(newr, r - q * newr);
+  }
+  if (r != 1) throw std::invalid_argument("mod_inverse: not coprime");
+  return ((t % m) + m) % m;
+}
+
+CompilerOptions make_topk_opts(const TopkParams& p) {
+  CompilerOptions o;
+  o.kind = ServiceKind::kTopkSweep;
+  o.topk_switches = p.sketches;
+  o.topk_rows = p.rows;
+  o.topk_row_bits = p.row_bits;
+  o.topk_sig_rows = p.sig_rows;
+  o.topk_moduli = p.moduli;
+  o.inband_collector = p.inband_collector;
+  o.finish_report = true;
+  return o;
+}
+
+}  // namespace
+
+std::uint64_t crt_reconstruct(const std::vector<std::uint32_t>& residues,
+                              const std::vector<std::uint32_t>& moduli) {
+  if (residues.size() != moduli.size() || moduli.empty())
+    throw std::invalid_argument("crt_reconstruct: residue/modulus mismatch");
+  // Iterative combination: maintain x === residues[j] (mod M) over the
+  // moduli folded so far.
+  std::int64_t x = residues[0] % moduli[0];
+  std::int64_t M = moduli[0];
+  for (std::size_t j = 1; j < moduli.size(); ++j) {
+    const std::int64_t m = moduli[j];
+    const std::int64_t r = residues[j] % m;
+    const std::int64_t t =
+        ((r - x) % m + m) % m * mod_inverse(M % m, m) % m;
+    x += M * t;
+    M *= m;
+  }
+  return static_cast<std::uint64_t>(x);
+}
+
+TopkService::TopkService(const graph::Graph& g, TopkParams params)
+    : graph_(g),
+      params_(std::move(params)),
+      layout_(graph_, TagExtras{.flow_key = true,
+                                .flow_sig_bits = params_.sig_rows * params_.row_bits}),
+      compiler_(graph_, layout_, make_topk_opts(params_)) {
+  if (params_.k == 0) throw std::invalid_argument("TopkParams: k must be positive");
+  if (params_.cand_slices == 0)
+    throw std::invalid_argument("TopkParams: cand_slices must be positive");
+}
+
+void TopkService::pump(sim::Network& net, const std::vector<sim::FlowSpec>& flows,
+                       std::uint32_t batch) const {
+  const auto E = static_cast<std::uint32_t>(params_.sketches.size());
+  const std::uint32_t key_bits = params_.rows * params_.row_bits;
+  std::uint32_t since = 0;
+  for (const sim::FlowSpec& f : flows) {
+    if (key_bits < 32 && (f.fkey >> key_bits) != 0)
+      throw std::invalid_argument(
+          "TopkService::pump: flow key wider than the sketch hashes "
+          "(workload key_bits must equal rows * row_bits)");
+    const NodeId at = params_.sketches[sim::flow_ingress(f.fkey, E)];
+    const PortNo deg = graph_.degree(at);
+    if (deg == 0) throw std::logic_error("TopkService::pump: isolated sketch host");
+    ofp::Packet pkt = layout_.make_packet(core::kEthFlow);
+    layout_.set(pkt, layout_.flow_key(), f.fkey);
+    if (params_.sig_rows != 0)
+      layout_.set(pkt, layout_.flow_sig(),
+                  sim::flow_sig(f.fkey, params_.sig_rows * params_.row_bits));
+    layout_.set(pkt, layout_.out_port(), 1 + f.fkey % deg);
+    pkt.payload_bytes = sim::flow_packet_bytes(f.fkey);
+    for (std::uint32_t p = 0; p < f.packets; ++p) {
+      net.packet_out(at, pkt);
+      if (++since >= batch) {
+        net.run();
+        since = 0;
+      }
+    }
+  }
+  net.run();
+}
+
+TopkResult TopkService::sweep(sim::Network& net, NodeId root) {
+  core::StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  const std::size_t lmark = net.local_deliveries().size();
+  net.packet_out(root, layout_.make_packet(core::kEthTraversal));
+  net.run();
+
+  TopkResult res;
+
+  // Collect fragment labels per reporter (out-of-band, or in-band at the
+  // collector's LOCAL port).
+  std::vector<std::pair<std::uint32_t, const ofp::Packet*>> reports;
+  for (std::size_t j = mark; j < net.controller_msgs().size(); ++j) {
+    const auto& m = net.controller_msgs()[j];
+    reports.push_back({m.reason, &m.packet});
+  }
+  if (params_.inband_collector) {
+    for (std::size_t j = lmark; j < net.local_deliveries().size(); ++j) {
+      const auto& d = net.local_deliveries()[j];
+      if (d.at != *params_.inband_collector || d.packet.eth_type != core::kEthReport)
+        continue;
+      reports.push_back(
+          {static_cast<std::uint32_t>(layout_.get(d.packet, layout_.reason())),
+           &d.packet});
+    }
+  }
+
+  const auto K = params_.moduli.size();
+  const std::uint32_t d = params_.rows;
+  const std::uint32_t d_total = params_.rows + params_.sig_rows;
+  const std::uint32_t w = params_.width();
+  const std::uint32_t cells = d_total * w;
+  const std::uint64_t range = params_.range();
+
+  // residues[node][cell][modulus] — first sighting wins (one read per sweep
+  // by construction; duplicates would mean a duplicated fragment copy).
+  std::map<NodeId, std::vector<std::vector<std::int32_t>>> residues;
+  for (const auto& [reason, pkt] : reports) {
+    if (reason == core::kReasonFinish) {
+      res.complete = true;
+      continue;
+    }
+    if (reason != core::kReasonTopkFragment) continue;
+    ++res.fragments;
+    for (std::uint32_t label : pkt->labels) {
+      const core::TopkRecord rec = core::decode_topk(label);
+      if (rec.cell >= cells || rec.modulus_idx >= K) continue;  // foreign label
+      auto [it, inserted] = residues.try_emplace(rec.node);
+      if (inserted)
+        it->second.assign(cells, std::vector<std::int32_t>(K, -1));
+      auto& slot = it->second[rec.cell][rec.modulus_idx];
+      if (slot < 0) slot = static_cast<std::int32_t>(rec.residue);
+    }
+  }
+
+  // CRT-decode every read sketch into exact cell counts, discounting the
+  // read increments of earlier sweeps.
+  std::map<NodeId, std::vector<std::uint64_t>> counts;  // [cell]
+  for (const auto& [node, cellres] : residues) {
+    std::vector<std::uint64_t> cts(cells, 0);
+    bool complete_sketch = true;
+    for (std::uint32_t j = 0; j < cells; ++j) {
+      std::vector<std::uint32_t> r(K);
+      bool have_all = true;
+      for (std::size_t m = 0; m < K; ++m) {
+        if (cellres[j][m] < 0) {
+          have_all = false;
+          break;
+        }
+        r[m] = static_cast<std::uint32_t>(cellres[j][m]);
+      }
+      if (!have_all) {
+        complete_sketch = false;
+        continue;
+      }
+      cts[j] = (crt_reconstruct(r, params_.moduli) + range - sweeps_done_ % range) %
+               range;
+    }
+    if (complete_sketch) counts.emplace(node, std::move(cts));
+  }
+  res.sketches_read = counts.size();
+
+  // Row-sum invariant + per-sketch populations (signature rows included:
+  // every packet increments one cell of every row).
+  for (const auto& [node, cts] : counts) {
+    std::uint64_t row0 = 0;
+    for (std::uint32_t r = 0; r < d_total; ++r) {
+      std::uint64_t s = 0;
+      for (std::uint32_t v = 0; v < w; ++v) s += cts[r * w + v];
+      if (r == 0)
+        row0 = s;
+      else if (s != row0)
+        res.row_sums_consistent = false;
+    }
+    res.packets_per_sketch[node] = row0;
+  }
+
+  // Candidate recovery: cartesian product of the slice rows' heaviest
+  // columns, filtered by ingress consistency, estimated by the min over
+  // every row — the candidate's signature cells included, which is what
+  // kills ghost keys (their signature hashes to a light cell w.h.p.).
+  const auto E = static_cast<std::uint32_t>(params_.sketches.size());
+  struct Cand {
+    std::uint32_t fkey;
+    std::uint64_t est;
+    std::uint64_t excess;  // total cell mass above the min — collision load
+    std::vector<std::uint32_t> cells;
+  };
+  std::vector<FlowEstimate> cands;
+  for (std::uint32_t e = 0; e < E; ++e) {
+    const NodeId node = params_.sketches[e];
+    const auto it = counts.find(node);
+    if (it == counts.end()) continue;
+    const auto& cts = it->second;
+
+    std::vector<std::vector<std::uint32_t>> heavy(d);
+    for (std::uint32_t r = 0; r < d; ++r) {
+      std::vector<std::uint32_t> order(w);
+      for (std::uint32_t v = 0; v < w; ++v) order[v] = v;
+      std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const std::uint64_t ca = cts[r * w + a], cb = cts[r * w + b];
+        return ca != cb ? ca > cb : a < b;
+      });
+      for (std::uint32_t x = 0; x < std::min(params_.cand_slices, w); ++x) {
+        if (cts[r * w + order[x]] == 0) break;
+        heavy[r].push_back(order[x]);
+      }
+    }
+    if (std::any_of(heavy.begin(), heavy.end(),
+                    [](const auto& h) { return h.empty(); }))
+      continue;
+
+    // Odometer over the d heavy-slice lists.
+    std::vector<Cand> local;
+    std::vector<std::size_t> idx(d, 0);
+    while (true) {
+      Cand c;
+      c.fkey = 0;
+      c.est = ~std::uint64_t{0};
+      c.cells.reserve(d + params_.sig_rows);
+      for (std::uint32_t r = 0; r < d; ++r) {
+        const std::uint32_t v = heavy[r][idx[r]];
+        c.fkey |= v << (r * params_.row_bits);
+        c.cells.push_back(r * w + v);
+        c.est = std::min(c.est, cts[r * w + v]);
+      }
+      for (std::uint32_t s = 0; s < params_.sig_rows; ++s) {
+        const std::uint32_t sig =
+            sim::flow_sig(c.fkey, params_.sig_rows * params_.row_bits);
+        const std::uint32_t v = (sig >> (s * params_.row_bits)) & (w - 1);
+        c.cells.push_back((d + s) * w + v);
+        c.est = std::min(c.est, cts[(d + s) * w + v]);
+      }
+      if (c.est > 0 && sim::flow_ingress(c.fkey, E) == e) {
+        c.excess = 0;
+        for (const std::uint32_t cell : c.cells) c.excess += cts[cell] - c.est;
+        local.push_back(std::move(c));
+      }
+      std::uint32_t r = 0;
+      for (; r < d; ++r) {
+        if (++idx[r] < heavy[r].size()) break;
+        idx[r] = 0;
+      }
+      if (r == d) break;
+    }
+
+    // Residual peeling: a real flow's cells hold its own mass plus light
+    // collision noise, so its excess is small; a ghost assembled from the
+    // slices of several elephants inherits a different elephant per row and
+    // carries their spread as excess.  Peel cleanest-first, subtracting each
+    // accepted estimate from its cells — by the time a ghost is considered,
+    // its constituents have reclaimed their mass and the residual collapses.
+    // Reported estimates stay the un-peeled min, preserving the count-min
+    // lower bound; peeling only selects which candidates are real.
+    std::sort(local.begin(), local.end(), [](const Cand& a, const Cand& b) {
+      if (a.excess != b.excess) return a.excess < b.excess;
+      if (a.est != b.est) return a.est > b.est;
+      return a.fkey < b.fkey;
+    });
+    std::vector<std::uint64_t> residual = cts;
+    for (const Cand& c : local) {
+      std::uint64_t rmin = ~std::uint64_t{0};
+      for (const std::uint32_t cell : c.cells)
+        rmin = std::min(rmin, residual[cell]);
+      if (rmin < (c.est + 1) / 2) continue;  // mass already claimed: ghost
+      for (const std::uint32_t cell : c.cells)
+        residual[cell] -= std::min(residual[cell], c.est);
+      cands.push_back({c.fkey, c.est, node});
+    }
+  }
+
+  std::sort(cands.begin(), cands.end(), [](const FlowEstimate& a, const FlowEstimate& b) {
+    return a.estimate != b.estimate ? a.estimate > b.estimate : a.fkey < b.fkey;
+  });
+  if (cands.size() > params_.k) cands.resize(params_.k);
+  res.top = std::move(cands);
+
+  res.stats = scope.delta();
+  ++sweeps_done_;
+  return res;
+}
+
+TopkValidation TopkService::validate(const TopkResult& r,
+                                     const std::vector<sim::FlowSpec>& flows) const {
+  TopkValidation v;
+  const auto E = static_cast<std::uint32_t>(params_.sketches.size());
+
+  std::map<std::uint32_t, std::uint64_t> truth;
+  std::map<NodeId, std::uint64_t> pop;  // true N_s per sketch
+  for (const sim::FlowSpec& f : flows) {
+    truth[f.fkey] += f.packets;
+    pop[params_.sketches[sim::flow_ingress(f.fkey, E)]] += f.packets;
+    v.packets_total += f.packets;
+  }
+  v.flows_total = truth.size();
+
+  // True top-K cutoff (ties at the cutoff all count as hits).
+  std::vector<std::uint64_t> counts;
+  counts.reserve(truth.size());
+  for (const auto& [fk, c] : truth) counts.push_back(c);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  const std::size_t kk = std::min<std::size_t>(params_.k, counts.size());
+  v.true_topk_min = kk == 0 ? 0 : counts[kk - 1];
+
+  std::size_t hits = 0;
+  for (const FlowEstimate& fe : r.top) {
+    const auto it = truth.find(fe.fkey);
+    const std::uint64_t true_count = it == truth.end() ? 0 : it->second;
+    if (true_count >= v.true_topk_min && v.true_topk_min > 0) ++hits;
+    if (fe.estimate < true_count) v.lower_bound_ok = false;
+    const std::uint64_t over = fe.estimate - std::min(fe.estimate, true_count);
+    v.max_overestimate = std::max(v.max_overestimate, over);
+    const auto allowed = static_cast<std::uint64_t>(
+        std::ceil(params_.epsilon() * static_cast<double>(pop[fe.sketch])));
+    v.worst_allowed = std::max(v.worst_allowed, allowed);
+    if (over > allowed) v.error_bound_ok = false;
+  }
+  v.recall = kk == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(kk);
+  return v;
+}
+
+void TopkService::workload_hists(const std::vector<sim::FlowSpec>& flows,
+                                 Histogram& packets, Histogram& bytes) {
+  for (const sim::FlowSpec& f : flows) {
+    packets.record(f.packets);
+    bytes.record(f.bytes);
+  }
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,132 @@
+#pragma once
+// Network-wide top-K flow telemetry with error-bounded sketches.
+//
+// Each designated sketch switch hosts a count-min sketch compiled to plain
+// match-action state (ServiceKind::kTopkSweep): d row tables hash a flow by
+// slicing its 24-bit key, and each cell is a bank of coprime-moduli smart
+// counters (SELECT groups).  Flow packets are assigned to exactly one
+// sketch by the shared first-level hash sim::flow_ingress().  One SmartSouth
+// DFS traversal then sweeps the network, reading every cell of every sketch
+// into the label stack (one report fragment per switch), and this module
+// decodes the fragments: CRT per cell, candidate keys from the cartesian
+// product of heavy row slices filtered by ingress consistency, estimates by
+// min over every row — including signature rows (whole-key hash slices)
+// that suppress ghost candidates — global top-K by estimate.
+//
+// Error bounds are the textbook count-min guarantees per sketch, over that
+// sketch's packet population N_s:   estimate >= true  (always), and
+// estimate <= true + eps * N_s with probability >= 1 - delta, where
+// eps = e / w and delta = e^-d.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/services.hpp"
+#include "obs/hist.hpp"
+#include "sim/flowgen.hpp"
+#include "sim/network.hpp"
+
+namespace ss::obs {
+
+struct TopkParams {
+  /// Sketch hosts, in ingress-hash order: flow f lands on
+  /// sketches[sim::flow_ingress(f.fkey, sketches.size())].
+  std::vector<graph::NodeId> sketches;
+  std::uint32_t rows = 4;      // count-min depth d (key-slice rows)
+  std::uint32_t row_bits = 6;  // per-row hash bits b (width w = 2^b)
+  /// Signature rows keyed by sim::flow_sig (whole-key hash, stamped by the
+  /// injector): ghost candidates from the slice-row cartesian product hash
+  /// to a light signature cell w.h.p. and fall to the noise floor.
+  std::uint32_t sig_rows = 2;
+  std::vector<std::uint32_t> moduli = {16, 15, 13, 11, 7};
+  std::uint32_t k = 20;        // flows to report
+  /// Heavy row slices considered per row when recovering candidate keys.
+  std::uint32_t cand_slices = 16;
+  std::optional<graph::NodeId> inband_collector;
+
+  std::uint32_t width() const { return 1u << row_bits; }
+  /// Count-min guarantees for this geometry.
+  double epsilon() const;
+  double delta() const;
+  /// CRT counting range: product of the moduli.
+  std::uint64_t range() const;
+};
+
+struct FlowEstimate {
+  std::uint32_t fkey = 0;
+  std::uint64_t estimate = 0;       // min-over-rows, read-adjusted
+  graph::NodeId sketch = 0;         // host the flow was counted on
+};
+
+struct TopkResult {
+  std::vector<FlowEstimate> top;    // sorted by (estimate desc, fkey asc)
+  bool complete = false;            // root Finish() arrived
+  std::size_t fragments = 0;        // per-switch read-out reports decoded
+  std::size_t sketches_read = 0;    // distinct sketch hosts seen
+  /// Per-sketch packet population N_s (row-0 mass) — the bound denominator.
+  std::map<graph::NodeId, std::uint64_t> packets_per_sketch;
+  /// Online invariant: within one sketch every row must sum to the same
+  /// packet count (each packet increments each row exactly once).
+  bool row_sums_consistent = true;
+  core::RunStats stats;
+};
+
+/// Ground-truth comparison of one sweep's answer.
+struct TopkValidation {
+  double recall = 0.0;              // |reported ∩ true top-K| / K
+  bool lower_bound_ok = true;       // every estimate >= true count
+  bool error_bound_ok = true;       // every estimate <= true + eps * N_s
+  std::uint64_t max_overestimate = 0;
+  std::uint64_t worst_allowed = 0;  // largest eps * N_s over reported flows
+  std::uint64_t true_topk_min = 0;  // K-th true count (the cutoff)
+  std::uint64_t flows_total = 0;
+  std::uint64_t packets_total = 0;
+};
+
+class TopkService {
+ public:
+  TopkService(const graph::Graph& g, TopkParams params);
+
+  void install(sim::Network& net) const { compiler_.install(net); }
+
+  /// Inject every flow's packets at its ingress sketch (steered out of a
+  /// key-derived port so each packet crosses exactly one wire and sinks at
+  /// the neighbor).  Batched: the event loop drains every `batch` packets.
+  void pump(sim::Network& net, const std::vector<sim::FlowSpec>& flows,
+            std::uint32_t batch = 65536) const;
+
+  /// One DFS sweep from `root`: read every sketch, decode, report top-K.
+  /// Non-const: each sweep's read adds one increment per cell counter, and
+  /// the decoder must discount reads made by earlier sweeps.
+  TopkResult sweep(sim::Network& net, graph::NodeId root);
+
+  /// Compare a sweep's answer against the injected workload.
+  TopkValidation validate(const TopkResult& r,
+                          const std::vector<sim::FlowSpec>& flows) const;
+
+  /// Per-flow packet/byte distributions of a workload (tail percentiles
+  /// feed the report's telemetry section).
+  static void workload_hists(const std::vector<sim::FlowSpec>& flows,
+                             Histogram& packets, Histogram& bytes);
+
+  const core::TagLayout& layout() const { return layout_; }
+  const core::TemplateCompiler& compiler() const { return compiler_; }
+  const TopkParams& params() const { return params_; }
+  std::uint32_t sweeps_done() const { return sweeps_done_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  TopkParams params_;
+  core::TagLayout layout_;
+  core::TemplateCompiler compiler_;
+  std::uint32_t sweeps_done_ = 0;
+};
+
+/// CRT reconstruction: the unique x in [0, prod(moduli)) with
+/// x === residues[i] (mod moduli[i]).  Moduli must be pairwise coprime.
+std::uint64_t crt_reconstruct(const std::vector<std::uint32_t>& residues,
+                              const std::vector<std::uint32_t>& moduli);
+
+}  // namespace ss::obs

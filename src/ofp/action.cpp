@@ -19,6 +19,8 @@ std::string describe(const Action& a) {
           return util::cat("clear_tag[", v.offset, "+", v.width, "]");
         } else if constexpr (std::is_same_v<T, ActPushLabel>) {
           return util::cat("push(", v.label, ")");
+        } else if constexpr (std::is_same_v<T, ActPushTagField>) {
+          return util::cat("push_field[", v.offset, "+", v.width, "]|", v.base);
         } else if constexpr (std::is_same_v<T, ActPopLabel>) {
           return "pop";
         } else if constexpr (std::is_same_v<T, ActClearLabels>) {
@@ -53,6 +55,7 @@ std::uint32_t action_bits(const Action& a) {
         else if constexpr (std::is_same_v<T, ActSetTag>) return 32 + v.width;
         else if constexpr (std::is_same_v<T, ActClearTagRange>) return 32;
         else if constexpr (std::is_same_v<T, ActPushLabel>) return 32 + 32;
+        else if constexpr (std::is_same_v<T, ActPushTagField>) return 32 + 32;
         else if constexpr (std::is_same_v<T, ActGroup>) return 32;
         else return 16;
       },

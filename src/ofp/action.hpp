@@ -37,6 +37,16 @@ struct ActPushLabel {
   bool operator==(const ActPushLabel&) const = default;
   std::uint32_t label = 0;
 };
+/// Push `base | tag[offset..offset+width)` as a label — an OpenFlow 1.5
+/// copy-field (tag register -> label stack) restricted to the shapes the
+/// sketch readout needs.  Collapses what would otherwise be a per-value
+/// enumeration table (one rule per possible register value) into one rule.
+struct ActPushTagField {
+  bool operator==(const ActPushTagField&) const = default;
+  std::uint32_t offset = 0;
+  std::uint32_t width = 0;
+  std::uint32_t base = 0;  // OR'd over the copied value (record framing bits)
+};
 struct ActPopLabel {
   bool operator==(const ActPopLabel&) const = default;
 };
@@ -63,8 +73,8 @@ struct ActDrop {
 };
 
 using Action = std::variant<ActOutput, ActSetTag, ActClearTagRange, ActPushLabel,
-                            ActPopLabel, ActClearLabels, ActGroup, ActDecTtl,
-                            ActSetTtl, ActSetEthType, ActDrop>;
+                            ActPushTagField, ActPopLabel, ActClearLabels, ActGroup,
+                            ActDecTtl, ActSetTtl, ActSetEthType, ActDrop>;
 
 using ActionList = std::vector<Action>;
 

@@ -62,6 +62,10 @@ void Pipeline::apply_actions(const ActionList& actions, Packet& pkt, PortNo in_p
             pkt.tag.clear_range(v.offset, v.width);
           } else if constexpr (std::is_same_v<T, ActPushLabel>) {
             pkt.labels.push_back(v.label);
+          } else if constexpr (std::is_same_v<T, ActPushTagField>) {
+            pkt.tag.ensure(v.offset + v.width);
+            pkt.labels.push_back(
+                v.base | static_cast<std::uint32_t>(pkt.tag.get(v.offset, v.width)));
           } else if constexpr (std::is_same_v<T, ActPopLabel>) {
             if (pkt.labels.empty())
               throw std::runtime_error("Pipeline: pop on empty label stack");

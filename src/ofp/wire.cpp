@@ -69,6 +69,7 @@ constexpr std::uint16_t kSubPushRecord = 4;
 constexpr std::uint16_t kSubPopRecord = 5;
 constexpr std::uint16_t kSubCtrlReason = 6;
 constexpr std::uint16_t kSubDrop = 7;
+constexpr std::uint16_t kSubPushField = 8;
 
 constexpr std::uint16_t kInstrGotoTable = 1;     // OFPIT_GOTO_TABLE
 constexpr std::uint16_t kInstrApplyActions = 4;  // OFPIT_APPLY_ACTIONS
@@ -187,6 +188,8 @@ void encode_action(Bytes& b, const Action& a) {
           // Our 32-bit records exceed the 20-bit MPLS label space, so the
           // push rides the experimenter channel rather than OFPAT_PUSH_MPLS.
           encode_exp_action(b, kSubPushRecord, {}, {v.label});
+        } else if constexpr (std::is_same_v<T, ActPushTagField>) {
+          encode_exp_action(b, kSubPushField, {}, {v.offset, v.width, v.base});
         } else if constexpr (std::is_same_v<T, ActPopLabel>) {
           encode_exp_action(b, kSubPopRecord, {});
         } else if constexpr (std::is_same_v<T, ActClearLabels>) {
@@ -285,6 +288,14 @@ ActionList decode_actions(Reader& r, std::size_t end) {
         case kSubPushRecord:
           out.push_back(ActPushLabel{r.u32()});
           break;
+        case kSubPushField: {
+          ActPushTagField a;
+          a.offset = r.u32();
+          a.width = r.u32();
+          a.base = r.u32();
+          out.push_back(a);
+          break;
+        }
         case kSubPopRecord:
           out.push_back(ActPopLabel{});
           break;

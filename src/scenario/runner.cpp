@@ -7,6 +7,8 @@
 #include "graph/algorithms.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
+#include "obs/topk.hpp"
+#include "sim/flowgen.hpp"
 #include "util/strings.hpp"
 
 namespace ss::scenario {
@@ -136,6 +138,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
   // drained (final audit, stats copied out, service released) before the
   // branch — and the layout — goes out of scope.
   std::optional<core::RecoveryService> rec;
+  // Recovery riders compiled into the pipeline: the probe.relay rules the
+  // in-band audit probe travels on, and the data.fwd rules its background
+  // bursts ride.  Both off unless the recovery block asks for them.
+  const core::PipelineExtras extras{
+      spec.recovery ? spec.recovery->inband_sink : std::nullopt,
+      spec.recovery && spec.recovery->background_burst > 0};
   auto arm_recovery = [&](const core::TagLayout& L,
                           const core::TemplateCompiler& C) {
     if (!spec.recovery) return;
@@ -149,6 +157,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
     r.divergences = rec->stats().divergences;
     r.repairs_done = rec->stats().repairs;
     r.quarantines = rec->stats().quarantines;
+    r.probes_delivered = rec->stats().probes_delivered;
+    r.probes_verified = rec->stats().probes_verified;
+    r.background_packets = rec->stats().background_packets;
     r.repair_records = rec->records();
     rec.reset();
   };
@@ -168,7 +179,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
   };
 
   if (spec.service == "plain") {
-    core::PlainTraversal svc(spec.graph, true, true, hardened, spec.header_guard);
+    core::PlainTraversal svc(spec.graph, true, true, hardened, spec.header_guard,
+                             extras);
     svc.install(net);
     layout.emplace(svc.layout());
     arm_recovery(svc.layout(), svc.compiler());
@@ -183,7 +195,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
         r.complete ? "finish received" : "traversal never finished";
   } else if (spec.service == "snapshot") {
     core::SnapshotService svc(spec.graph, spec.fragment_limit, true, {}, hardened,
-                              spec.header_guard);
+                              spec.header_guard, extras);
     svc.install(net);
     layout.emplace(svc.layout());
     arm_recovery(svc.layout(), svc.compiler());
@@ -212,7 +224,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
     core::AnycastGroupSpec gs;
     gs.gid = spec.anycast_gid;
     for (NodeId m : spec.anycast_members) gs.members[m] = 1;
-    core::AnycastService svc(spec.graph, {gs}, hardened, spec.header_guard);
+    core::AnycastService svc(spec.graph, {gs}, hardened, spec.header_guard,
+                             extras);
     svc.install(net);
     layout.emplace(svc.layout());
     arm_recovery(svc.layout(), svc.compiler());
@@ -255,8 +268,93 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
       r.ground_truth_detail = any ? "a group member was reachable but not served"
                                   : "no group member reachable";
     }
+  } else if (spec.service == "topk") {
+    const TopkSpec& tk = spec.topk;
+    obs::TopkParams tp;
+    for (std::uint32_t i = 0; i < tk.sketches; ++i)
+      tp.sketches.push_back(static_cast<NodeId>(
+          static_cast<std::uint64_t>(i) * spec.graph.node_count() / tk.sketches));
+    tp.rows = tk.rows;
+    tp.row_bits = tk.row_bits;
+    tp.sig_rows = tk.sig_rows;
+    tp.k = tk.k;
+    obs::TopkService svc(spec.graph, tp);
+    svc.install(net);
+    layout.emplace(svc.layout());
+    arm_recovery(svc.layout(), svc.compiler());
+
+    sim::FlowWorkloadConfig fc;
+    fc.seed = spec.seed;
+    fc.key_bits = tk.rows * tk.row_bits;
+    fc.elephants = tk.elephants;
+    fc.mice = tk.mice;
+    fc.elephant_min = tk.elephant_min;
+    fc.elephant_max = tk.elephant_max;
+    const std::vector<sim::FlowSpec> flows = sim::make_flow_workload(fc);
+    svc.pump(net, flows);
+    obs::TopkResult res = svc.sweep(net, spec.root);
+    finish_recovery();
+    const obs::TopkValidation val = svc.validate(res, flows);
+
+    r.complete = res.complete;
+    r.run = res.stats;
+    obs::TopkReportSection& sec = r.topk;
+    sec.enabled = true;
+    sec.k = tp.k;
+    sec.epsilon = tp.epsilon();
+    sec.delta = tp.delta();
+    sec.range = tp.range();
+    sec.flows = val.flows_total;
+    sec.packets = val.packets_total;
+    sec.recall = val.recall;
+    sec.bounds_ok = val.lower_bound_ok && val.error_bound_ok;
+    sec.max_overestimate = val.max_overestimate;
+    sec.fragments = res.fragments;
+    sec.complete = res.complete;
+    sec.row_sums_ok = res.row_sums_consistent;
+    obs::Histogram hp, hb;
+    obs::TopkService::workload_hists(flows, hp, hb);
+    sec.pkt_p50 = static_cast<double>(hp.percentile(50));
+    sec.pkt_p90 = static_cast<double>(hp.percentile(90));
+    sec.pkt_p99 = static_cast<double>(hp.percentile(99));
+    sec.pkt_p999 = static_cast<double>(hp.percentile(99.9));
+    sec.byte_p50 = static_cast<double>(hb.percentile(50));
+    sec.byte_p90 = static_cast<double>(hb.percentile(90));
+    sec.byte_p99 = static_cast<double>(hb.percentile(99));
+    sec.byte_p999 = static_cast<double>(hb.percentile(99.9));
+    for (const obs::FlowEstimate& fe : res.top) {
+      const auto it = std::lower_bound(
+          flows.begin(), flows.end(), fe.fkey,
+          [](const sim::FlowSpec& f, std::uint32_t key) { return f.fkey < key; });
+      const std::uint64_t truth =
+          it != flows.end() && it->fkey == fe.fkey ? it->packets : 0;
+      sec.top_lines.push_back(util::cat("fkey=", fe.fkey, " est=", fe.estimate,
+                                        " true=", truth, " sketch=", fe.sketch));
+    }
+
+    if (const auto* m = find_report(svc.layout(), core::kReasonFinish))
+      r.verdict_at = m->time;
+    const bool sketch_ok =
+        res.row_sums_consistent && val.lower_bound_ok && val.error_bound_ok;
+    r.ground_truth_ok =
+        r.complete && sketch_ok && val.recall >= tk.min_recall;
+    r.ground_truth_detail =
+        !r.complete ? "sweep never finished"
+        : !sketch_ok
+            ? "sketch invariant broken (bounds or row sums)"
+            : (val.recall >= tk.min_recall
+                   ? "top-K matches ground truth within count-min bounds"
+                   : "recall below gate");
+    if (timeline != nullptr)
+      timeline->add_sweep(
+          r.verdict_at, svc.sweeps_done(), sketch_ok,
+          util::cat("topk sweep: k=", tp.k, " recall=",
+                    static_cast<std::uint64_t>(val.recall * 100 + 0.5),
+                    "% max_over=", val.max_overestimate, " allowed=",
+                    val.worst_allowed));
   } else {  // critical
-    core::CriticalNodeService svc(spec.graph, {}, hardened, spec.header_guard);
+    core::CriticalNodeService svc(spec.graph, {}, hardened, spec.header_guard,
+                                  extras);
     svc.install(net);
     layout.emplace(svc.layout());
     arm_recovery(svc.layout(), svc.compiler());
@@ -335,6 +433,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
   if (ex.min_repairs && r.repairs_done < *ex.min_repairs)
     expect_failed(util::cat("repairs: want >= ", *ex.min_repairs, ", got ",
                             r.repairs_done));
+  if (ex.min_recall && r.topk.recall < *ex.min_recall)
+    expect_failed(util::cat("recall: want >= ", *ex.min_recall, ", got ",
+                            r.topk.recall));
+  if (ex.bounds_ok && *ex.bounds_ok != (r.topk.bounds_ok && r.topk.row_sums_ok))
+    expect_failed(util::cat("bounds_ok: want ", *ex.bounds_ok));
   return r;
 }
 
@@ -376,7 +479,10 @@ void write_result_jsonl(std::ostream& os, const ScenarioSpec& spec,
     o.add("final_audit_clean", r.final_audit_clean)
         .add("divergences", r.divergences)
         .add("repairs", r.repairs_done)
-        .add("quarantines", r.quarantines);
+        .add("quarantines", r.quarantines)
+        .add("probes_delivered", r.probes_delivered)
+        .add("probes_verified", r.probes_verified)
+        .add("background_packets", r.background_packets);
     obs::JsonArr recs;
     for (const core::RepairRecord& rr : r.repair_records) {
       obs::JsonObj ro;
@@ -399,6 +505,15 @@ void write_result_jsonl(std::ostream& os, const ScenarioSpec& spec,
                                            : std::int64_t{-1});
   if (spec.service == "critical")
     o.add("critical", r.critical ? (*r.critical ? "true" : "false") : "none");
+  if (spec.service == "topk")
+    o.add("topk_k", r.topk.k)
+        .add("topk_flows", r.topk.flows)
+        .add("topk_packets", r.topk.packets)
+        .add("topk_recall", r.topk.recall)
+        .add("topk_bounds_ok", r.topk.bounds_ok)
+        .add("topk_row_sums_ok", r.topk.row_sums_ok)
+        .add("topk_max_overestimate", r.topk.max_overestimate)
+        .add("topk_fragments", r.topk.fragments);
   o.add("inband_msgs", r.run.inband_msgs)
       .add("outband_to_ctrl", r.run.outband_to_ctrl)
       .add("outband_from_ctrl", r.run.outband_from_ctrl)

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
 #include "obs/timeline.hpp"
 #include "scenario/spec.hpp"
 #include "sim/network.hpp"
@@ -58,12 +59,18 @@ struct ScenarioResult {
   std::optional<graph::NodeId> delivered_at;
   std::optional<bool> critical;
 
+  // Top-K telemetry outcome (service == "topk" only; topk.enabled set).
+  obs::TopkReportSection topk;
+
   // Recovery service outcome (spec.recovery present only).
   bool recovery_enabled = false;
   bool final_audit_clean = true;   // end-of-run audit over every up switch
   std::uint64_t divergences = 0;
   std::uint64_t repairs_done = 0;
   std::uint64_t quarantines = 0;
+  std::uint64_t probes_delivered = 0;   // in-band probes seen at the sink
+  std::uint64_t probes_verified = 0;    // ...with digest labels intact
+  std::uint64_t background_packets = 0; // burst traffic injected while open
   std::vector<core::RepairRecord> repair_records;
 
   bool expect_ok = true;

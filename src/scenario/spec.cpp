@@ -114,7 +114,7 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
   if (s.root >= s.graph.node_count()) return fail("root out of range");
   s.service = doc->str("service", "plain");
   if (s.service != "plain" && s.service != "snapshot" && s.service != "anycast" &&
-      s.service != "critical")
+      s.service != "critical" && s.service != "topk")
     return fail(util::cat("unknown service '", s.service, "'"));
   s.link_delay = doc->u64("link_delay", 1);
   if (s.link_delay == 0) return fail("link_delay must be >= 1");
@@ -135,6 +135,27 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
   if (s.service == "anycast" && s.anycast_members.empty())
     return fail("anycast service needs 'anycast.members'");
 
+  if (const JsonValue* t = doc->get("topk")) {
+    if (!t->is_object()) return fail("'topk' must be an object");
+    TopkSpec& tk = s.topk;
+    tk.sketches = static_cast<std::uint32_t>(t->u64("sketches", tk.sketches));
+    tk.rows = static_cast<std::uint32_t>(t->u64("rows", tk.rows));
+    tk.row_bits = static_cast<std::uint32_t>(t->u64("row_bits", tk.row_bits));
+    tk.sig_rows = static_cast<std::uint32_t>(t->u64("sig_rows", tk.sig_rows));
+    tk.k = static_cast<std::uint32_t>(t->u64("k", tk.k));
+    tk.elephants = static_cast<std::uint32_t>(t->u64("elephants", tk.elephants));
+    tk.mice = static_cast<std::uint32_t>(t->u64("mice", tk.mice));
+    tk.elephant_min =
+        static_cast<std::uint32_t>(t->u64("elephant_min", tk.elephant_min));
+    tk.elephant_max =
+        static_cast<std::uint32_t>(t->u64("elephant_max", tk.elephant_max));
+    tk.min_recall = num_or(*t, "min_recall", tk.min_recall);
+    if (tk.sketches == 0 || tk.sketches > s.graph.node_count())
+      return fail("topk.sketches out of range");
+    if (tk.rows == 0 || tk.row_bits == 0 || tk.k == 0)
+      return fail("topk rows/row_bits/k must be >= 1");
+  }
+
   if (const JsonValue* r = doc->get("retry")) {
     if (!r->is_object()) return fail("'retry' must be an object");
     core::RetryPolicy p;
@@ -144,6 +165,8 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
       return fail("retry timeout/max_attempts must be >= 1");
     s.retry = p;
   }
+  if (s.service == "topk" && s.retry.has_value())
+    return fail("topk service does not support the hardened (retry) driver");
 
   s.header_guard = doc->boolean_or("header_guard", false);
 
@@ -157,10 +180,18 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
     p.quarantine_for = rec->u64("quarantine_for", 256);
     p.probe_root = static_cast<graph::NodeId>(rec->u64("probe_root", s.root));
     p.max_cycles = rec->u64("max_cycles", 0);
+    if (const JsonValue* sink = rec->get("inband_sink")) {
+      if (!sink->is_number()) return fail("recovery inband_sink must be a number");
+      p.inband_sink = static_cast<graph::NodeId>(rec->u64("inband_sink", 0));
+    }
+    p.background_burst =
+        static_cast<std::uint32_t>(rec->u64("background_burst", 0));
     if (p.probe_interval == 0 || p.max_repair_attempts == 0)
       return fail("recovery probe_interval/max_repair_attempts must be >= 1");
     if (p.probe_root >= s.graph.node_count())
       return fail("recovery probe_root out of range");
+    if (p.inband_sink && *p.inband_sink >= s.graph.node_count())
+      return fail("recovery inband_sink out of range");
     s.recovery = p;
   }
 
@@ -310,6 +341,8 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
       s.expect.final_audit_clean = v->boolean;
     if (const JsonValue* v = e->get("min_repairs"))
       s.expect.min_repairs = static_cast<std::uint32_t>(v->number);
+    if (const JsonValue* v = e->get("min_recall")) s.expect.min_recall = v->number;
+    if (const JsonValue* v = e->get("bounds_ok")) s.expect.bounds_ok = v->boolean;
   }
   return s;
 }

@@ -38,6 +38,24 @@ struct ExpectSpec {
   std::optional<bool> critical;                // critical-node verdict
   std::optional<bool> final_audit_clean;       // recovery: end-of-run audit
   std::optional<std::uint32_t> min_repairs;    // recovery: repairs >= this
+  std::optional<double> min_recall;            // topk: recall >= this
+  std::optional<bool> bounds_ok;               // topk: count-min bounds held
+};
+
+/// Top-K telemetry configuration (service == "topk" only).  Sketch hosts
+/// are stride-picked over the topology; the synthetic workload is drawn
+/// from the scenario seed, so a spec file fully determines the answer.
+struct TopkSpec {
+  std::uint32_t sketches = 4;        // sketch switches, stride-placed
+  std::uint32_t rows = 4;            // count-min depth d
+  std::uint32_t row_bits = 6;        // per-row hash bits (width = 2^bits)
+  std::uint32_t sig_rows = 2;        // ghost-suppressing signature rows
+  std::uint32_t k = 10;              // flows to report
+  std::uint32_t elephants = 32;      // heavy flows in the workload
+  std::uint32_t mice = 20000;        // light-flow draws
+  std::uint32_t elephant_min = 16384;  // packets per elephant (log-uniform)
+  std::uint32_t elephant_max = 65536;
+  double min_recall = 0.9;           // ground-truth gate
 };
 
 struct ScenarioSpec {
@@ -46,11 +64,12 @@ struct ScenarioSpec {
   graph::Graph graph;
   std::uint64_t seed = 1;
   graph::NodeId root = 0;
-  std::string service = "plain";  // plain | snapshot | anycast | critical
+  std::string service = "plain";  // plain | snapshot | anycast | critical | topk
   sim::Time link_delay = 1;
   std::uint32_t fragment_limit = 0;           // snapshot only
   std::vector<graph::NodeId> anycast_members;  // anycast only
   std::uint32_t anycast_gid = 1;
+  TopkSpec topk;                               // topk only
   std::optional<core::RetryPolicy> retry;  // present = hardened (epoch) driver
   bool header_guard = false;               // compile hdr.guard.* poison rules
   std::optional<core::RecoveryPolicy> recovery;  // present = self-healing on

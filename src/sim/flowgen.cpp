@@ -1,0 +1,90 @@
+#include "sim/flowgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ss::sim {
+
+std::uint32_t flow_packet_bytes(std::uint32_t fkey) {
+  return 64 + (fkey & 0x3ff);
+}
+
+namespace {
+
+// splitmix64 finalizer — decorrelates derived hashes from the raw key bits
+// the count-min rows slice.
+std::uint64_t mix64(std::uint32_t fkey) {
+  std::uint64_t z = fkey + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t flow_ingress(std::uint32_t fkey, std::uint32_t n_sketches) {
+  if (n_sketches == 0) throw std::invalid_argument("flow_ingress: no sketches");
+  // Low bits feed the ingress assignment; flow_sig takes the high bits.
+  return static_cast<std::uint32_t>((mix64(fkey) & 0xffffffffull) % n_sketches);
+}
+
+std::uint32_t flow_sig(std::uint32_t fkey, std::uint32_t bits) {
+  if (bits == 0 || bits > 32)
+    throw std::invalid_argument("flow_sig: bits must be in [1,32]");
+  return static_cast<std::uint32_t>(mix64(fkey) >> (64 - bits));
+}
+
+std::vector<FlowSpec> make_flow_workload(const FlowWorkloadConfig& cfg) {
+  if (cfg.key_bits == 0 || cfg.key_bits > 32)
+    throw std::invalid_argument("flow workload: key_bits must be in [1,32]");
+  if (cfg.elephant_min == 0 || cfg.elephant_max < cfg.elephant_min)
+    throw std::invalid_argument("flow workload: bad elephant packet range");
+  if (cfg.mouse_max == 0)
+    throw std::invalid_argument("flow workload: mouse_max must be positive");
+
+  util::Rng rng(cfg.seed);
+  const std::uint64_t key_space = std::uint64_t{1} << cfg.key_bits;
+  std::vector<FlowSpec> raw;
+  raw.reserve(cfg.elephants + cfg.mice);
+
+  // Elephants: log-uniform packet counts in [min, max] — a heavy tail with
+  // a hard cap, keeping every cell count far below the CRT range.
+  const double lo = std::log(static_cast<double>(cfg.elephant_min));
+  const double hi = std::log(static_cast<double>(cfg.elephant_max));
+  for (std::uint32_t e = 0; e < cfg.elephants; ++e) {
+    FlowSpec f;
+    f.fkey = static_cast<std::uint32_t>(rng.uniform(0, key_space - 1));
+    f.packets = static_cast<std::uint32_t>(
+        std::lround(std::exp(lo + (hi - lo) * rng.uniform01())));
+    f.packets = std::clamp(f.packets, cfg.elephant_min, cfg.elephant_max);
+    raw.push_back(f);
+  }
+  for (std::uint32_t m = 0; m < cfg.mice; ++m) {
+    FlowSpec f;
+    f.fkey = static_cast<std::uint32_t>(rng.uniform(0, key_space - 1));
+    f.packets = static_cast<std::uint32_t>(rng.uniform(1, cfg.mouse_max));
+    raw.push_back(f);
+  }
+
+  // Aggregate duplicate key draws: the data plane counts by key, so ground
+  // truth must too.
+  std::sort(raw.begin(), raw.end(),
+            [](const FlowSpec& a, const FlowSpec& b) { return a.fkey < b.fkey; });
+  std::vector<FlowSpec> out;
+  out.reserve(raw.size());
+  for (const FlowSpec& f : raw) {
+    if (!out.empty() && out.back().fkey == f.fkey) {
+      out.back().packets += f.packets;
+    } else {
+      out.push_back(f);
+    }
+  }
+  for (FlowSpec& f : out)
+    f.bytes = static_cast<std::uint64_t>(f.packets) * flow_packet_bytes(f.fkey);
+  return out;
+}
+
+}  // namespace ss::sim

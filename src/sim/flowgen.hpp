@@ -1,0 +1,54 @@
+#pragma once
+// Deterministic synthetic flow workload for the top-K telemetry experiments:
+// a heavy-tailed mix of a few "elephant" flows and a large population of
+// "mice", keyed by a hashed flow identifier small enough to ride in the
+// packet tag (core::kFlowKeyBits).
+//
+// The generator is pure data — no network, no core dependency — so the same
+// tuple list serves as the driver's injection plan AND the decoder's
+// omniscient ground truth.  flow_ingress() is the shared first-level hash
+// assigning each flow to one sketch switch; injector and decoder must agree
+// on it bit-for-bit, which is why it lives here and nowhere else.
+
+#include <cstdint>
+#include <vector>
+
+namespace ss::sim {
+
+struct FlowSpec {
+  std::uint32_t fkey = 0;      // hashed flow id, < 2^key_bits
+  std::uint32_t packets = 0;   // packets injected for this flow
+  std::uint64_t bytes = 0;     // total bytes (packets * per-flow size)
+};
+
+struct FlowWorkloadConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t key_bits = 24;       // flow id space (match core::kFlowKeyBits)
+  std::uint32_t elephants = 64;      // heavy flows
+  std::uint32_t mice = 100'000;      // light flows (pre-aggregation draws)
+  std::uint32_t elephant_min = 256;  // packets per elephant, log-uniform in
+  std::uint32_t elephant_max = 4096; // [min, max]
+  std::uint32_t mouse_max = 4;       // packets per mouse, uniform in [1, max]
+};
+
+/// Deterministic workload: distinct-keyed flows sorted by fkey, duplicate
+/// key draws aggregated (ground truth stays exact).  Per-packet size is a
+/// pure function of the key, so bytes are reproducible from (fkey, packets).
+std::vector<FlowSpec> make_flow_workload(const FlowWorkloadConfig& cfg);
+
+/// Per-packet payload size of a flow (64..1087 bytes, key-derived).
+std::uint32_t flow_packet_bytes(std::uint32_t fkey);
+
+/// First-level hash: which of `n_sketches` sketch switches ingests this
+/// flow.  Mixes the key (splitmix64 finalizer) so sketch assignment is
+/// independent of the count-min row slices, which use the raw key bits.
+std::uint32_t flow_ingress(std::uint32_t fkey, std::uint32_t n_sketches);
+
+/// Whole-key signature stamped into the packet's flow_sig tag field by the
+/// injector and matched by the sketch's signature rows.  Shares the mix
+/// with flow_ingress but uses disjoint output bits, so the two hashes stay
+/// decorrelated from each other and from the raw-key row slices.  `bits`
+/// must be <= 32.
+std::uint32_t flow_sig(std::uint32_t fkey, std::uint32_t bits);
+
+}  // namespace ss::sim

@@ -155,6 +155,48 @@ TEST(Recovery, DownSwitchIsSkippedUntilRestartBringsItBack) {
   EXPECT_TRUE(t.rec.all_clean(t.net));
 }
 
+TEST(Recovery, InbandProbeRelayDeliversVerifiedDigests) {
+  // With probe.relay rules compiled in, the cycle's audit probe no longer
+  // dies at the root: it travels hop by hop to the sink's LOCAL port, and
+  // the service verifies the digest labels it carried.  Background bursts
+  // ride the data.fwd rules while the divergence is open, so the repair
+  // record's MTTR spans real forwarded traffic (hops), not zero width.
+  const graph::Graph g = graph::make_ring(8);
+  core::PipelineExtras extras;
+  extras.probe_sink = 5;
+  extras.data_forwarding = true;
+  const core::PlainTraversal svc(g, true, true, false, false, extras);
+  sim::Network net(g);
+  svc.install(net);
+
+  core::RecoveryPolicy pol;
+  pol.backoff_base = 1;
+  pol.inband_sink = 5;
+  pol.background_burst = 3;
+  core::RecoveryService rec(g, svc.layout(), svc.compiler(), pol);
+
+  // Corrupt a switch OFF the 0->7->6->5 probe route so the relay survives.
+  ASSERT_GT(net.corrupt_rules(2, /*salt=*/7), 0u);
+
+  rec.cycle(net);  // detect: probe + burst leave the root
+  net.run();       // probe relays to the sink; burst data forwards
+  const std::uint64_t hops_mid = net.stats().sent;
+  rec.cycle(net);  // drain_inband accounts the delivery, then repair
+  net.run();
+
+  EXPECT_TRUE(rec.all_clean(net));
+  // Both cycles' probes reach the sink (the second is drained by the final
+  // all_clean audit), and both carried digests that check out.
+  EXPECT_EQ(rec.stats().probes_delivered, 2u);
+  EXPECT_EQ(rec.stats().probes_verified, 2u);
+  EXPECT_EQ(rec.stats().background_packets, 3u);
+  EXPECT_GT(hops_mid, 0u);
+  ASSERT_EQ(rec.records().size(), 1u);
+  EXPECT_TRUE(rec.records()[0].repaired);
+  // Hop-denominated MTTR: traffic moved between detection and repair.
+  EXPECT_GT(rec.records()[0].repair_hop, rec.records()[0].detect_hop);
+}
+
 TEST(Recovery, HeaderGuardRecoversFromInFlightCorruption) {
   scenario::ScenarioSpec spec = base_spec("header-poison");
   const core::TagLayout layout(spec.graph);

@@ -1,0 +1,230 @@
+// Top-K sketch telemetry: CRT decode, workload generator determinism, the
+// count-min error-bound property end-to-end, read-adjustment across repeated
+// sweeps, the forwarding differential (sketch rules must not perturb the
+// traversal), and byte-identical results at any parallel_sweep thread count.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "bench/parallel.hpp"
+#include "core/eth_types.hpp"
+#include "core/services.hpp"
+#include "graph/generators.hpp"
+#include "obs/topk.hpp"
+#include "sim/flowgen.hpp"
+
+namespace ss {
+namespace {
+
+obs::TopkParams small_params(std::vector<graph::NodeId> sketches) {
+  obs::TopkParams p;
+  p.sketches = std::move(sketches);
+  p.rows = 2;
+  p.row_bits = 3;  // w = 8, key space = 2^6
+  p.moduli = {16, 15, 13, 11, 7};
+  p.k = 5;
+  p.cand_slices = 8;  // = w: every cell is a candidate slice
+  return p;
+}
+
+sim::FlowWorkloadConfig small_workload() {
+  sim::FlowWorkloadConfig cfg;
+  cfg.seed = 7;
+  cfg.key_bits = 6;  // must equal rows * row_bits
+  cfg.elephants = 6;
+  cfg.mice = 30;
+  cfg.elephant_min = 64;
+  cfg.elephant_max = 128;
+  cfg.mouse_max = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// CRT reconstruction
+// ---------------------------------------------------------------------------
+
+TEST(CrtReconstruct, RoundTripsEveryValueInRange) {
+  const std::vector<std::uint32_t> moduli{4, 3, 5};
+  for (std::uint64_t x = 0; x < 60; ++x) {
+    std::vector<std::uint32_t> r;
+    for (std::uint32_t m : moduli) r.push_back(static_cast<std::uint32_t>(x % m));
+    EXPECT_EQ(obs::crt_reconstruct(r, moduli), x);
+  }
+}
+
+TEST(CrtReconstruct, HandlesTheProductionModuli) {
+  const std::vector<std::uint32_t> moduli{16, 15, 13, 11, 7};
+  for (std::uint64_t x : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{239},
+                          std::uint64_t{65536}, std::uint64_t{240239}}) {
+    std::vector<std::uint32_t> r;
+    for (std::uint32_t m : moduli) r.push_back(static_cast<std::uint32_t>(x % m));
+    EXPECT_EQ(obs::crt_reconstruct(r, moduli), x);
+  }
+}
+
+TEST(CrtReconstruct, RejectsMismatchedArity) {
+  EXPECT_THROW(obs::crt_reconstruct({1, 2}, {4, 3, 5}), std::invalid_argument);
+  EXPECT_THROW(obs::crt_reconstruct({}, {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Workload generator
+// ---------------------------------------------------------------------------
+
+TEST(FlowWorkload, DeterministicSortedAndAggregated) {
+  const auto a = sim::make_flow_workload(small_workload());
+  const auto b = sim::make_flow_workload(small_workload());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fkey, b[i].fkey);
+    EXPECT_EQ(a[i].packets, b[i].packets);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+  }
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_LT(a[i - 1].fkey, a[i].fkey) << "keys must be distinct and sorted";
+  for (const sim::FlowSpec& f : a) {
+    EXPECT_LT(f.fkey, 64u);
+    EXPECT_EQ(f.bytes,
+              std::uint64_t{f.packets} * sim::flow_packet_bytes(f.fkey));
+  }
+}
+
+TEST(FlowWorkload, IngressHashCoversAllSketchesEventually) {
+  std::vector<bool> hit(4, false);
+  for (std::uint32_t k = 0; k < 256; ++k) hit[sim::flow_ingress(k, 4)] = true;
+  for (std::size_t e = 0; e < hit.size(); ++e) EXPECT_TRUE(hit[e]) << e;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end decode + error bounds
+// ---------------------------------------------------------------------------
+
+TEST(TopkSweep, DecodesWithCountMinGuarantees) {
+  const graph::Graph g = graph::make_grid(3, 3);
+  obs::TopkService svc(g, small_params({0, 4}));
+  sim::Network net(g);
+  svc.install(net);
+
+  const auto flows = sim::make_flow_workload(small_workload());
+  svc.pump(net, flows);
+
+  const obs::TopkResult r = svc.sweep(net, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.sketches_read, 2u);
+  EXPECT_EQ(r.fragments, 2u);
+  EXPECT_TRUE(r.row_sums_consistent);
+  ASSERT_EQ(r.top.size(), 5u);
+
+  // Per-sketch populations must account for every injected packet.
+  std::uint64_t pop = 0, injected = 0;
+  for (const auto& [node, n] : r.packets_per_sketch) pop += n;
+  for (const sim::FlowSpec& f : flows) injected += f.packets;
+  EXPECT_EQ(pop, injected);
+
+  const obs::TopkValidation v = svc.validate(r, flows);
+  EXPECT_TRUE(v.lower_bound_ok) << "count-min estimates must never undershoot";
+  EXPECT_TRUE(v.error_bound_ok)
+      << "max_overestimate=" << v.max_overestimate
+      << " allowed=" << v.worst_allowed;
+  EXPECT_GE(v.recall, 0.8);
+}
+
+TEST(TopkSweep, RepeatedSweepsDiscountTheirOwnReads) {
+  const graph::Graph g = graph::make_grid(3, 3);
+  obs::TopkService svc(g, small_params({0, 4}));
+  sim::Network net(g);
+  svc.install(net);
+  const auto flows = sim::make_flow_workload(small_workload());
+  svc.pump(net, flows);
+
+  const obs::TopkResult a = svc.sweep(net, 0);
+  const obs::TopkResult b = svc.sweep(net, 0);
+  EXPECT_EQ(svc.sweeps_done(), 2u);
+  ASSERT_EQ(a.top.size(), b.top.size());
+  for (std::size_t i = 0; i < a.top.size(); ++i) {
+    EXPECT_EQ(a.top[i].fkey, b.top[i].fkey) << i;
+    EXPECT_EQ(a.top[i].estimate, b.top[i].estimate)
+        << "sweep reads must be invisible after read-adjustment";
+  }
+  EXPECT_TRUE(b.row_sums_consistent);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: sketch rules must not perturb the traversal
+// ---------------------------------------------------------------------------
+
+using Hop = std::tuple<std::uint32_t, std::uint32_t, bool>;
+
+std::vector<Hop> traversal_hops(const sim::Network& net) {
+  std::vector<Hop> hops;
+  for (const sim::TraceEntry& te : net.trace())
+    if (te.packet.eth_type == core::kEthTraversal)
+      hops.push_back({te.from, te.out_port, te.delivered});
+  return hops;
+}
+
+TEST(TopkDifferential, SketchRulesLeaveTraversalUnchanged) {
+  const graph::Graph g = graph::make_grid(3, 4);
+
+  // Reference: the plain service's traversal wire sequence.
+  core::PlainTraversal plain(g);
+  sim::Network ref(g);
+  ref.set_trace(true);
+  plain.install(ref);
+  ASSERT_TRUE(plain.run(ref, 0));
+  const std::vector<Hop> want = traversal_hops(ref);
+  ASSERT_FALSE(want.empty());
+
+  // Sketch-compiled network with live flow traffic before the sweep.
+  obs::TopkService svc(g, small_params({0, 5, 11}));
+  sim::Network net(g);
+  net.set_trace(true);
+  svc.install(net);
+  svc.pump(net, sim::make_flow_workload(small_workload()));
+
+  const obs::TopkResult r = svc.sweep(net, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(traversal_hops(net), want)
+      << "the DFS must cross the same wires in the same order";
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across parallel_sweep thread counts
+// ---------------------------------------------------------------------------
+
+std::string run_point(std::uint64_t seed) {
+  const graph::Graph g = graph::make_grid(3, 3);
+  obs::TopkService svc(g, small_params({0, 4}));
+  sim::Network net(g);
+  svc.install(net);
+  sim::FlowWorkloadConfig cfg = small_workload();
+  cfg.seed = seed;
+  const auto flows = sim::make_flow_workload(cfg);
+  svc.pump(net, flows);
+  const obs::TopkResult r = svc.sweep(net, 0);
+  const obs::TopkValidation v = svc.validate(r, flows);
+  std::ostringstream os;
+  os << r.complete << "|" << r.fragments << "|" << v.recall << "|"
+     << v.max_overestimate;
+  for (const obs::FlowEstimate& fe : r.top)
+    os << "|" << fe.fkey << ":" << fe.estimate << "@" << fe.sketch;
+  return os.str();
+}
+
+TEST(TopkDeterminism, ByteIdenticalAcrossThreadCounts) {
+  const std::vector<std::uint64_t> seeds{3, 5, 7, 11, 13, 17};
+  const auto one = bench::parallel_sweep(
+      seeds, [](std::uint64_t s, std::size_t) { return run_point(s); }, 1);
+  for (unsigned threads : {2u, 4u}) {
+    const auto many = bench::parallel_sweep(
+        seeds, [](std::uint64_t s, std::size_t) { return run_point(s); },
+        threads);
+    EXPECT_EQ(one, many) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace ss

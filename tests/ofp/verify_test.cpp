@@ -143,9 +143,21 @@ class CompiledPipelineVerifyTest
 TEST_P(CompiledPipelineVerifyTest, EveryCompiledSwitchVerifiesCleanly) {
   for (const auto& ng : test::standard_corpus()) {
     const graph::Graph& g = ng.g;
-    core::TagLayout layout(g);
+    core::TagExtras extras;
+    if (GetParam() == core::ServiceKind::kTopkSweep) {
+      extras.flow_key = true;
+      extras.flow_sig_bits = 3;  // 1 signature row x 3 bits
+    }
+    core::TagLayout layout(g, extras);
     core::CompilerOptions opts;
     opts.kind = GetParam();
+    if (opts.kind == core::ServiceKind::kTopkSweep) {
+      opts.topk_switches = {0};
+      opts.topk_rows = 2;  // small sketch: keep the corpus sweep quick
+      opts.topk_row_bits = 3;
+      opts.topk_sig_rows = 1;
+      opts.topk_moduli = {4, 3, 5};
+    }
     if (opts.kind == core::ServiceKind::kAnycast ||
         opts.kind == core::ServiceKind::kChainedAnycast ||
         opts.kind == core::ServiceKind::kPriocast) {
@@ -181,7 +193,8 @@ INSTANTIATE_TEST_SUITE_P(
                       core::ServiceKind::kPacketLoss,
                       core::ServiceKind::kCritical,
                       core::ServiceKind::kLoadInference,
-                      core::ServiceKind::kCriticalLink),
+                      core::ServiceKind::kCriticalLink,
+                      core::ServiceKind::kTopkSweep),
     [](const auto& info) {
       switch (info.param) {
         case core::ServiceKind::kPlain: return "plain";
@@ -195,6 +208,7 @@ INSTANTIATE_TEST_SUITE_P(
         case core::ServiceKind::kCritical: return "critical";
         case core::ServiceKind::kLoadInference: return "load";
         case core::ServiceKind::kCriticalLink: return "critlink";
+        case core::ServiceKind::kTopkSweep: return "topk";
       }
       return "unknown";
     });

@@ -1,12 +1,17 @@
 // chaos_run: the adversarial robustness harness.  Runs N seeded chaos
-// episodes — each a hardened plain traversal on its own network, with a
+// episodes — each a hardened service run on its own network, with a
 // chaos-generated fault schedule (power-cycles, silent rule corruption,
 // in-flight header corruption) and the self-healing recovery service armed
 // — then aggregates MTTR (hops-to-repair and time-to-repair) histograms
-// across episodes.
+// across episodes.  Episodes rotate through --services (default
+// plain,snapshot,anycast), so repair is exercised under every pipeline
+// shape, and the recovery service runs with its in-band riders on: the
+// audit probe relays to a sink switch and background data bursts keep the
+// hop clock moving while a divergence is open (MTTR in hops > 0).
 //
 //   chaos_run [--episodes N] [--seed S] [--threads T] [--out FILE]
-//             [--topo KIND] [--n N] [--faults F]
+//             [--topo KIND] [--n N] [--faults F] [--services A,B,..]
+//             [--burst B]
 //
 // Determinism contract: per-episode seeds are pre-drawn from Rng(seed) in
 // episode order, each episode derives ALL of its randomness from its own
@@ -42,6 +47,7 @@ namespace {
 
 struct EpisodeResult {
   std::uint64_t seed = 0;
+  std::string service;
   std::string verdict;
   std::string retry_outcome;
   std::uint32_t attempts = 0;
@@ -51,6 +57,9 @@ struct EpisodeResult {
   std::uint64_t divergences = 0;
   std::uint64_t repairs = 0;
   std::uint64_t quarantines = 0;
+  std::uint64_t probes_delivered = 0;
+  std::uint64_t probes_verified = 0;
+  std::uint64_t background_packets = 0;
   obs::Histogram mttr_hops;
   obs::Histogram mttr_time;
 };
@@ -62,8 +71,23 @@ struct Config {
   std::string topo = "torus";
   std::size_t n = 16;
   std::uint32_t faults = 6;
+  std::vector<std::string> services = {"plain", "snapshot", "anycast"};
+  std::uint32_t burst = 4;
   std::string out_path;
 };
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= s.size()) {
+    const std::size_t comma = s.find(',', from);
+    const std::size_t to = comma == std::string::npos ? s.size() : comma;
+    if (to > from) out.push_back(s.substr(from, to - from));
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  return out;
+}
 
 EpisodeResult run_episode(const Config& cfg, std::uint64_t ep_seed,
                           std::size_t index) {
@@ -78,8 +102,16 @@ EpisodeResult run_episode(const Config& cfg, std::uint64_t ep_seed,
     throw std::runtime_error(util::cat("chaos_run: bad topology: ", err));
   spec.seed = ep_seed;
   spec.root = 0;
-  spec.service = "plain";
+  spec.service = cfg.services[index % cfg.services.size()];
   spec.header_guard = true;
+  if (spec.service == "anycast") {
+    // Two members away from the root; chaos may take either down, and the
+    // episode is still judged on repair, not delivery.
+    spec.anycast_gid = 1;
+    spec.anycast_members = {
+        static_cast<graph::NodeId>(spec.graph.node_count() / 2),
+        static_cast<graph::NodeId>(spec.graph.node_count() - 1)};
+  }
 
   core::RetryPolicy retry;
   retry.timeout = 400;  // > one full torus-16 traversal, so repairs land
@@ -93,6 +125,11 @@ EpisodeResult run_episode(const Config& cfg, std::uint64_t ep_seed,
   rec.quarantine_for = 128;
   rec.probe_root = spec.root;
   rec.max_cycles = 4096;  // terminates pathological episodes deterministically
+  // In-band riders: the audit probe relays to the far corner of the torus,
+  // and bursts of data packets ride the data.fwd rules while any divergence
+  // is open, so repair_hop - detect_hop counts real forwarded traffic.
+  rec.inband_sink = static_cast<graph::NodeId>(spec.graph.node_count() - 1);
+  rec.background_burst = cfg.burst;
   spec.recovery = rec;
 
   const core::TagLayout layout(spec.graph);
@@ -115,6 +152,7 @@ EpisodeResult run_episode(const Config& cfg, std::uint64_t ep_seed,
 
   EpisodeResult out;
   out.seed = ep_seed;
+  out.service = spec.service;
   out.verdict = res.verdict;
   out.retry_outcome = res.hardened_outcome;
   out.attempts = res.attempts;
@@ -123,6 +161,9 @@ EpisodeResult run_episode(const Config& cfg, std::uint64_t ep_seed,
   out.divergences = res.divergences;
   out.repairs = res.repairs_done;
   out.quarantines = res.quarantines;
+  out.probes_delivered = res.probes_delivered;
+  out.probes_verified = res.probes_verified;
+  out.background_packets = res.background_packets;
   out.all_repaired = res.final_audit_clean;
   for (const core::RepairRecord& rr : res.repair_records) {
     if (!rr.repaired) {
@@ -144,7 +185,9 @@ void write_output(std::ostream& os, const Config& cfg,
         .add("seed", cfg.seed)
         .add("topology", cfg.topo)
         .add("n", cfg.n)
-        .add("faults_per_episode", cfg.faults);
+        .add("faults_per_episode", cfg.faults)
+        .add("services", util::join(cfg.services, ","))
+        .add("background_burst", cfg.burst);
     os << o.str() << "\n";
   }
   std::uint64_t repaired = 0;
@@ -155,6 +198,7 @@ void write_output(std::ostream& os, const Config& cfg,
     o.add("type", "episode")
         .add("index", k)
         .add("seed", e.seed)
+        .add("service", e.service)
         .add("faults", e.faults)
         .add("verdict", e.verdict)
         .add("retry_outcome", e.retry_outcome)
@@ -163,7 +207,10 @@ void write_output(std::ostream& os, const Config& cfg,
         .add("all_repaired", e.all_repaired)
         .add("divergences", e.divergences)
         .add("repairs", e.repairs)
-        .add("quarantines", e.quarantines);
+        .add("quarantines", e.quarantines)
+        .add("probes_delivered", e.probes_delivered)
+        .add("probes_verified", e.probes_verified)
+        .add("background_packets", e.background_packets);
     os << o.str() << "\n";
   }
   const obs::Histogram mttr_hops = bench::merge_hist_shards(
@@ -185,7 +232,9 @@ void write_output(std::ostream& os, const Config& cfg,
 int usage() {
   std::fprintf(stderr,
                "usage: chaos_run [--episodes N] [--seed S] [--threads T]\n"
-               "                 [--out FILE] [--topo KIND] [--n N] [--faults F]\n");
+               "                 [--out FILE] [--topo KIND] [--n N] [--faults F]\n"
+               "                 [--services A,B,..] [--burst B]\n"
+               "services: any of plain,snapshot,anycast (episodes rotate)\n");
   return 2;
 }
 
@@ -211,11 +260,17 @@ int main(int argc, char** argv) {
       cfg.n = std::strtoull(argv[++k], nullptr, 10);
     } else if (arg("--faults")) {
       cfg.faults = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--services")) {
+      cfg.services = split_csv(argv[++k]);
+    } else if (arg("--burst")) {
+      cfg.burst = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
     } else {
       return usage();
     }
   }
-  if (cfg.episodes == 0) return usage();
+  if (cfg.episodes == 0 || cfg.services.empty()) return usage();
+  for (const std::string& s : cfg.services)
+    if (s != "plain" && s != "snapshot" && s != "anycast") return usage();
 
   // Pre-draw every episode's seed in episode order so the fan-out's work
   // list — and thus every episode's entire behaviour — is fixed before any

@@ -207,6 +207,7 @@ int main(int argc, char** argv) {
   h.divergences = res.divergences;
   h.repairs = res.repairs_done;
   h.quarantines = res.quarantines;
+  h.topk = res.topk;
 
   if (out_path.empty()) {
     obs::write_report(std::cout, h, tl);
