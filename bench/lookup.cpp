@@ -49,6 +49,9 @@ struct Row {
   std::uint64_t hops = 0;     // Stats::sent of one traversal
   std::uint64_t events = 0;   // Stats::events of one traversal
   std::uint64_t entries = 0;  // flow entries per switch
+  // Informational (not drift-checked): packet tag region vs BitVec SBO.
+  std::uint64_t tag_bits = 0;  // reserved tag width at this n
+  bool tag_inline = false;     // fits util::BitVec::kInlineBits (no heap)
   // Timing (informational):
   double linear_ns = 0.0;   // per-hop table walk, linear scan
   double indexed_ns = 0.0;  // per-hop table walk, indexed dispatch
@@ -138,6 +141,10 @@ Row measure_point(const std::string& topo, std::size_t n, int iters) {
       if (!te.delivered) continue;
       work.push_back({te.to, te.in_port, te.packet});
       if (work.size() >= kMaxHops) break;
+    }
+    if (!work.empty()) {
+      r.tag_bits = work.front().packet.tag.size_bits();
+      r.tag_inline = work.front().packet.tag.inline_storage();
     }
 
     // Time both walk modes against the live tables (counters untouched:
@@ -281,12 +288,13 @@ int main(int argc, char** argv) {
   if (iters < 1) iters = 1;
 
   bench::Metrics metrics("lookup");
-  const std::vector<int> widths = {6, 6, 8, 9, 9, 10, 10, 8, 11, 11, 11, 9};
-  bench::row({"topo", "n", "entries", "hops", "events", "linear_ns",
-              "index_ns", "speedup", "trav_lin_us", "trav_idx_us",
+  const std::vector<int> widths = {6, 6, 8, 9, 9, 9, 8, 10, 10, 8,
+                                   11, 11, 11, 9};
+  bench::row({"topo", "n", "entries", "hops", "events", "tag_bits", "tag_sbo",
+              "linear_ns", "index_ns", "speedup", "trav_lin_us", "trav_idx_us",
               "trav_trc_us", "trace_ov"},
              widths);
-  bench::hr(132);
+  bench::hr(148);
 
   struct Point {
     std::string topo;
@@ -314,8 +322,9 @@ int main(int argc, char** argv) {
     std::snprintf(tt, sizeof tt, "%.0f", r.trav_traced_us);
     std::snprintf(to, sizeof to, "%.2fx", r.trace_overhead());
     bench::row({r.topo, std::to_string(r.n), std::to_string(r.entries),
-                std::to_string(r.hops), std::to_string(r.events), lb, ib, sb,
-                tl, ti, tt, to},
+                std::to_string(r.hops), std::to_string(r.events),
+                std::to_string(r.tag_bits), r.tag_inline ? "inline" : "heap",
+                lb, ib, sb, tl, ti, tt, to},
                widths);
 
     obs::JsonObj o;
@@ -324,6 +333,8 @@ int main(int argc, char** argv) {
     o.add("entries", r.entries);
     o.add("hops", r.hops);
     o.add("events", r.events);
+    o.add("tag_bits", r.tag_bits);
+    o.add("tag_inline", r.tag_inline);
     o.add("linear_ns", r.linear_ns);
     o.add("indexed_ns", r.indexed_ns);
     o.add("speedup", r.speedup());

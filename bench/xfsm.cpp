@@ -1,0 +1,297 @@
+// XFSM bench: cost of per-flow state kept in the match-action pipeline.
+//
+// Workload: a ring topology with one policer host (token-bucket XFSM:
+// state-table lookup, transition match, guard counter, state write-back)
+// fed a deterministic heavy-tailed flow mix, against the STATELESS path —
+// the same packets through a non-host switch's single sink rule.  The gap
+// between the two events/sec columns is the price of statefulness; the
+// policer run also validates bit-for-bit against the reference interpreter
+// and CRT-decodes its banks with one DFS sweep before timing is reported.
+//
+// Output: stdout table; BENCH_xfsm.json; xfsm.metrics.jsonl sidecar.
+//   bench_xfsm [--mice M] [--bucket B] [--out PATH] [--check BASELINE]
+// --check compares the DETERMINISTIC fields (flows, packets, delivered,
+// dropped, entries, evictions, sweep_msgs) of each (mice, bucket) row
+// against a committed baseline and exits 1 on drift — policing fidelity is
+// part of the contract, not just throughput.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/parallel.hpp"
+#include "core/eth_types.hpp"
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "sim/flowgen.hpp"
+#include "sim/network.hpp"
+#include "xfsm/machines.hpp"
+#include "xfsm/service.hpp"
+
+using namespace ss;
+
+namespace {
+
+struct Row {
+  std::uint32_t mice = 0;
+  std::uint32_t bucket = 0;
+  // Deterministic (checked against the committed baseline):
+  std::uint64_t flows = 0;      // distinct keys after aggregation
+  std::uint64_t packets = 0;    // injected packets (each path)
+  std::uint64_t delivered = 0;  // policed path: conforming packets
+  std::uint64_t dropped = 0;    // policed path: out-of-profile packets
+  std::uint64_t entries = 0;    // per-flow state entries after the run
+  std::uint64_t evictions = 0;  // state-table FIFO evictions
+  std::uint64_t sweep_msgs = 0; // in-band messages of one bank read-out
+  // Timing (informational):
+  double policed_us = 0.0;
+  double stateless_us = 0.0;
+  double meps(double us) const {
+    return us > 0.0 ? double(packets) / us : 0.0;
+  }
+};
+
+Row measure_point(std::uint32_t mice, std::uint32_t bucket) {
+  Row r;
+  r.mice = mice;
+  r.bucket = bucket;
+  const graph::Graph g = graph::make_ring(16);
+
+  xfsm::XfsmParams p;
+  p.hosts = {0};
+  p.program = xfsm::make_policer(bucket);
+  xfsm::XfsmService svc(g, p);
+  sim::Network net(g, 1, bench::bench_seed(19));
+  svc.install(net);
+
+  sim::FlowWorkloadConfig fc;
+  fc.seed = bench::bench_seed(20);
+  fc.key_bits = 20;
+  fc.elephants = 16;
+  fc.mice = mice;
+  fc.elephant_min = 64;
+  fc.elephant_max = 256;
+  const std::vector<sim::FlowSpec> flows = sim::make_flow_workload(fc);
+  r.flows = flows.size();
+  for (const sim::FlowSpec& f : flows) r.packets += f.packets;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.pump_flows(net, flows);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const xfsm::XfsmSweepResult swept = svc.sweep(net, 8);
+  const xfsm::XfsmValidation val = svc.validate(net, &swept);
+  if (!swept.complete || !val.ok()) {
+    std::fprintf(stderr,
+                 "FATAL: mice=%u bucket=%u pipeline/interpreter divergence\n",
+                 mice, bucket);
+    std::exit(1);
+  }
+  r.delivered = val.delivered;
+  r.dropped = val.expected_drops;
+  r.entries = val.state_entries;
+  r.evictions = val.evictions;
+  r.sweep_msgs = swept.stats.inband_msgs;
+
+  // Stateless path: the identical packets through a NON-host switch, where
+  // the compiled pipeline's single flow-ingest sink rule delivers locally —
+  // match-action only, no state table, no guard chain.
+  const core::TagLayout& L = svc.layout();
+  sim::Network net2(g, 1, bench::bench_seed(21));
+  svc.install(net2);
+  const auto t2 = std::chrono::steady_clock::now();
+  std::uint64_t injected = 0;
+  for (const sim::FlowSpec& f : flows)
+    for (std::uint64_t k = 0; k < f.packets; ++k) {
+      ofp::Packet pkt = L.make_packet(core::kEthFlow);
+      L.set(pkt, L.flow_key(), f.fkey);
+      pkt.payload_bytes = sim::flow_packet_bytes(f.fkey);
+      net2.host_inject(8, 1, std::move(pkt));
+      if (++injected % 65536 == 0) net2.run();
+    }
+  net2.run();
+  const auto t3 = std::chrono::steady_clock::now();
+  if (net2.local_deliveries().size() != r.packets) {
+    std::fprintf(stderr, "FATAL: stateless path dropped packets\n");
+    std::exit(1);
+  }
+
+  r.policed_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  r.stateless_us = std::chrono::duration<double, std::micro>(t3 - t2).count();
+  return r;
+}
+
+int check_baseline(const std::vector<Row>& rows, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "--check: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = obs::json_parse(ss.str());
+  if (!doc || !doc->is_object() || doc->get("rows") == nullptr ||
+      !doc->get("rows")->is_array()) {
+    std::fprintf(stderr, "--check: %s is not a BENCH_xfsm.json document\n",
+                 path.c_str());
+    return 1;
+  }
+  int compared = 0, failed = 0;
+  for (const Row& r : rows) {
+    for (const obs::JsonValue& b : doc->get("rows")->array) {
+      if (b.u64("mice") != r.mice || b.u64("bucket") != r.bucket) continue;
+      ++compared;
+      const bool ok =
+          b.u64("flows") == r.flows && b.u64("packets") == r.packets &&
+          b.u64("delivered") == r.delivered && b.u64("dropped") == r.dropped &&
+          b.u64("entries") == r.entries &&
+          b.u64("evictions") == r.evictions &&
+          b.u64("sweep_msgs") == r.sweep_msgs;
+      if (!ok) {
+        ++failed;
+        std::fprintf(
+            stderr,
+            "DRIFT mice=%u bucket=%u: flows %llu->%llu packets %llu->%llu "
+            "delivered %llu->%llu dropped %llu->%llu entries %llu->%llu "
+            "evict %llu->%llu msgs %llu->%llu\n",
+            r.mice, r.bucket, (unsigned long long)b.u64("flows"),
+            (unsigned long long)r.flows, (unsigned long long)b.u64("packets"),
+            (unsigned long long)r.packets,
+            (unsigned long long)b.u64("delivered"),
+            (unsigned long long)r.delivered,
+            (unsigned long long)b.u64("dropped"),
+            (unsigned long long)r.dropped,
+            (unsigned long long)b.u64("entries"),
+            (unsigned long long)r.entries,
+            (unsigned long long)b.u64("evictions"),
+            (unsigned long long)r.evictions,
+            (unsigned long long)b.u64("sweep_msgs"),
+            (unsigned long long)r.sweep_msgs);
+      }
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "--check: no baseline rows matched this run\n");
+    return 1;
+  }
+  std::fprintf(stderr, "--check: %d row(s) compared against %s, %d drifted\n",
+               compared, path.c_str(), failed);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint32_t> mice_counts = {5000, 20000};
+  std::vector<std::uint32_t> buckets = {2, 8};
+  std::string out_path = "BENCH_xfsm.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--mice")
+      mice_counts = {
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10))};
+    else if (a == "--bucket")
+      buckets = {static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10))};
+    else if (a == "--out")
+      out_path = next();
+    else if (a == "--check")
+      check_path = next();
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_xfsm [--mice M] [--bucket B] [--out PATH] "
+                   "[--check BASELINE]\n");
+      return 2;
+    }
+  }
+
+  bench::Metrics metrics("xfsm");
+  const std::vector<int> widths = {7, 7, 7, 9, 9, 8, 8, 6, 6, 11, 12, 8, 8};
+  bench::row({"mice", "bucket", "flows", "packets", "deliver", "dropped",
+              "entries", "evict", "msgs", "policed_us", "stateless_us",
+              "pol_mps", "stl_mps"},
+             widths);
+  bench::hr(118);
+
+  struct Point {
+    std::uint32_t mice;
+    std::uint32_t bucket;
+  };
+  std::vector<Point> points;
+  for (const std::uint32_t m : mice_counts)
+    for (const std::uint32_t b : buckets) points.push_back({m, b});
+
+  // Timing benches stay serial by default (workers would contend for cores);
+  // SS_BENCH_THREADS>1 opts in — the deterministic columns are unaffected.
+  const std::vector<Row> rows = bench::parallel_sweep(
+      points,
+      [&](const Point& p, std::size_t) {
+        return measure_point(p.mice, p.bucket);
+      },
+      std::getenv("SS_BENCH_THREADS") != nullptr ? 0u : 1u);
+
+  obs::JsonArr arr;
+  for (const Row& r : rows) {
+    char pu[32], su[32], pm[32], sm[32];
+    std::snprintf(pu, sizeof pu, "%.0f", r.policed_us);
+    std::snprintf(su, sizeof su, "%.0f", r.stateless_us);
+    std::snprintf(pm, sizeof pm, "%.2f", r.meps(r.policed_us));
+    std::snprintf(sm, sizeof sm, "%.2f", r.meps(r.stateless_us));
+    bench::row({std::to_string(r.mice), std::to_string(r.bucket),
+                std::to_string(r.flows), std::to_string(r.packets),
+                std::to_string(r.delivered), std::to_string(r.dropped),
+                std::to_string(r.entries), std::to_string(r.evictions),
+                std::to_string(r.sweep_msgs), pu, su, pm, sm},
+               widths);
+
+    obs::JsonObj o;
+    o.add("mice", r.mice);
+    o.add("bucket", r.bucket);
+    o.add("flows", r.flows);
+    o.add("packets", r.packets);
+    o.add("delivered", r.delivered);
+    o.add("dropped", r.dropped);
+    o.add("entries", r.entries);
+    o.add("evictions", r.evictions);
+    o.add("sweep_msgs", r.sweep_msgs);
+    o.add("policed_us", r.policed_us);
+    o.add("stateless_us", r.stateless_us);
+    arr.push(o);
+
+    obs::JsonObj m;
+    m.add("type", "xfsm");
+    m.add("mice", r.mice);
+    m.add("bucket", r.bucket);
+    m.add("packets", r.packets);
+    m.add("delivered", r.delivered);
+    m.add("policed_us", r.policed_us);
+    m.add("stateless_us", r.stateless_us);
+    metrics.emit(m);
+  }
+
+  if (!check_path.empty()) {
+    const int rc = check_baseline(rows, check_path);
+    if (rc != 0) return rc;
+  }
+
+  if (!out_path.empty()) {
+    obs::JsonObj doc;
+    doc.add("schema", "ss.bench.xfsm.v1");
+    doc.add("bench", "xfsm");
+    doc.add_u("seed", bench::bench_seed());
+    doc.add_raw("rows", arr.str());
+    std::ofstream out(out_path, std::ios::trunc);
+    out << doc.str() << "\n";
+    std::fprintf(stderr, "baseline: %s\n", out_path.c_str());
+  }
+  if (metrics.ok())
+    std::fprintf(stderr, "metrics: %s\n", metrics.path().c_str());
+  return 0;
+}

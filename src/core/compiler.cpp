@@ -9,6 +9,7 @@
 #include "core/labels.hpp"
 #include "core/load_labels.hpp"
 #include "core/topk_labels.hpp"
+#include "core/xfsm_labels.hpp"
 #include "util/strings.hpp"
 
 namespace ss::core {
@@ -21,6 +22,8 @@ using ofp::ActDecTtl;
 using ofp::ActDrop;
 using ofp::ActGroup;
 using ofp::ActionList;
+using ofp::ActLoadState;
+using ofp::ActStoreState;
 using ofp::ActOutput;
 using ofp::ActPopLabel;
 using ofp::ActPushLabel;
@@ -68,8 +71,12 @@ struct TemplateCompiler::Ctx {
   TableId tid_classify = 0;
   TableId tid_chain = 0;     // blackhole phase-2 chain start
   TableId tid_flow0 = 0;     // top-K sketch row tables (sketch hosts only)
-  bool sketch_host = false;  // this switch hosts a count-min sketch
+  bool sketch_host = false;  // first visits here enter the read-out chain
+                             // (top-K sketch host, or XFSM host with banks)
   std::uint32_t topk_cells = 0;  // d * w
+  bool xfsm_host = false;        // this switch hosts the XFSM
+  std::uint32_t xfsm_units = 0;  // read-out chain length (banks)
+  TableId tid_xfsm0 = 0;         // XFSM load/transition table block
 
   /// Rules staged per table during emit_*; install_switch flushes each
   /// table with one FlowTable::add_all (sort once instead of O(n) inserts
@@ -123,6 +130,68 @@ TemplateCompiler::TemplateCompiler(const graph::Graph& g, const TagLayout& layou
     }
   }
 
+  if (opts_.kind == ServiceKind::kXfsm) {
+    const XfsmProgram& P = opts_.xfsm;
+    if (!layout.has_xfsm())
+      throw std::invalid_argument("kXfsm: layout must be built with TagExtras::xfsm");
+    if (opts_.xfsm_switches.empty())
+      throw std::invalid_argument("xfsm_switches: need at least one host");
+    for (NodeId v : opts_.xfsm_switches)
+      if (v >= g.node_count())
+        throw std::invalid_argument("xfsm_switches: unknown node");
+    if (P.num_states == 0 || P.num_states > 256)
+      throw std::invalid_argument("xfsm: num_states must be in [1,256]");
+    if (P.transitions.empty() || P.transitions.size() > 2048)
+      throw std::invalid_argument("xfsm: need 1..2048 transitions");
+    if (opts_.xfsm_moduli.empty() || opts_.xfsm_moduli.size() > 2 * kScratchRegs)
+      throw std::invalid_argument("xfsm_moduli: need 1..2*kScratchRegs entries");
+    for (std::size_t a = 0; a < opts_.xfsm_moduli.size(); ++a) {
+      if (opts_.xfsm_moduli[a] < 2 || opts_.xfsm_moduli[a] > 16)
+        throw std::invalid_argument("xfsm modulus must be in [2,16]");
+      for (std::size_t b = a + 1; b < opts_.xfsm_moduli.size(); ++b)
+        if (std::gcd(opts_.xfsm_moduli[a], opts_.xfsm_moduli[b]) != 1)
+          throw std::invalid_argument("xfsm_moduli must be pairwise coprime");
+    }
+    if ((P.lookup_scope == XfsmScope::kFlowKey ||
+         P.update_scope == XfsmScope::kFlowKey) &&
+        !layout.has_flow_key())
+      throw std::invalid_argument("xfsm: flow-key scope needs TagExtras::flow_key");
+    if ((P.lookup_scope == XfsmScope::kAux ||
+         P.update_scope == XfsmScope::kAux) &&
+        !P.use_aux)
+      throw std::invalid_argument("xfsm: aux scope needs use_aux");
+    if ((P.store_src == XfsmStoreSrc::kEvent || P.event_from_in_port) &&
+        !P.use_event)
+      throw std::invalid_argument("xfsm: event store/capture needs use_event");
+    if (P.count_occupancy &&
+        (P.lookup_scope != P.update_scope || P.store_src != XfsmStoreSrc::kState))
+      throw std::invalid_argument(
+          "xfsm: count_occupancy needs lookup==update scope and kState store "
+          "(otherwise the written key's previous state is unknown in-band)");
+    auto check_arm = [&](const XfsmArm& arm, const XfsmTransition& t) {
+      if (arm.next >= 0 && static_cast<std::uint32_t>(arm.next) >= P.num_states)
+        throw std::invalid_argument("xfsm: arm next state out of range");
+      if (arm.act == XfsmActKind::kFloodExceptIn && t.in_port < 0)
+        throw std::invalid_argument("xfsm: kFloodExceptIn needs a concrete in_port");
+    };
+    for (const XfsmTransition& t : P.transitions) {
+      if (t.state >= P.num_states)
+        throw std::invalid_argument("xfsm: transition state out of range");
+      if (t.event >= 0 && !P.use_event)
+        throw std::invalid_argument("xfsm: event match needs use_event");
+      if (t.aux >= 0 && !P.use_aux)
+        throw std::invalid_argument("xfsm: aux match needs use_aux");
+      check_arm(t.pass, t);
+      if (t.guard) {
+        if (t.guard->bank >= P.guard_banks)
+          throw std::invalid_argument("xfsm: guard bank out of range");
+        if (t.guard->pass_residue >= opts_.xfsm_moduli[0])
+          throw std::invalid_argument("xfsm: guard pass_residue >= moduli[0]");
+        check_arm(t.fail, t);
+      }
+    }
+  }
+
   // BFS from `sink`; each node's route entry is the port of its BFS parent
   // (toward the sink).  Computed in the offline stage — the same stage that
   // installs all other rules.
@@ -154,6 +223,16 @@ bool TemplateCompiler::is_topk_switch(NodeId i) const {
          opts_.topk_switches.end();
 }
 
+bool TemplateCompiler::is_xfsm_switch(NodeId i) const {
+  return std::find(opts_.xfsm_switches.begin(), opts_.xfsm_switches.end(), i) !=
+         opts_.xfsm_switches.end();
+}
+
+std::uint32_t TemplateCompiler::xfsm_unit_count() const {
+  const XfsmProgram& P = opts_.xfsm;
+  return (P.count_occupancy ? 2 * P.num_states : 0) + P.guard_banks;
+}
+
 void TemplateCompiler::install(sim::Network& net) const {
   for (NodeId v = 0; v < graph_->node_count(); ++v)
     install_switch(net.sw(v), v);
@@ -175,6 +254,19 @@ void TemplateCompiler::install_switch(ofp::Switch& sw, NodeId i) const {
     // Sketch row tables sit after the read-out chain (cells + exhaust).
     c.tid_flow0 = static_cast<TableId>(c.tid_chain + c.topk_cells + 1);
   }
+  if (opts_.kind == ServiceKind::kXfsm) {
+    c.xfsm_host = is_xfsm_switch(i);
+    c.xfsm_units = xfsm_unit_count();
+    // A host with counter banks enters the read-out chain at first visits,
+    // exactly like a sketch host; a bank-less machine has no chain and the
+    // sweep passes straight through.
+    c.sketch_host = c.xfsm_host && c.xfsm_units > 0;
+    // Machine tables (load / transition / guard checks / egress) sit after
+    // the read-out chain (units + exhaust).
+    c.tid_xfsm0 = static_cast<TableId>(
+        c.tid_chain + (c.xfsm_units > 0 ? c.xfsm_units + 1 : 0));
+    if (c.xfsm_host) sw.state().set_capacity(opts_.xfsm_capacity);
+  }
 
   emit_pre_table(c);
   emit_start_table(c);
@@ -185,9 +277,13 @@ void TemplateCompiler::install_switch(ofp::Switch& sw, NodeId i) const {
   if (opts_.kind == ServiceKind::kBlackholeCounters) emit_phase2_chain(c);
   if (opts_.kind == ServiceKind::kPacketLoss) emit_loss_chain(c);
   if (opts_.kind == ServiceKind::kLoadInference) emit_load_chain(c);
-  if (c.sketch_host) {
+  if (c.sketch_host && opts_.kind == ServiceKind::kTopkSweep) {
     emit_topk_chain(c);
     emit_topk_flow_tables(c);
+  }
+  if (opts_.kind == ServiceKind::kXfsm && c.xfsm_host) {
+    if (c.xfsm_units > 0) emit_xfsm_chain(c);
+    emit_xfsm_tables(c);
   }
 
   // Bulk-install everything the emitters staged: one sort per table.
@@ -390,6 +486,23 @@ void TemplateCompiler::emit_pre_table(Ctx& c) const {
       Match ms;
       ms.on_eth(kEthFlow);
       add_rule(c, kTablePre, 700, ms, {ActDrop{}}, std::nullopt, "flow.sink");
+      break;
+    }
+    case ServiceKind::kXfsm: {
+      if (c.xfsm_host) {
+        // Flow packets entering the host — injected on a wire port or from
+        // the controller — run one machine step through the XFSM tables.
+        Match mf;
+        mf.on_eth(kEthFlow);
+        add_rule(c, kTablePre, 710, mf, {}, c.tid_xfsm0, "xfsm.ingest");
+      } else {
+        // Packets the machine emitted terminate at the neighbor's LOCAL
+        // port (an attached end host), where delivery is observable.
+        Match ms;
+        ms.on_eth(kEthFlow);
+        add_rule(c, kTablePre, 700, ms, {ActOutput{ofp::kPortLocal}},
+                 std::nullopt, "xfsm.sink");
+      }
       break;
     }
     default:
@@ -1002,12 +1115,28 @@ void TemplateCompiler::emit_counters(Ctx& c) const {
       }
     }
   }
-  if (c.sketch_host) {
+  if (c.sketch_host && opts_.kind == ServiceKind::kTopkSweep) {
     // One CRT counter bank per sketch cell; the group-id "port" slot
     // carries the cell index.
     for (std::uint32_t j = 0; j < c.topk_cells; ++j)
       for (std::uint32_t m = 0; m < opts_.topk_moduli.size(); ++m)
         make_counter(kFamTopk0 + m, j, opts_.topk_moduli[m], topk_scratch(L, m));
+  }
+  if (opts_.kind == ServiceKind::kXfsm && c.xfsm_host) {
+    // Guard banks (the "port" slot carries the bank index) and, when the
+    // machine counts occupancy, one enter + one exit bank per state label.
+    const XfsmProgram& P = opts_.xfsm;
+    for (std::uint32_t m = 0; m < opts_.xfsm_moduli.size(); ++m) {
+      const std::uint32_t mod = opts_.xfsm_moduli[m];
+      for (std::uint32_t b = 0; b < P.guard_banks; ++b)
+        make_counter(kFamXfsmGuard0 + m, b, mod, topk_scratch(L, m));
+      if (P.count_occupancy) {
+        for (std::uint32_t s = 0; s < P.num_states; ++s) {
+          make_counter(kFamXfsmEnter0 + m, s, mod, topk_scratch(L, m));
+          make_counter(kFamXfsmExit0 + m, s, mod, topk_scratch(L, m));
+        }
+      }
+    }
   }
 }
 
@@ -1217,6 +1346,180 @@ void TemplateCompiler::emit_topk_flow_tables(Ctx& c) const {
   for (PortNo t = 1; t <= c.deg; ++t)
     add_rule(c, tid_out, 10, match_tag(Match{}, L.out_port(), t), {ActOutput{t}},
              std::nullopt, util::cat("flow.out.p", t));
+}
+
+// ---------------------------------------------------------------------------
+// XFSM read-out chain: at every first visit of a host, walk one table per
+// counter bank — guard banks plus (when the machine counts occupancy) one
+// enter and one exit bank per state label — fusing the fetch-and-increment
+// and the label push per modulus, exactly like the top-K cell read-out.
+// The exhaust table flushes the host's records as one report fragment,
+// clears the stack and resumes the port scan.  Because reading increments,
+// sweep j observes j-1 extra counts on every bank; the decoder subtracts
+// them (xfsm::XfsmService::decode_sweep).
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_xfsm_chain(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  const XfsmProgram& P = opts_.xfsm;
+  const auto K = static_cast<std::uint32_t>(opts_.xfsm_moduli.size());
+  const TableId tid_exhaust = static_cast<TableId>(c.tid_chain + c.xfsm_units);
+
+  // Unit order: enter(0..S-1), exit(0..S-1), guard(0..G-1).
+  const std::uint32_t occ = P.count_occupancy ? P.num_states : 0;
+  for (std::uint32_t u = 0; u < c.xfsm_units; ++u) {
+    std::uint32_t fam0, kind, idx;
+    if (u < occ) {
+      fam0 = kFamXfsmEnter0, kind = kXfsmBankEnter, idx = u;
+    } else if (u < 2 * occ) {
+      fam0 = kFamXfsmExit0, kind = kXfsmBankExit, idx = u - occ;
+    } else {
+      fam0 = kFamXfsmGuard0, kind = kXfsmBankGuard, idx = u - 2 * occ;
+    }
+    ActionList acts;
+    for (std::uint32_t m = 0; m < K; ++m) {
+      const FieldRef s = topk_scratch(L, m);
+      acts.push_back(ActGroup{counter_group_id(fam0 + m, idx)});
+      acts.push_back(
+          ActPushTagField{s.offset, s.width, encode_xfsm_base(m, c.i, kind, idx)});
+    }
+    add_rule(c, static_cast<TableId>(c.tid_chain + u), 0, Match{}, acts,
+             static_cast<TableId>(c.tid_chain + u + 1),
+             util::cat("xfsm.read.k", kind, ".i", idx));
+  }
+
+  for (PortNo t = 0; t <= c.deg; ++t) {
+    ActionList acts = report_actions(c.i, kReasonXfsmFragment);
+    acts.push_back(ActClearLabels{});
+    acts.push_back(ActGroup{scan_group_id(1, t, false)});
+    add_rule(c, tid_exhaust, 10, match_tag(Match{}, L.par(c.i), t), acts,
+             std::nullopt, util::cat("xfsm.resume.par", t));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// XFSM machine tables (hosts only), in goto order:
+//
+//   load       capture the arrival port into xfsm_event (when configured)
+//              and ActLoadState the lookup-scope key into xfsm_state
+//   trans      one rule per XfsmTransition, priority by program order; the
+//              arm actions rewrite xfsm_state in band, ActStoreState it
+//              back under the update-scope key, and forward.  Guarded rows
+//              instead fetch-and-increment their guard bank (all moduli)
+//              and branch in a per-row check table
+//   gchk[r]    modulus-0 residue == pass_residue => pass arm, else fail arm
+//   out        kOutTag arms land here: steer by the out_port tag
+// ---------------------------------------------------------------------------
+void TemplateCompiler::emit_xfsm_tables(Ctx& c) const {
+  const TagLayout& L = *layout_;
+  const XfsmProgram& P = opts_.xfsm;
+  const auto K = static_cast<std::uint32_t>(opts_.xfsm_moduli.size());
+  const FieldRef st = L.xfsm_state();
+
+  const TableId tid_load = c.tid_xfsm0;
+  const TableId tid_trans = static_cast<TableId>(tid_load + 1);
+  std::uint32_t guarded = 0;
+  for (const XfsmTransition& t : P.transitions) guarded += t.guard ? 1 : 0;
+  const TableId tid_gchk0 = static_cast<TableId>(tid_trans + 1);
+  const TableId tid_out = static_cast<TableId>(tid_gchk0 + guarded);
+
+  auto scope_field = [&](XfsmScope s) {
+    return s == XfsmScope::kFlowKey ? L.flow_key() : L.xfsm_aux();
+  };
+  const FieldRef lookup_key = scope_field(P.lookup_scope);
+  const FieldRef update_key = scope_field(P.update_scope);
+  const FieldRef store_src =
+      P.store_src == XfsmStoreSrc::kState ? st : L.xfsm_event();
+  const ActLoadState load{lookup_key.offset, lookup_key.width, st.offset,
+                          st.width, 0};
+
+  if (P.event_from_in_port) {
+    const FieldRef ev = L.xfsm_event();
+    for (PortNo p = 1; p <= c.deg; ++p) {
+      Match m;
+      m.on_port(p);
+      add_rule(c, tid_load, 10, m, {set_field(ev, p), load}, tid_trans,
+               util::cat("xfsm.load.p", p));
+    }
+  } else {
+    add_rule(c, tid_load, 0, Match{}, {load}, tid_trans, "xfsm.load");
+  }
+
+  // Arm lowering: occupancy banks fire only on a statically-known state
+  // change; the in-band rewrite of xfsm_state happens before the store so
+  // the written value is the POST-transition state.
+  auto arm_actions = [&](const XfsmTransition& t, const XfsmArm& arm) {
+    ActionList acts;
+    const bool changes = arm.next >= 0 &&
+                         static_cast<std::uint32_t>(arm.next) != t.state;
+    if (P.count_occupancy && changes && t.update) {
+      for (std::uint32_t m = 0; m < K; ++m) {
+        acts.push_back(ActGroup{counter_group_id(
+            kFamXfsmEnter0 + m, static_cast<std::uint32_t>(arm.next))});
+        acts.push_back(ActGroup{counter_group_id(kFamXfsmExit0 + m, t.state)});
+      }
+    }
+    if (changes) acts.push_back(set_field(st, static_cast<std::uint64_t>(arm.next)));
+    if (t.update)
+      acts.push_back(ActStoreState{update_key.offset, update_key.width,
+                                   store_src.offset, store_src.width});
+    std::optional<TableId> goto_t;
+    switch (arm.act) {
+      case XfsmActKind::kDrop:
+        acts.push_back(ActDrop{});
+        break;
+      case XfsmActKind::kOutPort:
+        acts.push_back(ActOutput{arm.out_port});
+        break;
+      case XfsmActKind::kOutTag:
+        goto_t = tid_out;
+        break;
+      case XfsmActKind::kFloodExceptIn:
+        for (PortNo q = 1; q <= c.deg; ++q)
+          if (q != static_cast<PortNo>(t.in_port)) acts.push_back(ActOutput{q});
+        break;
+    }
+    return std::pair<ActionList, std::optional<TableId>>{std::move(acts), goto_t};
+  };
+
+  std::uint32_t gchk = 0;
+  for (std::size_t r = 0; r < P.transitions.size(); ++r) {
+    const XfsmTransition& t = P.transitions[r];
+    Match m = match_tag(Match{}, st, t.state);
+    if (t.in_port >= 0) m.on_port(static_cast<PortNo>(t.in_port));
+    if (t.event >= 0)
+      m = match_tag(m, L.xfsm_event(), static_cast<std::uint64_t>(t.event));
+    if (t.aux >= 0)
+      m = match_tag(m, L.xfsm_aux(), static_cast<std::uint64_t>(t.aux));
+    const auto prio = static_cast<std::uint32_t>(4000 - r);
+
+    if (!t.guard) {
+      auto [acts, goto_t] = arm_actions(t, t.pass);
+      add_rule(c, tid_trans, prio, m, std::move(acts), goto_t,
+               util::cat("xfsm.t", r, ".s", t.state));
+      continue;
+    }
+
+    // Guarded: fetch-and-increment the bank under every modulus, then
+    // branch on the modulus-0 residue in this row's check table.
+    const TableId tid_chk = static_cast<TableId>(tid_gchk0 + gchk++);
+    ActionList fetch;
+    for (std::uint32_t k = 0; k < K; ++k)
+      fetch.push_back(ActGroup{counter_group_id(kFamXfsmGuard0 + k, t.guard->bank)});
+    add_rule(c, tid_trans, prio, m, std::move(fetch), tid_chk,
+             util::cat("xfsm.t", r, ".s", t.state, ".fetch"));
+
+    auto [pass_acts, pass_goto] = arm_actions(t, t.pass);
+    add_rule(c, tid_chk, 10,
+             match_tag(Match{}, topk_scratch(L, 0), t.guard->pass_residue),
+             std::move(pass_acts), pass_goto, util::cat("xfsm.t", r, ".pass"));
+    auto [fail_acts, fail_goto] = arm_actions(t, t.fail);
+    add_rule(c, tid_chk, 0, Match{}, std::move(fail_acts), fail_goto,
+             util::cat("xfsm.t", r, ".fail"));
+  }
+
+  for (PortNo q = 1; q <= c.deg; ++q)
+    add_rule(c, tid_out, 10, match_tag(Match{}, L.out_port(), q), {ActOutput{q}},
+             std::nullopt, util::cat("xfsm.out.p", q));
 }
 
 bool set_switch_epoch(ofp::Switch& sw, std::uint32_t epoch) {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/fields.hpp"
+#include "core/xfsm_ir.hpp"
 #include "graph/graph.hpp"
 #include "ofp/switch.hpp"
 #include "sim/network.hpp"
@@ -59,6 +60,12 @@ enum class ServiceKind : std::uint8_t {
   kTopkSweep,          // extension: network-wide top-K flow telemetry —
                        // count-min sketches as match-action rules over a
                        // hashed flow key, swept by the DFS traversal
+  kXfsm,               // extension: per-flow finite state machines (XFSMs)
+                       // lowered onto the same primitives — a bounded state
+                       // table keyed by flow, transition rules enumerated
+                       // over (state, event), state writes as in-band label
+                       // rewrites, smart-counter SELECT groups as
+                       // transition guards and occupancy counters
 };
 
 /// Out-of-band message reason codes (controller channel).
@@ -72,6 +79,7 @@ enum Reason : std::uint32_t {
   kReasonLinkNotCritical = 7,   // critical-link: far end reached without it
   kReasonLinkCritical = 8,      // critical-link: traversal never saw the far end
   kReasonTopkFragment = 9,      // top-K sweep: one switch's sketch read-out
+  kReasonXfsmFragment = 10,     // XFSM sweep: one host's counter read-out
 };
 
 struct AnycastGroupSpec {
@@ -141,6 +149,29 @@ struct CompilerOptions {
   /// most 2*kScratchRegs entries — residues ride in scratch_a/scratch_b).
   /// The counting range per cell is their product (default: 240240).
   std::vector<std::uint32_t> topk_moduli = {16, 15, 13, 11, 7};
+
+  // --- per-flow state machines (kXfsm) ---
+
+  /// The abstract machine compiled onto each host's match-action pipeline
+  /// (see core/xfsm_ir.hpp for the model and src/xfsm/ for canned machines).
+  XfsmProgram xfsm;
+
+  /// Switches hosting the machine: a bounded per-switch state table plus the
+  /// load / transition / guard-check / egress table block.  Flow packets
+  /// (kEthFlow) entering a host run one machine step; every other switch
+  /// sinks them to LOCAL.  Required non-empty for kXfsm.
+  std::vector<graph::NodeId> xfsm_switches;
+
+  /// Smart-counter moduli shared by the guard banks and the per-state
+  /// occupancy (enter/exit) banks: pairwise coprime, each in [2,16], at most
+  /// 2*kScratchRegs entries.  Guard arms match the modulus-0 residue, so a
+  /// guard passes once every xfsm_moduli[0] evaluations; the sweep decode
+  /// reconstructs counts modulo the product of all moduli by CRT.
+  std::vector<std::uint32_t> xfsm_moduli = {16, 15, 13, 11, 7};
+
+  /// Host StateTable capacity (entries); beyond it the oldest entry is
+  /// evicted FIFO, exactly what a fixed-size hardware flow-state table does.
+  std::uint32_t xfsm_capacity = 1u << 16;
 
   // --- satellite services (opt-in; defaults preserve rule counts) ---
 
@@ -228,8 +259,14 @@ class TemplateCompiler {
   void emit_load_chain(Ctx& c) const;
   void emit_topk_chain(Ctx& c) const;
   void emit_topk_flow_tables(Ctx& c) const;
+  void emit_xfsm_chain(Ctx& c) const;
+  void emit_xfsm_tables(Ctx& c) const;
 
   bool is_topk_switch(graph::NodeId i) const;
+  bool is_xfsm_switch(graph::NodeId i) const;
+  /// Read-out chain length at an XFSM host: one unit per occupancy
+  /// (enter/exit) bank plus one per guard bank.
+  std::uint32_t xfsm_unit_count() const;
 
   // Service hook action lists (Table 1 columns).
   ofp::ActionList hooks_send_new(Ctx& c, graph::PortNo out, bool root_first) const;
@@ -300,5 +337,11 @@ inline constexpr std::uint32_t kFamLossIn0 = 1 + kScratchRegs;
 /// index (row * w + column) — the port field of counter_group_id is 12 bits
 /// wide, matching the cell field of the read-out label.
 inline constexpr std::uint32_t kFamTopk0 = 8;
+/// XFSM counter banks (families +m for modulus index m, at most
+/// 2*kScratchRegs moduli).  Guard banks use the "port" slot for the bank
+/// index; occupancy banks use it for the state label.
+inline constexpr std::uint32_t kFamXfsmGuard0 = 16;
+inline constexpr std::uint32_t kFamXfsmEnter0 = 24;
+inline constexpr std::uint32_t kFamXfsmExit0 = 32;
 
 }  // namespace ss::core

@@ -55,6 +55,11 @@ TagLayout::TagLayout(const graph::Graph& g, TagExtras extras) {
   // plain layout: no existing offset moves.
   if (extras.flow_key) flow_key_ = alloc(kFlowKeyBits);
   if (extras.flow_sig_bits != 0) flow_sig_ = alloc(extras.flow_sig_bits);
+  if (extras.xfsm) {
+    xfsm_state_ = alloc(8);
+    xfsm_event_ = alloc(8);
+    xfsm_aux_ = alloc(16);
+  }
 
   total_bits_ = next_;
 }
@@ -69,6 +74,24 @@ FieldRef TagLayout::flow_sig() const {
   if (flow_sig_.width == 0)
     throw std::logic_error("TagLayout::flow_sig: extras.flow_sig_bits not enabled");
   return flow_sig_;
+}
+
+FieldRef TagLayout::xfsm_state() const {
+  if (xfsm_state_.width == 0)
+    throw std::logic_error("TagLayout::xfsm_state: extras.xfsm not enabled");
+  return xfsm_state_;
+}
+
+FieldRef TagLayout::xfsm_event() const {
+  if (xfsm_event_.width == 0)
+    throw std::logic_error("TagLayout::xfsm_event: extras.xfsm not enabled");
+  return xfsm_event_;
+}
+
+FieldRef TagLayout::xfsm_aux() const {
+  if (xfsm_aux_.width == 0)
+    throw std::logic_error("TagLayout::xfsm_aux: extras.xfsm not enabled");
+  return xfsm_aux_;
 }
 
 FieldRef TagLayout::chain_slot(std::uint32_t k) const {

@@ -53,6 +53,11 @@ struct TagExtras {
   /// traffic source and matched as plain tag bits by the sketch's
   /// signature rows (ghost suppression in the top-K decode).
   std::uint32_t flow_sig_bits = 0;
+  /// XFSM per-packet fields (state-machine subsystem): the looked-up state
+  /// label (8 bits), the event code (8 bits, doubles as the captured
+  /// arrival port) and an auxiliary key field (16 bits — a destination
+  /// address or a port id, whatever the machine keys on).
+  bool xfsm = false;
 };
 
 class TagLayout {
@@ -91,6 +96,10 @@ class TagLayout {
   FieldRef flow_key() const;  // throws unless TagExtras::flow_key was set
   bool has_flow_sig() const { return flow_sig_.width != 0; }
   FieldRef flow_sig() const;  // throws unless TagExtras::flow_sig_bits was set
+  bool has_xfsm() const { return xfsm_state_.width != 0; }
+  FieldRef xfsm_state() const;  // throw unless TagExtras::xfsm was set
+  FieldRef xfsm_event() const;
+  FieldRef xfsm_aux() const;
 
   std::uint32_t total_bits() const { return total_bits_; }
   std::uint32_t total_bytes() const { return (total_bits_ + 7) / 8; }
@@ -120,6 +129,7 @@ class TagLayout {
   FieldRef traversal_region_;
   FieldRef flow_key_;
   FieldRef flow_sig_;
+  FieldRef xfsm_state_, xfsm_event_, xfsm_aux_;
   std::uint32_t total_bits_ = 0;
 };
 

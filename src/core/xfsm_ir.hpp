@@ -1,0 +1,106 @@
+#pragma once
+// Abstract XFSM (eXtended Finite State Machine) programs.
+//
+// The paper's thesis is that useful network functions can live entirely in
+// the match-action data plane.  This header pushes that one step further:
+// per-flow state machines in the OpenState/FAST mold, expressed abstractly
+// here and lowered by the template compiler onto the SAME primitives the
+// traversal services already use —
+//
+//   state          a bounded per-switch state table keyed by a tag field
+//                  (lookup scope), read by ActLoadState into the xfsm_state
+//                  tag field and written back by ActStoreState
+//   transitions    one flow rule per (state, event) pair in a dedicated
+//                  transition table; the state write is an in-band label
+//                  rewrite (set-field on xfsm_state before the store)
+//   guards         smart-counter SELECT groups (the §3.3 mechanism): a
+//                  guarded transition fetch-and-increments its bank and
+//                  branches on the modulus-0 residue in a check table
+//   telemetry      per-state enter/exit CRT counter banks, swept by the DFS
+//                  traversal exactly like the top-K sketch read-out
+//
+// A program is pure data: the compiler turns it into flow rules and groups,
+// and src/xfsm/interp.hpp runs the same data structure directly as the
+// reference semantics for differential testing.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ss::core {
+
+/// Which tag field keys a state-table access.  kFlowKey is the 24-bit hashed
+/// flow id shared with the top-K service; kAux is the XFSM auxiliary field
+/// (a destination address, a port id — whatever the machine keys on).
+enum class XfsmScope : std::uint8_t { kFlowKey, kAux };
+
+/// What a store writes: the post-transition state label, or the event field
+/// (MAC learning stores the arrival port captured there).
+enum class XfsmStoreSrc : std::uint8_t { kState, kEvent };
+
+/// Forwarding behavior of a transition arm.
+enum class XfsmActKind : std::uint8_t {
+  kDrop,           // consume the packet
+  kOutPort,        // emit on a fixed port
+  kOutTag,         // steer by the packet's out_port tag (egress table)
+  kFloodExceptIn,  // emit on every port except the arrival port
+};
+
+/// One arm (pass or fail) of a transition: the successor state and the
+/// forwarding action applied when the arm is taken.
+struct XfsmArm {
+  bool operator==(const XfsmArm&) const = default;
+  std::int32_t next = -1;  // next state label; -1 = stay in the matched state
+  XfsmActKind act = XfsmActKind::kDrop;
+  std::uint32_t out_port = 0;  // kOutPort only
+};
+
+/// Counter guard: the transition fetch-and-increments guard bank `bank`
+/// (all moduli) and takes the pass arm iff the PRE-increment modulus-0
+/// residue equals `pass_residue` — i.e. once every moduli[0] evaluations.
+struct XfsmGuard {
+  bool operator==(const XfsmGuard&) const = default;
+  std::uint32_t bank = 0;
+  std::uint32_t pass_residue = 0;
+};
+
+/// One row of the transition table.  Matches are exact values or -1 for
+/// wildcard; earlier rows shadow later ones (compiled as priority).
+struct XfsmTransition {
+  bool operator==(const XfsmTransition&) const = default;
+  std::uint32_t state = 0;   // matched (looked-up) state label
+  std::int32_t in_port = -1;  // arrival port, -1 = any
+  std::int64_t event = -1;    // xfsm_event tag field, -1 = any
+  std::int64_t aux = -1;      // xfsm_aux tag field, -1 = any
+  std::optional<XfsmGuard> guard;
+  XfsmArm pass;  // the only arm when unguarded
+  XfsmArm fail;  // guarded transitions: residue mismatch
+  /// Write the machine's state back to state[update-scope key].  Off for
+  /// read-only steps (e.g. load-balancer data packets).
+  bool update = true;
+};
+
+struct XfsmProgram {
+  bool operator==(const XfsmProgram&) const = default;
+  std::string name = "xfsm";
+  /// State labels are 0..num_states-1; 0 is the table-miss default.
+  std::uint32_t num_states = 2;
+  XfsmScope lookup_scope = XfsmScope::kFlowKey;
+  XfsmScope update_scope = XfsmScope::kFlowKey;
+  XfsmStoreSrc store_src = XfsmStoreSrc::kState;
+  /// Capture the arrival port into the xfsm_event field before the lookup
+  /// (MAC learning: the stored value IS the port the source arrived on).
+  bool event_from_in_port = false;
+  bool use_event = false;  // machine matches or stores the event field
+  bool use_aux = false;    // machine matches or keys on the aux field
+  std::uint32_t guard_banks = 0;
+  /// Compile per-state enter/exit CRT banks, fired by transitions whose
+  /// state change is statically known.  Requires lookup and update scopes
+  /// to coincide (otherwise the old state of the written key is unknown to
+  /// the pipeline) and store_src == kState.
+  bool count_occupancy = false;
+  std::vector<XfsmTransition> transitions;
+};
+
+}  // namespace ss::core

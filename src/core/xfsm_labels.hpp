@@ -1,0 +1,65 @@
+#pragma once
+// XFSM sweep record encoding.
+//
+// At every first visit of an XFSM host the sweep walks one table per
+// counter bank and pushes one 32-bit label per (bank, modulus):
+//
+//   [31:28] modulus idx (which of the configured coprime moduli)
+//   [27:16] node        (12 bits)
+//   [15:14] bank kind   (0 = state enter, 1 = state exit, 2 = guard)
+//   [13:4]  bank index  (state label or guard bank, 10 bits)
+//   [3:0]   residue     (counter residue, < modulus <= 16)
+//
+// Same framing discipline as topk_labels.hpp: the compiled rule is
+// {ActGroup(bank counter), ActPushTagField(scratch | base)} — the group
+// writes the PRE-increment residue into the scratch register and the
+// push-field action ORs it under the framing bits.  Because the read itself
+// increments, sweep j observes j-1 extra counts from earlier sweeps; the
+// decoder subtracts them (see xfsm::XfsmService).
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace ss::core {
+
+inline constexpr std::uint32_t kXfsmBankEnter = 0;
+inline constexpr std::uint32_t kXfsmBankExit = 1;
+inline constexpr std::uint32_t kXfsmBankGuard = 2;
+
+struct XfsmRecord {
+  std::uint32_t modulus_idx = 0;
+  graph::NodeId node = 0;
+  std::uint32_t kind = 0;   // kXfsmBank*
+  std::uint32_t index = 0;  // state label (enter/exit) or guard bank
+  std::uint32_t residue = 0;
+};
+
+/// Framing bits of a sweep label; the residue (low 4 bits) is OR'd in by
+/// the data plane's push-field action.
+inline std::uint32_t encode_xfsm_base(std::uint32_t mod_idx, graph::NodeId node,
+                                      std::uint32_t kind, std::uint32_t index) {
+  if (mod_idx >= 16 || node >= (1u << 12) || kind > 2 || index >= (1u << 10))
+    throw std::out_of_range("encode_xfsm_base: field overflow");
+  return (mod_idx << 28) | (node << 16) | (kind << 14) | (index << 4);
+}
+
+inline std::uint32_t encode_xfsm(std::uint32_t mod_idx, graph::NodeId node,
+                                 std::uint32_t kind, std::uint32_t index,
+                                 std::uint32_t residue) {
+  if (residue >= 16) throw std::out_of_range("encode_xfsm: residue overflow");
+  return encode_xfsm_base(mod_idx, node, kind, index) | residue;
+}
+
+inline XfsmRecord decode_xfsm(std::uint32_t label) {
+  XfsmRecord r;
+  r.modulus_idx = (label >> 28) & 0xf;
+  r.node = (label >> 16) & 0xfff;
+  r.kind = (label >> 14) & 0x3;
+  r.index = (label >> 4) & 0x3ff;
+  r.residue = label & 0xf;
+  return r;
+}
+
+}  // namespace ss::core

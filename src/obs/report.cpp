@@ -137,6 +137,34 @@ void write_report(std::ostream& os, const RunHeader& h, const Timeline& tl) {
     for (const std::string& line : t.top_lines) os << "  " << line << "\n";
   }
 
+  if (h.xfsm.enabled) {
+    const XfsmReportSection& x = h.xfsm;
+    os << "\n== xfsm ==\n";
+    os << "  machine=" << x.machine << " hosts=" << x.hosts
+       << " states=" << x.num_states << " crt_range=" << x.range << "\n";
+    os << "  packets: injected=" << x.injected << " delivered=" << x.delivered
+       << " expected=" << x.expected_delivered
+       << " dropped=" << x.expected_drops << "\n";
+    os << "  state tables: entries=" << x.state_entries
+       << " evictions=" << x.evictions << "\n";
+    os << "  sweep: fragments=" << x.fragments
+       << " complete=" << (x.complete ? "yes" : "NO") << "\n";
+    os << "  vs interpreter: deliveries="
+       << (x.deliveries_ok ? "match" : "MISMATCH")
+       << " states=" << (x.states_ok ? "match" : "MISMATCH")
+       << " counters=" << (x.counts_ok ? "match" : "MISMATCH") << "\n";
+    if (x.machine == "mac")
+      os << "  learning: flood_round=" << x.flood_deliveries
+         << " settled_round=" << x.settled_deliveries
+         << " converged=" << (x.converged ? "yes" : "NO") << "\n";
+    if (x.machine == "policer")
+      os << "  policing: flows=" << x.flows
+         << " bounds=" << (x.policer_in_bounds ? "held" : "VIOLATED")
+         << " worst_excess=" << x.worst_excess << "\n";
+    if (x.machine == "lb")
+      os << "  failover: " << (x.failover_ok ? "ok" : "BROKEN") << "\n";
+  }
+
   os << "\n== fault reactions ==\n";
   if (tl.reactions().empty()) os << "  (no degradation faults)\n";
   for (const FaultReaction& r : tl.reactions()) {
@@ -247,6 +275,41 @@ void write_prom_snapshot(std::ostream& os, const RunHeader& h, const Timeline& t
     };
     q("packets", t.pkt_p50, t.pkt_p90, t.pkt_p99, t.pkt_p999);
     q("bytes", t.byte_p50, t.byte_p90, t.byte_p99, t.byte_p999);
+  }
+
+  if (h.xfsm.enabled) {
+    const XfsmReportSection& x = h.xfsm;
+    const std::string m = util::cat(run, ",machine=\"", x.machine, "\"");
+    os << "ss_xfsm_hosts{" << m << "} " << x.hosts << "\n";
+    os << "ss_xfsm_states{" << m << "} " << x.num_states << "\n";
+    os << "ss_xfsm_injected_total{" << m << "} " << x.injected << "\n";
+    os << "ss_xfsm_delivered_total{" << m << "} " << x.delivered << "\n";
+    os << "ss_xfsm_dropped_total{" << m << "} " << x.expected_drops << "\n";
+    os << "ss_xfsm_state_entries{" << m << "} " << x.state_entries << "\n";
+    os << "ss_xfsm_evictions_total{" << m << "} " << x.evictions << "\n";
+    os << "ss_xfsm_sweep_complete{" << m << "} " << (x.complete ? 1 : 0) << "\n";
+    os << "ss_xfsm_fragments_total{" << m << "} " << x.fragments << "\n";
+    os << "ss_xfsm_deliveries_ok{" << m << "} " << (x.deliveries_ok ? 1 : 0)
+       << "\n";
+    os << "ss_xfsm_states_ok{" << m << "} " << (x.states_ok ? 1 : 0) << "\n";
+    os << "ss_xfsm_counts_ok{" << m << "} " << (x.counts_ok ? 1 : 0) << "\n";
+    if (x.machine == "mac") {
+      os << "ss_xfsm_converged{" << m << "} " << (x.converged ? 1 : 0) << "\n";
+      os << "ss_xfsm_flood_deliveries{" << m << "} " << x.flood_deliveries
+         << "\n";
+      os << "ss_xfsm_settled_deliveries{" << m << "} " << x.settled_deliveries
+         << "\n";
+    }
+    if (x.machine == "policer") {
+      os << "ss_xfsm_policer_in_bounds{" << m << "} "
+         << (x.policer_in_bounds ? 1 : 0) << "\n";
+      os << "ss_xfsm_policer_flows{" << m << "} " << x.flows << "\n";
+      os << "ss_xfsm_policer_worst_excess{" << m << "} " << x.worst_excess
+         << "\n";
+    }
+    if (x.machine == "lb")
+      os << "ss_xfsm_failover_ok{" << m << "} " << (x.failover_ok ? 1 : 0)
+         << "\n";
   }
 
   for (const auto& [kind, n] : violation_totals(tl))

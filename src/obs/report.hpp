@@ -38,6 +38,36 @@ struct TopkReportSection {
   std::vector<std::string> top_lines;
 };
 
+/// XFSM stateful-service outcome (service == "xfsm"); the three *_ok bits
+/// are the independent compiled-pipeline-vs-interpreter observables
+/// (delivery multiset, state-table contents, CRT-decoded counter banks).
+struct XfsmReportSection {
+  bool enabled = false;
+  std::string machine;            // mac | policer | lb
+  std::uint32_t hosts = 0;
+  std::uint32_t num_states = 0;
+  std::uint64_t range = 0;        // CRT counting range
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t expected_delivered = 0;
+  std::uint64_t expected_drops = 0;
+  std::uint64_t state_entries = 0;
+  std::uint64_t evictions = 0;
+  bool complete = false;          // read-out sweep finished
+  std::size_t fragments = 0;
+  bool deliveries_ok = false;
+  bool states_ok = false;
+  bool counts_ok = false;
+  // Machine-specific outcomes.
+  bool converged = false;              // mac: final round had zero floods
+  std::uint64_t flood_deliveries = 0;  // mac: learning-round sinks
+  std::uint64_t settled_deliveries = 0;  // mac: final-round sinks
+  bool policer_in_bounds = false;      // policer: per-flow conformance held
+  std::uint64_t flows = 0;             // policer: workload size
+  std::uint64_t worst_excess = 0;      // policer: max packets over bound
+  bool failover_ok = false;            // lb: traffic moved to the partner
+};
+
 /// Run identity + outcome, filled by the caller (tools/obs_report copies it
 /// out of the scenario result).
 struct RunHeader {
@@ -66,6 +96,8 @@ struct RunHeader {
   std::uint64_t quarantines = 0;
   // Top-K sketch telemetry; rendered only when topk.enabled.
   TopkReportSection topk;
+  // XFSM stateful services; rendered only when xfsm.enabled.
+  XfsmReportSection xfsm;
 };
 
 /// The full text report: run summary, causal timeline (faults, epoch bumps,

@@ -33,6 +33,12 @@ std::string describe(const Action& a) {
           return util::cat("set_ttl(", unsigned{v.ttl}, ")");
         } else if constexpr (std::is_same_v<T, ActSetEthType>) {
           return util::cat("set_eth(0x", std::hex, v.eth_type, ")");
+        } else if constexpr (std::is_same_v<T, ActLoadState>) {
+          return util::cat("load_state[", v.key_offset, "+", v.key_width, "]->[",
+                           v.dst_offset, "+", v.dst_width, "]|", v.miss_value);
+        } else if constexpr (std::is_same_v<T, ActStoreState>) {
+          return util::cat("store_state[", v.key_offset, "+", v.key_width, "]<-[",
+                           v.src_offset, "+", v.src_width, "]");
         } else {
           return "drop";
         }
@@ -57,6 +63,10 @@ std::uint32_t action_bits(const Action& a) {
         else if constexpr (std::is_same_v<T, ActPushLabel>) return 32 + 32;
         else if constexpr (std::is_same_v<T, ActPushTagField>) return 32 + 32;
         else if constexpr (std::is_same_v<T, ActGroup>) return 32;
+        // State ops carry two (offset, width) selector pairs; the load also
+        // carries its miss value.
+        else if constexpr (std::is_same_v<T, ActLoadState>) return 64 + 64;
+        else if constexpr (std::is_same_v<T, ActStoreState>) return 64 + 32;
         else return 16;
       },
       a);

@@ -71,10 +71,33 @@ struct ActSetEthType {
 struct ActDrop {
   bool operator==(const ActDrop&) const = default;
 };
+/// OpenState lookup: read the switch's state table under the key sliced from
+/// tag[key_offset..key_offset+key_width) and write the stored state (or
+/// `miss_value` on a miss) into tag[dst_offset..dst_offset+dst_width).
+/// Later tables match on the loaded label — the XFSM transition table.
+struct ActLoadState {
+  bool operator==(const ActLoadState&) const = default;
+  std::uint32_t key_offset = 0;
+  std::uint32_t key_width = 0;
+  std::uint32_t dst_offset = 0;
+  std::uint32_t dst_width = 0;
+  std::uint64_t miss_value = 0;  // default state for unknown keys
+};
+/// OpenState update: persist tag[src_offset..src_offset+src_width) into the
+/// state table under the key sliced from tag[key_offset..).  Paired with a
+/// preceding set-field on the state label, this IS the transition write.
+struct ActStoreState {
+  bool operator==(const ActStoreState&) const = default;
+  std::uint32_t key_offset = 0;
+  std::uint32_t key_width = 0;
+  std::uint32_t src_offset = 0;
+  std::uint32_t src_width = 0;
+};
 
 using Action = std::variant<ActOutput, ActSetTag, ActClearTagRange, ActPushLabel,
                             ActPushTagField, ActPopLabel, ActClearLabels, ActGroup,
-                            ActDecTtl, ActSetTtl, ActSetEthType, ActDrop>;
+                            ActDecTtl, ActSetTtl, ActSetEthType, ActDrop,
+                            ActLoadState, ActStoreState>;
 
 using ActionList = std::vector<Action>;
 

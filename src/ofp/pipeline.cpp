@@ -88,6 +88,20 @@ void Pipeline::apply_actions(const ActionList& actions, Packet& pkt, PortNo in_p
             pkt.ttl = v.ttl;
           } else if constexpr (std::is_same_v<T, ActSetEthType>) {
             pkt.eth_type = v.eth_type;
+          } else if constexpr (std::is_same_v<T, ActLoadState>) {
+            if (state_ == nullptr)
+              throw std::logic_error("Pipeline: load_state without a state table");
+            pkt.tag.ensure(v.key_offset + v.key_width);
+            pkt.tag.ensure(v.dst_offset + v.dst_width);
+            const auto found = state_->lookup(pkt.tag.get(v.key_offset, v.key_width));
+            pkt.tag.set(v.dst_offset, v.dst_width, found.value_or(v.miss_value));
+          } else if constexpr (std::is_same_v<T, ActStoreState>) {
+            if (state_ == nullptr)
+              throw std::logic_error("Pipeline: store_state without a state table");
+            pkt.tag.ensure(v.key_offset + v.key_width);
+            pkt.tag.ensure(v.src_offset + v.src_width);
+            state_->store(pkt.tag.get(v.key_offset, v.key_width),
+                          pkt.tag.get(v.src_offset, v.src_width));
           } else {  // ActDrop
             stop = true;
           }

@@ -19,6 +19,7 @@
 
 #include "ofp/flow_table.hpp"
 #include "ofp/group_table.hpp"
+#include "ofp/state_table.hpp"
 
 namespace ss::ofp {
 
@@ -78,8 +79,11 @@ using PortLiveFn = std::function<bool(PortNo)>;
 
 class Pipeline {
  public:
-  Pipeline(const std::vector<FlowTable>* tables, GroupTable* groups, PortLiveFn live)
-      : tables_(tables), groups_(groups), live_(std::move(live)) {}
+  /// `state` backs ActLoadState / ActStoreState; pipelines built without one
+  /// (nullptr) reject those actions at execution time.
+  Pipeline(const std::vector<FlowTable>* tables, GroupTable* groups, PortLiveFn live,
+           StateTable* state = nullptr)
+      : tables_(tables), groups_(groups), live_(std::move(live)), state_(state) {}
 
   PipelineResult run(Packet pkt, PortNo in_port) const;
 
@@ -95,6 +99,7 @@ class Pipeline {
   const std::vector<FlowTable>* tables_;
   GroupTable* groups_;
   PortLiveFn live_;
+  StateTable* state_;
 };
 
 }  // namespace ss::ofp

@@ -1,0 +1,50 @@
+#include "ofp/state_table.hpp"
+
+namespace ss::ofp {
+
+void StateTable::set_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (entries_.size() > capacity_) evict_oldest();
+}
+
+std::optional<std::uint64_t> StateTable::lookup(std::uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void StateTable::store(std::uint64_t key, std::uint64_t value) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = value;
+    ++updates_;
+    return;
+  }
+  if (entries_.size() >= capacity_) evict_oldest();
+  entries_.emplace(key, value);
+  fifo_.push_back(key);
+  ++insertions_;
+}
+
+void StateTable::wipe() {
+  entries_.clear();
+  fifo_.clear();
+}
+
+void StateTable::evict_oldest() {
+  // The FIFO can hold keys already wiped; skip them.
+  while (!fifo_.empty()) {
+    const std::uint64_t victim = fifo_.front();
+    fifo_.pop_front();
+    if (entries_.erase(victim) != 0) {
+      ++evictions_;
+      return;
+    }
+  }
+}
+
+}  // namespace ss::ofp

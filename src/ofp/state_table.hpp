@@ -1,0 +1,76 @@
+#pragma once
+// Per-switch bounded state table — the OpenState-style register file backing
+// the XFSM subsystem (Bianchi et al., "Towards Wire-speed Platform-agnostic
+// Control of OpenFlow Switches").  A state table maps a lookup key (a slice
+// of the SmartSouth tag region, e.g. the flow key) to a small state label.
+// The pipeline reads it with ActLoadState and writes it with ActStoreState;
+// between the two, ordinary flow tables match on the loaded label — that is
+// the whole trick that turns a stateless match-action pipeline into a
+// per-flow finite state machine.
+//
+// The table is bounded, like a real switch's flow-state SRAM: when full, the
+// OLDEST inserted key is evicted (pure FIFO — an update through store() does
+// NOT refresh a key's age).  Evicted flows silently fall back to the default
+// state on their next lookup, exactly the soft-state degradation OpenState
+// accepts.  Switch::reboot() wipes it along with the flow tables: state is
+// controller-installed soft state, not PHY hardware.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace ss::ofp {
+
+class StateTable {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit StateTable(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Resize the bound; if the table already holds more entries than the new
+  /// capacity, the oldest entries are evicted (counted) until it fits.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Current state for `key`, or nullopt (default state) on a miss.
+  /// Non-const: hit/miss accounting is part of the table's telemetry.
+  std::optional<std::uint64_t> lookup(std::uint64_t key);
+
+  /// Insert or update `key -> value`, evicting the oldest entry when a new
+  /// key would exceed capacity.
+  void store(std::uint64_t key, std::uint64_t value);
+
+  /// Drop every entry (reboot semantics).  Counters survive — they are the
+  /// observer's accounting, not switch state.
+  void wipe();
+
+  std::size_t size() const { return entries_.size(); }
+  /// Key-ordered live contents: the omniscient ground truth the validators
+  /// compare against the reference interpreter.
+  const std::map<std::uint64_t, std::uint64_t>& entries() const {
+    return entries_;
+  }
+
+  std::uint64_t insertions() const { return insertions_; }
+  std::uint64_t updates() const { return updates_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  void evict_oldest();
+
+  std::size_t capacity_;
+  std::map<std::uint64_t, std::uint64_t> entries_;
+  std::deque<std::uint64_t> fifo_;  // insertion order; front = oldest
+  std::uint64_t insertions_ = 0;
+  std::uint64_t updates_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ss::ofp

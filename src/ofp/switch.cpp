@@ -40,7 +40,8 @@ void Switch::receive_into(PipelineResult& out, Packet pkt, PortNo in_port) {
     ++ports_[in_port].rx_packets;
     ports_[in_port].rx_bytes += pkt.wire_bytes();
   }
-  Pipeline pl(&tables_, &groups_, [this](PortNo p) { return port_live(p); });
+  Pipeline pl(&tables_, &groups_, [this](PortNo p) { return port_live(p); },
+              &state_);
   pl.run_into(out, std::move(pkt), in_port);
   for (const Emission& em : out.emissions)
     if (!is_reserved_port(em.port) && port_exists(em.port)) {
@@ -62,6 +63,7 @@ std::uint64_t Switch::total_flow_entries() const {
 void Switch::reboot() {
   tables_.clear();
   groups_ = GroupTable{};
+  state_.wipe();  // flow state is controller-installed soft state, not PHY
 }
 
 std::uint64_t Switch::total_group_buckets() const {

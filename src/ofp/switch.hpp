@@ -49,6 +49,8 @@ class Switch {
   std::vector<FlowTable>& tables_mut() { return tables_; }
   GroupTable& groups() { return groups_; }
   const GroupTable& groups() const { return groups_; }
+  StateTable& state() { return state_; }
+  const StateTable& state() const { return state_; }
 
   /// Run the pipeline on a received packet.  Updates port counters for the
   /// ingress; the caller (simulator) accounts egress.
@@ -80,6 +82,7 @@ class Switch {
   std::vector<PortState> ports_;  // index 0 unused (ports are 1-based)
   std::vector<FlowTable> tables_;
   GroupTable groups_;
+  StateTable state_;
 };
 
 }  // namespace ss::ofp

@@ -70,6 +70,8 @@ constexpr std::uint16_t kSubPopRecord = 5;
 constexpr std::uint16_t kSubCtrlReason = 6;
 constexpr std::uint16_t kSubDrop = 7;
 constexpr std::uint16_t kSubPushField = 8;
+constexpr std::uint16_t kSubLoadState = 9;
+constexpr std::uint16_t kSubStoreState = 10;
 
 constexpr std::uint16_t kInstrGotoTable = 1;     // OFPIT_GOTO_TABLE
 constexpr std::uint16_t kInstrApplyActions = 4;  // OFPIT_APPLY_ACTIONS
@@ -220,6 +222,12 @@ void encode_action(Bytes& b, const Action& a) {
           const std::size_t len = b.size() - start;
           b[start + 2] = static_cast<std::uint8_t>(len >> 8);
           b[start + 3] = static_cast<std::uint8_t>(len);
+        } else if constexpr (std::is_same_v<T, ActLoadState>) {
+          encode_exp_action(b, kSubLoadState, {v.miss_value},
+                            {v.key_offset, v.key_width, v.dst_offset, v.dst_width});
+        } else if constexpr (std::is_same_v<T, ActStoreState>) {
+          encode_exp_action(b, kSubStoreState, {},
+                            {v.key_offset, v.key_width, v.src_offset, v.src_width});
         } else {  // ActDrop
           encode_exp_action(b, kSubDrop, {});
         }
@@ -305,6 +313,25 @@ ActionList decode_actions(Reader& r, std::size_t end) {
         case kSubDrop:
           out.push_back(ActDrop{});
           break;
+        case kSubLoadState: {
+          ActLoadState a;
+          a.key_offset = r.u32();
+          a.key_width = r.u32();
+          a.dst_offset = r.u32();
+          a.dst_width = r.u32();
+          a.miss_value = r.u64();
+          out.push_back(a);
+          break;
+        }
+        case kSubStoreState: {
+          ActStoreState a;
+          a.key_offset = r.u32();
+          a.key_width = r.u32();
+          a.src_offset = r.u32();
+          a.src_width = r.u32();
+          out.push_back(a);
+          break;
+        }
         default:
           throw std::runtime_error("wire: unknown experimenter subtype");
       }

@@ -10,6 +10,8 @@
 #include "obs/topk.hpp"
 #include "sim/flowgen.hpp"
 #include "util/strings.hpp"
+#include "xfsm/machines.hpp"
+#include "xfsm/service.hpp"
 
 namespace ss::scenario {
 
@@ -352,6 +354,172 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
                     static_cast<std::uint64_t>(val.recall * 100 + 0.5),
                     "% max_over=", val.max_overestimate, " allowed=",
                     val.worst_allowed));
+  } else if (spec.service == "xfsm") {
+    const XfsmSpec& xs = spec.xfsm;
+    const graph::PortNo deg = spec.graph.degree(xs.host_nodes.front());
+    xfsm::XfsmParams xp;
+    xp.hosts = xs.host_nodes;
+    xp.moduli = xs.moduli;
+    xp.capacity = xs.capacity;
+    if (xs.machine == "mac")
+      xp.program = xfsm::make_mac_learning(deg);
+    else if (xs.machine == "policer")
+      xp.program = xfsm::make_policer(xs.bucket);
+    else
+      xp.program = xfsm::make_port_health_lb(deg, xs.flip_after);
+    xfsm::XfsmService svc(spec.graph, xp);
+    svc.install(net);
+    layout.emplace(svc.layout());
+    arm_recovery(svc.layout(), svc.compiler());
+
+    obs::XfsmReportSection& sec = r.xfsm;
+    sec.enabled = true;
+    sec.machine = xs.machine;
+    sec.hosts = static_cast<std::uint32_t>(xs.host_nodes.size());
+    sec.num_states = xp.program.num_states;
+    sec.range = xp.range();
+
+    bool machine_ok = true;
+    std::string machine_detail;
+    if (xs.machine == "mac") {
+      // One station per wire port on every host; all-pairs rounds.  Round
+      // one learns (unknown destinations flood), and once every station has
+      // sent, the final round must be pure unicast: one sink per packet.
+      auto all_pairs = [&] {
+        for (NodeId h : xs.host_nodes)
+          for (graph::PortNo sp = 1; sp <= deg; ++sp)
+            for (graph::PortNo dp = 1; dp <= deg; ++dp) {
+              if (sp == dp) continue;
+              xfsm::XfsmInject inj;
+              inj.host = h;
+              inj.in.in_port = sp;
+              inj.in.flow_key = 0x100u + sp;
+              inj.in.aux = 0x100u + dp;
+              svc.inject(net, inj);
+            }
+        net.run();
+      };
+      const std::uint64_t pairs =
+          static_cast<std::uint64_t>(xs.host_nodes.size()) * deg * (deg - 1);
+      std::size_t mark = net.local_deliveries().size();
+      for (std::uint32_t round = 0; round < xs.rounds; ++round) {
+        all_pairs();
+        const std::uint64_t got = net.local_deliveries().size() - mark;
+        mark = net.local_deliveries().size();
+        if (round == 0) sec.flood_deliveries = got;
+        sec.settled_deliveries = got;
+      }
+      sec.converged = sec.settled_deliveries == pairs;
+      machine_ok = sec.converged;
+      machine_detail = machine_ok ? "flood traffic converged to zero"
+                                  : "floods survived the learning rounds";
+    } else if (xs.machine == "policer") {
+      sim::FlowWorkloadConfig fc;
+      fc.seed = spec.seed;
+      fc.key_bits = 20;
+      fc.elephants = xs.elephants;
+      fc.mice = xs.mice;
+      fc.elephant_min = xs.elephant_min;
+      fc.elephant_max = xs.elephant_max;
+      const std::vector<sim::FlowSpec> flows = sim::make_flow_workload(fc);
+      svc.pump_flows(net, flows);
+      const xfsm::XfsmPolicerCheck chk = xfsm::check_policer_bounds(
+          flows, svc.delivered_per_flow(net), xs.bucket, xs.moduli[0]);
+      sec.policer_in_bounds = chk.ok;
+      sec.flows = chk.flows_checked;
+      sec.worst_excess = chk.worst_excess;
+      machine_ok = chk.ok;
+      machine_detail = machine_ok ? "per-flow rates within bucket bounds"
+                                  : "a flow exceeded its policed bound";
+    } else {  // lb
+      // Per host: steer data across every port, then flip port 1 down with
+      // flip_after loss signals, verify the partner takes its traffic, and
+      // recover.  The independent failover check reads the sink nodes.
+      const graph::PortNo partner = xfsm::lb_partner(1, deg);
+      auto data_burst = [&](graph::PortNo via) {
+        bool ok = true;
+        for (NodeId h : xs.host_nodes) {
+          const std::size_t mark = net.local_deliveries().size();
+          for (std::uint32_t i = 0; i < xs.data_per_port; ++i)
+            for (graph::PortNo p = 1; p <= deg; ++p) {
+              xfsm::XfsmInject inj;
+              inj.host = h;
+              inj.in.flow_key = 0xd00u + p;
+              inj.in.aux = p;
+              inj.in.event = xfsm::kLbEventData;
+              svc.inject(net, inj);
+            }
+          net.run();
+          // Every port-1 packet must sink at the expected neighbor.
+          const NodeId want = spec.graph.neighbor(h, via)->node;
+          std::uint64_t at_want = 0;
+          const auto& L = svc.layout();
+          for (std::size_t k = mark; k < net.local_deliveries().size(); ++k) {
+            const auto& d = net.local_deliveries()[k];
+            if (d.packet.eth_type != core::kEthFlow) continue;
+            if (L.get(d.packet, L.xfsm_aux()) != 1) continue;
+            at_want += d.at == want ? 1 : 0;
+          }
+          ok = ok && at_want == xs.data_per_port;
+        }
+        return ok;
+      };
+      auto signal = [&](std::uint32_t event, std::uint32_t n) {
+        for (NodeId h : xs.host_nodes)
+          for (std::uint32_t i = 0; i < n; ++i) {
+            xfsm::XfsmInject inj;
+            inj.host = h;
+            inj.in.aux = 1;
+            inj.in.event = event;
+            svc.inject(net, inj);
+          }
+        net.run();
+      };
+      const bool healthy_ok = data_burst(1);
+      signal(xfsm::kLbEventLoss, xs.flip_after - 1);
+      const bool damped_ok = data_burst(1);  // one short of the flip
+      signal(xfsm::kLbEventLoss, 1);
+      const bool failover = data_burst(partner);
+      signal(xfsm::kLbEventRecovery, 1);
+      const bool recovered_ok = data_burst(1);
+      sec.failover_ok = healthy_ok && damped_ok && failover && recovered_ok;
+      machine_ok = sec.failover_ok;
+      machine_detail =
+          machine_ok ? "guarded failover and recovery steered as expected"
+                     : "port-health steering diverged";
+    }
+
+    const xfsm::XfsmSweepResult swept = svc.sweep(net, spec.root);
+    finish_recovery();
+    const xfsm::XfsmValidation val = svc.validate(net, &swept);
+
+    r.complete = swept.complete;
+    r.run = swept.stats;
+    sec.complete = swept.complete;
+    sec.fragments = swept.fragments;
+    sec.injected = val.injected;
+    sec.delivered = val.delivered;
+    sec.expected_delivered = val.expected_delivered;
+    sec.expected_drops = val.expected_drops;
+    sec.state_entries = val.state_entries;
+    sec.evictions = val.evictions;
+    sec.deliveries_ok = val.deliveries_ok;
+    sec.states_ok = val.states_ok;
+    sec.counts_ok = val.counts_ok;
+
+    if (const auto* m = find_report(svc.layout(), core::kReasonFinish))
+      r.verdict_at = m->time;
+    r.ground_truth_ok = r.complete && val.ok() && machine_ok;
+    r.ground_truth_detail =
+        !r.complete ? "read-out sweep never finished"
+        : !val.ok() ? "compiled pipeline diverged from the interpreter"
+                    : machine_detail;
+    if (timeline != nullptr)
+      timeline->add_sweep(
+          r.verdict_at, svc.sweeps_done(), val.ok() && machine_ok,
+          util::cat("xfsm sweep: machine=", xs.machine, " injected=",
+                    val.injected, " delivered=", val.delivered,
+                    " entries=", val.state_entries));
   } else {  // critical
     core::CriticalNodeService svc(spec.graph, {}, hardened, spec.header_guard,
                                   extras);
@@ -438,6 +606,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
                             r.topk.recall));
   if (ex.bounds_ok && *ex.bounds_ok != (r.topk.bounds_ok && r.topk.row_sums_ok))
     expect_failed(util::cat("bounds_ok: want ", *ex.bounds_ok));
+  const bool xfsm_ok =
+      r.xfsm.deliveries_ok && r.xfsm.states_ok && r.xfsm.counts_ok;
+  if (ex.xfsm_ok && *ex.xfsm_ok != xfsm_ok)
+    expect_failed(util::cat("xfsm_ok: want ", *ex.xfsm_ok, ", got ", xfsm_ok));
+  if (ex.converged && *ex.converged != r.xfsm.converged)
+    expect_failed(util::cat("converged: want ", *ex.converged, ", got ",
+                            r.xfsm.converged));
+  if (ex.policer_in_bounds && *ex.policer_in_bounds != r.xfsm.policer_in_bounds)
+    expect_failed(util::cat("policer_in_bounds: want ", *ex.policer_in_bounds,
+                            ", got ", r.xfsm.policer_in_bounds));
+  if (ex.failover_ok && *ex.failover_ok != r.xfsm.failover_ok)
+    expect_failed(util::cat("failover_ok: want ", *ex.failover_ok, ", got ",
+                            r.xfsm.failover_ok));
   return r;
 }
 
@@ -514,6 +695,29 @@ void write_result_jsonl(std::ostream& os, const ScenarioSpec& spec,
         .add("topk_row_sums_ok", r.topk.row_sums_ok)
         .add("topk_max_overestimate", r.topk.max_overestimate)
         .add("topk_fragments", r.topk.fragments);
+  if (spec.service == "xfsm") {
+    o.add("xfsm_machine", r.xfsm.machine)
+        .add("xfsm_hosts", r.xfsm.hosts)
+        .add("xfsm_injected", r.xfsm.injected)
+        .add("xfsm_delivered", r.xfsm.delivered)
+        .add("xfsm_dropped", r.xfsm.expected_drops)
+        .add("xfsm_state_entries", r.xfsm.state_entries)
+        .add("xfsm_evictions", r.xfsm.evictions)
+        .add("xfsm_fragments", r.xfsm.fragments)
+        .add("xfsm_deliveries_ok", r.xfsm.deliveries_ok)
+        .add("xfsm_states_ok", r.xfsm.states_ok)
+        .add("xfsm_counts_ok", r.xfsm.counts_ok);
+    if (r.xfsm.machine == "mac")
+      o.add("xfsm_converged", r.xfsm.converged)
+          .add("xfsm_flood_deliveries", r.xfsm.flood_deliveries)
+          .add("xfsm_settled_deliveries", r.xfsm.settled_deliveries);
+    if (r.xfsm.machine == "policer")
+      o.add("xfsm_policer_in_bounds", r.xfsm.policer_in_bounds)
+          .add("xfsm_flows", r.xfsm.flows)
+          .add("xfsm_worst_excess", r.xfsm.worst_excess);
+    if (r.xfsm.machine == "lb")
+      o.add("xfsm_failover_ok", r.xfsm.failover_ok);
+  }
   o.add("inband_msgs", r.run.inband_msgs)
       .add("outband_to_ctrl", r.run.outband_to_ctrl)
       .add("outband_from_ctrl", r.run.outband_from_ctrl)

@@ -62,6 +62,9 @@ struct ScenarioResult {
   // Top-K telemetry outcome (service == "topk" only; topk.enabled set).
   obs::TopkReportSection topk;
 
+  // XFSM stateful-service outcome (service == "xfsm" only; xfsm.enabled set).
+  obs::XfsmReportSection xfsm;
+
   // Recovery service outcome (spec.recovery present only).
   bool recovery_enabled = false;
   bool final_audit_clean = true;   // end-of-run audit over every up switch

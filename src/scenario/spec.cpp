@@ -114,7 +114,7 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
   if (s.root >= s.graph.node_count()) return fail("root out of range");
   s.service = doc->str("service", "plain");
   if (s.service != "plain" && s.service != "snapshot" && s.service != "anycast" &&
-      s.service != "critical" && s.service != "topk")
+      s.service != "critical" && s.service != "topk" && s.service != "xfsm")
     return fail(util::cat("unknown service '", s.service, "'"));
   s.link_delay = doc->u64("link_delay", 1);
   if (s.link_delay == 0) return fail("link_delay must be >= 1");
@@ -156,6 +156,73 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
       return fail("topk rows/row_bits/k must be >= 1");
   }
 
+  if (const JsonValue* x = doc->get("xfsm")) {
+    if (!x->is_object()) return fail("'xfsm' must be an object");
+    XfsmSpec& xs = s.xfsm;
+    xs.machine = x->str("machine", xs.machine);
+    if (xs.machine != "mac" && xs.machine != "policer" && xs.machine != "lb")
+      return fail(util::cat("unknown xfsm machine '", xs.machine, "'"));
+    xs.hosts = static_cast<std::uint32_t>(x->u64("hosts", xs.hosts));
+    xs.capacity = static_cast<std::uint32_t>(x->u64("capacity", xs.capacity));
+    xs.bucket = static_cast<std::uint32_t>(x->u64("bucket", xs.bucket));
+    xs.flip_after =
+        static_cast<std::uint32_t>(x->u64("flip_after", xs.flip_after));
+    xs.elephants = static_cast<std::uint32_t>(x->u64("elephants", xs.elephants));
+    xs.mice = static_cast<std::uint32_t>(x->u64("mice", xs.mice));
+    xs.elephant_min =
+        static_cast<std::uint32_t>(x->u64("elephant_min", xs.elephant_min));
+    xs.elephant_max =
+        static_cast<std::uint32_t>(x->u64("elephant_max", xs.elephant_max));
+    xs.rounds = static_cast<std::uint32_t>(x->u64("rounds", xs.rounds));
+    xs.data_per_port =
+        static_cast<std::uint32_t>(x->u64("data_per_port", xs.data_per_port));
+    if (const JsonValue* m = x->get("moduli")) {
+      if (!m->is_array() || m->array.empty())
+        return fail("xfsm.moduli must be a non-empty array");
+      xs.moduli.clear();
+      for (const JsonValue& v : m->array) {
+        if (!v.is_number() || v.number < 2 || v.number > 16)
+          return fail("xfsm moduli must be in [2, 16]");
+        xs.moduli.push_back(static_cast<std::uint32_t>(v.number));
+      }
+    }
+    for (std::size_t i = 0; i < xs.moduli.size(); ++i)
+      for (std::size_t j = i + 1; j < xs.moduli.size(); ++j) {
+        std::uint32_t a = xs.moduli[i], b = xs.moduli[j];
+        while (b != 0) { const std::uint32_t t = a % b; a = b; b = t; }
+        if (a != 1) return fail("xfsm moduli must be pairwise coprime");
+      }
+    if (xs.capacity == 0) return fail("xfsm.capacity must be >= 1");
+    if (xs.rounds < 2) return fail("xfsm.rounds must be >= 2");
+    if (xs.data_per_port == 0) return fail("xfsm.data_per_port must be >= 1");
+    if (xs.machine == "policer" && (xs.bucket < 1 || xs.bucket > 254))
+      return fail("xfsm.bucket must be in [1, 254]");
+    if (xs.machine == "lb" && xs.flip_after != xs.moduli[0])
+      return fail("xfsm.flip_after must equal moduli[0] (the guard modulus)");
+  }
+  if (s.service == "xfsm") {
+    XfsmSpec& xs = s.xfsm;
+    if (xs.hosts == 0 || xs.hosts > s.graph.node_count())
+      return fail("xfsm.hosts out of range");
+    for (std::uint32_t i = 0; i < xs.hosts; ++i)
+      xs.host_nodes.push_back(static_cast<graph::NodeId>(
+          static_cast<std::uint64_t>(i) * s.graph.node_count() / xs.hosts));
+    const graph::PortNo deg = s.graph.degree(xs.host_nodes.front());
+    for (graph::NodeId h : xs.host_nodes) {
+      if (s.graph.degree(h) != deg)
+        return fail("xfsm hosts must share one degree (one program's rows "
+                    "enumerate concrete ports); pick a regular topology");
+      for (const auto& [port, nb] : s.graph.neighbors(h))
+        for (graph::NodeId other : xs.host_nodes)
+          if (nb.node == other)
+            return fail("xfsm hosts must not be adjacent (raise topology.n "
+                        "or lower xfsm.hosts)");
+    }
+    if (deg > 255) return fail("xfsm host degree must be <= 255");
+    if (xs.machine == "lb" && deg < 2)
+      return fail("xfsm lb machine needs host degree >= 2");
+  }
+
   if (const JsonValue* r = doc->get("retry")) {
     if (!r->is_object()) return fail("'retry' must be an object");
     core::RetryPolicy p;
@@ -167,6 +234,8 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
   }
   if (s.service == "topk" && s.retry.has_value())
     return fail("topk service does not support the hardened (retry) driver");
+  if (s.service == "xfsm" && s.retry.has_value())
+    return fail("xfsm service does not support the hardened (retry) driver");
 
   s.header_guard = doc->boolean_or("header_guard", false);
 
@@ -343,6 +412,12 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
       s.expect.min_repairs = static_cast<std::uint32_t>(v->number);
     if (const JsonValue* v = e->get("min_recall")) s.expect.min_recall = v->number;
     if (const JsonValue* v = e->get("bounds_ok")) s.expect.bounds_ok = v->boolean;
+    if (const JsonValue* v = e->get("xfsm_ok")) s.expect.xfsm_ok = v->boolean;
+    if (const JsonValue* v = e->get("converged")) s.expect.converged = v->boolean;
+    if (const JsonValue* v = e->get("policer_in_bounds"))
+      s.expect.policer_in_bounds = v->boolean;
+    if (const JsonValue* v = e->get("failover_ok"))
+      s.expect.failover_ok = v->boolean;
   }
   return s;
 }

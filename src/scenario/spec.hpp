@@ -40,6 +40,10 @@ struct ExpectSpec {
   std::optional<std::uint32_t> min_repairs;    // recovery: repairs >= this
   std::optional<double> min_recall;            // topk: recall >= this
   std::optional<bool> bounds_ok;               // topk: count-min bounds held
+  std::optional<bool> xfsm_ok;          // xfsm: pipeline matches interpreter
+  std::optional<bool> converged;        // xfsm mac: flood traffic died out
+  std::optional<bool> policer_in_bounds;  // xfsm policer: per-flow bounds
+  std::optional<bool> failover_ok;      // xfsm lb: partner took the traffic
 };
 
 /// Top-K telemetry configuration (service == "topk" only).  Sketch hosts
@@ -58,18 +62,41 @@ struct TopkSpec {
   double min_recall = 0.9;           // ground-truth gate
 };
 
+/// Per-flow state machine configuration (service == "xfsm" only).  Host
+/// switches are stride-picked over the topology at parse time (they must
+/// be non-adjacent and equal-degree — one program's transition rows
+/// enumerate concrete ports); the machine-specific workload is drawn from
+/// the scenario seed.
+struct XfsmSpec {
+  std::string machine = "mac";  // mac | policer | lb
+  std::uint32_t hosts = 2;      // host switches, stride-placed
+  std::uint32_t capacity = 1u << 16;  // per-host state-table slots
+  std::vector<std::uint32_t> moduli = {16, 15, 13, 11, 7};
+  std::uint32_t bucket = 8;       // policer: burst allowance
+  std::uint32_t flip_after = 16;  // lb: loss signals per flip (== moduli[0])
+  std::uint32_t elephants = 8;    // policer workload (heavy-tailed)
+  std::uint32_t mice = 2000;
+  std::uint32_t elephant_min = 64;
+  std::uint32_t elephant_max = 256;
+  std::uint32_t rounds = 2;         // mac: all-pairs learning rounds
+  std::uint32_t data_per_port = 4;  // lb: data packets per port per phase
+  std::vector<graph::NodeId> host_nodes;  // resolved at parse time
+};
+
 struct ScenarioSpec {
   std::string name = "unnamed";
   TopoRef topology;
   graph::Graph graph;
   std::uint64_t seed = 1;
   graph::NodeId root = 0;
-  std::string service = "plain";  // plain | snapshot | anycast | critical | topk
+  std::string service =
+      "plain";  // plain | snapshot | anycast | critical | topk | xfsm
   sim::Time link_delay = 1;
   std::uint32_t fragment_limit = 0;           // snapshot only
   std::vector<graph::NodeId> anycast_members;  // anycast only
   std::uint32_t anycast_gid = 1;
   TopkSpec topk;                               // topk only
+  XfsmSpec xfsm;                               // xfsm only
   std::optional<core::RetryPolicy> retry;  // present = hardened (epoch) driver
   bool header_guard = false;               // compile hdr.guard.* poison rules
   std::optional<core::RecoveryPolicy> recovery;  // present = self-healing on

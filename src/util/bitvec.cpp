@@ -17,14 +17,11 @@ BitVec::BitVec(const BitVec& o) : bits_(o.bits_) {
 
 BitVec::BitVec(BitVec&& o) noexcept
     : bits_(o.bits_), cap_words_(o.cap_words_), heap_(o.heap_) {
-  if (heap_ == nullptr) {
-    inline_[0] = o.inline_[0];
-    inline_[1] = o.inline_[1];
-  }
+  if (heap_ == nullptr)
+    std::memcpy(inline_, o.inline_, sizeof(inline_));
   o.bits_ = 0;
   o.cap_words_ = kInlineWords;
-  o.inline_[0] = 0;
-  o.inline_[1] = 0;
+  std::memset(o.inline_, 0, sizeof(o.inline_));
   o.heap_ = nullptr;
 }
 
@@ -53,14 +50,11 @@ BitVec& BitVec::operator=(BitVec&& o) noexcept {
   bits_ = o.bits_;
   cap_words_ = o.cap_words_;
   heap_ = o.heap_;
-  if (heap_ == nullptr) {
-    inline_[0] = o.inline_[0];
-    inline_[1] = o.inline_[1];
-  }
+  if (heap_ == nullptr)
+    std::memcpy(inline_, o.inline_, sizeof(inline_));
   o.bits_ = 0;
   o.cap_words_ = kInlineWords;
-  o.inline_[0] = 0;
-  o.inline_[1] = 0;
+  std::memset(o.inline_, 0, sizeof(o.inline_));
   o.heap_ = nullptr;
   return *this;
 }

@@ -7,8 +7,10 @@
 // actions address sub-ranges of it as (offset, width) pairs.
 //
 // Storage uses a small-buffer optimization: tag regions of up to
-// kInlineWords*64 = 128 bits live inline (no heap allocation), which covers
-// the global service fields plus the per-node state of small topologies.
+// kInlineWords*64 = 640 bits live inline (no heap allocation).  That covers
+// the global service fields plus the per-node state of every standard bench
+// topology up to n ≈ 60 (a degree-4 layout at n = 60 needs ~530 bits) — the
+// sizes that previously spilled to the heap on the pipeline's hot path.
 // Larger regions spill to a heap buffer; moves then steal the buffer, so
 // passing packets by value through the pipeline stays O(1) for them.
 
@@ -21,8 +23,9 @@ namespace ss::util {
 
 class BitVec {
  public:
-  /// Words kept inline before spilling to the heap (128 bits).
-  static constexpr std::size_t kInlineWords = 2;
+  /// Words kept inline before spilling to the heap (640 bits).
+  static constexpr std::size_t kInlineWords = 10;
+  static constexpr std::size_t kInlineBits = kInlineWords * 64;
 
   BitVec() = default;
   explicit BitVec(std::size_t bits) { ensure(bits); }
@@ -86,7 +89,7 @@ class BitVec {
 
   std::size_t bits_ = 0;
   std::size_t cap_words_ = kInlineWords;
-  std::uint64_t inline_[kInlineWords] = {0, 0};
+  std::uint64_t inline_[kInlineWords] = {};
   std::uint64_t* heap_ = nullptr;
 };
 

@@ -1,0 +1,109 @@
+#include "xfsm/interp.hpp"
+
+#include <utility>
+
+namespace ss::xfsm {
+
+using core::XfsmActKind;
+using core::XfsmArm;
+using core::XfsmScope;
+using core::XfsmStoreSrc;
+using core::XfsmTransition;
+using graph::PortNo;
+
+XfsmInterp::XfsmInterp(core::XfsmProgram program,
+                       std::vector<std::uint32_t> moduli, std::size_t capacity,
+                       PortNo deg)
+    : prog_(std::move(program)),
+      moduli_(std::move(moduli)),
+      deg_(deg),
+      table_(capacity),
+      enter_(prog_.num_states, 0),
+      exit_(prog_.num_states, 0),
+      guard_(prog_.guard_banks, 0) {}
+
+XfsmStep XfsmInterp::step(const XfsmInput& in) {
+  XfsmStep st;
+
+  // Load stage.  With event_from_in_port the load table only has per-wire-
+  // port rules, so a packet arriving any other way misses and is dropped
+  // before the lookup even happens.
+  std::uint32_t event = in.event;
+  if (prog_.event_from_in_port) {
+    if (in.in_port < 1 || in.in_port > deg_) return st;
+    event = in.in_port;
+  }
+  const std::uint64_t lookup_key =
+      prog_.lookup_scope == XfsmScope::kFlowKey ? in.flow_key : in.aux;
+  st.state_before = static_cast<std::uint32_t>(
+      table_.lookup(lookup_key).value_or(0));
+  st.state_after = st.state_before;
+
+  // Transition stage: first row in program order wins (compiled as
+  // descending priority in one table).
+  const XfsmTransition* row = nullptr;
+  for (std::size_t r = 0; r < prog_.transitions.size(); ++r) {
+    const XfsmTransition& t = prog_.transitions[r];
+    if (t.state != st.state_before) continue;
+    if (t.in_port >= 0 && static_cast<PortNo>(t.in_port) != in.in_port) continue;
+    if (t.event >= 0 && static_cast<std::uint64_t>(t.event) != event) continue;
+    if (t.aux >= 0 && static_cast<std::uint64_t>(t.aux) != in.aux) continue;
+    row = &t;
+    st.row = static_cast<std::uint32_t>(r);
+    break;
+  }
+  if (row == nullptr) return st;  // transition-table miss: drop
+
+  const XfsmArm* arm = &row->pass;
+  if (row->guard) {
+    st.guard_eval = true;
+    const std::uint64_t pre = guard_[row->guard->bank]++;
+    st.guard_pass = pre % moduli_[0] == row->guard->pass_residue;
+    if (!st.guard_pass) arm = &row->fail;
+  }
+
+  const bool changes =
+      arm->next >= 0 && static_cast<std::uint32_t>(arm->next) != row->state;
+  if (prog_.count_occupancy && changes && row->update) {
+    ++enter_[static_cast<std::uint32_t>(arm->next)];
+    ++exit_[row->state];
+  }
+  if (changes) st.state_after = static_cast<std::uint32_t>(arm->next);
+  if (row->update) {
+    const std::uint64_t update_key =
+        prog_.update_scope == XfsmScope::kFlowKey ? in.flow_key : in.aux;
+    table_.store(update_key, prog_.store_src == XfsmStoreSrc::kState
+                                 ? st.state_after
+                                 : event);
+  }
+
+  switch (arm->act) {
+    case XfsmActKind::kDrop:
+      break;
+    case XfsmActKind::kOutPort:
+      st.out_ports.push_back(arm->out_port);
+      break;
+    case XfsmActKind::kOutTag:
+      // Egress table: one rule per real port, miss = drop.
+      if (in.out_tag >= 1 && in.out_tag <= deg_) st.out_ports.push_back(in.out_tag);
+      break;
+    case XfsmActKind::kFloodExceptIn:
+      for (PortNo q = 1; q <= deg_; ++q)
+        if (q != static_cast<PortNo>(row->in_port)) st.out_ports.push_back(q);
+      break;
+  }
+  return st;
+}
+
+void XfsmInterp::sweep() {
+  // The read-out chain covers exactly the banks the compiler emitted:
+  // enter/exit only exist with occupancy counting.
+  if (prog_.count_occupancy) {
+    for (auto& c : enter_) ++c;
+    for (auto& c : exit_) ++c;
+  }
+  for (auto& c : guard_) ++c;
+  ++sweeps_;
+}
+
+}  // namespace ss::xfsm

@@ -1,0 +1,92 @@
+#pragma once
+// Reference XFSM interpreter: executes a core::XfsmProgram directly on the
+// same data structures the compiled pipeline uses (an ofp::StateTable, one
+// round-robin cursor per counter bank), with none of the flow-table
+// machinery in between.  It is the differential-testing oracle for the
+// compiler's lowering: drive the compiled network and this interpreter with
+// the same packet sequence and every observable — deliveries, state-table
+// contents, swept counter values — must agree bit for bit.
+//
+// Two semantics quirks are faithfully mirrored:
+//   * Smart-counter reads increment.  The DFS sweep's read-out bumps every
+//     bank once, so guard residues seen by later packets include earlier
+//     sweeps; sweep() models exactly that, and the true_* accessors
+//     discount it.
+//   * Guard arms branch on the PRE-increment modulus-0 residue.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/xfsm_ir.hpp"
+#include "graph/graph.hpp"
+#include "ofp/state_table.hpp"
+
+namespace ss::xfsm {
+
+/// One packet presented to the machine (tag fields as the injector set
+/// them; in_port 0 = controller packet-out).
+struct XfsmInput {
+  graph::PortNo in_port = 0;
+  std::uint32_t flow_key = 0;
+  std::uint32_t aux = 0;
+  std::uint32_t event = 0;
+  std::uint32_t out_tag = 0;  // out_port tag (kOutTag machines)
+};
+
+/// What one machine step did.
+struct XfsmStep {
+  static constexpr std::uint32_t kNoRow = ~std::uint32_t{0};
+  std::uint32_t row = kNoRow;  // matched transition index; kNoRow = dropped
+  bool guard_eval = false;
+  bool guard_pass = false;
+  std::uint32_t state_before = 0;
+  std::uint32_t state_after = 0;
+  /// Resolved emission ports (empty = consumed).
+  std::vector<graph::PortNo> out_ports;
+};
+
+class XfsmInterp {
+ public:
+  XfsmInterp(core::XfsmProgram program, std::vector<std::uint32_t> moduli,
+             std::size_t capacity, graph::PortNo deg);
+
+  /// Run one packet through the machine.
+  XfsmStep step(const XfsmInput& in);
+
+  /// Model one DFS read-out: every bank cursor (guards and, with occupancy,
+  /// enter/exit) advances by one because reading increments.
+  void sweep();
+
+  // Raw bank cursors (sweep reads included) — what the data plane's
+  // counters actually hold, modulo the CRT range.
+  std::uint64_t raw_enter(std::uint32_t s) const { return enter_.at(s); }
+  std::uint64_t raw_exit(std::uint32_t s) const { return exit_.at(s); }
+  std::uint64_t raw_guard(std::uint32_t b) const { return guard_.at(b); }
+
+  // True event counts (sweep reads discounted).
+  std::uint64_t true_enter(std::uint32_t s) const { return enter_.at(s) - sweeps_; }
+  std::uint64_t true_exit(std::uint32_t s) const { return exit_.at(s) - sweeps_; }
+  std::uint64_t true_guard(std::uint32_t b) const { return guard_.at(b) - sweeps_; }
+
+  /// Flows currently in state `s` (> 0; state 0 is the miss default and has
+  /// no enter/exit bracket for unseen keys).
+  std::uint64_t occupancy(std::uint32_t s) const {
+    return true_enter(s) - true_exit(s);
+  }
+
+  const ofp::StateTable& state() const { return table_; }
+  ofp::StateTable& state() { return table_; }
+  std::uint32_t sweeps() const { return sweeps_; }
+  const core::XfsmProgram& program() const { return prog_; }
+
+ private:
+  core::XfsmProgram prog_;
+  std::vector<std::uint32_t> moduli_;
+  graph::PortNo deg_;
+  ofp::StateTable table_;
+  std::vector<std::uint64_t> enter_, exit_;  // per state label
+  std::vector<std::uint64_t> guard_;         // per guard bank
+  std::uint32_t sweeps_ = 0;
+};
+
+}  // namespace ss::xfsm

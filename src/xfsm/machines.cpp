@@ -1,0 +1,148 @@
+#include "xfsm/machines.hpp"
+
+#include <stdexcept>
+
+namespace ss::xfsm {
+
+using core::XfsmActKind;
+using core::XfsmProgram;
+using core::XfsmScope;
+using core::XfsmStoreSrc;
+using core::XfsmTransition;
+using graph::PortNo;
+
+XfsmProgram make_mac_learning(PortNo deg) {
+  if (deg == 0 || deg > 255)
+    throw std::invalid_argument("make_mac_learning: degree must be in [1,255]");
+  XfsmProgram p;
+  p.name = "mac_learning";
+  p.num_states = deg + 1;  // learned port; 0 = unknown
+  p.lookup_scope = XfsmScope::kAux;       // destination address
+  p.update_scope = XfsmScope::kFlowKey;   // source address
+  p.store_src = XfsmStoreSrc::kEvent;     // stored value = arrival port
+  p.event_from_in_port = true;
+  p.use_event = true;
+  p.use_aux = true;
+
+  // Filter: destination already lives on the arrival port — same-segment
+  // traffic the switch must not reflect.  These shadow the unicast rows.
+  for (PortNo q = 1; q <= deg; ++q) {
+    XfsmTransition t;
+    t.state = q;
+    t.in_port = static_cast<std::int32_t>(q);
+    t.pass = {.next = -1, .act = XfsmActKind::kDrop};
+    p.transitions.push_back(t);
+  }
+  // Forward: destination learned on port q.
+  for (PortNo q = 1; q <= deg; ++q) {
+    XfsmTransition t;
+    t.state = q;
+    t.pass = {.next = -1, .act = XfsmActKind::kOutPort, .out_port = q};
+    p.transitions.push_back(t);
+  }
+  // Miss: flood everywhere but the arrival port (one row per port — the
+  // flood's port set is static per rule).
+  for (PortNo q = 1; q <= deg; ++q) {
+    XfsmTransition t;
+    t.state = 0;
+    t.in_port = static_cast<std::int32_t>(q);
+    t.pass = {.next = -1, .act = XfsmActKind::kFloodExceptIn};
+    p.transitions.push_back(t);
+  }
+  return p;
+}
+
+XfsmProgram make_policer(std::uint32_t bucket) {
+  if (bucket == 0 || bucket > 254)
+    throw std::invalid_argument("make_policer: bucket must be in [1,254]");
+  XfsmProgram p;
+  p.name = "policer";
+  p.num_states = bucket + 1;
+  p.lookup_scope = XfsmScope::kFlowKey;
+  p.update_scope = XfsmScope::kFlowKey;
+  p.store_src = XfsmStoreSrc::kState;
+  p.guard_banks = 1;
+  p.count_occupancy = true;
+
+  // Conforming: climb one fill level per delivered packet.
+  for (std::uint32_t s = 0; s < bucket; ++s) {
+    XfsmTransition t;
+    t.state = s;
+    t.pass = {.next = static_cast<std::int32_t>(s + 1),
+              .act = XfsmActKind::kOutTag};
+    p.transitions.push_back(t);
+  }
+  // Exceeding: budget spent — the shared guard bank lets one packet in
+  // every moduli[0] through, the rest are policed away.  No store: the
+  // flow stays parked at the last state without touching its FIFO age.
+  XfsmTransition t;
+  t.state = bucket;
+  t.guard = core::XfsmGuard{.bank = 0, .pass_residue = 0};
+  t.pass = {.next = -1, .act = XfsmActKind::kOutTag};
+  t.fail = {.next = -1, .act = XfsmActKind::kDrop};
+  t.update = false;
+  p.transitions.push_back(t);
+  return p;
+}
+
+XfsmProgram make_port_health_lb(PortNo deg, std::uint32_t flip_after) {
+  if (deg < 2 || deg > 255)
+    throw std::invalid_argument("make_port_health_lb: degree must be in [2,255]");
+  if (flip_after < 2 || flip_after > 16)
+    throw std::invalid_argument(
+        "make_port_health_lb: flip_after must be in [2,16] (== xfsm_moduli[0])");
+  XfsmProgram p;
+  p.name = "port_health_lb";
+  p.num_states = 2;  // 0 = up, 1 = down
+  p.lookup_scope = XfsmScope::kAux;  // aux = nominated port
+  p.update_scope = XfsmScope::kAux;
+  p.store_src = XfsmStoreSrc::kState;
+  p.use_event = true;
+  p.use_aux = true;
+  p.guard_banks = deg;  // one flap-damping bank per port
+  p.count_occupancy = true;
+
+  for (PortNo q = 1; q <= deg; ++q) {
+    // Data while up: steer out the nominated port.
+    XfsmTransition up;
+    up.state = 0;
+    up.event = kLbEventData;
+    up.aux = static_cast<std::int64_t>(q);
+    up.pass = {.next = -1, .act = XfsmActKind::kOutPort, .out_port = q};
+    up.update = false;
+    p.transitions.push_back(up);
+
+    // Data while down: fail over to the partner port.
+    XfsmTransition down;
+    down.state = 1;
+    down.event = kLbEventData;
+    down.aux = static_cast<std::int64_t>(q);
+    down.pass = {.next = -1, .act = XfsmActKind::kOutPort,
+                 .out_port = lb_partner(q, deg)};
+    down.update = false;
+    p.transitions.push_back(down);
+
+    // Loss signal: the guard's PRE-increment residue walks 0,1,...; the
+    // flip_after-th signal reads residue flip_after-1 and takes the pass
+    // arm, declaring the port down.
+    XfsmTransition loss;
+    loss.state = 0;
+    loss.event = kLbEventLoss;
+    loss.aux = static_cast<std::int64_t>(q);
+    loss.guard = core::XfsmGuard{.bank = q - 1, .pass_residue = flip_after - 1};
+    loss.pass = {.next = 1, .act = XfsmActKind::kDrop};
+    loss.fail = {.next = -1, .act = XfsmActKind::kDrop};
+    p.transitions.push_back(loss);
+
+    // Recovery signal: immediate flip back up.
+    XfsmTransition rec;
+    rec.state = 1;
+    rec.event = kLbEventRecovery;
+    rec.aux = static_cast<std::int64_t>(q);
+    rec.pass = {.next = 0, .act = XfsmActKind::kDrop};
+    p.transitions.push_back(rec);
+  }
+  return p;
+}
+
+}  // namespace ss::xfsm

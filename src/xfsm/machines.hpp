@@ -1,0 +1,62 @@
+#pragma once
+// Canned XFSM programs: the three stateful services shipped with the XFSM
+// subsystem, expressed as pure core::XfsmProgram data and compiled by the
+// template compiler onto the match-action pipeline.
+//
+//   MAC learning       flood-on-miss / unicast-after-learn.  The state table
+//                      maps an address to the port its traffic arrived on;
+//                      every packet stores (src -> in_port) and looks up the
+//                      destination.  Unknown destinations flood.
+//
+//   token policer      per-flow packet budget.  States 0..bucket count the
+//                      flow's delivered packets; at the last state a counter
+//                      guard passes one packet in every moduli[0], policing
+//                      the flow to a fraction of its offered load after the
+//                      burst allowance is spent.
+//
+//   port-health LB     per-PORT state (0 = up, 1 = down) flipped by loss and
+//                      recovery signal packets; data packets steer out their
+//                      nominated port while it is up and fail over to a
+//                      partner port while it is down.  Loss signals are
+//                      counter-guarded: a port is declared down only on the
+//                      flip_after-th signal (flap damping).
+//
+// All three are parameterized by the host's degree, since transition rows
+// enumerate concrete ports; install them on hosts of exactly that degree.
+
+#include <cstdint>
+
+#include "core/xfsm_ir.hpp"
+#include "graph/graph.hpp"
+
+namespace ss::xfsm {
+
+/// In-band MAC learning over a `deg`-port host.  Keys: source address in the
+/// flow_key tag, destination address in the aux tag (both < 2^16 so the two
+/// scopes share one key space).  num_states = deg + 1 (the learned port;
+/// 0 = unknown).
+core::XfsmProgram make_mac_learning(graph::PortNo deg);
+
+/// Per-flow token policer: `bucket` conforming packets per flow, then one
+/// delivered packet per moduli[0] evaluations of the shared guard bank.
+/// Delivery steers by the out_port tag; occupancy banks count flows per
+/// fill level.  num_states = bucket + 1.
+core::XfsmProgram make_policer(std::uint32_t bucket);
+
+/// Failure-aware load balancing over a `deg`-port host.  aux = nominated
+/// port, event 0 = data / 1 = loss signal / 2 = recovery signal.  A port
+/// flips to down on its `flip_after`-th loss signal (must equal the
+/// compiler's xfsm_moduli[0]); down ports steer to the next port around.
+core::XfsmProgram make_port_health_lb(graph::PortNo deg, std::uint32_t flip_after);
+
+/// Event codes of make_port_health_lb.
+inline constexpr std::uint32_t kLbEventData = 0;
+inline constexpr std::uint32_t kLbEventLoss = 1;
+inline constexpr std::uint32_t kLbEventRecovery = 2;
+
+/// The partner a down port fails over to (the next port, cyclically).
+inline graph::PortNo lb_partner(graph::PortNo p, graph::PortNo deg) {
+  return p % deg + 1;
+}
+
+}  // namespace ss::xfsm

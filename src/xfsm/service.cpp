@@ -1,0 +1,316 @@
+#include "xfsm/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/eth_types.hpp"
+#include "core/xfsm_labels.hpp"
+#include "obs/topk.hpp"  // crt_reconstruct
+
+namespace ss::xfsm {
+
+using core::CompilerOptions;
+using core::ServiceKind;
+using core::TagExtras;
+using graph::NodeId;
+using graph::PortNo;
+
+std::uint64_t XfsmParams::range() const {
+  std::uint64_t p = 1;
+  for (std::uint32_t m : moduli) p *= m;
+  return p;
+}
+
+namespace {
+
+CompilerOptions make_xfsm_opts(const XfsmParams& p) {
+  CompilerOptions o;
+  o.kind = ServiceKind::kXfsm;
+  o.xfsm = p.program;
+  o.xfsm_switches = p.hosts;
+  o.xfsm_moduli = p.moduli;
+  o.xfsm_capacity = p.capacity;
+  o.inband_collector = p.inband_collector;
+  o.finish_report = true;
+  return o;
+}
+
+}  // namespace
+
+XfsmPolicerCheck check_policer_bounds(
+    const std::vector<sim::FlowSpec>& flows,
+    const std::map<std::uint32_t, std::uint64_t>& delivered,
+    std::uint32_t bucket, std::uint32_t m0) {
+  XfsmPolicerCheck c;
+  for (const sim::FlowSpec& f : flows) {
+    ++c.flows_checked;
+    const auto it = delivered.find(f.fkey);
+    const std::uint64_t got = it == delivered.end() ? 0 : it->second;
+    const std::uint64_t burst = std::min<std::uint64_t>(f.packets, bucket);
+    const std::uint64_t excess = f.packets - burst;
+    // Consecutive arrivals see a contiguous guard-cursor window:
+    // floor(excess/m0) <= passes <= ceil(excess/m0).  One extra packet of
+    // slack absorbs a sweep's read increment landing mid-flow.
+    const std::uint64_t lo = burst + excess / m0 - std::min<std::uint64_t>(excess / m0, 1);
+    const std::uint64_t hi = burst + (excess + m0 - 1) / m0 + 1;
+    if (got < lo || got > hi) {
+      c.ok = false;
+      if (got > hi) c.worst_excess = std::max(c.worst_excess, got - hi);
+    }
+  }
+  return c;
+}
+
+XfsmService::XfsmService(const graph::Graph& g, XfsmParams params)
+    : graph_(g),
+      params_(std::move(params)),
+      layout_(graph_, TagExtras{.flow_key = true, .xfsm = true}),
+      compiler_(graph_, layout_, make_xfsm_opts(params_)) {
+  for (NodeId h : params_.hosts)
+    interps_.try_emplace(h, params_.program, params_.moduli, params_.capacity,
+                         graph_.degree(h));
+}
+
+void XfsmService::mirror(NodeId host, const XfsmInput& in, int depth) {
+  if (depth > 32)
+    throw std::logic_error(
+        "XfsmService::mirror: host-to-host emission chain too deep "
+        "(flooding loop between adjacent hosts?)");
+  const XfsmStep st = interps_.at(host).step(in);
+  for (PortNo p : st.out_ports) {
+    const auto ep = graph_.neighbor(host, p);
+    if (!ep) continue;
+    if (interps_.count(ep->node) != 0) {
+      // The emission enters another host and runs a machine step there.
+      XfsmInput next = in;
+      next.in_port = ep->port;
+      mirror(ep->node, next, depth + 1);
+      continue;
+    }
+    ++expected_[{ep->node, in.flow_key, in.aux}];
+    ++expected_delivered_;
+  }
+  if (st.out_ports.empty()) ++expected_drops_;
+}
+
+void XfsmService::inject(sim::Network& net, const XfsmInject& inj) {
+  if (interps_.count(inj.host) == 0)
+    throw std::invalid_argument("XfsmService::inject: not a host switch");
+  ofp::Packet pkt = layout_.make_packet(core::kEthFlow);
+  layout_.set(pkt, layout_.flow_key(), inj.in.flow_key);
+  layout_.set(pkt, layout_.xfsm_aux(), inj.in.aux);
+  layout_.set(pkt, layout_.xfsm_event(), inj.in.event);
+  layout_.set(pkt, layout_.out_port(), inj.in.out_tag);
+  pkt.payload_bytes = inj.payload_bytes;
+  if (inj.in.in_port == 0)
+    net.packet_out(inj.host, std::move(pkt));
+  else
+    net.host_inject(inj.host, inj.in.in_port, std::move(pkt));
+  ++injected_;
+  mirror(inj.host, inj.in, 0);
+}
+
+void XfsmService::pump_flows(sim::Network& net,
+                             const std::vector<sim::FlowSpec>& flows,
+                             std::uint32_t batch) {
+  const auto E = static_cast<std::uint32_t>(params_.hosts.size());
+  std::uint32_t since = 0;
+  for (const sim::FlowSpec& f : flows) {
+    const NodeId at = params_.hosts[sim::flow_ingress(f.fkey, E)];
+    const PortNo deg = graph_.degree(at);
+    if (deg == 0)
+      throw std::logic_error("XfsmService::pump_flows: isolated host");
+    XfsmInject inj;
+    inj.host = at;
+    inj.in.flow_key = f.fkey;
+    inj.in.out_tag = 1 + f.fkey % deg;
+    inj.payload_bytes = sim::flow_packet_bytes(f.fkey);
+    for (std::uint32_t p = 0; p < f.packets; ++p) {
+      inject(net, inj);
+      if (++since >= batch) {
+        net.run();
+        since = 0;
+      }
+    }
+  }
+  net.run();
+}
+
+XfsmSweepResult XfsmService::sweep(sim::Network& net, NodeId root) {
+  core::StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+  const std::size_t lmark = net.local_deliveries().size();
+  net.packet_out(root, layout_.make_packet(core::kEthTraversal));
+  net.run();
+
+  XfsmSweepResult res;
+
+  std::vector<std::pair<std::uint32_t, const ofp::Packet*>> reports;
+  for (std::size_t j = mark; j < net.controller_msgs().size(); ++j) {
+    const auto& m = net.controller_msgs()[j];
+    reports.push_back({m.reason, &m.packet});
+  }
+  if (params_.inband_collector) {
+    for (std::size_t j = lmark; j < net.local_deliveries().size(); ++j) {
+      const auto& d = net.local_deliveries()[j];
+      if (d.at != *params_.inband_collector || d.packet.eth_type != core::kEthReport)
+        continue;
+      reports.push_back(
+          {static_cast<std::uint32_t>(layout_.get(d.packet, layout_.reason())),
+           &d.packet});
+    }
+  }
+
+  const auto K = params_.moduli.size();
+  const core::XfsmProgram& P = params_.program;
+  const std::uint32_t S = P.count_occupancy ? P.num_states : 0;
+  const std::uint32_t G = P.guard_banks;
+  const std::uint64_t range = params_.range();
+
+  // residues[node][kind][index][modulus] — first sighting wins (one read
+  // per sweep by construction).
+  struct Banks {
+    std::vector<std::vector<std::int32_t>> enter, exits, guard;
+  };
+  std::map<NodeId, Banks> residues;
+  auto bank_of = [&](Banks& b, std::uint32_t kind,
+                     std::uint32_t index) -> std::vector<std::int32_t>* {
+    if (kind == core::kXfsmBankEnter)
+      return index < S ? &b.enter[index] : nullptr;
+    if (kind == core::kXfsmBankExit)
+      return index < S ? &b.exits[index] : nullptr;
+    return index < G ? &b.guard[index] : nullptr;
+  };
+  for (const auto& [reason, pkt] : reports) {
+    if (reason == core::kReasonFinish) {
+      res.complete = true;
+      continue;
+    }
+    if (reason != core::kReasonXfsmFragment) continue;
+    ++res.fragments;
+    for (std::uint32_t label : pkt->labels) {
+      const core::XfsmRecord rec = core::decode_xfsm(label);
+      if (rec.modulus_idx >= K) continue;
+      auto [it, inserted] = residues.try_emplace(rec.node);
+      if (inserted) {
+        it->second.enter.assign(S, std::vector<std::int32_t>(K, -1));
+        it->second.exits.assign(S, std::vector<std::int32_t>(K, -1));
+        it->second.guard.assign(G, std::vector<std::int32_t>(K, -1));
+      }
+      std::vector<std::int32_t>* bank = bank_of(it->second, rec.kind, rec.index);
+      if (bank == nullptr) continue;  // foreign label
+      auto& slot = (*bank)[rec.modulus_idx];
+      if (slot < 0) slot = static_cast<std::int32_t>(rec.residue);
+    }
+  }
+
+  // CRT-decode, discounting the read increments of earlier sweeps.
+  auto decode_bank = [&](const std::vector<std::int32_t>& bank,
+                         std::uint64_t* out) {
+    std::vector<std::uint32_t> r(K);
+    for (std::size_t m = 0; m < K; ++m) {
+      if (bank[m] < 0) return false;
+      r[m] = static_cast<std::uint32_t>(bank[m]);
+    }
+    *out = (obs::crt_reconstruct(r, params_.moduli) + range -
+            sweeps_done_ % range) %
+           range;
+    return true;
+  };
+  for (const auto& [node, banks] : residues) {
+    XfsmCounts c;
+    c.enter.assign(S, 0);
+    c.exits.assign(S, 0);
+    c.guard.assign(G, 0);
+    bool complete_host = true;
+    for (std::uint32_t s = 0; s < S; ++s)
+      complete_host &= decode_bank(banks.enter[s], &c.enter[s]) &&
+                       decode_bank(banks.exits[s], &c.exits[s]);
+    for (std::uint32_t b = 0; b < G; ++b)
+      complete_host &= decode_bank(banks.guard[b], &c.guard[b]);
+    if (complete_host) res.counts.emplace(node, std::move(c));
+  }
+  res.hosts_read = res.counts.size();
+
+  // The sweep's reads advanced every bank cursor by one; keep the mirrors
+  // and the next decode's discount in step.
+  for (auto& [h, interp] : interps_) interp.sweep();
+  ++sweeps_done_;
+  res.stats = scope.delta();
+  return res;
+}
+
+XfsmValidation XfsmService::validate(sim::Network& net,
+                                     const XfsmSweepResult* swept) const {
+  XfsmValidation v;
+  v.injected = injected_;
+  v.expected_delivered = expected_delivered_;
+  v.expected_drops = expected_drops_;
+
+  // Delivery tally: every flow packet sunk at a LOCAL port, against the
+  // interpreter's predictions.
+  std::map<std::tuple<NodeId, std::uint32_t, std::uint32_t>, std::uint64_t> got;
+  for (const auto& d : net.local_deliveries()) {
+    if (d.packet.eth_type != core::kEthFlow) continue;
+    ++v.delivered;
+    ++got[{d.at,
+           static_cast<std::uint32_t>(layout_.get(d.packet, layout_.flow_key())),
+           static_cast<std::uint32_t>(layout_.get(d.packet, layout_.xfsm_aux()))}];
+  }
+  v.deliveries_ok = got == expected_;
+  if (!v.deliveries_ok) {
+    for (const auto& [key, n] : expected_) {
+      const auto it = got.find(key);
+      if (it == got.end() || it->second != n) ++v.mismatched_keys;
+    }
+    for (const auto& [key, n] : got)
+      if (expected_.count(key) == 0) ++v.mismatched_keys;
+  }
+
+  // State tables, entry for entry.
+  for (const auto& [h, interp] : interps_) {
+    const ofp::StateTable& real = net.sw(h).state();
+    if (real.entries() != interp.state().entries()) v.states_ok = false;
+    v.state_entries += real.size();
+    v.evictions += real.evictions();
+  }
+
+  // Swept counter banks against the interpreter's true counts (mod range —
+  // the wraparound is the CRT's, not an error).
+  if (swept != nullptr) {
+    const core::XfsmProgram& P = params_.program;
+    const std::uint64_t range = params_.range();
+    const std::uint32_t units =
+        (P.count_occupancy ? 2 * P.num_states : 0) + P.guard_banks;
+    if (units > 0 && swept->counts.size() != interps_.size()) v.counts_ok = false;
+    for (const auto& [h, c] : swept->counts) {
+      const auto it = interps_.find(h);
+      if (it == interps_.end()) {
+        v.counts_ok = false;
+        continue;
+      }
+      const XfsmInterp& interp = it->second;
+      // true_* is invariant across sweep() (raw and the discount advance
+      // together), so this holds whether or not more sweeps ran since.
+      for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(c.enter.size()); ++s)
+        if (c.enter[s] != (interp.true_enter(s)) % range) v.counts_ok = false;
+      for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(c.exits.size()); ++s)
+        if (c.exits[s] != (interp.true_exit(s)) % range) v.counts_ok = false;
+      for (std::uint32_t b = 0; b < static_cast<std::uint32_t>(c.guard.size()); ++b)
+        if (c.guard[b] != (interp.true_guard(b)) % range) v.counts_ok = false;
+    }
+  }
+  return v;
+}
+
+std::map<std::uint32_t, std::uint64_t> XfsmService::delivered_per_flow(
+    sim::Network& net) const {
+  std::map<std::uint32_t, std::uint64_t> out;
+  for (const auto& d : net.local_deliveries()) {
+    if (d.packet.eth_type != core::kEthFlow) continue;
+    ++out[static_cast<std::uint32_t>(layout_.get(d.packet, layout_.flow_key()))];
+  }
+  return out;
+}
+
+}  // namespace ss::xfsm

@@ -1,0 +1,163 @@
+#pragma once
+// XFSM service driver: owns the compiled per-flow state machines AND a
+// reference-interpreter mirror of every host, keeping the two in lockstep.
+//
+// Every injected packet is run through the real network (packet-out or a
+// host port injection) and simultaneously through the host's XfsmInterp;
+// the interpreter's predicted emissions become the expected-delivery tally.
+// validate() then compares three independent observables:
+//
+//   deliveries   every kEthFlow packet sunk at a LOCAL port, keyed by
+//                (sink switch, flow key, aux) — multiset equality with the
+//                interpreter's predictions
+//   states       each host's ofp::StateTable contents, entry for entry,
+//                against the interpreter's table
+//   counters     the DFS sweep's CRT-decoded guard / occupancy bank counts
+//                against the interpreter's true event counts
+//
+// One caveat: the mirror assumes emitted packets reach their neighbor — do
+// not take links down while flow traffic is in flight (the LB machine
+// models failure with loss-signal packets instead).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "core/services.hpp"
+#include "sim/flowgen.hpp"
+#include "sim/network.hpp"
+#include "xfsm/interp.hpp"
+
+namespace ss::xfsm {
+
+struct XfsmParams {
+  /// Host switches running the machine.  All hosts share one program, whose
+  /// transition rows enumerate concrete ports — install on hosts of the
+  /// degree the program was built for.
+  std::vector<graph::NodeId> hosts;
+  core::XfsmProgram program;
+  /// Guard/occupancy bank moduli (pairwise coprime, each in [2,16]).
+  std::vector<std::uint32_t> moduli = {16, 15, 13, 11, 7};
+  /// Per-host state-table capacity (FIFO eviction beyond it).
+  std::uint32_t capacity = 1u << 16;
+  std::optional<graph::NodeId> inband_collector;
+
+  /// CRT counting range: product of the moduli.
+  std::uint64_t range() const;
+};
+
+/// One packet presented to a host machine.
+struct XfsmInject {
+  graph::NodeId host = 0;
+  XfsmInput in;  // arrival port (0 = controller packet-out) + tag fields
+  std::uint32_t payload_bytes = 100;
+};
+
+/// CRT-decoded bank counts of one host (values modulo XfsmParams::range(),
+/// prior sweeps' read increments already discounted).
+struct XfsmCounts {
+  std::vector<std::uint64_t> enter;  // per state (empty without occupancy)
+  std::vector<std::uint64_t> exits;  // per state (empty without occupancy)
+  std::vector<std::uint64_t> guard;  // per guard bank
+};
+
+struct XfsmSweepResult {
+  bool complete = false;     // root Finish() arrived
+  std::size_t fragments = 0; // per-host read-out reports decoded
+  std::size_t hosts_read = 0;
+  std::map<graph::NodeId, XfsmCounts> counts;
+  core::RunStats stats;
+};
+
+struct XfsmValidation {
+  bool deliveries_ok = true;
+  bool states_ok = true;
+  bool counts_ok = true;
+  bool ok() const { return deliveries_ok && states_ok && counts_ok; }
+
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;           // observed flow-packet sinks
+  std::uint64_t expected_delivered = 0;  // interpreter-predicted
+  std::uint64_t expected_drops = 0;
+  std::uint64_t mismatched_keys = 0;     // delivery tally keys that differ
+  std::uint64_t state_entries = 0;       // live entries across hosts
+  std::uint64_t evictions = 0;           // FIFO evictions across hosts
+};
+
+/// Per-flow conformance check for the policer machine: with packets of one
+/// flow arriving back to back, a flow offering `offered` packets must
+/// deliver its burst allowance plus one packet per `m0` exceeding packets,
+/// within one guard-phase packet of slack.
+struct XfsmPolicerCheck {
+  bool ok = true;
+  std::uint64_t flows_checked = 0;
+  std::uint64_t worst_excess = 0;  // max delivered - upper_bound over flows
+};
+XfsmPolicerCheck check_policer_bounds(
+    const std::vector<sim::FlowSpec>& flows,
+    const std::map<std::uint32_t, std::uint64_t>& delivered,
+    std::uint32_t bucket, std::uint32_t m0);
+
+class XfsmService {
+ public:
+  XfsmService(const graph::Graph& g, XfsmParams params);
+
+  void install(sim::Network& net) const { compiler_.install(net); }
+
+  /// Drive one packet through the network AND the interpreter mirror.
+  /// Does not drain the event loop; call net.run() (or let pump_flows
+  /// batch it) before reading deliveries.
+  void inject(sim::Network& net, const XfsmInject& inj);
+
+  /// Policer-style workload pump: every flow's packets are injected
+  /// back-to-back at the flow's ingress host (first-level hash over
+  /// `hosts`), steered by an out_port tag derived from the key.  Batched:
+  /// the event loop drains every `batch` packets.
+  void pump_flows(sim::Network& net, const std::vector<sim::FlowSpec>& flows,
+                  std::uint32_t batch = 65536);
+
+  /// One DFS sweep from `root`: read every host's banks, CRT-decode.
+  /// Non-const: reading increments, so the mirror interpreters and the
+  /// sweep discount advance in lockstep.
+  XfsmSweepResult sweep(sim::Network& net, graph::NodeId root);
+
+  /// Compare network observables against the interpreter mirror; pass the
+  /// latest sweep to also check the decoded counter banks.
+  XfsmValidation validate(sim::Network& net,
+                          const XfsmSweepResult* swept = nullptr) const;
+
+  /// Observed per-flow delivery tally (kEthFlow packets at LOCAL sinks).
+  std::map<std::uint32_t, std::uint64_t> delivered_per_flow(
+      sim::Network& net) const;
+
+  const core::TagLayout& layout() const { return layout_; }
+  const core::TemplateCompiler& compiler() const { return compiler_; }
+  const XfsmParams& params() const { return params_; }
+  XfsmInterp& interp(graph::NodeId host) { return interps_.at(host); }
+  const XfsmInterp& interp(graph::NodeId host) const { return interps_.at(host); }
+  std::uint32_t sweeps_done() const { return sweeps_done_; }
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  /// Step `host`'s interpreter and tally predicted deliveries, chasing
+  /// emissions that land on another host (they run a machine step there).
+  void mirror(graph::NodeId host, const XfsmInput& in, int depth);
+
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  XfsmParams params_;
+  core::TagLayout layout_;
+  core::TemplateCompiler compiler_;
+  std::map<graph::NodeId, XfsmInterp> interps_;
+  // (sink node, flow key, aux) -> predicted delivery count
+  std::map<std::tuple<graph::NodeId, std::uint32_t, std::uint32_t>,
+           std::uint64_t>
+      expected_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t expected_delivered_ = 0;
+  std::uint64_t expected_drops_ = 0;
+  std::uint32_t sweeps_done_ = 0;
+};
+
+}  // namespace ss::xfsm

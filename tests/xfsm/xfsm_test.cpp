@@ -1,0 +1,467 @@
+// XFSM subsystem: state-table FIFO semantics, the three canned machines
+// end-to-end (MAC learning convergence, policer conformance, failure-aware
+// load balancing), counter-guard wraparound at the CRT moduli product,
+// sweep read-adjustment, state-table overflow eviction, and a differential
+// fuzz of the compiled pipeline against the reference interpreter on random
+// transition tables.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/eth_types.hpp"
+#include "graph/generators.hpp"
+#include "ofp/state_table.hpp"
+#include "sim/flowgen.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+#include "xfsm/machines.hpp"
+#include "xfsm/service.hpp"
+
+namespace ss {
+namespace {
+
+using xfsm::XfsmInject;
+using xfsm::XfsmParams;
+using xfsm::XfsmService;
+
+// ---------------------------------------------------------------------------
+// StateTable
+// ---------------------------------------------------------------------------
+
+TEST(StateTable, FifoEvictionIgnoresUpdates) {
+  ofp::StateTable t(2);
+  t.store(1, 10);
+  t.store(2, 20);
+  t.store(1, 11);  // update: must NOT refresh key 1's age
+  t.store(3, 30);  // evicts key 1 (oldest inserted), not key 2
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.lookup(1).has_value());
+  EXPECT_EQ(t.lookup(2).value_or(0), 20u);
+  EXPECT_EQ(t.lookup(3).value_or(0), 30u);
+  EXPECT_EQ(t.evictions(), 1u);
+  EXPECT_EQ(t.updates(), 1u);
+  EXPECT_EQ(t.insertions(), 3u);
+}
+
+TEST(StateTable, WipeDropsEntriesButKeepsCounters) {
+  ofp::StateTable t(4);
+  t.store(1, 1);
+  t.store(2, 2);
+  (void)t.lookup(1);
+  t.wipe();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.lookup(1).has_value());
+  EXPECT_EQ(t.insertions(), 2u);
+  EXPECT_EQ(t.hits(), 1u);
+  EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(StateTable, SetCapacityEvictsOldestDown) {
+  ofp::StateTable t(4);
+  for (std::uint64_t k = 1; k <= 4; ++k) t.store(k, k);
+  t.set_capacity(2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.lookup(1).has_value());
+  EXPECT_FALSE(t.lookup(2).has_value());
+  EXPECT_TRUE(t.lookup(3).has_value());
+  EXPECT_TRUE(t.lookup(4).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// MAC learning
+// ---------------------------------------------------------------------------
+
+XfsmParams mac_params(const graph::Graph& g, graph::NodeId host) {
+  XfsmParams p;
+  p.hosts = {host};
+  p.program = xfsm::make_mac_learning(g.degree(host));
+  return p;
+}
+
+TEST(MacLearning, FloodsOnMissThenUnicastsAfterLearn) {
+  const auto g = graph::make_ring(4);  // host 0: ports 1, 2
+  XfsmService svc(g, mac_params(g, 0));
+  sim::Network net(g);
+  svc.install(net);
+
+  const std::uint32_t A = 0x11, B = 0x22;
+  auto send = [&](graph::PortNo in, std::uint32_t src, std::uint32_t dst) {
+    XfsmInject inj;
+    inj.host = 0;
+    inj.in.in_port = in;
+    inj.in.flow_key = src;
+    inj.in.aux = dst;
+    svc.inject(net, inj);
+    net.run();
+  };
+
+  send(1, A, B);  // B unknown: flood (port 2 only on a deg-2 host)
+  const std::size_t after_flood = net.local_deliveries().size();
+  EXPECT_EQ(after_flood, 1u);
+  send(2, B, A);  // A learned on port 1: unicast
+  send(1, A, B);  // B learned on port 2: unicast
+  send(2, B, B);  // destination on the arrival port: filtered
+  EXPECT_EQ(net.local_deliveries().size(), 3u);
+
+  const auto v = svc.validate(net);
+  EXPECT_TRUE(v.deliveries_ok);
+  EXPECT_TRUE(v.states_ok);
+  EXPECT_EQ(v.delivered, 3u);
+  const auto& entries = net.sw(0).state().entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at(A), 1u);
+  EXPECT_EQ(entries.at(B), 2u);
+}
+
+TEST(MacLearning, FloodTrafficDropsToZeroAfterConvergence) {
+  const auto g = graph::make_torus(3, 4);  // host 0: degree 4
+  const graph::PortNo deg = g.degree(0);
+  ASSERT_EQ(deg, 4u);
+  XfsmService svc(g, mac_params(g, 0));
+  sim::Network net(g);
+  svc.install(net);
+
+  // One station per port; every station sends to every other station.
+  auto addr = [](graph::PortNo p) { return 0x100u + p; };
+  auto all_pairs = [&]() {
+    for (graph::PortNo s = 1; s <= deg; ++s)
+      for (graph::PortNo d = 1; d <= deg; ++d) {
+        if (s == d) continue;
+        XfsmInject inj;
+        inj.host = 0;
+        inj.in.in_port = s;
+        inj.in.flow_key = addr(s);
+        inj.in.aux = addr(d);
+        svc.inject(net, inj);
+      }
+    net.run();
+  };
+
+  all_pairs();  // learning round: early packets flood
+  const std::size_t round1 = net.local_deliveries().size();
+  all_pairs();  // converged round: every packet unicasts
+  const std::size_t round2 = net.local_deliveries().size() - round1;
+
+  const std::size_t pairs = deg * (deg - 1);
+  EXPECT_GT(round1, pairs - deg);  // the misses flooded
+  EXPECT_EQ(round2, pairs);        // exactly one delivery per packet: no floods
+  const auto v = svc.validate(net);
+  EXPECT_TRUE(v.deliveries_ok);
+  EXPECT_TRUE(v.states_ok);
+}
+
+TEST(MacLearning, SweepOfBanklessMachineStillCompletes) {
+  const auto g = graph::make_ring(4);
+  XfsmService svc(g, mac_params(g, 0));
+  sim::Network net(g);
+  svc.install(net);
+  const auto sw = svc.sweep(net, 1);
+  EXPECT_TRUE(sw.complete);
+  EXPECT_EQ(sw.fragments, 0u);  // no banks, no read-out chain
+  EXPECT_TRUE(svc.validate(net, &sw).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Token policer
+// ---------------------------------------------------------------------------
+
+XfsmParams policer_params(std::uint32_t bucket,
+                          std::vector<std::uint32_t> moduli = {16, 15, 13, 11,
+                                                               7}) {
+  XfsmParams p;
+  p.hosts = {0};
+  p.program = xfsm::make_policer(bucket);
+  p.moduli = std::move(moduli);
+  return p;
+}
+
+TEST(Policer, HoldsPerFlowRatesWithinBucketBounds) {
+  const auto g = graph::make_ring(4);
+  const std::uint32_t bucket = 3;
+  XfsmService svc(g, policer_params(bucket));
+  sim::Network net(g);
+  svc.install(net);
+
+  sim::FlowWorkloadConfig cfg;
+  cfg.seed = 11;
+  cfg.key_bits = 16;
+  cfg.elephants = 8;
+  cfg.mice = 200;
+  cfg.elephant_min = 32;
+  cfg.elephant_max = 64;
+  const auto flows = sim::make_flow_workload(cfg);
+  svc.pump_flows(net, flows);
+
+  const auto delivered = svc.delivered_per_flow(net);
+  const auto chk =
+      xfsm::check_policer_bounds(flows, delivered, bucket, svc.params().moduli[0]);
+  EXPECT_TRUE(chk.ok) << "worst excess " << chk.worst_excess;
+  EXPECT_EQ(chk.flows_checked, flows.size());
+
+  const auto v = svc.validate(net);
+  EXPECT_TRUE(v.deliveries_ok);
+  EXPECT_TRUE(v.states_ok);
+  EXPECT_LT(v.delivered, v.injected);  // the policer actually policed
+}
+
+TEST(Policer, SweepDecodesOccupancyMatchingGroundTruth) {
+  const auto g = graph::make_ring(6);
+  const std::uint32_t bucket = 2;
+  XfsmService svc(g, policer_params(bucket));
+  sim::Network net(g);
+  svc.install(net);
+
+  // Flow 1: one packet (ends at fill 1); flows 2,3: saturate (fill 2).
+  std::vector<sim::FlowSpec> flows = {{1, 1, 0}, {2, 8, 0}, {3, 5, 0}};
+  svc.pump_flows(net, flows);
+
+  const auto sw = svc.sweep(net, 3);
+  ASSERT_TRUE(sw.complete);
+  EXPECT_EQ(sw.hosts_read, 1u);
+  const auto v = svc.validate(net, &sw);
+  EXPECT_TRUE(v.ok());
+
+  const auto& c = sw.counts.at(0);
+  // Occupancy(s) = enter(s) - exit(s): one flow parked at fill 1, two at 2.
+  EXPECT_EQ(c.enter[1] - c.exits[1], 1u);
+  EXPECT_EQ(c.enter[2] - c.exits[2], 2u);
+}
+
+TEST(Policer, GuardCountWrapsAroundAtTheCrtModuliProduct) {
+  const auto g = graph::make_ring(4);
+  const std::uint32_t bucket = 1;
+  XfsmService svc(g, policer_params(bucket, {3, 2}));  // range = 6
+  sim::Network net(g);
+  svc.install(net);
+
+  // 40 packets: 1 conforming + 39 guard evaluations — the bank wraps its
+  // 6-count range six times.  m0 = 3 passes ceil(39/3) = 13 of them.
+  std::vector<sim::FlowSpec> flows = {{5, 40, 0}};
+  svc.pump_flows(net, flows);
+  EXPECT_EQ(svc.delivered_per_flow(net).at(5), 14u);
+
+  const auto sw = svc.sweep(net, 2);
+  ASSERT_TRUE(sw.complete);
+  const auto v = svc.validate(net, &sw);
+  EXPECT_TRUE(v.counts_ok);
+  const auto& c = sw.counts.at(0);
+  EXPECT_EQ(c.guard[0], 39u % 6u);  // decoded modulo the product
+  EXPECT_EQ(svc.interp(0).true_guard(0), 39u);
+}
+
+TEST(Policer, RepeatedSweepsDiscountTheirOwnReadIncrements) {
+  const auto g = graph::make_ring(4);
+  XfsmService svc(g, policer_params(2, {5, 3, 2}));
+  sim::Network net(g);
+  svc.install(net);
+
+  std::vector<sim::FlowSpec> flows = {{7, 9, 0}};
+  svc.pump_flows(net, flows);
+
+  const auto s1 = svc.sweep(net, 1);
+  const auto s2 = svc.sweep(net, 1);
+  const auto s3 = svc.sweep(net, 1);
+  ASSERT_TRUE(s1.complete && s2.complete && s3.complete);
+  EXPECT_EQ(s1.counts.at(0).guard, s2.counts.at(0).guard);
+  EXPECT_EQ(s2.counts.at(0).guard, s3.counts.at(0).guard);
+  EXPECT_EQ(s1.counts.at(0).enter, s3.counts.at(0).enter);
+  EXPECT_TRUE(svc.validate(net, &s3).ok());
+}
+
+TEST(Policer, StateTableOverflowEvictsOldestFlows) {
+  const auto g = graph::make_ring(4);
+  auto params = policer_params(3);
+  params.capacity = 4;
+  XfsmService svc(g, params);
+  sim::Network net(g);
+  svc.install(net);
+
+  // Six single-packet flows: the first two get evicted.
+  std::vector<sim::FlowSpec> flows;
+  for (std::uint32_t k = 1; k <= 6; ++k) flows.push_back({k * 10, 1, 0});
+  svc.pump_flows(net, flows);
+  EXPECT_EQ(net.sw(0).state().size(), 4u);
+  EXPECT_EQ(net.sw(0).state().evictions(), 2u);
+
+  // An evicted flow silently restarts at fill 0 — and the interpreter,
+  // sharing the FIFO semantics, predicts exactly that.
+  svc.pump_flows(net, {{10, 2, 0}});
+  const auto v = svc.validate(net);
+  EXPECT_TRUE(v.deliveries_ok);
+  EXPECT_TRUE(v.states_ok);
+  EXPECT_GE(v.evictions, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure-aware load balancing
+// ---------------------------------------------------------------------------
+
+TEST(LoadBalancer, FlipsAfterGuardedLossSignalsAndRecovers) {
+  const auto g = graph::make_torus(3, 4);  // host 0: degree 4
+  const std::uint32_t flip_after = 5;
+  XfsmParams p;
+  p.hosts = {0};
+  p.program = xfsm::make_port_health_lb(g.degree(0), flip_after);
+  p.moduli = {5, 3, 2};  // moduli[0] == flip_after
+  XfsmService svc(g, p);
+  sim::Network net(g);
+  svc.install(net);
+
+  auto signal = [&](graph::PortNo port, std::uint32_t event) {
+    XfsmInject inj;
+    inj.host = 0;
+    inj.in.aux = port;
+    inj.in.event = event;
+    svc.inject(net, inj);
+    net.run();
+  };
+  auto data = [&](graph::PortNo port) {
+    XfsmInject inj;
+    inj.host = 0;
+    inj.in.flow_key = 0xd0 + port;
+    inj.in.aux = port;
+    inj.in.event = xfsm::kLbEventData;
+    svc.inject(net, inj);
+    net.run();
+    return net.local_deliveries().back().at;
+  };
+
+  const auto via_p1 = data(1);  // healthy: steers out port 1
+  EXPECT_EQ(via_p1, g.neighbor(0, 1)->node);
+
+  for (std::uint32_t s = 0; s < flip_after - 1; ++s)
+    signal(1, xfsm::kLbEventLoss);
+  EXPECT_EQ(data(1), via_p1);  // damped: not down yet
+  signal(1, xfsm::kLbEventLoss);  // 5th signal: port 1 flips down
+
+  const auto via_partner = data(1);
+  EXPECT_EQ(via_partner, g.neighbor(0, xfsm::lb_partner(1, 4))->node);
+
+  const auto sw = svc.sweep(net, 6);
+  ASSERT_TRUE(sw.complete);
+  const auto& c = sw.counts.at(0);
+  EXPECT_EQ(c.enter[1] - c.exits[1], 1u);  // one port down
+  EXPECT_EQ(c.guard[0], flip_after % 30u); // 5 loss evaluations on bank 0
+  EXPECT_TRUE(svc.validate(net, &sw).ok());
+
+  signal(1, xfsm::kLbEventRecovery);
+  EXPECT_EQ(data(1), via_p1);  // back on the nominated port
+  EXPECT_TRUE(svc.validate(net).states_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: compiled pipeline vs reference interpreter
+// ---------------------------------------------------------------------------
+
+core::XfsmProgram random_program(util::Rng& rng, graph::PortNo deg) {
+  core::XfsmProgram p;
+  p.name = "fuzz";
+  p.num_states = static_cast<std::uint32_t>(rng.uniform(2, 4));
+  p.use_event = true;
+  p.use_aux = true;
+  p.guard_banks = static_cast<std::uint32_t>(rng.uniform(0, 2));
+  p.count_occupancy = rng.chance(0.5);
+  const auto rows = rng.uniform(4, 12);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    core::XfsmTransition t;
+    t.state = static_cast<std::uint32_t>(rng.uniform(0, p.num_states - 1));
+    if (rng.chance(0.3)) t.event = static_cast<std::int64_t>(rng.uniform(0, 2));
+    if (rng.chance(0.3)) t.aux = static_cast<std::int64_t>(rng.uniform(0, 2));
+    auto arm = [&]() {
+      core::XfsmArm a;
+      a.next = rng.chance(0.5)
+                   ? static_cast<std::int32_t>(rng.uniform(0, p.num_states - 1))
+                   : -1;
+      switch (rng.uniform(0, 2)) {
+        case 0:
+          a.act = core::XfsmActKind::kDrop;
+          break;
+        case 1:
+          a.act = core::XfsmActKind::kOutPort;
+          a.out_port = static_cast<std::uint32_t>(rng.uniform(1, deg));
+          break;
+        default:
+          a.act = core::XfsmActKind::kOutTag;
+      }
+      return a;
+    };
+    t.pass = arm();
+    if (p.guard_banks > 0 && rng.chance(0.4)) {
+      t.guard = core::XfsmGuard{
+          .bank = static_cast<std::uint32_t>(rng.uniform(0, p.guard_banks - 1)),
+          .pass_residue = static_cast<std::uint32_t>(rng.uniform(0, 4))};
+      t.fail = arm();
+    }
+    t.update = rng.chance(0.7);
+    p.transitions.push_back(t);
+  }
+  return p;
+}
+
+TEST(XfsmDifferential, RandomTransitionTablesMatchTheInterpreter) {
+  const auto g = graph::make_ring(5);  // hosts of degree 2
+  util::Rng rng(20140814);
+  for (int trial = 0; trial < 8; ++trial) {
+    XfsmParams p;
+    p.hosts = {0};
+    p.program = random_program(rng, g.degree(0));
+    p.moduli = {5, 4, 3};  // pass_residue < 5
+    p.capacity = 8;        // small: exercise eviction interleaving
+    XfsmService svc(g, p);
+    sim::Network net(g);
+    svc.install(net);
+
+    const auto packets = rng.uniform(50, 200);
+    for (std::uint64_t i = 0; i < packets; ++i) {
+      XfsmInject inj;
+      inj.host = 0;
+      inj.in.flow_key = static_cast<std::uint32_t>(rng.uniform(0, 12));
+      inj.in.aux = static_cast<std::uint32_t>(rng.uniform(0, 2));
+      inj.in.event = static_cast<std::uint32_t>(rng.uniform(0, 2));
+      inj.in.out_tag = static_cast<std::uint32_t>(rng.uniform(0, g.degree(0)));
+      svc.inject(net, inj);
+      if (i % 32 == 0) net.run();
+      if (i == packets / 2) (void)svc.sweep(net, 2);  // mid-run read increments
+    }
+    net.run();
+    const auto sw = svc.sweep(net, 2);
+    const auto v = svc.validate(net, &sw);
+    EXPECT_TRUE(v.deliveries_ok) << "trial " << trial;
+    EXPECT_TRUE(v.states_ok) << "trial " << trial;
+    EXPECT_TRUE(v.counts_ok) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine builders: parameter validation
+// ---------------------------------------------------------------------------
+
+TEST(Machines, RejectDegenerateParameters) {
+  EXPECT_THROW(xfsm::make_mac_learning(0), std::invalid_argument);
+  EXPECT_THROW(xfsm::make_policer(0), std::invalid_argument);
+  EXPECT_THROW(xfsm::make_policer(255), std::invalid_argument);
+  EXPECT_THROW(xfsm::make_port_health_lb(1, 5), std::invalid_argument);
+  EXPECT_THROW(xfsm::make_port_health_lb(4, 1), std::invalid_argument);
+}
+
+TEST(Machines, CompilerRejectsIncoherentPrograms) {
+  const auto g = graph::make_ring(4);
+  XfsmParams p;
+  p.hosts = {0};
+  p.program = xfsm::make_policer(2);
+  p.program.count_occupancy = true;
+  p.program.update_scope = core::XfsmScope::kAux;  // breaks lookup==update
+  p.program.use_aux = true;
+  EXPECT_THROW(XfsmService(g, p), std::invalid_argument);
+
+  XfsmParams q;
+  q.hosts = {0};
+  q.program = xfsm::make_policer(2);
+  q.moduli = {4, 2};  // not pairwise coprime
+  EXPECT_THROW(XfsmService(g, q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ss

@@ -4,7 +4,7 @@
 // in-flight header corruption) and the self-healing recovery service armed
 // — then aggregates MTTR (hops-to-repair and time-to-repair) histograms
 // across episodes.  Episodes rotate through --services (default
-// plain,snapshot,anycast), so repair is exercised under every pipeline
+// plain,snapshot,anycast,critical), so repair is exercised under every pipeline
 // shape, and the recovery service runs with its in-band riders on: the
 // audit probe relays to a sink switch and background data bursts keep the
 // hop clock moving while a divergence is open (MTTR in hops > 0).
@@ -71,7 +71,8 @@ struct Config {
   std::string topo = "torus";
   std::size_t n = 16;
   std::uint32_t faults = 6;
-  std::vector<std::string> services = {"plain", "snapshot", "anycast"};
+  std::vector<std::string> services = {"plain", "snapshot", "anycast",
+                                       "critical"};
   std::uint32_t burst = 4;
   std::string out_path;
 };
@@ -234,7 +235,8 @@ int usage() {
                "usage: chaos_run [--episodes N] [--seed S] [--threads T]\n"
                "                 [--out FILE] [--topo KIND] [--n N] [--faults F]\n"
                "                 [--services A,B,..] [--burst B]\n"
-               "services: any of plain,snapshot,anycast (episodes rotate)\n");
+               "services: any of plain,snapshot,anycast,critical (episodes "
+               "rotate)\n");
   return 2;
 }
 
@@ -270,7 +272,8 @@ int main(int argc, char** argv) {
   }
   if (cfg.episodes == 0 || cfg.services.empty()) return usage();
   for (const std::string& s : cfg.services)
-    if (s != "plain" && s != "snapshot" && s != "anycast") return usage();
+    if (s != "plain" && s != "snapshot" && s != "anycast" && s != "critical")
+      return usage();
 
   // Pre-draw every episode's seed in episode order so the fan-out's work
   // list — and thus every episode's entire behaviour — is fixed before any

@@ -208,6 +208,7 @@ int main(int argc, char** argv) {
   h.repairs = res.repairs_done;
   h.quarantines = res.quarantines;
   h.topk = res.topk;
+  h.xfsm = res.xfsm;
 
   if (out_path.empty()) {
     obs::write_report(std::cout, h, tl);

@@ -1,0 +1,295 @@
+// xfsm_run: per-flow state machines compiled into the data plane, end to
+// end.  Each trial builds a topology with H host switches running one of
+// the canned XFSM machines (MAC learning / token policer / port-health load
+// balancer), drives the machine-specific workload through the compiled
+// pipeline AND the reference-interpreter mirror, runs one SmartSouth DFS
+// sweep to CRT-decode the guard/occupancy banks, and gates on all three
+// observables (deliveries, state tables, counters) plus the machine's own
+// service property (convergence / conformance / failover).
+//
+//   xfsm_run [--machine mac|policer|lb|all] [--topo KIND] [--n N]
+//            [--hosts H] [--bucket B] [--flip-after F] [--elephants E]
+//            [--mice M] [--rounds R] [--seed S] [--trials T] [--threads T]
+//            [--out FILE]
+//
+// Determinism contract (same as chaos_run / topk_run): per-trial seeds are
+// pre-drawn in trial order, every trial derives all randomness from its own
+// seed and owns its network, trials fan out over bench::parallel_sweep
+// (results in item order) — so stdout and --out are byte-identical at ANY
+// thread count.  No wall-clock values are emitted.
+//
+// Exit codes: 0 = every trial's every machine validated against the
+// interpreter and met its service property; 1 = a trial missed; 2 = usage /
+// setup error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/parallel.hpp"
+#include "obs/json.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace ss;
+
+namespace {
+
+struct Config {
+  std::string machine = "all";  // mac | policer | lb | all
+  std::string topo = "torus";
+  std::size_t n = 24;
+  std::uint32_t hosts = 4;
+  std::uint32_t bucket = 4;
+  std::uint32_t flip_after = 16;  // must equal the default guard modulus
+  std::uint32_t elephants = 16;
+  std::uint32_t mice = 4000;
+  std::uint32_t elephant_min = 64;
+  std::uint32_t elephant_max = 256;
+  std::uint32_t rounds = 3;
+  std::uint64_t seed = 1;
+  std::uint64_t trials = 1;
+  unsigned threads = 1;
+  std::string out_path;
+};
+
+struct MachineResult {
+  std::string machine;
+  std::uint64_t seed = 0;
+  bool ground_truth_ok = false;
+  std::string detail;
+  obs::XfsmReportSection sec;
+};
+
+using TrialResult = std::vector<MachineResult>;
+
+std::string spec_json(const Config& cfg, const std::string& machine,
+                      std::uint64_t seed) {
+  return util::cat(
+      "{\"name\":\"xfsm_", machine, "\",\"topology\":{\"kind\":\"", cfg.topo,
+      "\",\"n\":", cfg.n, "},\"seed\":", seed,
+      ",\"root\":1,\"service\":\"xfsm\",\"xfsm\":{\"machine\":\"", machine,
+      "\",\"hosts\":", cfg.hosts, ",\"bucket\":", cfg.bucket,
+      ",\"flip_after\":", cfg.flip_after, ",\"elephants\":", cfg.elephants,
+      ",\"mice\":", cfg.mice, ",\"elephant_min\":", cfg.elephant_min,
+      ",\"elephant_max\":", cfg.elephant_max, ",\"rounds\":", cfg.rounds,
+      "},\"schedule\":[]}");
+}
+
+std::vector<std::string> machine_list(const Config& cfg) {
+  if (cfg.machine == "all") return {"mac", "policer", "lb"};
+  return {cfg.machine};
+}
+
+TrialResult run_trial(const Config& cfg, std::uint64_t trial_seed,
+                      std::string* error) {
+  TrialResult out;
+  for (const std::string& m : machine_list(cfg)) {
+    std::string err;
+    const auto spec = scenario::parse_scenario(spec_json(cfg, m, trial_seed),
+                                               &err);
+    if (!spec) {
+      *error = util::cat("machine ", m, ": ", err);
+      return out;
+    }
+    const scenario::ScenarioResult r = scenario::run_scenario(*spec);
+    MachineResult mr;
+    mr.machine = m;
+    mr.seed = trial_seed;
+    mr.ground_truth_ok = r.ground_truth_ok;
+    mr.detail = r.ground_truth_detail;
+    mr.sec = r.xfsm;
+    out.push_back(std::move(mr));
+  }
+  return out;
+}
+
+bool machine_ok(const MachineResult& m) {
+  return m.ground_truth_ok && m.sec.complete && m.sec.deliveries_ok &&
+         m.sec.states_ok && m.sec.counts_ok;
+}
+
+void write_output(std::ostream& os, const Config& cfg,
+                  const std::vector<TrialResult>& trials) {
+  {
+    obs::JsonObj o;
+    o.add("type", "xfsm_run")
+        .add("machine", cfg.machine)
+        .add("topology", cfg.topo)
+        .add("n", cfg.n)
+        .add("hosts", cfg.hosts)
+        .add("bucket", cfg.bucket)
+        .add("flip_after", cfg.flip_after)
+        .add("seed", cfg.seed)
+        .add("trials", cfg.trials);
+    os << o.str() << "\n";
+  }
+  bool all_ok = true;
+  std::uint64_t injected = 0, delivered = 0, dropped = 0, evictions = 0;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    for (const MachineResult& m : trials[i]) {
+      const obs::XfsmReportSection& x = m.sec;
+      obs::JsonObj o;
+      o.add("type", "trial")
+          .add("index", i)
+          .add("machine", m.machine)
+          .add("seed", m.seed)
+          .add("states", x.num_states)
+          .add("injected", x.injected)
+          .add("delivered", x.delivered)
+          .add("dropped", x.expected_drops)
+          .add("state_entries", x.state_entries)
+          .add("evictions", x.evictions)
+          .add("fragments", x.fragments)
+          .add("sweep_complete", x.complete)
+          .add("deliveries_ok", x.deliveries_ok)
+          .add("states_ok", x.states_ok)
+          .add("counts_ok", x.counts_ok);
+      if (m.machine == "mac")
+        o.add("converged", x.converged)
+            .add("flood_deliveries", x.flood_deliveries)
+            .add("settled_deliveries", x.settled_deliveries);
+      if (m.machine == "policer")
+        o.add("policer_in_bounds", x.policer_in_bounds)
+            .add("flows", x.flows)
+            .add("worst_excess", x.worst_excess);
+      if (m.machine == "lb") o.add("failover_ok", x.failover_ok);
+      o.add("ok", machine_ok(m)).add("detail", m.detail);
+      os << o.str() << "\n";
+      all_ok = all_ok && machine_ok(m);
+      injected += x.injected;
+      delivered += x.delivered;
+      dropped += x.expected_drops;
+      evictions += x.evictions;
+    }
+  }
+  obs::JsonObj o;
+  o.add("type", "xfsm_summary")
+      .add("trials", trials.size())
+      .add("injected", injected)
+      .add("delivered", delivered)
+      .add("dropped", dropped)
+      .add("evictions", evictions)
+      .add("all_ok", all_ok);
+  os << o.str() << "\n";
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: xfsm_run [--machine mac|policer|lb|all] [--topo KIND] [--n N]\n"
+      "                [--hosts H] [--bucket B] [--flip-after F]\n"
+      "                [--elephants E] [--mice M] [--rounds R] [--seed S]\n"
+      "                [--trials T] [--threads T] [--out FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int k = 1; k < argc; ++k) {
+    auto arg = [&](const char* name) {
+      return std::strcmp(argv[k], name) == 0 && k + 1 < argc;
+    };
+    if (arg("--machine")) {
+      cfg.machine = argv[++k];
+    } else if (arg("--topo")) {
+      cfg.topo = argv[++k];
+    } else if (arg("--n")) {
+      cfg.n = std::strtoull(argv[++k], nullptr, 10);
+    } else if (arg("--hosts")) {
+      cfg.hosts = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--bucket")) {
+      cfg.bucket = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--flip-after")) {
+      cfg.flip_after = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--elephants")) {
+      cfg.elephants = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--mice")) {
+      cfg.mice = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--elephant-min")) {
+      cfg.elephant_min = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--elephant-max")) {
+      cfg.elephant_max = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--rounds")) {
+      cfg.rounds = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--seed")) {
+      cfg.seed = std::strtoull(argv[++k], nullptr, 10);
+    } else if (arg("--trials")) {
+      cfg.trials = std::strtoull(argv[++k], nullptr, 10);
+    } else if (arg("--threads")) {
+      cfg.threads = static_cast<unsigned>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--out")) {
+      cfg.out_path = argv[++k];
+    } else {
+      return usage();
+    }
+  }
+  if (cfg.trials == 0 || cfg.hosts == 0) return usage();
+  if (cfg.machine != "all" && cfg.machine != "mac" && cfg.machine != "policer" &&
+      cfg.machine != "lb")
+    return usage();
+
+  // Validate the spec once up front so a bad topology/host combination is a
+  // usage error, not a pile of per-trial failures.
+  {
+    std::string err;
+    if (!scenario::parse_scenario(
+            spec_json(cfg, machine_list(cfg).front(), cfg.seed), &err)) {
+      std::fprintf(stderr, "xfsm_run: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  util::Rng seeder(cfg.seed);
+  std::vector<std::uint64_t> seeds(cfg.trials);
+  for (std::uint64_t& s : seeds) s = seeder.uniform(1, ~std::uint64_t{0} - 1);
+
+  std::vector<std::string> errors(cfg.trials);
+  std::vector<TrialResult> trials;
+  try {
+    trials = bench::parallel_sweep(
+        seeds,
+        [&](const std::uint64_t& s, std::size_t i) {
+          return run_trial(cfg, s, &errors[i]);
+        },
+        cfg.threads);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "xfsm_run: %s\n", ex.what());
+    return 2;
+  }
+  for (const std::string& e : errors)
+    if (!e.empty()) {
+      std::fprintf(stderr, "xfsm_run: %s\n", e.c_str());
+      return 2;
+    }
+
+  if (cfg.out_path.empty()) {
+    write_output(std::cout, cfg, trials);
+  } else {
+    std::ofstream os(cfg.out_path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "xfsm_run: cannot write %s\n", cfg.out_path.c_str());
+      return 2;
+    }
+    write_output(os, cfg, trials);
+  }
+
+  std::uint64_t ok = 0, total = 0;
+  for (const TrialResult& t : trials)
+    for (const MachineResult& m : t) {
+      ++total;
+      ok += machine_ok(m) ? 1 : 0;
+    }
+  std::fprintf(stderr, "xfsm_run: %llu/%llu machine run(s) ok\n",
+               static_cast<unsigned long long>(ok),
+               static_cast<unsigned long long>(total));
+  return ok == total ? 0 : 1;
+}
