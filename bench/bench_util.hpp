@@ -13,6 +13,7 @@
 
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
+#include "util/profile.hpp"
 #include "util/rng.hpp"
 
 namespace ss::bench {
@@ -29,6 +30,13 @@ class Metrics {
             ".metrics.jsonl";
     os_.open(path_, std::ios::trunc);
     if (!os_) std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+    // Self-describing first line: consumers check schema_version via
+    // obs::schema_version_of and warn (never crash) on newer files.
+    obs::JsonObj meta;
+    meta.add("type", "meta")
+        .add_u("schema_version", obs::kMetricsSchemaVersion)
+        .add("bench", name);
+    emit(meta);
   }
 
   void emit(const obs::JsonObj& o) {
@@ -49,6 +57,49 @@ class Metrics {
   std::string path_;
   std::ofstream os_;
 };
+
+/// Emit one {"type":"profile"} sidecar line per hot-path stage that
+/// recorded work (util::prof shards, folded by the caller with merge()).
+/// ns fields are wall-clock and live ONLY here — never in the
+/// determinism-gated BENCH_*.json documents.  The bucket arrays are the
+/// obs::Histogram log-bucket scheme (prof_bucket_lo lower bounds).
+inline void emit_stage_profile(Metrics& m, const util::prof::StageProfile& p) {
+  for (std::size_t s = 0; s < util::prof::kStageCount; ++s) {
+    const util::prof::StageCounters& c = p.stages[s];
+    if (c.ops == 0) continue;
+    obs::JsonObj o;
+    o.add("type", "profile")
+        .add_u("schema_version", obs::kMetricsSchemaVersion)
+        .add("stage",
+             util::prof::stage_name(static_cast<util::prof::Stage>(s)))
+        .add("ops", c.ops)
+        .add("ns_sum", c.ns_sum)
+        .add("ns_min", c.ns_min)
+        .add("ns_max", c.ns_max)
+        .add("ns_mean", c.ops != 0 ? double(c.ns_sum) / double(c.ops) : 0.0);
+    obs::JsonArr lo, cnt;
+    for (const auto& [bucket, count] : c.ns_buckets) {
+      lo.push(util::prof::prof_bucket_lo(bucket));
+      cnt.push(count);
+    }
+    o.add_raw("bucket_lo_ns", lo.str()).add_raw("bucket_count", cnt.str());
+    m.emit(o);
+  }
+}
+
+/// Companion stderr one-liner per stage (handy when eyeballing a run).
+inline void print_stage_profile(const util::prof::StageProfile& p) {
+  for (std::size_t s = 0; s < util::prof::kStageCount; ++s) {
+    const util::prof::StageCounters& c = p.stages[s];
+    if (c.ops == 0) continue;
+    std::fprintf(stderr, "profile: %-13s ops=%-10llu mean=%.0fns min=%llu max=%llu\n",
+                 util::prof::stage_name(static_cast<util::prof::Stage>(s)),
+                 static_cast<unsigned long long>(c.ops),
+                 double(c.ns_sum) / double(c.ops),
+                 static_cast<unsigned long long>(c.ns_min),
+                 static_cast<unsigned long long>(c.ns_max));
+  }
+}
 
 /// Every bench draws its randomness from ONE documented base seed so a run
 /// is reproducible and cross-bench comparable: $SS_SEED overrides

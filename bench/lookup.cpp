@@ -58,6 +58,8 @@ struct Row {
   double trav_linear_us = 0.0;
   double trav_indexed_us = 0.0;
   double trav_traced_us = 0.0;  // indexed + trace ring (arena-pooled entries)
+  // Per-worker self-profiling shard (folded after the sweep with merge()).
+  util::prof::StageProfile prof;
   double speedup() const {
     return indexed_ns > 0.0 ? linear_ns / indexed_ns : 0.0;
   }
@@ -210,6 +212,19 @@ Row measure_point(const std::string& topo, std::size_t n, int iters) {
       std::exit(1);
     }
   }
+
+  // Self-profiling pass: a separate armed traversal so the timed runs above
+  // stay unperturbed (an armed site pays two clock reads per op).  Ops
+  // counts are deterministic; only the nanoseconds are wall-clock, and they
+  // land solely in the metrics sidecar.
+  {
+    sim::Network net(g, 1, bench::bench_seed(1));
+    svc.install(net);
+    set_index_mode(net, true);
+    util::prof::StageProfile* prev = util::prof::set_thread_profile(&r.prof);
+    svc.run(net, 0);
+    util::prof::set_thread_profile(prev);
+  }
   return r;
 }
 
@@ -354,6 +369,12 @@ int main(int argc, char** argv) {
     m.add("indexed_ns", r.indexed_ns);
     metrics.emit(m);
   }
+
+  // Fold the per-point profiling shards and append them to the sidecar.
+  util::prof::StageProfile prof;
+  for (const Row& r : rows) prof.merge(r.prof);
+  bench::emit_stage_profile(metrics, prof);
+  bench::print_stage_profile(prof);
 
   if (!check_path.empty()) {
     const int rc = check_baseline(rows, check_path);

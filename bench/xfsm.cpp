@@ -52,6 +52,8 @@ struct Row {
   // Timing (informational):
   double policed_us = 0.0;
   double stateless_us = 0.0;
+  // Per-worker self-profiling shard (folded after the sweep with merge()).
+  util::prof::StageProfile prof;
   double meps(double us) const {
     return us > 0.0 ? double(packets) / us : 0.0;
   }
@@ -124,6 +126,18 @@ Row measure_point(std::uint32_t mice, std::uint32_t bucket) {
 
   r.policed_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
   r.stateless_us = std::chrono::duration<double, std::micro>(t3 - t2).count();
+
+  // Self-profiling pass: re-run the policed path and the bank read-out with
+  // the stage profiler armed, on a FRESH network, so the timed runs above
+  // stay unperturbed (an armed site pays two clock reads per op).
+  {
+    sim::Network net3(g, 1, bench::bench_seed(19));
+    svc.install(net3);
+    util::prof::StageProfile* prev = util::prof::set_thread_profile(&r.prof);
+    svc.pump_flows(net3, flows);
+    (void)svc.sweep(net3, 8);
+    util::prof::set_thread_profile(prev);
+  }
   return r;
 }
 
@@ -275,6 +289,12 @@ int main(int argc, char** argv) {
     m.add("stateless_us", r.stateless_us);
     metrics.emit(m);
   }
+
+  // Fold the per-point profiling shards and append them to the sidecar.
+  util::prof::StageProfile prof;
+  for (const Row& r : rows) prof.merge(r.prof);
+  bench::emit_stage_profile(metrics, prof);
+  bench::print_stage_profile(prof);
 
   if (!check_path.empty()) {
     const int rc = check_baseline(rows, check_path);

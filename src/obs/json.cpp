@@ -329,4 +329,8 @@ JsonlStats for_each_jsonl(std::istream& is,
   return st;
 }
 
+std::uint64_t schema_version_of(const JsonValue& v) {
+  return v.u64("schema_version", 0);
+}
+
 }  // namespace ss::obs

@@ -17,6 +17,12 @@
 
 namespace ss::obs {
 
+/// Version stamped on metrics sidecar records (*.metrics.jsonl "meta"
+/// lines).  Bump when sidecar field semantics change; for_each_jsonl
+/// consumers compare via schema_version_of and WARN on newer records
+/// instead of crashing — forward-written files stay readable.
+inline constexpr std::uint64_t kMetricsSchemaVersion = 1;
+
 /// Escape for embedding inside a JSON string literal (no surrounding quotes).
 std::string json_escape(std::string_view s);
 
@@ -103,5 +109,10 @@ struct JsonlStats {
 /// fatal — a half-written sidecar still yields every intact record.
 JsonlStats for_each_jsonl(std::istream& is,
                           const std::function<void(const JsonValue&)>& fn);
+
+/// The record's declared schema version; absent = 0 (legacy, pre-
+/// versioning, always accepted).  Consumers skip-and-warn on records newer
+/// than the version they were compiled against — never crash.
+std::uint64_t schema_version_of(const JsonValue& v);
 
 }  // namespace ss::obs

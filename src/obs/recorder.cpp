@@ -1,0 +1,396 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "ofp/dump.hpp"
+#include "util/strings.hpp"
+
+namespace ss::obs {
+
+namespace {
+
+/// Same spelling the timeline gives its faults, so fr_event labels and
+/// timeline fault labels grep identically.
+std::string describe_change(const sim::NetChange& c) {
+  using K = sim::NetChange::Kind;
+  switch (c.kind) {
+    case K::kLinkState:
+      return util::cat(c.flag ? "link_up" : "link_down", " edge=", c.edge);
+    case K::kBlackhole:
+      return util::cat(c.flag ? "blackhole_on" : "blackhole_off", " edge=", c.edge,
+                       c.both_dirs ? std::string{} : util::cat(" from=", c.sw));
+    case K::kLoss:
+      return util::cat("loss edge=", c.edge,
+                       c.both_dirs ? std::string{} : util::cat(" from=", c.sw),
+                       " rate=", c.rate);
+    case K::kSwitchState:
+      return util::cat(c.flag ? "switch_restore" : "switch_crash", " switch=", c.sw);
+    case K::kSwitchRestart:
+      return util::cat("switch_restart switch=", c.sw);
+    case K::kRuleCorrupt:
+      return util::cat("rule_corrupt switch=", c.sw, " salt=", c.salt);
+    case K::kHeaderCorrupt:
+      return util::cat("header_corrupt off=", c.hdr_off, " width=", c.hdr_width,
+                       " val=", c.hdr_val);
+    case K::kCallback:
+      return "callback";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Recorder::add_counter(std::string name, Sample fn) {
+  counters_[std::move(name)] = Probe{std::move(fn), 0};
+}
+
+void Recorder::add_gauge(std::string name, Sample fn) {
+  gauges_[std::move(name)] = Probe{std::move(fn), 0};
+}
+
+void Recorder::attach(sim::Network& net) {
+  if (attached_) throw std::logic_error("Recorder::attach called twice");
+  attached_ = true;
+  sim::Network* n = &net;
+
+  // sim::Stats cumulative counters.
+  add_counter("sim_sent", [n] { return n->stats().sent; });
+  add_counter("sim_delivered", [n] { return n->stats().delivered; });
+  add_counter("sim_dropped_down", [n] { return n->stats().dropped_down; });
+  add_counter("sim_dropped_blackhole", [n] { return n->stats().dropped_blackhole; });
+  add_counter("sim_dropped_loss", [n] { return n->stats().dropped_loss; });
+  add_counter("sim_controller_msgs", [n] { return n->stats().controller_msgs; });
+  add_counter("sim_packet_outs", [n] { return n->stats().packet_outs; });
+  add_counter("sim_events", [n] { return n->stats().events; });
+  add_counter("trace_dropped", [n] { return n->trace_dropped(); });
+
+  // Omniscient aggregate wire counters over every link, both directions —
+  // the per-window conservation invariant is checked on these deltas.
+  const auto wire_sum = [n](std::uint64_t sim::WireCounters::* field) {
+    std::uint64_t t = 0;
+    for (graph::EdgeId e = 0; e < n->link_count(); ++e)
+      for (const bool ab : {true, false}) t += n->link(e).wire(ab).*field;
+    return t;
+  };
+  add_counter("wire_sent", [wire_sum] { return wire_sum(&sim::WireCounters::sent); });
+  add_counter("wire_delivered",
+              [wire_sum] { return wire_sum(&sim::WireCounters::delivered); });
+  add_counter("wire_dropped_down",
+              [wire_sum] { return wire_sum(&sim::WireCounters::dropped_down); });
+  add_counter("wire_dropped_blackhole",
+              [wire_sum] { return wire_sum(&sim::WireCounters::dropped_blackhole); });
+  add_counter("wire_dropped_loss",
+              [wire_sum] { return wire_sum(&sim::WireCounters::dropped_loss); });
+
+  // Switch-side aggregates: rule hits, group executions, port counters.
+  add_counter("flow_packets", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v)
+      for (const ofp::FlowTable& ft : n->sw(v).tables())
+        for (const ofp::FlowEntry& e : ft.entries()) t += e.hit_count;
+    return t;
+  });
+  add_counter("group_execs", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v)
+      n->sw(v).groups().for_each([&](const ofp::Group& g) { t += g.exec_count; });
+    return t;
+  });
+  add_counter("port_rx_packets", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v) {
+      const ofp::Switch& sw = n->sw(v);
+      for (ofp::PortNo p = 1; p <= sw.num_ports(); ++p)
+        if (sw.port_exists(p)) t += sw.port(p).rx_packets;
+    }
+    return t;
+  });
+  add_counter("port_tx_packets", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v) {
+      const ofp::Switch& sw = n->sw(v);
+      for (ofp::PortNo p = 1; p <= sw.num_ports(); ++p)
+        if (sw.port_exists(p)) t += sw.port(p).tx_packets;
+    }
+    return t;
+  });
+  add_counter("port_tx_dropped", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v) {
+      const ofp::Switch& sw = n->sw(v);
+      for (ofp::PortNo p = 1; p <= sw.num_ports(); ++p)
+        if (sw.port_exists(p)) t += sw.port(p).tx_dropped;
+    }
+    return t;
+  });
+
+  // StateTable telemetry (XFSM substrate): occupancy gauge + churn counters.
+  add_counter("state_insertions", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v)
+      t += n->sw(v).state().insertions();
+    return t;
+  });
+  add_counter("state_evictions", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v)
+      t += n->sw(v).state().evictions();
+    return t;
+  });
+  add_counter("state_hits", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v)
+      t += n->sw(v).state().hits();
+    return t;
+  });
+  add_counter("state_misses", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v)
+      t += n->sw(v).state().misses();
+    return t;
+  });
+  add_gauge("state_entries", [n] {
+    std::uint64_t t = 0;
+    for (ofp::SwitchId v = 0; v < n->switch_count(); ++v)
+      t += n->sw(v).state().size();
+    return t;
+  });
+
+  // Event-queue depth gauges (the "is the run still breathing" signals).
+  add_gauge("pending_arrivals", [n] { return n->pending_arrivals(); });
+  add_gauge("pending_changes", [n] { return n->pending_changes(); });
+  add_gauge("trace_len", [n] { return n->trace().size(); });
+
+  net.set_tick_hook(cfg_.window_events,
+                    [this](sim::Network& nn, sim::Time t) { cut_window(nn, t); });
+}
+
+void Recorder::on_change(sim::Time t, const sim::NetChange& c) {
+  using K = sim::NetChange::Kind;
+  if (c.kind == K::kCallback) return;  // watchdog machinery, not a fault
+  flight_.push_back({t, window_, describe_change(c)});
+  while (flight_.size() > cfg_.last_k) flight_.pop_front();
+  // Header corruption hits in-flight packets, not a switch — no suspect.
+  if (c.kind == K::kRuleCorrupt || c.kind == K::kSwitchRestart ||
+      (c.kind == K::kSwitchState && !c.flag))
+    suspects_.insert(c.sw);
+}
+
+void Recorder::note_sweep(bool ok, const std::string& label) {
+  if (!ok) pending_.emplace_back("sketch_bound", label);
+}
+
+void Recorder::set_schedule(std::vector<std::pair<sim::Time, std::string>> sched) {
+  schedule_ = std::move(sched);
+}
+
+void Recorder::alert(const std::string& kind, const std::string& detail) {
+  pending_.emplace_back(kind, detail);
+}
+
+void Recorder::raise(sim::Time t, const std::string& kind, const std::string& detail) {
+  JsonObj a;
+  a.add("type", "alert")
+      .add_u("schema_version", kStreamSchemaVersion)
+      .add_u("window", window_)
+      .add_u("time", t)
+      .add("kind", kind)
+      .add("detail", detail);
+  out_ += a.str();
+  out_ += "\n";
+  ++alerts_total_;
+}
+
+void Recorder::cut_window(sim::Network& net, sim::Time now) {
+  // 1. Sample every probe; counters yield window deltas (and a regression
+  //    check), gauges yield instantaneous values.
+  std::map<std::string, std::uint64_t> delta;
+  std::vector<std::pair<std::string, std::string>> alerts = std::move(pending_);
+  pending_.clear();
+  for (auto& [name, p] : counters_) {
+    const std::uint64_t cur = p.fn();
+    if (cur < p.last)
+      alerts.emplace_back("counter_regression",
+                          util::cat(name, " regressed ", p.last, " -> ", cur));
+    delta[name] = cur - p.last;  // wraps on regression; the alert is the signal
+    p.last = cur;
+  }
+
+  // 2. Per-window wire conservation: Link::try_cross bumps `sent` and
+  //    exactly one outcome counter in the same call, so the aggregate
+  //    deltas must balance exactly at ANY sampling instant.
+  const std::uint64_t accounted = delta["wire_delivered"] + delta["wire_dropped_down"] +
+                                  delta["wire_dropped_blackhole"] +
+                                  delta["wire_dropped_loss"];
+  if (delta["wire_sent"] != accounted)
+    alerts.emplace_back("wire_conservation",
+                        util::cat("window sent=", delta["wire_sent"],
+                                  " accounted=", accounted));
+
+  // 3. Emit the window record, then its alerts.
+  JsonObj counters;
+  for (const auto& [name, d] : delta) counters.add_u(name, d);
+  JsonObj gauges;
+  for (auto& [name, p] : gauges_) gauges.add_u(name, p.fn());
+  JsonObj w;
+  w.add("type", "window")
+      .add_u("schema_version", kStreamSchemaVersion)
+      .add_u("window", window_)
+      .add_u("t_start", window_start_)
+      .add_u("t_end", now)
+      .add_u("events", delta["sim_events"])
+      .add_raw("counters", counters.str())
+      .add_raw("gauges", gauges.str())
+      .add_u("alerts", alerts.size());
+  last_window_json_ = w.str();
+  out_ += last_window_json_;
+  out_ += "\n";
+  for (const auto& [kind, detail] : alerts) raise(now, kind, detail);
+  if (alerts_total_ > 0 && trip_window_json_.empty()) {
+    trip_window_json_ = last_window_json_;
+    trip_time_ = now;
+  }
+
+  ++window_;
+  window_start_ = now;
+  events_at_cut_ = net.stats().events;
+}
+
+void Recorder::finish(sim::Network& net, bool failed) {
+  if (finished_) return;
+  finished_ = true;
+  // Final partial window (captures the tail the modulo never reached).
+  if (net.stats().events > events_at_cut_ || !pending_.empty() || window_ == 0)
+    cut_window(net, net.now());
+  JsonObj s;
+  s.add("type", "summary")
+      .add_u("schema_version", kStreamSchemaVersion)
+      .add_u("windows", window_)
+      .add_u("alerts", alerts_total_)
+      .add_u("events", net.stats().events)
+      .add("failed", failed);
+  out_ += s.str();
+  out_ += "\n";
+  if (failed || alerts_total_ > 0) make_bundle(net, failed);
+}
+
+void Recorder::make_bundle(sim::Network& net, bool failed) {
+  if (trip_window_json_.empty()) {
+    // Failure without an online alert (e.g. hardened-run verdict): the
+    // final window is the best available snapshot of the divergence.
+    trip_window_json_ = last_window_json_;
+    trip_time_ = net.now();
+  }
+  JsonObj h;
+  h.add("type", "bundle_header")
+      .add_u("schema_version", kStreamSchemaVersion)
+      .add_u("windows", window_)
+      .add_u("alerts", alerts_total_)
+      .add("failed", failed)
+      .add_u("trip_time", trip_time_)
+      .add_u("fr_events", flight_.size())
+      .add_u("suspects", suspects_.size());
+  bundle_ += h.str();
+  bundle_ += "\n";
+
+  // Last-K applied fault events, oldest first.
+  for (const FlightEvent& fe : flight_) {
+    JsonObj e;
+    e.add("type", "fr_event")
+        .add_u("schema_version", kStreamSchemaVersion)
+        .add_u("time", fe.time)
+        .add_u("window", fe.window)
+        .add("label", fe.label);
+    bundle_ += e.str();
+    bundle_ += "\n";
+  }
+
+  // Probe snapshot of the window that tripped (verbatim window record).
+  if (!trip_window_json_.empty()) {
+    JsonObj w;
+    w.add("type", "fr_window")
+        .add_u("schema_version", kStreamSchemaVersion)
+        .add_raw("window", trip_window_json_);
+    bundle_ += w.str();
+    bundle_ += "\n";
+  }
+
+  // Offending switches: full installed-state dumps, operator-readable.
+  for (ofp::SwitchId sw : suspects_) {
+    JsonObj d;
+    d.add("type", "fr_switch")
+        .add_u("schema_version", kStreamSchemaVersion)
+        .add_u("switch", sw)
+        .add("up", net.switch_up(sw))
+        .add_u("flow_entries", net.sw(sw).total_flow_entries())
+        .add_u("groups", net.sw(sw).groups().size())
+        .add("dump", ofp::dump_switch(net.sw(sw)));
+    bundle_ += d.str();
+    bundle_ += "\n";
+  }
+
+  // Fault-schedule slice around the trip point (what was PLANNED near the
+  // divergence, as opposed to the flight ring's what was APPLIED).
+  if (!schedule_.empty()) {
+    std::size_t pivot = 0;
+    while (pivot < schedule_.size() && schedule_[pivot].first < trip_time_) ++pivot;
+    const std::size_t half = cfg_.schedule_slice / 2;
+    const std::size_t lo = pivot > half ? pivot - half : 0;
+    const std::size_t hi = std::min(schedule_.size(), lo + cfg_.schedule_slice);
+    for (std::size_t k = lo; k < hi; ++k) {
+      JsonObj e;
+      e.add("type", "fr_schedule")
+          .add_u("schema_version", kStreamSchemaVersion)
+          .add_u("time", schedule_[k].first)
+          .add("label", schedule_[k].second)
+          .add("applied", schedule_[k].first <= net.now());
+      bundle_ += e.str();
+      bundle_ += "\n";
+    }
+  }
+
+  // Tail of the attributed trace, as standard "hop" lines (the same schema
+  // obs_report --trace and hop_from_json_line consume).
+  const std::deque<sim::TraceEntry>& tr = net.trace();
+  const std::size_t start = tr.size() > cfg_.trace_tail ? tr.size() - cfg_.trace_tail : 0;
+  for (std::size_t k = start; k < tr.size(); ++k) {
+    bundle_ += hop_json(tr[k]);
+    bundle_ += "\n";
+  }
+}
+
+StreamStats read_stream(std::istream& is, std::ostream* warn) {
+  StreamStats st;
+  bool warned = false;
+  st.jsonl = for_each_jsonl(is, [&](const JsonValue& v) {
+    const std::uint64_t ver = v.u64("schema_version", 0);
+    if (ver > kStreamSchemaVersion) {
+      ++st.unknown_schema;
+      if (warn != nullptr && !warned) {
+        *warn << "warning: stream schema_version " << ver << " is newer than this "
+              << "build (knows " << kStreamSchemaVersion << "); skipping such lines\n";
+        warned = true;
+      }
+      return;
+    }
+    const std::string type = v.str("type");
+    if (type == "window") {
+      ++st.windows;
+    } else if (type == "alert") {
+      ++st.alerts;
+    } else if (type == "summary") {
+      ++st.summaries;
+      st.summary_alerts = v.u64("alerts", 0);
+      st.failed = v.boolean_or("failed", false);
+    } else {
+      ++st.other;
+    }
+  });
+  return st;
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,162 @@
+#pragma once
+// Flight recorder & streaming observability (the "black box" of a run).
+//
+// A Recorder rides inside one episode/trial of any long-running driver and
+// produces two deterministic JSONL artifacts:
+//
+//   * a WINDOW STREAM — every `window_events` simulator events the tick
+//     hook cuts a sampling window: each registered counter probe is read,
+//     its delta over the window computed (with a monotonicity check), each
+//     gauge probe is read instantaneously, and one self-describing
+//     {"type":"window",...} line is appended.  Per-window invariants (wire
+//     conservation of the aggregate link counters, counter monotonicity,
+//     sketch-sweep verdicts) are evaluated ONLINE at every cut; a breach
+//     appends an {"type":"alert",...} line immediately after the window
+//     that tripped it.
+//
+//   * a POST-MORTEM BUNDLE — when the run failed (hardened-run verdict,
+//     ground-truth mismatch, timeline violations) or any online alert
+//     fired, finish() assembles a flight-recorder bundle: the last-K
+//     applied fault events, the probe snapshot of the window that tripped,
+//     a full ofp::dump_switch of every suspect switch, the fault-schedule
+//     slice around the trip point, and the tail of the attributed trace as
+//     standard "hop" lines (consumable by tools/obs_report --trace-style
+//     inspection and hop_from_json_line).
+//
+// Everything is buffered into strings (stream() / bundle()); the drivers
+// write buffers to disk in episode order AFTER their parallel sweep, which
+// is what makes streamed output byte-identical at any thread count.  No
+// wall-clock value is ever emitted.
+//
+// Layering: obs depends on sim/ofp/core (recovery probes are registered by
+// the scenario runner, which owns the RecoveryService), never the reverse.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/network.hpp"
+
+namespace ss::obs {
+
+/// Version stamped on every window-stream and bundle line.  Bump when a
+/// record's fields change meaning; consumers accept <= this and warn (never
+/// crash) on anything newer.
+inline constexpr std::uint64_t kStreamSchemaVersion = 1;
+
+struct RecorderConfig {
+  std::uint64_t window_events = 256;  // simulator events per sampling window
+  std::size_t last_k = 32;            // flight-ring depth (fr_event lines)
+  std::size_t trace_tail = 16;        // trailing hop lines in a bundle
+  std::size_t schedule_slice = 16;    // fault-schedule entries around the trip
+};
+
+class Recorder {
+ public:
+  using Sample = std::function<std::uint64_t()>;
+
+  explicit Recorder(RecorderConfig cfg = {}) : cfg_(cfg) {}
+
+  // --- probe registry (sorted by name; names are the stream's schema) ---
+  /// A counter probe is cumulative and monotone; windows report its DELTA
+  /// and a regression raises a counter_regression alert.
+  void add_counter(std::string name, Sample fn);
+  /// A gauge probe is instantaneous; windows report its value as-is.
+  void add_gauge(std::string name, Sample fn);
+
+  /// Register the standard probe set over `net` (sim stats, aggregate
+  /// wire/flow/group/port/state-table counters, queue-depth gauges) and
+  /// install the event-count tick hook that cuts windows.  Call once,
+  /// after the scenario installed its rules and before net.run().
+  void attach(sim::Network& net);
+
+  /// Feed one applied scheduled change (wire this into the same change
+  /// hook the timeline uses).  Faults land in the last-K flight ring;
+  /// corruption-class faults also mark their switch as a suspect.
+  void on_change(sim::Time t, const sim::NetChange& c);
+
+  /// Telemetry sweep verdict (top-K / XFSM decode): ok=false queues a
+  /// sketch_bound alert attributed to the next window cut.
+  void note_sweep(bool ok, const std::string& label);
+
+  /// The episode's fault plan, for the bundle's schedule slice.
+  void set_schedule(std::vector<std::pair<sim::Time, std::string>> sched);
+
+  /// Raise an alert explicitly (the runner files timeline violations here).
+  void alert(const std::string& kind, const std::string& detail);
+
+  /// Cut a window NOW (the tick hook calls this; exposed for tests).
+  void cut_window(sim::Network& net, sim::Time now);
+
+  /// Final partial window + {"type":"summary"} line; when `failed` or any
+  /// alert fired, also assembles the post-mortem bundle.  Call exactly
+  /// once, after the run (and after filing timeline violations).
+  void finish(sim::Network& net, bool failed);
+
+  const std::string& stream() const { return out_; }
+  const std::string& bundle() const { return bundle_; }
+  bool bundled() const { return !bundle_.empty(); }
+  std::uint64_t windows() const { return window_; }
+  std::uint64_t alert_count() const { return alerts_total_; }
+
+ private:
+  struct Probe {
+    Sample fn;
+    std::uint64_t last = 0;
+  };
+  struct FlightEvent {
+    sim::Time time = 0;
+    std::uint64_t window = 0;
+    std::string label;
+  };
+
+  void raise(sim::Time t, const std::string& kind, const std::string& detail);
+  void make_bundle(sim::Network& net, bool failed);
+
+  RecorderConfig cfg_;
+  std::map<std::string, Probe> counters_;
+  std::map<std::string, Probe> gauges_;
+  std::vector<std::pair<sim::Time, std::string>> schedule_;
+
+  std::deque<FlightEvent> flight_;       // last-K applied fault events
+  std::set<ofp::SwitchId> suspects_;     // corruption/restart victims
+  std::vector<std::pair<std::string, std::string>> pending_;  // queued alerts
+
+  std::string out_;
+  std::string bundle_;
+  std::uint64_t window_ = 0;
+  sim::Time window_start_ = 0;
+  std::uint64_t events_at_cut_ = 0;
+  std::uint64_t alerts_total_ = 0;
+  std::string trip_window_json_;  // probe snapshot of the first alerting window
+  sim::Time trip_time_ = 0;
+  std::string last_window_json_;
+  bool attached_ = false;
+  bool finished_ = false;
+};
+
+/// Tally of one pass over a window stream (obs_report --follow, tests).
+struct StreamStats {
+  std::uint64_t windows = 0;
+  std::uint64_t alerts = 0;          // alert LINES seen
+  std::uint64_t summaries = 0;
+  std::uint64_t unknown_schema = 0;  // lines newer than kStreamSchemaVersion
+  std::uint64_t other = 0;           // recognized-version lines of other types
+  std::uint64_t summary_alerts = 0;  // "alerts" field of the last summary
+  bool failed = false;               // "failed" field of the last summary
+  JsonlStats jsonl;
+};
+
+/// Read a window stream, warning (to `warn`, when given) on records whose
+/// schema_version is newer than this build — never crashing, matching the
+/// for_each_jsonl skip-and-count contract for malformed lines.
+StreamStats read_stream(std::istream& is, std::ostream* warn = nullptr);
+
+}  // namespace ss::obs

@@ -224,6 +224,9 @@ void write_prom_snapshot(std::ostream& os, const RunHeader& h, const Timeline& t
   }
   os << "ss_hops_total{" << run << "} " << tl.hop_count() << "\n";
   os << "ss_trace_evicted_total{" << run << "} " << tl.trace_dropped() << "\n";
+  // Preferred spelling going forward (same value): the trace RING evicted
+  // these hops, i.e. the recorder dropped history, not the wire.
+  os << "ss_trace_dropped_total{" << run << "} " << tl.trace_dropped() << "\n";
 
   const sim::WireCounters& w = tl.wire_totals();
   os << "ss_wire_sent_total{" << run << "} " << w.sent << "\n";

@@ -7,6 +7,7 @@
 
 #include "core/eth_types.hpp"
 #include "core/topk_labels.hpp"
+#include "util/profile.hpp"
 
 namespace ss::obs {
 
@@ -129,6 +130,10 @@ TopkResult TopkService::sweep(sim::Network& net, NodeId root) {
   net.run();
 
   TopkResult res;
+  // Decode phase (everything after the traversal drained) is one profiled
+  // sweep-decode op: label collection, CRT reconstruction, candidate
+  // recovery, and peeling.
+  util::prof::ScopedTimer pt(util::prof::Stage::kSweepDecode);
 
   // Collect fragment labels per reporter (out-of-band, or in-band at the
   // collector's LOCAL port).

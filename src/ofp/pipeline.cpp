@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/log.hpp"
+#include "util/profile.hpp"
 
 namespace ss::ofp {
 
@@ -26,7 +27,10 @@ void Pipeline::run_into(PipelineResult& out, Packet pkt, PortNo in_port) const {
   while (table < tables_->size()) {
     if (++out.tables_visited > kMaxTables)
       throw std::runtime_error("Pipeline: table walk exceeded bound");
-    const FlowEntry* entry = (*tables_)[table].lookup(pkt, in_port);
+    const FlowEntry* entry = [&] {
+      util::prof::ScopedTimer pt(util::prof::Stage::kFlowDispatch);
+      return (*tables_)[table].lookup(pkt, in_port);
+    }();
     if (entry == nullptr) break;  // table miss => drop
     out.matched.push_back({static_cast<TableId>(table), entry});
     util::log_trace("pipeline t", table, " hit '", entry->name, "' match{",
@@ -91,6 +95,7 @@ void Pipeline::apply_actions(const ActionList& actions, Packet& pkt, PortNo in_p
           } else if constexpr (std::is_same_v<T, ActLoadState>) {
             if (state_ == nullptr)
               throw std::logic_error("Pipeline: load_state without a state table");
+            util::prof::ScopedTimer pt(util::prof::Stage::kStateLookup);
             pkt.tag.ensure(v.key_offset + v.key_width);
             pkt.tag.ensure(v.dst_offset + v.dst_width);
             const auto found = state_->lookup(pkt.tag.get(v.key_offset, v.key_width));
@@ -98,6 +103,7 @@ void Pipeline::apply_actions(const ActionList& actions, Packet& pkt, PortNo in_p
           } else if constexpr (std::is_same_v<T, ActStoreState>) {
             if (state_ == nullptr)
               throw std::logic_error("Pipeline: store_state without a state table");
+            util::prof::ScopedTimer pt(util::prof::Stage::kStateStore);
             pkt.tag.ensure(v.key_offset + v.key_width);
             pkt.tag.ensure(v.src_offset + v.src_width);
             state_->store(pkt.tag.get(v.key_offset, v.key_width),
@@ -112,6 +118,7 @@ void Pipeline::apply_actions(const ActionList& actions, Packet& pkt, PortNo in_p
 
 void Pipeline::exec_group(GroupId gid, Packet& pkt, PortNo in_port,
                           PipelineResult& out, bool& stop, std::uint32_t depth) const {
+  util::prof::ScopedTimer pt(util::prof::Stage::kGroupExec);
   if (depth >= kMaxGroupDepth)
     throw std::logic_error("Pipeline: group chain too deep (cycle?)");
   Group& g = groups_->at(gid);

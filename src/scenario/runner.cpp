@@ -104,17 +104,24 @@ graph::EdgeAlive alive_at(const ScenarioSpec& spec, sim::Time t) {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
-  return run_scenario(spec, nullptr);
+  return run_scenario(spec, nullptr, nullptr);
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
+  return run_scenario(spec, timeline, nullptr);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline,
+                            obs::Recorder* recorder) {
   ScenarioResult r;
   sim::Network net(spec.graph, spec.link_delay, spec.seed);
   const bool hardened = spec.retry.has_value();
-  if (timeline != nullptr) net.set_trace(true);
+  if (timeline != nullptr || recorder != nullptr)
+    net.set_trace(true);  // recorder bundles need the hop tail too
 
   sim::Stats last{};
   net.set_change_hook([&](sim::Time t, const sim::NetChange& c) {
+    if (recorder != nullptr) recorder->on_change(t, c);
     if (c.kind == sim::NetChange::Kind::kCallback) return;  // watchdogs, not faults
     if (timeline != nullptr) timeline->add_change(t, c, net.stats());
     TimelineEntry te;
@@ -124,6 +131,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
     last = net.stats();
     r.timeline.push_back(std::move(te));
   });
+  if (recorder != nullptr) {
+    std::vector<std::pair<sim::Time, std::string>> plan;
+    plan.reserve(spec.schedule.size());
+    for (const FaultEvent& ev : spec.schedule) plan.emplace_back(ev.at, describe(ev));
+    recorder->set_schedule(std::move(plan));
+    recorder->attach(net);
+  }
   apply_schedule(net, spec.schedule);
 
   // The service's tag layout, copied out of whichever branch ran so the
@@ -151,6 +165,35 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
     if (!spec.recovery) return;
     rec.emplace(spec.graph, L, C, *spec.recovery);
     rec->arm(net);
+    if (recorder != nullptr) {
+      // Latching probes: finish_recovery() releases the service before the
+      // recorder's final cut, so each probe keeps reporting the last value
+      // it observed while the service was alive (counters stay monotone).
+      auto latch = [&rec](std::uint64_t core::RecoveryStats::* f) {
+        return [&rec, f, v = std::uint64_t{0}]() mutable {
+          if (rec) v = rec->stats().*f;
+          return v;
+        };
+      };
+      recorder->add_counter("recovery_cycles", latch(&core::RecoveryStats::cycles));
+      recorder->add_counter("recovery_divergences",
+                            latch(&core::RecoveryStats::divergences));
+      recorder->add_counter("recovery_repairs",
+                            latch(&core::RecoveryStats::repairs));
+      recorder->add_counter("recovery_quarantines",
+                            latch(&core::RecoveryStats::quarantines));
+      recorder->add_counter("recovery_flow_mods",
+                            latch(&core::RecoveryStats::flow_mods));
+      recorder->add_gauge(
+          "recovery_unhealthy", [&rec, &spec, v = std::uint64_t{0}]() mutable {
+            if (rec) {
+              v = 0;
+              for (NodeId u = 0; u < spec.graph.node_count(); ++u)
+                if (rec->health(u) != core::SwitchHealth::kHealthy) ++v;
+            }
+            return v;
+          });
+    }
   };
   auto finish_recovery = [&] {
     if (!rec) return;
@@ -284,6 +327,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
     svc.install(net);
     layout.emplace(svc.layout());
     arm_recovery(svc.layout(), svc.compiler());
+    if (recorder != nullptr) {
+      // Sketch cell fill: count-min cells are compiled to flow rules on the
+      // sketch hosts, so "cells touched" = rules with nonzero hit counters.
+      recorder->add_gauge("sketch_cells_hit", [&net, hosts = tp.sketches] {
+        std::uint64_t t = 0;
+        for (NodeId h : hosts)
+          for (const ofp::FlowTable& ft : net.sw(h).tables())
+            for (const ofp::FlowEntry& e : ft.entries())
+              t += e.hit_count > 0 ? 1 : 0;
+        return t;
+      });
+    }
 
     sim::FlowWorkloadConfig fc;
     fc.seed = spec.seed;
@@ -354,6 +409,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
                     static_cast<std::uint64_t>(val.recall * 100 + 0.5),
                     "% max_over=", val.max_overestimate, " allowed=",
                     val.worst_allowed));
+    if (recorder != nullptr)
+      recorder->note_sweep(sketch_ok,
+                           util::cat("topk sweep: k=", tp.k, " bounds=",
+                                     sketch_ok ? "ok" : "broken"));
   } else if (spec.service == "xfsm") {
     const XfsmSpec& xs = spec.xfsm;
     const graph::PortNo deg = spec.graph.degree(xs.host_nodes.front());
@@ -520,6 +579,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
           util::cat("xfsm sweep: machine=", xs.machine, " injected=",
                     val.injected, " delivered=", val.delivered,
                     " entries=", val.state_entries));
+    if (recorder != nullptr)
+      recorder->note_sweep(val.ok() && machine_ok,
+                           util::cat("xfsm sweep: machine=", xs.machine, " ",
+                                     machine_detail));
   } else {  // critical
     core::CriticalNodeService svc(spec.graph, {}, hardened, spec.header_guard,
                                   extras);
@@ -575,6 +638,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
     timeline->ingest_trace(net, std::move(epoch_of), core::kEthTraversal);
     if (r.complete) timeline->set_verdict(r.verdict_at, r.verdict);
     timeline->finalize(net);
+  }
+
+  if (recorder != nullptr) {
+    // File the post-run timeline invariants as stream alerts, then close
+    // the flight recorder: the bundle triggers on any alert OR a failed
+    // run verdict (ground truth / hardened exhaustion / dirty final audit).
+    if (timeline != nullptr)
+      for (const obs::InvariantViolation& v : timeline->violations())
+        recorder->alert(obs::invariant_kind_name(v.kind), v.detail);
+    const bool run_failed = !r.ground_truth_ok ||
+                            (r.recovery_enabled && !r.final_audit_clean) ||
+                            (timeline != nullptr && !timeline->violations().empty());
+    recorder->finish(net, run_failed);
   }
 
   const ExpectSpec& ex = spec.expect;

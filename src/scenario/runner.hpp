@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "obs/timeline.hpp"
 #include "scenario/spec.hpp"
@@ -90,6 +91,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 /// finalized (invariants checked) before returning.  `timeline` must be
 /// fresh and must not outlive `spec` (it keeps a pointer to spec.graph).
 ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline);
+
+/// Same again, plus a flight recorder: the recorder is attached to the
+/// network (standard probes + windowed tick hook), fed every applied fault
+/// and the spec's fault plan, given sweep verdicts and recovery-service
+/// probes, and finished (final window, summary, post-mortem bundle on
+/// failure or alert) after the timeline is finalized.  Both observers are
+/// optional and independent; pass nullptr to skip either.
+ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline,
+                            obs::Recorder* recorder);
 
 /// Emit the deterministic JSONL result stream: one "scenario" header line,
 /// one "scenario_event" line per applied fault, one "scenario_result" line.

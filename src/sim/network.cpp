@@ -383,6 +383,10 @@ void Network::apply_change(Time t, NetChange& c) {
 }
 
 void Network::run(std::uint64_t max_events) {
+  const auto tick = [&] {
+    if (tick_every_ != 0 && tick_hook_ && stats_.events % tick_every_ == 0)
+      tick_hook_(*this, now_);
+  };
   while (!queue_.empty() || !changes_.empty()) {
     if (++stats_.events > max_events)
       throw std::runtime_error("Network::run: event budget exceeded (rule loop?)");
@@ -397,6 +401,7 @@ void Network::run(std::uint64_t max_events) {
       changes_.erase(it);
       now_ = std::max(now_, t);
       apply_change(now_, c);
+      tick();
       continue;
     }
     if (queue_.empty()) break;
@@ -404,6 +409,7 @@ void Network::run(std::uint64_t max_events) {
     now_ = a.time;
     sw(a.sw).receive_into(pipe_scratch_, std::move(a.packet), a.port);
     process_emissions(a.sw, pipe_scratch_);
+    tick();
   }
 }
 

@@ -221,6 +221,17 @@ class Network {
     change_hook_ = std::move(hook);
   }
 
+  /// Invoke `fn(net, now)` from inside run() every `every` processed events
+  /// (0 disables).  Unlike a re-arming kCallback, the hook lives outside the
+  /// change queue, so it cannot keep the event loop alive on its own and it
+  /// keeps firing across multiple run() calls.  The observability recorder
+  /// uses this to cut sampling windows on event-count boundaries, which is
+  /// what makes streamed windows deterministic across thread counts.
+  void set_tick_hook(std::uint64_t every, std::function<void(Network&, Time)> fn) {
+    tick_every_ = every;
+    tick_hook_ = std::move(fn);
+  }
+
   /// Controller packet-out: run `pkt` through `at`'s pipeline (counted as
   /// one out-of-band message), scheduling any resulting transmissions.
   void packet_out(ofp::SwitchId at, ofp::Packet pkt);
@@ -330,6 +341,8 @@ class Network {
   std::vector<bool> sw_up_;
   std::vector<bool> link_admin_up_;
   std::function<void(Time, const NetChange&)> change_hook_;
+  std::uint64_t tick_every_ = 0;
+  std::function<void(Network&, Time)> tick_hook_;
   std::uint64_t seq_ = 0;
   Time now_ = 0;
   Stats stats_;

@@ -1,0 +1,64 @@
+#include "util/profile.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ss::util::prof {
+
+namespace {
+constexpr std::uint32_t kSubBits = 4;  // matches obs::Histogram::kSubBits
+thread_local StageProfile* tl_profile = nullptr;
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kFlowDispatch: return "flow_dispatch";
+    case Stage::kStateLookup: return "state_lookup";
+    case Stage::kStateStore: return "state_store";
+    case Stage::kGroupExec: return "group_exec";
+    case Stage::kSweepDecode: return "sweep_decode";
+  }
+  return "?";
+}
+
+std::uint32_t prof_bucket_of(std::uint64_t v) {
+  if (v < (std::uint64_t{1} << (kSubBits + 1))) return static_cast<std::uint32_t>(v);
+  const std::uint32_t b = std::bit_width(v) - 1;
+  return (b - kSubBits) * (1u << kSubBits) +
+         static_cast<std::uint32_t>(v >> (b - kSubBits));
+}
+
+std::uint64_t prof_bucket_lo(std::uint32_t idx) {
+  if (idx < (1u << (kSubBits + 1))) return idx;
+  const std::uint32_t shift = idx / (1u << kSubBits) - 1;
+  const std::uint64_t base = idx % (1u << kSubBits) + (1u << kSubBits);
+  return base << shift;
+}
+
+void StageCounters::merge(const StageCounters& o) {
+  ops += o.ops;
+  ns_sum += o.ns_sum;
+  ns_min = std::min(ns_min, o.ns_min);
+  ns_max = std::max(ns_max, o.ns_max);
+  for (const auto& [idx, n] : o.ns_buckets) ns_buckets[idx] += n;
+}
+
+void StageProfile::merge(const StageProfile& o) {
+  for (std::size_t k = 0; k < kStageCount; ++k) stages[k].merge(o.stages[k]);
+}
+
+std::uint64_t StageProfile::total_ops() const {
+  std::uint64_t t = 0;
+  for (const StageCounters& c : stages) t += c.ops;
+  return t;
+}
+
+StageProfile* set_thread_profile(StageProfile* p) {
+  StageProfile* prev = tl_profile;
+  tl_profile = p;
+  return prev;
+}
+
+StageProfile* thread_profile() { return tl_profile; }
+
+}  // namespace ss::util::prof

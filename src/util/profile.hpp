@@ -1,0 +1,105 @@
+#pragma once
+// Hot-path self-profiling: per-stage op counts and nanosecond timings for
+// the pipeline's inner loops (flow-table dispatch, state-table lookup /
+// store, group execution, sweep decode).  Lives in util/ — below ofp/ —
+// because the instrumentation sites are the ofp pipeline itself and the
+// obs decoders, and obs already depends on ofp.
+//
+// Collection model: a thread_local `StageProfile*` slot (set_thread_profile)
+// that the instrumented sites consult.  When the slot is null — the default
+// everywhere — each site costs one thread-local load and a predictable
+// branch, so the simulator's deterministic outputs (hops, events, counters)
+// are IDENTICAL with and without a profile attached; only wall-clock moves,
+// and only when profiling is armed.  bench::parallel_sweep workers each arm
+// their own shard and the shards fold with merge() (plain addition,
+// commutative), matching the repo-wide mergeable-telemetry contract.
+//
+// Timings use the same integer log-bucket scheme as obs::Histogram
+// (kSubBits sub-buckets per power of two) so obs can lift a shard into its
+// JSONL histogram serialization without re-quantizing.  Ops counts are
+// deterministic; nanoseconds are wall-clock and are only ever emitted into
+// bench metrics sidecars, never into determinism-gated streams.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+
+namespace ss::util::prof {
+
+enum class Stage : std::uint8_t {
+  kFlowDispatch = 0,  // one multi-table walk (FlowIndex or linear) per packet
+  kStateLookup = 1,   // ActLoadState: state-table read
+  kStateStore = 2,    // ActStoreState: state-table write
+  kGroupExec = 3,     // group execution incl. SELECT/FAST-FAILOVER choice
+  kSweepDecode = 4,   // label-stack decode of one DFS read-out sweep
+};
+inline constexpr std::size_t kStageCount = 5;
+
+const char* stage_name(Stage s);
+
+/// Same bucketing as obs::Histogram (kSubBits = 4): exact below 32, ~6%
+/// relative quantization above.
+std::uint32_t prof_bucket_of(std::uint64_t v);
+std::uint64_t prof_bucket_lo(std::uint32_t idx);
+
+struct StageCounters {
+  std::uint64_t ops = 0;
+  std::uint64_t ns_sum = 0;
+  std::uint64_t ns_min = ~std::uint64_t{0};
+  std::uint64_t ns_max = 0;
+  std::map<std::uint32_t, std::uint64_t> ns_buckets;  // sparse, ordered
+
+  void record(std::uint64_t ns) {
+    ++ops;
+    ns_sum += ns;
+    if (ns < ns_min) ns_min = ns;
+    if (ns > ns_max) ns_max = ns;
+    ++ns_buckets[prof_bucket_of(ns)];
+  }
+  void merge(const StageCounters& o);
+};
+
+struct StageProfile {
+  std::array<StageCounters, kStageCount> stages;
+
+  StageCounters& at(Stage s) { return stages[static_cast<std::size_t>(s)]; }
+  const StageCounters& at(Stage s) const {
+    return stages[static_cast<std::size_t>(s)];
+  }
+  /// Fold another shard in (plain addition; order-independent).
+  void merge(const StageProfile& o);
+  std::uint64_t total_ops() const;
+};
+
+/// Arm/disarm collection on THIS thread; returns the previous slot so
+/// scopes can nest.  Passing nullptr disarms.
+StageProfile* set_thread_profile(StageProfile* p);
+StageProfile* thread_profile();
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII site timer: zero work when no profile is armed on this thread.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stage s) : stage_(s), profile_(thread_profile()) {
+    if (profile_ != nullptr) t0_ = now_ns();
+  }
+  ~ScopedTimer() {
+    if (profile_ != nullptr) profile_->at(stage_).record(now_ns() - t0_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stage stage_;
+  StageProfile* profile_;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace ss::util::prof

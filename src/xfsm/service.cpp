@@ -6,6 +6,7 @@
 #include "core/eth_types.hpp"
 #include "core/xfsm_labels.hpp"
 #include "obs/topk.hpp"  // crt_reconstruct
+#include "util/profile.hpp"
 
 namespace ss::xfsm {
 
@@ -144,6 +145,9 @@ XfsmSweepResult XfsmService::sweep(sim::Network& net, NodeId root) {
   net.run();
 
   XfsmSweepResult res;
+  // Decode phase (post-traversal label collection + CRT bank decode) is one
+  // profiled sweep-decode op, same stage as the top-K decoder.
+  util::prof::ScopedTimer pt(util::prof::Stage::kSweepDecode);
 
   std::vector<std::pair<std::uint32_t, const ofp::Packet*>> reports;
   for (std::size_t j = mark; j < net.controller_msgs().size(); ++j) {

@@ -1,0 +1,269 @@
+// Flight recorder & streaming observability: window streams are
+// deterministic at any thread count, the online invariant alerts fire on
+// runs that actually breach them, a poisoned run yields a post-mortem
+// bundle containing the corrupting fault, the stream reader survives
+// malformed/truncated/newer-schema lines, and the hot-path stage profiler
+// only collects when armed and folds with plain addition.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/parallel.hpp"
+#include "graph/generators.hpp"
+#include "obs/inspect.hpp"
+#include "obs/json.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "sim/network.hpp"
+#include "util/profile.hpp"
+
+namespace ss::obs {
+namespace {
+
+scenario::ScenarioSpec parse_ok(const char* doc) {
+  const auto s = scenario::parse_scenario(doc);
+  EXPECT_TRUE(s.has_value());
+  return *s;
+}
+
+/// One recorded run of `spec`: the full window stream + bundle.
+std::string record_run(const scenario::ScenarioSpec& spec,
+                       std::uint64_t window_events,
+                       std::string* bundle = nullptr, bool* failed = nullptr) {
+  Timeline tl(spec.graph);
+  RecorderConfig rc;
+  rc.window_events = window_events;
+  Recorder rec(rc);
+  const auto r = scenario::run_scenario(spec, &tl, &rec);
+  if (bundle != nullptr) *bundle = rec.bundle();
+  if (failed != nullptr) *failed = !r.ground_truth_ok;
+  return rec.stream();
+}
+
+constexpr const char* kCleanSpec =
+    R"({"topology": {"kind": "ring", "n": 8}, "service": "snapshot",
+        "expect": {"verdict": "complete"}})";
+
+constexpr const char* kPoisonSpec =
+    R"({"topology": {"kind": "ring", "n": 8}, "service": "snapshot",
+        "seed": 7,
+        "schedule": [{"op": "rule_corrupt", "at": 10, "switch": 1,
+                      "salt": 3}]})";
+
+TEST(Recorder, CleanRunStreamsWindowsAndSummary) {
+  const auto spec = parse_ok(kCleanSpec);
+  const std::string stream = record_run(spec, 16);
+  ASSERT_FALSE(stream.empty());
+
+  std::istringstream is(stream);
+  std::ostringstream warn;
+  const StreamStats st = read_stream(is, &warn);
+  EXPECT_GT(st.windows, 1u);  // window 16 cuts several times on a ring-8 run
+  EXPECT_EQ(st.alerts, 0u);
+  EXPECT_EQ(st.summaries, 1u);
+  EXPECT_EQ(st.summary_alerts, 0u);
+  EXPECT_FALSE(st.failed);
+  EXPECT_EQ(st.unknown_schema, 0u);
+  EXPECT_EQ(st.jsonl.malformed, 0u);
+  EXPECT_TRUE(warn.str().empty());
+
+  // Every record is stamped with the current schema version, and every
+  // window's per-window wire deltas balance exactly (the online invariant
+  // the recorder itself checks — restated here from the raw lines).
+  std::istringstream again(stream);
+  std::size_t checked = 0;
+  for_each_jsonl(again, [&](const JsonValue& v) {
+    EXPECT_EQ(schema_version_of(v), kStreamSchemaVersion);
+    if (v.str("type") != "window") return;
+    const JsonValue* c = v.get("counters");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->u64("wire_sent"),
+              c->u64("wire_delivered") + c->u64("wire_dropped_down") +
+                  c->u64("wire_dropped_blackhole") + c->u64("wire_dropped_loss"));
+    ++checked;
+  });
+  EXPECT_EQ(checked, st.windows);
+}
+
+TEST(Recorder, StreamByteIdenticalAtAnyThreadCount) {
+  // Four independent recorded runs, fanned out the way the drivers do it;
+  // the concatenated streams must be byte-identical at 1 and 4 workers.
+  const std::vector<std::uint64_t> seeds = {3, 5, 7, 11};
+  auto sweep = [&](unsigned threads) {
+    const auto streams = bench::parallel_sweep(
+        seeds,
+        [&](const std::uint64_t& s, std::size_t) {
+          auto spec = parse_ok(kCleanSpec);
+          spec.seed = s;
+          return record_run(spec, 32);
+        },
+        threads);
+    std::string all;
+    for (const std::string& s : streams) all += s;
+    return all;
+  };
+  const std::string once = sweep(1);
+  EXPECT_FALSE(once.empty());
+  EXPECT_EQ(once, sweep(4));
+  EXPECT_EQ(once, sweep(1));  // and stable across repeated runs
+}
+
+TEST(Recorder, PoisonedRunBundlesTheCorruptingFault) {
+  const auto spec = parse_ok(kPoisonSpec);
+  std::string bundle;
+  bool failed = false;
+  const std::string stream = record_run(spec, 32, &bundle, &failed);
+  EXPECT_TRUE(failed);  // an unrepaired rule corruption breaks ground truth
+  ASSERT_FALSE(bundle.empty());
+
+  // The flight ring must contain the corrupting fault, the bundle must
+  // carry the suspect switch's dump, and its trace tail must be standard
+  // hop lines the existing parser consumes.
+  std::size_t fr_events = 0, fr_switches = 0, hops = 0;
+  bool saw_corrupt = false, header = false;
+  std::istringstream is(bundle);
+  const JsonlStats js = for_each_jsonl(is, [&](const JsonValue& v) {
+    const std::string type = v.str("type");
+    if (type == "bundle_header") header = true;
+    if (type == "fr_event") {
+      ++fr_events;
+      if (v.str("label").find("rule_corrupt") != std::string::npos)
+        saw_corrupt = true;
+    }
+    if (type == "fr_switch") {
+      ++fr_switches;
+      EXPECT_EQ(v.u64("switch"), 1u);
+      EXPECT_FALSE(v.str("dump").empty());
+    }
+  });
+  EXPECT_EQ(js.malformed, 0u);
+  EXPECT_TRUE(header);
+  EXPECT_GE(fr_events, 1u);
+  EXPECT_TRUE(saw_corrupt);
+  EXPECT_EQ(fr_switches, 1u);
+
+  std::istringstream hs(bundle);
+  std::string line;
+  while (std::getline(hs, line)) {
+    HopRecord h;
+    if (hop_from_json_line(line, h)) ++hops;
+  }
+  EXPECT_GT(hops, 0u);
+
+  // The stream ends in a summary marked failed.
+  std::istringstream ss(stream);
+  const StreamStats st = read_stream(ss);
+  EXPECT_TRUE(st.failed);
+}
+
+TEST(Recorder, CounterRegressionAndExplicitAlertsBundle) {
+  const graph::Graph g = graph::make_ring(4);
+  sim::Network net(g);
+  Recorder rec;
+  std::uint64_t value = 10;
+  rec.add_counter("wobbly", [&value] { return value; });
+  rec.cut_window(net, 0);
+
+  value = 4;  // monotone counter going backwards must raise online
+  rec.cut_window(net, 1);
+  EXPECT_EQ(rec.alert_count(), 1u);
+  EXPECT_NE(rec.stream().find("counter_regression"), std::string::npos);
+
+  rec.note_sweep(false, "decode mismatch");  // queued for the next cut
+  rec.alert("custom_invariant", "filed by the runner");
+  rec.finish(net, /*failed=*/false);
+  EXPECT_EQ(rec.alert_count(), 3u);
+  EXPECT_NE(rec.stream().find("sketch_bound"), std::string::npos);
+  EXPECT_NE(rec.stream().find("custom_invariant"), std::string::npos);
+  EXPECT_TRUE(rec.bundled());  // alerts alone force a post-mortem
+}
+
+TEST(ReadStream, MalformedAndTruncatedLinesAreSkippedNeverFatal) {
+  const auto spec = parse_ok(kCleanSpec);
+  const std::string stream = record_run(spec, 16);
+
+  // Sabotage: garbage between records plus the final line cut mid-write.
+  std::string mangled = "this is not json\n";
+  mangled += stream.substr(0, stream.size() - stream.size() / 3);
+  std::istringstream is(mangled);
+  std::ostringstream warn;
+  const StreamStats st = read_stream(is, &warn);
+  EXPECT_GE(st.jsonl.malformed, 1u);
+  EXPECT_GT(st.windows, 0u);  // intact records still land
+}
+
+TEST(ReadStream, NewerSchemaVersionWarnsAndSkips) {
+  std::istringstream is(
+      "{\"type\":\"window\",\"schema_version\":999}\n"
+      "{\"type\":\"window\",\"schema_version\":1,\"window\":0}\n"
+      "{\"type\":\"window\",\"window\":1}\n");  // absent = legacy, accepted
+  std::ostringstream warn;
+  const StreamStats st = read_stream(is, &warn);
+  EXPECT_EQ(st.unknown_schema, 1u);
+  EXPECT_EQ(st.windows, 2u);
+  EXPECT_FALSE(warn.str().empty());
+}
+
+TEST(Profile, ScopedTimerOnlyCollectsWhenArmed) {
+  using util::prof::Stage;
+  // Disarmed (the default everywhere): a timed scope records nothing.
+  { util::prof::ScopedTimer t(Stage::kFlowDispatch); }
+  util::prof::StageProfile shard;
+  ASSERT_EQ(util::prof::thread_profile(), nullptr);
+
+  util::prof::StageProfile* prev = util::prof::set_thread_profile(&shard);
+  EXPECT_EQ(prev, nullptr);
+  { util::prof::ScopedTimer t(Stage::kFlowDispatch); }
+  { util::prof::ScopedTimer t(Stage::kStateLookup); }
+  { util::prof::ScopedTimer t(Stage::kStateLookup); }
+  util::prof::set_thread_profile(nullptr);
+  { util::prof::ScopedTimer t(Stage::kGroupExec); }  // after disarm: dropped
+
+  EXPECT_EQ(shard.at(Stage::kFlowDispatch).ops, 1u);
+  EXPECT_EQ(shard.at(Stage::kStateLookup).ops, 2u);
+  EXPECT_EQ(shard.at(Stage::kGroupExec).ops, 0u);
+  EXPECT_EQ(shard.total_ops(), 3u);
+  EXPECT_LE(shard.at(Stage::kStateLookup).ns_min,
+            shard.at(Stage::kStateLookup).ns_max);
+}
+
+TEST(Profile, ShardsMergeByAdditionAndBucketsRoundTrip) {
+  using util::prof::Stage;
+  util::prof::StageProfile a, b;
+  a.at(Stage::kSweepDecode).record(10);
+  a.at(Stage::kSweepDecode).record(100);
+  b.at(Stage::kSweepDecode).record(1000);
+  b.at(Stage::kStateStore).record(7);
+  a.merge(b);
+  EXPECT_EQ(a.at(Stage::kSweepDecode).ops, 3u);
+  EXPECT_EQ(a.at(Stage::kSweepDecode).ns_sum, 1110u);
+  EXPECT_EQ(a.at(Stage::kSweepDecode).ns_min, 10u);
+  EXPECT_EQ(a.at(Stage::kSweepDecode).ns_max, 1000u);
+  EXPECT_EQ(a.at(Stage::kStateStore).ops, 1u);
+
+  // Bucket lower bounds are monotone and bracket their inputs (the same
+  // log-bucket scheme obs::Histogram serializes).
+  for (std::uint64_t v : {0ull, 1ull, 31ull, 32ull, 1000ull, 123456789ull}) {
+    const std::uint32_t idx = util::prof::prof_bucket_of(v);
+    EXPECT_LE(util::prof::prof_bucket_lo(idx), v);
+    if (idx > 0) EXPECT_LT(util::prof::prof_bucket_lo(idx - 1),
+                           util::prof::prof_bucket_lo(idx));
+  }
+}
+
+TEST(MetricsSchema, SchemaVersionOfReadsAndDefaults) {
+  const auto tagged = json_parse(R"({"type":"meta","schema_version":3})");
+  ASSERT_TRUE(tagged.has_value());
+  EXPECT_EQ(schema_version_of(*tagged), 3u);
+  const auto legacy = json_parse(R"({"type":"meta"})");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(schema_version_of(*legacy), 0u);
+}
+
+}  // namespace
+}  // namespace ss::obs

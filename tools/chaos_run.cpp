@@ -11,14 +11,27 @@
 //
 //   chaos_run [--episodes N] [--seed S] [--threads T] [--out FILE]
 //             [--topo KIND] [--n N] [--faults F] [--services A,B,..]
-//             [--burst B]
+//             [--burst B] [--stream FILE] [--window N] [--poison]
+//             [--bundle-dir DIR]
+//
+// Flight recorder: --stream attaches an obs::Recorder to every episode and
+// writes the concatenated per-episode window streams (each prefixed by an
+// {"type":"episode_stream"} separator) to FILE; --window sets the sampling
+// window in simulator events.  --bundle-dir DIR writes each episode's
+// post-mortem bundle (if one triggered) as DIR/postmortem-ep<K>.jsonl.
+// --poison disables the recovery service and injects one guaranteed
+// rule-corruption fault per episode, so the hardened run fails and the
+// flight recorder MUST produce a bundle whose last-K events contain the
+// corrupting fault — the CI assertion for the post-mortem path.
 //
 // Determinism contract: per-episode seeds are pre-drawn from Rng(seed) in
 // episode order, each episode derives ALL of its randomness from its own
 // seed, episodes fan out over bench::parallel_sweep (results returned in
-// item order), and histograms fold with obs::Histogram::merge (commutative
-// bucket addition) — so stdout and --out are byte-identical at ANY thread
-// count.  No wall-clock values are emitted.
+// item order), histograms fold with obs::Histogram::merge (commutative
+// bucket addition), and each episode's recorder buffers its window stream
+// in memory (emitted to --stream in episode order after the sweep) — so
+// stdout, --out, --stream and every bundle are byte-identical at ANY
+// thread count.  No wall-clock values are emitted.
 //
 // Exit codes: 0 = every episode ended with a clean final audit and every
 // divergence repaired; 1 = at least one episode left damage behind;
@@ -26,8 +39,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +50,8 @@
 #include "core/fields.hpp"
 #include "obs/hist.hpp"
 #include "obs/json.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/chaos.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
@@ -62,6 +79,9 @@ struct EpisodeResult {
   std::uint64_t background_packets = 0;
   obs::Histogram mttr_hops;
   obs::Histogram mttr_time;
+  std::string stream;   // buffered window stream (deterministic)
+  std::string bundle;   // post-mortem bundle, empty unless triggered
+  std::uint64_t alerts = 0;
 };
 
 struct Config {
@@ -75,6 +95,14 @@ struct Config {
                                        "critical"};
   std::uint32_t burst = 4;
   std::string out_path;
+  std::string stream_path;
+  std::uint64_t window = 256;  // recorder sampling window (events)
+  bool poison = false;
+  std::string bundle_dir;
+
+  bool recording() const {
+    return !stream_path.empty() || !bundle_dir.empty() || poison;
+  }
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -147,11 +175,33 @@ EpisodeResult run_episode(const Config& cfg, std::uint64_t ep_seed,
 
   util::Rng rng(ep_seed);
   spec.schedule = scenario::expand_chaos(chaos, rng);
+  if (cfg.poison) {
+    // Unrepairable damage on purpose: no recovery service, plus one
+    // guaranteed mid-run rule corruption the flight ring must capture.
+    spec.recovery.reset();
+    scenario::FaultEvent ev;
+    ev.at = 40;
+    ev.op = scenario::FaultOp::kRuleCorrupt;
+    ev.sw = 1;
+    ev.salt = ep_seed;
+    spec.schedule.push_back(ev);
+  }
   scenario::sort_schedule(spec.schedule);
 
-  const scenario::ScenarioResult res = scenario::run_scenario(spec);
-
+  scenario::ScenarioResult res;
   EpisodeResult out;
+  if (cfg.recording()) {
+    obs::Timeline tl(spec.graph);
+    obs::RecorderConfig rc;
+    rc.window_events = cfg.window;
+    obs::Recorder recorder(rc);
+    res = scenario::run_scenario(spec, &tl, &recorder);
+    out.stream = recorder.stream();
+    out.bundle = recorder.bundle();
+    out.alerts = recorder.alert_count();
+  } else {
+    res = scenario::run_scenario(spec);
+  }
   out.seed = ep_seed;
   out.service = spec.service;
   out.verdict = res.verdict;
@@ -212,6 +262,8 @@ void write_output(std::ostream& os, const Config& cfg,
         .add("probes_delivered", e.probes_delivered)
         .add("probes_verified", e.probes_verified)
         .add("background_packets", e.background_packets);
+    if (cfg.recording())
+      o.add("alerts", e.alerts).add("bundled", !e.bundle.empty());
     os << o.str() << "\n";
   }
   const obs::Histogram mttr_hops = bench::merge_hist_shards(
@@ -235,8 +287,14 @@ int usage() {
                "usage: chaos_run [--episodes N] [--seed S] [--threads T]\n"
                "                 [--out FILE] [--topo KIND] [--n N] [--faults F]\n"
                "                 [--services A,B,..] [--burst B]\n"
+               "                 [--stream FILE] [--window N] [--poison]\n"
+               "                 [--bundle-dir DIR]\n"
                "services: any of plain,snapshot,anycast,critical (episodes "
-               "rotate)\n");
+               "rotate)\n"
+               "--stream: windowed recorder JSONL (deterministic across "
+               "--threads)\n"
+               "--poison: disable recovery + inject an unrepaired rule "
+               "corruption\n");
   return 2;
 }
 
@@ -266,10 +324,19 @@ int main(int argc, char** argv) {
       cfg.services = split_csv(argv[++k]);
     } else if (arg("--burst")) {
       cfg.burst = static_cast<std::uint32_t>(std::strtoul(argv[++k], nullptr, 10));
+    } else if (arg("--stream")) {
+      cfg.stream_path = argv[++k];
+    } else if (arg("--window")) {
+      cfg.window = std::strtoull(argv[++k], nullptr, 10);
+    } else if (std::strcmp(argv[k], "--poison") == 0) {
+      cfg.poison = true;
+    } else if (arg("--bundle-dir")) {
+      cfg.bundle_dir = argv[++k];
     } else {
       return usage();
     }
   }
+  if (cfg.window == 0) return usage();
   if (cfg.episodes == 0 || cfg.services.empty()) return usage();
   for (const std::string& s : cfg.services)
     if (s != "plain" && s != "snapshot" && s != "anycast" && s != "critical")
@@ -306,10 +373,52 @@ int main(int argc, char** argv) {
     write_output(os, cfg, eps);
   }
 
+  // Streamed windows: per-episode buffers concatenated in episode order
+  // (byte-identical at any --threads), each behind a separator line.
+  if (!cfg.stream_path.empty()) {
+    std::ofstream ss(cfg.stream_path, std::ios::trunc);
+    if (!ss) {
+      std::fprintf(stderr, "chaos_run: cannot write %s\n",
+                   cfg.stream_path.c_str());
+      return 2;
+    }
+    for (std::size_t k = 0; k < eps.size(); ++k) {
+      obs::JsonObj sep;
+      sep.add("type", "episode_stream")
+          .add_u("schema_version", obs::kStreamSchemaVersion)
+          .add("episode", k)
+          .add("seed", eps[k].seed)
+          .add("service", eps[k].service);
+      ss << sep.str() << "\n" << eps[k].stream;
+    }
+  }
+
+  // Post-mortem bundles, one file per triggered episode.
+  std::uint64_t bundles = 0;
+  if (!cfg.bundle_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.bundle_dir, ec);
+    for (std::size_t k = 0; k < eps.size(); ++k) {
+      if (eps[k].bundle.empty()) continue;
+      const std::string path =
+          util::cat(cfg.bundle_dir, "/postmortem-ep", k, ".jsonl");
+      std::ofstream bs(path, std::ios::trunc);
+      if (!bs) {
+        std::fprintf(stderr, "chaos_run: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      bs << eps[k].bundle;
+      ++bundles;
+    }
+  }
+
   std::uint64_t repaired = 0;
   for (const EpisodeResult& e : eps) repaired += e.all_repaired ? 1 : 0;
   std::fprintf(stderr, "chaos_run: %llu/%llu episode(s) fully repaired\n",
                static_cast<unsigned long long>(repaired),
                static_cast<unsigned long long>(eps.size()));
+  if (!cfg.bundle_dir.empty())
+    std::fprintf(stderr, "chaos_run: %llu post-mortem bundle(s) written\n",
+                 static_cast<unsigned long long>(bundles));
   return repaired == eps.size() ? 0 : 1;
 }

@@ -20,6 +20,18 @@
 // applies the same anomaly gate.  Non-hop lines are skipped, so a mixed
 // JSONL stream (metrics + hops) audits as-is.
 //
+// Follow mode — render a flight-recorder window stream (the --stream output
+// of chaos_run / scenario_run / topk_run / xfsm_run) without re-running:
+//
+//   obs_report --follow <stream.jsonl> [--expect-alerts N]
+//
+// prints one line per window (event/delivery/drop deltas), every online
+// alert, each run summary, and a compact view of any post-mortem bundle.
+// Records with a schema_version newer than this build are skipped with one
+// warning (via obs::read_stream); malformed/truncated lines are skipped and
+// counted, never fatal.  --expect-alerts N arms a gate: exit non-zero
+// unless exactly N alert lines were seen across the whole stream.
+//
 // Any --expect-* flag also arms the health gate: invariant violations or a
 // failed scenario "expect" block exit non-zero.
 //
@@ -28,6 +40,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,6 +49,7 @@
 #include <vector>
 
 #include "obs/inspect.hpp"
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "obs/timeline.hpp"
 #include "scenario/runner.hpp"
@@ -76,8 +90,92 @@ int usage() {
                "                  [--expect-clean] [--expect-anomalies a,b]\n"
                "                  [--expect-reaction KIND]\n"
                "       obs_report --trace <trace.jsonl> [--expect-clean]\n"
-               "                  [--expect-anomalies a,b]\n");
+               "                  [--expect-anomalies a,b]\n"
+               "       obs_report --follow <stream.jsonl> [--expect-alerts N]\n");
   return 2;
+}
+
+/// Follow mode: render a flight-recorder window stream and (optionally)
+/// gate on the total number of alert lines.
+int run_follow(const std::string& stream_path, bool have_expect_alerts,
+               std::uint64_t expect_alerts) {
+  std::ifstream in(stream_path);
+  if (!in) {
+    std::fprintf(stderr, "obs_report: cannot read %s\n", stream_path.c_str());
+    return 2;
+  }
+
+  // Rendering pass: one line per interesting record.  Unknown-version and
+  // malformed lines are handled exactly like the tallying pass below.
+  std::cout << "== flight-recorder stream: " << stream_path << " ==\n";
+  obs::for_each_jsonl(in, [&](const obs::JsonValue& v) {
+    if (obs::schema_version_of(v) > obs::kStreamSchemaVersion) return;
+    const std::string type = v.str("type");
+    if (type == "episode_stream" || type == "trial_stream" ||
+        type == "machine_stream") {
+      std::cout << "-- " << type << " "
+                << v.u64(type == "episode_stream" ? "episode" : "trial");
+      const std::string m = v.str("machine");
+      if (!m.empty()) std::cout << " machine=" << m;
+      std::cout << " seed=" << v.u64("seed") << " --\n";
+    } else if (type == "window") {
+      std::uint64_t delivered = 0, drops = 0;
+      if (const obs::JsonValue* c = v.get("counters")) {
+        delivered = c->u64("sim_delivered");
+        drops = c->u64("sim_dropped_down") + c->u64("sim_dropped_blackhole") +
+                c->u64("sim_dropped_loss");
+      }
+      std::cout << "  w" << v.u64("window") << " t=[" << v.u64("t_start")
+                << "," << v.u64("t_end") << ") events=" << v.u64("events")
+                << " delivered=" << delivered << " drops=" << drops;
+      if (v.u64("alerts") != 0) std::cout << " alerts=" << v.u64("alerts");
+      std::cout << "\n";
+    } else if (type == "alert") {
+      std::cout << "  ALERT w" << v.u64("window") << " " << v.str("kind")
+                << ": " << v.str("detail") << "\n";
+    } else if (type == "summary") {
+      std::cout << "  summary: windows=" << v.u64("windows")
+                << " alerts=" << v.u64("alerts")
+                << " events=" << v.u64("events")
+                << " failed=" << (v.boolean_or("failed") ? "yes" : "no")
+                << "\n";
+    } else if (type == "bundle") {
+      std::cout << "  -- post-mortem bundle --\n";
+    } else if (type == "bundle_header") {
+      std::cout << "  bundle: trip_time=" << v.u64("trip_time")
+                << " fr_events=" << v.u64("fr_events")
+                << " suspects=" << v.u64("suspects")
+                << " failed=" << (v.boolean_or("failed") ? "yes" : "no")
+                << "\n";
+    } else if (type == "fr_event") {
+      std::cout << "    fr_event t=" << v.u64("time") << " w="
+                << v.u64("window") << " " << v.str("label") << "\n";
+    } else if (type == "fr_switch") {
+      std::cout << "    fr_switch sw=" << v.u64("switch")
+                << " up=" << (v.boolean_or("up") ? "yes" : "no")
+                << " flow_entries=" << v.u64("flow_entries") << "\n";
+    }
+    // fr_window / fr_schedule / hop lines render as counts via the tally.
+  });
+
+  // Tallying pass through the SAME reader the tests pin down.
+  std::ifstream again(stream_path);
+  const obs::StreamStats st = obs::read_stream(again, &std::cerr);
+  std::cout << "  totals: " << st.windows << " window(s), " << st.alerts
+            << " alert(s), " << st.summaries << " summar(ies), "
+            << st.jsonl.malformed << " malformed, " << st.unknown_schema
+            << " unknown-schema\n";
+
+  bool ok = true;
+  if (have_expect_alerts && st.alerts != expect_alerts) {
+    std::fprintf(stderr,
+                 "obs_report: expectation failed: wanted %llu alert(s), "
+                 "got %llu\n",
+                 static_cast<unsigned long long>(expect_alerts),
+                 static_cast<unsigned long long>(st.alerts));
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }
 
 /// Offline audit of an exported trace: parse hop lines, inspect, gate.
@@ -139,7 +237,10 @@ int run_offline(const std::string& trace_path, bool expect_clean,
 
 int main(int argc, char** argv) {
   std::string path, out_path, prom_path, expect_reaction, trace_path;
+  std::string follow_path;
   bool expect_clean = false, have_expect_anomalies = false, gated = false;
+  bool have_expect_alerts = false;
+  std::uint64_t expect_alerts = 0;
   std::vector<std::string> expect_anomalies;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--out") == 0 && k + 1 < argc) {
@@ -148,6 +249,11 @@ int main(int argc, char** argv) {
       prom_path = argv[++k];
     } else if (std::strcmp(argv[k], "--trace") == 0 && k + 1 < argc) {
       trace_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--follow") == 0 && k + 1 < argc) {
+      follow_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--expect-alerts") == 0 && k + 1 < argc) {
+      expect_alerts = std::strtoull(argv[++k], nullptr, 10);
+      have_expect_alerts = true;
     } else if (std::strcmp(argv[k], "--expect-clean") == 0) {
       expect_clean = gated = true;
     } else if (std::strcmp(argv[k], "--expect-anomalies") == 0 && k + 1 < argc) {
@@ -162,6 +268,11 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  if (!follow_path.empty()) {
+    if (!path.empty() || !trace_path.empty() || gated) return usage();
+    return run_follow(follow_path, have_expect_alerts, expect_alerts);
+  }
+  if (have_expect_alerts) return usage();  // --expect-alerts needs --follow
   if (!trace_path.empty()) {
     if (!path.empty() || !expect_reaction.empty()) return usage();
     return run_offline(trace_path, expect_clean, have_expect_anomalies,

@@ -1,43 +1,62 @@
 // scenario_run: execute one scenario spec file and emit the JSONL result.
 //
-//   scenario_run <scenario.json> [--out FILE]
+//   scenario_run <scenario.json> [--out FILE] [--stream FILE] [--window N]
 //
 // stdout (or --out): the deterministic result stream — one "scenario"
 // header line, one "scenario_event" line per applied fault, one
 // "scenario_result" line.  Replaying the same file yields byte-identical
 // output.  stderr: a one-line human summary.
 //
+// --stream FILE attaches a flight recorder (obs::Recorder): the windowed
+// probe stream — plus any online alerts, the run summary, and (appended
+// after a "bundle" separator) the post-mortem bundle when the run failed —
+// is written to FILE; --window sets the sampling window in simulator
+// events (default 256).  The stream is deterministic for a given spec.
+//
 // Exit codes: 0 = ran and every "expect" assertion held; 1 = an expect
 // assertion failed; 2 = unreadable/invalid spec.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 
 using namespace ss;
 
+namespace {
+int usage() {
+  std::fprintf(stderr,
+               "usage: scenario_run <scenario.json> [--out FILE]\n"
+               "                    [--stream FILE] [--window N]\n");
+  return 2;
+}
+}  // namespace
+
 int main(int argc, char** argv) {
-  std::string path, out_path;
+  std::string path, out_path, stream_path;
+  std::uint64_t window = 256;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--out") == 0 && k + 1 < argc) {
       out_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--stream") == 0 && k + 1 < argc) {
+      stream_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--window") == 0 && k + 1 < argc) {
+      window = std::strtoull(argv[++k], nullptr, 10);
     } else if (path.empty() && argv[k][0] != '-') {
       path = argv[k];
     } else {
-      std::fprintf(stderr, "usage: scenario_run <scenario.json> [--out FILE]\n");
-      return 2;
+      return usage();
     }
   }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: scenario_run <scenario.json> [--out FILE]\n");
-    return 2;
-  }
+  if (path.empty() || window == 0) return usage();
 
   std::ifstream in(path);
   if (!in) {
@@ -54,7 +73,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const scenario::ScenarioResult res = scenario::run_scenario(*spec);
+  scenario::ScenarioResult res;
+  if (stream_path.empty()) {
+    res = scenario::run_scenario(*spec);
+  } else {
+    obs::Timeline tl(spec->graph);
+    obs::RecorderConfig rc;
+    rc.window_events = window;
+    obs::Recorder rec(rc);
+    res = scenario::run_scenario(*spec, &tl, &rec);
+    std::ofstream ss(stream_path, std::ios::trunc);
+    if (!ss) {
+      std::fprintf(stderr, "scenario_run: cannot write %s\n",
+                   stream_path.c_str());
+      return 2;
+    }
+    ss << rec.stream();
+    if (rec.bundled()) {
+      obs::JsonObj sep;
+      sep.add("type", "bundle")
+          .add_u("schema_version", obs::kStreamSchemaVersion);
+      ss << sep.str() << "\n" << rec.bundle();
+    }
+  }
 
   if (out_path.empty()) {
     scenario::write_result_jsonl(std::cout, *spec, res);

@@ -9,6 +9,12 @@
 //   topk_run [--topo KIND] [--n N] [--sketches E] [--rows D] [--row-bits B]
 //            [--k K] [--elephants E] [--mice M] [--seed S] [--trials T]
 //            [--threads T] [--out FILE] [--min-recall R]
+//            [--stream FILE] [--window N]
+//
+// --stream attaches a flight recorder per trial (windowed probe samples,
+// sketch-fill gauge, online sweep-verdict alerts) and writes the buffered
+// per-trial streams to FILE in trial order — byte-identical at any
+// --threads.  --window sets the sampling window in simulator events.
 //
 // Determinism contract (same as chaos_run): per-trial seeds are pre-drawn
 // in trial order, every trial derives all randomness from its own seed and
@@ -32,6 +38,7 @@
 #include "bench/parallel.hpp"
 #include "obs/hist.hpp"
 #include "obs/json.hpp"
+#include "obs/recorder.hpp"
 #include "obs/topk.hpp"
 #include "scenario/spec.hpp"
 #include "sim/flowgen.hpp"
@@ -62,6 +69,8 @@ struct Config {
   unsigned threads = 1;
   double min_recall = 0.9;
   std::string out_path;
+  std::string stream_path;
+  std::uint64_t window = 65536;  // trials are packet-heavy; sample coarsely
 };
 
 struct TrialResult {
@@ -81,6 +90,8 @@ struct TrialResult {
   std::vector<obs::FlowEstimate> top;
   obs::Histogram flow_packets;
   obs::Histogram flow_bytes;
+  std::string stream;
+  std::string bundle;
 };
 
 TrialResult run_trial(const Config& cfg, const graph::Graph& g,
@@ -96,6 +107,23 @@ TrialResult run_trial(const Config& cfg, const graph::Graph& g,
   obs::TopkService svc(g, p);
   sim::Network net(g);
   svc.install(net);
+
+  std::optional<obs::Recorder> recorder;
+  if (!cfg.stream_path.empty()) {
+    obs::RecorderConfig rc;
+    rc.window_events = cfg.window;
+    recorder.emplace(rc);
+    recorder->attach(net);
+    // Sketch cell fill: count-min cells are flow rules on the sketch hosts.
+    recorder->add_gauge("sketch_cells_hit", [&net, hosts = p.sketches] {
+      std::uint64_t t = 0;
+      for (graph::NodeId h : hosts)
+        for (const ofp::FlowTable& ft : net.sw(h).tables())
+          for (const ofp::FlowEntry& e : ft.entries()) t += e.hit_count > 0 ? 1 : 0;
+      return t;
+    });
+    net.set_trace_ring(64);  // bounded hop tail for a potential bundle
+  }
 
   sim::FlowWorkloadConfig wl;
   wl.seed = trial_seed;
@@ -126,6 +154,17 @@ TrialResult run_trial(const Config& cfg, const graph::Graph& g,
   out.max_wire_bytes = res.stats.max_wire_bytes;
   out.top = res.top;
   obs::TopkService::workload_hists(flows, out.flow_packets, out.flow_bytes);
+  if (recorder) {
+    const bool sketch_ok =
+        res.row_sums_consistent && val.lower_bound_ok && val.error_bound_ok;
+    recorder->note_sweep(sketch_ok, util::cat("topk sweep: k=", cfg.k, " bounds=",
+                                              sketch_ok ? "ok" : "broken"));
+    const bool tok = out.complete && out.row_sums_ok && out.bounds_ok &&
+                     out.recall >= cfg.min_recall;
+    recorder->finish(net, !tok);
+    out.stream = recorder->stream();
+    out.bundle = recorder->bundle();
+  }
   return out;
 }
 
@@ -215,7 +254,7 @@ int usage() {
       "usage: topk_run [--topo KIND] [--n N] [--sketches E] [--rows D]\n"
       "                [--row-bits B] [--k K] [--elephants E] [--mice M]\n"
       "                [--seed S] [--trials T] [--threads T] [--out FILE]\n"
-      "                [--min-recall R]\n");
+      "                [--min-recall R] [--stream FILE] [--window N]\n");
   return 2;
 }
 
@@ -257,11 +296,15 @@ int main(int argc, char** argv) {
       cfg.out_path = argv[++k];
     } else if (arg("--min-recall")) {
       cfg.min_recall = std::strtod(argv[++k], nullptr);
+    } else if (arg("--stream")) {
+      cfg.stream_path = argv[++k];
+    } else if (arg("--window")) {
+      cfg.window = std::strtoull(argv[++k], nullptr, 10);
     } else {
       return usage();
     }
   }
-  if (cfg.trials == 0 || cfg.sketches == 0) return usage();
+  if (cfg.trials == 0 || cfg.sketches == 0 || cfg.window == 0) return usage();
 
   scenario::TopoRef topo;
   topo.kind = cfg.topo;
@@ -302,6 +345,32 @@ int main(int argc, char** argv) {
       return 2;
     }
     write_output(os, cfg, g, trials);
+  }
+
+  // Streamed windows: per-trial buffers concatenated in trial order
+  // (byte-identical at any --threads), each behind a separator line.
+  if (!cfg.stream_path.empty()) {
+    std::ofstream ss(cfg.stream_path, std::ios::trunc);
+    if (!ss) {
+      std::fprintf(stderr, "topk_run: cannot write %s\n",
+                   cfg.stream_path.c_str());
+      return 2;
+    }
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      obs::JsonObj sep;
+      sep.add("type", "trial_stream")
+          .add_u("schema_version", obs::kStreamSchemaVersion)
+          .add("trial", i)
+          .add("seed", trials[i].seed);
+      ss << sep.str() << "\n" << trials[i].stream;
+      if (!trials[i].bundle.empty()) {
+        obs::JsonObj bsep;
+        bsep.add("type", "bundle")
+            .add_u("schema_version", obs::kStreamSchemaVersion)
+            .add("trial", i);
+        ss << bsep.str() << "\n" << trials[i].bundle;
+      }
+    }
   }
 
   std::uint64_t ok = 0;

@@ -10,13 +10,21 @@
 //   xfsm_run [--machine mac|policer|lb|all] [--topo KIND] [--n N]
 //            [--hosts H] [--bucket B] [--flip-after F] [--elephants E]
 //            [--mice M] [--rounds R] [--seed S] [--trials T] [--threads T]
-//            [--out FILE]
+//            [--out FILE] [--stream FILE] [--window N]
+//
+// --stream attaches a flight recorder (obs::Recorder) to every machine run:
+// windowed probe samples, online alerts, and — when a machine run fails —
+// its post-mortem bundle, written to FILE in (trial, machine) order behind
+// {"type":"machine_stream"} separator lines.  --window sets the sampling
+// window in simulator events (default 256).
 //
 // Determinism contract (same as chaos_run / topk_run): per-trial seeds are
 // pre-drawn in trial order, every trial derives all randomness from its own
 // seed and owns its network, trials fan out over bench::parallel_sweep
-// (results in item order) — so stdout and --out are byte-identical at ANY
-// thread count.  No wall-clock values are emitted.
+// (results in item order), and each recorder buffers its stream in memory
+// (emitted in trial order after the sweep) — so stdout, --out and --stream
+// are byte-identical at ANY thread count.  No wall-clock values are
+// emitted.
 //
 // Exit codes: 0 = every trial's every machine validated against the
 // interpreter and met its service property; 1 = a trial missed; 2 = usage /
@@ -32,6 +40,8 @@
 
 #include "bench/parallel.hpp"
 #include "obs/json.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 #include "util/rng.hpp"
@@ -57,6 +67,8 @@ struct Config {
   std::uint64_t trials = 1;
   unsigned threads = 1;
   std::string out_path;
+  std::string stream_path;
+  std::uint64_t window = 256;
 };
 
 struct MachineResult {
@@ -65,6 +77,8 @@ struct MachineResult {
   bool ground_truth_ok = false;
   std::string detail;
   obs::XfsmReportSection sec;
+  std::string stream;
+  std::string bundle;
 };
 
 using TrialResult = std::vector<MachineResult>;
@@ -98,8 +112,19 @@ TrialResult run_trial(const Config& cfg, std::uint64_t trial_seed,
       *error = util::cat("machine ", m, ": ", err);
       return out;
     }
-    const scenario::ScenarioResult r = scenario::run_scenario(*spec);
     MachineResult mr;
+    scenario::ScenarioResult r;
+    if (cfg.stream_path.empty()) {
+      r = scenario::run_scenario(*spec);
+    } else {
+      obs::Timeline tl(spec->graph);
+      obs::RecorderConfig rc;
+      rc.window_events = cfg.window;
+      obs::Recorder rec(rc);
+      r = scenario::run_scenario(*spec, &tl, &rec);
+      mr.stream = rec.stream();
+      mr.bundle = rec.bundle();
+    }
     mr.machine = m;
     mr.seed = trial_seed;
     mr.ground_truth_ok = r.ground_truth_ok;
@@ -186,7 +211,8 @@ int usage() {
       "usage: xfsm_run [--machine mac|policer|lb|all] [--topo KIND] [--n N]\n"
       "                [--hosts H] [--bucket B] [--flip-after F]\n"
       "                [--elephants E] [--mice M] [--rounds R] [--seed S]\n"
-      "                [--trials T] [--threads T] [--out FILE]\n");
+      "                [--trials T] [--threads T] [--out FILE]\n"
+      "                [--stream FILE] [--window N]\n");
   return 2;
 }
 
@@ -228,11 +254,15 @@ int main(int argc, char** argv) {
       cfg.threads = static_cast<unsigned>(std::strtoul(argv[++k], nullptr, 10));
     } else if (arg("--out")) {
       cfg.out_path = argv[++k];
+    } else if (arg("--stream")) {
+      cfg.stream_path = argv[++k];
+    } else if (arg("--window")) {
+      cfg.window = std::strtoull(argv[++k], nullptr, 10);
     } else {
       return usage();
     }
   }
-  if (cfg.trials == 0 || cfg.hosts == 0) return usage();
+  if (cfg.trials == 0 || cfg.hosts == 0 || cfg.window == 0) return usage();
   if (cfg.machine != "all" && cfg.machine != "mac" && cfg.machine != "policer" &&
       cfg.machine != "lb")
     return usage();
@@ -280,6 +310,36 @@ int main(int argc, char** argv) {
       return 2;
     }
     write_output(os, cfg, trials);
+  }
+
+  // Streamed windows: per-machine buffers concatenated in (trial, machine)
+  // order (byte-identical at any --threads), each behind a separator line.
+  if (!cfg.stream_path.empty()) {
+    std::ofstream ss(cfg.stream_path, std::ios::trunc);
+    if (!ss) {
+      std::fprintf(stderr, "xfsm_run: cannot write %s\n",
+                   cfg.stream_path.c_str());
+      return 2;
+    }
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      for (const MachineResult& m : trials[i]) {
+        obs::JsonObj sep;
+        sep.add("type", "machine_stream")
+            .add_u("schema_version", obs::kStreamSchemaVersion)
+            .add("trial", i)
+            .add("machine", m.machine)
+            .add("seed", m.seed);
+        ss << sep.str() << "\n" << m.stream;
+        if (!m.bundle.empty()) {
+          obs::JsonObj bsep;
+          bsep.add("type", "bundle")
+              .add_u("schema_version", obs::kStreamSchemaVersion)
+              .add("trial", i)
+              .add("machine", m.machine);
+          ss << bsep.str() << "\n" << m.bundle;
+        }
+      }
+    }
   }
 
   std::uint64_t ok = 0, total = 0;
