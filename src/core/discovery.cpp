@@ -1,0 +1,238 @@
+#include "core/discovery.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "core/eth_types.hpp"
+#include "core/labels.hpp"
+#include "util/strings.hpp"
+
+namespace ss::core {
+
+using graph::NodeId;
+using graph::PortNo;
+
+namespace {
+
+/// Order-free canonical key for an undirected edge.
+using EdgeKey = std::pair<std::pair<NodeId, PortNo>, std::pair<NodeId, PortNo>>;
+
+EdgeKey edge_key(const SnapshotEdge& e) {
+  std::pair<NodeId, PortNo> a{e.a.node, e.a.port}, b{e.b.node, e.b.port};
+  if (b < a) std::swap(a, b);
+  return {a, b};
+}
+
+}  // namespace
+
+std::string DiscoveryOutcome::canonical() const {
+  std::vector<std::string> lines;
+  lines.reserve(edges.size());
+  for (const SnapshotEdge& e : edges) {
+    graph::Endpoint lo = e.a, hi = e.b;
+    if (hi.node < lo.node) std::swap(lo, hi);
+    lines.push_back(util::cat(lo.node, ":", lo.port, "-", hi.node, ":", hi.port));
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  return util::join(lines, "\n");
+}
+
+std::size_t count_fabricated(const graph::Graph& g,
+                             const std::vector<SnapshotEdge>& edges) {
+  std::set<EdgeKey> fabricated;
+  for (const SnapshotEdge& e : edges) {
+    const bool real = e.a.node < g.node_count() && e.a.port >= 1 &&
+                      e.a.port <= g.degree(e.a.node) &&
+                      [&] {
+                        const auto nb = g.neighbor(e.a.node, e.a.port);
+                        return nb && nb->node == e.b.node && nb->port == e.b.port;
+                      }();
+    if (!real) fabricated.insert(edge_key(e));
+  }
+  return fabricated.size();
+}
+
+HardenedDiscovery::HardenedDiscovery(const graph::Graph& g, DiscoveryDefense defense)
+    : graph_(g),
+      defense_(defense),
+      // Unfragmented snapshots only: a bottom-of-stack nonce survives the
+      // traversal's balanced push/pop discipline, but a mid-walk fragment
+      // flush (ActClearLabels) would discard it — so the hardened path
+      // compiles with fragment_limit = 0.  Epoch guard on: the watchdog
+      // retry is the recovery path when an attack eats a trigger.
+      snapshot_(graph_, /*fragment_limit=*/0, /*dedup=*/true,
+                /*inband_collector=*/{}, /*epoch_guard=*/true) {}
+
+DiscoveryOutcome HardenedDiscovery::round(sim::Network& net, NodeId root,
+                                          const RetryPolicy& policy, util::Rng& rng,
+                                          std::uint64_t churn_events) {
+  DiscoveryOutcome out;
+
+  // Defense 3: rate guard.  Flap storms exist to force discovery DURING
+  // the attacker's window; deferring (boundedly — liveness still matters)
+  // moves the round past it.
+  if (defense_.rate_guard && churn_events > defense_.churn_threshold &&
+      consecutive_deferrals_ < defense_.max_deferrals) {
+    ++consecutive_deferrals_;
+    out.deferred = true;
+    return out;
+  }
+  consecutive_deferrals_ = 0;
+
+  // Defense 1: the round nonce.  Drawn unconditionally so that defended
+  // and undefended episodes consume the caller's Rng identically.
+  const auto nonce =
+      static_cast<std::uint32_t>(1 + rng.uniform(0, kLabelPortMax - 1));
+  const std::uint32_t nonce_label = encode_out(nonce);
+
+  const TagLayout& L = snapshot_.layout();
+  StatsScope scope(net);
+  const std::size_t mark = net.controller_msgs().size();
+
+  // Every round restarts the epoch sequence so byte-identical rounds stay
+  // byte-identical regardless of how many retries earlier rounds spent.
+  set_current_epoch(net, 0);
+
+  auto valid_report = [&](const sim::ControllerMsg& m, std::uint32_t epoch) {
+    if (m.reason != kReasonFinish) return false;
+    if (L.get(m.packet, L.epoch()) != epoch) return false;
+    if (defense_.nonce &&
+        (m.packet.labels.empty() || m.packet.labels.front() != nonce_label))
+      return false;
+    return true;
+  };
+  auto verdict_seen = [&](std::uint32_t epoch) {
+    for (std::size_t k = mark; k < net.controller_msgs().size(); ++k)
+      if (valid_report(net.controller_msgs()[k], epoch)) return true;
+    return false;
+  };
+
+  // Watchdog/retry loop (the HardenedDriver pattern, with the nonce as the
+  // trigger decoration).  On the normal path every callback fires inside
+  // the bounded net.run() below; if the round ABORTS with watchdogs still
+  // scheduled, those fire in a LATER round's run with this frame long gone
+  // — the heap-allocated `alive` flag makes them return before touching
+  // any dangling capture.
+  std::uint32_t attempts = 0;
+  std::uint32_t epoch = 0;
+  auto alive = std::make_shared<bool>(true);
+  std::function<void()> inject = [&]() {
+    ++attempts;
+    ofp::Packet pkt = L.make_packet(kEthTraversal);
+    if (defense_.nonce) pkt.labels.push_back(nonce_label);
+    L.set(pkt, L.epoch(), epoch);
+    net.packet_out(root, std::move(pkt));
+    net.schedule_callback(net.now() + policy.timeout, [&, alive](sim::Network&) {
+      if (!*alive) return;  // round already over (aborted): stale watchdog
+      if (verdict_seen(epoch) || attempts >= policy.max_attempts) return;
+      epoch = (epoch + 1) % kEpochSpace;
+      set_current_epoch(net, epoch);
+      inject();
+    });
+  };
+  inject();
+  try {
+    net.run(net.stats().events + defense_.round_event_budget);
+  } catch (const std::runtime_error&) {
+    // Event budget exceeded: an adversarially forked frame is looping in
+    // the data plane.  Refuse the round and reset to quiet wires — the
+    // next epoch starts clean.
+    out.aborted = true;
+    net.drop_in_flight();
+  }
+  *alive = false;
+
+  // Accept the final epoch's valid reports; count the forgeries turned away.
+  std::vector<std::uint32_t> labels;
+  bool complete = false;
+  for (std::size_t k = mark; k < net.controller_msgs().size(); ++k) {
+    const auto& m = net.controller_msgs()[k];
+    if (m.reason != kReasonFinish) continue;
+    // A legitimate report carries this round's nonce whatever epoch it is
+    // stamped with (retries re-decorate); a finish without it is a forgery
+    // however the attacker guessed, and is COUNTED as rejected.  Reports
+    // bearing the nonce but a stale epoch are our own earlier attempts —
+    // skipped silently.
+    if (defense_.nonce &&
+        (m.packet.labels.empty() || m.packet.labels.front() != nonce_label)) {
+      ++out.reports_rejected;
+      continue;
+    }
+    if (L.get(m.packet, L.epoch()) != epoch) continue;
+    const std::size_t skip = defense_.nonce ? 1 : 0;
+    labels.insert(labels.end(), m.packet.labels.begin() + skip,
+                  m.packet.labels.end());
+    complete = true;
+  }
+
+  SnapshotResult snap;
+  try {
+    snap = SnapshotService::decode(labels);
+  } catch (const std::exception&) {
+    // A wormhole-forked or otherwise mangled walk: refuse the whole round
+    // rather than admit a half-decoded map.
+    out.decode_error = true;
+    complete = false;
+    snap.edges.clear();
+  }
+
+  // Defense 2: ingress consistency on whatever decoded.
+  std::vector<SnapshotEdge> kept;
+  std::set<EdgeKey> dropped;
+  if (defense_.ingress_check) {
+    auto endpoint_ok = [&](const graph::Endpoint& ep) {
+      return ep.node < graph_.node_count() && ep.port >= 1 &&
+             ep.port <= graph_.degree(ep.node);
+    };
+    // Pass 1: structurally reportable edges only (valid ports, no loops),
+    // deduplicated to canonical pairs.
+    std::map<EdgeKey, SnapshotEdge> unique;
+    for (const SnapshotEdge& e : snap.edges) {
+      if (!endpoint_ok(e.a) || !endpoint_ok(e.b) || e.a.node == e.b.node) {
+        dropped.insert(edge_key(e));
+        continue;
+      }
+      unique.emplace(edge_key(e), e);
+    }
+    // Pass 2: a physical port is wired to exactly one peer — endpoints
+    // claimed by two different edges mark ALL their edges as conflicted.
+    std::map<std::pair<NodeId, PortNo>, std::uint32_t> endpoint_uses;
+    for (const auto& [key, e] : unique) {
+      ++endpoint_uses[key.first];
+      ++endpoint_uses[key.second];
+    }
+    for (const auto& [key, e] : unique) {
+      if (endpoint_uses[key.first] > 1 || endpoint_uses[key.second] > 1)
+        dropped.insert(key);
+      else
+        kept.push_back(e);
+    }
+    out.edges_quarantined = dropped.size();
+  } else {
+    kept = snap.edges;
+  }
+
+  out.complete = complete && !out.decode_error && !out.aborted;
+  out.edges = std::move(kept);
+  out.hardened.attempts = attempts;
+  out.hardened.final_epoch = epoch;
+  if (verdict_seen(epoch)) {
+    out.hardened.outcome = HardenedOutcome::kVerdict;
+  } else {
+    out.hardened.outcome = HardenedOutcome::kExhausted;
+    for (std::uint32_t a = 0; a + 1 < attempts; ++a)
+      if (verdict_seen(a % kEpochSpace)) {
+        out.hardened.outcome = HardenedOutcome::kStaleVerdict;
+        break;
+      }
+  }
+  out.stats = scope.delta();
+  return out;
+}
+
+}  // namespace ss::core

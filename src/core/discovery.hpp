@@ -1,0 +1,100 @@
+#pragma once
+// Attack-hardened topology discovery built on the snapshot service.
+//
+// Threat model (sOFTDP / "Limitations of OpenFlow Topology Discovery"): an
+// attacker holding one compromised port can inject forged discovery frames
+// and relay genuine ones between non-adjacent ports, tricking the control
+// plane into admitting links that do not exist.  The baseline
+// LldpDiscovery is trivially vulnerable — any well-formed LLDP frame is
+// believed.  This driver runs the in-band snapshot traversal behind three
+// defenses:
+//
+//   1. Probe nonce.  Each round draws a random nonce and pushes it as the
+//      BOTTOM label of the trigger packet's stack.  The traversal's record
+//      discipline is push/pop balanced, so the nonce survives to the final
+//      report — and an attacker forging a "finished traversal" in-band
+//      cannot know it.  Reports whose bottom label is not this round's
+//      nonce are rejected before decoding.
+//   2. Ingress consistency.  Decoded edges are validated against what a
+//      switch can physically report: port numbers within 1..degree, no
+//      self-loops, and every (switch, port) endpoint wired to at most one
+//      peer.  Conflicting edges are quarantined rather than admitted.
+//   3. Rate guard.  A round requested while the fabric is churning (e.g. a
+//      targeted flap storm whose purpose is to force re-discovery during
+//      the attacker's window) is deferred, boundedly, until churn settles.
+//
+// The undefended configuration (all three toggles off) is the ablation the
+// adversarial arena measures against.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/services.hpp"
+#include "util/rng.hpp"
+
+namespace ss::core {
+
+struct DiscoveryDefense {
+  bool nonce = true;
+  bool ingress_check = true;
+  bool rate_guard = true;
+  std::uint32_t churn_threshold = 4;  // link events per window that defer a round
+  std::uint32_t max_deferrals = 2;    // consecutive deferrals before running anyway
+  // Per-round simulator event budget.  A wormhole-forked traversal token
+  // can loop between two switches without ever draining; when a round burns
+  // through this budget it is ABORTED: in-flight frames are flushed and the
+  // round reports nothing (complete = false) rather than hanging the run.
+  // Orders of magnitude above any legitimate round (~1k events on torus-16).
+  std::uint64_t round_event_budget = 300'000;
+};
+
+/// One discovery round's outcome.
+struct DiscoveryOutcome {
+  bool complete = false;     // an accepted finish report arrived and decoded
+  bool deferred = false;     // rate guard skipped this round (nothing ran)
+  bool decode_error = false; // accepted records failed stack decoding
+  bool aborted = false;      // round burned its event budget (livelocked walk)
+  std::vector<SnapshotEdge> edges;      // admitted edges (post-validation)
+  std::uint64_t reports_rejected = 0;   // finish reports failing the nonce check
+  std::uint64_t edges_quarantined = 0;  // edges dropped by ingress consistency
+  HardenedStats hardened;
+  RunStats stats;
+
+  /// Canonical "u:pu-v:pv" line set (same form as SnapshotResult).
+  std::string canonical() const;
+};
+
+/// Edges in `edges` that do not exist in the ground-truth graph — the
+/// quantity the kNoFabricatedLink invariant asserts is zero for every map
+/// a defended discovery admits.
+std::size_t count_fabricated(const graph::Graph& g,
+                             const std::vector<SnapshotEdge>& edges);
+
+class HardenedDiscovery {
+ public:
+  explicit HardenedDiscovery(const graph::Graph& g, DiscoveryDefense defense = {});
+
+  void install(sim::Network& net) const { snapshot_.install(net); }
+
+  /// One discovery round from `root`: draw the round nonce from `rng`
+  /// (always one draw, defended or not, so episodes stay draw-for-draw
+  /// comparable across defense configurations), inject the decorated
+  /// trigger under the watchdog/retry policy, then validate and decode the
+  /// accepted epoch's reports.  `churn_events` is the caller's count of
+  /// link-state events since the previous round — the rate guard's input.
+  DiscoveryOutcome round(sim::Network& net, graph::NodeId root,
+                         const RetryPolicy& policy, util::Rng& rng,
+                         std::uint64_t churn_events = 0);
+
+  const TagLayout& layout() const { return snapshot_.layout(); }
+  const SnapshotService& snapshot() const { return snapshot_; }
+  const DiscoveryDefense& defense() const { return defense_; }
+
+ private:
+  graph::Graph graph_;  // owned copy: services must outlive no one
+  DiscoveryDefense defense_;
+  SnapshotService snapshot_;
+  std::uint32_t consecutive_deferrals_ = 0;
+};
+
+}  // namespace ss::core

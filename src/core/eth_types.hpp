@@ -12,5 +12,7 @@ inline constexpr std::uint16_t kEthData = 0x0800;       // background data traff
 inline constexpr std::uint16_t kEthProbe = 0x88b6;      // packet-loss probe
 inline constexpr std::uint16_t kEthReport = 0x88b8;     // in-band report copy
 inline constexpr std::uint16_t kEthFlow = 0x88b7;       // hashed-flow telemetry traffic
+inline constexpr std::uint16_t kEthLldp = 0x88cc;       // LLDP (baseline discovery; also
+                                                        // the forged-probe attack surface)
 
 }  // namespace ss::core

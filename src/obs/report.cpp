@@ -36,6 +36,7 @@ std::map<std::string, std::uint64_t> violation_totals(const Timeline& tl) {
       {"dfs_token_fork", 0},
       {"unprovoked_failover", 0},
       {"sketch_bound", 0},
+      {"no_fabricated_link", 0},
   };
   for (const InvariantViolation& v : tl.violations())
     ++totals[invariant_kind_name(v.kind)];
@@ -98,6 +99,15 @@ void write_report(std::ostream& os, const RunHeader& h, const Timeline& tl) {
            << "\n";
         any_event = true;
         break;
+      case TimelineEvent::Kind::kMap: {
+        const MapMark& m = tl.maps()[ev.index];
+        os << "  t=" << ev.time << " hop=" << hop_pos << "  map    " << m.label
+           << (m.defended && m.fabricated > 0 ? "  [FABRICATED LINK ADMITTED]"
+                                              : "")
+           << "\n";
+        any_event = true;
+        break;
+      }
     }
   }
   if (!any_event) os << "  (no fault / epoch / verdict events)\n";
@@ -163,6 +173,34 @@ void write_report(std::ostream& os, const RunHeader& h, const Timeline& tl) {
          << " worst_excess=" << x.worst_excess << "\n";
     if (x.machine == "lb")
       os << "  failover: " << (x.failover_ok ? "ok" : "BROKEN") << "\n";
+  }
+
+  if (h.discovery.enabled) {
+    const DiscoveryReportSection& d = h.discovery;
+    os << "\n== discovery ==\n";
+    os << "  attack=" << d.attack << " rounds=" << d.rounds
+       << " deferred=" << d.rounds_deferred << " relayed_frames=" << d.relayed
+       << " attack_stop=t" << d.attack_stop << "\n";
+    os << "  snapshot (hardened): edges=" << d.snapshot_edges
+       << " fabricated=" << d.snapshot_fabricated
+       << " (peak " << d.snapshot_fabricated_peak << ")"
+       << " correct=" << (d.snapshot_correct ? "yes" : "NO") << "\n";
+    os << "    defenses: reports_rejected=" << d.reports_rejected
+       << " edges_quarantined=" << d.edges_quarantined << "\n";
+    os << "    cost: msgs=" << d.snapshot_msgs << " hops_to_correct=";
+    if (d.snapshot_converged)
+      os << d.snapshot_hops_to_correct << "\n";
+    else
+      os << "never\n";
+    os << "  lldp (baseline):     edges=" << d.lldp_edges
+       << " fabricated=" << d.lldp_fabricated
+       << " (peak " << d.lldp_fabricated_peak << ")"
+       << " correct=" << (d.lldp_correct ? "yes" : "NO") << "\n";
+    os << "    cost: msgs=" << d.lldp_msgs << " hops_to_correct=";
+    if (d.lldp_converged)
+      os << d.lldp_hops_to_correct << "\n";
+    else
+      os << "never\n";
   }
 
   os << "\n== fault reactions ==\n";
@@ -313,6 +351,42 @@ void write_prom_snapshot(std::ostream& os, const RunHeader& h, const Timeline& t
     if (x.machine == "lb")
       os << "ss_xfsm_failover_ok{" << m << "} " << (x.failover_ok ? 1 : 0)
          << "\n";
+  }
+
+  if (h.discovery.enabled) {
+    const DiscoveryReportSection& d = h.discovery;
+    const std::string a = util::cat(run, ",attack=\"", d.attack, "\"");
+    os << "ss_discovery_rounds_total{" << a << "} " << d.rounds << "\n";
+    os << "ss_discovery_rounds_deferred_total{" << a << "} "
+       << d.rounds_deferred << "\n";
+    os << "ss_discovery_relayed_frames_total{" << a << "} " << d.relayed << "\n";
+    const auto side = [&](const char* mech, bool correct, std::uint64_t edges,
+                          std::uint64_t fab, std::uint64_t fab_peak,
+                          std::uint64_t msgs, bool converged,
+                          std::uint64_t hops) {
+      const std::string s = util::cat(a, ",mechanism=\"", mech, "\"");
+      os << "ss_discovery_edges{" << s << "} " << edges << "\n";
+      os << "ss_discovery_fabricated_edges{" << s << "} " << fab << "\n";
+      os << "ss_discovery_fabricated_edges_peak{" << s << "} " << fab_peak
+         << "\n";
+      os << "ss_discovery_map_correct{" << s << "} " << (correct ? 1 : 0)
+         << "\n";
+      os << "ss_discovery_msgs_total{" << s << "} " << msgs << "\n";
+      os << "ss_discovery_converged{" << s << "} " << (converged ? 1 : 0)
+         << "\n";
+      if (converged)
+        os << "ss_discovery_hops_to_correct{" << s << "} " << hops << "\n";
+    };
+    side("snapshot", d.snapshot_correct, d.snapshot_edges,
+         d.snapshot_fabricated, d.snapshot_fabricated_peak, d.snapshot_msgs,
+         d.snapshot_converged, d.snapshot_hops_to_correct);
+    side("lldp", d.lldp_correct, d.lldp_edges, d.lldp_fabricated,
+         d.lldp_fabricated_peak, d.lldp_msgs, d.lldp_converged,
+         d.lldp_hops_to_correct);
+    os << "ss_discovery_reports_rejected_total{" << a << "} "
+       << d.reports_rejected << "\n";
+    os << "ss_discovery_edges_quarantined_total{" << a << "} "
+       << d.edges_quarantined << "\n";
   }
 
   for (const auto& [kind, n] : violation_totals(tl))

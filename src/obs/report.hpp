@@ -68,6 +68,38 @@ struct XfsmReportSection {
   bool failover_ok = false;            // lb: traffic moved to the partner
 };
 
+/// Adversarial discovery outcome (service == "discovery"): both mechanisms
+/// run under the same attack schedule — the hardened in-band snapshot and
+/// the unhardened LLDP baseline — and the section reports what each
+/// admitted, what the defenses turned away, and how fast each map became
+/// correct (in wire hops) once the attack stopped.
+struct DiscoveryReportSection {
+  bool enabled = false;
+  std::string attack;                  // lldp_spoof | probe_wormhole | flap_storm | none
+  std::uint32_t rounds = 0;            // discovery rounds executed
+  std::uint32_t rounds_deferred = 0;   // rate-guard deferrals (snapshot side)
+  std::uint64_t relayed = 0;           // wormhole frame copies the sim performed
+  sim::Time attack_stop = 0;           // last scheduled attack event
+  // Hardened snapshot side.
+  bool snapshot_correct = false;       // final map == ground truth
+  std::uint64_t snapshot_edges = 0;    // final map size
+  std::uint64_t snapshot_fabricated = 0;       // fabricated edges in final map
+  std::uint64_t snapshot_fabricated_peak = 0;  // worst round (poisoned edges)
+  std::uint64_t snapshot_msgs = 0;             // message cost under attack
+  std::uint64_t snapshot_hops_to_correct = 0;  // post-attack hops to first correct map
+  bool snapshot_converged = false;     // reached a correct map post-attack
+  std::uint64_t reports_rejected = 0;  // nonce-failed finish reports dropped
+  std::uint64_t edges_quarantined = 0; // ingress-consistency removals
+  // Unhardened LLDP baseline side.
+  bool lldp_correct = false;
+  std::uint64_t lldp_edges = 0;
+  std::uint64_t lldp_fabricated = 0;
+  std::uint64_t lldp_fabricated_peak = 0;
+  std::uint64_t lldp_msgs = 0;
+  std::uint64_t lldp_hops_to_correct = 0;
+  bool lldp_converged = false;
+};
+
 /// Run identity + outcome, filled by the caller (tools/obs_report copies it
 /// out of the scenario result).
 struct RunHeader {
@@ -98,6 +130,8 @@ struct RunHeader {
   TopkReportSection topk;
   // XFSM stateful services; rendered only when xfsm.enabled.
   XfsmReportSection xfsm;
+  // Adversarial discovery arena; rendered only when discovery.enabled.
+  DiscoveryReportSection discovery;
 };
 
 /// The full text report: run summary, causal timeline (faults, epoch bumps,

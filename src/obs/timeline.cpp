@@ -19,6 +19,9 @@ const char* tl_fault_kind_name(TlFaultKind k) {
     case TlFaultKind::kSwitchRestart: return "switch_restart";
     case TlFaultKind::kRuleCorrupt: return "rule_corrupt";
     case TlFaultKind::kHeaderCorrupt: return "header_corrupt";
+    case TlFaultKind::kInject: return "inject";
+    case TlFaultKind::kRelayOn: return "relay_on";
+    case TlFaultKind::kRelayOff: return "relay_off";
   }
   return "?";
 }
@@ -46,6 +49,7 @@ std::string invariant_kind_name(InvariantKind k) {
     case InvariantKind::kDfsTokenFork: return "dfs_token_fork";
     case InvariantKind::kUnprovokedFailover: return "unprovoked_failover";
     case InvariantKind::kSketchBound: return "sketch_bound";
+    case InvariantKind::kNoFabricatedLink: return "no_fabricated_link";
   }
   return "?";
 }
@@ -105,6 +109,16 @@ void Timeline::add_change(sim::Time t, const sim::NetChange& c,
       f.label = util::cat("header_corrupt off=", c.hdr_off, " width=", c.hdr_width,
                           " val=", c.hdr_val);
       break;
+    case K::kInject:
+      f.kind = TlFaultKind::kInject;
+      f.label = util::cat("inject at=", c.sw, ":", c.port,
+                          " eth=", c.packet.eth_type);
+      break;
+    case K::kRelay:
+      f.kind = c.flag ? TlFaultKind::kRelayOn : TlFaultKind::kRelayOff;
+      f.label = util::cat(tl_fault_kind_name(f.kind), " tap=", c.sw, ":", c.port,
+                          "->", c.sw2, ":", c.port2);
+      break;
     case K::kCallback:
       return;
   }
@@ -135,6 +149,15 @@ void Timeline::add_sweep(sim::Time at, std::uint32_t sweep, bool ok,
     violate(InvariantKind::kSketchBound, at,
             util::cat("sweep ", sweep, ": ", label));
   sweeps_.push_back({at, sweep, ok, std::move(label), 0});
+}
+
+void Timeline::add_map(sim::Time at, std::uint32_t round, bool defended,
+                       std::uint64_t fabricated, std::string label) {
+  if (defended && fabricated > 0)
+    violate(InvariantKind::kNoFabricatedLink, at,
+            util::cat("round ", round, ": ", fabricated,
+                      " fabricated link(s) entered a defended map (", label, ")"));
+  maps_.push_back({at, round, defended, fabricated, std::move(label), 0});
 }
 
 void Timeline::violate(InvariantKind k, sim::Time t, std::string detail) {
@@ -359,6 +382,19 @@ void Timeline::finalize(const sim::Network& net) {
         events_.begin(), events_.end(), s.at,
         [](sim::Time t, const TimelineEvent& ev) { return t < ev.time; });
     events_.insert(pos, {TimelineEvent::Kind::kSweep, s.at, si, 0});
+  }
+
+  // --- discovery map marks onto the same axis (after same-time events: a
+  // round's map exists only once its probes' hops have landed) ---
+  for (std::size_t mi = 0; mi < maps_.size(); ++mi) {
+    MapMark& m = maps_[mi];
+    m.at_hop = 0;
+    for (std::size_t k = 0; k < hops_.size(); ++k)
+      if (hops_[k].time <= m.at) ++m.at_hop;
+    const auto pos = std::upper_bound(
+        events_.begin(), events_.end(), m.at,
+        [](sim::Time t, const TimelineEvent& ev) { return t < ev.time; });
+    events_.insert(pos, {TimelineEvent::Kind::kMap, m.at, mi, 0});
   }
 
   // --- final counter cut + wire conservation ---

@@ -58,6 +58,12 @@ enum class TlFaultKind : std::uint8_t {
   kSwitchRestart,   // power-cycle: up again but tables wiped
   kRuleCorrupt,     // silent flow/group corruption on one switch
   kHeaderCorrupt,   // tag field overwritten on in-flight packets
+  // Malicious family: these attack the CONTROL VIEW, not connectivity, so
+  // tl_fault_degrades() is false for them — the data plane owes them no
+  // failover/drop reaction; the discovery invariants judge them instead.
+  kInject,          // adversarial host injection at a compromised port
+  kRelayOn,         // wormhole tap installed between non-adjacent ports
+  kRelayOff,
 };
 
 const char* tl_fault_kind_name(TlFaultKind k);
@@ -82,6 +88,8 @@ enum class InvariantKind : std::uint8_t {
   kDfsTokenFork,
   kUnprovokedFailover,
   kSketchBound,   // count-min decode broke estimate>=true / row-sum equality
+  kNoFabricatedLink,  // a DEFENDED discovery admitted a link absent from the
+                      // ground-truth graph into a final map
 };
 
 std::string invariant_kind_name(InvariantKind k);
@@ -117,14 +125,27 @@ struct SweepMark {
   std::uint64_t at_hop = 0;  // hops ingested with time <= at (set by finalize)
 };
 
+/// One discovery round's final map placed on the axis: which mechanism,
+/// whether its defenses were on, and how many fabricated (not-in-ground-
+/// truth) edges it admitted.  A defended map with fabricated > 0 files the
+/// kNoFabricatedLink violation at add_map() time.
+struct MapMark {
+  sim::Time at = 0;
+  std::uint32_t round = 0;
+  bool defended = true;
+  std::uint64_t fabricated = 0;
+  std::string label;         // "discovery round=2 snapshot fabricated=0" spelling
+  std::uint64_t at_hop = 0;  // hops ingested with time <= at (set by finalize)
+};
+
 /// One entry on the unified axis (faults before hops at equal time,
 /// matching the simulator's apply-changes-then-arrivals ordering).
 struct TimelineEvent {
-  enum class Kind : std::uint8_t { kFault, kHop, kEpochBump, kVerdict, kSweep };
+  enum class Kind : std::uint8_t { kFault, kHop, kEpochBump, kVerdict, kSweep, kMap };
   Kind kind = Kind::kHop;
   sim::Time time = 0;
   std::size_t index = 0;     // kFault: faults()[index]; kHop: hops()[index];
-                             // kSweep: sweeps()[index]
+                             // kSweep: sweeps()[index]; kMap: maps()[index]
   std::uint32_t epoch = 0;   // kHop / kEpochBump
 };
 
@@ -153,6 +174,12 @@ class Timeline {
   /// the mark onto the event axis and stamps its hop position.
   void add_sweep(sim::Time at, std::uint32_t sweep, bool ok, std::string label);
 
+  /// Record one discovery round's final map.  defended && fabricated > 0
+  /// files an InvariantKind::kNoFabricatedLink violation immediately;
+  /// finalize() merges the mark onto the event axis like sweeps.
+  void add_map(sim::Time at, std::uint32_t round, bool defended,
+               std::uint64_t fabricated, std::string label);
+
   /// Merge everything onto one axis and run the invariants (wire
   /// conservation against `net`'s links, a final counter cut against
   /// `net`'s stats).  Call exactly once, after ingestion.
@@ -165,6 +192,7 @@ class Timeline {
   const std::vector<InvariantViolation>& violations() const { return violations_; }
   const std::vector<FaultReaction>& reactions() const { return reactions_; }
   const std::vector<SweepMark>& sweeps() const { return sweeps_; }
+  const std::vector<MapMark>& maps() const { return maps_; }
 
   /// Per-epoch structural inspection (dead ends, failovers, port reuse) —
   /// partitioned so a retried traversal does not false-positive the
@@ -218,6 +246,7 @@ class Timeline {
   std::vector<InvariantViolation> violations_;
   std::vector<FaultReaction> reactions_;
   std::vector<SweepMark> sweeps_;
+  std::vector<MapMark> maps_;
   std::vector<std::pair<std::uint32_t, InspectReport>> inspect_;
   std::map<std::uint32_t, std::uint64_t> hops_per_switch_;
   Histogram wire_bytes_, tables_per_hop_, hops_per_epoch_;

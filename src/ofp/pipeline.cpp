@@ -71,9 +71,16 @@ void Pipeline::apply_actions(const ActionList& actions, Packet& pkt, PortNo in_p
             pkt.labels.push_back(
                 v.base | static_cast<std::uint32_t>(pkt.tag.get(v.offset, v.width)));
           } else if constexpr (std::is_same_v<T, ActPopLabel>) {
-            if (pkt.labels.empty())
-              throw std::runtime_error("Pipeline: pop on empty label stack");
-            pkt.labels.pop_back();
+            if (pkt.labels.empty()) {
+              // Malformed frame: correctly compiled services keep the stack
+              // balanced, so an empty-stack pop only happens to forged or
+              // wormhole-forked frames.  Real hardware drops such a frame;
+              // throwing would hand an attacker a switch-killing packet.
+              out.dropped_malformed = true;
+              stop = true;
+            } else {
+              pkt.labels.pop_back();
+            }
           } else if constexpr (std::is_same_v<T, ActClearLabels>) {
             pkt.labels.clear();
           } else if constexpr (std::is_same_v<T, ActGroup>) {

@@ -54,6 +54,7 @@ struct PipelineResult {
   Packet final_packet;       // header state when processing ended
   std::uint32_t tables_visited = 0;
   bool dropped_by_ttl = false;
+  bool dropped_malformed = false;  // empty-stack pop: frame dropped, not thrown
 
   // Telemetry: the (table, rule) chain and group/bucket decisions of this
   // run, in execution order.  Always recorded — both are pointer/IDs only,
@@ -69,6 +70,7 @@ struct PipelineResult {
     final_packet = Packet{};
     tables_visited = 0;
     dropped_by_ttl = false;
+    dropped_malformed = false;
     matched.clear();
     group_decisions.clear();
   }

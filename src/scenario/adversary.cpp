@@ -1,0 +1,246 @@
+#include "scenario/adversary.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ss::scenario {
+
+const char* attack_kind_name(AttackKind k) {
+  switch (k) {
+    case AttackKind::kLldpSpoof: return "lldp_spoof";
+    case AttackKind::kProbeWormhole: return "probe_wormhole";
+    case AttackKind::kFlapStorm: return "flap_storm";
+  }
+  return "?";
+}
+
+std::optional<AttackKind> attack_kind_from(const std::string& name) {
+  if (name == "lldp_spoof") return AttackKind::kLldpSpoof;
+  if (name == "probe_wormhole") return AttackKind::kProbeWormhole;
+  if (name == "flap_storm") return AttackKind::kFlapStorm;
+  return std::nullopt;
+}
+
+const char* attack_placement_name(AttackPlacement p) {
+  switch (p) {
+    case AttackPlacement::kRandom: return "random";
+    case AttackPlacement::kNearRoot: return "near_root";
+    case AttackPlacement::kFarFromRoot: return "far_from_root";
+  }
+  return "?";
+}
+
+std::optional<AttackPlacement> attack_placement_from(const std::string& name) {
+  if (name == "random") return AttackPlacement::kRandom;
+  if (name == "near_root") return AttackPlacement::kNearRoot;
+  if (name == "far_from_root") return AttackPlacement::kFarFromRoot;
+  return std::nullopt;
+}
+
+namespace {
+
+/// True iff port `ap` of `a` is a real wire to exactly (b, bp).
+bool real_link(const graph::Graph& g, graph::NodeId a, graph::PortNo ap,
+               graph::NodeId b, graph::PortNo bp) {
+  if (ap == graph::kNoPort || ap > g.degree(a)) return false;
+  const auto nb = g.neighbor(a, ap);
+  return nb && nb->node == b && nb->port == bp;
+}
+
+/// Deterministic fix-up: starting from the drawn seeds, scan (node, port)
+/// combinations in a fixed order until the claimed attachment
+/// (s, sp)-(b, bp) is NOT a real wire and s != b.  Because a port pairs
+/// with exactly one peer endpoint, almost every candidate qualifies; any
+/// graph with >= 2 nodes and a port on some non-b node terminates.
+graph::Endpoint fake_attachment(const graph::Graph& g, std::uint64_t node_seed,
+                                std::uint64_t port_seed, graph::NodeId b,
+                                graph::PortNo bp) {
+  const auto n = g.node_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<graph::NodeId>((node_seed + i) % n);
+    if (s == b) continue;
+    const graph::PortNo d = g.degree(s);
+    for (graph::PortNo j = 0; j < d; ++j) {
+      const auto sp = static_cast<graph::PortNo>(1 + (port_seed + j) % d);
+      if (!real_link(g, s, sp, b, bp)) return {s, sp};
+    }
+  }
+  throw std::invalid_argument("adversary: no fabricable attachment exists");
+}
+
+/// BFS hop distances from `root` (UINT32_MAX = unreachable).
+std::vector<std::uint32_t> bfs_dist(const graph::Graph& g, graph::NodeId root) {
+  std::vector<std::uint32_t> dist(g.node_count(),
+                                  std::numeric_limits<std::uint32_t>::max());
+  std::vector<graph::NodeId> queue{root};
+  dist[root] = 0;
+  for (std::size_t h = 0; h < queue.size(); ++h) {
+    const auto u = queue[h];
+    for (const auto& [p, nb] : g.neighbors(u)) {
+      (void)p;
+      if (dist[nb.node] != std::numeric_limits<std::uint32_t>::max()) continue;
+      dist[nb.node] = dist[u] + 1;
+      queue.push_back(nb.node);
+    }
+  }
+  return dist;
+}
+
+graph::NodeId place_attacker(const AdversarySpec& a, const graph::Graph& g,
+                             std::uint64_t draw) {
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  switch (a.placement) {
+    case AttackPlacement::kRandom:
+      return static_cast<graph::NodeId>(draw % n);
+    case AttackPlacement::kNearRoot: {
+      const graph::PortNo d = g.degree(a.root);
+      if (d == 0) return a.root;
+      return g.neighbor(a.root, static_cast<graph::PortNo>(1 + draw % d))->node;
+    }
+    case AttackPlacement::kFarFromRoot: {
+      const auto dist = bfs_dist(g, a.root);
+      std::uint32_t best = 0;
+      for (const auto d : dist)
+        if (d != std::numeric_limits<std::uint32_t>::max()) best = std::max(best, d);
+      std::vector<graph::NodeId> far;
+      for (graph::NodeId v = 0; v < g.node_count(); ++v)
+        if (dist[v] == best) far.push_back(v);
+      return far[draw % far.size()];
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<FaultEvent> expand_adversary(const AdversarySpec& a,
+                                         const graph::Graph& g, util::Rng& rng) {
+  if (g.node_count() < 3)
+    throw std::invalid_argument("adversary: need >= 3 nodes to fabricate links");
+  if (a.end < a.start) throw std::invalid_argument("adversary: end < start");
+  if (a.root >= g.node_count())
+    throw std::invalid_argument("adversary: root out of range");
+  const sim::Time span = a.end - a.start;
+
+  // Draws 1-2: the compromised endpoint (one node draw remapped by the
+  // placement strategy, then a uniform port on that switch).
+  const graph::NodeId c_sw =
+      place_attacker(a, g, rng.uniform(0, g.node_count() - 1));
+  const graph::PortNo c_deg = g.degree(c_sw);
+  if (c_deg == 0)
+    throw std::invalid_argument("adversary: compromised switch has no ports");
+  const auto c_port = static_cast<ofp::PortNo>(1 + rng.uniform(0, c_deg - 1));
+
+  std::vector<FaultEvent> out;
+  for (std::uint32_t k = 0; k < a.budget; ++k) {
+    switch (a.kind) {
+      case AttackKind::kLldpSpoof: {
+        // Per action: time, frame-kind coin, claimed-source seeds, far-end
+        // seeds, epoch-guess salt — always seven draws so the order is fixed
+        // regardless of which frame kind the coin picks.
+        const sim::Time t = a.start + static_cast<sim::Time>(rng.uniform(0, span));
+        const bool probe = rng.uniform(0, 1) == 1;
+        const std::uint64_t ns = rng.uniform(0, g.node_count() - 1);
+        const std::uint64_t ps = rng.uniform(0, 1u << 14);
+        const std::uint64_t ns2 = rng.uniform(0, g.node_count() - 1);
+        const std::uint64_t ps2 = rng.uniform(0, 1u << 14);
+        const std::uint64_t salt = rng.uniform(0, 255);
+        FaultEvent ev{};
+        ev.at = t;
+        ev.salt = salt;
+        if (!probe) {
+          ev.op = FaultOp::kForgeLldp;
+          ev.sw = c_sw;
+          ev.port = c_port;
+          const auto src = fake_attachment(g, ns, ps, c_sw, c_port);
+          ev.src_sw = src.node;
+          ev.src_port = src.port;
+        } else {
+          // A forged finish is addressed to the collection point: it must
+          // arrive at the root on its last port so the scan-group fallback
+          // punts it to the controller as a completed traversal.
+          ev.op = FaultOp::kForgeProbe;
+          ev.sw = a.root;
+          ev.port = static_cast<ofp::PortNo>(g.degree(a.root));
+          const auto src = fake_attachment(g, ns, ps, a.root, ev.port);
+          ev.src_sw = src.node;
+          ev.src_port = src.port;
+          const auto far = fake_attachment(g, ns2, ps2, src.node, src.port);
+          ev.sw2 = far.node;
+          ev.port2 = far.port;
+        }
+        out.push_back(ev);
+        break;
+      }
+      case AttackKind::kProbeWormhole: {
+        // Per action: on-time, duration, capture port, delivery seeds.
+        const sim::Time t_on =
+            a.start + static_cast<sim::Time>(rng.uniform(0, span));
+        const sim::Time dur = 1 + static_cast<sim::Time>(
+                                      rng.uniform(0, std::max<sim::Time>(1, span / 2)));
+        const auto cap = static_cast<ofp::PortNo>(1 + rng.uniform(0, c_deg - 1));
+        const std::uint64_t nd = rng.uniform(0, g.node_count() - 1);
+        const std::uint64_t pd = rng.uniform(0, 1u << 14);
+        sim::Time t_off = std::min(a.end, t_on + dur);
+        if (t_off <= t_on) t_off = t_on + 1;
+        // Delivery end chosen so the fabricated claim — "capture-port peer
+        // wired to the delivery port" — can never be a real link.
+        const auto dst = fake_attachment(g, nd, pd, c_sw, cap);
+        FaultEvent on{};
+        on.at = t_on;
+        on.op = FaultOp::kRelayOn;
+        on.sw = c_sw;
+        on.port = cap;
+        on.sw2 = dst.node;
+        on.port2 = dst.port;
+        FaultEvent off = on;
+        off.at = t_off;
+        off.op = FaultOp::kRelayOff;
+        out.push_back(on);
+        out.push_back(off);
+        break;
+      }
+      case AttackKind::kFlapStorm: {
+        // Per action: target incident port, train start, forged-claim seeds,
+        // epoch-guess salt.
+        const auto fp = static_cast<graph::PortNo>(1 + rng.uniform(0, c_deg - 1));
+        const sim::Time t0 =
+            a.start + static_cast<sim::Time>(rng.uniform(0, span));
+        const std::uint64_t ns = rng.uniform(0, g.node_count() - 1);
+        const std::uint64_t ps = rng.uniform(0, 1u << 14);
+        const std::uint64_t salt = rng.uniform(0, 255);
+        FlapSpec f;
+        f.edge = g.edge_at(c_sw, fp);
+        f.start = t0;
+        f.period = a.flap_period;
+        f.down_for = a.flap_down_for;
+        f.count = a.flap_count;
+        const auto train = expand_flap(f);
+        out.insert(out.end(), train.begin(), train.end());
+        // Forged LLDP slipped in mid-churn: re-discovery triggered by the
+        // flaps is the attacker's injection window.
+        FaultEvent ev{};
+        ev.at = t0 + a.flap_period / 2;
+        ev.op = FaultOp::kForgeLldp;
+        ev.sw = c_sw;
+        ev.port = c_port;
+        ev.salt = salt;
+        const auto src = fake_attachment(g, ns, ps, c_sw, c_port);
+        ev.src_sw = src.node;
+        ev.src_port = src.port;
+        out.push_back(ev);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+sim::Time attack_end(const std::vector<FaultEvent>& schedule) {
+  sim::Time end = 0;
+  for (const FaultEvent& ev : schedule) end = std::max(end, ev.at);
+  return end;
+}
+
+}  // namespace ss::scenario

@@ -1,0 +1,74 @@
+#pragma once
+// Seeded adversary generator: expands a compact attacker description into a
+// concrete MALICIOUS fault schedule — the link-fabrication attack families
+// from "Limitations of OpenFlow Topology Discovery Protocol" / sOFTDP:
+//
+//   * lldp_spoof     — forged LLDP probes and forged snapshot "finish"
+//                      reports injected at a compromised port, each claiming
+//                      a link that does not exist;
+//   * probe_wormhole — an out-of-band relay tunnel copying discovery frames
+//                      from the compromised port to a non-adjacent port, so
+//                      both mechanisms see probes arrive where they never
+//                      travelled;
+//   * flap_storm     — targeted flap trains on the compromised switch's
+//                      links, with forged LLDP slipped in mid-churn (churn
+//                      triggers re-discovery; every re-discovery is an
+//                      injection opportunity).
+//
+// Same determinism contract as chaos.hpp: all randomness comes from the
+// caller's util::Rng in a FIXED documented draw order, so a (spec, seed)
+// pair always yields the identical attack episode — byte-identical replays
+// and cross-thread harness identity rest on this.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/schedule.hpp"
+
+namespace ss::scenario {
+
+enum class AttackKind : std::uint8_t { kLldpSpoof, kProbeWormhole, kFlapStorm };
+
+const char* attack_kind_name(AttackKind k);
+std::optional<AttackKind> attack_kind_from(const std::string& name);
+
+/// Where the attacker's compromised port sits relative to the discovery
+/// root: anywhere, on a direct neighbor of the root (maximum blast radius
+/// for forged finishes), or as far from the root as the topology allows
+/// (the stealthiest position).
+enum class AttackPlacement : std::uint8_t { kRandom, kNearRoot, kFarFromRoot };
+
+const char* attack_placement_name(AttackPlacement p);
+std::optional<AttackPlacement> attack_placement_from(const std::string& name);
+
+struct AdversarySpec {
+  AttackKind kind = AttackKind::kLldpSpoof;
+  AttackPlacement placement = AttackPlacement::kRandom;
+  std::uint32_t budget = 4;     // attack actions to draw (forgeries / taps / trains)
+  sim::Time start = 0;          // attack window [start, end]
+  sim::Time end = 200;
+  graph::NodeId root = 0;       // discovery root (forged probes target it)
+  // flap_storm train shape
+  sim::Time flap_period = 10;
+  sim::Time flap_down_for = 4;
+  std::uint32_t flap_count = 3;
+};
+
+/// Draw order (fixed so inserting a new attack class later cannot reshuffle
+/// older seeds' episodes): first the compromised switch (one uniform node
+/// draw, remapped by placement) and its port, then per budgeted action the
+/// action's time followed by its class-specific parameters.  Fabricated
+/// link claims are fixed up deterministically (scan from the drawn values)
+/// to never coincide with a real wire, so every successful injection is a
+/// fabrication by construction.  The returned schedule is unsorted;
+/// callers sort_schedule() as usual.
+std::vector<FaultEvent> expand_adversary(const AdversarySpec& a,
+                                         const graph::Graph& g, util::Rng& rng);
+
+/// Latest event timestamp in a schedule (0 if empty) — "when the attack
+/// stops", the origin for time-to-correct-map measurements.
+sim::Time attack_end(const std::vector<FaultEvent>& schedule);
+
+}  // namespace ss::scenario

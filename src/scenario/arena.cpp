@@ -1,0 +1,314 @@
+#include "scenario/arena.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "baseline/lldp_discovery.hpp"
+#include "core/discovery.hpp"
+#include "graph/algorithms.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace ss::scenario {
+
+namespace {
+
+/// Counter-wise b - a (mirrors the runner's cut; max_wire_bytes is a
+/// high-watermark, kept as-is).
+sim::Stats stats_delta(const sim::Stats& b, const sim::Stats& a) {
+  sim::Stats d;
+  d.sent = b.sent - a.sent;
+  d.delivered = b.delivered - a.delivered;
+  d.dropped_down = b.dropped_down - a.dropped_down;
+  d.dropped_blackhole = b.dropped_blackhole - a.dropped_blackhole;
+  d.dropped_loss = b.dropped_loss - a.dropped_loss;
+  d.controller_msgs = b.controller_msgs - a.controller_msgs;
+  d.packet_outs = b.packet_outs - a.packet_outs;
+  d.max_wire_bytes = b.max_wire_bytes;
+  d.events = b.events - a.events;
+  return d;
+}
+
+/// Canonical "u:pu-v:pv" line set of the alive edges within `root`'s alive
+/// component — what a correct in-band snapshot must report.
+std::string reference_component(const graph::Graph& g, graph::NodeId root,
+                                const graph::EdgeAlive& alive) {
+  const std::vector<bool> reach = graph::reachable_from(g, root, alive);
+  std::vector<std::string> lines;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!alive(e)) continue;
+    const graph::Edge& ed = g.edge(e);
+    if (!reach[ed.a.node] || !reach[ed.b.node]) continue;
+    graph::Endpoint lo = ed.a, hi = ed.b;
+    if (hi.node < lo.node) std::swap(lo, hi);
+    lines.push_back(util::cat(lo.node, ":", lo.port, "-", hi.node, ":", hi.port));
+  }
+  std::sort(lines.begin(), lines.end());
+  return util::join(lines, "\n");
+}
+
+/// Canonical line set of ALL alive edges — what a correct LLDP sweep must
+/// report (the controller reaches every switch out-of-band, so its map is
+/// not limited to root's component).
+std::string reference_all(const graph::Graph& g, const graph::EdgeAlive& alive) {
+  std::vector<std::string> lines;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!alive(e)) continue;
+    const graph::Edge& ed = g.edge(e);
+    graph::Endpoint lo = ed.a, hi = ed.b;
+    if (hi.node < lo.node) std::swap(lo, hi);
+    lines.push_back(util::cat(lo.node, ":", lo.port, "-", hi.node, ":", hi.port));
+  }
+  std::sort(lines.begin(), lines.end());
+  return util::join(lines, "\n");
+}
+
+/// Does this event perturb link/switch state (the rate guard's input)?
+/// Forged frames and relay taps are invisible to port-status telemetry, so
+/// they do not count as churn.
+bool is_churn(const FaultEvent& ev) {
+  switch (ev.op) {
+    case FaultOp::kLinkDown:
+    case FaultOp::kLinkUp:
+    case FaultOp::kSwitchCrash:
+    case FaultOp::kSwitchRestore:
+    case FaultOp::kSwitchRestart:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ScenarioResult run_discovery_scenario(const ScenarioSpec& spec,
+                                      obs::Timeline* timeline,
+                                      obs::Recorder* recorder) {
+  ScenarioResult r;
+  const DiscoverySpec& ds = spec.discovery;
+  const graph::Graph& g = spec.graph;
+
+  // Twin networks: the defended snapshot side carries the observers, the
+  // LLDP side replays the identical schedule silently.
+  sim::Network net(g, spec.link_delay, spec.seed);
+  sim::Network lnet(g, spec.link_delay, spec.seed);
+  if (timeline != nullptr || recorder != nullptr) net.set_trace(true);
+
+  sim::Stats last{};
+  net.set_change_hook([&](sim::Time t, const sim::NetChange& c) {
+    if (recorder != nullptr) recorder->on_change(t, c);
+    if (c.kind == sim::NetChange::Kind::kCallback) return;  // watchdogs
+    if (timeline != nullptr) timeline->add_change(t, c, net.stats());
+    TimelineEntry te;
+    te.at = t;
+    te.what = describe_change(c);
+    te.delta = stats_delta(net.stats(), last);
+    last = net.stats();
+    r.timeline.push_back(std::move(te));
+  });
+  if (recorder != nullptr) {
+    std::vector<std::pair<sim::Time, std::string>> plan;
+    plan.reserve(spec.schedule.size());
+    for (const FaultEvent& ev : spec.schedule) plan.emplace_back(ev.at, describe(ev));
+    recorder->set_schedule(std::move(plan));
+    recorder->attach(net);
+  }
+
+  core::DiscoveryDefense defense;
+  defense.nonce = ds.nonce;
+  defense.ingress_check = ds.ingress_check;
+  defense.rate_guard = ds.rate_guard;
+  defense.churn_threshold = ds.churn_threshold;
+  defense.max_deferrals = ds.max_deferrals;
+  const bool defended = defense.nonce || defense.ingress_check || defense.rate_guard;
+
+  core::HardenedDiscovery disc(g, defense);
+  disc.install(net);
+  baseline::LldpDiscovery lldp(g);
+  lldp.install(lnet);
+
+  const core::RetryPolicy policy = spec.retry.value_or(core::RetryPolicy{});
+  util::Rng rng(spec.seed);
+
+  obs::DiscoveryReportSection& sec = r.discovery;
+  sec.enabled = true;
+  sec.attack = ds.attack;
+  for (const FaultEvent& ev : spec.schedule)
+    sec.attack_stop = std::max(sec.attack_stop, ev.at);
+
+  core::HardenedStats hs{1, 0, core::HardenedOutcome::kExhausted};
+  std::size_t applied = 0;          // schedule events handed to the nets so far
+  std::uint64_t pending_churn = 0;  // churn carried across deferred rounds
+  bool have_final = false;
+
+  // The rate guard can defer the TAIL rounds of a flap-heavy episode (the
+  // carried churn is still above threshold when the schedule drains), which
+  // would leave time-to-correct-map unmeasurable: the map is correct, but no
+  // defended round ran after the attack to observe it.  Settle windows past
+  // ds.rounds — enough to outlast the deferral bound, and only taken while a
+  // mechanism has not yet converged (the in-loop break fires otherwise) —
+  // guarantee at least one post-attack round without weakening the guard.
+  const std::uint32_t settle = defense.max_deferrals + 2;
+  for (std::uint32_t k = 0; k < ds.rounds + settle; ++k) {
+    // Window k's slice; the last scheduled round also takes any straggling
+    // events so nothing past rounds*round_window is silently dropped.
+    const sim::Time hi = static_cast<sim::Time>(k + 1) * ds.round_window;
+    std::vector<FaultEvent> batch;
+    while (applied < spec.schedule.size() &&
+           (spec.schedule[applied].at < hi || k + 1 == ds.rounds)) {
+      batch.push_back(spec.schedule[applied]);
+      ++applied;
+    }
+    const bool attack_over = batch.empty() && applied == spec.schedule.size();
+    std::uint64_t churn = pending_churn;
+    for (const FaultEvent& ev : batch) churn += is_churn(ev) ? 1 : 0;
+    apply_schedule(net, batch);
+    apply_schedule(lnet, batch);
+
+    // Defended snapshot round.
+    core::DiscoveryOutcome out = disc.round(net, spec.root, policy, rng, churn);
+    if (out.deferred) {
+      ++sec.rounds_deferred;
+      pending_churn = churn;
+    } else {
+      pending_churn = 0;
+      ++sec.rounds;
+      hs = out.hardened;
+      const std::uint64_t msgs = out.stats.inband_msgs +
+                                 out.stats.outband_to_ctrl +
+                                 out.stats.outband_from_ctrl;
+      sec.snapshot_msgs += msgs;
+      sec.reports_rejected += out.reports_rejected;
+      sec.edges_quarantined += out.edges_quarantined;
+      r.run.inband_msgs += out.stats.inband_msgs;
+      r.run.outband_to_ctrl += out.stats.outband_to_ctrl;
+      r.run.outband_from_ctrl += out.stats.outband_from_ctrl;
+      r.run.max_wire_bytes = std::max(r.run.max_wire_bytes, out.stats.max_wire_bytes);
+
+      const std::uint64_t fab = core::count_fabricated(g, out.edges);
+      sec.snapshot_fabricated = fab;
+      sec.snapshot_fabricated_peak = std::max(sec.snapshot_fabricated_peak, fab);
+      sec.snapshot_edges = out.edges.size();
+      sec.snapshot_correct =
+          out.complete &&
+          out.canonical() == reference_component(g, spec.root, net.alive_fn());
+      r.complete = out.complete;
+      r.snapshot_canonical = out.canonical();
+      r.snapshot_match = sec.snapshot_correct;
+      r.verdict_at = net.now();
+      have_final = true;
+      if (attack_over && !sec.snapshot_converged) {
+        sec.snapshot_hops_to_correct += out.stats.inband_msgs;
+        if (sec.snapshot_correct) sec.snapshot_converged = true;
+      }
+      if (timeline != nullptr)
+        timeline->add_map(net.now(), k, defended, fab,
+                          util::cat("discovery round=", k, " snapshot edges=",
+                                    out.edges.size(), " fabricated=", fab,
+                                    sec.snapshot_correct ? " correct" : ""));
+    }
+
+    // Unhardened LLDP baseline round (no guard: it always runs).
+    baseline::DiscoveryResult lres = lldp.run(lnet);
+    const std::uint64_t lfab = core::count_fabricated(g, lres.edges);
+    const std::uint64_t lmsgs = lres.stats.inband_msgs +
+                                lres.stats.outband_to_ctrl +
+                                lres.stats.outband_from_ctrl;
+    sec.lldp_msgs += lmsgs;
+    sec.lldp_fabricated = lfab;
+    sec.lldp_fabricated_peak = std::max(sec.lldp_fabricated_peak, lfab);
+    sec.lldp_edges = lres.edges.size();
+    sec.lldp_correct = lres.canonical() == reference_all(g, lnet.alive_fn());
+    if (attack_over && !sec.lldp_converged) {
+      sec.lldp_hops_to_correct += lres.stats.inband_msgs;
+      if (sec.lldp_correct) sec.lldp_converged = true;
+    }
+    if (timeline != nullptr)
+      timeline->add_map(net.now(), k, /*defended=*/false, lfab,
+                        util::cat("discovery round=", k, " lldp edges=",
+                                  lres.edges.size(), " fabricated=", lfab,
+                                  sec.lldp_correct ? " correct" : ""));
+
+    if (attack_over && sec.snapshot_converged && sec.lldp_converged) break;
+  }
+  sec.relayed = net.relayed() + lnet.relayed();
+
+  r.attempts = hs.attempts;
+  r.final_epoch = hs.final_epoch;
+  if (spec.retry) r.hardened_outcome = core::hardened_outcome_name(hs.outcome);
+  r.verdict = r.complete ? "complete" : "incomplete";
+  r.sim = net.stats();
+  for (graph::EdgeId e = 0; e < net.link_count(); ++e) {
+    for (bool dir : {true, false}) {
+      const sim::WireCounters& w = net.link(e).wire(dir);
+      r.wire_sent += w.sent;
+      r.wire_delivered += w.delivered;
+      r.wire_dropped_down += w.dropped_down;
+      r.wire_dropped_blackhole += w.dropped_blackhole;
+      r.wire_dropped_loss += w.dropped_loss;
+    }
+  }
+
+  if (!have_final) {
+    r.ground_truth_ok = false;
+    r.ground_truth_detail = "every discovery round was deferred";
+  } else if (sec.snapshot_fabricated > 0) {
+    r.ground_truth_ok = false;
+    r.ground_truth_detail = util::cat("final defended map admitted ",
+                                      sec.snapshot_fabricated,
+                                      " fabricated link(s)");
+  } else if (!sec.snapshot_correct) {
+    r.ground_truth_ok = false;
+    r.ground_truth_detail = "final defended map differs from reference component";
+  } else {
+    r.ground_truth_ok = true;
+    r.ground_truth_detail = "final defended map clean and correct";
+  }
+
+  if (timeline != nullptr) {
+    // Each round is its own injection, so the single-token invariant does
+    // not apply across the run: pass a never-matching EtherType.
+    obs::Timeline::EpochFn epoch_of = [L = disc.layout()](const ofp::Packet& p) {
+      return static_cast<std::uint32_t>(L.get(p, L.epoch()));
+    };
+    timeline->ingest_trace(net, std::move(epoch_of), /*traversal_eth=*/0);
+    if (r.complete) timeline->set_verdict(r.verdict_at, r.verdict);
+    timeline->finalize(net);
+  }
+
+  if (recorder != nullptr) {
+    if (timeline != nullptr)
+      for (const obs::InvariantViolation& v : timeline->violations())
+        recorder->alert(obs::invariant_kind_name(v.kind), v.detail);
+    const bool run_failed =
+        !r.ground_truth_ok ||
+        (timeline != nullptr && !timeline->violations().empty());
+    recorder->finish(net, run_failed);
+  }
+
+  const ExpectSpec& ex = spec.expect;
+  auto expect_failed = [&](std::string what) {
+    r.expect_ok = false;
+    r.expect_failures.push_back(std::move(what));
+  };
+  if (ex.verdict && *ex.verdict != r.verdict)
+    expect_failed(util::cat("verdict: want ", *ex.verdict, ", got ", r.verdict));
+  if (ex.max_attempts && r.attempts > *ex.max_attempts)
+    expect_failed(util::cat("attempts: want <= ", *ex.max_attempts, ", got ",
+                            r.attempts));
+  if (ex.snapshot_match && *ex.snapshot_match != r.snapshot_match)
+    expect_failed(util::cat("snapshot_match: want ", *ex.snapshot_match,
+                            ", got ", r.snapshot_match));
+  if (ex.max_fabricated && sec.snapshot_fabricated > *ex.max_fabricated)
+    expect_failed(util::cat("max_fabricated: want <= ", *ex.max_fabricated,
+                            ", got ", sec.snapshot_fabricated));
+  if (ex.min_fabricated_baseline &&
+      sec.lldp_fabricated_peak < *ex.min_fabricated_baseline)
+    expect_failed(util::cat("min_fabricated_baseline: want >= ",
+                            *ex.min_fabricated_baseline, ", got ",
+                            sec.lldp_fabricated_peak));
+  return r;
+}
+
+}  // namespace ss::scenario

@@ -1,0 +1,37 @@
+#pragma once
+// Adversarial discovery arena: run BOTH topology-discovery mechanisms —
+// the attack-hardened in-band snapshot (core::HardenedDiscovery) and the
+// unhardened controller-driven LLDP baseline (baseline::LldpDiscovery) —
+// against the SAME expanded attack schedule, on twin networks built from
+// the same spec, and judge what each admitted into its map.
+//
+// The schedule is partitioned into per-round time windows of
+// spec.discovery.round_window; round k applies window k's events to both
+// networks, runs one discovery epoch on each mechanism, and records both
+// final maps on the timeline (obs::Timeline::add_map — a DEFENDED map with
+// fabricated edges trips kNoFabricatedLink).  Once every scheduled event
+// has been applied and a window arrives empty, the attack is over and each
+// side's remaining in-band message cost accumulates as its
+// time-to-correct-map (in hops), the delay-independent metric the rest of
+// the repo speaks in.
+//
+// Everything is deterministic from the spec: the nonce stream comes from
+// Rng(spec.seed), windowing is pure arithmetic over event timestamps, and
+// both networks replay the identical change list.
+
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace ss::scenario {
+
+/// Execute a service == "discovery" scenario.  run_scenario() delegates
+/// here; call it directly only from tests.  Both observers are optional
+/// and attach to the snapshot-side network (the defended mechanism under
+/// test); the LLDP side contributes only its per-round maps.
+ScenarioResult run_discovery_scenario(const ScenarioSpec& spec,
+                                      obs::Timeline* timeline,
+                                      obs::Recorder* recorder);
+
+}  // namespace ss::scenario

@@ -8,6 +8,7 @@
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/topk.hpp"
+#include "scenario/arena.hpp"
 #include "sim/flowgen.hpp"
 #include "util/strings.hpp"
 #include "xfsm/machines.hpp"
@@ -34,6 +35,8 @@ sim::Stats stats_delta(const sim::Stats& b, const sim::Stats& a) {
   return d;
 }
 
+}  // namespace
+
 std::string describe_change(const sim::NetChange& c) {
   using K = sim::NetChange::Kind;
   switch (c.kind) {
@@ -55,11 +58,20 @@ std::string describe_change(const sim::NetChange& c) {
     case K::kHeaderCorrupt:
       return util::cat("header_corrupt off=", c.hdr_off, " width=", c.hdr_width,
                        " val=", c.hdr_val);
+    case K::kInject:
+      return util::cat("inject at=", c.sw, ":", c.port,
+                       " eth=", c.packet.eth_type);
+    case K::kRelay:
+      return c.flag ? util::cat("relay_on tap=", c.sw, ":", c.port, "->", c.sw2,
+                                ":", c.port2)
+                    : util::cat("relay_off tap=", c.sw, ":", c.port);
     case K::kCallback:
       return "callback";
   }
   return "?";
 }
+
+namespace {
 
 /// Canonical "u:pu-v:pv" line set of the component of `root` under `alive`
 /// — the reference a correct snapshot must equal.
@@ -113,6 +125,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline) {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline,
                             obs::Recorder* recorder) {
+  // The adversarial discovery arena runs TWO networks and both discovery
+  // mechanisms; it has its own driver.
+  if (spec.service == "discovery")
+    return run_discovery_scenario(spec, timeline, recorder);
   ScenarioResult r;
   sim::Network net(spec.graph, spec.link_delay, spec.seed);
   const bool hardened = spec.retry.has_value();
@@ -793,6 +809,30 @@ void write_result_jsonl(std::ostream& os, const ScenarioSpec& spec,
           .add("xfsm_worst_excess", r.xfsm.worst_excess);
     if (r.xfsm.machine == "lb")
       o.add("xfsm_failover_ok", r.xfsm.failover_ok);
+  }
+  if (spec.service == "discovery") {
+    const obs::DiscoveryReportSection& d = r.discovery;
+    o.add("attack", d.attack)
+        .add("rounds", d.rounds)
+        .add("rounds_deferred", d.rounds_deferred)
+        .add("relayed", d.relayed)
+        .add("attack_stop", d.attack_stop)
+        .add("snapshot_correct", d.snapshot_correct)
+        .add("snapshot_edges", d.snapshot_edges)
+        .add("snapshot_fabricated", d.snapshot_fabricated)
+        .add("snapshot_fabricated_peak", d.snapshot_fabricated_peak)
+        .add("snapshot_msgs", d.snapshot_msgs)
+        .add("snapshot_converged", d.snapshot_converged)
+        .add("snapshot_hops_to_correct", d.snapshot_hops_to_correct)
+        .add("reports_rejected", d.reports_rejected)
+        .add("edges_quarantined", d.edges_quarantined)
+        .add("lldp_correct", d.lldp_correct)
+        .add("lldp_edges", d.lldp_edges)
+        .add("lldp_fabricated", d.lldp_fabricated)
+        .add("lldp_fabricated_peak", d.lldp_fabricated_peak)
+        .add("lldp_msgs", d.lldp_msgs)
+        .add("lldp_converged", d.lldp_converged)
+        .add("lldp_hops_to_correct", d.lldp_hops_to_correct);
   }
   o.add("inband_msgs", r.run.inband_msgs)
       .add("outband_to_ctrl", r.run.outband_to_ctrl)

@@ -66,6 +66,10 @@ struct ScenarioResult {
   // XFSM stateful-service outcome (service == "xfsm" only; xfsm.enabled set).
   obs::XfsmReportSection xfsm;
 
+  // Adversarial discovery arena outcome (service == "discovery" only;
+  // discovery.enabled set).
+  obs::DiscoveryReportSection discovery;
+
   // Recovery service outcome (spec.recovery present only).
   bool recovery_enabled = false;
   bool final_audit_clean = true;   // end-of-run audit over every up switch
@@ -105,6 +109,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Timeline* timeline,
 /// one "scenario_event" line per applied fault, one "scenario_result" line.
 void write_result_jsonl(std::ostream& os, const ScenarioSpec& spec,
                         const ScenarioResult& r);
+
+/// Human label for one applied network change ("link_down edge=12",
+/// "inject at=3:2 eth=35021", ...) — the spelling used by scenario_event
+/// JSONL lines.  Shared by the runner and the discovery arena.
+std::string describe_change(const sim::NetChange& c);
 
 /// Link/switch aliveness at time `t` folded from the spec's schedule
 /// (events with at <= t applied, matching the run loop's ordering).

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "core/eth_types.hpp"
+#include "core/fields.hpp"
+#include "core/labels.hpp"
 #include "util/strings.hpp"
 
 namespace ss::scenario {
@@ -20,9 +24,50 @@ const char* fault_op_name(FaultOp op) {
     case FaultOp::kSwitchRestart: return "switch_restart";
     case FaultOp::kRuleCorrupt: return "rule_corrupt";
     case FaultOp::kHeaderCorrupt: return "header_corrupt";
+    case FaultOp::kForgeLldp: return "forge_lldp";
+    case FaultOp::kForgeProbe: return "forge_probe";
+    case FaultOp::kRelayOn: return "relay_on";
+    case FaultOp::kRelayOff: return "relay_off";
   }
   return "?";
 }
+
+namespace {
+
+/// Forged LLDP probe: the victim's own lldp.in rule will stamp the ingress
+/// port and punt it, so the baseline controller decodes a link from the
+/// CLAIMED (src_sw, src_port) to wherever the attacker injected.
+ofp::Packet forge_lldp(const core::TagLayout& L, const FaultEvent& ev) {
+  ofp::Packet pkt = L.make_packet(core::kEthLldp);
+  L.set(pkt, L.opt_id(), ev.src_sw + 1);
+  L.set(pkt, L.out_port(), ev.src_port);
+  return pkt;
+}
+
+/// Forged snapshot probe: a traversal packet whose tag claims the scan at
+/// `ev.sw` just returned on its last port (par = 0, cur = in-port), so the
+/// switch's own scan-group fallback punts it to the controller as a Finish
+/// report — carrying an attacker-authored label stack.  The records are
+/// BALANCED (net stack effect zero) so the fabricated edge
+/// (src_sw,src_port)-(sw2,port2) decodes cleanly whether the forgery lands
+/// before or after the genuine finish in the report stream.  The attacker
+/// guesses the retry epoch from `salt` but cannot know the per-round nonce
+/// label — which is exactly what the hardened path checks.
+ofp::Packet forge_probe(const core::TagLayout& L, const FaultEvent& ev) {
+  ofp::Packet pkt = L.make_packet(core::kEthTraversal);
+  L.set(pkt, L.start(), 1);
+  L.set(pkt, L.cur(ev.sw), ev.port);
+  L.set(pkt, L.epoch(), ev.salt % core::kEpochSpace);
+  pkt.labels = {core::encode_out(1),
+                core::encode_visit(ev.src_sw, 1),
+                core::encode_out(ev.src_port),
+                core::encode_visit(ev.sw2, ev.port2),
+                core::encode_ret(),
+                core::encode_ret()};
+  return pkt;
+}
+
+}  // namespace
 
 std::vector<FaultEvent> expand_flap(const FlapSpec& f) {
   if (f.down_for == 0 || f.down_for >= f.period)
@@ -81,6 +126,15 @@ void sort_schedule(std::vector<FaultEvent>& schedule) {
 }
 
 void apply_schedule(sim::Network& net, const std::vector<FaultEvent>& schedule) {
+  // Forged frames are crafted here, in the scenario layer: the sim layer
+  // must not know about TagLayout, and the layout is a deterministic
+  // function of the topology, so attacker and victim agree on field
+  // offsets (the attacker knows the protocol — sOFTDP's threat model).
+  std::optional<core::TagLayout> layout;
+  const auto L = [&]() -> const core::TagLayout& {
+    if (!layout) layout.emplace(net.topology());
+    return *layout;
+  };
   for (const FaultEvent& ev : schedule) {
     switch (ev.op) {
       case FaultOp::kLinkDown:
@@ -122,6 +176,19 @@ void apply_schedule(sim::Network& net, const std::vector<FaultEvent>& schedule) 
       case FaultOp::kHeaderCorrupt:
         net.schedule_header_corrupt(ev.hdr_off, ev.hdr_width, ev.hdr_val, ev.at);
         break;
+      case FaultOp::kForgeLldp:
+        net.schedule_inject(ev.sw, ev.port, forge_lldp(L(), ev), ev.at);
+        break;
+      case FaultOp::kForgeProbe:
+        net.schedule_inject(ev.sw, ev.port, forge_probe(L(), ev), ev.at);
+        break;
+      case FaultOp::kRelayOn:
+        net.schedule_relay(ev.sw, ev.port, ev.sw2, ev.port2, 0, true, ev.at,
+                           ev.relay_budget);
+        break;
+      case FaultOp::kRelayOff:
+        net.schedule_relay(ev.sw, ev.port, ev.sw2, ev.port2, 0, false, ev.at);
+        break;
     }
   }
 }
@@ -139,6 +206,18 @@ std::string describe(const FaultEvent& ev) {
       break;
     case FaultOp::kHeaderCorrupt:
       s += util::cat(" off=", ev.hdr_off, " width=", ev.hdr_width, " val=", ev.hdr_val);
+      break;
+    case FaultOp::kForgeLldp:
+      s += util::cat(" at=", ev.sw, ":", ev.port, " claims=", ev.src_sw, ":",
+                     ev.src_port);
+      break;
+    case FaultOp::kForgeProbe:
+      s += util::cat(" at=", ev.sw, ":", ev.port, " claims=", ev.src_sw, ":",
+                     ev.src_port, "-", ev.sw2, ":", ev.port2, " salt=", ev.salt);
+      break;
+    case FaultOp::kRelayOn:
+    case FaultOp::kRelayOff:
+      s += util::cat(" tap=", ev.sw, ":", ev.port, "->", ev.sw2, ":", ev.port2);
       break;
     case FaultOp::kLossSet:
       s += util::cat(" edge=", ev.edge);

@@ -32,6 +32,14 @@ enum class FaultOp : std::uint8_t {
   kSwitchRestart,  // power-cycle: tables wiped, switch back up (robustness)
   kRuleCorrupt,    // silently corrupt one installed rule/group on `sw`
   kHeaderCorrupt,  // overwrite a tag field on every in-flight packet
+  // Malicious family: the attacker holds a compromised port and forges /
+  // relays discovery frames (the sOFTDP link-fabrication threat model).
+  kForgeLldp,      // inject a forged LLDP probe at (sw, port) claiming the
+                   // frame left (src_sw, src_port) — fabricates that link
+  kForgeProbe,     // inject a forged traversal "finish" at (sw, port) whose
+                   // label stack claims edge (src_sw,src_port)-(sw2,port2)
+  kRelayOn,        // wormhole tap: copy arrivals at (sw,port) to (sw2,port2)
+  kRelayOff,       // remove the wormhole tap at (sw, port)
 };
 
 const char* fault_op_name(FaultOp op);
@@ -40,13 +48,21 @@ struct FaultEvent {
   sim::Time at = 0;
   FaultOp op = FaultOp::kLinkDown;
   graph::EdgeId edge = 0;              // link ops
-  ofp::SwitchId sw = 0;                // switch-targeted ops
+  ofp::SwitchId sw = 0;                // switch-targeted ops; attack ingress switch
   std::optional<ofp::SwitchId> from;   // directional blackhole/loss origin
   double rate = 0.0;                   // kLossSet
-  std::uint64_t salt = 0;              // kRuleCorrupt: victim-selection salt
+  std::uint64_t salt = 0;              // kRuleCorrupt victim salt; forge ops:
+                                       // attacker's epoch guess (salt % kEpochSpace)
   std::uint32_t hdr_off = 0;           // kHeaderCorrupt: tag field offset
   std::uint32_t hdr_width = 0;         // kHeaderCorrupt: tag field width
   std::uint64_t hdr_val = 0;           // kHeaderCorrupt: value written
+  ofp::PortNo port = 0;                // attack ingress / relay capture port
+  ofp::SwitchId src_sw = 0;            // forge ops: claimed source switch
+  ofp::PortNo src_port = 0;            // forge ops: claimed source port
+  ofp::SwitchId sw2 = 0;               // kRelay*: delivery switch;
+                                       // kForgeProbe: fabricated far-end switch
+  ofp::PortNo port2 = 0;               // kRelay* delivery / kForgeProbe far-end port
+  std::uint32_t relay_budget = 64;     // kRelayOn: max copies before tap goes inert
 };
 
 /// Periodic link flap train: `count` down/up pairs starting at `start`,

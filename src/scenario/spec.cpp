@@ -1,10 +1,13 @@
 #include "scenario/spec.hpp"
 
+#include <initializer_list>
 #include <stdexcept>
 
 #include "core/fields.hpp"
+#include "core/labels.hpp"
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
+#include "scenario/adversary.hpp"
 #include "scenario/chaos.hpp"
 #include "util/strings.hpp"
 
@@ -34,6 +37,28 @@ namespace {
 double num_or(const JsonValue& obj, std::string_view key, double dflt) {
   const JsonValue* v = obj.get(key);
   return v != nullptr && v->is_number() ? v->number : dflt;
+}
+
+/// Strict key validation: every key of `obj` must be in `allowed`, else
+/// *error names the offending key and its location.  A typo'd key (say
+/// "verdikt" in an expect block) must be a parse error, not a silently
+/// ignored no-op that makes the expectation vacuously pass.
+bool check_keys(const JsonValue& obj, std::string_view where,
+                std::initializer_list<std::string_view> allowed,
+                std::string* error) {
+  for (const auto& [key, value] : obj.object) {
+    bool known = false;
+    for (std::string_view a : allowed)
+      if (key == a) {
+        known = true;
+        break;
+      }
+    if (!known) {
+      *error = util::cat("unknown key '", key, "' in ", where);
+      return false;
+    }
+  }
+  return true;
 }
 
 /// All edge ids of `g` — the default candidate set for generators.
@@ -98,9 +123,18 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
   if (!doc || !doc->is_object()) return fail("malformed JSON");
 
   ScenarioSpec s;
+  if (!check_keys(*doc, "scenario",
+                  {"name", "comment", "topology", "seed", "root", "service",
+                   "link_delay", "fragment_limit", "anycast", "topk", "xfsm",
+                   "discovery", "retry", "header_guard", "recovery", "schedule",
+                   "expect"},
+                  &err))
+    return fail(err);
   s.name = doc->str("name", "unnamed");
   if (const JsonValue* t = doc->get("topology")) {
     if (!t->is_object()) return fail("'topology' must be an object");
+    if (!check_keys(*t, "'topology'", {"kind", "n", "seed"}, &err))
+      return fail(err);
     s.topology.kind = t->str("kind", "ring");
     s.topology.n = t->u64("n", 16);
     s.topology.seed = t->u64("seed", 1);
@@ -114,7 +148,8 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
   if (s.root >= s.graph.node_count()) return fail("root out of range");
   s.service = doc->str("service", "plain");
   if (s.service != "plain" && s.service != "snapshot" && s.service != "anycast" &&
-      s.service != "critical" && s.service != "topk" && s.service != "xfsm")
+      s.service != "critical" && s.service != "topk" && s.service != "xfsm" &&
+      s.service != "discovery")
     return fail(util::cat("unknown service '", s.service, "'"));
   s.link_delay = doc->u64("link_delay", 1);
   if (s.link_delay == 0) return fail("link_delay must be >= 1");
@@ -122,6 +157,7 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
 
   if (const JsonValue* a = doc->get("anycast")) {
     if (!a->is_object()) return fail("'anycast' must be an object");
+    if (!check_keys(*a, "'anycast'", {"gid", "members"}, &err)) return fail(err);
     s.anycast_gid = static_cast<std::uint32_t>(a->u64("gid", 1));
     const JsonValue* members = a->get("members");
     if (members == nullptr || !members->is_array())
@@ -137,6 +173,12 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
 
   if (const JsonValue* t = doc->get("topk")) {
     if (!t->is_object()) return fail("'topk' must be an object");
+    if (!check_keys(*t, "'topk'",
+                    {"sketches", "rows", "row_bits", "sig_rows", "k",
+                     "elephants", "mice", "elephant_min", "elephant_max",
+                     "min_recall"},
+                    &err))
+      return fail(err);
     TopkSpec& tk = s.topk;
     tk.sketches = static_cast<std::uint32_t>(t->u64("sketches", tk.sketches));
     tk.rows = static_cast<std::uint32_t>(t->u64("rows", tk.rows));
@@ -158,6 +200,12 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
 
   if (const JsonValue* x = doc->get("xfsm")) {
     if (!x->is_object()) return fail("'xfsm' must be an object");
+    if (!check_keys(*x, "'xfsm'",
+                    {"machine", "hosts", "capacity", "bucket", "flip_after",
+                     "elephants", "mice", "elephant_min", "elephant_max",
+                     "rounds", "data_per_port", "moduli"},
+                    &err))
+      return fail(err);
     XfsmSpec& xs = s.xfsm;
     xs.machine = x->str("machine", xs.machine);
     if (xs.machine != "mac" && xs.machine != "policer" && xs.machine != "lb")
@@ -223,8 +271,31 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
       return fail("xfsm lb machine needs host degree >= 2");
   }
 
+  if (const JsonValue* d = doc->get("discovery")) {
+    if (!d->is_object()) return fail("'discovery' must be an object");
+    if (!check_keys(*d, "'discovery'",
+                    {"rounds", "round_window", "nonce", "ingress_check",
+                     "rate_guard", "churn_threshold", "max_deferrals"},
+                    &err))
+      return fail(err);
+    DiscoverySpec& ds = s.discovery;
+    ds.rounds = static_cast<std::uint32_t>(d->u64("rounds", ds.rounds));
+    ds.round_window = d->u64("round_window", ds.round_window);
+    ds.nonce = d->boolean_or("nonce", ds.nonce);
+    ds.ingress_check = d->boolean_or("ingress_check", ds.ingress_check);
+    ds.rate_guard = d->boolean_or("rate_guard", ds.rate_guard);
+    ds.churn_threshold =
+        static_cast<std::uint32_t>(d->u64("churn_threshold", ds.churn_threshold));
+    ds.max_deferrals =
+        static_cast<std::uint32_t>(d->u64("max_deferrals", ds.max_deferrals));
+    if (ds.rounds == 0) return fail("discovery.rounds must be >= 1");
+    if (ds.round_window == 0) return fail("discovery.round_window must be >= 1");
+  }
+
   if (const JsonValue* r = doc->get("retry")) {
     if (!r->is_object()) return fail("'retry' must be an object");
+    if (!check_keys(*r, "'retry'", {"timeout", "max_attempts"}, &err))
+      return fail(err);
     core::RetryPolicy p;
     p.timeout = r->u64("timeout", 64);
     p.max_attempts = static_cast<std::uint32_t>(r->u64("max_attempts", 5));
@@ -241,6 +312,12 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
 
   if (const JsonValue* rec = doc->get("recovery")) {
     if (!rec->is_object()) return fail("'recovery' must be an object");
+    if (!check_keys(*rec, "'recovery'",
+                    {"probe_interval", "backoff_base", "max_repair_attempts",
+                     "quarantine_for", "probe_root", "max_cycles",
+                     "inband_sink", "background_burst"},
+                    &err))
+      return fail(err);
     core::RecoveryPolicy p;
     p.probe_interval = rec->u64("probe_interval", 32);
     p.backoff_base = rec->u64("backoff_base", 16);
@@ -272,6 +349,52 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
     for (const JsonValue& item : sched->array) {
       if (!item.is_object()) return fail("schedule entries must be objects");
       const std::string op = item.str("op");
+      // Strict per-op key validation, so a typo'd key is an error naming
+      // the key rather than a silently ignored default.
+      auto keys_ok = [&](std::initializer_list<std::string_view> allowed) {
+        for (const auto& [key, value] : item.object) {
+          if (key == "op") continue;
+          bool known = false;
+          for (std::string_view a : allowed)
+            if (key == a) {
+              known = true;
+              break;
+            }
+          if (!known) {
+            err = util::cat("unknown key '", key, "' in schedule op '", op, "'");
+            return false;
+          }
+        }
+        return true;
+      };
+      // A REAL switch id / port the attacker physically holds.
+      auto sw_of = [&](std::string_view key, ofp::SwitchId* out) {
+        const JsonValue* v = item.get(key);
+        if (v == nullptr || !v->is_number() || v->number < 0 ||
+            v->number >= s.graph.node_count())
+          return false;
+        *out = static_cast<ofp::SwitchId>(v->number);
+        return true;
+      };
+      auto port_of = [&](std::string_view key, ofp::SwitchId at,
+                         ofp::PortNo* out) {
+        const JsonValue* v = item.get(key);
+        if (v == nullptr || !v->is_number() || v->number < 1 ||
+            v->number > s.graph.degree(at))
+          return false;
+        *out = static_cast<ofp::PortNo>(v->number);
+        return true;
+      };
+      // A CLAIMED port only has to fit the label encoding — the claim is
+      // the forgery, not a wire.
+      auto claim_port_of = [&](std::string_view key, ofp::PortNo* out) {
+        const JsonValue* v = item.get(key);
+        if (v == nullptr || !v->is_number() || v->number < 1 ||
+            v->number > core::kLabelPortMax)
+          return false;
+        *out = static_cast<ofp::PortNo>(v->number);
+        return true;
+      };
       auto edge_of = [&](graph::EdgeId* e) {
         const JsonValue* v = item.get("edge");
         if (v == nullptr || !v->is_number() || v->number < 0 ||
@@ -282,12 +405,14 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
       };
       try {
         if (op == "link_down" || op == "link_up") {
+          if (!keys_ok({"at", "edge"})) return fail(err);
           FaultEvent ev;
           ev.at = item.u64("at");
           ev.op = op == "link_down" ? FaultOp::kLinkDown : FaultOp::kLinkUp;
           if (!edge_of(&ev.edge)) return fail(util::cat(op, ": bad 'edge'"));
           s.schedule.push_back(ev);
         } else if (op == "blackhole_on" || op == "blackhole_off") {
+          if (!keys_ok({"at", "edge", "from"})) return fail(err);
           FaultEvent ev;
           ev.at = item.u64("at");
           ev.op = op == "blackhole_on" ? FaultOp::kBlackholeOn : FaultOp::kBlackholeOff;
@@ -295,6 +420,7 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
           if (!check_from(item, s.graph, ev.edge, &ev.from, &err)) return fail(err);
           s.schedule.push_back(ev);
         } else if (op == "loss") {
+          if (!keys_ok({"at", "edge", "from", "rate"})) return fail(err);
           FaultEvent ev;
           ev.at = item.u64("at");
           ev.op = FaultOp::kLossSet;
@@ -305,6 +431,11 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
           s.schedule.push_back(ev);
         } else if (op == "switch_crash" || op == "switch_restore" ||
                    op == "switch_restart" || op == "rule_corrupt") {
+          if (op == "rule_corrupt") {
+            if (!keys_ok({"at", "switch", "salt"})) return fail(err);
+          } else {
+            if (!keys_ok({"at", "switch"})) return fail(err);
+          }
           FaultEvent ev;
           ev.at = item.u64("at");
           ev.op = op == "switch_crash"     ? FaultOp::kSwitchCrash
@@ -322,6 +453,7 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
           // Defaults to poisoning the traversal start field (value 3 is
           // outside its legal {0,1,2} alphabet) — exactly what the
           // header_guard rules and the driver's watchdog exist to absorb.
+          if (!keys_ok({"at", "off", "width", "val"})) return fail(err);
           const core::TagLayout L(s.graph);
           FaultEvent ev;
           ev.at = item.u64("at");
@@ -333,6 +465,9 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
             return fail("header_corrupt: bad 'width'");
           s.schedule.push_back(ev);
         } else if (op == "chaos") {
+          if (!keys_ok({"faults", "start", "end", "restart_after", "off",
+                        "width", "val", "switches"}))
+            return fail(err);
           const core::TagLayout L(s.graph);
           ChaosSpec c;
           c.faults = static_cast<std::uint32_t>(item.u64("faults", 8));
@@ -358,6 +493,8 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
           const auto ex = expand_chaos(c, rng);
           s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
         } else if (op == "flap") {
+          if (!keys_ok({"edge", "start", "period", "down_for", "count"}))
+            return fail(err);
           FlapSpec f;
           if (!edge_of(&f.edge)) return fail("flap: bad 'edge'");
           f.start = item.u64("start", 0);
@@ -367,6 +504,8 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
           const auto ex = expand_flap(f);
           s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
         } else if (op == "poisson_churn") {
+          if (!keys_ok({"rate", "start", "end", "down_for", "edges"}))
+            return fail(err);
           PoissonChurnSpec p;
           p.rate = num_or(item, "rate", 0.0);
           p.start = item.u64("start", 0);
@@ -376,6 +515,7 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
           const auto ex = expand_poisson_churn(p, rng);
           s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
         } else if (op == "k_failures") {
+          if (!keys_ok({"k", "at", "down_for", "edges"})) return fail(err);
           KFailuresSpec kf;
           kf.k = static_cast<std::uint32_t>(item.u64("k", 1));
           kf.at = item.u64("at", 0);
@@ -383,6 +523,99 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
           if (!parse_edge_set(item, s.graph, &kf.edges, &err)) return fail(err);
           const auto ex = expand_k_failures(kf, rng);
           s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
+        } else if (op == "forge_lldp") {
+          // Forged LLDP at (switch, port) claiming the frame left
+          // (src_switch, src_port): the baseline controller fabricates that
+          // link.  The injection point must be a real port the attacker
+          // holds; the claim only has to fit the encoding.
+          if (!keys_ok({"at", "switch", "port", "src_switch", "src_port"}))
+            return fail(err);
+          FaultEvent ev;
+          ev.at = item.u64("at");
+          ev.op = FaultOp::kForgeLldp;
+          if (!sw_of("switch", &ev.sw)) return fail("forge_lldp: bad 'switch'");
+          if (!port_of("port", ev.sw, &ev.port))
+            return fail("forge_lldp: bad 'port'");
+          if (!sw_of("src_switch", &ev.src_sw))
+            return fail("forge_lldp: bad 'src_switch'");
+          if (!claim_port_of("src_port", &ev.src_port))
+            return fail("forge_lldp: bad 'src_port'");
+          s.schedule.push_back(ev);
+        } else if (op == "forge_probe") {
+          // Forged traversal finish addressed to the collection point (the
+          // scenario root), whose label stack claims edge
+          // (src_switch, src_port)-(far_switch, far_port).
+          if (!keys_ok({"at", "src_switch", "src_port", "far_switch",
+                        "far_port", "salt"}))
+            return fail(err);
+          FaultEvent ev;
+          ev.at = item.u64("at");
+          ev.op = FaultOp::kForgeProbe;
+          ev.sw = s.root;
+          ev.port = static_cast<ofp::PortNo>(s.graph.degree(s.root));
+          ev.salt = item.u64("salt", 0);
+          if (!sw_of("src_switch", &ev.src_sw))
+            return fail("forge_probe: bad 'src_switch'");
+          if (!claim_port_of("src_port", &ev.src_port))
+            return fail("forge_probe: bad 'src_port'");
+          if (!sw_of("far_switch", &ev.sw2))
+            return fail("forge_probe: bad 'far_switch'");
+          if (!claim_port_of("far_port", &ev.port2))
+            return fail("forge_probe: bad 'far_port'");
+          s.schedule.push_back(ev);
+        } else if (op == "relay_on" || op == "relay_off") {
+          // Wormhole tap: arrivals at (switch, port) are copied to
+          // (to_switch, to_port) — both ends must be real ports.
+          if (op == "relay_on") {
+            if (!keys_ok(
+                    {"at", "switch", "port", "to_switch", "to_port", "budget"}))
+              return fail(err);
+          } else {
+            if (!keys_ok({"at", "switch", "port"})) return fail(err);
+          }
+          FaultEvent ev;
+          ev.at = item.u64("at");
+          ev.op = op == "relay_on" ? FaultOp::kRelayOn : FaultOp::kRelayOff;
+          if (!sw_of("switch", &ev.sw)) return fail(util::cat(op, ": bad 'switch'"));
+          if (!port_of("port", ev.sw, &ev.port))
+            return fail(util::cat(op, ": bad 'port'"));
+          if (ev.op == FaultOp::kRelayOn) {
+            if (!sw_of("to_switch", &ev.sw2))
+              return fail("relay_on: bad 'to_switch'");
+            if (!port_of("to_port", ev.sw2, &ev.port2))
+              return fail("relay_on: bad 'to_port'");
+            ev.relay_budget = static_cast<std::uint32_t>(item.u64("budget", 64));
+            if (ev.relay_budget < 1) return fail("relay_on: 'budget' must be >= 1");
+          }
+          s.schedule.push_back(ev);
+        } else if (op == "adversary") {
+          // Seeded attacker generator (scenario/adversary.hpp): expands one
+          // attack campaign into concrete forge/relay/flap events.
+          if (!keys_ok({"kind", "placement", "budget", "start", "end",
+                        "flap_period", "flap_down_for", "flap_count"}))
+            return fail(err);
+          AdversarySpec a;
+          const std::string kind = item.str("kind", "lldp_spoof");
+          const auto ak = attack_kind_from(kind);
+          if (!ak) return fail(util::cat("adversary: unknown kind '", kind, "'"));
+          a.kind = *ak;
+          const std::string place = item.str("placement", "random");
+          const auto ap = attack_placement_from(place);
+          if (!ap)
+            return fail(util::cat("adversary: unknown placement '", place, "'"));
+          a.placement = *ap;
+          a.budget = static_cast<std::uint32_t>(item.u64("budget", a.budget));
+          a.start = item.u64("start", a.start);
+          a.end = item.u64("end", a.end);
+          a.root = s.root;
+          a.flap_period = item.u64("flap_period", a.flap_period);
+          a.flap_down_for = item.u64("flap_down_for", a.flap_down_for);
+          a.flap_count =
+              static_cast<std::uint32_t>(item.u64("flap_count", a.flap_count));
+          if (a.budget == 0) return fail("adversary: budget must be >= 1");
+          const auto ex = expand_adversary(a, s.graph, rng);
+          s.schedule.insert(s.schedule.end(), ex.begin(), ex.end());
+          s.discovery.attack = attack_kind_name(a.kind);
         } else {
           return fail(util::cat("unknown schedule op '", op, "'"));
         }
@@ -395,6 +628,14 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
 
   if (const JsonValue* e = doc->get("expect")) {
     if (!e->is_object()) return fail("'expect' must be an object");
+    if (!check_keys(*e, "'expect'",
+                    {"verdict", "max_attempts", "snapshot_match",
+                     "delivered_at", "critical", "final_audit_clean",
+                     "min_repairs", "min_recall", "bounds_ok", "xfsm_ok",
+                     "converged", "policer_in_bounds", "failover_ok",
+                     "max_fabricated", "min_fabricated_baseline"},
+                    &err))
+      return fail(err);
     if (const JsonValue* v = e->get("verdict")) {
       if (!v->is_string() || (v->string != "complete" && v->string != "incomplete"))
         return fail("expect.verdict must be \"complete\" or \"incomplete\"");
@@ -418,6 +659,10 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view json_text,
       s.expect.policer_in_bounds = v->boolean;
     if (const JsonValue* v = e->get("failover_ok"))
       s.expect.failover_ok = v->boolean;
+    if (const JsonValue* v = e->get("max_fabricated"))
+      s.expect.max_fabricated = static_cast<std::uint64_t>(v->number);
+    if (const JsonValue* v = e->get("min_fabricated_baseline"))
+      s.expect.min_fabricated_baseline = static_cast<std::uint64_t>(v->number);
   }
   return s;
 }

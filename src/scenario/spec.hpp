@@ -44,6 +44,11 @@ struct ExpectSpec {
   std::optional<bool> converged;        // xfsm mac: flood traffic died out
   std::optional<bool> policer_in_bounds;  // xfsm policer: per-flow bounds
   std::optional<bool> failover_ok;      // xfsm lb: partner took the traffic
+  // discovery: fabricated edges in the hardened snapshot's FINAL map <= this
+  std::optional<std::uint64_t> max_fabricated;
+  // discovery: fabricated edges the unhardened LLDP baseline admitted at its
+  // WORST round >= this (proves the attack schedule actually bites)
+  std::optional<std::uint64_t> min_fabricated_baseline;
 };
 
 /// Top-K telemetry configuration (service == "topk" only).  Sketch hosts
@@ -83,6 +88,28 @@ struct XfsmSpec {
   std::vector<graph::NodeId> host_nodes;  // resolved at parse time
 };
 
+/// Adversarial discovery arena configuration (service == "discovery").
+/// Two networks run the SAME expanded attack schedule: a hardened in-band
+/// snapshot (defenses below) and the unhardened LLDP baseline.  The
+/// schedule is partitioned into per-round time windows; each round applies
+/// its window's events, runs one discovery epoch on both mechanisms, and
+/// records both final maps on the timeline (defended maps trip
+/// kNoFabricatedLink on any fabricated edge).
+struct DiscoverySpec {
+  std::uint32_t rounds = 8;          // discovery rounds (schedule windows)
+  sim::Time round_window = 50;       // window width per round
+  // Defense toggles for the hardened side (all on by default).
+  bool nonce = true;                 // per-round probe nonce label
+  bool ingress_check = true;         // structural + uniqueness edge filter
+  bool rate_guard = true;            // defer rounds under churn storms
+  std::uint32_t churn_threshold = 4; // events/window that trigger a deferral
+  std::uint32_t max_deferrals = 2;   // consecutive deferral cap
+  // Attack-kind label for reports ("lldp_spoof" | "probe_wormhole" |
+  // "flap_storm" | "none"); stamped at parse time when the schedule carries
+  // an "adversary" generator, left "none" otherwise.
+  std::string attack = "none";
+};
+
 struct ScenarioSpec {
   std::string name = "unnamed";
   TopoRef topology;
@@ -90,13 +117,14 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   graph::NodeId root = 0;
   std::string service =
-      "plain";  // plain | snapshot | anycast | critical | topk | xfsm
+      "plain";  // plain | snapshot | anycast | critical | topk | xfsm | discovery
   sim::Time link_delay = 1;
   std::uint32_t fragment_limit = 0;           // snapshot only
   std::vector<graph::NodeId> anycast_members;  // anycast only
   std::uint32_t anycast_gid = 1;
   TopkSpec topk;                               // topk only
   XfsmSpec xfsm;                               // xfsm only
+  DiscoverySpec discovery;                     // discovery only
   std::optional<core::RetryPolicy> retry;  // present = hardened (epoch) driver
   bool header_guard = false;               // compile hdr.guard.* poison rules
   std::optional<core::RecoveryPolicy> recovery;  // present = self-healing on

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstdio>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -190,6 +191,14 @@ void Network::transmit(ofp::SwitchId from, ofp::PortNo port, ofp::Packet pkt,
     util::log_warn("transmit: switch ", from, " has no port ", port, "; dropping");
     return;
   }
+  if (pkt.wire_bytes() > mtu_bytes_) {
+    // Oversized frame: the label stack outgrew the MTU (e.g. a
+    // wormhole-forked traversal token stuck in a bounce loop, pushing a
+    // label per bounce).  Dropped before the wire, so WireCounters
+    // conservation is untouched.
+    ++dropped_mtu_;
+    return;
+  }
   const graph::EdgeId eid = graph_.edge_at(from, port);
   Link& l = links_[eid];
   ++stats_.sent;
@@ -346,6 +355,35 @@ void Network::schedule_callback(Time when, std::function<void(Network&)> fn) {
   changes_.emplace(when, std::move(c));
 }
 
+void Network::schedule_inject(ofp::SwitchId at, ofp::PortNo port, ofp::Packet pkt,
+                              Time when) {
+  if (at >= switches_.size())
+    throw std::out_of_range("schedule_inject: bad switch");
+  NetChange c;
+  c.kind = NetChange::Kind::kInject;
+  c.sw = at;
+  c.port = port;
+  c.packet = std::move(pkt);
+  changes_.emplace(when, std::move(c));
+}
+
+void Network::schedule_relay(ofp::SwitchId a, ofp::PortNo ap, ofp::SwitchId b,
+                             ofp::PortNo bp, std::uint16_t eth_filter, bool on,
+                             Time when, std::uint32_t budget) {
+  if (a >= switches_.size() || b >= switches_.size())
+    throw std::out_of_range("schedule_relay: bad switch");
+  NetChange c;
+  c.kind = NetChange::Kind::kRelay;
+  c.sw = a;
+  c.port = ap;
+  c.sw2 = b;
+  c.port2 = bp;
+  c.eth_filter = eth_filter;
+  c.flag = on;
+  c.relay_budget = budget;
+  changes_.emplace(when, std::move(c));
+}
+
 void Network::apply_change(Time t, NetChange& c) {
   switch (c.kind) {
     case NetChange::Kind::kLinkState:
@@ -378,6 +416,22 @@ void Network::apply_change(Time t, NetChange& c) {
     case NetChange::Kind::kHeaderCorrupt:
       corrupt_header(c.hdr_off, c.hdr_width, c.hdr_val);
       break;
+    case NetChange::Kind::kInject:
+      // The hook sees the change AFTER application; the packet must survive
+      // for attribution, so inject a copy.
+      host_inject(c.sw, c.port, c.packet);
+      break;
+    case NetChange::Kind::kRelay: {
+      // One tap per capture port: turning a relay on replaces any existing
+      // tap there; turning it off removes it.
+      std::erase_if(wormholes_, [&](const Wormhole& w) {
+        return w.sw == c.sw && w.port == c.port;
+      });
+      if (c.flag)
+        wormholes_.push_back(
+            {c.sw, c.port, c.sw2, c.port2, c.eth_filter, c.relay_budget});
+      break;
+    }
   }
   if (change_hook_) change_hook_(t, c);
 }
@@ -407,6 +461,17 @@ void Network::run(std::uint64_t max_events) {
     if (queue_.empty()) break;
     Arrival a = pop_arrival();
     now_ = a.time;
+    if (!a.relayed && !wormholes_.empty()) {
+      for (Wormhole& w : wormholes_) {
+        if (w.sw != a.sw || w.port != a.port) continue;
+        if (w.eth != 0 && w.eth != a.packet.eth_type) continue;
+        if (w.budget == 0) break;  // tap exhausted its relay budget
+        --w.budget;
+        ++relayed_;
+        push_arrival({now_, seq_++, w.to_sw, w.to_port, a.packet, true});
+        break;  // one tap per capture port
+      }
+    }
     sw(a.sw).receive_into(pipe_scratch_, std::move(a.packet), a.port);
     process_emissions(a.sw, pipe_scratch_);
     tick();

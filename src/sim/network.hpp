@@ -103,17 +103,25 @@ struct NetChange {
     kSwitchRestart,   // power-cycle: tables/groups wiped, switch comes back up
     kRuleCorrupt,     // silently mutate one installed rule/group on `sw`
     kHeaderCorrupt,   // overwrite a tag field on every in-flight packet
+    kInject,          // deliver `packet` at (sw, port) — adversarial host injection
+    kRelay,           // wormhole tap: copy arrivals at (sw, port) to (sw2, port2)
   };
   Kind kind = Kind::kLinkState;
   graph::EdgeId edge = 0;     // kLinkState / kBlackhole / kLoss
   ofp::SwitchId sw = 0;       // kSwitchState target; direction origin otherwise
   bool both_dirs = true;      // kBlackhole / kLoss: ignore `sw`, hit both ways
-  bool flag = false;          // up (kLinkState/kSwitchState) / enabled (kBlackhole)
+  bool flag = false;          // up (kLinkState/kSwitchState) / enabled (kBlackhole/kRelay)
   double rate = 0.0;          // kLoss
   std::uint64_t salt = 0;     // kRuleCorrupt: deterministic victim selection
   std::uint32_t hdr_off = 0;   // kHeaderCorrupt: tag field offset
   std::uint32_t hdr_width = 0; // kHeaderCorrupt: tag field width (0 = no-op)
   std::uint64_t hdr_val = 0;   // kHeaderCorrupt: value written into the field
+  ofp::PortNo port = 0;        // kInject ingress / kRelay capture port
+  ofp::SwitchId sw2 = 0;       // kRelay delivery switch
+  ofp::PortNo port2 = 0;       // kRelay delivery port
+  std::uint16_t eth_filter = 0;  // kRelay: only tap this EtherType (0 = all)
+  std::uint32_t relay_budget = 64;  // kRelay: max copies before the tap goes inert
+  ofp::Packet packet;          // kInject payload
   std::function<void(Network&)> fn;  // kCallback
 };
 
@@ -208,12 +216,55 @@ class Network {
   /// further callbacks.
   void schedule_callback(Time when, std::function<void(Network&)> fn);
 
+  /// Schedule an adversarial packet injection: `pkt` is delivered to switch
+  /// `at` on ingress `port` when simulated time reaches `when`, exactly as
+  /// if an attached host had sent it.  Unlike wrapping host_inject in a
+  /// kCallback, this is a first-class change the change hook (and hence the
+  /// timeline / flight recorder) can attribute to the attacker.
+  void schedule_inject(ofp::SwitchId at, ofp::PortNo port, ofp::Packet pkt,
+                       Time when);
+  /// Schedule a wormhole tap on/off: while on, every arrival at (a, ap)
+  /// whose EtherType matches `eth_filter` (0 = all) is COPIED to (b, bp)
+  /// at the same timestamp — an out-of-band relay tunnel between two
+  /// non-adjacent ports, the classic link-fabrication relay attack.  The
+  /// original arrival is still processed (the attacker taps the medium).
+  /// Relayed copies are never re-captured, so two taps cannot loop directly;
+  /// `budget` caps total copies per tap (the copy's DOWNSTREAM hops are
+  /// ordinary frames that taps capture again, so an unbounded tap would
+  /// amplify traffic forever — real relay hardware is finite too).
+  void schedule_relay(ofp::SwitchId a, ofp::PortNo ap, ofp::SwitchId b,
+                      ofp::PortNo bp, std::uint16_t eth_filter, bool on,
+                      Time when, std::uint32_t budget = 64);
+  /// Packets copied through wormhole taps so far (not part of Stats: relays
+  /// bypass the wires, so wire conservation is unaffected).
+  std::uint64_t relayed() const { return relayed_; }
+  std::size_t active_relays() const { return wormholes_.size(); }
+
+  /// Maximum transmit frame size in bytes: frames whose wire size exceeds
+  /// the MTU are dropped before they reach the link (never counted as
+  /// sent).  Real label stacks are depth-limited by hardware; this is what
+  /// kills a wormhole-forked traversal token whose bounce loop grows its
+  /// stack forever — the frame dies of MTU instead of livelocking the run.
+  void set_mtu(std::uint32_t bytes) { mtu_bytes_ = bytes; }
+  std::uint32_t mtu() const { return mtu_bytes_; }
+  std::uint64_t dropped_mtu() const { return dropped_mtu_; }
+
   /// Event-queue introspection: counts of not-yet-applied scheduled changes
   /// and queued packet arrivals.  The recovery service's re-arming callback
   /// uses these to decide whether the simulation still has work coming (and
   /// hence whether another probe cycle is worth scheduling).
   std::size_t pending_changes() const { return changes_.size(); }
   std::size_t pending_arrivals() const { return queue_.size(); }
+
+  /// Drop every queued in-flight frame (scheduled changes are kept).  The
+  /// hardened discovery driver calls this when it aborts a livelocked
+  /// round: adversarially forked frames can loop without ever draining, and
+  /// an epoch reset starts from quiet wires.  Returns the number dropped.
+  std::size_t drop_in_flight() {
+    const std::size_t n = queue_.size();
+    queue_.clear();
+    return n;
+  }
 
   /// Observe every applied scheduled change (after it took effect).  The
   /// scenario runner uses this to cut per-event Stats deltas.
@@ -303,6 +354,15 @@ class Network {
     ofp::SwitchId sw = 0;
     ofp::PortNo port = 0;
     ofp::Packet packet;
+    bool relayed = false;  // wormhole copy: never re-captured by a tap
+  };
+  struct Wormhole {
+    ofp::SwitchId sw = 0;    // capture end
+    ofp::PortNo port = 0;
+    ofp::SwitchId to_sw = 0;  // delivery end
+    ofp::PortNo to_port = 0;
+    std::uint16_t eth = 0;    // EtherType filter (0 = all)
+    std::uint32_t budget = 0;  // remaining copies; tap goes inert at 0
   };
   struct ArrivalLater {
     bool operator()(const Arrival& a, const Arrival& b) const {
@@ -359,6 +419,10 @@ class Network {
   std::uint64_t trace_seq_ = 0;
   std::uint64_t trace_dropped_ = 0;
   std::vector<std::uint64_t> wire_max_watch_;
+  std::vector<Wormhole> wormholes_;
+  std::uint64_t relayed_ = 0;
+  std::uint32_t mtu_bytes_ = 16384;  // jumbo-plus; ~4k labels
+  std::uint64_t dropped_mtu_ = 0;
 };
 
 }  // namespace ss::sim

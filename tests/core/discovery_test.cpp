@@ -1,0 +1,167 @@
+// Attack-hardened discovery: clean rounds recover the exact topology,
+// forged finish reports die on the nonce check, the rate guard defers
+// boundedly under churn, count_fabricated flags only impossible edges, and
+// the data-plane hazard rails (relay budget, MTU, in-flight flush) that
+// keep an adversarially forked walk from livelocking the simulator.
+
+#include "core/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/eth_types.hpp"
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace ss::core {
+namespace {
+
+RetryPolicy quick_retry() {
+  RetryPolicy p;
+  p.timeout = 400;
+  p.max_attempts = 3;
+  return p;
+}
+
+TEST(HardenedDiscovery, CleanRoundRecoversExactTopology) {
+  const graph::Graph g = graph::make_torus(4, 4);
+  sim::Network net(g);
+  HardenedDiscovery disc(g);
+  disc.install(net);
+  util::Rng rng(1);
+  const DiscoveryOutcome out = disc.round(net, 0, quick_retry(), rng);
+  EXPECT_TRUE(out.complete);
+  EXPECT_FALSE(out.deferred);
+  EXPECT_FALSE(out.aborted);
+  EXPECT_EQ(out.edges.size(), g.edge_count());
+  EXPECT_EQ(count_fabricated(g, out.edges), 0u);
+  EXPECT_EQ(out.reports_rejected, 0u);
+  EXPECT_EQ(out.edges_quarantined, 0u);
+}
+
+TEST(HardenedDiscovery, RateGuardDefersBoundedly) {
+  const graph::Graph g = graph::make_ring(6);
+  sim::Network net(g);
+  HardenedDiscovery disc(g);  // defaults: churn_threshold 4, max_deferrals 2
+  disc.install(net);
+  util::Rng rng(1);
+  const RetryPolicy p = quick_retry();
+  // Churn above threshold: deferred, twice, then liveness wins and the
+  // round runs anyway.
+  EXPECT_TRUE(disc.round(net, 0, p, rng, /*churn_events=*/10).deferred);
+  EXPECT_TRUE(disc.round(net, 0, p, rng, 10).deferred);
+  const DiscoveryOutcome forced = disc.round(net, 0, p, rng, 10);
+  EXPECT_FALSE(forced.deferred);
+  EXPECT_TRUE(forced.complete);
+  // Quiet fabric: never deferred.
+  EXPECT_FALSE(disc.round(net, 0, p, rng, 0).deferred);
+}
+
+TEST(HardenedDiscovery, DefenseTogglesKeepRngStreamAligned) {
+  // Defended and undefended episodes must consume the caller's Rng
+  // identically, or ablation pairs stop being draw-for-draw comparable.
+  const graph::Graph g = graph::make_ring(6);
+  const RetryPolicy p = quick_retry();
+  util::Rng r1(42), r2(42);
+  {
+    sim::Network net(g);
+    HardenedDiscovery disc(g);
+    disc.install(net);
+    disc.round(net, 0, p, r1);
+  }
+  {
+    sim::Network net(g);
+    DiscoveryDefense off;
+    off.nonce = off.ingress_check = off.rate_guard = false;
+    HardenedDiscovery disc(g, off);
+    disc.install(net);
+    disc.round(net, 0, p, r2);
+  }
+  EXPECT_EQ(r1.uniform(0, 1u << 30), r2.uniform(0, 1u << 30));
+}
+
+TEST(HardenedDiscovery, CountFabricatedFlagsImpossibleEdges) {
+  const graph::Graph g = graph::make_ring(4);
+  std::vector<SnapshotEdge> edges;
+  // A real wire, reported from one side.
+  const auto nb = g.neighbor(0, 1);
+  ASSERT_TRUE(nb.has_value());
+  edges.push_back({{0, 1}, *nb});
+  EXPECT_EQ(count_fabricated(g, edges), 0u);
+  // A claim using an out-of-range port: fabricated.
+  edges.push_back({{0, 99}, {2, 1}});
+  EXPECT_EQ(count_fabricated(g, edges), 1u);
+  // A claim wiring two nodes that are not adjacent on those ports:
+  // fabricated, and the same claim twice still counts once.
+  SnapshotEdge far{{0, 1}, {2, 2}};
+  edges.push_back(far);
+  edges.push_back({far.b, far.a});
+  EXPECT_EQ(count_fabricated(g, edges), 2u);
+}
+
+// --- data-plane hazard rails ----------------------------------------------
+
+ofp::Packet plain_pkt() {
+  ofp::Packet p;
+  p.tag.ensure(32);
+  return p;
+}
+
+void install_sink(sim::Network& net, ofp::SwitchId sw) {
+  ofp::FlowEntry e;
+  e.priority = 1;
+  e.actions = {ofp::ActOutput{ofp::kPortLocal}};
+  net.sw(sw).table(0).add(std::move(e));
+}
+
+TEST(NetworkHazards, WormholeTapStopsAtItsRelayBudget) {
+  const graph::Graph g = graph::make_path(2);
+  sim::Network net(g);
+  install_sink(net, 0);
+  install_sink(net, 1);
+  net.schedule_relay(/*a=*/1, /*ap=*/1, /*b=*/0, /*bp=*/1, /*eth_filter=*/0,
+                     /*on=*/true, /*when=*/0, /*budget=*/2);
+  for (int k = 0; k < 5; ++k) net.host_inject(1, 1, plain_pkt());
+  net.run();
+  EXPECT_EQ(net.relayed(), 2u);  // budget caps copies; tap then goes inert
+  EXPECT_EQ(net.active_relays(), 1u);
+}
+
+TEST(NetworkHazards, OversizedFrameDiesOfMtuNotOnTheWire) {
+  const graph::Graph g = graph::make_path(2);
+  sim::Network net(g);
+  ofp::FlowEntry fwd;
+  fwd.priority = 1;
+  fwd.actions = {ofp::ActOutput{1}};
+  net.sw(0).table(0).add(std::move(fwd));
+  install_sink(net, 1);
+  net.set_mtu(32);
+  ofp::Packet big = plain_pkt();  // 14B header + 4B tag
+  big.labels.assign(8, 1u);       // +32B of labels: over the 32B MTU
+  net.packet_out(0, big);
+  ofp::Packet small = plain_pkt();
+  net.packet_out(0, small);
+  net.run();
+  EXPECT_EQ(net.dropped_mtu(), 1u);
+  EXPECT_EQ(net.stats().sent, 1u);  // only the small frame reached the wire
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(NetworkHazards, DropInFlightFlushesQueuedFrames) {
+  const graph::Graph g = graph::make_path(2);
+  sim::Network net(g, /*delay=*/5);
+  ofp::FlowEntry fwd;
+  fwd.priority = 1;
+  fwd.actions = {ofp::ActOutput{1}};
+  net.sw(0).table(0).add(std::move(fwd));
+  install_sink(net, 1);
+  net.packet_out(0, plain_pkt());
+  ASSERT_EQ(net.pending_arrivals(), 1u);
+  EXPECT_EQ(net.drop_in_flight(), 1u);
+  EXPECT_EQ(net.pending_arrivals(), 0u);
+  net.run();
+  EXPECT_TRUE(net.local_deliveries().empty());
+}
+
+}  // namespace
+}  // namespace ss::core

@@ -1,0 +1,184 @@
+// Adversary generator and arena: seeded attack schedules replay
+// identically, fabricated link claims never coincide with real wires,
+// strict spec validation names unknown keys, and a full adversarial
+// discovery scenario replays to byte-identical result JSONL with a clean
+// hardened map and a fooled LLDP baseline.
+
+#include "scenario/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace ss::scenario {
+namespace {
+
+AdversarySpec small_attack(AttackKind kind) {
+  AdversarySpec a;
+  a.kind = kind;
+  a.placement = AttackPlacement::kRandom;
+  a.budget = 4;
+  a.start = 0;
+  a.end = 200;
+  a.root = 0;
+  return a;
+}
+
+bool same_event(const FaultEvent& a, const FaultEvent& b) {
+  return a.at == b.at && a.op == b.op && a.edge == b.edge && a.sw == b.sw &&
+         a.salt == b.salt && a.port == b.port && a.src_sw == b.src_sw &&
+         a.src_port == b.src_port && a.sw2 == b.sw2 && a.port2 == b.port2 &&
+         a.relay_budget == b.relay_budget;
+}
+
+TEST(Adversary, SameSeedSameSchedule) {
+  const graph::Graph g = graph::make_torus(4, 4);
+  for (AttackKind kind : {AttackKind::kLldpSpoof, AttackKind::kProbeWormhole,
+                          AttackKind::kFlapStorm}) {
+    const AdversarySpec a = small_attack(kind);
+    util::Rng r1(77), r2(77);
+    const auto s1 = expand_adversary(a, g, r1);
+    const auto s2 = expand_adversary(a, g, r2);
+    ASSERT_EQ(s1.size(), s2.size()) << attack_kind_name(kind);
+    for (std::size_t k = 0; k < s1.size(); ++k)
+      EXPECT_TRUE(same_event(s1[k], s2[k]))
+          << attack_kind_name(kind) << " event " << k << " differs";
+  }
+}
+
+TEST(Adversary, DifferentSeedsDiffer) {
+  const graph::Graph g = graph::make_torus(4, 4);
+  const AdversarySpec a = small_attack(AttackKind::kLldpSpoof);
+  util::Rng r1(77), r2(78);
+  const auto s1 = expand_adversary(a, g, r1);
+  const auto s2 = expand_adversary(a, g, r2);
+  bool differs = s1.size() != s2.size();
+  for (std::size_t k = 0; !differs && k < s1.size(); ++k)
+    differs = !same_event(s1[k], s2[k]);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Adversary, ForgedLinkClaimsAreAlwaysFabrications) {
+  // Every forged LLDP/probe claims a link; by construction none of those
+  // claims may coincide with a real wire (otherwise the "attack" would be
+  // telling the truth and the fabrication counters would undercount).
+  const graph::Graph g = graph::make_torus(4, 4);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    const auto sched =
+        expand_adversary(small_attack(AttackKind::kLldpSpoof), g, rng);
+    for (const FaultEvent& ev : sched) {
+      if (ev.op != FaultOp::kForgeLldp && ev.op != FaultOp::kForgeProbe)
+        continue;
+      const auto nb = g.neighbor(ev.src_sw, ev.src_port);
+      EXPECT_FALSE(nb && nb->node == ev.sw && nb->port == ev.port)
+          << "seed " << seed << " forged a real wire";
+    }
+  }
+}
+
+TEST(Adversary, AttackEndIsLatestTimestamp) {
+  const graph::Graph g = graph::make_torus(4, 4);
+  util::Rng rng(9);
+  auto sched = expand_adversary(small_attack(AttackKind::kFlapStorm), g, rng);
+  ASSERT_FALSE(sched.empty());
+  sim::Time latest = 0;
+  for (const FaultEvent& ev : sched) latest = std::max(latest, ev.at);
+  EXPECT_EQ(attack_end(sched), latest);
+  EXPECT_EQ(attack_end({}), 0u);
+}
+
+TEST(Adversary, WormholeSchedulesBudgetedTaps) {
+  const graph::Graph g = graph::make_torus(4, 4);
+  util::Rng rng(3);
+  const auto sched =
+      expand_adversary(small_attack(AttackKind::kProbeWormhole), g, rng);
+  bool saw_tap = false;
+  for (const FaultEvent& ev : sched) {
+    if (ev.op != FaultOp::kRelayOn) continue;
+    saw_tap = true;
+    EXPECT_GE(ev.relay_budget, 1u);
+  }
+  EXPECT_TRUE(saw_tap);
+}
+
+// --- strict spec validation ----------------------------------------------
+
+TEST(Spec, UnknownTopLevelKeyIsNamedInError) {
+  std::string err;
+  EXPECT_FALSE(parse_scenario(R"({"name": "x", "bogus_knob": 1})", &err));
+  EXPECT_NE(err.find("bogus_knob"), std::string::npos) << err;
+}
+
+TEST(Spec, UnknownAdversaryKeyIsNamedInError) {
+  std::string err;
+  EXPECT_FALSE(parse_scenario(
+      R"({"service": "discovery",
+          "schedule": [{"op": "adversary", "kind": "lldp_spoof", "stealth": 9}]})",
+      &err));
+  EXPECT_NE(err.find("stealth"), std::string::npos) << err;
+}
+
+TEST(Spec, AdversaryOpRejectsUnknownKind) {
+  std::string err;
+  EXPECT_FALSE(parse_scenario(
+      R"({"service": "discovery",
+          "schedule": [{"op": "adversary", "kind": "dns_poison"}]})",
+      &err));
+  EXPECT_NE(err.find("dns_poison"), std::string::npos) << err;
+}
+
+TEST(Spec, CommentKeyIsAllowed) {
+  std::string err;
+  EXPECT_TRUE(parse_scenario(R"({"name": "x", "comment": "why this exists"})",
+                             &err))
+      << err;
+}
+
+// --- full arena scenario ---------------------------------------------------
+
+const char* kSpoofScenario = R"({
+  "name": "adv-replay",
+  "topology": {"kind": "torus", "n": 16},
+  "seed": 7,
+  "root": 0,
+  "service": "discovery",
+  "discovery": {"rounds": 6, "round_window": 50},
+  "schedule": [
+    {"op": "adversary", "kind": "lldp_spoof", "placement": "random",
+     "budget": 4, "start": 0, "end": 200}
+  ]
+})";
+
+TEST(Arena, HardenedMapCleanWhileBaselineIsFooled) {
+  std::string err;
+  const auto spec = parse_scenario(kSpoofScenario, &err);
+  ASSERT_TRUE(spec) << err;
+  const ScenarioResult res = run_scenario(*spec, nullptr, nullptr);
+  ASSERT_TRUE(res.discovery.enabled);
+  EXPECT_EQ(res.discovery.attack, "lldp_spoof");
+  EXPECT_EQ(res.discovery.snapshot_fabricated, 0u);
+  EXPECT_EQ(res.discovery.snapshot_fabricated_peak, 0u);
+  EXPECT_TRUE(res.discovery.snapshot_converged);
+  EXPECT_TRUE(res.discovery.snapshot_correct);
+  EXPECT_GE(res.discovery.lldp_fabricated_peak, 1u);
+}
+
+TEST(Arena, SeededAttackReplayIsByteIdentical) {
+  std::string err;
+  const auto spec = parse_scenario(kSpoofScenario, &err);
+  ASSERT_TRUE(spec) << err;
+  std::ostringstream a, b;
+  write_result_jsonl(a, *spec, run_scenario(*spec, nullptr, nullptr));
+  write_result_jsonl(b, *spec, run_scenario(*spec, nullptr, nullptr));
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace ss::scenario

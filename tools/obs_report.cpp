@@ -88,7 +88,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: obs_report <scenario.json> [--out FILE] [--prom FILE]\n"
                "                  [--expect-clean] [--expect-anomalies a,b]\n"
-               "                  [--expect-reaction KIND]\n"
+               "                  [--expect-reaction KIND] [--expect-fabricated N]\n"
                "       obs_report --trace <trace.jsonl> [--expect-clean]\n"
                "                  [--expect-anomalies a,b]\n"
                "       obs_report --follow <stream.jsonl> [--expect-alerts N]\n");
@@ -239,8 +239,8 @@ int main(int argc, char** argv) {
   std::string path, out_path, prom_path, expect_reaction, trace_path;
   std::string follow_path;
   bool expect_clean = false, have_expect_anomalies = false, gated = false;
-  bool have_expect_alerts = false;
-  std::uint64_t expect_alerts = 0;
+  bool have_expect_alerts = false, have_expect_fabricated = false;
+  std::uint64_t expect_alerts = 0, expect_fabricated = 0;
   std::vector<std::string> expect_anomalies;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--out") == 0 && k + 1 < argc) {
@@ -254,6 +254,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[k], "--expect-alerts") == 0 && k + 1 < argc) {
       expect_alerts = std::strtoull(argv[++k], nullptr, 10);
       have_expect_alerts = true;
+    } else if (std::strcmp(argv[k], "--expect-fabricated") == 0 && k + 1 < argc) {
+      expect_fabricated = std::strtoull(argv[++k], nullptr, 10);
+      have_expect_fabricated = gated = true;
     } else if (std::strcmp(argv[k], "--expect-clean") == 0) {
       expect_clean = gated = true;
     } else if (std::strcmp(argv[k], "--expect-anomalies") == 0 && k + 1 < argc) {
@@ -320,6 +323,7 @@ int main(int argc, char** argv) {
   h.quarantines = res.quarantines;
   h.topk = res.topk;
   h.xfsm = res.xfsm;
+  h.discovery = res.discovery;
 
   if (out_path.empty()) {
     obs::write_report(std::cout, h, tl);
@@ -356,6 +360,14 @@ int main(int argc, char** argv) {
   if (have_expect_anomalies && kinds != expect_anomalies)
     fail("wanted anomalies {" + join_csv(expect_anomalies) + "}, got {" +
          join_csv(kinds) + "}");
+  if (have_expect_fabricated) {
+    if (!res.discovery.enabled)
+      fail("--expect-fabricated needs a \"discovery\" scenario");
+    else if (res.discovery.snapshot_fabricated != expect_fabricated)
+      fail("wanted " + std::to_string(expect_fabricated) +
+           " fabricated link(s) in the hardened map, got " +
+           std::to_string(res.discovery.snapshot_fabricated));
+  }
   if (!expect_reaction.empty()) {
     bool found = false;
     for (const obs::FaultReaction& r : tl.reactions())
